@@ -1,0 +1,82 @@
+//! Ablation: the paper's single fresh goal state `s*` vs the state-space
+//! doubling of its reference [14] (Ext-C in DESIGN.md).
+//!
+//! Sec. IV-C argues the doubling "increases the computational complexity
+//! and does not add any extra information": the matrix Kolmogorov
+//! integrations run on `(K+1)²` entries instead of `(2K)²`. This bench
+//! measures the actual gap for growing local state spaces on a birth–death
+//! chain with a time-varying goal set.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mfcsl_csl::doubling::reach_probability_doubled;
+use mfcsl_csl::nested::{reach_probability, PiecewiseSets, PiecewiseStateSet};
+use mfcsl_csl::Tolerances;
+use mfcsl_ctmc::inhomogeneous::ConstGenerator;
+use mfcsl_ctmc::{Ctmc, CtmcBuilder};
+
+/// Birth–death chain with `k` states.
+fn chain(k: usize) -> Ctmc {
+    let mut b = CtmcBuilder::new();
+    for i in 0..k {
+        b = b.state(format!("s{i}"), [format!("s{i}")]);
+    }
+    for i in 0..k - 1 {
+        b = b
+            .transition(format!("s{i}"), format!("s{}", i + 1), 0.8)
+            .expect("valid rate");
+        b = b
+            .transition(format!("s{}", i + 1), format!("s{i}"), 0.5)
+            .expect("valid rate");
+    }
+    b.build().expect("valid chain")
+}
+
+/// Time-varying sets: the top state is the goal; at t = 1 the goal grows
+/// to the top two states; the bottom state leaves Γ₁ at t = 2.
+fn sets(k: usize) -> PiecewiseSets {
+    let top_goal = |extra: bool| -> Vec<bool> {
+        (0..k)
+            .map(|i| i == k - 1 || (extra && i == k - 2))
+            .collect()
+    };
+    let g2 = PiecewiseStateSet::new(0.0, 5.0, vec![1.0], vec![top_goal(false), top_goal(true)])
+        .expect("valid set");
+    let all: Vec<bool> = vec![true; k];
+    let without_bottom: Vec<bool> = (0..k).map(|i| i != 0).collect();
+    let g1 =
+        PiecewiseStateSet::new(0.0, 5.0, vec![2.0], vec![all, without_bottom]).expect("valid set");
+    PiecewiseSets::new(g1, g2).expect("compatible sets")
+}
+
+fn bench_goal_state(c: &mut Criterion) {
+    let tol = Tolerances::fast();
+    let mut group = c.benchmark_group("nested_reachability");
+    group.sample_size(10);
+    for &k in &[3usize, 6, 12, 24] {
+        let ctmc = chain(k);
+        let gen = ConstGenerator::new(&ctmc);
+        let s = sets(k);
+        // Sanity: both constructions agree before we time them.
+        let a = reach_probability(&gen, &s, 0.0, 3.0, &tol).expect("goal-state");
+        let b = reach_probability_doubled(&gen, &s, 0.0, 3.0, &tol).expect("doubling");
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-5, "constructions disagree at K = {k}");
+        }
+        group.bench_with_input(BenchmarkId::new("goal_state_s_star", k), &k, |bench, _| {
+            bench.iter(|| reach_probability(&gen, &s, 0.0, 3.0, &tol).expect("goal-state"));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("state_doubling_ref14", k),
+            &k,
+            |bench, _| {
+                bench.iter(|| {
+                    reach_probability_doubled(&gen, &s, 0.0, 3.0, &tol).expect("doubling")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_goal_state);
+criterion_main!(benches);

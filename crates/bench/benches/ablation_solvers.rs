@@ -1,0 +1,79 @@
+//! Ablation: numerical-substrate choices (Ext-D in DESIGN.md).
+//!
+//! * mean-field ODE integration: adaptive DOPRI5 vs fixed-step RK4 vs the
+//!   implicit trapezoid (tolerance-matched step counts);
+//! * homogeneous CTMC transients: uniformization vs the matrix exponential.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mfcsl_core::{meanfield, Occupancy};
+use mfcsl_ctmc::transient::{transient_matrix, transient_matrix_expm};
+use mfcsl_models::{supermarket, virus};
+use mfcsl_ode::fixed::{integrate_fixed, FixedMethod};
+use mfcsl_ode::problem::FnSystem;
+use mfcsl_ode::stiff::ImplicitTrapezoid;
+use mfcsl_ode::OdeOptions;
+
+fn bench_mean_field_solvers(c: &mut Criterion) {
+    let model = virus::model(virus::setting_2(), virus::InfectionLaw::SmartVirus).expect("valid");
+    let m0 = virus::example_occupancy_2().expect("valid");
+    let horizon = 15.0;
+    let mut group = c.benchmark_group("mean_field_ode");
+    group.sample_size(20);
+    group.bench_function("dopri5_adaptive", |b| {
+        b.iter(|| meanfield::solve(&model, &m0, horizon, &OdeOptions::default()).expect("solves"));
+    });
+    // Fixed-step methods on the equivalent raw system.
+    let n = model.n_states();
+    let sys = FnSystem::new(n, |_t, y: &[f64], dy: &mut [f64]| {
+        let m = Occupancy::project(y.to_vec()).expect("on simplex");
+        let d = model.drift(&m).expect("drift");
+        dy.copy_from_slice(&d);
+    });
+    for steps in [600usize, 3000] {
+        group.bench_with_input(BenchmarkId::new("rk4_fixed", steps), &steps, |b, &s| {
+            b.iter(|| {
+                integrate_fixed(&sys, FixedMethod::Rk4, 0.0, horizon, m0.as_slice(), s)
+                    .expect("solves")
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("implicit_trapezoid", steps),
+            &steps,
+            |b, &s| {
+                b.iter(|| {
+                    ImplicitTrapezoid::default()
+                        .solve(&sys, 0.0, horizon, m0.as_slice(), s)
+                        .expect("solves")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_transient_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homogeneous_transient");
+    group.sample_size(20);
+    for cap in [4usize, 12, 24] {
+        let model = supermarket::model(supermarket::Params {
+            lambda: 0.7,
+            mu: 1.0,
+            d: 2,
+            cap,
+        })
+        .expect("valid");
+        let k = cap + 1;
+        let m = Occupancy::uniform(k).expect("valid");
+        let frozen = model.frozen_at(&m).expect("freezes");
+        group.bench_with_input(BenchmarkId::new("uniformization", k), &k, |b, _| {
+            b.iter(|| transient_matrix(&frozen, 2.0, 1e-12).expect("transient"));
+        });
+        group.bench_with_input(BenchmarkId::new("matrix_exponential", k), &k, |b, _| {
+            b.iter(|| transient_matrix_expm(&frozen, 2.0).expect("transient"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mean_field_solvers, bench_transient_methods);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! End-to-end MF-CSL checking cost on the paper's virus model: one bench
+//! per operator class (E, EP single until, EP two-phase until, nested
+//! until, cSat window development).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mfcsl_core::mfcsl::{parse_formula, Checker};
+use mfcsl_csl::Tolerances;
+use mfcsl_models::virus;
+
+fn bench_checking(c: &mut Criterion) {
+    let model = virus::model(virus::setting_2(), virus::InfectionLaw::SmartVirus).expect("valid");
+    let m0 = virus::example_occupancy_2().expect("valid");
+    let checker = Checker::with_tolerances(&model, Tolerances::fast());
+
+    let cases = [
+        ("E_atomic", "E{>0.8}[ infected ]"),
+        (
+            "EP_single_until",
+            "EP{<0.3}[ not_infected U[0,1] infected ]",
+        ),
+        (
+            "EP_two_phase_until",
+            "EP{<0.5}[ not_infected U[2,4] infected ]",
+        ),
+        (
+            "E_nested_until",
+            "E{>0.8}[ P{>0.9}[ infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ] ] ]",
+        ),
+        ("E_steady_state", "ES{>=0.1}[ infected ]"),
+    ];
+    let mut group = c.benchmark_group("check");
+    group.sample_size(10);
+    for (name, text) in cases {
+        let psi = parse_formula(text).expect("parses");
+        group.bench_function(name, |b| {
+            b.iter(|| checker.check(&psi, &m0).expect("checks"));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("csat");
+    group.sample_size(20);
+    let psi = parse_formula("EP{<0.3}[ not_infected U[0,1] infected ]").expect("parses");
+    group.bench_function("EP_window_20", |b| {
+        b.iter(|| checker.csat(&psi, &m0, 20.0).expect("csat"));
+    });
+    let psi = parse_formula("E{<0.25}[ infected ] & !E{>0.05}[ active ]").expect("parses");
+    group.bench_function("boolean_E_window_20", |b| {
+        b.iter(|| checker.csat(&psi, &m0, 20.0).expect("csat"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checking);
+criterion_main!(benches);

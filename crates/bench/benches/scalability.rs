@@ -1,0 +1,46 @@
+//! Scalability: mean-field checking vs the explicit finite-`N` overall
+//! CTMC (Ext-A in DESIGN.md).
+//!
+//! The mean-field cost is *independent of N*; the lumped chain grows as
+//! `C(N+K-1, K-1)` states and its uniformization cost explodes with it —
+//! the motivating claim of the paper's introduction, measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mfcsl_core::{meanfield, Occupancy};
+use mfcsl_models::virus;
+use mfcsl_ode::OdeOptions;
+use mfcsl_sim::{lumped, ssa};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_scalability(c: &mut Criterion) {
+    let model = virus::model(virus::setting_2(), virus::InfectionLaw::SmartVirus).expect("valid");
+    let m0 = Occupancy::new(vec![0.8, 0.1, 0.1]).expect("valid");
+    let t = 2.0;
+
+    let mut group = c.benchmark_group("transient_occupancy");
+    group.sample_size(10);
+    group.bench_function("mean_field_any_N", |b| {
+        b.iter(|| {
+            let sol = meanfield::solve(&model, &m0, t, &OdeOptions::default()).expect("solves");
+            sol.occupancy_at(t)
+        });
+    });
+    for n in [10usize, 20, 40, 80] {
+        let c0 = ssa::counts_from_occupancy(&m0, n).expect("counts");
+        group.bench_with_input(BenchmarkId::new("lumped_ctmc_sparse", n), &n, |b, &n| {
+            b.iter(|| {
+                let chain = lumped::build_sparse(&model, n, 1_000_000).expect("builds");
+                chain.expected_occupancy(&c0, t, 1e-10).expect("transient")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("ssa_single_run", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| ssa::simulate(&model, c0.clone(), t, &mut rng).expect("simulates"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Ext-B: mean-field accuracy versus finite-`N` ground truth (DESIGN.md id
+//! "Ext-B") — the empirical side of the paper's convergence theorem.
+//!
+//! Two experiments on the virus (Setting 2) and SIS models:
+//! * occupancy bias `|E_N[m(t)] − m̄(t)|` via the exact lumped chain
+//!   (small N) and SSA averages (large N);
+//! * the `EP` operator vs the tagged-object success frequency.
+//!
+//! Run with `cargo run --release -p mfcsl-bench --bin accuracy`.
+
+use mfcsl_bench::{report_dir, write_csv};
+use mfcsl_core::mfcsl::Checker;
+use mfcsl_core::{meanfield, Occupancy};
+use mfcsl_csl::{parse_path_formula, Tolerances};
+use mfcsl_models::{sis, virus};
+use mfcsl_ode::OdeOptions;
+use mfcsl_sim::estimator::{mean_ci, proportion_ci, run_replications};
+use mfcsl_sim::{lumped, paths, ssa};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    occupancy_bias();
+    ep_accuracy();
+    println!("CSV written to {}/", report_dir().display());
+}
+
+fn occupancy_bias() {
+    println!("── occupancy bias |E_N[infected(t)] − mf| (virus, Setting 2, t = 2) ──");
+    let model = virus::model(virus::setting_2(), virus::InfectionLaw::SmartVirus).expect("valid");
+    let m0 = Occupancy::new(vec![0.8, 0.1, 0.1]).expect("valid");
+    let t = 2.0;
+    let sol = meanfield::solve(&model, &m0, t, &OdeOptions::default()).expect("solves");
+    let mf = sol.occupancy_at(t);
+    let mf_inf = mf[1] + mf[2];
+    println!("mean-field infected fraction: {mf_inf:.6}");
+    println!(
+        "{:>6} {:>10} {:>12} {:>10}",
+        "N", "method", "E_N[inf]", "|bias|"
+    );
+    let mut rows = Vec::new();
+    for n in [5usize, 10, 20, 40, 80] {
+        let chain = lumped::build(&model, n, 200_000).expect("builds");
+        let c0 = ssa::counts_from_occupancy(&m0, n).expect("counts");
+        let e = chain.expected_occupancy(&c0, t, 1e-12).expect("transient");
+        let inf = e[1] + e[2];
+        println!(
+            "{:>6} {:>10} {:>12.6} {:>10.2e}",
+            n,
+            "lumped",
+            inf,
+            (inf - mf_inf).abs()
+        );
+        rows.push(vec![n as f64, inf, (inf - mf_inf).abs()]);
+    }
+    for n in [200usize, 1000, 5000] {
+        let c0 = ssa::counts_from_occupancy(&m0, n).expect("counts");
+        let samples = run_replications(400, 8, 11, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let traj = ssa::simulate(&model, c0.clone(), t, &mut rng).expect("simulates");
+            let occ = traj.occupancy_at(t);
+            occ[1] + occ[2]
+        });
+        let est = mean_ci(&samples, 1.96).expect("estimate");
+        println!(
+            "{:>6} {:>10} {:>12.6} {:>10.2e}   (95% CI ± {:.2e})",
+            n,
+            "ssa",
+            est.mean,
+            (est.mean - mf_inf).abs(),
+            est.half_width()
+        );
+        rows.push(vec![n as f64, est.mean, (est.mean - mf_inf).abs()]);
+    }
+    write_csv(
+        &report_dir().join("accuracy_occupancy.csv"),
+        "n,expected_infected,bias",
+        &rows,
+    );
+}
+
+fn ep_accuracy() {
+    println!("\n── EP operator vs tagged-object simulation (SIS β=2 γ=1, t ∈ [0,1]) ──");
+    let model = sis::model(2.0, 1.0).expect("valid");
+    let m0 = Occupancy::new(vec![0.8, 0.2]).expect("valid");
+    let checker = Checker::with_tolerances(&model, Tolerances::default());
+    let path = parse_path_formula("healthy U[0,1] infected").expect("parses");
+    let curve = checker.ep_curve(&path, &m0, 0.0).expect("evaluates");
+    let analytic = curve.expected_at(0.0);
+    println!("mean-field EP: {analytic:.6}");
+    println!("{:>6} {:>12} {:>22}", "N", "estimate", "95% CI");
+    let mut rows = Vec::new();
+    for n in [20usize, 100, 500, 2500] {
+        let c0 = ssa::counts_from_occupancy(&m0, n).expect("counts");
+        let trials = 6000;
+        let hits = run_replications(trials, 8, 23, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Tag distributed like m0: 80% healthy starters.
+            let tagged0 = usize::from(seed % 5 == 4);
+            let (_, tagged) = ssa::simulate_tagged(&model, c0.clone(), tagged0, 1.0, &mut rng)
+                .expect("simulates");
+            let sojourns: Vec<_> = tagged.sojourns().collect();
+            u8::from(
+                paths::until_holds(&sojourns, &[true, false], &[false, true], 0.0, 1.0)
+                    .expect("path check"),
+            )
+        });
+        let successes: usize = hits.iter().map(|&h| h as usize).sum();
+        let est = proportion_ci(successes, trials, 1.96).expect("estimate");
+        println!(
+            "{:>6} {:>12.6} {:>22}",
+            n,
+            est.mean,
+            format!("[{:.4}, {:.4}]", est.lo, est.hi)
+        );
+        rows.push(vec![n as f64, est.mean, est.lo, est.hi, analytic]);
+    }
+    write_csv(
+        &report_dir().join("accuracy_ep.csv"),
+        "n,estimate,ci_lo,ci_hi,mean_field",
+        &rows,
+    );
+}

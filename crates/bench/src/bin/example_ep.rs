@@ -1,0 +1,101 @@
+//! Regenerates the paper's first Section-VI worked example (DESIGN.md id
+//! "Sec. VI ex. 1"): checking
+//! `m̄ ⊨ EP{<0.3}[ not_infected U[0,1] infected ]` for
+//! `m̄ = (0.8, 0.15, 0.05)` under Table II Setting 1, with every
+//! intermediate quantity the paper prints.
+//!
+//! Run with `cargo run --release -p mfcsl-bench --bin example_ep`.
+
+use mfcsl_bench::compare_line;
+use mfcsl_core::meanfield;
+use mfcsl_core::mfcsl::{parse_formula, Checker};
+use mfcsl_csl::until::MaskedGenerator;
+use mfcsl_csl::{parse_path_formula, Tolerances};
+use mfcsl_ctmc::inhomogeneous::transition_matrix;
+use mfcsl_models::virus;
+
+fn main() {
+    let m0 = virus::example_occupancy().expect("paper occupancy");
+    for (tag, params) in [
+        ("Table II Setting 1 (as printed)", virus::setting_1()),
+        ("Setting 1, k2 ↔ k3 swapped", virus::setting_1_swapped()),
+    ] {
+        println!("══ {tag} ══");
+        let model = virus::model(params, virus::InfectionLaw::SmartVirus).expect("valid params");
+        let tol = Tolerances::default();
+
+        // Step 1: the mean-field trajectory; step 2: Π'(0,1) on M[infected].
+        let sol = meanfield::solve(&model, &m0, 1.0, &tol.ode).expect("solves");
+        let tv = sol.local_tv_model().expect("valid model");
+        let masked =
+            MaskedGenerator::new(tv.generator(), vec![false, true, true]).expect("valid mask");
+        let pi = transition_matrix(&masked, 0.0, 1.0, &tol.ode).expect("integrates");
+        println!(
+            "{}",
+            compare_line(
+                "Π'(0,1)[s1→s1] (survival of a healthy machine)",
+                "0.91",
+                &format!("{:.6}", pi[(0, 0)]),
+            )
+        );
+        println!(
+            "{}",
+            compare_line(
+                "Π'(0,1)[s1→s2] (infection within one time unit)",
+                "0.09",
+                &format!("{:.6}", pi[(0, 1)]),
+            )
+        );
+
+        // Step 3: the expectation of Def. 6.
+        let checker = Checker::with_tolerances(&model, tol);
+        let path = parse_path_formula("not_infected U[0,1] infected").expect("parses");
+        let curve = checker.ep_curve(&path, &m0, 0.0).expect("evaluates");
+        println!(
+            "{}",
+            compare_line(
+                "Prob(s1, φ, m̄)",
+                "0.09",
+                &format!("{:.6}", curve.state_prob_at(0, 0.0)),
+            )
+        );
+        println!(
+            "{}",
+            compare_line(
+                "Prob(s2, φ, m̄) / Prob(s3, φ, m̄)",
+                "0 / 0",
+                &format!(
+                    "{} / {}  (standard semantics: Φ₂-states succeed at t' = 0)",
+                    curve.state_prob_at(1, 0.0),
+                    curve.state_prob_at(2, 0.0)
+                ),
+            )
+        );
+        println!(
+            "{}",
+            compare_line(
+                "EP(φ) paper convention m₁·Prob(s₁)",
+                "0.072",
+                &format!("{:.6}", m0[0] * curve.state_prob_at(0, 0.0)),
+            )
+        );
+        println!(
+            "{}",
+            compare_line(
+                "EP(φ) standard semantics Σ m_j·Prob(s_j)",
+                "—",
+                &format!("{:.6}", curve.expected_at(0.0)),
+            )
+        );
+        let psi = parse_formula("EP{<0.3}[ not_infected U[0,1] infected ]").expect("parses");
+        let v = checker.check(&psi, &m0).expect("checks");
+        println!(
+            "{}\n",
+            compare_line(
+                "verdict m̄ ⊨ EP{<0.3}[φ]",
+                "holds",
+                if v.holds() { "holds" } else { "fails" },
+            )
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Regenerates the paper's second Section-VI worked example (DESIGN.md id
+//! "Sec. VI ex. 2"): the Setting-2 nested formula with a time-varying goal
+//! set, including the discontinuity points, the reachability
+//! probabilities, and the final verdicts.
+//!
+//! Run with `cargo run --release -p mfcsl-bench --bin example_nested`.
+
+use mfcsl_bench::compare_line;
+use mfcsl_core::meanfield;
+use mfcsl_core::mfcsl::{parse_formula, Checker};
+use mfcsl_csl::checker::InhomogeneousChecker;
+use mfcsl_csl::{parse_path_formula, parse_state_formula, Tolerances};
+use mfcsl_models::virus;
+
+fn main() {
+    let m0 = virus::example_occupancy_2().expect("paper occupancy");
+    let s2 = virus::setting_2();
+    for (tag, params) in [
+        ("Table II Setting 2 (as printed)", s2),
+        (
+            "Setting 2, k2 ↔ k3 swapped",
+            virus::Params {
+                k2: s2.k3,
+                k3: s2.k2,
+                ..s2
+            },
+        ),
+    ] {
+        println!("══ {tag} ══");
+        let model = virus::model(params, virus::InfectionLaw::SmartVirus).expect("valid params");
+        let tol = Tolerances::default();
+        let sol = meanfield::solve(&model, &m0, 16.0, &tol.ode).expect("solves");
+        let tv = sol.local_tv_model().expect("valid model");
+        let csl = InhomogeneousChecker::with_tolerances(&tv, tol);
+
+        // Inner formula Φ₁ and its time-dependent satisfaction set.
+        let phi1 = parse_state_formula("P{>0.8}[ tt U[0,0.5] infected ]").expect("parses");
+        let sat = csl.sat_over_time(&phi1, 15.0).expect("evaluates");
+        let boundaries = if sat.boundaries().is_empty() {
+            "none in [0, 15]".to_string()
+        } else {
+            sat.boundaries()
+                .iter()
+                .map(|t| format!("{t:.4}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!(
+            "{}",
+            compare_line("discontinuity of Sat(Φ₁, m̄, t)", "10.443", &boundaries)
+        );
+        println!(
+            "Sat(Φ₁) at t = 0 : {:?}  (paper: {{s2, s3}})",
+            sat.set_at(0.0)
+        );
+        println!("Sat(Φ₁) at t = 15: {:?}", sat.set_at(15.0));
+
+        // The outer until probabilities (paper: 0, 1, 1).
+        let outer =
+            parse_path_formula("infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ]").expect("parses");
+        let probs = csl.path_probabilities(&outer).expect("evaluates");
+        println!(
+            "{}",
+            compare_line(
+                "Prob(s, infected U[0,15] Φ₁, m̄) per state",
+                "(0, 1, 1)",
+                &format!("({:.4}, {:.4}, {:.4})", probs[0], probs[1], probs[2]),
+            )
+        );
+
+        // MF-CSL verdicts.
+        let checker = Checker::with_tolerances(&model, Tolerances::default());
+        let psi1 =
+            parse_formula("E{>0.8}[ P{>0.9}[ infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ] ] ]")
+                .expect("parses");
+        let psi2 = parse_formula("E{<0.1}[ active ]").expect("parses");
+        let v1 = checker.check(&psi1, &m0).expect("checks");
+        let v2 = checker.check(&psi2, &m0).expect("checks");
+        let both = checker
+            .check(&psi1.clone().and(psi2.clone()), &m0)
+            .expect("checks");
+        println!(
+            "{}",
+            compare_line(
+                "m̄ ⊨ Ψ₁",
+                "fails (0.15 ≯ 0.8)",
+                if v1.holds() { "holds" } else { "fails" }
+            )
+        );
+        println!(
+            "{}",
+            compare_line(
+                "m̄ ⊨ E{<0.1}[active]",
+                "holds",
+                if v2.holds() { "holds" } else { "fails" }
+            )
+        );
+        println!(
+            "{}\n",
+            compare_line(
+                "m̄ ⊨ Ψ₁ ∧ Ψ₂",
+                "fails",
+                if both.holds() { "holds" } else { "fails" },
+            )
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Regenerates the three curves of the paper's Figure 3 and their
+//! threshold crossings, for every parameter variant the reproduction
+//! sweeps.
+//!
+//! * **green** — `Prob(s₁, ¬infected U[0,1] infected, m̄, t)`;
+//! * **red** — the expected probability `EP(¬infected U[0,1] infected)(t)`,
+//!   both under standard CSL semantics (`Σ m_j·Prob(s_j)`) and under the
+//!   paper's convention (`m₁(t)·Prob(s₁, t)` — already-infected machines
+//!   contribute 0), with the crossing of the 0.3 bound;
+//! * **blue** — `Prob(s₁, tt U[0,0.5] infected, m̄, t)` under Setting 2,
+//!   with the crossing of the 0.8 bound (the paper's `T₁ = 10.443`).
+//!
+//! CSV series land in `reports/`. Run with
+//! `cargo run --release --bin fig3`.
+
+use mfcsl_bench::{compare_line, crossings, report_dir, sample_curve, write_csv};
+use mfcsl_core::mfcsl::Checker;
+use mfcsl_csl::{parse_path_formula, Tolerances};
+use mfcsl_models::virus;
+
+fn main() {
+    let theta = 20.0;
+    let grid = 800;
+    let m0 = virus::example_occupancy().expect("paper occupancy");
+
+    for (tag, params) in [
+        ("setting1", virus::setting_1()),
+        ("setting1_swapped", virus::setting_1_swapped()),
+    ] {
+        println!("══ Figure 3, green/red curves — {tag} ══");
+        let model = virus::model(params, virus::InfectionLaw::SmartVirus).expect("valid params");
+        let checker = Checker::with_tolerances(&model, Tolerances::default());
+        let path = parse_path_formula("not_infected U[0,1] infected").expect("parses");
+        let curve = checker.ep_curve(&path, &m0, theta).expect("evaluates");
+
+        let green: Vec<Vec<f64>> = sample_curve(|t| curve.state_prob_at(0, t), 0.0, theta, grid)
+            .into_iter()
+            .map(|(t, v)| vec![t, v])
+            .collect();
+        write_csv(
+            &report_dir().join(format!("fig3_green_{tag}.csv")),
+            "t,prob_s1",
+            &green,
+        );
+
+        let red: Vec<Vec<f64>> = sample_curve(|t| t, 0.0, theta, grid)
+            .into_iter()
+            .map(|(t, _)| {
+                let standard = curve.expected_at(t);
+                let paper = curve.occupancy_at(t)[0] * curve.state_prob_at(0, t);
+                vec![t, standard, paper]
+            })
+            .collect();
+        write_csv(
+            &report_dir().join(format!("fig3_red_{tag}.csv")),
+            "t,ep_standard,ep_paper_convention",
+            &red,
+        );
+
+        let fmt_crossings = |c: &[f64]| {
+            if c.is_empty() {
+                "none in [0, 20]".to_string()
+            } else {
+                c.iter()
+                    .map(|t| format!("{t:.4}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            }
+        };
+        let std_cross = crossings(|t| curve.expected_at(t), 0.0, theta, grid, 0.3);
+        let paper_cross = crossings(
+            |t| curve.occupancy_at(t)[0] * curve.state_prob_at(0, t),
+            0.0,
+            theta,
+            grid,
+            0.3,
+        );
+        println!(
+            "EP(0) standard semantics        : {:.6}",
+            curve.expected_at(0.0)
+        );
+        println!(
+            "{}",
+            compare_line(
+                "EP(0) paper convention (m1·Prob(s1))",
+                "0.072",
+                &format!(
+                    "{:.6}",
+                    curve.occupancy_at(0.0)[0] * curve.state_prob_at(0, 0.0)
+                ),
+            )
+        );
+        println!(
+            "{}",
+            compare_line(
+                "0.3-crossing of EP (standard)",
+                "14.5412",
+                &fmt_crossings(&std_cross),
+            )
+        );
+        println!(
+            "{}",
+            compare_line(
+                "0.3-crossing of EP (paper convention)",
+                "14.5412",
+                &fmt_crossings(&paper_cross),
+            )
+        );
+        // cSat of the MF-CSL formula itself.
+        let psi = mfcsl_core::mfcsl::parse_formula("EP{<0.3}[ not_infected U[0,1] infected ]")
+            .expect("parses");
+        let cs = checker.csat(&psi, &m0, theta).expect("evaluates");
+        println!(
+            "{}\n",
+            compare_line(
+                "cSat(EP{<0.3}[…]) on [0, 20]",
+                "[0, 14.5412)",
+                &cs.to_string()
+            ),
+        );
+    }
+
+    // Blue curve: Setting 2 (and its swapped variant), m̄ = (0.85, 0.1, 0.05).
+    let m0 = virus::example_occupancy_2().expect("paper occupancy");
+    let s2 = virus::setting_2();
+    for (tag, params) in [
+        ("setting2", s2),
+        (
+            "setting2_swapped",
+            virus::Params {
+                k2: s2.k3,
+                k3: s2.k2,
+                ..s2
+            },
+        ),
+    ] {
+        println!("══ Figure 3, blue curve — {tag} ══");
+        let model = virus::model(params, virus::InfectionLaw::SmartVirus).expect("valid params");
+        let checker = Checker::with_tolerances(&model, Tolerances::default());
+        let path = parse_path_formula("tt U[0,0.5] infected").expect("parses");
+        let curve = checker.ep_curve(&path, &m0, 15.0).expect("evaluates");
+        let blue: Vec<Vec<f64>> = sample_curve(|t| curve.state_prob_at(0, t), 0.0, 15.0, grid)
+            .into_iter()
+            .map(|(t, v)| vec![t, v])
+            .collect();
+        write_csv(
+            &report_dir().join(format!("fig3_blue_{tag}.csv")),
+            "t,prob_s1",
+            &blue,
+        );
+        let cross = crossings(|t| curve.state_prob_at(0, t), 0.0, 15.0, grid, 0.8);
+        let fmt = if cross.is_empty() {
+            "none in [0, 15]".to_string()
+        } else {
+            cross
+                .iter()
+                .map(|t| format!("{t:.4}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        println!(
+            "{}\n",
+            compare_line("0.8-crossing of Prob(s1, tt U[0,0.5] inf)", "10.443", &fmt),
+        );
+    }
+    println!("CSV series written to {}/", report_dir().display());
+}

@@ -1,0 +1,106 @@
+//! Shared plumbing for the report binaries and benches.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! reproduced paper (see DESIGN.md's per-experiment index); the helpers
+//! here handle CSV output and threshold-crossing extraction from sampled
+//! curves.
+
+// `!(x > 0.0)`-style guards are used deliberately throughout: unlike
+// `x <= 0.0`, they classify NaN as invalid input instead of letting it
+// through, which is exactly the intent of the validation sites.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Directory the report binaries write their CSV series into.
+#[must_use]
+pub fn report_dir() -> PathBuf {
+    PathBuf::from("reports")
+}
+
+/// Writes a CSV file with a header row and one row per record.
+///
+/// # Panics
+///
+/// Panics on I/O failure (report binaries treat the filesystem as
+/// infallible infrastructure).
+pub fn write_csv(path: &Path, header: &str, rows: &[Vec<f64>]) {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).expect("create report directory");
+    }
+    let mut file = fs::File::create(path).expect("create report file");
+    writeln!(file, "{header}").expect("write header");
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.9}")).collect();
+        writeln!(file, "{}", line.join(",")).expect("write row");
+    }
+}
+
+/// Samples `f` on a uniform grid of `n + 1` points over `[a, b]`.
+pub fn sample_curve<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize) -> Vec<(f64, f64)> {
+    (0..=n)
+        .map(|i| {
+            let t = a + (b - a) * i as f64 / n as f64;
+            (t, f(t))
+        })
+        .collect()
+}
+
+/// Finds all crossings of `level` in a sampled curve, refined by Brent's
+/// method on the continuous function.
+pub fn crossings<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, n: usize, level: f64) -> Vec<f64> {
+    let samples = sample_curve(&mut f, a, b, n);
+    let mut out = Vec::new();
+    for w in samples.windows(2) {
+        let (t0, v0) = w[0];
+        let (t1, v1) = w[1];
+        let f0 = v0 - level;
+        let f1 = v1 - level;
+        if f0 != 0.0 && f1 != 0.0 && f0.signum() != f1.signum() {
+            if let Ok(root) = mfcsl_math::roots::brent(|t| f(t) - level, t0, t1, 1e-9) {
+                out.push(root);
+            }
+        }
+    }
+    out
+}
+
+/// Formats a paper-vs-measured comparison line.
+#[must_use]
+pub fn compare_line(label: &str, paper: &str, measured: &str) -> String {
+    format!("{label:<58} paper: {paper:<14} measured: {measured}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_and_crossings() {
+        let c = crossings(|t: f64| t * t, 0.0, 3.0, 100, 4.0);
+        assert_eq!(c.len(), 1);
+        assert!((c[0] - 2.0).abs() < 1e-8);
+        let none = crossings(|t: f64| t, 0.0, 1.0, 10, 5.0);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn csv_writer_roundtrip() {
+        let dir = std::env::temp_dir().join("mfcsl_bench_test");
+        let path = dir.join("x.csv");
+        write_csv(&path, "t,v", &[vec![0.0, 1.0], vec![0.5, 2.0]]);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("t,v\n"));
+        assert_eq!(body.lines().count(), 3);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compare_line_contains_both() {
+        let l = compare_line("x", "1", "2");
+        assert!(l.contains("paper: 1"));
+        assert!(l.contains("measured: 2"));
+    }
+}

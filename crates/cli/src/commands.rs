@@ -1,0 +1,285 @@
+//! Implementations of the CLI subcommands.
+//!
+//! Each command takes parsed inputs and returns its report as a `String`,
+//! which keeps the logic unit-testable; `main` only does argument parsing
+//! and printing.
+
+use std::fmt::Write as _;
+
+use mfcsl_core::fixedpoint::{self, FixedPointOptions};
+use mfcsl_core::mfcsl::{parse_formula, Checker};
+use mfcsl_core::{meanfield, LocalModel, Occupancy};
+use mfcsl_csl::Tolerances;
+use mfcsl_ode::OdeOptions;
+
+/// Error type of the CLI layer: a human-readable message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+macro_rules! from_error {
+    ($($ty:ty),* $(,)?) => {
+        $(impl From<$ty> for CliError {
+            fn from(e: $ty) -> Self {
+                CliError(e.to_string())
+            }
+        })*
+    };
+}
+
+from_error!(
+    mfcsl_core::CoreError,
+    mfcsl_csl::CslError,
+    mfcsl_ode::OdeError,
+    mfcsl_math::MathError,
+    crate::model_file::ModelFileError,
+    crate::expr::ExprError,
+);
+
+/// Parses a comma-separated occupancy vector (`0.8,0.15,0.05`).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for malformed numbers or an invalid distribution.
+pub fn parse_occupancy(text: &str) -> Result<Occupancy, CliError> {
+    let fractions: Result<Vec<f64>, _> = text.split(',').map(|p| p.trim().parse::<f64>()).collect();
+    let fractions = fractions.map_err(|e| CliError(format!("bad occupancy `{text}`: {e}")))?;
+    Occupancy::new(fractions).map_err(|e| CliError(format!("bad occupancy `{text}`: {e}")))
+}
+
+/// `mfcsl info <model>` — summarizes a model.
+///
+/// # Errors
+///
+/// Propagates evaluation failures as [`CliError`].
+pub fn info(
+    model: &LocalModel,
+    params: &std::collections::BTreeMap<String, f64>,
+) -> Result<String, CliError> {
+    let mut out = String::new();
+    writeln!(out, "states ({}):", model.n_states()).expect("write to string");
+    for (i, name) in model.state_names().iter().enumerate() {
+        let labels: Vec<String> = model.labeling().of(i).iter().cloned().collect();
+        writeln!(out, "  {i}: {name}  [{}]", labels.join(", ")).expect("write to string");
+    }
+    writeln!(out, "parameters:").expect("write to string");
+    for (k, v) in params {
+        writeln!(out, "  {k} = {v}").expect("write to string");
+    }
+    let uniform = Occupancy::uniform(model.n_states())?;
+    writeln!(
+        out,
+        "generator at the uniform occupancy:\n{}",
+        model.generator_at(&uniform)?
+    )
+    .expect("write to string");
+    Ok(out)
+}
+
+/// `mfcsl check <model> --m0 … "<formula>"`.
+///
+/// # Errors
+///
+/// Propagates parse/check failures as [`CliError`].
+pub fn check(model: &LocalModel, m0: &Occupancy, formula: &str) -> Result<String, CliError> {
+    let psi = parse_formula(formula)?;
+    let verdict = Checker::new(model).check(&psi, m0)?;
+    Ok(format!(
+        "{} {} {}{}",
+        m0,
+        if verdict.holds() { "⊨" } else { "⊭" },
+        psi,
+        if verdict.is_marginal() {
+            "   (marginal: value within numerical margin of the bound)"
+        } else {
+            ""
+        }
+    ))
+}
+
+/// `mfcsl csat <model> --m0 … --theta T "<formula>"`.
+///
+/// # Errors
+///
+/// Propagates parse/check failures as [`CliError`].
+pub fn csat(
+    model: &LocalModel,
+    m0: &Occupancy,
+    theta: f64,
+    formula: &str,
+) -> Result<String, CliError> {
+    let psi = parse_formula(formula)?;
+    let set = Checker::new(model).csat(&psi, m0, theta)?;
+    Ok(format!(
+        "cSat({psi}, {m0}, {theta}) = {set}   (measure {:.6})",
+        set.measure()
+    ))
+}
+
+/// `mfcsl trajectory <model> --m0 … --t-end T [--points N]` — CSV of the
+/// occupancy trajectory.
+///
+/// # Errors
+///
+/// Propagates solver failures as [`CliError`].
+pub fn trajectory(
+    model: &LocalModel,
+    m0: &Occupancy,
+    t_end: f64,
+    points: usize,
+) -> Result<String, CliError> {
+    if points < 2 {
+        return Err(CliError("--points must be at least 2".into()));
+    }
+    let sol = meanfield::solve(model, m0, t_end, &OdeOptions::default())?;
+    let mut out = String::from("t");
+    for name in model.state_names() {
+        write!(out, ",{name}").expect("write to string");
+    }
+    out.push('\n');
+    for i in 0..points {
+        let t = t_end * i as f64 / (points - 1) as f64;
+        let m = sol.occupancy_at(t);
+        write!(out, "{t:.6}").expect("write to string");
+        for v in m.as_slice() {
+            write!(out, ",{v:.9}").expect("write to string");
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `mfcsl fixed-points <model>`.
+///
+/// # Errors
+///
+/// Propagates search failures as [`CliError`].
+pub fn fixed_points(model: &LocalModel) -> Result<String, CliError> {
+    let fps = fixedpoint::find_all(model, 16, 20_260_705, &FixedPointOptions::default())?;
+    if fps.is_empty() {
+        return Ok("no fixed points found from the search battery".into());
+    }
+    let mut out = String::new();
+    for fp in fps {
+        writeln!(
+            out,
+            "m̃ = {}  {:?} (spectral abscissa {:+.6}, residual {:.2e})",
+            fp.occupancy, fp.stability, fp.spectral_abscissa, fp.residual
+        )
+        .expect("write to string");
+    }
+    Ok(out)
+}
+
+/// Checks a formula at a list of evaluation settings and tolerances —
+/// exercised by `check --fast`.
+///
+/// # Errors
+///
+/// Propagates failures as [`CliError`].
+pub fn check_fast(model: &LocalModel, m0: &Occupancy, formula: &str) -> Result<String, CliError> {
+    let psi = parse_formula(formula)?;
+    let verdict = Checker::with_tolerances(model, Tolerances::fast()).check(&psi, m0)?;
+    Ok(format!(
+        "{} {} {} (fast tolerances)",
+        m0,
+        if verdict.holds() { "⊨" } else { "⊭" },
+        psi
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_file::ModelFile;
+
+    const SIS: &str = "\
+state s : healthy
+state i : infected
+param beta = 2
+param gamma = 1
+rate s -> i : beta * m[i]
+rate i -> s : gamma
+";
+
+    fn sis() -> (LocalModel, std::collections::BTreeMap<String, f64>) {
+        let file = ModelFile::parse(SIS).unwrap();
+        let params = file.params().clone();
+        (file.instantiate().unwrap(), params)
+    }
+
+    #[test]
+    fn parse_occupancy_roundtrip() {
+        let m = parse_occupancy("0.8, 0.15 ,0.05").unwrap();
+        assert_eq!(m.len(), 3);
+        assert!((m[1] - 0.15).abs() < 1e-12);
+        assert!(parse_occupancy("0.5,0.6").is_err());
+        assert!(parse_occupancy("a,b").is_err());
+    }
+
+    #[test]
+    fn info_lists_everything() {
+        let (model, params) = sis();
+        let text = info(&model, &params).unwrap();
+        assert!(text.contains("states (2):"));
+        assert!(text.contains("beta = 2"));
+        assert!(text.contains("healthy"));
+    }
+
+    #[test]
+    fn check_and_fast_agree() {
+        let (model, _) = sis();
+        let m0 = parse_occupancy("0.9,0.1").unwrap();
+        let a = check(&model, &m0, "E{<0.2}[ infected ]").unwrap();
+        let b = check_fast(&model, &m0, "E{<0.2}[ infected ]").unwrap();
+        assert!(a.contains('⊨'));
+        assert!(b.contains('⊨'));
+        let c = check(&model, &m0, "E{>0.2}[ infected ]").unwrap();
+        assert!(c.contains('⊭'));
+    }
+
+    #[test]
+    fn csat_reports_interval() {
+        let (model, _) = sis();
+        let m0 = parse_occupancy("0.9,0.1").unwrap();
+        let text = csat(&model, &m0, 10.0, "E{<0.3}[ infected ]").unwrap();
+        assert!(text.contains("cSat"));
+        assert!(text.contains("measure"));
+    }
+
+    #[test]
+    fn trajectory_emits_csv() {
+        let (model, _) = sis();
+        let m0 = parse_occupancy("0.9,0.1").unwrap();
+        let text = trajectory(&model, &m0, 5.0, 6).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "t,s,i");
+        assert_eq!(lines.len(), 7);
+        assert!(trajectory(&model, &m0, 5.0, 1).is_err());
+    }
+
+    #[test]
+    fn fixed_points_reports_both_sis_points() {
+        let (model, _) = sis();
+        let text = fixed_points(&model).unwrap();
+        assert!(text.contains("Stable"), "{text}");
+        assert!(text.lines().count() >= 2, "{text}");
+    }
+
+    #[test]
+    fn errors_are_messages() {
+        let (model, _) = sis();
+        let m0 = parse_occupancy("0.9,0.1").unwrap();
+        let err = check(&model, &m0, "E{>2}[ infected ]").unwrap_err();
+        assert!(err.to_string().contains("[0, 1]"));
+        let err = check(&model, &m0, "E{>0.5}[ ghost ]").unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+}

@@ -1,0 +1,540 @@
+//! The rate-expression language of model files.
+//!
+//! Rates in a `.mf` model file are arithmetic expressions over parameters
+//! and occupancy fractions:
+//!
+//! ```text
+//! k1 * m[s3] / max(m[s1], 1e-6)
+//! ```
+//!
+//! Grammar:
+//!
+//! ```text
+//! expr  := term (('+' | '-') term)*
+//! term  := unary (('*' | '/') unary)*
+//! unary := '-' unary | atom
+//! atom  := number | 'm' '[' ident ']' | ident '(' expr {',' expr} ')'
+//!        | ident | '(' expr ')'
+//! ```
+//!
+//! Built-in functions: `min`, `max`, `pow` (binary); `exp`, `ln`, `sqrt`,
+//! `abs` (unary). Parameters are resolved at compile time against the
+//! file's `param` definitions; `m[state]` references are resolved against
+//! the declared states.
+
+use std::collections::BTreeMap;
+
+use mfcsl_core::Occupancy;
+
+/// A parse/compile error with a byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExprError {
+    /// Byte offset in the expression text.
+    pub position: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExprError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// Parsed expression tree (names unresolved).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A numeric literal.
+    Number(f64),
+    /// A parameter reference.
+    Var(String),
+    /// An occupancy fraction `m[state]`.
+    Fraction(String),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Binary arithmetic.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A built-in function call.
+    Call {
+        /// Function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// A compiled expression: parameters folded to constants, state references
+/// resolved to indices — ready for allocation-free evaluation inside rate
+/// closures.
+///
+/// (No `PartialEq`: built-in functions are stored as function pointers,
+/// whose comparison is not meaningful.)
+#[derive(Debug, Clone)]
+pub enum CompiledExpr {
+    /// A constant.
+    Const(f64),
+    /// The occupancy fraction of a state index.
+    Fraction(usize),
+    /// Negation.
+    Neg(Box<CompiledExpr>),
+    /// Binary arithmetic.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<CompiledExpr>,
+        /// Right operand.
+        rhs: Box<CompiledExpr>,
+    },
+    /// Unary built-in.
+    Unary1(fn(f64) -> f64, Box<CompiledExpr>),
+    /// Binary built-in.
+    Unary2(fn(f64, f64) -> f64, Box<CompiledExpr>, Box<CompiledExpr>),
+}
+
+impl Expr {
+    /// Parses an expression from text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError`] with the failing byte position.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mfcsl_cli::expr::Expr;
+    ///
+    /// let e = Expr::parse("k1 * m[s3] / max(m[s1], 1e-6)")?;
+    /// assert!(matches!(e, Expr::Binary { .. }));
+    /// # Ok::<(), mfcsl_cli::expr::ExprError>(())
+    /// ```
+    pub fn parse(input: &str) -> Result<Self, ExprError> {
+        let mut p = ExprParser { input, pos: 0 };
+        let e = p.expr()?;
+        p.skip_ws();
+        if p.pos < input.len() {
+            return Err(p.error("unexpected trailing input"));
+        }
+        Ok(e)
+    }
+
+    /// Resolves parameters and state names, producing an evaluable form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExprError`] (position 0) for unknown names or wrong
+    /// function arity.
+    pub fn compile(
+        &self,
+        params: &BTreeMap<String, f64>,
+        state_index: &BTreeMap<String, usize>,
+    ) -> Result<CompiledExpr, ExprError> {
+        let fail = |message: String| ExprError {
+            position: 0,
+            message,
+        };
+        Ok(match self {
+            Expr::Number(v) => CompiledExpr::Const(*v),
+            Expr::Var(name) => CompiledExpr::Const(
+                *params
+                    .get(name)
+                    .ok_or_else(|| fail(format!("unknown parameter `{name}`")))?,
+            ),
+            Expr::Fraction(state) => CompiledExpr::Fraction(
+                *state_index
+                    .get(state)
+                    .ok_or_else(|| fail(format!("unknown state `{state}` in m[...]")))?,
+            ),
+            Expr::Neg(inner) => CompiledExpr::Neg(Box::new(inner.compile(params, state_index)?)),
+            Expr::Binary { op, lhs, rhs } => CompiledExpr::Binary {
+                op: *op,
+                lhs: Box::new(lhs.compile(params, state_index)?),
+                rhs: Box::new(rhs.compile(params, state_index)?),
+            },
+            Expr::Call { name, args } => {
+                let unary: Option<fn(f64) -> f64> = match name.as_str() {
+                    "exp" => Some(f64::exp),
+                    "ln" => Some(f64::ln),
+                    "sqrt" => Some(f64::sqrt),
+                    "abs" => Some(f64::abs),
+                    _ => None,
+                };
+                let binary: Option<fn(f64, f64) -> f64> = match name.as_str() {
+                    "min" => Some(f64::min),
+                    "max" => Some(f64::max),
+                    "pow" => Some(f64::powf),
+                    _ => None,
+                };
+                if let Some(f) = unary {
+                    if args.len() != 1 {
+                        return Err(fail(format!("`{name}` takes exactly 1 argument")));
+                    }
+                    CompiledExpr::Unary1(f, Box::new(args[0].compile(params, state_index)?))
+                } else if let Some(f) = binary {
+                    if args.len() != 2 {
+                        return Err(fail(format!("`{name}` takes exactly 2 arguments")));
+                    }
+                    CompiledExpr::Unary2(
+                        f,
+                        Box::new(args[0].compile(params, state_index)?),
+                        Box::new(args[1].compile(params, state_index)?),
+                    )
+                } else {
+                    return Err(fail(format!("unknown function `{name}`")));
+                }
+            }
+        })
+    }
+}
+
+impl CompiledExpr {
+    /// Evaluates the expression at an occupancy vector.
+    #[must_use]
+    pub fn eval(&self, m: &Occupancy) -> f64 {
+        match self {
+            CompiledExpr::Const(v) => *v,
+            CompiledExpr::Fraction(i) => m[*i],
+            CompiledExpr::Neg(inner) => -inner.eval(m),
+            CompiledExpr::Binary { op, lhs, rhs } => {
+                let a = lhs.eval(m);
+                let b = rhs.eval(m);
+                match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                }
+            }
+            CompiledExpr::Unary1(f, a) => f(a.eval(m)),
+            CompiledExpr::Unary2(f, a, b) => f(a.eval(m), b.eval(m)),
+        }
+    }
+
+    /// `true` if the expression references no occupancy fraction (it is a
+    /// constant rate).
+    #[must_use]
+    pub fn is_constant(&self) -> bool {
+        match self {
+            CompiledExpr::Const(_) => true,
+            CompiledExpr::Fraction(_) => false,
+            CompiledExpr::Neg(inner) => inner.is_constant(),
+            CompiledExpr::Binary { lhs, rhs, .. } => lhs.is_constant() && rhs.is_constant(),
+            CompiledExpr::Unary1(_, a) => a.is_constant(),
+            CompiledExpr::Unary2(_, a, b) => a.is_constant() && b.is_constant(),
+        }
+    }
+}
+
+struct ExprParser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl ExprParser<'_> {
+    fn error(&self, message: impl Into<String>) -> ExprError {
+        ExprError {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input.as_bytes()[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.as_bytes().get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), ExprError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = Expr::Binary {
+                        op: BinOp::Add,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    let rhs = self.term()?;
+                    lhs = Expr::Binary {
+                        op: BinOp::Sub,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.unary()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    let rhs = self.unary()?;
+                    lhs = Expr::Binary {
+                        op: BinOp::Mul,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    let rhs = self.unary()?;
+                    lhs = Expr::Binary {
+                        op: BinOp::Div,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ExprError> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+            return Ok(Expr::Neg(Box::new(self.unary()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Expr, ExprError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.eat(b'(')?;
+                let e = self.expr()?;
+                self.eat(b')')?;
+                Ok(e)
+            }
+            Some(c) if c.is_ascii_digit() || c == b'.' => self.number(),
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let name = self.ident()?;
+                if name == "m" && self.peek() == Some(b'[') {
+                    self.eat(b'[')?;
+                    let state = self.ident()?;
+                    self.eat(b']')?;
+                    return Ok(Expr::Fraction(state));
+                }
+                if self.peek() == Some(b'(') {
+                    self.eat(b'(')?;
+                    let mut args = vec![self.expr()?];
+                    while self.peek() == Some(b',') {
+                        self.pos += 1;
+                        args.push(self.expr()?);
+                    }
+                    self.eat(b')')?;
+                    return Ok(Expr::Call { name, args });
+                }
+                Ok(Expr::Var(name))
+            }
+            _ => Err(self.error("expected a number, name, m[...], or `(`")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ExprError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        if self.pos >= bytes.len()
+            || !(bytes[self.pos].is_ascii_alphabetic() || bytes[self.pos] == b'_')
+        {
+            return Err(self.error("expected an identifier"));
+        }
+        while self.pos < bytes.len()
+            && (bytes[self.pos].is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn number(&mut self) -> Result<Expr, ExprError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len()
+            && (bytes[self.pos].is_ascii_digit()
+                || bytes[self.pos] == b'.'
+                || bytes[self.pos] == b'e'
+                || bytes[self.pos] == b'E'
+                || ((bytes[self.pos] == b'+' || bytes[self.pos] == b'-')
+                    && self.pos > start
+                    && (bytes[self.pos - 1] == b'e' || bytes[self.pos - 1] == b'E')))
+        {
+            self.pos += 1;
+        }
+        self.input[start..self.pos]
+            .parse::<f64>()
+            .map(Expr::Number)
+            .map_err(|e| self.error(format!("bad number: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compile(text: &str) -> CompiledExpr {
+        let params: BTreeMap<String, f64> =
+            [("k1".to_string(), 0.9), ("k2".to_string(), 0.1)].into();
+        let states: BTreeMap<String, usize> = [
+            ("s1".to_string(), 0),
+            ("s2".to_string(), 1),
+            ("s3".to_string(), 2),
+        ]
+        .into();
+        Expr::parse(text)
+            .unwrap()
+            .compile(&params, &states)
+            .unwrap()
+    }
+
+    fn m() -> Occupancy {
+        Occupancy::new(vec![0.8, 0.15, 0.05]).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(compile("1 + 2 * 3").eval(&m()), 7.0);
+        assert_eq!(compile("(1 + 2) * 3").eval(&m()), 9.0);
+        assert_eq!(compile("-2 * 3").eval(&m()), -6.0);
+        assert_eq!(compile("10 / 4").eval(&m()), 2.5);
+        assert_eq!(compile("1 - 2 - 3").eval(&m()), -4.0);
+    }
+
+    #[test]
+    fn fractions_and_params() {
+        assert_eq!(compile("m[s1]").eval(&m()), 0.8);
+        assert_eq!(compile("k1").eval(&m()), 0.9);
+        let v = compile("k1 * m[s3] / max(m[s1], 1e-6)").eval(&m());
+        assert!((v - 0.9 * 0.05 / 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(compile("min(2, 3)").eval(&m()), 2.0);
+        assert_eq!(compile("max(2, 3)").eval(&m()), 3.0);
+        assert_eq!(compile("pow(2, 10)").eval(&m()), 1024.0);
+        assert!((compile("exp(1)").eval(&m()) - std::f64::consts::E).abs() < 1e-15);
+        assert!((compile("ln(exp(2))").eval(&m()) - 2.0).abs() < 1e-15);
+        assert_eq!(compile("sqrt(9)").eval(&m()), 3.0);
+        assert_eq!(compile("abs(-4)").eval(&m()), 4.0);
+    }
+
+    #[test]
+    fn constantness() {
+        assert!(compile("k1 * 2 + exp(1)").is_constant());
+        assert!(!compile("k1 * m[s2]").is_constant());
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(compile("1e-6").eval(&m()), 1e-6);
+        assert_eq!(compile("2.5E2").eval(&m()), 250.0);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Expr::parse("").is_err());
+        assert!(Expr::parse("1 +").is_err());
+        assert!(Expr::parse("m[").is_err());
+        assert!(Expr::parse("max(1,").is_err());
+        assert!(Expr::parse("1 2").is_err());
+        assert!(Expr::parse("foo(1) bar").is_err());
+    }
+
+    #[test]
+    fn compile_errors() {
+        let params = BTreeMap::new();
+        let states = BTreeMap::new();
+        assert!(Expr::parse("zz")
+            .unwrap()
+            .compile(&params, &states)
+            .is_err());
+        assert!(Expr::parse("m[zz]")
+            .unwrap()
+            .compile(&params, &states)
+            .is_err());
+        assert!(Expr::parse("frobnicate(1)")
+            .unwrap()
+            .compile(&params, &states)
+            .is_err());
+        assert!(Expr::parse("max(1)")
+            .unwrap()
+            .compile(&params, &states)
+            .is_err());
+        assert!(Expr::parse("exp(1, 2)")
+            .unwrap()
+            .compile(&params, &states)
+            .is_err());
+    }
+
+    #[test]
+    fn a_name_called_m_is_still_a_var_without_bracket() {
+        let params: BTreeMap<String, f64> = [("m".to_string(), 7.0)].into();
+        let states = BTreeMap::new();
+        let e = Expr::parse("m * 2")
+            .unwrap()
+            .compile(&params, &states)
+            .unwrap();
+        assert_eq!(e.eval(&Occupancy::new(vec![1.0]).unwrap()), 14.0);
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The expression parser never panics on arbitrary input.
+        #[test]
+        fn prop_parser_total(input in "\\PC{0,40}") {
+            let _ = Expr::parse(&input);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Library backing the `mfcsl` command-line model checker.
+//!
+//! * [`expr`] — the arithmetic rate-expression language of model files;
+//! * [`model_file`] — the `.mf` model format (states, params, rates);
+//! * [`commands`] — the implementations behind the CLI subcommands, kept
+//!   in the library so they are unit-testable.
+
+// `!(x > 0.0)`-style guards are used deliberately throughout: unlike
+// `x <= 0.0`, they classify NaN as invalid input instead of letting it
+// through, which is exactly the intent of the validation sites.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod expr;
+pub mod model_file;

@@ -1,0 +1,156 @@
+//! `mfcsl` — the command-line MF-CSL model checker.
+//!
+//! ```text
+//! mfcsl info <model.mf>
+//! mfcsl check <model.mf> --m0 0.8,0.15,0.05 "EP{<0.3}[ not_infected U[0,1] infected ]"
+//! mfcsl csat <model.mf> --m0 0.8,0.15,0.05 --theta 20 "<formula>"
+//! mfcsl trajectory <model.mf> --m0 0.8,0.15,0.05 --t-end 20 [--points 101]
+//! mfcsl fixed-points <model.mf>
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mfcsl_cli::commands::{self, CliError};
+use mfcsl_cli::model_file::ModelFile;
+
+const USAGE: &str = "\
+mfcsl — MF-CSL model checker for mean-field models
+
+USAGE:
+  mfcsl info <model.mf>
+  mfcsl check <model.mf> --m0 <fractions> [--fast] \"<mf-csl formula>\"
+  mfcsl csat <model.mf> --m0 <fractions> --theta <T> \"<mf-csl formula>\"
+  mfcsl trajectory <model.mf> --m0 <fractions> --t-end <T> [--points <N>]
+  mfcsl fixed-points <model.mf>
+
+  <fractions> is comma-separated and must sum to 1, e.g. 0.8,0.15,0.05.
+  Formulas use the MF-CSL text syntax, e.g.
+      EP{<0.3}[ not_infected U[0,1] infected ]
+      E{>0.8}[ P{>0.9}[ infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ] ] ]
+";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(output) => {
+            print!("{output}");
+            if !output.ends_with('\n') {
+                println!();
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<String, CliError> {
+    let mut args = args.into_iter();
+    let command = args.next().ok_or_else(|| CliError("no command".into()))?;
+    let model_path = args
+        .next()
+        .ok_or_else(|| CliError("missing model file".into()))?;
+    let file = ModelFile::load(&PathBuf::from(&model_path))?;
+    let model = file.instantiate()?;
+
+    // Collect remaining flags and the optional trailing formula.
+    let mut m0_text: Option<String> = None;
+    let mut theta: Option<f64> = None;
+    let mut t_end: Option<f64> = None;
+    let mut points: usize = 101;
+    let mut fast = false;
+    let mut formula: Option<String> = None;
+    let rest: Vec<String> = args.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let parse_value = |rest: &[String], i: usize, flag: &str| -> Result<String, CliError> {
+            rest.get(i + 1)
+                .cloned()
+                .ok_or_else(|| CliError(format!("{flag} needs a value")))
+        };
+        match rest[i].as_str() {
+            "--m0" => {
+                m0_text = Some(parse_value(&rest, i, "--m0")?);
+                i += 2;
+            }
+            "--theta" => {
+                theta = Some(
+                    parse_value(&rest, i, "--theta")?
+                        .parse()
+                        .map_err(|e| CliError(format!("bad --theta: {e}")))?,
+                );
+                i += 2;
+            }
+            "--t-end" => {
+                t_end = Some(
+                    parse_value(&rest, i, "--t-end")?
+                        .parse()
+                        .map_err(|e| CliError(format!("bad --t-end: {e}")))?,
+                );
+                i += 2;
+            }
+            "--points" => {
+                points = parse_value(&rest, i, "--points")?
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --points: {e}")))?;
+                i += 2;
+            }
+            "--fast" => {
+                fast = true;
+                i += 1;
+            }
+            other if other.starts_with("--") => {
+                return Err(CliError(format!("unknown flag `{other}`")));
+            }
+            _ => {
+                if formula.is_some() {
+                    return Err(CliError(format!("unexpected argument `{}`", rest[i])));
+                }
+                formula = Some(rest[i].clone());
+                i += 1;
+            }
+        }
+    }
+    let need_m0 = || -> Result<mfcsl_core::Occupancy, CliError> {
+        commands::parse_occupancy(
+            m0_text
+                .as_deref()
+                .ok_or_else(|| CliError("--m0 is required for this command".into()))?,
+        )
+    };
+    let need_formula = || -> Result<String, CliError> {
+        formula
+            .clone()
+            .ok_or_else(|| CliError("a formula argument is required".into()))
+    };
+
+    match command.as_str() {
+        "info" => commands::info(&model, file.params()),
+        "check" => {
+            let m0 = need_m0()?;
+            let f = need_formula()?;
+            if fast {
+                commands::check_fast(&model, &m0, &f)
+            } else {
+                commands::check(&model, &m0, &f)
+            }
+        }
+        "csat" => {
+            let m0 = need_m0()?;
+            let f = need_formula()?;
+            let theta = theta.ok_or_else(|| CliError("--theta is required for csat".into()))?;
+            commands::csat(&model, &m0, theta, &f)
+        }
+        "trajectory" => {
+            let m0 = need_m0()?;
+            let t_end =
+                t_end.ok_or_else(|| CliError("--t-end is required for trajectory".into()))?;
+            commands::trajectory(&model, &m0, t_end, points)
+        }
+        "fixed-points" => commands::fixed_points(&model),
+        other => Err(CliError(format!("unknown command `{other}`"))),
+    }
+}

@@ -1,0 +1,316 @@
+//! The `.mf` model-file format.
+//!
+//! A plain-text, line-oriented definition of a mean-field local model:
+//!
+//! ```text
+//! # the paper's virus model, Table II Setting 1
+//! state s1 : not_infected
+//! state s2 : infected inactive
+//! state s3 : infected active
+//!
+//! param k1 = 0.9
+//! param k2 = 0.1
+//! param k3 = 0.01
+//! param k4 = 0.3
+//! param k5 = 0.3
+//!
+//! rate s1 -> s2 : k1 * m[s3] / max(m[s1], 1e-6)
+//! rate s2 -> s1 : k2
+//! rate s2 -> s3 : k3
+//! rate s3 -> s2 : k4
+//! rate s3 -> s1 : k5
+//! ```
+//!
+//! `#` starts a comment; blank lines are ignored. Declaration order:
+//! states and params may interleave, but every state and parameter must be
+//! declared before the first `rate` line that uses it.
+
+use std::collections::BTreeMap;
+
+use mfcsl_core::{CoreError, LocalModel, Occupancy};
+
+use crate::expr::Expr;
+
+/// A parse error carrying the line number (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelFileError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ModelFileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ModelFileError {}
+
+/// A parsed model file, ready to instantiate.
+#[derive(Debug)]
+pub struct ModelFile {
+    states: Vec<(String, Vec<String>)>,
+    params: BTreeMap<String, f64>,
+    rates: Vec<(String, String, Expr)>,
+}
+
+impl ModelFile {
+    /// Parses model-file text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelFileError`] with the offending line.
+    pub fn parse(text: &str) -> Result<Self, ModelFileError> {
+        let mut states: Vec<(String, Vec<String>)> = Vec::new();
+        let mut params = BTreeMap::new();
+        let mut rates = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let fail = |message: String| ModelFileError {
+                line: line_no,
+                message,
+            };
+            let line = match raw.find('#') {
+                Some(p) => &raw[..p],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (keyword, rest) = line.split_once(char::is_whitespace).ok_or_else(|| {
+                fail(format!("expected `state`, `param` or `rate`, got `{line}`"))
+            })?;
+            match keyword {
+                "state" => {
+                    // state <name> [: label label ...]
+                    let (name, labels) = match rest.split_once(':') {
+                        Some((name, labels)) => (
+                            name.trim().to_string(),
+                            labels.split_whitespace().map(str::to_string).collect(),
+                        ),
+                        None => (rest.trim().to_string(), Vec::new()),
+                    };
+                    if name.is_empty() || !is_ident(&name) {
+                        return Err(fail(format!("invalid state name `{name}`")));
+                    }
+                    if states.iter().any(|(n, _)| *n == name) {
+                        return Err(fail(format!("duplicate state `{name}`")));
+                    }
+                    states.push((name, labels));
+                }
+                "param" => {
+                    // param <name> = <number-or-const-expr>
+                    let (name, value_text) = rest
+                        .split_once('=')
+                        .ok_or_else(|| fail("expected `param <name> = <value>`".into()))?;
+                    let name = name.trim().to_string();
+                    if !is_ident(&name) {
+                        return Err(fail(format!("invalid parameter name `{name}`")));
+                    }
+                    if params.contains_key(&name) {
+                        return Err(fail(format!("duplicate parameter `{name}`")));
+                    }
+                    // Allow constant expressions over earlier params.
+                    let expr = Expr::parse(value_text.trim())
+                        .map_err(|e| fail(format!("bad value: {e}")))?;
+                    let compiled = expr
+                        .compile(&params, &BTreeMap::new())
+                        .map_err(|e| fail(format!("bad value: {e}")))?;
+                    // Constant by construction (no states are in scope).
+                    let probe = Occupancy::new(vec![1.0]).expect("valid");
+                    params.insert(name, compiled.eval(&probe));
+                }
+                "rate" => {
+                    // rate <from> -> <to> : <expr>
+                    let (arrow_part, expr_text) = rest
+                        .split_once(':')
+                        .ok_or_else(|| fail("expected `rate <a> -> <b> : <expr>`".into()))?;
+                    let (from, to) = arrow_part
+                        .split_once("->")
+                        .ok_or_else(|| fail("expected `<from> -> <to>`".into()))?;
+                    let expr = Expr::parse(expr_text.trim())
+                        .map_err(|e| fail(format!("bad rate expression: {e}")))?;
+                    rates.push((from.trim().to_string(), to.trim().to_string(), expr));
+                }
+                other => {
+                    return Err(fail(format!(
+                        "unknown keyword `{other}` (expected `state`, `param` or `rate`)"
+                    )))
+                }
+            }
+        }
+        if states.is_empty() {
+            return Err(ModelFileError {
+                line: text.lines().count().max(1),
+                message: "model declares no states".into(),
+            });
+        }
+        Ok(ModelFile {
+            states,
+            params,
+            rates,
+        })
+    }
+
+    /// Reads and parses a model file from disk.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors are mapped to a line-0 [`ModelFileError`].
+    pub fn load(path: &std::path::Path) -> Result<Self, ModelFileError> {
+        let text = std::fs::read_to_string(path).map_err(|e| ModelFileError {
+            line: 0,
+            message: format!("cannot read {}: {e}", path.display()),
+        })?;
+        ModelFile::parse(&text)
+    }
+
+    /// State names in declaration order.
+    #[must_use]
+    pub fn state_names(&self) -> Vec<String> {
+        self.states.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// The parameter table.
+    #[must_use]
+    pub fn params(&self) -> &BTreeMap<String, f64> {
+        &self.params
+    }
+
+    /// Instantiates the [`LocalModel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] for unresolved names or invalid model
+    /// structure (unknown states in rates, self-loops, …).
+    pub fn instantiate(&self) -> Result<LocalModel, CoreError> {
+        let state_index: BTreeMap<String, usize> = self
+            .states
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.clone(), i))
+            .collect();
+        let mut builder = LocalModel::builder();
+        for (name, labels) in &self.states {
+            builder = builder.state(name.clone(), labels.iter().cloned());
+        }
+        for (from, to, expr) in &self.rates {
+            let compiled = expr
+                .compile(&self.params, &state_index)
+                .map_err(|e| CoreError::InvalidModel(format!("rate {from} -> {to}: {e}")))?;
+            builder = builder.transition(from.clone(), to.clone(), move |m: &Occupancy| {
+                compiled.eval(m)
+            })?;
+        }
+        builder.build()
+    }
+}
+
+fn is_ident(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VIRUS: &str = "\
+# the paper's virus model
+state s1 : not_infected
+state s2 : infected inactive
+state s3 : infected active
+
+param k1 = 0.9
+param k2 = 0.1
+param k3 = 0.01
+param k4 = 0.3
+param k5 = 0.3
+
+rate s1 -> s2 : k1 * m[s3] / max(m[s1], 1e-6)
+rate s2 -> s1 : k2
+rate s2 -> s3 : k3
+rate s3 -> s2 : k4
+rate s3 -> s1 : k5
+";
+
+    #[test]
+    fn parses_and_instantiates_the_virus_model() {
+        let file = ModelFile::parse(VIRUS).unwrap();
+        assert_eq!(file.state_names(), vec!["s1", "s2", "s3"]);
+        assert_eq!(file.params().len(), 5);
+        let model = file.instantiate().unwrap();
+        assert_eq!(model.n_states(), 3);
+        let m = Occupancy::new(vec![0.8, 0.15, 0.05]).unwrap();
+        let q = model.generator_at(&m).unwrap();
+        assert!((q[(0, 1)] - 0.9 * 0.05 / 0.8).abs() < 1e-12);
+        assert_eq!(q[(1, 0)], 0.1);
+        assert!(model.labeling().has(2, "active"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let file = ModelFile::parse(
+            "state a : x # trailing comment\n\n# full comment\nstate b : y\nrate a -> b : 1\n",
+        )
+        .unwrap();
+        assert_eq!(file.state_names().len(), 2);
+        file.instantiate().unwrap();
+    }
+
+    #[test]
+    fn params_can_reference_earlier_params() {
+        let file = ModelFile::parse(
+            "state a : x\nstate b : y\nparam base = 2\nparam double = base * 2\nrate a -> b : double\n",
+        )
+        .unwrap();
+        assert_eq!(file.params()["double"], 4.0);
+    }
+
+    #[test]
+    fn states_without_labels() {
+        let file = ModelFile::parse("state a\nstate b\nrate a -> b : 1\n").unwrap();
+        let model = file.instantiate().unwrap();
+        assert!(model.labeling().alphabet().is_empty());
+    }
+
+    #[test]
+    fn error_lines_are_reported() {
+        let err = ModelFile::parse("state a\nbogus line here\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = ModelFile::parse("state a\nstate a\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = ModelFile::parse("state a\nparam x 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = ModelFile::parse("state a\nrate a : 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = ModelFile::parse("state a\nrate a -> b : 1 +\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(ModelFile::parse("param x = 1\n").is_err());
+        let err = ModelFile::parse("state 1abc\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn instantiation_errors_surface() {
+        // Unknown state in a rate.
+        let file = ModelFile::parse("state a\nrate a -> ghost : 1\n").unwrap();
+        assert!(file.instantiate().is_err());
+        // Unknown parameter in a rate expression.
+        let file = ModelFile::parse("state a\nstate b\nrate a -> b : kk\n").unwrap();
+        assert!(file.instantiate().is_err());
+        // Self-loop.
+        let file = ModelFile::parse("state a\nrate a -> a : 1\n").unwrap();
+        assert!(file.instantiate().is_err());
+    }
+
+    #[test]
+    fn duplicate_param_rejected() {
+        let err = ModelFile::parse("state a\nparam k = 1\nparam k = 2\n").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+}

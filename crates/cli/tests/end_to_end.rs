@@ -1,0 +1,141 @@
+//! End-to-end tests of the `mfcsl` binary: real process invocations over
+//! the shipped model files, covering argument parsing and every
+//! subcommand.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mfcsl"))
+}
+
+fn modelfile(name: &str) -> String {
+    // The workspace root is two levels above this crate.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../modelfiles")
+        .join(name);
+    path.to_str().expect("utf-8 path").to_string()
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "command {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+fn run_err(args: &[&str]) -> String {
+    let out = bin().args(args).output().expect("binary runs");
+    assert!(
+        !out.status.success(),
+        "command {args:?} unexpectedly succeeded"
+    );
+    String::from_utf8(out.stderr).expect("utf-8 stderr")
+}
+
+#[test]
+fn check_the_papers_example() {
+    let out = run_ok(&[
+        "check",
+        &modelfile("virus.mf"),
+        "--m0",
+        "0.8,0.15,0.05",
+        "EP{<0.3}[ not_infected U[0,1] infected ]",
+    ]);
+    assert!(out.contains('⊨'), "{out}");
+}
+
+#[test]
+fn check_fast_flag() {
+    let out = run_ok(&[
+        "check",
+        &modelfile("sis.mf"),
+        "--m0",
+        "0.9,0.1",
+        "--fast",
+        "E{<0.2}[ infected ]",
+    ]);
+    assert!(out.contains("fast tolerances"), "{out}");
+}
+
+#[test]
+fn csat_reports_the_logistic_crossing() {
+    let out = run_ok(&[
+        "csat",
+        &modelfile("sis.mf"),
+        "--m0",
+        "0.9,0.1",
+        "--theta",
+        "12",
+        "E{<0.3}[ infected ]",
+    ]);
+    // ln 6 ≈ 1.7917 appears as the window end.
+    assert!(out.contains("1.7917"), "{out}");
+}
+
+#[test]
+fn trajectory_emits_csv() {
+    let out = run_ok(&[
+        "trajectory",
+        &modelfile("sis.mf"),
+        "--m0",
+        "0.9,0.1",
+        "--t-end",
+        "5",
+        "--points",
+        "6",
+    ]);
+    let lines: Vec<&str> = out.trim().lines().collect();
+    assert_eq!(lines[0], "t,s,i");
+    assert_eq!(lines.len(), 7);
+}
+
+#[test]
+fn info_and_fixed_points() {
+    let out = run_ok(&["info", &modelfile("botnet.mf")]);
+    assert!(out.contains("states (3):"), "{out}");
+    assert!(out.contains("infect = 4"), "{out}");
+    let out = run_ok(&["fixed-points", &modelfile("botnet.mf")]);
+    assert!(out.contains("Stable"), "{out}");
+}
+
+#[test]
+fn error_paths() {
+    // Unknown command.
+    let err = run_err(&["frobnicate", &modelfile("sis.mf")]);
+    assert!(err.contains("unknown command"), "{err}");
+    // Missing model file.
+    let err = run_err(&["info", "does/not/exist.mf"]);
+    assert!(err.contains("cannot read"), "{err}");
+    // Missing required flag.
+    let err = run_err(&["check", &modelfile("sis.mf"), "E{<0.5}[ infected ]"]);
+    assert!(err.contains("--m0 is required"), "{err}");
+    // Bad occupancy.
+    let err = run_err(&[
+        "check",
+        &modelfile("sis.mf"),
+        "--m0",
+        "0.5,0.6",
+        "E{<0.5}[ infected ]",
+    ]);
+    assert!(err.contains("bad occupancy"), "{err}");
+    // Bad formula.
+    let err = run_err(&["check", &modelfile("sis.mf"), "--m0", "0.9,0.1", "E{<0.5}["]);
+    assert!(err.contains("error"), "{err}");
+    // Unknown flag.
+    let err = run_err(&[
+        "check",
+        &modelfile("sis.mf"),
+        "--m0",
+        "0.9,0.1",
+        "--bogus",
+        "E{<0.5}[ infected ]",
+    ]);
+    assert!(err.contains("unknown flag"), "{err}");
+    // No arguments at all prints usage.
+    let err = run_err(&[]);
+    assert!(err.contains("USAGE"), "{err}");
+}

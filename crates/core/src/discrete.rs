@@ -1,0 +1,665 @@
+//! Discrete-time mean-field models.
+//!
+//! Sec. II-B of the paper notes that "all the results in the present paper
+//! can easily be adapted to discrete-time mean-field models", whose local
+//! model is a DTMC with occupancy-dependent transition probabilities
+//! (Bakhshi et al., the paper's reference [4]). This module carries out
+//! that adaptation:
+//!
+//! * [`DiscreteLocalModel`] — `K` labeled states and transition
+//!   *probability* functions `p(s, s')(m̄)`; missing row mass is an
+//!   implicit self-loop (self-loops are meaningful in discrete time);
+//! * the occupancy recurrence `m̄_{k+1} = m̄_k · P(m̄_k)` replacing Eq. 1;
+//! * step-bounded until on the induced time-inhomogeneous DTMC via the
+//!   same two-phase modified-chain product as the continuous Eq. 4;
+//! * the discrete expectation operators `E` / `EP` and the conditional
+//!   satisfaction *step set* replacing Eq. 20.
+
+use mfcsl_ctmc::Labeling;
+use mfcsl_math::Matrix;
+
+use crate::{CoreError, Occupancy};
+
+/// Row-sum tolerance for probability validation.
+const PROB_TOL: f64 = 1e-9;
+
+type ProbFn = std::sync::Arc<dyn Fn(&Occupancy) -> f64 + Send + Sync>;
+
+struct DiscreteTransition {
+    from: usize,
+    to: usize,
+    prob: ProbFn,
+}
+
+/// A discrete-time local model: the DTMC analogue of
+/// [`crate::LocalModel`].
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_core::discrete::DiscreteLocalModel;
+/// use mfcsl_core::Occupancy;
+///
+/// # fn main() -> Result<(), mfcsl_core::CoreError> {
+/// // Discrete SIS: each step, a healthy node is infected with probability
+/// // 0.5·m_i and an infected one recovers with probability 0.3.
+/// let model = DiscreteLocalModel::builder()
+///     .state("s", ["healthy"])
+///     .state("i", ["infected"])
+///     .transition("s", "i", |m: &Occupancy| 0.5 * m[1])?
+///     .constant_transition("i", "s", 0.3)?
+///     .build()?;
+/// let m0 = Occupancy::new(vec![0.9, 0.1])?;
+/// let traj = model.iterate(&m0, 120)?;
+/// // Discrete endemic fixed point: 0.5·(1-i)·i = 0.3·i ⇒ i = 0.4.
+/// assert!((traj.occupancy_at(120)[1] - 0.4).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub struct DiscreteLocalModel {
+    names: Vec<String>,
+    labeling: Labeling,
+    transitions: Vec<DiscreteTransition>,
+}
+
+impl DiscreteLocalModel {
+    /// Starts an empty builder.
+    #[must_use]
+    pub fn builder() -> DiscreteLocalModelBuilder {
+        DiscreteLocalModelBuilder::default()
+    }
+
+    /// Number of local states.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.names.len()
+    }
+
+    /// State names.
+    #[must_use]
+    pub fn state_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The labeling function.
+    #[must_use]
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// Looks up a state index by name.
+    #[must_use]
+    pub fn state_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Evaluates the transition matrix `P(m̄)`; the diagonal absorbs the
+    /// remaining row mass (implicit self-loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidRate`] if a probability function
+    /// returns a non-finite or negative value, or a row's explicit mass
+    /// exceeds 1, and [`CoreError::InvalidArgument`] on a dimension
+    /// mismatch.
+    pub fn kernel_at(&self, m: &Occupancy) -> Result<Matrix, CoreError> {
+        let n = self.n_states();
+        if m.len() != n {
+            return Err(CoreError::InvalidArgument(format!(
+                "occupancy has {} entries, model has {n} states",
+                m.len()
+            )));
+        }
+        let mut p = Matrix::zeros(n, n);
+        for tr in &self.transitions {
+            let value = (tr.prob)(m);
+            if !value.is_finite() || value < -PROB_TOL {
+                return Err(CoreError::InvalidRate {
+                    from: self.names[tr.from].clone(),
+                    to: self.names[tr.to].clone(),
+                    value,
+                });
+            }
+            p[(tr.from, tr.to)] += value.max(0.0);
+        }
+        for i in 0..n {
+            let off: f64 = (0..n).filter(|&j| j != i).map(|j| p[(i, j)]).sum();
+            if off > 1.0 + PROB_TOL {
+                return Err(CoreError::InvalidRate {
+                    from: self.names[i].clone(),
+                    to: "<row>".into(),
+                    value: off,
+                });
+            }
+            p[(i, i)] = 1.0 - off.min(1.0);
+        }
+        Ok(p)
+    }
+
+    /// Iterates the occupancy recurrence `m̄_{k+1} = m̄_k·P(m̄_k)` for
+    /// `steps` steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel-evaluation errors.
+    pub fn iterate(&self, m0: &Occupancy, steps: usize) -> Result<DiscreteTrajectory, CoreError> {
+        let mut occupancies = Vec::with_capacity(steps + 1);
+        occupancies.push(m0.clone());
+        let mut current = m0.clone();
+        for _ in 0..steps {
+            let p = self.kernel_at(&current)?;
+            let next = p
+                .vec_mul(current.as_slice())
+                .map_err(|e| CoreError::InvalidArgument(e.to_string()))?;
+            current = Occupancy::project(next)?;
+            occupancies.push(current.clone());
+        }
+        Ok(DiscreteTrajectory { occupancies })
+    }
+
+    /// Step-bounded until on the induced time-inhomogeneous DTMC:
+    /// `Prob(s, Φ₁ U^[a,b] Φ₂)` evaluated at step `k0` of a trajectory,
+    /// by the discrete analogue of Eq. 4 (two modified-chain products).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for `a > b`, satisfaction
+    /// vectors of the wrong length, or a trajectory shorter than
+    /// `k0 + b`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn until_probabilities(
+        &self,
+        traj: &DiscreteTrajectory,
+        k0: usize,
+        sat1: &[bool],
+        sat2: &[bool],
+        a: usize,
+        b: usize,
+    ) -> Result<Vec<f64>, CoreError> {
+        let n = self.n_states();
+        if sat1.len() != n || sat2.len() != n {
+            return Err(CoreError::InvalidArgument(format!(
+                "satisfaction vectors have lengths {}/{}, model has {n} states",
+                sat1.len(),
+                sat2.len()
+            )));
+        }
+        if a > b {
+            return Err(CoreError::InvalidArgument(format!(
+                "step interval [{a}, {b}] is reversed"
+            )));
+        }
+        if k0 + b > traj.len_steps() {
+            return Err(CoreError::InvalidArgument(format!(
+                "trajectory has {} steps, until needs {}",
+                traj.len_steps(),
+                k0 + b
+            )));
+        }
+        // Phase A on M[¬Φ₁] over steps [k0, k0+a).
+        let mut pi_a = Matrix::identity(n);
+        for k in k0..k0 + a {
+            let p = self.masked_kernel(traj.occupancy_at(k), |s| !sat1[s])?;
+            pi_a = pi_a
+                .matmul(&p)
+                .map_err(|e| CoreError::InvalidArgument(e.to_string()))?;
+        }
+        // Phase B on M[¬Φ₁ ∨ Φ₂] over steps [k0+a, k0+b).
+        let mut pi_b = Matrix::identity(n);
+        for k in k0 + a..k0 + b {
+            let p = self.masked_kernel(traj.occupancy_at(k), |s| !sat1[s] || sat2[s])?;
+            pi_b = pi_b
+                .matmul(&p)
+                .map_err(|e| CoreError::InvalidArgument(e.to_string()))?;
+        }
+        let goal_from =
+            |s1: usize| -> f64 { (0..n).filter(|&s2| sat2[s2]).map(|s2| pi_b[(s1, s2)]).sum() };
+        Ok((0..n)
+            .map(|s| {
+                if a == 0 {
+                    goal_from(s)
+                } else {
+                    (0..n)
+                        .filter(|&s1| sat1[s1])
+                        .map(|s1| pi_a[(s, s1)] * goal_from(s1))
+                        .sum()
+                }
+            })
+            .collect())
+    }
+
+    /// The expected path probability `Σ_j m_j(k0)·Prob(s_j, φ)` — the
+    /// discrete `EP` operator.
+    ///
+    /// # Errors
+    ///
+    /// See [`DiscreteLocalModel::until_probabilities`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn expected_until(
+        &self,
+        traj: &DiscreteTrajectory,
+        k0: usize,
+        sat1: &[bool],
+        sat2: &[bool],
+        a: usize,
+        b: usize,
+    ) -> Result<f64, CoreError> {
+        let probs = self.until_probabilities(traj, k0, sat1, sat2, a, b)?;
+        let m = traj.occupancy_at(k0);
+        Ok(m.as_slice()
+            .iter()
+            .zip(&probs)
+            .map(|(&mj, &pj)| mj * pj)
+            .sum())
+    }
+
+    /// The conditional satisfaction *step set* of a discrete `EP` bound:
+    /// the steps `k ∈ [0, θ]` at which `Σ m_j(k)·Prob(s_j, φ, k) ⋈ p`
+    /// (the discrete analogue of Eq. 20).
+    ///
+    /// # Errors
+    ///
+    /// See [`DiscreteLocalModel::until_probabilities`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn csat_expected_until(
+        &self,
+        traj: &DiscreteTrajectory,
+        theta: usize,
+        sat1: &[bool],
+        sat2: &[bool],
+        a: usize,
+        b: usize,
+        cmp: mfcsl_csl::Comparison,
+        bound: f64,
+    ) -> Result<Vec<usize>, CoreError> {
+        let mut out = Vec::new();
+        for k in 0..=theta {
+            let value = self.expected_until(traj, k, sat1, sat2, a, b)?;
+            if cmp.holds(value, bound) {
+                out.push(k);
+            }
+        }
+        Ok(out)
+    }
+
+    /// States carrying an atomic proposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for propositions not in the
+    /// alphabet.
+    pub fn sat_ap(&self, ap: &str) -> Result<Vec<bool>, CoreError> {
+        if !self.labeling.alphabet().contains(ap) {
+            return Err(CoreError::InvalidArgument(format!(
+                "atomic proposition `{ap}` does not occur in the model"
+            )));
+        }
+        Ok((0..self.n_states())
+            .map(|s| self.labeling.has(s, ap))
+            .collect())
+    }
+
+    /// Kernel with masked (absorbing) states: masked rows become identity.
+    fn masked_kernel<F: Fn(usize) -> bool>(
+        &self,
+        m: &Occupancy,
+        absorb: F,
+    ) -> Result<Matrix, CoreError> {
+        let n = self.n_states();
+        let mut p = self.kernel_at(m)?;
+        for s in 0..n {
+            if absorb(s) {
+                for j in 0..n {
+                    p[(s, j)] = if s == j { 1.0 } else { 0.0 };
+                }
+            }
+        }
+        Ok(p)
+    }
+}
+
+impl std::fmt::Debug for DiscreteLocalModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiscreteLocalModel")
+            .field("names", &self.names)
+            .field("n_transitions", &self.transitions.len())
+            .finish()
+    }
+}
+
+/// The discrete occupancy trajectory `m̄_0, m̄_1, …`.
+#[derive(Debug, Clone)]
+pub struct DiscreteTrajectory {
+    occupancies: Vec<Occupancy>,
+}
+
+impl DiscreteTrajectory {
+    /// Number of iterated steps (`occupancies.len() - 1`).
+    #[must_use]
+    pub fn len_steps(&self) -> usize {
+        self.occupancies.len() - 1
+    }
+
+    /// The occupancy at step `k` (clamped to the last computed step).
+    #[must_use]
+    pub fn occupancy_at(&self, k: usize) -> &Occupancy {
+        let idx = k.min(self.occupancies.len() - 1);
+        &self.occupancies[idx]
+    }
+}
+
+/// Builder for [`DiscreteLocalModel`].
+#[derive(Default)]
+pub struct DiscreteLocalModelBuilder {
+    names: Vec<String>,
+    labels: Vec<Vec<String>>,
+    transitions: Vec<(String, String, ProbFn)>,
+}
+
+impl DiscreteLocalModelBuilder {
+    /// Adds a state with atomic-proposition labels.
+    #[must_use]
+    pub fn state<I, L>(mut self, name: impl Into<String>, labels: I) -> Self
+    where
+        I: IntoIterator<Item = L>,
+        L: Into<String>,
+    {
+        self.names.push(name.into());
+        self.labels
+            .push(labels.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Adds a transition whose probability depends on the occupancy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] for an explicit self-loop
+    /// (self-loop mass is implicit: whatever the row does not spend).
+    pub fn transition<F>(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        prob: F,
+    ) -> Result<Self, CoreError>
+    where
+        F: Fn(&Occupancy) -> f64 + Send + Sync + 'static,
+    {
+        let from = from.into();
+        let to = to.into();
+        if from == to {
+            return Err(CoreError::InvalidModel(format!(
+                "explicit self-loop on `{from}`: self-loop mass is implicit"
+            )));
+        }
+        self.transitions.push((from, to, std::sync::Arc::new(prob)));
+        Ok(self)
+    }
+
+    /// Adds a transition with a constant probability.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] for a probability outside
+    /// `[0, 1]` or a self-loop.
+    pub fn constant_transition(
+        self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        prob: f64,
+    ) -> Result<Self, CoreError> {
+        if !(0.0..=1.0).contains(&prob) {
+            return Err(CoreError::InvalidModel(format!(
+                "constant probability must be in [0, 1], got {prob}"
+            )));
+        }
+        self.transition(from, to, move |_| prob)
+    }
+
+    /// Finalizes the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] for an empty model or duplicate
+    /// names, and [`CoreError::UnknownState`] for undeclared states.
+    pub fn build(self) -> Result<DiscreteLocalModel, CoreError> {
+        if self.names.is_empty() {
+            return Err(CoreError::InvalidModel(
+                "model must have at least one state".into(),
+            ));
+        }
+        for (i, name) in self.names.iter().enumerate() {
+            if self.names[i + 1..].contains(name) {
+                return Err(CoreError::InvalidModel(format!(
+                    "duplicate state name `{name}`"
+                )));
+            }
+        }
+        let index = |name: &str| -> Result<usize, CoreError> {
+            self.names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| CoreError::UnknownState(name.to_string()))
+        };
+        let mut transitions = Vec::with_capacity(self.transitions.len());
+        for (from, to, prob) in self.transitions {
+            transitions.push(DiscreteTransition {
+                from: index(&from)?,
+                to: index(&to)?,
+                prob,
+            });
+        }
+        let mut labeling = Labeling::new(self.names.len());
+        for (s, labels) in self.labels.iter().enumerate() {
+            for l in labels {
+                labeling.add(s, l.clone());
+            }
+        }
+        Ok(DiscreteLocalModel {
+            names: self.names,
+            labeling,
+            transitions,
+        })
+    }
+}
+
+impl std::fmt::Debug for DiscreteLocalModelBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiscreteLocalModelBuilder")
+            .field("names", &self.names)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcsl_csl::Comparison;
+
+    fn dsis() -> DiscreteLocalModel {
+        DiscreteLocalModel::builder()
+            .state("s", ["healthy"])
+            .state("i", ["infected"])
+            .transition("s", "i", |m: &Occupancy| 0.5 * m[1])
+            .unwrap()
+            .constant_transition("i", "s", 0.3)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn kernel_rows_are_stochastic() {
+        let model = dsis();
+        let m = Occupancy::new(vec![0.6, 0.4]).unwrap();
+        let p = model.kernel_at(&m).unwrap();
+        assert!((p[(0, 1)] - 0.2).abs() < 1e-15);
+        assert!((p[(0, 0)] - 0.8).abs() < 1e-15);
+        for i in 0..2 {
+            assert!((p.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn recurrence_reaches_discrete_endemic_point() {
+        let model = dsis();
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let traj = model.iterate(&m0, 200).unwrap();
+        // Fixed point: 0.5(1-i)i = 0.3i ⇒ i = 1 - 0.6 = 0.4.
+        assert!((traj.occupancy_at(200)[1] - 0.4).abs() < 1e-9);
+        assert_eq!(traj.len_steps(), 200);
+        // Clamped access.
+        assert_eq!(traj.occupancy_at(999)[1], traj.occupancy_at(200)[1]);
+    }
+
+    #[test]
+    fn until_single_step_hand_computed() {
+        let model = dsis();
+        let m0 = Occupancy::new(vec![0.8, 0.2]).unwrap();
+        let traj = model.iterate(&m0, 5).unwrap();
+        let sat1 = model.sat_ap("healthy").unwrap();
+        let sat2 = model.sat_ap("infected").unwrap();
+        // One step from s: infection probability 0.5·m_i(0) = 0.1.
+        let p = model
+            .until_probabilities(&traj, 0, &sat1, &sat2, 0, 1)
+            .unwrap();
+        assert!((p[0] - 0.1).abs() < 1e-12);
+        // Already infected: immediate witness.
+        assert_eq!(p[1], 1.0);
+    }
+
+    #[test]
+    fn until_two_steps_uses_time_varying_kernel() {
+        let model = dsis();
+        let m0 = Occupancy::new(vec![0.8, 0.2]).unwrap();
+        let traj = model.iterate(&m0, 5).unwrap();
+        let sat1 = model.sat_ap("healthy").unwrap();
+        let sat2 = model.sat_ap("infected").unwrap();
+        let p = model
+            .until_probabilities(&traj, 0, &sat1, &sat2, 0, 2)
+            .unwrap();
+        // Survive step 1 (prob 0.9) then get infected with 0.5·m_i(1);
+        // m_i(1) = 0.8·0.1... wait: m_i(1) = m_i(0)·0.7 + m_s(0)·0.1 = 0.22.
+        let p_inf_step2 = 0.5 * traj.occupancy_at(1)[1];
+        let expected = 0.1 + 0.9 * p_inf_step2;
+        assert!((p[0] - expected).abs() < 1e-12, "{} vs {expected}", p[0]);
+    }
+
+    #[test]
+    fn until_with_lower_bound() {
+        let model = dsis();
+        let m0 = Occupancy::new(vec![0.8, 0.2]).unwrap();
+        let traj = model.iterate(&m0, 5).unwrap();
+        let sat1 = model.sat_ap("healthy").unwrap();
+        let sat2 = model.sat_ap("infected").unwrap();
+        // [1, 2]: must still be healthy after step 1, then jump in step 2.
+        let p = model
+            .until_probabilities(&traj, 0, &sat1, &sat2, 1, 2)
+            .unwrap();
+        let expected = 0.9 * 0.5 * traj.occupancy_at(1)[1];
+        assert!((p[0] - expected).abs() < 1e-12);
+        // From the infected state the prefix condition already fails at
+        // step 0 (the starting state is not healthy), so the probability
+        // is exactly zero — the witness must be preceded by Φ₁ *from the
+        // start*.
+        assert_eq!(p[1], 0.0);
+    }
+
+    #[test]
+    fn expected_until_and_csat() {
+        let model = dsis();
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let traj = model.iterate(&m0, 60).unwrap();
+        let sat1 = model.sat_ap("healthy").unwrap();
+        let sat2 = model.sat_ap("infected").unwrap();
+        // The infected fraction grows toward 0.4, so the expected until
+        // value grows; a `<` bound yields a prefix of steps.
+        let steps = model
+            .csat_expected_until(&traj, 40, &sat1, &sat2, 0, 3, Comparison::Lt, 0.4)
+            .unwrap();
+        assert!(!steps.is_empty());
+        assert_eq!(steps[0], 0);
+        // Must be a contiguous prefix for a monotone curve.
+        for (i, &k) in steps.iter().enumerate() {
+            assert_eq!(i, k);
+        }
+        assert!(steps.len() < 41, "the bound is crossed inside the window");
+    }
+
+    #[test]
+    fn validation() {
+        let model = dsis();
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let traj = model.iterate(&m0, 3).unwrap();
+        let s = [true, false];
+        assert!(model
+            .until_probabilities(&traj, 0, &s, &[true], 0, 1)
+            .is_err());
+        assert!(model.until_probabilities(&traj, 0, &s, &s, 2, 1).is_err());
+        assert!(model.until_probabilities(&traj, 0, &s, &s, 0, 9).is_err());
+        assert!(model.sat_ap("ghost").is_err());
+        // Kernel validation: row mass above one.
+        let bad = DiscreteLocalModel::builder()
+            .state("a", ["a"])
+            .state("b", ["b"])
+            .constant_transition("a", "b", 0.9)
+            .unwrap()
+            .transition("a", "b", |_| 0.9)
+            .unwrap()
+            .build()
+            .unwrap();
+        let m = Occupancy::new(vec![0.5, 0.5]).unwrap();
+        assert!(matches!(
+            bad.kernel_at(&m),
+            Err(CoreError::InvalidRate { .. })
+        ));
+        // Builder validation.
+        assert!(DiscreteLocalModel::builder().build().is_err());
+        assert!(DiscreteLocalModel::builder()
+            .state("a", ["x"])
+            .transition("a", "a", |_| 0.1)
+            .is_err());
+        assert!(DiscreteLocalModel::builder()
+            .state("a", ["x"])
+            .constant_transition("a", "b", 1.5)
+            .is_err());
+    }
+
+    #[test]
+    fn continuous_and_discrete_small_step_agreement() {
+        // Euler-discretized continuous SIS with step h approximates the
+        // CTMC mean field: p = h·rate.
+        let h = 0.01;
+        let discrete = DiscreteLocalModel::builder()
+            .state("s", ["healthy"])
+            .state("i", ["infected"])
+            .transition("s", "i", move |m: &Occupancy| h * 2.0 * m[1])
+            .unwrap()
+            .constant_transition("i", "s", h * 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let steps = (5.0 / h) as usize;
+        let traj = discrete.iterate(&m0, steps).unwrap();
+        let continuous_model = crate::LocalModel::builder()
+            .state("s", ["healthy"])
+            .state("i", ["infected"])
+            .transition("s", "i", |m: &Occupancy| 2.0 * m[1])
+            .unwrap()
+            .constant_transition("i", "s", 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let continuous = crate::meanfield::solve(
+            &continuous_model,
+            &m0,
+            5.0,
+            &mfcsl_ode::OdeOptions::default(),
+        )
+        .unwrap();
+        let d = traj.occupancy_at(steps)[1];
+        let c = continuous.occupancy_at(5.0)[1];
+        assert!((d - c).abs() < 0.01, "discrete {d} vs continuous {c}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Error type for the mean-field / MF-CSL layer.
+
+use std::fmt;
+
+use mfcsl_csl::CslError;
+use mfcsl_ctmc::CtmcError;
+use mfcsl_math::MathError;
+use mfcsl_ode::OdeError;
+
+/// Error returned by the mean-field model and MF-CSL checking routines.
+#[derive(Debug)]
+pub enum CoreError {
+    /// A state name was used that does not exist in the local model.
+    UnknownState(String),
+    /// The model definition is inconsistent (duplicate names, shape
+    /// mismatches, self-loops, …).
+    InvalidModel(String),
+    /// A rate function returned a negative or non-finite value at a point
+    /// where it was validated.
+    InvalidRate {
+        /// Source state of the transition.
+        from: String,
+        /// Target state of the transition.
+        to: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The MF-CSL formula text could not be parsed.
+    Parse {
+        /// Byte offset of the error in the input.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The steady-state (`ES` / `S`) operator was used but no stationary
+    /// occupancy could be established for the model.
+    NoStationaryPoint(String),
+    /// An argument was outside its documented domain.
+    InvalidArgument(String),
+    /// An underlying CSL checking routine failed.
+    Csl(CslError),
+    /// An underlying CTMC routine failed.
+    Ctmc(CtmcError),
+    /// An underlying ODE integration failed.
+    Ode(OdeError),
+    /// An underlying numerical routine failed.
+    Math(MathError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownState(name) => write!(f, "unknown state `{name}`"),
+            CoreError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+            CoreError::InvalidRate { from, to, value } => {
+                write!(f, "rate for {from} -> {to} evaluated to {value}")
+            }
+            CoreError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            CoreError::NoStationaryPoint(msg) => {
+                write!(f, "no stationary occupancy available: {msg}")
+            }
+            CoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            CoreError::Csl(e) => write!(f, "csl error: {e}"),
+            CoreError::Ctmc(e) => write!(f, "ctmc error: {e}"),
+            CoreError::Ode(e) => write!(f, "ode error: {e}"),
+            CoreError::Math(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Csl(e) => Some(e),
+            CoreError::Ctmc(e) => Some(e),
+            CoreError::Ode(e) => Some(e),
+            CoreError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CslError> for CoreError {
+    fn from(e: CslError) -> Self {
+        CoreError::Csl(e)
+    }
+}
+
+impl From<CtmcError> for CoreError {
+    fn from(e: CtmcError) -> Self {
+        CoreError::Ctmc(e)
+    }
+}
+
+impl From<OdeError> for CoreError {
+    fn from(e: OdeError) -> Self {
+        CoreError::Ode(e)
+    }
+}
+
+impl From<MathError> for CoreError {
+    fn from(e: MathError) -> Self {
+        CoreError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(CoreError::UnknownState("x".into())
+            .to_string()
+            .contains('x'));
+        let e: CoreError = CslError::NoStationaryDistribution.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CoreError::InvalidRate {
+            from: "a".into(),
+            to: "b".into(),
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("a -> b"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

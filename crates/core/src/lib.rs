@@ -1,0 +1,64 @@
+//! Mean-field models and the MF-CSL logic — the primary contribution of
+//! *“A logic for model-checking mean-field models”* (DSN 2013).
+//!
+//! A mean-field model is specified once, as a [`LocalModel`] (Def. 1 of the
+//! paper): `K` named, labeled states and transition rate functions that may
+//! depend on the global *occupancy vector* `m̄` (the fraction of objects in
+//! each state, a point on the probability simplex — [`Occupancy`]). From
+//! it, everything else is derived:
+//!
+//! * [`meanfield`] — the overall model `𝓜ᴼ` (Def. 2): the occupancy ODE
+//!   `dm̄/dt = m̄·Q(m̄)` (Eq. 1) solved into a dense
+//!   [`meanfield::OccupancyTrajectory`], which doubles as the time-varying
+//!   generator of a random individual object;
+//! * [`fixedpoint`] — stationary occupancies `m̃·Q(m̃) = 0` (Eq. 2), found
+//!   by damped Newton iteration and classified by the Jacobian spectrum;
+//! * [`mfcsl`] — the MF-CSL logic (Defs. 5–6): syntax, a text parser, the
+//!   satisfaction checker for a given occupancy vector (Sec. V-A), and the
+//!   conditional satisfaction set `cSat(Ψ, m̄, θ)` (Eq. 20 / Table I) as an
+//!   exact interval set;
+//! * [`discrete`] — the discrete-time adaptation the paper sketches in
+//!   Sec. II-B: DTMC local models, the occupancy recurrence, and
+//!   step-bounded checking.
+//!
+//! # Example
+//!
+//! ```
+//! use mfcsl_core::{LocalModel, Occupancy};
+//! use mfcsl_core::mfcsl::{parse_formula, Checker};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A two-state SIS-like model: infection rate proportional to the
+//! // infected fraction, recovery at a constant rate.
+//! let model = LocalModel::builder()
+//!     .state("susceptible", ["healthy"])
+//!     .state("infected", ["infected"])
+//!     .transition("susceptible", "infected", |m: &Occupancy| 2.0 * m[1])?
+//!     .constant_transition("infected", "susceptible", 1.0)?
+//!     .build()?;
+//!
+//! let m0 = Occupancy::new(vec![0.9, 0.1])?;
+//! let psi = parse_formula("EP{<0.5}[ healthy U[0,1] infected ]")?;
+//! let verdict = Checker::new(&model).check(&psi, &m0)?;
+//! assert!(verdict.holds());
+//! # Ok(())
+//! # }
+//! ```
+
+// `!(x > 0.0)`-style guards are used deliberately throughout: unlike
+// `x <= 0.0`, they classify NaN as invalid input instead of letting it
+// through, which is exactly the intent of the validation sites.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod discrete;
+pub mod error;
+pub mod fixedpoint;
+pub mod local;
+pub mod meanfield;
+pub mod mfcsl;
+pub mod occupancy;
+
+pub use error::CoreError;
+pub use local::{LocalModel, LocalModelBuilder};
+pub use occupancy::Occupancy;

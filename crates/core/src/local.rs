@@ -1,0 +1,471 @@
+//! The local model `𝓜ˡ` (Def. 1 of the paper).
+//!
+//! A [`LocalModel`] describes one object of the population: a finite set of
+//! named, labeled states and transition *rate functions*
+//! `S^l × S^l × S^o → ℝ` — each transition's rate may depend on the current
+//! occupancy vector of the whole system.
+
+use std::sync::Arc;
+
+use mfcsl_ctmc::{Ctmc, Labeling};
+use mfcsl_math::Matrix;
+
+use crate::{CoreError, Occupancy};
+
+/// A transition rate as a function of the global occupancy vector.
+pub type RateFn = Arc<dyn Fn(&Occupancy) -> f64 + Send + Sync>;
+
+struct Transition {
+    from: usize,
+    to: usize,
+    rate: RateFn,
+}
+
+/// The local (individual-object) model of a mean-field system.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_core::{LocalModel, Occupancy};
+///
+/// # fn main() -> Result<(), mfcsl_core::CoreError> {
+/// // The paper's virus model (Fig. 2): infection rate depends on the
+/// // fraction of active spreaders.
+/// let k1 = 0.9;
+/// let model = LocalModel::builder()
+///     .state("s1", ["not_infected"])
+///     .state("s2", ["infected", "inactive"])
+///     .state("s3", ["infected", "active"])
+///     .transition("s1", "s2", move |m: &Occupancy| {
+///         if m[0] > 0.0 { k1 * m[2] / m[0] } else { 0.0 }
+///     })?
+///     .constant_transition("s2", "s1", 0.1)?
+///     .constant_transition("s2", "s3", 0.01)?
+///     .constant_transition("s3", "s2", 0.3)?
+///     .constant_transition("s3", "s1", 0.3)?
+///     .build()?;
+/// let m = Occupancy::new(vec![0.8, 0.15, 0.05])?;
+/// let q = model.generator_at(&m)?;
+/// assert!((q[(0, 1)] - 0.9 * 0.05 / 0.8).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub struct LocalModel {
+    names: Vec<String>,
+    labeling: Labeling,
+    transitions: Vec<Transition>,
+}
+
+impl LocalModel {
+    /// Starts an empty builder.
+    #[must_use]
+    pub fn builder() -> LocalModelBuilder {
+        LocalModelBuilder::default()
+    }
+
+    /// Number of local states `K`.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.names.len()
+    }
+
+    /// State names.
+    #[must_use]
+    pub fn state_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The labeling function `L : S^l → 2^LAP`.
+    #[must_use]
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// Looks up a state index by name.
+    #[must_use]
+    pub fn state_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Evaluates the generator `Q(m̄)` at an occupancy vector.
+    ///
+    /// Negative rate values are clamped to zero (rate functions like
+    /// `k·m₃/m₁` can produce harmless `-0.0`-scale noise near the simplex
+    /// boundary); non-finite values are reported as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] on a dimension mismatch and
+    /// [`CoreError::InvalidRate`] if a rate function returns NaN or ±∞.
+    pub fn generator_at(&self, m: &Occupancy) -> Result<Matrix, CoreError> {
+        let n = self.n_states();
+        if m.len() != n {
+            return Err(CoreError::InvalidArgument(format!(
+                "occupancy has {} entries, model has {n} states",
+                m.len()
+            )));
+        }
+        let mut q = Matrix::zeros(n, n);
+        for tr in &self.transitions {
+            let rate = (tr.rate)(m);
+            if !rate.is_finite() {
+                return Err(CoreError::InvalidRate {
+                    from: self.names[tr.from].clone(),
+                    to: self.names[tr.to].clone(),
+                    value: rate,
+                });
+            }
+            q[(tr.from, tr.to)] += rate.max(0.0);
+        }
+        for i in 0..n {
+            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| q[(i, j)]).sum();
+            q[(i, i)] = -row_sum;
+        }
+        Ok(q)
+    }
+
+    /// Writes `Q(m̄)` into a caller-provided matrix without reporting rate
+    /// errors (non-finite rates become zero) — the allocation-free inner
+    /// loop used by the ODE right-hand sides, where errors surface as
+    /// non-finite derivatives instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not `K × K` or `m.len() != K`.
+    pub fn write_generator_at(&self, m: &Occupancy, q: &mut Matrix) {
+        let n = self.n_states();
+        assert_eq!(m.len(), n, "occupancy has wrong dimension");
+        assert!(q.rows() == n && q.cols() == n, "matrix has wrong shape");
+        for v in q.as_mut_slice() {
+            *v = 0.0;
+        }
+        for tr in &self.transitions {
+            let rate = (tr.rate)(m);
+            if rate.is_finite() && rate > 0.0 {
+                q[(tr.from, tr.to)] += rate;
+            }
+        }
+        for i in 0..n {
+            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| q[(i, j)]).sum();
+            q[(i, i)] = -row_sum;
+        }
+    }
+
+    /// The time-homogeneous chain frozen at occupancy `m̄` — the object the
+    /// classic CSL algorithms run on.
+    ///
+    /// # Errors
+    ///
+    /// See [`LocalModel::generator_at`].
+    pub fn frozen_at(&self, m: &Occupancy) -> Result<Ctmc, CoreError> {
+        let q = self.generator_at(m)?;
+        Ok(Ctmc::from_parts(
+            self.names.clone(),
+            q,
+            self.labeling.clone(),
+        )?)
+    }
+
+    /// The mean-field drift `f(m̄) = m̄·Q(m̄)` (the right-hand side of
+    /// Eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// See [`LocalModel::generator_at`].
+    pub fn drift(&self, m: &Occupancy) -> Result<Vec<f64>, CoreError> {
+        let q = self.generator_at(m)?;
+        q.vec_mul(m.as_slice())
+            .map_err(|e| CoreError::InvalidArgument(e.to_string()))
+    }
+
+    /// The drift evaluated as the *smooth extension* of the rate formulas:
+    /// no clamping of negative rate values and no simplex validation of
+    /// `m`. Used for finite-difference Jacobians at boundary fixed points,
+    /// where probes step slightly outside the simplex and clamping would
+    /// produce spurious zero derivatives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] on a dimension mismatch and
+    /// [`CoreError::InvalidRate`] for non-finite rate values.
+    #[doc(hidden)]
+    pub fn drift_unclamped(&self, m: &Occupancy) -> Result<Vec<f64>, CoreError> {
+        let n = self.n_states();
+        if m.len() != n {
+            return Err(CoreError::InvalidArgument(format!(
+                "occupancy has {} entries, model has {n} states",
+                m.len()
+            )));
+        }
+        let mut q = Matrix::zeros(n, n);
+        for tr in &self.transitions {
+            let rate = (tr.rate)(m);
+            if !rate.is_finite() {
+                return Err(CoreError::InvalidRate {
+                    from: self.names[tr.from].clone(),
+                    to: self.names[tr.to].clone(),
+                    value: rate,
+                });
+            }
+            q[(tr.from, tr.to)] += rate;
+        }
+        for i in 0..n {
+            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| q[(i, j)]).sum();
+            q[(i, i)] = -row_sum;
+        }
+        q.vec_mul(m.as_slice())
+            .map_err(|e| CoreError::InvalidArgument(e.to_string()))
+    }
+}
+
+impl std::fmt::Debug for LocalModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalModel")
+            .field("names", &self.names)
+            .field("n_transitions", &self.transitions.len())
+            .finish()
+    }
+}
+
+/// Incremental builder for [`LocalModel`].
+#[derive(Default)]
+pub struct LocalModelBuilder {
+    names: Vec<String>,
+    labels: Vec<Vec<String>>,
+    transitions: Vec<(String, String, RateFn)>,
+}
+
+impl LocalModelBuilder {
+    /// Adds a state with atomic-proposition labels.
+    #[must_use]
+    pub fn state<I, L>(mut self, name: impl Into<String>, labels: I) -> Self
+    where
+        I: IntoIterator<Item = L>,
+        L: Into<String>,
+    {
+        self.names.push(name.into());
+        self.labels
+            .push(labels.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Adds a transition whose rate depends on the occupancy vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] for a self-loop. Unknown state
+    /// names are reported by [`LocalModelBuilder::build`].
+    pub fn transition<F>(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        rate: F,
+    ) -> Result<Self, CoreError>
+    where
+        F: Fn(&Occupancy) -> f64 + Send + Sync + 'static,
+    {
+        let from = from.into();
+        let to = to.into();
+        if from == to {
+            return Err(CoreError::InvalidModel(format!(
+                "self-loop on `{from}` is not allowed (Def. 1 eliminates self-loops)"
+            )));
+        }
+        self.transitions.push((from, to, Arc::new(rate)));
+        Ok(self)
+    }
+
+    /// Adds a transition with a constant rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] for a self-loop or a negative /
+    /// non-finite rate.
+    pub fn constant_transition(
+        self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        rate: f64,
+    ) -> Result<Self, CoreError> {
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(CoreError::InvalidModel(format!(
+                "constant rate must be finite and non-negative, got {rate}"
+            )));
+        }
+        self.transition(from, to, move |_| rate)
+    }
+
+    /// Finalizes the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidModel`] for an empty model or duplicate
+    /// state names, and [`CoreError::UnknownState`] for transitions naming
+    /// undeclared states.
+    pub fn build(self) -> Result<LocalModel, CoreError> {
+        if self.names.is_empty() {
+            return Err(CoreError::InvalidModel(
+                "model must have at least one state".into(),
+            ));
+        }
+        for (i, name) in self.names.iter().enumerate() {
+            if self.names[i + 1..].contains(name) {
+                return Err(CoreError::InvalidModel(format!(
+                    "duplicate state name `{name}`"
+                )));
+            }
+        }
+        let index = |name: &str| -> Result<usize, CoreError> {
+            self.names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| CoreError::UnknownState(name.to_string()))
+        };
+        let mut transitions = Vec::with_capacity(self.transitions.len());
+        for (from, to, rate) in self.transitions {
+            transitions.push(Transition {
+                from: index(&from)?,
+                to: index(&to)?,
+                rate,
+            });
+        }
+        let mut labeling = Labeling::new(self.names.len());
+        for (s, labels) in self.labels.iter().enumerate() {
+            for l in labels {
+                labeling.add(s, l.clone());
+            }
+        }
+        Ok(LocalModel {
+            names: self.names,
+            labeling,
+            transitions,
+        })
+    }
+}
+
+impl std::fmt::Debug for LocalModelBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalModelBuilder")
+            .field("names", &self.names)
+            .field("n_transitions", &self.transitions.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sis() -> LocalModel {
+        LocalModel::builder()
+            .state("s", ["healthy"])
+            .state("i", ["infected"])
+            .transition("s", "i", |m: &Occupancy| 2.0 * m[1])
+            .unwrap()
+            .constant_transition("i", "s", 1.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn generator_depends_on_occupancy() {
+        let model = sis();
+        let m = Occupancy::new(vec![0.7, 0.3]).unwrap();
+        let q = model.generator_at(&m).unwrap();
+        assert!((q[(0, 1)] - 0.6).abs() < 1e-15);
+        assert!((q[(0, 0)] + 0.6).abs() < 1e-15);
+        assert_eq!(q[(1, 0)], 1.0);
+        let m2 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let q2 = model.generator_at(&m2).unwrap();
+        assert!((q2[(0, 1)] - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn drift_matches_hand_computation() {
+        // dm/dt = m Q(m): for SIS, dm_i/dt = 2 m_s m_i - m_i.
+        let model = sis();
+        let m = Occupancy::new(vec![0.7, 0.3]).unwrap();
+        let d = model.drift(&m).unwrap();
+        let expected_i = 2.0 * 0.7 * 0.3 - 0.3;
+        assert!((d[1] - expected_i).abs() < 1e-14);
+        assert!((d[0] + expected_i).abs() < 1e-14);
+    }
+
+    #[test]
+    fn frozen_chain_is_valid() {
+        let model = sis();
+        let m = Occupancy::new(vec![0.5, 0.5]).unwrap();
+        let ctmc = model.frozen_at(&m).unwrap();
+        assert_eq!(ctmc.n_states(), 2);
+        assert!(ctmc.labeling().has(1, "infected"));
+        assert_eq!(ctmc.exit_rate(1), 1.0);
+    }
+
+    #[test]
+    fn negative_rates_clamped_nonfinite_reported() {
+        let model = LocalModel::builder()
+            .state("a", ["a"])
+            .state("b", ["b"])
+            .transition("a", "b", |m: &Occupancy| m[0] - 2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let m = Occupancy::new(vec![1.0, 0.0]).unwrap();
+        let q = model.generator_at(&m).unwrap();
+        assert_eq!(q[(0, 1)], 0.0);
+        let bad = LocalModel::builder()
+            .state("a", ["a"])
+            .state("b", ["b"])
+            .transition("a", "b", |m: &Occupancy| 1.0 / (m[0] - m[0]))
+            .unwrap()
+            .build()
+            .unwrap();
+        assert!(matches!(
+            bad.generator_at(&m),
+            Err(CoreError::InvalidRate { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(LocalModel::builder().build().is_err());
+        assert!(LocalModel::builder()
+            .state("a", ["x"])
+            .state("a", ["y"])
+            .build()
+            .is_err());
+        assert!(LocalModel::builder()
+            .state("a", ["x"])
+            .transition("a", "a", |_| 1.0)
+            .is_err());
+        assert!(LocalModel::builder()
+            .state("a", ["x"])
+            .constant_transition("a", "b", -1.0)
+            .is_err());
+        let err = LocalModel::builder()
+            .state("a", ["x"])
+            .constant_transition("a", "ghost", 1.0)
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownState(_)));
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let model = sis();
+        let wrong = Occupancy::new(vec![1.0]).unwrap();
+        assert!(model.generator_at(&wrong).is_err());
+    }
+
+    #[test]
+    fn write_generator_matches_generator_at() {
+        let model = sis();
+        let m = Occupancy::new(vec![0.6, 0.4]).unwrap();
+        let q1 = model.generator_at(&m).unwrap();
+        let mut q2 = Matrix::zeros(2, 2);
+        model.write_generator_at(&m, &mut q2);
+        assert_eq!(q1, q2);
+    }
+}

@@ -1,0 +1,322 @@
+//! The overall mean-field model `𝓜ᴼ` (Def. 2) and its deterministic limit.
+//!
+//! By the mean-field convergence theorem (Theorem 1 of the paper, after
+//! Kurtz / Bobbio-Gribaudo-Telek), the occupancy vector of `N → ∞`
+//! interacting objects follows the ODE `dm̄/dt = m̄(t)·Q(m̄(t))` (Eq. 1).
+//! [`solve`] integrates it into a dense [`OccupancyTrajectory`]; along the
+//! trajectory, a random individual object is the *time-inhomogeneous* CTMC
+//! with generator `Q(m̄(t))`, exposed through [`TrajectoryGenerator`] for
+//! the CSL layer.
+
+use mfcsl_csl::{CslError, LocalTvModel};
+use mfcsl_ctmc::inhomogeneous::TimeVaryingGenerator;
+use mfcsl_math::Matrix;
+use mfcsl_ode::dopri::Dopri5;
+use mfcsl_ode::problem::ProjectedFnSystem;
+use mfcsl_ode::{OdeOptions, Trajectory};
+
+use crate::{CoreError, LocalModel, Occupancy};
+
+/// A dense solution of the mean-field ODE (Eq. 1) over `[0, t_end]`.
+#[derive(Debug)]
+pub struct OccupancyTrajectory<'a> {
+    model: &'a LocalModel,
+    trajectory: Trajectory,
+}
+
+impl<'a> OccupancyTrajectory<'a> {
+    /// The local model this trajectory belongs to.
+    #[must_use]
+    pub fn model(&self) -> &'a LocalModel {
+        self.model
+    }
+
+    /// The underlying dense ODE solution.
+    #[must_use]
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.trajectory
+    }
+
+    /// End of the solved time range.
+    #[must_use]
+    pub fn t_end(&self) -> f64 {
+        self.trajectory.t_end()
+    }
+
+    /// The occupancy vector `m̄(t)` (clamped to the solved range and
+    /// projected back onto the simplex).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the stored trajectory has decayed to an all-zero
+    /// vector, which the simplex projection of the integrator prevents.
+    #[must_use]
+    pub fn occupancy_at(&self, t: f64) -> Occupancy {
+        Occupancy::project(self.trajectory.eval(t))
+            .expect("projected trajectory stays on the simplex")
+    }
+
+    /// The time-varying generator `Q(m̄(t))` of a random individual object.
+    #[must_use]
+    pub fn generator(&self) -> TrajectoryGenerator<'_> {
+        TrajectoryGenerator {
+            model: self.model,
+            trajectory: &self.trajectory,
+        }
+    }
+
+    /// Packages the trajectory as the labeled time-varying local model the
+    /// CSL checkers operate on (without a stationary regime; see
+    /// [`crate::mfcsl::Checker`] for the variant that attaches one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape validation from [`LocalTvModel::new`].
+    pub fn local_tv_model(&self) -> Result<LocalTvModel<TrajectoryGenerator<'_>>, CslError> {
+        LocalTvModel::new(
+            self.generator(),
+            self.model.labeling().clone(),
+            self.model.state_names().to_vec(),
+        )
+    }
+}
+
+/// [`TimeVaryingGenerator`] adapter: evaluates `Q(m̄(t))` by reading the
+/// occupancy off the dense trajectory.
+#[derive(Debug, Clone, Copy)]
+pub struct TrajectoryGenerator<'a> {
+    model: &'a LocalModel,
+    trajectory: &'a Trajectory,
+}
+
+impl TimeVaryingGenerator for TrajectoryGenerator<'_> {
+    fn n_states(&self) -> usize {
+        self.model.n_states()
+    }
+
+    fn write_generator(&self, t: f64, q: &mut Matrix) {
+        let m = Occupancy::project(self.trajectory.eval(t))
+            .expect("projected trajectory stays on the simplex");
+        self.model.write_generator_at(&m, q);
+    }
+}
+
+/// Integrates the mean-field ODE (Eq. 1) from `m0` to `t_end`.
+///
+/// The integrator re-projects onto the probability simplex after every
+/// accepted step, so the returned trajectory is a valid occupancy at every
+/// time.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] on a dimension mismatch or
+/// negative horizon, and propagates ODE failures (e.g. a rate function
+/// returning NaN surfaces as a non-finite derivative).
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_core::{meanfield, LocalModel, Occupancy};
+/// use mfcsl_ode::OdeOptions;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = LocalModel::builder()
+///     .state("s", ["healthy"])
+///     .state("i", ["infected"])
+///     .transition("s", "i", |m: &Occupancy| 2.0 * m[1])?
+///     .constant_transition("i", "s", 1.0)?
+///     .build()?;
+/// let m0 = Occupancy::new(vec![0.9, 0.1])?;
+/// let sol = meanfield::solve(&model, &m0, 50.0, &OdeOptions::default())?;
+/// // SIS endemic equilibrium at infected fraction 1 - γ/β = 0.5.
+/// assert!((sol.occupancy_at(50.0)[1] - 0.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve<'a>(
+    model: &'a LocalModel,
+    m0: &Occupancy,
+    t_end: f64,
+    options: &OdeOptions,
+) -> Result<OccupancyTrajectory<'a>, CoreError> {
+    let n = model.n_states();
+    if m0.len() != n {
+        return Err(CoreError::InvalidArgument(format!(
+            "initial occupancy has {} entries, model has {n} states",
+            m0.len()
+        )));
+    }
+    if !(t_end >= 0.0) || !t_end.is_finite() {
+        return Err(CoreError::InvalidArgument(format!(
+            "horizon must be finite and non-negative, got {t_end}"
+        )));
+    }
+    let sys = ProjectedFnSystem::new(
+        n,
+        move |_t: f64, y: &[f64], dy: &mut [f64]| {
+            // The drift is m·Q(m); mid-step states may drift slightly off
+            // the simplex, so project the copy we hand to the rate
+            // functions.
+            match Occupancy::project(y.to_vec()) {
+                Ok(m) => {
+                    let mut q = Matrix::zeros(n, n);
+                    model.write_generator_at(&m, &mut q);
+                    let drift = q.vec_mul(m.as_slice()).expect("shape fixed");
+                    dy.copy_from_slice(&drift);
+                }
+                Err(_) => {
+                    // Signal the solver through a non-finite derivative.
+                    dy.fill(f64::NAN);
+                }
+            }
+        },
+        |_t: f64, y: &mut [f64]| {
+            let _ = mfcsl_math::simplex::renormalize(y);
+        },
+    );
+    let trajectory = Dopri5::new(*options).solve(&sys, 0.0, t_end, m0.as_slice())?;
+    Ok(OccupancyTrajectory { model, trajectory })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sis(beta: f64, gamma: f64) -> LocalModel {
+        LocalModel::builder()
+            .state("s", ["healthy"])
+            .state("i", ["infected"])
+            .transition("s", "i", move |m: &Occupancy| beta * m[1])
+            .unwrap()
+            .constant_transition("i", "s", gamma)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    /// The paper's virus model (Fig. 2 / Eq. 21) with the smart-virus
+    /// infection law `k₁* = k₁ m₃ / m₁`.
+    fn virus(k: [f64; 5]) -> LocalModel {
+        let [k1, k2, k3, k4, k5] = k;
+        LocalModel::builder()
+            .state("s1", ["not_infected"])
+            .state("s2", ["infected", "inactive"])
+            .state("s3", ["infected", "active"])
+            .transition("s1", "s2", move |m: &Occupancy| {
+                if m[0] > 1e-12 {
+                    k1 * m[2] / m[0]
+                } else {
+                    0.0
+                }
+            })
+            .unwrap()
+            .constant_transition("s2", "s1", k2)
+            .unwrap()
+            .constant_transition("s2", "s3", k3)
+            .unwrap()
+            .constant_transition("s3", "s2", k4)
+            .unwrap()
+            .constant_transition("s3", "s1", k5)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sis_logistic_dynamics_analytic() {
+        // SIS mean field: di/dt = βsi - γi with s = 1 - i is logistic.
+        // β = 2, γ = 1: i(t) = 0.5 / (1 + (0.5/i0 - 1) e^{-t}) for i0 > 0.
+        let model = sis(2.0, 1.0);
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let sol = solve(
+            &model,
+            &m0,
+            10.0,
+            &OdeOptions::default().with_tolerances(1e-11, 1e-13),
+        )
+        .unwrap();
+        for &t in &[0.5, 2.0, 5.0, 10.0] {
+            let exact = 0.5 / (1.0 + (0.5 / 0.1 - 1.0) * (-t_f(t)).exp());
+            let got = sol.occupancy_at(t)[1];
+            assert!((got - exact).abs() < 1e-8, "t = {t}: {got} vs {exact}");
+        }
+        fn t_f(t: f64) -> f64 {
+            t
+        }
+    }
+
+    #[test]
+    fn virus_ode_matches_eq21() {
+        // For the smart-virus law, the overall ODE is linear (Eq. 21):
+        // dm1 = -k1 m3 + k2 m2 + k5 m3, etc. Check the drift directly.
+        let k = [0.9, 0.1, 0.01, 0.3, 0.3];
+        let model = virus(k);
+        let m = Occupancy::new(vec![0.8, 0.15, 0.05]).unwrap();
+        let d = model.drift(&m).unwrap();
+        let expected = [
+            -k[0] * m[2] + k[1] * m[1] + k[4] * m[2],
+            (k[0] + k[3]) * m[2] - (k[1] + k[2]) * m[1],
+            k[2] * m[1] - (k[3] + k[4]) * m[2],
+        ];
+        for (a, b) in d.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-14, "{d:?} vs {expected:?}");
+        }
+    }
+
+    #[test]
+    fn trajectory_stays_on_simplex() {
+        let model = virus([5.0, 0.02, 0.01, 0.5, 0.5]);
+        let m0 = Occupancy::new(vec![0.85, 0.1, 0.05]).unwrap();
+        let sol = solve(&model, &m0, 30.0, &OdeOptions::default()).unwrap();
+        for &t in &[0.0, 1.0, 7.7, 15.0, 30.0] {
+            let m = sol.occupancy_at(t);
+            let sum: f64 = m.as_slice().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(m.as_slice().iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn generator_adapter_tracks_occupancy() {
+        let model = sis(2.0, 1.0);
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let sol = solve(&model, &m0, 5.0, &OdeOptions::default()).unwrap();
+        let gen = sol.generator();
+        assert_eq!(gen.n_states(), 2);
+        let q0 = gen.generator_at(0.0);
+        assert!((q0[(0, 1)] - 0.2).abs() < 1e-9);
+        // Later the infected fraction has grown, so the infection rate has
+        // too.
+        let q5 = gen.generator_at(5.0);
+        assert!(q5[(0, 1)] > q0[(0, 1)]);
+    }
+
+    #[test]
+    fn local_tv_model_carries_labels() {
+        let model = sis(2.0, 1.0);
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let sol = solve(&model, &m0, 1.0, &OdeOptions::default()).unwrap();
+        let tv = sol.local_tv_model().unwrap();
+        assert_eq!(tv.n_states(), 2);
+        assert_eq!(tv.sat_ap("infected").unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let model = sis(2.0, 1.0);
+        let wrong = Occupancy::new(vec![1.0]).unwrap();
+        assert!(solve(&model, &wrong, 1.0, &OdeOptions::default()).is_err());
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        assert!(solve(&model, &m0, -1.0, &OdeOptions::default()).is_err());
+        assert!(solve(&model, &m0, f64::NAN, &OdeOptions::default()).is_err());
+    }
+
+    #[test]
+    fn zero_horizon() {
+        let model = sis(2.0, 1.0);
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let sol = solve(&model, &m0, 0.0, &OdeOptions::default()).unwrap();
+        assert_eq!(sol.t_end(), 0.0);
+        assert!((sol.occupancy_at(0.0)[0] - 0.9).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! The MF-CSL logic (Sec. III of the paper).
+//!
+//! MF-CSL reasons about the *overall* mean-field model in terms of the
+//! behaviour of a random individual object:
+//!
+//! ```text
+//! Ψ ::= tt | ¬Ψ | Ψ ∧ Ψ | E⋈p(Φ) | ES⋈p(Φ) | EP⋈p(φ)
+//! ```
+//!
+//! where `Φ` / `φ` are CSL state / path formulas over the local model.
+//! `E⋈p(Φ)` bounds the *fraction of objects currently satisfying `Φ`*;
+//! `ES⋈p(Φ)` bounds that fraction in steady state; `EP⋈p(φ)` bounds the
+//! probability of a random object to take a `φ`-path (Defs. 5–6).
+//!
+//! * [`syntax`] — the AST ([`MfFormula`]);
+//! * [`parser`] — text syntax: `EP{<0.3}[ not_infected U[0,1] infected ]`;
+//! * [`check`] — satisfaction of an occupancy vector (Sec. V-A) through
+//!   [`Checker`], plus the expectation curves used by the benches;
+//! * [`csat`] — the conditional satisfaction set `cSat(Ψ, m̄, θ)` (Eq. 20 /
+//!   Table I) as an exact [`mfcsl_math::IntervalSet`].
+
+pub mod check;
+pub mod csat;
+pub mod parser;
+pub mod syntax;
+
+pub use check::{Checker, ECurve, EpCurve, Verdict};
+pub use parser::parse_formula;
+pub use syntax::MfFormula;

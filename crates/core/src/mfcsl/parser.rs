@@ -1,0 +1,344 @@
+//! A text syntax for MF-CSL formulas.
+//!
+//! ```text
+//! mf       := or
+//! or       := and ('|' and)*
+//! and      := unary ('&' unary)*
+//! unary    := '!' unary | primary
+//! primary  := 'tt' | '(' mf ')'
+//!           | 'E'  '{' cmp number '}' '[' csl-state ']'
+//!           | 'ES' '{' cmp number '}' '[' csl-state ']'
+//!           | 'EP' '{' cmp number '}' '[' csl-path  ']'
+//! ```
+//!
+//! The bracketed contents are handed to the CSL parser of `mfcsl-csl`, so
+//! the full CSL syntax (including nesting) is available inside the
+//! expectation operators. Example from the paper:
+//! `E{>0.8}[ P{>0.9}[ infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ] ] ] & E{<0.1}[ active ]`.
+
+use mfcsl_csl::{parse_path_formula, parse_state_formula, Comparison, CslError};
+
+use crate::mfcsl::syntax::MfFormula;
+use crate::CoreError;
+
+/// Parses an MF-CSL formula.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Parse`] on malformed input; errors from the inner
+/// CSL parser are re-anchored to the enclosing bracket's position.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_core::mfcsl::parse_formula;
+///
+/// let psi = parse_formula("EP{<0.3}[ not_infected U[0,1] infected ]")?;
+/// assert_eq!(psi.time_horizon(), 1.0);
+/// # Ok::<(), mfcsl_core::CoreError>(())
+/// ```
+pub fn parse_formula(input: &str) -> Result<MfFormula, CoreError> {
+    let mut p = MfParser { input, pos: 0 };
+    let psi = p.or_expr()?;
+    p.skip_ws();
+    if p.pos < p.input.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(psi)
+}
+
+struct MfParser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl MfParser<'_> {
+    fn error(&self, message: impl Into<String>) -> CoreError {
+        CoreError::Parse {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input.as_bytes()[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.as_bytes().get(self.pos).copied()
+    }
+
+    fn try_eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), CoreError> {
+        if self.try_eat(c) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<MfFormula, CoreError> {
+        let mut lhs = self.and_expr()?;
+        while self.try_eat(b'|') {
+            let rhs = self.and_expr()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<MfFormula, CoreError> {
+        let mut lhs = self.unary()?;
+        while self.try_eat(b'&') {
+            let rhs = self.unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<MfFormula, CoreError> {
+        if self.try_eat(b'!') {
+            return Ok(self.unary()?.not());
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<MfFormula, CoreError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.eat(b'(')?;
+                let inner = self.or_expr()?;
+                self.eat(b')')?;
+                Ok(inner)
+            }
+            Some(c) if c.is_ascii_alphabetic() => {
+                let ident = self.ident()?;
+                match ident.as_str() {
+                    "tt" => Ok(MfFormula::True),
+                    "ff" => Ok(MfFormula::True.not()),
+                    "E" | "ES" | "EP" => {
+                        let (cmp, p) = self.bound()?;
+                        let body = self.bracketed_body()?;
+                        self.operator(&ident, cmp, p, &body)
+                    }
+                    other => Err(self.error(format!(
+                        "expected `tt`, `E`, `ES` or `EP`, found `{other}` (atomic \
+                         propositions only occur inside E/ES/EP)"
+                    ))),
+                }
+            }
+            _ => Err(self.error("expected an MF-CSL formula")),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CoreError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected an identifier"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn bound(&mut self) -> Result<(Comparison, f64), CoreError> {
+        self.eat(b'{')?;
+        self.skip_ws();
+        let bytes = self.input.as_bytes();
+        let rest = &bytes[self.pos..];
+        let (cmp, len) = match rest {
+            [b'<', b'=', ..] => (Comparison::Le, 2),
+            [b'>', b'=', ..] => (Comparison::Ge, 2),
+            [b'<', ..] => (Comparison::Lt, 1),
+            [b'>', ..] => (Comparison::Gt, 1),
+            _ => return Err(self.error("expected a comparison (<=, <, >, >=)")),
+        };
+        self.pos += len;
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < bytes.len()
+            && (bytes[self.pos].is_ascii_digit()
+                || bytes[self.pos] == b'.'
+                || bytes[self.pos] == b'e'
+                || bytes[self.pos] == b'E'
+                || ((bytes[self.pos] == b'+' || bytes[self.pos] == b'-')
+                    && self.pos > start
+                    && (bytes[self.pos - 1] == b'e' || bytes[self.pos - 1] == b'E')))
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected a number"));
+        }
+        let p: f64 = self.input[start..self.pos]
+            .parse()
+            .map_err(|e| self.error(format!("bad number: {e}")))?;
+        self.eat(b'}')?;
+        Ok((cmp, p))
+    }
+
+    /// Extracts the bracket-balanced body `[ … ]`, leaving the cursor after
+    /// the closing bracket.
+    fn bracketed_body(&mut self) -> Result<String, CoreError> {
+        self.eat(b'[')?;
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        let mut depth = 1usize;
+        while self.pos < bytes.len() {
+            match bytes[self.pos] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let body = self.input[start..self.pos].to_string();
+                        self.pos += 1;
+                        return Ok(body);
+                    }
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        Err(self.error("unbalanced `[`"))
+    }
+
+    fn operator(
+        &self,
+        kind: &str,
+        cmp: Comparison,
+        p: f64,
+        body: &str,
+    ) -> Result<MfFormula, CoreError> {
+        let rebase = |e: CslError| match e {
+            CslError::Parse { position, message } => CoreError::Parse {
+                position: self.pos + position,
+                message,
+            },
+            other => CoreError::Csl(other),
+        };
+        match kind {
+            "E" => MfFormula::expect(cmp, p, parse_state_formula(body).map_err(rebase)?),
+            "ES" => MfFormula::expect_steady(cmp, p, parse_state_formula(body).map_err(rebase)?),
+            "EP" => MfFormula::expect_path(cmp, p, parse_path_formula(body).map_err(rebase)?),
+            _ => unreachable!("caller matched the operator name"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_formulas() {
+        // Example 2 of the paper.
+        let psi = parse_formula("E{>0.8}[ infected ]").unwrap();
+        assert!(matches!(psi, MfFormula::Expect { .. }));
+        let psi = parse_formula("ES{>=0.1}[ infected ]").unwrap();
+        assert!(matches!(psi, MfFormula::ExpectSteady { .. }));
+        let psi = parse_formula("EP{<0.4}[ infected U[0,5] not_infected ]").unwrap();
+        assert!(matches!(psi, MfFormula::ExpectPath { .. }));
+        assert_eq!(psi.time_horizon(), 5.0);
+    }
+
+    #[test]
+    fn parses_the_nested_example() {
+        let psi = parse_formula(
+            "E{>0.8}[ P{>0.9}[ infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ] ] ] \
+             & E{<0.1}[ active ]",
+        )
+        .unwrap();
+        assert!(matches!(psi, MfFormula::And(_, _)));
+        assert_eq!(psi.time_horizon(), 15.5);
+    }
+
+    #[test]
+    fn boolean_structure_and_precedence() {
+        let psi = parse_formula("tt | E{>0.5}[ a ] & !tt").unwrap();
+        // `&` binds tighter than `|`.
+        match psi {
+            MfFormula::Or(lhs, rhs) => {
+                assert_eq!(*lhs, MfFormula::True);
+                assert!(matches!(*rhs, MfFormula::And(_, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let psi = parse_formula("(tt)").unwrap();
+        assert_eq!(psi, MfFormula::True);
+        assert_eq!(parse_formula("ff").unwrap(), MfFormula::True.not());
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        assert!(matches!(
+            parse_formula("E{>0.5}[ a"),
+            Err(CoreError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_formula("Q{>0.5}[ a ]"),
+            Err(CoreError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_formula("E{0.5}[ a ]"),
+            Err(CoreError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_formula("tt tt"),
+            Err(CoreError::Parse { .. })
+        ));
+        // Inner CSL error is surfaced.
+        assert!(parse_formula("E{>0.5}[ U ]").is_err());
+        // Bad bound surfaces as invalid argument.
+        assert!(matches!(
+            parse_formula("E{>1.5}[ a ]"),
+            Err(CoreError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let texts = [
+            "EP{<0.3}[ not_infected U[0,1] infected ]",
+            "E{>0.8}[ P{>0.9}[ infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ] ] ] & E{<0.1}[ active ]",
+            "!ES{>=0.1}[ infected ] | tt",
+        ];
+        for text in texts {
+            let psi = parse_formula(text).unwrap();
+            let again = parse_formula(&psi.to_string()).unwrap();
+            assert_eq!(psi, again, "round trip failed for `{text}`");
+        }
+    }
+
+    #[test]
+    fn nested_brackets_are_balanced() {
+        // The body extractor must match nested `[ ... ]` from time bounds.
+        let psi = parse_formula("EP{>0.1}[ a U[0,2] P{>0.5}[ b U[1,3] c ] ]").unwrap();
+        assert_eq!(psi.time_horizon(), 5.0);
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The MF-CSL parser never panics on arbitrary input.
+        #[test]
+        fn prop_parser_total(input in "\\PC{0,60}") {
+            let _ = super::parse_formula(&input);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! MF-CSL abstract syntax (Def. 5 of the paper).
+
+use std::fmt;
+
+use mfcsl_csl::{Comparison, PathFormula, StateFormula};
+use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
+
+/// An MF-CSL formula over the overall mean-field model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MfFormula {
+    /// `tt` — true in every occupancy vector.
+    True,
+    /// Negation.
+    Not(Box<MfFormula>),
+    /// Conjunction.
+    And(Box<MfFormula>, Box<MfFormula>),
+    /// Disjunction (sugar, first-class for readability).
+    Or(Box<MfFormula>, Box<MfFormula>),
+    /// `E⋈p(Φ)` — the fraction of objects satisfying the CSL state formula
+    /// `Φ` obeys `⋈ p`.
+    Expect {
+        /// The comparison `⋈`.
+        cmp: Comparison,
+        /// The fraction bound `p ∈ [0, 1]`.
+        p: f64,
+        /// The local CSL state formula.
+        inner: StateFormula,
+    },
+    /// `ES⋈p(Φ)` — the steady-state fraction of objects satisfying `Φ`
+    /// obeys `⋈ p`.
+    ExpectSteady {
+        /// The comparison `⋈`.
+        cmp: Comparison,
+        /// The fraction bound `p ∈ [0, 1]`.
+        p: f64,
+        /// The local CSL state formula.
+        inner: StateFormula,
+    },
+    /// `EP⋈p(φ)` — the probability of a random object to take a `φ`-path
+    /// obeys `⋈ p`.
+    ExpectPath {
+        /// The comparison `⋈`.
+        cmp: Comparison,
+        /// The probability bound `p ∈ [0, 1]`.
+        p: f64,
+        /// The local CSL path formula.
+        path: PathFormula,
+    },
+}
+
+impl MfFormula {
+    /// Negation shorthand. (Named after the logic operator on purpose;
+    /// this is a consuming formula constructor, not `std::ops::Not`.)
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn not(self) -> Self {
+        MfFormula::Not(Box::new(self))
+    }
+
+    /// Conjunction shorthand.
+    #[must_use]
+    pub fn and(self, rhs: MfFormula) -> Self {
+        MfFormula::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction shorthand.
+    #[must_use]
+    pub fn or(self, rhs: MfFormula) -> Self {
+        MfFormula::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `E⋈p(Φ)` shorthand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for `p ∉ [0, 1]`.
+    pub fn expect(cmp: Comparison, p: f64, inner: StateFormula) -> Result<Self, CoreError> {
+        check_bound(p)?;
+        Ok(MfFormula::Expect { cmp, p, inner })
+    }
+
+    /// `ES⋈p(Φ)` shorthand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for `p ∉ [0, 1]`.
+    pub fn expect_steady(cmp: Comparison, p: f64, inner: StateFormula) -> Result<Self, CoreError> {
+        check_bound(p)?;
+        Ok(MfFormula::ExpectSteady { cmp, p, inner })
+    }
+
+    /// `EP⋈p(φ)` shorthand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for `p ∉ [0, 1]`.
+    pub fn expect_path(cmp: Comparison, p: f64, path: PathFormula) -> Result<Self, CoreError> {
+        check_bound(p)?;
+        Ok(MfFormula::ExpectPath { cmp, p, path })
+    }
+
+    /// The furthest time the formula looks into the future from its
+    /// evaluation instant — the mean-field trajectory must be solved at
+    /// least this far beyond the evaluation window.
+    #[must_use]
+    pub fn time_horizon(&self) -> f64 {
+        match self {
+            MfFormula::True => 0.0,
+            MfFormula::Not(inner) => inner.time_horizon(),
+            MfFormula::And(a, b) | MfFormula::Or(a, b) => a.time_horizon().max(b.time_horizon()),
+            MfFormula::Expect { inner, .. } => inner.time_horizon(),
+            // ES is resolved at the stationary point; no look-ahead.
+            MfFormula::ExpectSteady { .. } => 0.0,
+            MfFormula::ExpectPath { path, .. } => path.time_horizon(),
+        }
+    }
+
+    /// `true` if evaluating the formula requires a stationary occupancy
+    /// (it contains `ES`, or a CSL `S` operator inside `E`/`EP`).
+    #[must_use]
+    pub fn requires_stationary(&self) -> bool {
+        match self {
+            MfFormula::True => false,
+            MfFormula::Not(inner) => inner.requires_stationary(),
+            MfFormula::And(a, b) | MfFormula::Or(a, b) => {
+                a.requires_stationary() || b.requires_stationary()
+            }
+            MfFormula::ExpectSteady { .. } => true,
+            MfFormula::Expect { inner, .. } => state_uses_steady(inner),
+            MfFormula::ExpectPath { path, .. } => match path {
+                PathFormula::Next { inner, .. } => state_uses_steady(inner),
+                PathFormula::Until { lhs, rhs, .. } => {
+                    state_uses_steady(lhs) || state_uses_steady(rhs)
+                }
+            },
+        }
+    }
+}
+
+fn state_uses_steady(phi: &StateFormula) -> bool {
+    match phi {
+        StateFormula::True | StateFormula::Ap(_) => false,
+        StateFormula::Not(inner) => state_uses_steady(inner),
+        StateFormula::And(a, b) | StateFormula::Or(a, b) => {
+            state_uses_steady(a) || state_uses_steady(b)
+        }
+        StateFormula::Steady { .. } => true,
+        StateFormula::Prob { path, .. } => match path.as_ref() {
+            PathFormula::Next { inner, .. } => state_uses_steady(inner),
+            PathFormula::Until { lhs, rhs, .. } => state_uses_steady(lhs) || state_uses_steady(rhs),
+        },
+    }
+}
+
+fn check_bound(p: f64) -> Result<(), CoreError> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidArgument(format!(
+            "fraction bound must be in [0, 1], got {p}"
+        )))
+    }
+}
+
+impl fmt::Display for MfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MfFormula::True => write!(f, "tt"),
+            MfFormula::Not(inner) => write!(f, "!({inner})"),
+            MfFormula::And(a, b) => write!(f, "({a} & {b})"),
+            MfFormula::Or(a, b) => write!(f, "({a} | {b})"),
+            MfFormula::Expect { cmp, p, inner } => write!(f, "E{{{cmp}{p}}}[ {inner} ]"),
+            MfFormula::ExpectSteady { cmp, p, inner } => write!(f, "ES{{{cmp}{p}}}[ {inner} ]"),
+            MfFormula::ExpectPath { cmp, p, path } => write!(f, "EP{{{cmp}{p}}}[ {path} ]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcsl_csl::{parse_path_formula, parse_state_formula};
+
+    #[test]
+    fn constructors_validate_bounds() {
+        let phi = parse_state_formula("infected").unwrap();
+        assert!(MfFormula::expect(Comparison::Gt, 0.8, phi.clone()).is_ok());
+        assert!(MfFormula::expect(Comparison::Gt, 1.8, phi.clone()).is_err());
+        assert!(MfFormula::expect_steady(Comparison::Ge, -0.1, phi).is_err());
+        let path = parse_path_formula("tt U[0,1] infected").unwrap();
+        assert!(MfFormula::expect_path(Comparison::Lt, 0.4, path).is_ok());
+    }
+
+    #[test]
+    fn horizons() {
+        let path = parse_path_formula("a U[0,5] P{>0.5}[ tt U[0,2] b ]").unwrap();
+        let psi = MfFormula::expect_path(Comparison::Lt, 0.5, path).unwrap();
+        assert_eq!(psi.time_horizon(), 7.0);
+        let es = MfFormula::expect_steady(
+            Comparison::Ge,
+            0.1,
+            parse_state_formula("P{>0.5}[ tt U[0,9] b ]").unwrap(),
+        )
+        .unwrap();
+        assert_eq!(es.time_horizon(), 0.0);
+        let combined = psi.clone().and(es);
+        assert_eq!(combined.time_horizon(), 7.0);
+    }
+
+    #[test]
+    fn stationary_requirements() {
+        let e = MfFormula::expect(
+            Comparison::Gt,
+            0.5,
+            parse_state_formula("S{>0.5}[ up ]").unwrap(),
+        )
+        .unwrap();
+        assert!(e.requires_stationary());
+        let plain = MfFormula::expect(
+            Comparison::Gt,
+            0.5,
+            parse_state_formula("up & !down").unwrap(),
+        )
+        .unwrap();
+        assert!(!plain.requires_stationary());
+        let es = MfFormula::expect_steady(Comparison::Gt, 0.5, parse_state_formula("up").unwrap())
+            .unwrap();
+        assert!(es.requires_stationary());
+        assert!(plain.clone().or(es).requires_stationary());
+        assert!(!MfFormula::True.requires_stationary());
+        let ep_with_s = MfFormula::expect_path(
+            Comparison::Gt,
+            0.5,
+            parse_path_formula("S{>0.1}[ up ] U[0,1] down").unwrap(),
+        )
+        .unwrap();
+        assert!(ep_with_s.requires_stationary());
+    }
+
+    #[test]
+    fn display_shape() {
+        let psi = MfFormula::expect_path(
+            Comparison::Lt,
+            0.3,
+            parse_path_formula("not_infected U[0,1] infected").unwrap(),
+        )
+        .unwrap();
+        let s = psi.to_string();
+        assert!(s.starts_with("EP{<0.3}["));
+        let both = MfFormula::True.and(psi).not();
+        assert!(both.to_string().starts_with("!((tt &"));
+    }
+}

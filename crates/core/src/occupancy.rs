@@ -1,0 +1,268 @@
+//! Occupancy vectors — points of the overall model's state space `S^o`.
+
+use std::fmt;
+use std::ops::Index;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CoreError;
+
+/// Construction tolerance: entries may be off the simplex by this much and
+/// are then renormalized exactly.
+const CONSTRUCTION_TOL: f64 = 1e-6;
+
+/// An occupancy vector `m̄ = (m₁, …, m_K)`: the fraction of objects in each
+/// local state (Def. 2 of the paper). Validated to lie on the probability
+/// simplex at construction; small numerical drift is renormalized.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_core::Occupancy;
+///
+/// # fn main() -> Result<(), mfcsl_core::CoreError> {
+/// let m = Occupancy::new(vec![0.8, 0.15, 0.05])?;
+/// assert_eq!(m.len(), 3);
+/// assert_eq!(m[0], 0.8);
+/// assert!(Occupancy::new(vec![0.5, 0.2]).is_err()); // sums to 0.7
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    fractions: Vec<f64>,
+}
+
+impl Occupancy {
+    /// Validates and wraps a fraction vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if the vector is empty, has
+    /// entries outside `[0, 1]` (beyond a small tolerance), or does not sum
+    /// to 1 within `1e-6`.
+    pub fn new(fractions: Vec<f64>) -> Result<Self, CoreError> {
+        mfcsl_math::simplex::check_distribution(&fractions, CONSTRUCTION_TOL)
+            .map_err(|e| CoreError::InvalidArgument(e.to_string()))?;
+        let mut fractions = fractions;
+        mfcsl_math::simplex::renormalize(&mut fractions)
+            .map_err(|e| CoreError::InvalidArgument(e.to_string()))?;
+        Ok(Occupancy { fractions })
+    }
+
+    /// Builds an occupancy from a possibly slightly-off-simplex vector by
+    /// clamping negative entries to zero and renormalizing — the projection
+    /// used when reading values back out of a numerically integrated
+    /// trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if the clamped vector sums to
+    /// zero or contains non-finite entries.
+    pub fn project(mut fractions: Vec<f64>) -> Result<Self, CoreError> {
+        mfcsl_math::simplex::renormalize(&mut fractions)
+            .map_err(|e| CoreError::InvalidArgument(e.to_string()))?;
+        Ok(Occupancy { fractions })
+    }
+
+    /// Wraps a fraction vector without any validation.
+    ///
+    /// Intended for finite-difference probing of rate functions slightly
+    /// off the simplex (Jacobians of the mean-field drift at boundary
+    /// fixed points). Rate functions must be defined in a neighbourhood of
+    /// the simplex for this to be meaningful; all public model-checking
+    /// entry points use validated occupancies.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn new_unchecked(fractions: Vec<f64>) -> Self {
+        Occupancy { fractions }
+    }
+
+    /// The degenerate occupancy with all mass in state `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if `index >= k` or `k == 0`.
+    pub fn unit(k: usize, index: usize) -> Result<Self, CoreError> {
+        if k == 0 || index >= k {
+            return Err(CoreError::InvalidArgument(format!(
+                "unit occupancy index {index} out of range for {k} states"
+            )));
+        }
+        let mut fractions = vec![0.0; k];
+        fractions[index] = 1.0;
+        Ok(Occupancy { fractions })
+    }
+
+    /// The uniform occupancy over `k` states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] if `k == 0`.
+    pub fn uniform(k: usize) -> Result<Self, CoreError> {
+        if k == 0 {
+            return Err(CoreError::InvalidArgument(
+                "occupancy needs at least one state".into(),
+            ));
+        }
+        Ok(Occupancy {
+            fractions: vec![1.0 / k as f64; k],
+        })
+    }
+
+    /// Number of local states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fractions.len()
+    }
+
+    /// Always false (the constructor rejects empty vectors); provided for
+    /// API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fractions.is_empty()
+    }
+
+    /// Borrows the fractions.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.fractions
+    }
+
+    /// Consumes the occupancy and returns the fraction vector.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.fractions
+    }
+
+    /// The fraction of objects in state `i`, `None` if out of range.
+    #[must_use]
+    pub fn fraction(&self, i: usize) -> Option<f64> {
+        self.fractions.get(i).copied()
+    }
+
+    /// The total fraction over a set of states given as a membership mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mask.len() != self.len()`.
+    #[must_use]
+    pub fn mass_of(&self, mask: &[bool]) -> f64 {
+        assert_eq!(mask.len(), self.len(), "mask has wrong length");
+        self.fractions
+            .iter()
+            .zip(mask)
+            .filter(|(_, &m)| m)
+            .map(|(&f, _)| f)
+            .sum()
+    }
+
+    /// Max-norm distance to another occupancy of the same dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] on dimension mismatch.
+    pub fn distance(&self, other: &Occupancy) -> Result<f64, CoreError> {
+        mfcsl_math::vec_ops::dist_inf(&self.fractions, &other.fractions)
+            .map_err(|e| CoreError::InvalidArgument(e.to_string()))
+    }
+}
+
+impl Index<usize> for Occupancy {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.fractions[i]
+    }
+}
+
+impl AsRef<[f64]> for Occupancy {
+    fn as_ref(&self) -> &[f64] {
+        &self.fractions
+    }
+}
+
+impl TryFrom<Vec<f64>> for Occupancy {
+    type Error = CoreError;
+    fn try_from(v: Vec<f64>) -> Result<Self, CoreError> {
+        Occupancy::new(v)
+    }
+}
+
+impl fmt::Display for Occupancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.fractions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.6}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let m = Occupancy::new(vec![0.5, 0.4, 0.1]).unwrap();
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m[1], 0.4);
+        assert_eq!(m.fraction(2), Some(0.1));
+        assert_eq!(m.fraction(3), None);
+        assert_eq!(m.as_slice().len(), 3);
+        assert_eq!(m.clone().into_vec(), vec![0.5, 0.4, 0.1]);
+    }
+
+    #[test]
+    fn rejects_invalid_vectors() {
+        assert!(Occupancy::new(vec![]).is_err());
+        assert!(Occupancy::new(vec![0.5, 0.4]).is_err());
+        assert!(Occupancy::new(vec![1.5, -0.5]).is_err());
+        assert!(Occupancy::new(vec![f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn renormalizes_drift() {
+        let m = Occupancy::new(vec![0.5 + 1e-9, 0.5]).unwrap();
+        let sum: f64 = m.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn unit_and_uniform() {
+        let u = Occupancy::unit(3, 1).unwrap();
+        assert_eq!(u.as_slice(), &[0.0, 1.0, 0.0]);
+        assert!(Occupancy::unit(3, 3).is_err());
+        assert!(Occupancy::unit(0, 0).is_err());
+        let f = Occupancy::uniform(4).unwrap();
+        assert_eq!(f[0], 0.25);
+        assert!(Occupancy::uniform(0).is_err());
+    }
+
+    #[test]
+    fn mass_and_distance() {
+        let m = Occupancy::new(vec![0.5, 0.4, 0.1]).unwrap();
+        assert!((m.mass_of(&[false, true, true]) - 0.5).abs() < 1e-15);
+        let m2 = Occupancy::new(vec![0.6, 0.3, 0.1]).unwrap();
+        assert!((m.distance(&m2).unwrap() - 0.1).abs() < 1e-12);
+        let m3 = Occupancy::new(vec![1.0]).unwrap();
+        assert!(m.distance(&m3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn mass_of_checks_mask() {
+        let m = Occupancy::new(vec![1.0]).unwrap();
+        let _ = m.mass_of(&[true, false]);
+    }
+
+    #[test]
+    fn display_form() {
+        let m = Occupancy::new(vec![0.8, 0.2]).unwrap();
+        assert_eq!(m.to_string(), "(0.800000, 0.200000)");
+    }
+}

@@ -1,0 +1,284 @@
+//! State-space-doubling reachability — the construction of Bortolussi &
+//! Hillston [14], kept as an ablation baseline.
+//!
+//! The paper argues (Sec. IV-C) that its single fresh goal state `s*` is
+//! cheaper than doubling the state space "and considering all goal states
+//! separately, which increases the computational complexity and does not
+//! add any extra information". To back that claim with measurements, this
+//! module implements the doubled construction: every original state `s`
+//! gets a shadow `s + n` that collects probability arriving in `s` while it
+//! is a goal state. The matrix ODEs then run on `(2n)²` entries instead of
+//! `(n+1)²`.
+//!
+//! Results must agree exactly with [`crate::nested`]; the equivalence is a
+//! test invariant and the runtime difference is measured in
+//! `benches/ablation_goal_state.rs`.
+
+use mfcsl_ctmc::inhomogeneous::{transition_matrix, TimeVaryingGenerator};
+use mfcsl_math::Matrix;
+
+use crate::nested::PiecewiseSets;
+use crate::{CslError, Tolerances};
+
+/// The `2n`-state doubled chain: states `0..n` are the originals, `n..2n`
+/// their goal shadows. Transitions into a `Γ₂(t)` state `j` are redirected
+/// to the shadow `j + n`; non-live states and all shadows are absorbing.
+pub struct DoubledGenerator<'a, G> {
+    inner: &'a G,
+    sets: &'a PiecewiseSets,
+}
+
+impl<'a, G: TimeVaryingGenerator> DoubledGenerator<'a, G> {
+    /// Wraps the original generator with the piecewise sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CslError::InvalidArgument`] on a state-count mismatch.
+    pub fn new(inner: &'a G, sets: &'a PiecewiseSets) -> Result<Self, CslError> {
+        if inner.n_states() != sets.n_states() {
+            return Err(CslError::InvalidArgument(format!(
+                "generator has {} states, sets have {}",
+                inner.n_states(),
+                sets.n_states()
+            )));
+        }
+        Ok(DoubledGenerator { inner, sets })
+    }
+}
+
+impl<G: TimeVaryingGenerator> TimeVaryingGenerator for DoubledGenerator<'_, G> {
+    fn n_states(&self) -> usize {
+        2 * self.inner.n_states()
+    }
+
+    fn write_generator(&self, t: f64, q: &mut Matrix) {
+        let n = self.inner.n_states();
+        let mut base = Matrix::zeros(n, n);
+        self.inner.write_generator(t, &mut base);
+        let g1 = self.sets.gamma1().set_at(t);
+        let g2 = self.sets.gamma2().set_at(t);
+        for i in 0..2 * n {
+            for j in 0..2 * n {
+                q[(i, j)] = 0.0;
+            }
+        }
+        for s in 0..n {
+            let live = g1[s] && !g2[s];
+            if !live {
+                continue;
+            }
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                if j == s {
+                    continue;
+                }
+                let rate = base[(s, j)];
+                if rate <= 0.0 {
+                    continue;
+                }
+                if g2[j] {
+                    q[(s, n + j)] += rate;
+                } else {
+                    q[(s, j)] += rate;
+                }
+                row_sum += rate;
+            }
+            q[(s, s)] = -row_sum;
+        }
+        // Shadow rows stay zero (absorbing).
+    }
+}
+
+/// Carry-over matrix for the doubled construction: live→live mass stays,
+/// live→goal mass moves to the state's own shadow, shadows persist.
+fn zeta_doubled(sets: &PiecewiseSets, boundary: f64) -> Matrix {
+    let n = sets.n_states();
+    let g1_before = sets.gamma1().set_before(boundary);
+    let g2_before = sets.gamma2().set_before(boundary);
+    let g1_after = sets.gamma1().set_at(boundary);
+    let g2_after = sets.gamma2().set_at(boundary);
+    let mut z = Matrix::zeros(2 * n, 2 * n);
+    for s in 0..n {
+        // Shadows always persist.
+        z[(n + s, n + s)] = 1.0;
+        let was_live = g1_before[s] && !g2_before[s];
+        if !was_live {
+            continue;
+        }
+        if g2_after[s] {
+            z[(s, n + s)] = 1.0;
+        } else if g1_after[s] {
+            z[(s, s)] = 1.0;
+        }
+    }
+    z
+}
+
+/// Computes the same reachability probability as
+/// [`crate::nested::reach_probability`] with the doubled state space.
+///
+/// # Errors
+///
+/// Returns [`CslError::InvalidArgument`] if the window exceeds the sets'
+/// domain, and propagates ODE failures.
+pub fn reach_probability_doubled<G: TimeVaryingGenerator>(
+    gen: &G,
+    sets: &PiecewiseSets,
+    t_prime: f64,
+    big_t: f64,
+    tol: &Tolerances,
+) -> Result<Vec<f64>, CslError> {
+    if !(big_t >= 0.0) || !big_t.is_finite() {
+        return Err(CslError::InvalidArgument(format!(
+            "reachability horizon must be finite and non-negative, got {big_t}"
+        )));
+    }
+    if t_prime < sets.t_lo() - 1e-12 || t_prime + big_t > sets.t_hi() + 1e-12 {
+        return Err(CslError::InvalidArgument(format!(
+            "window [{t_prime}, {}] exceeds the sets' domain [{}, {}]",
+            t_prime + big_t,
+            sets.t_lo(),
+            sets.t_hi()
+        )));
+    }
+    tol.validate()?;
+    let n = gen.n_states();
+    let doubled = DoubledGenerator::new(gen, sets)?;
+    let t_end = t_prime + big_t;
+    let mut upsilon = Matrix::identity(2 * n);
+    let mut cursor = t_prime;
+    // Boundaries at the exact right edge still apply ζ (right-continuous
+    // goal sets; see the same rule in `nested::upsilon_product`).
+    for &b in &sets.boundaries() {
+        if b <= t_prime || b > t_end {
+            continue;
+        }
+        let piece = transition_matrix(&doubled, cursor, b - cursor, &tol.ode)?;
+        upsilon = upsilon.matmul(&piece)?.matmul(&zeta_doubled(sets, b))?;
+        cursor = b;
+    }
+    let piece = transition_matrix(&doubled, cursor, t_end - cursor, &tol.ode)?;
+    upsilon = upsilon.matmul(&piece)?;
+    let g2 = sets.gamma2().set_at(t_prime);
+    Ok((0..n)
+        .map(|s| {
+            if g2[s] {
+                1.0
+            } else {
+                let mass: f64 = (0..n).map(|j| upsilon[(s, n + j)]).sum();
+                mass.clamp(0.0, 1.0)
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nested::{reach_probability, PiecewiseStateSet};
+    use mfcsl_ctmc::inhomogeneous::{ConstGenerator, FnGenerator};
+    use mfcsl_ctmc::CtmcBuilder;
+
+    fn tol() -> Tolerances {
+        let mut t = Tolerances::default();
+        t.ode = t.ode.with_tolerances(1e-11, 1e-13);
+        t
+    }
+
+    fn chain4() -> mfcsl_ctmc::Ctmc {
+        CtmcBuilder::new()
+            .state("a", ["a"])
+            .state("b", ["b"])
+            .state("c", ["c"])
+            .state("d", ["d"])
+            .transition("a", "b", 0.7)
+            .unwrap()
+            .transition("b", "c", 0.9)
+            .unwrap()
+            .transition("b", "a", 0.2)
+            .unwrap()
+            .transition("c", "d", 0.4)
+            .unwrap()
+            .transition("c", "b", 0.1)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn doubling_agrees_with_goal_state_constant_sets() {
+        let ctmc = chain4();
+        let gen = ConstGenerator::new(&ctmc);
+        let sets = PiecewiseSets::new(
+            PiecewiseStateSet::constant(0.0, 5.0, vec![true, true, true, false]).unwrap(),
+            PiecewiseStateSet::constant(0.0, 5.0, vec![false, false, false, true]).unwrap(),
+        )
+        .unwrap();
+        let single = reach_probability(&gen, &sets, 0.0, 3.0, &tol()).unwrap();
+        let doubled = reach_probability_doubled(&gen, &sets, 0.0, 3.0, &tol()).unwrap();
+        for (a, b) in single.iter().zip(&doubled) {
+            assert!((a - b).abs() < 1e-8, "{single:?} vs {doubled:?}");
+        }
+    }
+
+    #[test]
+    fn doubling_agrees_with_goal_state_time_varying_sets() {
+        let gen = FnGenerator::new(3, |t: f64, q: &mut Matrix| {
+            let r = 0.4 + 0.2 * (t * 0.9).cos();
+            *q = Matrix::zeros(3, 3);
+            q[(0, 1)] = r;
+            q[(0, 0)] = -r;
+            q[(1, 2)] = 0.5;
+            q[(1, 0)] = 0.1;
+            q[(1, 1)] = -0.6;
+        });
+        let g1 = PiecewiseStateSet::new(
+            0.0,
+            6.0,
+            vec![1.5, 3.5],
+            vec![
+                vec![true, true, false],
+                vec![true, false, false],
+                vec![true, true, false],
+            ],
+        )
+        .unwrap();
+        let g2 = PiecewiseStateSet::new(
+            0.0,
+            6.0,
+            vec![2.5],
+            vec![vec![false, false, true], vec![false, true, true]],
+        )
+        .unwrap();
+        let sets = PiecewiseSets::new(g1, g2).unwrap();
+        for &(t_prime, big_t) in &[(0.0, 4.0), (1.0, 2.0), (2.0, 3.0)] {
+            let single = reach_probability(&gen, &sets, t_prime, big_t, &tol()).unwrap();
+            let doubled = reach_probability_doubled(&gen, &sets, t_prime, big_t, &tol()).unwrap();
+            for (s, (a, b)) in single.iter().zip(&doubled).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-7,
+                    "state {s}, window ({t_prime}, {big_t}): {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn doubled_validation() {
+        let ctmc = chain4();
+        let gen = ConstGenerator::new(&ctmc);
+        let small = PiecewiseSets::new(
+            PiecewiseStateSet::constant(0.0, 2.0, vec![true]).unwrap(),
+            PiecewiseStateSet::constant(0.0, 2.0, vec![false]).unwrap(),
+        )
+        .unwrap();
+        assert!(DoubledGenerator::new(&gen, &small).is_err());
+        let sets = PiecewiseSets::new(
+            PiecewiseStateSet::constant(0.0, 2.0, vec![true, true, true, false]).unwrap(),
+            PiecewiseStateSet::constant(0.0, 2.0, vec![false, false, false, true]).unwrap(),
+        )
+        .unwrap();
+        assert!(reach_probability_doubled(&gen, &sets, 0.0, 5.0, &tol()).is_err());
+        assert!(reach_probability_doubled(&gen, &sets, 0.0, -1.0, &tol()).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Error type for CSL model checking.
+
+use std::fmt;
+
+use mfcsl_ctmc::CtmcError;
+use mfcsl_math::MathError;
+use mfcsl_ode::OdeError;
+
+/// Error returned by the CSL checkers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CslError {
+    /// A formula references an atomic proposition the model never uses.
+    /// (Not an error per se — such propositions are simply false — but the
+    /// parser-to-checker pipeline flags them since they almost always
+    /// indicate a typo.)
+    UnknownAtomicProposition(String),
+    /// The formula text could not be parsed.
+    Parse {
+        /// Byte offset of the error in the input.
+        position: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The formula is outside the fragment the algorithms support.
+    Unsupported(String),
+    /// The steady-state operator was used without a stationary distribution.
+    NoStationaryDistribution,
+    /// An argument was outside its documented domain.
+    InvalidArgument(String),
+    /// An underlying CTMC routine failed.
+    Ctmc(CtmcError),
+    /// An underlying ODE integration failed.
+    Ode(OdeError),
+    /// An underlying numerical routine failed.
+    Math(MathError),
+}
+
+impl fmt::Display for CslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CslError::UnknownAtomicProposition(ap) => {
+                write!(f, "atomic proposition `{ap}` does not occur in the model")
+            }
+            CslError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            CslError::Unsupported(msg) => write!(f, "unsupported formula: {msg}"),
+            CslError::NoStationaryDistribution => write!(
+                f,
+                "steady-state operator requires a stationary distribution; the model was \
+                 built without one"
+            ),
+            CslError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            CslError::Ctmc(e) => write!(f, "ctmc error: {e}"),
+            CslError::Ode(e) => write!(f, "ode error: {e}"),
+            CslError::Math(e) => write!(f, "numerical error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CslError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CslError::Ctmc(e) => Some(e),
+            CslError::Ode(e) => Some(e),
+            CslError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CtmcError> for CslError {
+    fn from(e: CtmcError) -> Self {
+        CslError::Ctmc(e)
+    }
+}
+
+impl From<OdeError> for CslError {
+    fn from(e: OdeError) -> Self {
+        CslError::Ode(e)
+    }
+}
+
+impl From<MathError> for CslError {
+    fn from(e: MathError) -> Self {
+        CslError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        let e = CslError::Parse {
+            position: 3,
+            message: "expected `]`".into(),
+        };
+        assert!(e.to_string().contains("byte 3"));
+        let e: CslError = CtmcError::UnknownState("x".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CslError = OdeError::NewtonFailed { t: 0.0 }.into();
+        assert!(e.to_string().contains("ode"));
+        let e: CslError = MathError::Singular.into();
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CslError>();
+    }
+}

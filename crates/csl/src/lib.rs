@@ -1,0 +1,54 @@
+//! CSL model checking on homogeneous and time-inhomogeneous CTMCs.
+//!
+//! This crate implements the local level of the paper's two-layer checking
+//! pipeline (Sec. IV): Continuous Stochastic Logic evaluated on the
+//! time-inhomogeneous CTMC `𝓜ˡ` that a mean-field trajectory induces on a
+//! random individual object, plus the classic algorithms for
+//! time-homogeneous chains (Baier et al. [18]) used both for the frozen
+//! (steady-state) chain and as a cross-validation oracle when rates are
+//! constant.
+//!
+//! Module map, keyed to the paper:
+//!
+//! * [`syntax`] / [`parser`] — CSL state and path formulas (Def. 3);
+//! * [`homogeneous`] — the classic checker (Sec. IV-A, Eq. 3);
+//! * [`model`] — the time-varying local model (generator + labels +
+//!   optional stationary distribution);
+//! * [`until`] — single interval until on the inhomogeneous chain
+//!   (Sec. IV-B, Eqs. 4–7), including the time-dependent evaluator driven
+//!   by the combined Kolmogorov equation;
+//! * [`nested`] — time-varying-set reachability with the fresh goal state
+//!   `s*` and carry-over matrices `ζ(T_i)` (Sec. IV-C, Eqs. 8–13 and the
+//!   appendix algorithm);
+//! * [`doubling`] — the state-space-doubling formulation of Bortolussi &
+//!   Hillston [14], kept as an ablation baseline for the paper's claim that
+//!   the single-goal-state construction is cheaper;
+//! * [`next`] — the interval Next operator (omitted in the paper's main
+//!   text, algorithm per its reference [19]);
+//! * [`checker`] — recursive satisfaction-set development (Sec. IV-E),
+//!   producing both fixed-time sets and piecewise-constant time-dependent
+//!   sets with located discontinuity points.
+
+// `!(x > 0.0)`-style guards are used deliberately throughout: unlike
+// `x <= 0.0`, they classify NaN as invalid input instead of letting it
+// through, which is exactly the intent of the validation sites.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod doubling;
+pub mod error;
+pub mod homogeneous;
+pub mod model;
+pub mod nested;
+pub mod next;
+pub mod parser;
+pub mod syntax;
+pub mod tolerances;
+pub mod until;
+
+pub use error::CslError;
+pub use model::LocalTvModel;
+pub use parser::{parse_path_formula, parse_state_formula};
+pub use syntax::{Comparison, PathFormula, StateFormula, TimeInterval};
+pub use tolerances::Tolerances;

@@ -1,0 +1,249 @@
+//! The time-varying local model checked by the inhomogeneous algorithms.
+//!
+//! Def. 1 of the paper: a local model is a labeled CTMC whose generator
+//! depends on the overall system state. Once an initial occupancy vector is
+//! fixed, the mean-field ODE pins down `m̄(t)` and hence a *time-varying*
+//! generator `Q(t) = Q(m̄(t))`. [`LocalTvModel`] packages that generator
+//! with the labeling and, optionally, the stationary regime (the fixed
+//! point `m̃` and the chain frozen at it) needed by the steady-state
+//! operator (Sec. IV-D).
+
+use mfcsl_ctmc::inhomogeneous::TimeVaryingGenerator;
+use mfcsl_ctmc::{Ctmc, Labeling};
+use mfcsl_math::Matrix;
+
+use crate::CslError;
+
+/// Stationary regime of the local model: the fixed-point occupancy `m̃` and
+/// the time-homogeneous chain `Q(m̃)` frozen at it.
+#[derive(Debug, Clone)]
+pub struct StationaryRegime {
+    /// The stationary occupancy vector `m̃` (solves `m̃·Q(m̃) = 0`).
+    pub distribution: Vec<f64>,
+    /// The local chain with rates frozen at `m̃`.
+    pub frozen: Ctmc,
+}
+
+/// A time-inhomogeneous labeled local model.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_csl::LocalTvModel;
+/// use mfcsl_ctmc::inhomogeneous::FnGenerator;
+/// use mfcsl_ctmc::Labeling;
+/// use mfcsl_math::Matrix;
+///
+/// # fn main() -> Result<(), mfcsl_csl::CslError> {
+/// let gen = FnGenerator::new(2, |t: f64, q: &mut Matrix| {
+///     let r = 1.0 + t;
+///     q[(0, 0)] = -r; q[(0, 1)] = r;
+///     q[(1, 0)] = 0.0; q[(1, 1)] = 0.0;
+/// });
+/// let mut labels = Labeling::new(2);
+/// labels.add(0, "healthy");
+/// labels.add(1, "infected");
+/// let model = LocalTvModel::new(gen, labels, vec!["healthy".into(), "infected".into()])?;
+/// assert_eq!(model.n_states(), 2);
+/// assert!(model.frozen_at(0.0)?.generator()[(0, 1)] == 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct LocalTvModel<G> {
+    gen: G,
+    labeling: Labeling,
+    names: Vec<String>,
+    stationary: Option<StationaryRegime>,
+}
+
+impl<G: TimeVaryingGenerator> LocalTvModel<G> {
+    /// Creates a model from a generator, labeling and state names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CslError::InvalidArgument`] if the shapes disagree or the
+    /// model is empty.
+    pub fn new(gen: G, labeling: Labeling, names: Vec<String>) -> Result<Self, CslError> {
+        let n = gen.n_states();
+        if n == 0 {
+            return Err(CslError::InvalidArgument(
+                "model must have at least one state".into(),
+            ));
+        }
+        if labeling.n_states() != n || names.len() != n {
+            return Err(CslError::InvalidArgument(format!(
+                "shape mismatch: generator has {n} states, labeling {}, names {}",
+                labeling.n_states(),
+                names.len()
+            )));
+        }
+        Ok(LocalTvModel {
+            gen,
+            labeling,
+            names,
+            stationary: None,
+        })
+    }
+
+    /// Attaches the stationary regime (enables the `S` operator).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CslError::InvalidArgument`] on shape mismatch.
+    pub fn with_stationary(mut self, regime: StationaryRegime) -> Result<Self, CslError> {
+        if regime.distribution.len() != self.n_states()
+            || regime.frozen.n_states() != self.n_states()
+        {
+            return Err(CslError::InvalidArgument(format!(
+                "stationary regime has {} states, model has {}",
+                regime.distribution.len(),
+                self.n_states()
+            )));
+        }
+        self.stationary = Some(regime);
+        Ok(self)
+    }
+
+    /// Number of local states.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.gen.n_states()
+    }
+
+    /// The time-varying generator.
+    #[must_use]
+    pub fn generator(&self) -> &G {
+        &self.gen
+    }
+
+    /// The labeling function.
+    #[must_use]
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// State names.
+    #[must_use]
+    pub fn state_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The stationary regime, if attached.
+    #[must_use]
+    pub fn stationary(&self) -> Option<&StationaryRegime> {
+        self.stationary.as_ref()
+    }
+
+    /// Looks up a state index by name.
+    #[must_use]
+    pub fn state_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The time-homogeneous chain with rates frozen at time `t` — used to
+    /// cross-validate the inhomogeneous algorithms and for display.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator validation errors.
+    pub fn frozen_at(&self, t: f64) -> Result<Ctmc, CslError> {
+        let n = self.n_states();
+        let mut q = Matrix::zeros(n, n);
+        self.gen.write_generator(t, &mut q);
+        Ok(Ctmc::from_parts(
+            self.names.clone(),
+            q,
+            self.labeling.clone(),
+        )?)
+    }
+
+    /// States carrying an atomic proposition; errors on propositions that
+    /// occur nowhere in the model's alphabet (almost always a typo).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CslError::UnknownAtomicProposition`].
+    pub fn sat_ap(&self, ap: &str) -> Result<Vec<bool>, CslError> {
+        if !self.labeling.alphabet().contains(ap) {
+            return Err(CslError::UnknownAtomicProposition(ap.to_string()));
+        }
+        Ok((0..self.n_states())
+            .map(|s| self.labeling.has(s, ap))
+            .collect())
+    }
+}
+
+impl<G> std::fmt::Debug for LocalTvModel<G> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalTvModel")
+            .field("names", &self.names)
+            .field("has_stationary", &self.stationary.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcsl_ctmc::inhomogeneous::FnGenerator;
+
+    fn model() -> LocalTvModel<FnGenerator<impl Fn(f64, &mut Matrix)>> {
+        let gen = FnGenerator::new(2, |t: f64, q: &mut Matrix| {
+            let r = 1.0 + t;
+            q[(0, 0)] = -r;
+            q[(0, 1)] = r;
+            q[(1, 0)] = 0.5;
+            q[(1, 1)] = -0.5;
+        });
+        let mut labels = Labeling::new(2);
+        labels.add(0, "up");
+        labels.add(1, "down");
+        LocalTvModel::new(gen, labels, vec!["up".into(), "down".into()]).unwrap()
+    }
+
+    #[test]
+    fn accessors_and_frozen() {
+        let m = model();
+        assert_eq!(m.n_states(), 2);
+        assert_eq!(m.state_index("down"), Some(1));
+        assert_eq!(m.state_index("zzz"), None);
+        let frozen = m.frozen_at(3.0).unwrap();
+        assert_eq!(frozen.generator()[(0, 1)], 4.0);
+        assert!(m.stationary().is_none());
+    }
+
+    #[test]
+    fn sat_ap_and_unknown_ap() {
+        let m = model();
+        assert_eq!(m.sat_ap("up").unwrap(), vec![true, false]);
+        assert!(matches!(
+            m.sat_ap("ghost"),
+            Err(CslError::UnknownAtomicProposition(_))
+        ));
+    }
+
+    #[test]
+    fn shape_validation() {
+        let gen = FnGenerator::new(2, |_t: f64, _q: &mut Matrix| {});
+        let labels = Labeling::new(3);
+        assert!(LocalTvModel::new(gen, labels, vec!["a".into(), "b".into()]).is_err());
+        let gen0 = FnGenerator::new(0, |_t: f64, _q: &mut Matrix| {});
+        assert!(LocalTvModel::new(gen0, Labeling::new(0), vec![]).is_err());
+    }
+
+    #[test]
+    fn stationary_regime_validation() {
+        let m = model();
+        let frozen = m.frozen_at(0.0).unwrap();
+        let good = StationaryRegime {
+            distribution: vec![0.5, 0.5],
+            frozen: frozen.clone(),
+        };
+        assert!(model().with_stationary(good).is_ok());
+        let bad = StationaryRegime {
+            distribution: vec![1.0],
+            frozen,
+        };
+        assert!(model().with_stationary(bad).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! The interval Next operator on the time-inhomogeneous local model.
+//!
+//! The paper omits Next from its main discussion (Sec. IV-A notes such
+//! properties are rare in practice and defers to its reference [19]); it is
+//! included here for completeness. For a start state `s` at evaluation time
+//! `t`, with time-independent inner satisfaction set `A`:
+//!
+//! `Prob(s, X^[a,b] A, t) = ∫_{t+a}^{t+b} Σ_{j∈A} q_{sj}(τ) · e^{-∫_t^τ E_s(u) du} dτ`,
+//!
+//! i.e. the first jump lands in `A` and happens inside the window. The
+//! integral is computed per state by a 2-dimensional ODE (survival
+//! probability and accumulated success mass), split at `t+a` where the
+//! integrand switches on.
+
+use mfcsl_ctmc::inhomogeneous::TimeVaryingGenerator;
+use mfcsl_math::Matrix;
+use mfcsl_ode::dopri::Dopri5;
+use mfcsl_ode::problem::FnSystem;
+
+use crate::model::LocalTvModel;
+use crate::syntax::TimeInterval;
+use crate::{CslError, Tolerances};
+
+/// Computes `Prob(s, X^I A, t)` for every start state `s` at evaluation
+/// time `t`, given the (time-independent) satisfaction vector of the inner
+/// formula.
+///
+/// # Errors
+///
+/// Returns [`CslError::InvalidArgument`] on shape mismatch or negative `t`
+/// and propagates ODE failures.
+pub fn next_probabilities<G: TimeVaryingGenerator>(
+    model: &LocalTvModel<G>,
+    sat_inner: &[bool],
+    interval: TimeInterval,
+    t: f64,
+    tol: &Tolerances,
+) -> Result<Vec<f64>, CslError> {
+    let n = model.n_states();
+    if sat_inner.len() != n {
+        return Err(CslError::InvalidArgument(format!(
+            "satisfaction vector has length {}, model has {n} states",
+            sat_inner.len()
+        )));
+    }
+    if !(t >= 0.0) || !t.is_finite() {
+        return Err(CslError::InvalidArgument(format!(
+            "evaluation time must be finite and non-negative, got {t}"
+        )));
+    }
+    tol.validate()?;
+    let gen = model.generator();
+    let mut out = vec![0.0; n];
+    for (s, out_s) in out.iter_mut().enumerate() {
+        // State: y[0] = survival in s since t, y[1] = accumulated success.
+        let in_window = move |tau: f64| tau >= t + interval.lo();
+        let sys = FnSystem::new(2, move |tau: f64, y: &[f64], dy: &mut [f64]| {
+            let mut q = Matrix::zeros(n, n);
+            gen.write_generator(tau, &mut q);
+            let exit = -q[(s, s)];
+            dy[0] = -exit * y[0];
+            dy[1] = if in_window(tau) {
+                let into_goal: f64 = (0..n)
+                    .filter(|&j| j != s && sat_inner[j])
+                    .map(|j| q[(s, j)])
+                    .sum();
+                into_goal * y[0]
+            } else {
+                0.0
+            };
+        });
+        // Split at t + a to keep the integrand smooth per segment.
+        let solver = Dopri5::new(tol.ode);
+        let mid = solver.solve(&sys, t, t + interval.lo(), &[1.0, 0.0])?;
+        let final_leg = solver.solve(
+            &sys,
+            t + interval.lo(),
+            t + interval.hi(),
+            &mid.final_state(),
+        )?;
+        *out_s = final_leg.final_state()[1].clamp(0.0, 1.0);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homogeneous;
+    use mfcsl_ctmc::inhomogeneous::{ConstGenerator, FnGenerator};
+    use mfcsl_ctmc::{CtmcBuilder, Labeling};
+
+    fn tol() -> Tolerances {
+        let mut t = Tolerances::default();
+        t.ode = t.ode.with_tolerances(1e-11, 1e-13);
+        t
+    }
+
+    #[test]
+    fn constant_rates_match_homogeneous_next() {
+        let ctmc = CtmcBuilder::new()
+            .state("a", ["a"])
+            .state("b", ["b"])
+            .state("c", ["c"])
+            .transition("a", "b", 0.7)
+            .unwrap()
+            .transition("a", "c", 0.3)
+            .unwrap()
+            .transition("b", "a", 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let model = LocalTvModel::new(
+            ConstGenerator::new(&ctmc),
+            ctmc.labeling().clone(),
+            ctmc.state_names().to_vec(),
+        )
+        .unwrap();
+        let sat = [false, true, false];
+        for interval in [
+            TimeInterval::bounded_by(2.0).unwrap(),
+            TimeInterval::new(0.5, 1.5).unwrap(),
+        ] {
+            let inhom = next_probabilities(&model, &sat, interval, 0.0, &tol()).unwrap();
+            let hom = homogeneous::next_probabilities(&ctmc, &sat, interval).unwrap();
+            for (a, b) in inhom.iter().zip(&hom) {
+                assert!((a - b).abs() < 1e-8, "{inhom:?} vs {hom:?}");
+            }
+            // Time invariance for constant rates.
+            let later = next_probabilities(&model, &sat, interval, 3.0, &tol()).unwrap();
+            for (a, b) in inhom.iter().zip(&later) {
+                assert!((a - b).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_time_varying_next() {
+        // Single transition 0 -> 1 with rate r(τ) = τ. X^[0,b] from state 0
+        // at time t: jump lands in state 1 with certainty, so
+        // Prob = 1 - exp(-((t+b)² - t²)/2).
+        let gen = FnGenerator::new(2, |tau: f64, q: &mut Matrix| {
+            *q = Matrix::zeros(2, 2);
+            q[(0, 0)] = -tau;
+            q[(0, 1)] = tau;
+        });
+        let mut labels = Labeling::new(2);
+        labels.add(0, "src");
+        labels.add(1, "dst");
+        let model = LocalTvModel::new(gen, labels, vec!["src".into(), "dst".into()]).unwrap();
+        let b = 1.2;
+        for &t in &[0.0, 0.8, 2.0] {
+            let p = next_probabilities(
+                &model,
+                &[false, true],
+                TimeInterval::bounded_by(b).unwrap(),
+                t,
+                &tol(),
+            )
+            .unwrap();
+            let exact = 1.0 - (-(((t + b) * (t + b)) - t * t) / 2.0_f64).exp();
+            assert!((p[0] - exact).abs() < 1e-8, "t = {t}: {} vs {exact}", p[0]);
+            // Absorbing state: no next step at all.
+            assert_eq!(p[1], 0.0);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let gen = FnGenerator::new(2, |_tau: f64, q: &mut Matrix| {
+            *q = Matrix::zeros(2, 2);
+        });
+        let model = LocalTvModel::new(gen, Labeling::new(2), vec!["a".into(), "b".into()]).unwrap();
+        let iv = TimeInterval::bounded_by(1.0).unwrap();
+        assert!(next_probabilities(&model, &[true], iv, 0.0, &tol()).is_err());
+        assert!(next_probabilities(&model, &[true, true], iv, -1.0, &tol()).is_err());
+    }
+}

@@ -1,0 +1,484 @@
+//! A text syntax for CSL formulas.
+//!
+//! ```text
+//! state    := or
+//! or       := and ('|' and)*
+//! and      := unary ('&' unary)*
+//! unary    := '!' unary | primary
+//! primary  := 'tt' | 'ff' | ident | '(' state ')'
+//!           | 'P' '{' cmp number '}' '[' path ']'
+//!           | 'S' '{' cmp number '}' '[' state ']'
+//! path     := 'X' interval state | state 'U' interval state
+//! interval := '[' number ',' number ']'
+//! cmp      := '<=' | '<' | '>=' | '>'
+//! ```
+//!
+//! Example: `P{>0.9}[ infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ] ]`.
+
+use crate::syntax::{check_probability_bound, Comparison, PathFormula, StateFormula, TimeInterval};
+use crate::CslError;
+
+/// Parses a CSL state formula.
+///
+/// # Errors
+///
+/// Returns [`CslError::Parse`] with a byte position on malformed input and
+/// [`CslError::InvalidArgument`] for out-of-range probability bounds or
+/// time intervals.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_csl::parse_state_formula;
+///
+/// let phi = parse_state_formula("P{<0.3}[ not_infected U[0,1] infected ]")?;
+/// assert!(phi.is_time_dependent());
+/// # Ok::<(), mfcsl_csl::CslError>(())
+/// ```
+pub fn parse_state_formula(input: &str) -> Result<StateFormula, CslError> {
+    let mut p = Parser::new(input);
+    let phi = p.state_formula()?;
+    p.expect_end()?;
+    Ok(phi)
+}
+
+/// Parses a CSL path formula (the argument of a `P` operator).
+///
+/// # Errors
+///
+/// See [`parse_state_formula`].
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_csl::parse_path_formula;
+///
+/// let phi = parse_path_formula("not_infected U[0,1] infected")?;
+/// assert_eq!(phi.time_horizon(), 1.0);
+/// # Ok::<(), mfcsl_csl::CslError>(())
+/// ```
+pub fn parse_path_formula(input: &str) -> Result<PathFormula, CslError> {
+    let mut p = Parser::new(input);
+    let phi = p.path_formula()?;
+    p.expect_end()?;
+    Ok(phi)
+}
+
+pub(crate) struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    pub(crate) fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> CslError {
+        CslError::Parse {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input.as_bytes()[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.input.as_bytes().get(self.pos).copied()
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), CslError> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn try_eat(&mut self, expected: u8) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect_end(&mut self) -> Result<(), CslError> {
+        if self.peek().is_some() {
+            Err(self.error("unexpected trailing input"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CslError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        if self.pos >= bytes.len()
+            || !(bytes[self.pos].is_ascii_alphabetic() || bytes[self.pos] == b'_')
+        {
+            return Err(self.error("expected an identifier"));
+        }
+        while self.pos < bytes.len()
+            && (bytes[self.pos].is_ascii_alphanumeric() || bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    pub(crate) fn number(&mut self) -> Result<f64, CslError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len()
+            && (bytes[self.pos].is_ascii_digit()
+                || bytes[self.pos] == b'.'
+                || bytes[self.pos] == b'e'
+                || bytes[self.pos] == b'E'
+                || ((bytes[self.pos] == b'+' || bytes[self.pos] == b'-')
+                    && self.pos > start
+                    && (bytes[self.pos - 1] == b'e' || bytes[self.pos - 1] == b'E')))
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.error("expected a number"));
+        }
+        self.input[start..self.pos]
+            .parse::<f64>()
+            .map_err(|e| self.error(format!("bad number: {e}")))
+    }
+
+    pub(crate) fn comparison(&mut self) -> Result<Comparison, CslError> {
+        self.skip_ws();
+        let bytes = self.input.as_bytes();
+        let rest = &bytes[self.pos..];
+        let (cmp, len) = match rest {
+            [b'<', b'=', ..] => (Comparison::Le, 2),
+            [b'>', b'=', ..] => (Comparison::Ge, 2),
+            [b'<', ..] => (Comparison::Lt, 1),
+            [b'>', ..] => (Comparison::Gt, 1),
+            _ => return Err(self.error("expected a comparison (<=, <, >, >=)")),
+        };
+        self.pos += len;
+        Ok(cmp)
+    }
+
+    pub(crate) fn interval(&mut self) -> Result<TimeInterval, CslError> {
+        self.eat(b'[')?;
+        let lo = self.number()?;
+        self.eat(b',')?;
+        let hi = self.number()?;
+        self.eat(b']')?;
+        TimeInterval::new(lo, hi)
+    }
+
+    fn bound(&mut self) -> Result<(Comparison, f64), CslError> {
+        self.eat(b'{')?;
+        let cmp = self.comparison()?;
+        let p = self.number()?;
+        check_probability_bound(p)?;
+        self.eat(b'}')?;
+        Ok((cmp, p))
+    }
+
+    pub(crate) fn state_formula(&mut self) -> Result<StateFormula, CslError> {
+        let mut lhs = self.and_expr()?;
+        while self.try_eat(b'|') {
+            let rhs = self.and_expr()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<StateFormula, CslError> {
+        let mut lhs = self.unary()?;
+        while self.try_eat(b'&') {
+            let rhs = self.unary()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<StateFormula, CslError> {
+        if self.try_eat(b'!') {
+            return Ok(self.unary()?.not());
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<StateFormula, CslError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.eat(b'(')?;
+                let inner = self.state_formula()?;
+                self.eat(b')')?;
+                Ok(inner)
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let saved = self.pos;
+                let name = self.ident()?;
+                match name.as_str() {
+                    "tt" => Ok(StateFormula::True),
+                    "ff" => Ok(StateFormula::True.not()),
+                    "P" if self.peek() == Some(b'{') => {
+                        let (cmp, p) = self.bound()?;
+                        self.eat(b'[')?;
+                        let path = self.path_formula()?;
+                        self.eat(b']')?;
+                        StateFormula::prob(cmp, p, path)
+                    }
+                    "S" if self.peek() == Some(b'{') => {
+                        let (cmp, p) = self.bound()?;
+                        self.eat(b'[')?;
+                        let inner = self.state_formula()?;
+                        self.eat(b']')?;
+                        StateFormula::steady(cmp, p, inner)
+                    }
+                    // `U` and `X` are keywords of the path grammar; a state
+                    // formula cannot start with them.
+                    "U" | "X" => {
+                        self.pos = saved;
+                        Err(self.error(format!("`{name}` is a reserved path keyword")))
+                    }
+                    _ => Ok(StateFormula::Ap(name)),
+                }
+            }
+            _ => Err(self.error("expected a state formula")),
+        }
+    }
+
+    pub(crate) fn path_formula(&mut self) -> Result<PathFormula, CslError> {
+        // `X` interval state — lookahead: ident `X` followed by `[`.
+        self.skip_ws();
+        let saved = self.pos;
+        if self.peek().is_some_and(|c| c == b'X') {
+            if let Ok(name) = self.ident() {
+                if name == "X" && self.peek() == Some(b'[') {
+                    let interval = self.interval()?;
+                    let inner = self.state_formula()?;
+                    return Ok(PathFormula::next(interval, inner));
+                }
+            }
+            self.pos = saved;
+        }
+        let lhs = self.state_formula()?;
+        self.skip_ws();
+        let kw = self.ident().map_err(|_| self.error("expected `U`"))?;
+        if kw != "U" {
+            return Err(self.error(format!("expected `U`, found `{kw}`")));
+        }
+        let interval = self.interval()?;
+        let rhs = self.state_formula()?;
+        Ok(PathFormula::until(lhs, interval, rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_atoms_and_boolean_structure() {
+        assert_eq!(parse_state_formula("tt").unwrap(), StateFormula::True);
+        assert_eq!(parse_state_formula("ff").unwrap(), StateFormula::True.not());
+        assert_eq!(
+            parse_state_formula("infected").unwrap(),
+            StateFormula::ap("infected")
+        );
+        let phi = parse_state_formula("!a & (b | c)").unwrap();
+        assert_eq!(
+            phi,
+            StateFormula::ap("a")
+                .not()
+                .and(StateFormula::ap("b").or(StateFormula::ap("c")))
+        );
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        let phi = parse_state_formula("a | b & c").unwrap();
+        assert_eq!(
+            phi,
+            StateFormula::ap("a").or(StateFormula::ap("b").and(StateFormula::ap("c")))
+        );
+    }
+
+    #[test]
+    fn parses_until_with_interval() {
+        let phi = parse_state_formula("P{<0.3}[ not_infected U[0,1] infected ]").unwrap();
+        let expected = StateFormula::prob(
+            Comparison::Lt,
+            0.3,
+            PathFormula::until(
+                StateFormula::ap("not_infected"),
+                TimeInterval::bounded_by(1.0).unwrap(),
+                StateFormula::ap("infected"),
+            ),
+        )
+        .unwrap();
+        assert_eq!(phi, expected);
+    }
+
+    #[test]
+    fn parses_the_papers_nested_formula() {
+        let phi =
+            parse_state_formula("P{>0.9}[ infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ] ]")
+                .unwrap();
+        assert_eq!(phi.prob_nesting_depth(), 2);
+        assert_eq!(phi.time_horizon(), 15.5);
+    }
+
+    #[test]
+    fn parses_next() {
+        let phi = parse_path_formula("X[0.5,2] goal").unwrap();
+        assert_eq!(
+            phi,
+            PathFormula::next(
+                TimeInterval::new(0.5, 2.0).unwrap(),
+                StateFormula::ap("goal")
+            )
+        );
+        // An AP that merely starts with X still parses as an AP.
+        let phi = parse_path_formula("Xray U[0,1] done").unwrap();
+        assert!(matches!(phi, PathFormula::Until { .. }));
+    }
+
+    #[test]
+    fn parses_steady_state() {
+        let phi = parse_state_formula("S{>=0.9}[ up ]").unwrap();
+        assert_eq!(
+            phi,
+            StateFormula::steady(Comparison::Ge, 0.9, StateFormula::ap("up")).unwrap()
+        );
+    }
+
+    #[test]
+    fn comparison_variants() {
+        for (text, cmp) in [
+            ("<=", Comparison::Le),
+            ("<", Comparison::Lt),
+            (">", Comparison::Gt),
+            (">=", Comparison::Ge),
+        ] {
+            let phi = parse_state_formula(&format!("P{{{text}0.5}}[ tt U[0,1] g ]")).unwrap();
+            match phi {
+                StateFormula::Prob { cmp: c, .. } => assert_eq!(c, cmp),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn p_and_s_as_plain_identifiers() {
+        // Without a following `{`, P and S are ordinary propositions.
+        assert_eq!(parse_state_formula("P").unwrap(), StateFormula::ap("P"));
+        assert_eq!(
+            parse_state_formula("S & P").unwrap(),
+            StateFormula::ap("S").and(StateFormula::ap("P"))
+        );
+    }
+
+    #[test]
+    fn error_positions_and_messages() {
+        let err = parse_state_formula("P{<0.3}[ a U[0,1] ").unwrap_err();
+        assert!(matches!(err, CslError::Parse { .. }));
+        let err = parse_state_formula("a &").unwrap_err();
+        assert!(matches!(err, CslError::Parse { .. }));
+        let err = parse_state_formula("a b").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+        let err = parse_state_formula("P{<1.5}[ tt U[0,1] g ]").unwrap_err();
+        assert!(matches!(err, CslError::InvalidArgument(_)));
+        let err = parse_state_formula("P{<0.5}[ tt U[3,1] g ]").unwrap_err();
+        assert!(matches!(err, CslError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn scientific_notation_numbers() {
+        let phi = parse_state_formula("P{<1e-3}[ tt U[0,1.5e1] g ]").unwrap();
+        match phi {
+            StateFormula::Prob { p, path, .. } => {
+                assert_eq!(p, 1e-3);
+                match *path {
+                    PathFormula::Until { interval, .. } => assert_eq!(interval.hi(), 15.0),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let texts = [
+            "P{<0.3}[ not_infected U[0,1] infected ]",
+            "S{>=0.9}[ up & !down ]",
+            "P{>0.9}[ infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ] ]",
+            "(a | b) & !c",
+        ];
+        for text in texts {
+            let phi = parse_state_formula(text).unwrap();
+            let again = parse_state_formula(&phi.to_string()).unwrap();
+            assert_eq!(phi, again, "round trip failed for `{text}`");
+        }
+    }
+
+    #[test]
+    fn reserved_keywords_rejected_as_formula_start() {
+        assert!(parse_state_formula("U").is_err());
+        assert!(parse_state_formula("X").is_err());
+    }
+}
+
+#[cfg(test)]
+mod fuzz_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parser never panics: any input yields Ok or a positioned Err.
+        #[test]
+        fn prop_parser_total(input in "\\PC{0,60}") {
+            let _ = parse_state_formula(&input);
+            let _ = parse_path_formula(&input);
+        }
+
+        /// Structured-ish inputs built from grammar fragments also never
+        /// panic and, when they parse, round-trip through Display.
+        #[test]
+        fn prop_fragment_soup(
+            parts in proptest::collection::vec(
+                prop_oneof![
+                    Just("P{>0.5}[".to_string()),
+                    Just("S{<=0.1}[".to_string()),
+                    Just("tt".to_string()),
+                    Just("ap_x".to_string()),
+                    Just("U[0,1]".to_string()),
+                    Just("X[0,2]".to_string()),
+                    Just("]".to_string()),
+                    Just("&".to_string()),
+                    Just("|".to_string()),
+                    Just("!".to_string()),
+                    Just("(".to_string()),
+                    Just(")".to_string()),
+                ],
+                0..10,
+            ),
+        ) {
+            let input = parts.join(" ");
+            if let Ok(phi) = parse_state_formula(&input) {
+                let again = parse_state_formula(&phi.to_string()).unwrap();
+                prop_assert_eq!(phi, again);
+            }
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! CSL abstract syntax (Def. 3 of the paper).
+//!
+//! State formulas:
+//! `Φ ::= tt | lap | ¬Φ | Φ∧Φ | S⋈p(Φ) | P⋈p(φ)`
+//! and path formulas `φ ::= X^I Φ | Φ₁ U^I Φ₂`. Disjunction is provided as
+//! a first-class variant for readability; semantically it is the usual
+//! De Morgan abbreviation.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CslError;
+
+/// A comparison operator `⋈ ∈ {≤, <, >, ≥}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Comparison {
+    /// `≤`
+    Le,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `≥`
+    Ge,
+}
+
+impl Comparison {
+    /// Evaluates `value ⋈ bound`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mfcsl_csl::Comparison;
+    ///
+    /// assert!(Comparison::Lt.holds(0.072, 0.3));
+    /// assert!(!Comparison::Ge.holds(0.2, 0.3));
+    /// ```
+    #[must_use]
+    pub fn holds(self, value: f64, bound: f64) -> bool {
+        match self {
+            Comparison::Le => value <= bound,
+            Comparison::Lt => value < bound,
+            Comparison::Gt => value > bound,
+            Comparison::Ge => value >= bound,
+        }
+    }
+
+    /// Whether the comparison includes the bound itself (affects the
+    /// open/closed-ness of satisfaction-interval endpoints).
+    #[must_use]
+    pub fn includes_bound(self) -> bool {
+        matches!(self, Comparison::Le | Comparison::Ge)
+    }
+
+    /// The comparison satisfied on the *other* side of the bound
+    /// (`¬(v ⋈ b)` is `v ⋈' b`).
+    #[must_use]
+    pub fn negated(self) -> Comparison {
+        match self {
+            Comparison::Le => Comparison::Gt,
+            Comparison::Lt => Comparison::Ge,
+            Comparison::Gt => Comparison::Le,
+            Comparison::Ge => Comparison::Lt,
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Comparison::Le => "<=",
+            Comparison::Lt => "<",
+            Comparison::Gt => ">",
+            Comparison::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A closed time interval `[lo, hi] ⊆ ℝ≥0` attached to a path operator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeInterval {
+    lo: f64,
+    hi: f64,
+}
+
+impl TimeInterval {
+    /// Creates the interval `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CslError::InvalidArgument`] unless `0 ≤ lo ≤ hi < ∞`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, CslError> {
+        if !(lo >= 0.0) || !(hi >= lo) || !hi.is_finite() {
+            return Err(CslError::InvalidArgument(format!(
+                "time interval [{lo}, {hi}] must satisfy 0 <= lo <= hi < inf \
+                 (the algorithms are for time-bounded properties)"
+            )));
+        }
+        Ok(TimeInterval { lo, hi })
+    }
+
+    /// The interval `[0, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// See [`TimeInterval::new`].
+    pub fn bounded_by(hi: f64) -> Result<Self, CslError> {
+        TimeInterval::new(0.0, hi)
+    }
+
+    /// Lower bound.
+    #[must_use]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[must_use]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// `true` if the lower bound is zero.
+    #[must_use]
+    pub fn starts_at_zero(&self) -> bool {
+        self.lo == 0.0
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]", self.lo, self.hi)
+    }
+}
+
+/// A CSL state formula.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StateFormula {
+    /// `tt` — true in every state.
+    True,
+    /// An atomic proposition `lap ∈ LAP`.
+    Ap(String),
+    /// Negation.
+    Not(Box<StateFormula>),
+    /// Conjunction.
+    And(Box<StateFormula>, Box<StateFormula>),
+    /// Disjunction (sugar, first-class for readability).
+    Or(Box<StateFormula>, Box<StateFormula>),
+    /// Steady-state operator `S⋈p(Φ)`.
+    Steady {
+        /// The comparison `⋈`.
+        cmp: Comparison,
+        /// The probability bound `p ∈ [0, 1]`.
+        p: f64,
+        /// The inner state formula.
+        inner: Box<StateFormula>,
+    },
+    /// Probabilistic path operator `P⋈p(φ)`.
+    Prob {
+        /// The comparison `⋈`.
+        cmp: Comparison,
+        /// The probability bound `p ∈ [0, 1]`.
+        p: f64,
+        /// The path formula.
+        path: Box<PathFormula>,
+    },
+}
+
+/// A CSL path formula.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PathFormula {
+    /// Interval next `X^I Φ`.
+    Next {
+        /// The time interval `I`.
+        interval: TimeInterval,
+        /// The post-condition.
+        inner: StateFormula,
+    },
+    /// Interval until `Φ₁ U^I Φ₂`.
+    Until {
+        /// The time interval `I`.
+        interval: TimeInterval,
+        /// The invariant side `Φ₁`.
+        lhs: StateFormula,
+        /// The goal side `Φ₂`.
+        rhs: StateFormula,
+    },
+}
+
+impl StateFormula {
+    /// Atomic proposition shorthand.
+    #[must_use]
+    pub fn ap(name: impl Into<String>) -> Self {
+        StateFormula::Ap(name.into())
+    }
+
+    /// Negation shorthand. (Named after the logic operator on purpose;
+    /// this is a consuming formula constructor, not `std::ops::Not`.)
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn not(self) -> Self {
+        StateFormula::Not(Box::new(self))
+    }
+
+    /// Conjunction shorthand.
+    #[must_use]
+    pub fn and(self, rhs: StateFormula) -> Self {
+        StateFormula::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction shorthand.
+    #[must_use]
+    pub fn or(self, rhs: StateFormula) -> Self {
+        StateFormula::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `P⋈p(φ)` shorthand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CslError::InvalidArgument`] for `p ∉ [0, 1]`.
+    pub fn prob(cmp: Comparison, p: f64, path: PathFormula) -> Result<Self, CslError> {
+        check_probability_bound(p)?;
+        Ok(StateFormula::Prob {
+            cmp,
+            p,
+            path: Box::new(path),
+        })
+    }
+
+    /// `S⋈p(Φ)` shorthand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CslError::InvalidArgument`] for `p ∉ [0, 1]`.
+    pub fn steady(cmp: Comparison, p: f64, inner: StateFormula) -> Result<Self, CslError> {
+        check_probability_bound(p)?;
+        Ok(StateFormula::Steady {
+            cmp,
+            p,
+            inner: Box::new(inner),
+        })
+    }
+
+    /// All atomic propositions appearing in the formula.
+    #[must_use]
+    pub fn atomic_propositions(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_aps(&mut out);
+        out
+    }
+
+    fn collect_aps(&self, out: &mut BTreeSet<String>) {
+        match self {
+            StateFormula::True => {}
+            StateFormula::Ap(ap) => {
+                out.insert(ap.clone());
+            }
+            StateFormula::Not(inner) => inner.collect_aps(out),
+            StateFormula::And(a, b) | StateFormula::Or(a, b) => {
+                a.collect_aps(out);
+                b.collect_aps(out);
+            }
+            StateFormula::Steady { inner, .. } => inner.collect_aps(out),
+            StateFormula::Prob { path, .. } => match path.as_ref() {
+                PathFormula::Next { inner, .. } => inner.collect_aps(out),
+                PathFormula::Until { lhs, rhs, .. } => {
+                    lhs.collect_aps(out);
+                    rhs.collect_aps(out);
+                }
+            },
+        }
+    }
+
+    /// `true` if the formula's truth value in a state can vary with the
+    /// evaluation time (i.e. it contains a `P` operator; `S` is constant in
+    /// time per Eq. 15 of the paper).
+    #[must_use]
+    pub fn is_time_dependent(&self) -> bool {
+        match self {
+            StateFormula::True | StateFormula::Ap(_) => false,
+            StateFormula::Not(inner) => inner.is_time_dependent(),
+            StateFormula::And(a, b) | StateFormula::Or(a, b) => {
+                a.is_time_dependent() || b.is_time_dependent()
+            }
+            // A steady-state value is constant in time (Eq. 15).
+            StateFormula::Steady { .. } => false,
+            StateFormula::Prob { .. } => true,
+        }
+    }
+
+    /// Nesting depth of probabilistic path operators (the paper notes the
+    /// number of satisfaction-set discontinuity points is bounded by this).
+    #[must_use]
+    pub fn prob_nesting_depth(&self) -> usize {
+        match self {
+            StateFormula::True | StateFormula::Ap(_) => 0,
+            StateFormula::Not(inner) => inner.prob_nesting_depth(),
+            StateFormula::And(a, b) | StateFormula::Or(a, b) => {
+                a.prob_nesting_depth().max(b.prob_nesting_depth())
+            }
+            StateFormula::Steady { inner, .. } => inner.prob_nesting_depth(),
+            StateFormula::Prob { path, .. } => {
+                1 + match path.as_ref() {
+                    PathFormula::Next { inner, .. } => inner.prob_nesting_depth(),
+                    PathFormula::Until { lhs, rhs, .. } => {
+                        lhs.prob_nesting_depth().max(rhs.prob_nesting_depth())
+                    }
+                }
+            }
+        }
+    }
+
+    /// The furthest time the formula looks into the future when evaluated
+    /// at a point in time (sum of nested interval upper bounds). The
+    /// checker needs trajectories up to `θ + horizon`.
+    #[must_use]
+    pub fn time_horizon(&self) -> f64 {
+        match self {
+            StateFormula::True | StateFormula::Ap(_) => 0.0,
+            StateFormula::Not(inner) | StateFormula::Steady { inner, .. } => inner.time_horizon(),
+            StateFormula::And(a, b) | StateFormula::Or(a, b) => {
+                a.time_horizon().max(b.time_horizon())
+            }
+            StateFormula::Prob { path, .. } => path.time_horizon(),
+        }
+    }
+}
+
+impl PathFormula {
+    /// Interval until shorthand.
+    #[must_use]
+    pub fn until(lhs: StateFormula, interval: TimeInterval, rhs: StateFormula) -> Self {
+        PathFormula::Until { interval, lhs, rhs }
+    }
+
+    /// Interval next shorthand.
+    #[must_use]
+    pub fn next(interval: TimeInterval, inner: StateFormula) -> Self {
+        PathFormula::Next { interval, inner }
+    }
+
+    /// The furthest look-ahead of the path formula.
+    #[must_use]
+    pub fn time_horizon(&self) -> f64 {
+        match self {
+            PathFormula::Next { interval, inner } => interval.hi() + inner.time_horizon(),
+            PathFormula::Until { interval, lhs, rhs } => {
+                interval.hi() + lhs.time_horizon().max(rhs.time_horizon())
+            }
+        }
+    }
+
+    /// All atomic propositions in the path formula.
+    #[must_use]
+    pub fn atomic_propositions(&self) -> BTreeSet<String> {
+        match self {
+            PathFormula::Next { inner, .. } => inner.atomic_propositions(),
+            PathFormula::Until { lhs, rhs, .. } => {
+                let mut out = lhs.atomic_propositions();
+                out.extend(rhs.atomic_propositions());
+                out
+            }
+        }
+    }
+}
+
+pub(crate) fn check_probability_bound(p: f64) -> Result<(), CslError> {
+    if (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(CslError::InvalidArgument(format!(
+            "probability bound must be in [0, 1], got {p}"
+        )))
+    }
+}
+
+impl fmt::Display for StateFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateFormula::True => write!(f, "tt"),
+            StateFormula::Ap(ap) => write!(f, "{ap}"),
+            StateFormula::Not(inner) => write!(f, "!({inner})"),
+            StateFormula::And(a, b) => write!(f, "({a} & {b})"),
+            StateFormula::Or(a, b) => write!(f, "({a} | {b})"),
+            StateFormula::Steady { cmp, p, inner } => write!(f, "S{{{cmp}{p}}}[ {inner} ]"),
+            StateFormula::Prob { cmp, p, path } => write!(f, "P{{{cmp}{p}}}[ {path} ]"),
+        }
+    }
+}
+
+impl fmt::Display for PathFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathFormula::Next { interval, inner } => write!(f, "X{interval} {inner}"),
+            PathFormula::Until { interval, lhs, rhs } => write!(f, "{lhs} U{interval} {rhs}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_semantics() {
+        assert!(Comparison::Le.holds(0.3, 0.3));
+        assert!(!Comparison::Lt.holds(0.3, 0.3));
+        assert!(Comparison::Ge.holds(0.3, 0.3));
+        assert!(!Comparison::Gt.holds(0.3, 0.3));
+        assert!(Comparison::Le.includes_bound());
+        assert!(!Comparison::Gt.includes_bound());
+    }
+
+    #[test]
+    fn comparison_negation_partitions_the_line() {
+        for cmp in [
+            Comparison::Le,
+            Comparison::Lt,
+            Comparison::Gt,
+            Comparison::Ge,
+        ] {
+            for v in [0.1, 0.3, 0.5] {
+                assert_ne!(cmp.holds(v, 0.3), cmp.negated().holds(v, 0.3));
+            }
+        }
+    }
+
+    #[test]
+    fn interval_validation() {
+        assert!(TimeInterval::new(0.0, 5.0).is_ok());
+        assert!(TimeInterval::new(2.0, 2.0).is_ok());
+        assert!(TimeInterval::new(-1.0, 5.0).is_err());
+        assert!(TimeInterval::new(3.0, 2.0).is_err());
+        assert!(TimeInterval::new(0.0, f64::INFINITY).is_err());
+        assert!(TimeInterval::bounded_by(1.0).unwrap().starts_at_zero());
+    }
+
+    #[test]
+    fn probability_bounds_checked() {
+        let u = PathFormula::until(
+            StateFormula::True,
+            TimeInterval::bounded_by(1.0).unwrap(),
+            StateFormula::ap("goal"),
+        );
+        assert!(StateFormula::prob(Comparison::Gt, 1.5, u.clone()).is_err());
+        assert!(StateFormula::prob(Comparison::Gt, 0.5, u).is_ok());
+        assert!(StateFormula::steady(Comparison::Lt, -0.1, StateFormula::True).is_err());
+    }
+
+    #[test]
+    fn ap_collection_and_time_dependence() {
+        let phi = StateFormula::prob(
+            Comparison::Gt,
+            0.9,
+            PathFormula::until(
+                StateFormula::ap("infected"),
+                TimeInterval::bounded_by(15.0).unwrap(),
+                StateFormula::prob(
+                    Comparison::Gt,
+                    0.8,
+                    PathFormula::until(
+                        StateFormula::True,
+                        TimeInterval::bounded_by(0.5).unwrap(),
+                        StateFormula::ap("infected"),
+                    ),
+                )
+                .unwrap(),
+            ),
+        )
+        .unwrap();
+        assert_eq!(
+            phi.atomic_propositions().into_iter().collect::<Vec<_>>(),
+            vec!["infected".to_string()]
+        );
+        assert!(phi.is_time_dependent());
+        assert_eq!(phi.prob_nesting_depth(), 2);
+        assert_eq!(phi.time_horizon(), 15.5);
+        assert!(!StateFormula::ap("x")
+            .and(StateFormula::True)
+            .is_time_dependent());
+        let s = StateFormula::steady(Comparison::Lt, 0.1, StateFormula::ap("x")).unwrap();
+        assert!(!s.is_time_dependent());
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let phi = StateFormula::prob(
+            Comparison::Lt,
+            0.3,
+            PathFormula::until(
+                StateFormula::ap("not_infected"),
+                TimeInterval::bounded_by(1.0).unwrap(),
+                StateFormula::ap("infected"),
+            ),
+        )
+        .unwrap();
+        let s = phi.to_string();
+        assert!(s.contains("P{<0.3}"));
+        assert!(s.contains("U[0,1]"));
+        let x = StateFormula::ap("a").or(StateFormula::ap("b").not());
+        assert_eq!(x.to_string(), "(a | !(b))");
+    }
+
+    #[test]
+    fn next_horizon() {
+        let n = PathFormula::next(
+            TimeInterval::new(0.5, 2.0).unwrap(),
+            StateFormula::ap("goal"),
+        );
+        assert_eq!(n.time_horizon(), 2.0);
+        assert_eq!(n.atomic_propositions().len(), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Numerical tolerances for the checkers.
+
+use mfcsl_ode::OdeOptions;
+use serde::{Deserialize, Serialize};
+
+use crate::CslError;
+
+/// Tolerance bundle threaded through every checking algorithm.
+///
+/// All quantities handled by the checkers are probabilities in `[0, 1]` and
+/// times in model time units, so these defaults are meaningful across
+/// models: threshold crossings are located to `1e-9` time units, transient
+/// distributions to `1e-12` probability mass.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Tolerances {
+    /// Options for every ODE integration (Kolmogorov equations, mean-field
+    /// trajectory).
+    pub ode: OdeOptions,
+    /// Absolute time tolerance for located threshold crossings and
+    /// satisfaction-set discontinuity points.
+    pub root_tol: f64,
+    /// Number of grid intervals used when scanning a probability curve for
+    /// threshold crossings over an evaluation window. Crossings closer
+    /// together than `window / scan_points` may be missed.
+    pub scan_points: usize,
+    /// Truncation error for uniformization (homogeneous transients).
+    pub transient_eps: f64,
+    /// Probability margin below which a verdict is flagged as *marginal*:
+    /// the computed value is within numerical noise of the bound.
+    pub margin: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            ode: OdeOptions::default(),
+            root_tol: 1e-9,
+            scan_points: 400,
+            transient_eps: 1e-12,
+            margin: 1e-6,
+        }
+    }
+}
+
+impl Tolerances {
+    /// Returns a copy with looser, faster settings (for sweeps and benches).
+    #[must_use]
+    pub fn fast() -> Self {
+        Tolerances {
+            ode: OdeOptions::default().with_tolerances(1e-6, 1e-9),
+            root_tol: 1e-6,
+            scan_points: 150,
+            transient_eps: 1e-9,
+            margin: 1e-4,
+        }
+    }
+
+    /// Validates the combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CslError::InvalidArgument`] for non-positive tolerances or
+    /// a zero scan grid.
+    pub fn validate(&self) -> Result<(), CslError> {
+        self.ode
+            .validate()
+            .map_err(|e| CslError::InvalidArgument(e.to_string()))?;
+        if !(self.root_tol > 0.0) {
+            return Err(CslError::InvalidArgument(format!(
+                "root_tol must be positive, got {}",
+                self.root_tol
+            )));
+        }
+        if self.scan_points == 0 {
+            return Err(CslError::InvalidArgument(
+                "scan_points must be at least 1".into(),
+            ));
+        }
+        if !(self.transient_eps > 0.0 && self.transient_eps < 1.0) {
+            return Err(CslError::InvalidArgument(format!(
+                "transient_eps must be in (0, 1), got {}",
+                self.transient_eps
+            )));
+        }
+        if !(self.margin >= 0.0) {
+            return Err(CslError::InvalidArgument(format!(
+                "margin must be non-negative, got {}",
+                self.margin
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_fast_are_valid() {
+        Tolerances::default().validate().unwrap();
+        Tolerances::fast().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_combinations_rejected() {
+        let cases = [
+            Tolerances {
+                root_tol: 0.0,
+                ..Tolerances::default()
+            },
+            Tolerances {
+                scan_points: 0,
+                ..Tolerances::default()
+            },
+            Tolerances {
+                transient_eps: 1.0,
+                ..Tolerances::default()
+            },
+            Tolerances {
+                margin: -1.0,
+                ..Tolerances::default()
+            },
+        ];
+        for t in cases {
+            assert!(t.validate().is_err(), "{t:?}");
+        }
+    }
+}

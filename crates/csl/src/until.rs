@@ -1,0 +1,407 @@
+//! Single interval until on the time-inhomogeneous local model
+//! (Sec. IV-B of the paper).
+//!
+//! The until probability is the two-phase reachability product of Eq. 4,
+//! with each phase a forward Kolmogorov transient (Eq. 5) on a modified
+//! chain. To evaluate the formula at *later* times `t ∈ [0, θ]` without
+//! re-solving from scratch, the probability matrices are propagated with
+//! the combined forward/backward equation (Eq. 6), exactly as the paper
+//! prescribes; Eq. 7 then assembles the per-state probabilities.
+
+use mfcsl_ctmc::inhomogeneous::{
+    flat_to_matrix, propagate_window, transition_matrix, TimeVaryingGenerator,
+};
+use mfcsl_math::Matrix;
+use mfcsl_ode::Trajectory;
+
+use crate::model::LocalTvModel;
+use crate::syntax::TimeInterval;
+use crate::{CslError, Tolerances};
+
+/// A time-varying generator with a set of states forced absorbing — the
+/// `𝓜[Φ]` construction lifted to time-varying chains.
+pub struct MaskedGenerator<'a, G> {
+    inner: &'a G,
+    absorbing: Vec<bool>,
+}
+
+impl<'a, G: TimeVaryingGenerator> MaskedGenerator<'a, G> {
+    /// Wraps `inner`, making every state with `absorbing[s] == true`
+    /// absorbing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CslError::InvalidArgument`] on shape mismatch.
+    pub fn new(inner: &'a G, absorbing: Vec<bool>) -> Result<Self, CslError> {
+        if absorbing.len() != inner.n_states() {
+            return Err(CslError::InvalidArgument(format!(
+                "absorbing mask has length {}, generator has {} states",
+                absorbing.len(),
+                inner.n_states()
+            )));
+        }
+        Ok(MaskedGenerator { inner, absorbing })
+    }
+}
+
+impl<G: TimeVaryingGenerator> TimeVaryingGenerator for MaskedGenerator<'_, G> {
+    fn n_states(&self) -> usize {
+        self.inner.n_states()
+    }
+
+    fn write_generator(&self, t: f64, q: &mut Matrix) {
+        self.inner.write_generator(t, q);
+        let n = self.n_states();
+        for (s, &absorb) in self.absorbing.iter().enumerate() {
+            if absorb {
+                for j in 0..n {
+                    q[(s, j)] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Computes `Prob(s, Φ₁ U^[t₁,t₂] Φ₂, m̄)` for every start state `s` at
+/// evaluation time 0 (Eq. 4), given the (time-independent) satisfaction
+/// vectors of `Φ₁` and `Φ₂`.
+///
+/// # Errors
+///
+/// Returns [`CslError::InvalidArgument`] on shape mismatches and propagates
+/// ODE failures.
+pub fn until_probabilities<G: TimeVaryingGenerator>(
+    model: &LocalTvModel<G>,
+    sat1: &[bool],
+    sat2: &[bool],
+    interval: TimeInterval,
+    tol: &Tolerances,
+) -> Result<Vec<f64>, CslError> {
+    let ev = until_evaluator(model, sat1, sat2, interval, 0.0, tol)?;
+    Ok(ev.probs_at(0.0))
+}
+
+/// The time-dependent until probabilities
+/// `t ↦ Prob(s, Φ₁ U^[t₁,t₂] Φ₂, m̄, t)` over `t ∈ [0, θ]` (Eq. 7), backed
+/// by the window-propagated probability matrices of Eq. 6.
+#[derive(Debug)]
+pub struct UntilEvaluator {
+    n: usize,
+    t1: f64,
+    sat1: Vec<bool>,
+    sat2: Vec<bool>,
+    /// `Π^{𝓜[¬Φ₁]}(t, t+t₁)` flattened, over `t ∈ [0, θ]`; `None` if `t₁ = 0`.
+    phase_a: Option<Trajectory>,
+    /// `Π^{𝓜[¬Φ₁∨Φ₂]}(u, u+(t₂-t₁))` flattened, over `u ∈ [t₁, θ+t₁]`.
+    phase_b: Trajectory,
+}
+
+impl UntilEvaluator {
+    /// Per-state probabilities at evaluation time `t` (clamped to `[0, θ]`).
+    #[must_use]
+    pub fn probs_at(&self, t: f64) -> Vec<f64> {
+        let b = flat_to_matrix(self.n, &self.phase_b.eval(t + self.t1));
+        // Goal mass from each intermediate state s₁.
+        let goal_from: Vec<f64> = (0..self.n)
+            .map(|s1| {
+                (0..self.n)
+                    .filter(|&s2| self.sat2[s2])
+                    .map(|s2| b[(s1, s2)])
+                    .sum()
+            })
+            .collect();
+        match &self.phase_a {
+            None => goal_from,
+            Some(ta) => {
+                let a = flat_to_matrix(self.n, &ta.eval(t));
+                (0..self.n)
+                    .map(|s| {
+                        (0..self.n)
+                            .filter(|&s1| self.sat1[s1])
+                            .map(|s1| a[(s, s1)] * goal_from[s1])
+                            .sum()
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Probability for a single start state at evaluation time `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn prob_state_at(&self, s: usize, t: f64) -> f64 {
+        assert!(s < self.n, "state index {s} out of range");
+        self.probs_at(t)[s]
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+}
+
+/// Builds the time-dependent until evaluator over the window `[0, θ]`.
+///
+/// # Errors
+///
+/// Returns [`CslError::InvalidArgument`] on shape mismatches or negative
+/// `θ`, and propagates ODE failures.
+pub fn until_evaluator<G: TimeVaryingGenerator>(
+    model: &LocalTvModel<G>,
+    sat1: &[bool],
+    sat2: &[bool],
+    interval: TimeInterval,
+    theta: f64,
+    tol: &Tolerances,
+) -> Result<UntilEvaluator, CslError> {
+    let n = model.n_states();
+    if sat1.len() != n || sat2.len() != n {
+        return Err(CslError::InvalidArgument(format!(
+            "satisfaction vectors have lengths {}/{}, model has {n} states",
+            sat1.len(),
+            sat2.len()
+        )));
+    }
+    if !(theta >= 0.0) || !theta.is_finite() {
+        return Err(CslError::InvalidArgument(format!(
+            "evaluation horizon must be finite and non-negative, got {theta}"
+        )));
+    }
+    tol.validate()?;
+    let gen = model.generator();
+    let t1 = interval.lo();
+    let duration_b = interval.hi() - interval.lo();
+
+    // Phase B on 𝓜[¬Φ₁ ∨ Φ₂].
+    let absorb_b: Vec<bool> = (0..n).map(|s| !sat1[s] || sat2[s]).collect();
+    let masked_b = MaskedGenerator::new(gen, absorb_b)?;
+    let init_b = transition_matrix(&masked_b, t1, duration_b, &tol.ode)?;
+    let phase_b = propagate_window(&masked_b, &init_b, t1, theta + t1, duration_b, &tol.ode)?;
+
+    // Phase A on 𝓜[¬Φ₁], only needed for t₁ > 0.
+    let phase_a = if interval.starts_at_zero() {
+        None
+    } else {
+        let absorb_a: Vec<bool> = sat1.iter().map(|&b| !b).collect();
+        let masked_a = MaskedGenerator::new(gen, absorb_a)?;
+        let init_a = transition_matrix(&masked_a, 0.0, t1, &tol.ode)?;
+        Some(propagate_window(
+            &masked_a, &init_a, 0.0, theta, t1, &tol.ode,
+        )?)
+    };
+
+    Ok(UntilEvaluator {
+        n,
+        t1,
+        sat1: sat1.to_vec(),
+        sat2: sat2.to_vec(),
+        phase_a,
+        phase_b,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::homogeneous;
+    use mfcsl_ctmc::inhomogeneous::{ConstGenerator, FnGenerator};
+    use mfcsl_ctmc::{CtmcBuilder, Labeling};
+
+    fn tol() -> Tolerances {
+        let mut t = Tolerances::default();
+        t.ode = t.ode.with_tolerances(1e-11, 1e-13);
+        t
+    }
+
+    fn const_model() -> (LocalTvModel<ConstGenerator>, mfcsl_ctmc::Ctmc) {
+        let ctmc = CtmcBuilder::new()
+            .state("s1", ["not_infected"])
+            .state("s2", ["infected", "inactive"])
+            .state("s3", ["infected", "active"])
+            .transition("s1", "s2", 0.4)
+            .unwrap()
+            .transition("s2", "s1", 0.1)
+            .unwrap()
+            .transition("s2", "s3", 0.3)
+            .unwrap()
+            .transition("s3", "s2", 0.3)
+            .unwrap()
+            .transition("s3", "s1", 0.2)
+            .unwrap()
+            .build()
+            .unwrap();
+        let model = LocalTvModel::new(
+            ConstGenerator::new(&ctmc),
+            ctmc.labeling().clone(),
+            ctmc.state_names().to_vec(),
+        )
+        .unwrap();
+        (model, ctmc)
+    }
+
+    #[test]
+    fn constant_rates_match_homogeneous_checker() {
+        let (model, ctmc) = const_model();
+        let sat1 = [true, false, false];
+        let sat2 = [false, true, true];
+        for interval in [
+            TimeInterval::bounded_by(1.0).unwrap(),
+            TimeInterval::new(0.5, 2.0).unwrap(),
+            TimeInterval::new(1.0, 1.0).unwrap(),
+        ] {
+            let inhom = until_probabilities(&model, &sat1, &sat2, interval, &tol()).unwrap();
+            let hom =
+                homogeneous::until_probabilities(&ctmc, &sat1, &sat2, interval, &tol()).unwrap();
+            for (a, b) in inhom.iter().zip(&hom) {
+                assert!((a - b).abs() < 1e-7, "{interval}: {inhom:?} vs {hom:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_rates_time_invariance() {
+        // For a homogeneous chain the until probability must not depend on
+        // the evaluation time t.
+        let (model, _) = const_model();
+        let sat1 = [true, false, false];
+        let sat2 = [false, true, true];
+        let ev = until_evaluator(
+            &model,
+            &sat1,
+            &sat2,
+            TimeInterval::new(0.3, 1.7).unwrap(),
+            5.0,
+            &tol(),
+        )
+        .unwrap();
+        let p0 = ev.probs_at(0.0);
+        for &t in &[1.0, 2.5, 5.0] {
+            let pt = ev.probs_at(t);
+            for (a, b) in p0.iter().zip(&pt) {
+                assert!((a - b).abs() < 1e-7, "t = {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn analytic_time_varying_until() {
+        // One-way chain healthy -> infected with rate r(t) = t.
+        // Prob(s0, tt U[0,T] infected, t) = 1 - exp(-((t+T)² - t²)/2).
+        let gen = FnGenerator::new(2, |t: f64, q: &mut Matrix| {
+            q[(0, 0)] = -t;
+            q[(0, 1)] = t;
+            q[(1, 0)] = 0.0;
+            q[(1, 1)] = 0.0;
+        });
+        let mut labels = Labeling::new(2);
+        labels.add(0, "healthy");
+        labels.add(1, "infected");
+        let model =
+            LocalTvModel::new(gen, labels, vec!["healthy".into(), "infected".into()]).unwrap();
+        let big_t = 1.0;
+        let ev = until_evaluator(
+            &model,
+            &[true, true],
+            &[false, true],
+            TimeInterval::bounded_by(big_t).unwrap(),
+            3.0,
+            &tol(),
+        )
+        .unwrap();
+        for &t in &[0.0, 0.7, 1.5, 3.0] {
+            let exact = 1.0 - (-(((t + big_t) * (t + big_t)) - t * t) / 2.0_f64).exp();
+            let got = ev.prob_state_at(0, t);
+            assert!((got - exact).abs() < 1e-7, "t = {t}: {got} vs {exact}");
+            assert!((ev.prob_state_at(1, t) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn two_phase_time_varying_until() {
+        // Same chain, interval [t1, t2] with t1 > 0: the path must still be
+        // healthy at t + t1 and jump within [t + t1, t + t2].
+        // Prob = exp(-((t+t1)²-t²)/2) · (1 - exp(-((t+t2)²-(t+t1)²)/2)).
+        let gen = FnGenerator::new(2, |t: f64, q: &mut Matrix| {
+            q[(0, 0)] = -t;
+            q[(0, 1)] = t;
+            q[(1, 0)] = 0.0;
+            q[(1, 1)] = 0.0;
+        });
+        let mut labels = Labeling::new(2);
+        labels.add(0, "healthy");
+        labels.add(1, "infected");
+        let model =
+            LocalTvModel::new(gen, labels, vec!["healthy".into(), "infected".into()]).unwrap();
+        let (t1, t2) = (0.5, 1.5);
+        let ev = until_evaluator(
+            &model,
+            &[true, false],
+            &[false, true],
+            TimeInterval::new(t1, t2).unwrap(),
+            2.0,
+            &tol(),
+        )
+        .unwrap();
+        for &t in &[0.0, 0.8, 2.0] {
+            let survive = (-(((t + t1) * (t + t1)) - t * t) / 2.0_f64).exp();
+            let jump = 1.0 - (-(((t + t2) * (t + t2)) - (t + t1) * (t + t1)) / 2.0_f64).exp();
+            let exact = survive * jump;
+            let got = ev.prob_state_at(0, t);
+            assert!((got - exact).abs() < 1e-7, "t = {t}: {got} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn masked_generator_zeroes_rows() {
+        let (model, _) = const_model();
+        let masked = MaskedGenerator::new(model.generator(), vec![false, true, false]).unwrap();
+        let q = masked.generator_at(0.0);
+        for j in 0..3 {
+            assert_eq!(q[(1, j)], 0.0);
+        }
+        assert!(q[(0, 1)] > 0.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (model, _) = const_model();
+        assert!(MaskedGenerator::new(model.generator(), vec![true]).is_err());
+        assert!(until_probabilities(
+            &model,
+            &[true],
+            &[true, false, false],
+            TimeInterval::bounded_by(1.0).unwrap(),
+            &tol()
+        )
+        .is_err());
+        assert!(until_evaluator(
+            &model,
+            &[true, false, false],
+            &[false, true, true],
+            TimeInterval::bounded_by(1.0).unwrap(),
+            -1.0,
+            &tol()
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn prob_state_at_checks_index() {
+        let (model, _) = const_model();
+        let ev = until_evaluator(
+            &model,
+            &[true, false, false],
+            &[false, true, true],
+            TimeInterval::bounded_by(1.0).unwrap(),
+            0.0,
+            &tol(),
+        )
+        .unwrap();
+        let _ = ev.prob_state_at(7, 0.0);
+    }
+}

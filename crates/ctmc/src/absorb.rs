@@ -1,0 +1,131 @@
+//! Formula-driven chain transformations.
+//!
+//! CSL until checking works on *modified* chains `𝓜[Φ]` in which all states
+//! satisfying `Φ` are made absorbing (Sec. IV-A of the paper, following
+//! Baier et al.): the probability of a time-bounded until is then a product
+//! of two transient reachability problems (Eq. 3 / Eq. 4).
+
+use crate::{Ctmc, CtmcError};
+
+/// Returns a copy of `ctmc` in which every state in `absorbing` has all its
+/// outgoing transitions removed.
+///
+/// Labels and names are preserved. Duplicate indices are allowed.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::StateIndexOutOfRange`] for invalid indices.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_ctmc::{absorb::make_absorbing, CtmcBuilder};
+///
+/// # fn main() -> Result<(), mfcsl_ctmc::CtmcError> {
+/// let c = CtmcBuilder::new()
+///     .state("a", ["a"]).state("b", ["b"])
+///     .transition("a", "b", 1.0)?
+///     .transition("b", "a", 1.0)?
+///     .build()?;
+/// let m = make_absorbing(&c, &[1])?;
+/// assert!(m.is_absorbing(1));
+/// assert!(!m.is_absorbing(0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn make_absorbing(ctmc: &Ctmc, absorbing: &[usize]) -> Result<Ctmc, CtmcError> {
+    let n = ctmc.n_states();
+    for &s in absorbing {
+        if s >= n {
+            return Err(CtmcError::StateIndexOutOfRange {
+                index: s,
+                n_states: n,
+            });
+        }
+    }
+    let mut q = ctmc.generator().clone();
+    for &s in absorbing {
+        for j in 0..n {
+            q[(s, j)] = 0.0;
+        }
+    }
+    Ctmc::from_parts(ctmc.state_names().to_vec(), q, ctmc.labeling().clone())
+}
+
+/// Returns the states satisfying the *complement* of the given set — a
+/// convenience for the `𝓜[¬Φ₁]` constructions where the checker holds
+/// `Sat(Φ₁)` and needs the states to absorb.
+#[must_use]
+pub fn complement_states(n_states: usize, states: &[usize]) -> Vec<usize> {
+    (0..n_states).filter(|s| !states.contains(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::transient_distribution;
+    use crate::CtmcBuilder;
+
+    fn cycle3() -> Ctmc {
+        CtmcBuilder::new()
+            .state("a", ["a"])
+            .state("b", ["b"])
+            .state("c", ["c"])
+            .transition("a", "b", 1.0)
+            .unwrap()
+            .transition("b", "c", 1.0)
+            .unwrap()
+            .transition("c", "a", 1.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn absorbing_rows_are_zeroed() {
+        let c = cycle3();
+        let m = make_absorbing(&c, &[1, 2]).unwrap();
+        assert!(!m.is_absorbing(0));
+        assert!(m.is_absorbing(1));
+        assert!(m.is_absorbing(2));
+        // Labels preserved.
+        assert!(m.labeling().has(1, "b"));
+        assert_eq!(m.state_names(), c.state_names());
+    }
+
+    #[test]
+    fn duplicates_and_empty_are_fine() {
+        let c = cycle3();
+        let m = make_absorbing(&c, &[1, 1, 1]).unwrap();
+        assert!(m.is_absorbing(1));
+        let unchanged = make_absorbing(&c, &[]).unwrap();
+        assert_eq!(unchanged.generator(), c.generator());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let c = cycle3();
+        assert!(matches!(
+            make_absorbing(&c, &[5]),
+            Err(CtmcError::StateIndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn reachability_on_modified_chain() {
+        // On the cycle with b absorbing, reaching b from a by time t is
+        // 1 - e^{-t} (single exponential hop).
+        let c = cycle3();
+        let m = make_absorbing(&c, &[1]).unwrap();
+        let pi = transient_distribution(&m, &[1.0, 0.0, 0.0], 2.0, 1e-13).unwrap();
+        assert!((pi[1] - (1.0 - (-2.0_f64).exp())).abs() < 1e-10);
+        assert_eq!(pi[2], 0.0);
+    }
+
+    #[test]
+    fn complement_states_works() {
+        assert_eq!(complement_states(4, &[1, 3]), vec![0, 2]);
+        assert_eq!(complement_states(2, &[]), vec![0, 1]);
+        assert!(complement_states(2, &[0, 1]).is_empty());
+    }
+}

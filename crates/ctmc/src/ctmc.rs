@@ -1,0 +1,404 @@
+//! The time-homogeneous CTMC type and its builder.
+
+use mfcsl_math::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::labels::Labeling;
+use crate::CtmcError;
+
+/// Tolerance for the "rows sum to zero" generator invariant.
+const ROW_SUM_TOL: f64 = 1e-9;
+
+/// A finite, time-homogeneous continuous-time Markov chain: named states, a
+/// validated infinitesimal generator, and atomic-proposition labels.
+///
+/// Invariants (enforced at construction):
+/// * off-diagonal entries of the generator are non-negative and finite;
+/// * each diagonal entry equals minus the sum of its row's off-diagonal
+///   entries (no self-loops, per Def. 1 of the paper).
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_ctmc::CtmcBuilder;
+///
+/// # fn main() -> Result<(), mfcsl_ctmc::CtmcError> {
+/// let ctmc = CtmcBuilder::new()
+///     .state("not_infected", ["not_infected"])
+///     .state("inactive", ["infected", "inactive"])
+///     .state("active", ["infected", "active"])
+///     .transition("not_infected", "inactive", 0.05)?
+///     .transition("inactive", "not_infected", 0.1)?
+///     .transition("inactive", "active", 0.01)?
+///     .transition("active", "inactive", 0.3)?
+///     .transition("active", "not_infected", 0.3)?
+///     .build()?;
+/// assert_eq!(ctmc.n_states(), 3);
+/// assert_eq!(ctmc.state_index("active"), Some(2));
+/// assert!(ctmc.generator()[(0, 1)] > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ctmc {
+    names: Vec<String>,
+    generator: Matrix,
+    labeling: Labeling,
+}
+
+impl Ctmc {
+    /// Constructs a chain from parts, validating the generator.
+    ///
+    /// The diagonal of `generator` is ignored and recomputed as minus the
+    /// off-diagonal row sum, so callers may pass either a full generator or
+    /// just the rate part.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidGenerator`] for non-square or non-finite
+    /// generators, negative off-diagonal rates, or shape mismatches with the
+    /// names/labeling.
+    pub fn from_parts(
+        names: Vec<String>,
+        mut generator: Matrix,
+        labeling: Labeling,
+    ) -> Result<Self, CtmcError> {
+        let n = names.len();
+        if n == 0 {
+            return Err(CtmcError::InvalidGenerator(
+                "chain must have at least one state".into(),
+            ));
+        }
+        if generator.rows() != n || generator.cols() != n {
+            return Err(CtmcError::InvalidGenerator(format!(
+                "generator is {}x{}, expected {n}x{n}",
+                generator.rows(),
+                generator.cols()
+            )));
+        }
+        if labeling.n_states() != n {
+            return Err(CtmcError::InvalidGenerator(format!(
+                "labeling covers {} states, expected {n}",
+                labeling.n_states()
+            )));
+        }
+        for i in 0..n {
+            let mut row_sum = 0.0;
+            for j in 0..n {
+                let q = generator[(i, j)];
+                if !q.is_finite() {
+                    return Err(CtmcError::InvalidGenerator(format!(
+                        "entry ({i}, {j}) is not finite: {q}"
+                    )));
+                }
+                if i != j {
+                    if q < 0.0 {
+                        return Err(CtmcError::InvalidGenerator(format!(
+                            "negative rate {q} at ({i}, {j})"
+                        )));
+                    }
+                    row_sum += q;
+                }
+            }
+            generator[(i, i)] = -row_sum;
+        }
+        Ok(Ctmc {
+            names,
+            generator,
+            labeling,
+        })
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The infinitesimal generator `Q`.
+    #[must_use]
+    pub fn generator(&self) -> &Matrix {
+        &self.generator
+    }
+
+    /// State names, indexed by state number.
+    #[must_use]
+    pub fn state_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The labeling function.
+    #[must_use]
+    pub fn labeling(&self) -> &Labeling {
+        &self.labeling
+    }
+
+    /// Looks up a state index by name.
+    #[must_use]
+    pub fn state_index(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// The exit rate of state `s` (the negated diagonal entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn exit_rate(&self, s: usize) -> f64 {
+        -self.generator[(s, s)]
+    }
+
+    /// The largest exit rate (the uniformization rate lower bound).
+    #[must_use]
+    pub fn max_exit_rate(&self) -> f64 {
+        (0..self.n_states())
+            .map(|s| self.exit_rate(s))
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` if state `s` is absorbing (zero exit rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn is_absorbing(&self, s: usize) -> bool {
+        self.exit_rate(s) <= ROW_SUM_TOL
+    }
+
+    /// The successor states of `s` (positive-rate transitions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn successors(&self, s: usize) -> Vec<usize> {
+        (0..self.n_states())
+            .filter(|&j| j != s && self.generator[(s, j)] > 0.0)
+            .collect()
+    }
+
+    /// Validates a probability distribution over the chain's states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidDistribution`] on length or simplex
+    /// violations.
+    pub fn check_distribution(&self, pi: &[f64]) -> Result<(), CtmcError> {
+        if pi.len() != self.n_states() {
+            return Err(CtmcError::InvalidDistribution(format!(
+                "distribution has length {}, expected {}",
+                pi.len(),
+                self.n_states()
+            )));
+        }
+        mfcsl_math::simplex::check_distribution(pi, mfcsl_math::simplex::DEFAULT_SUM_TOL)
+            .map_err(|e| CtmcError::InvalidDistribution(e.to_string()))
+    }
+}
+
+/// Incremental builder for [`Ctmc`].
+#[derive(Debug, Clone, Default)]
+pub struct CtmcBuilder {
+    names: Vec<String>,
+    labels: Vec<Vec<String>>,
+    transitions: Vec<(String, String, f64)>,
+}
+
+impl CtmcBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        CtmcBuilder::default()
+    }
+
+    /// Adds a state with the given atomic-proposition labels.
+    #[must_use]
+    pub fn state<I, L>(mut self, name: impl Into<String>, labels: I) -> Self
+    where
+        I: IntoIterator<Item = L>,
+        L: Into<String>,
+    {
+        self.names.push(name.into());
+        self.labels
+            .push(labels.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Adds a transition `from → to` with the given rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidArgument`] for a non-finite or negative
+    /// rate, or a self-loop (`from == to`; Def. 1 eliminates self-loops).
+    /// Unknown state names are reported by [`CtmcBuilder::build`].
+    pub fn transition(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        rate: f64,
+    ) -> Result<Self, CtmcError> {
+        let from = from.into();
+        let to = to.into();
+        if !rate.is_finite() || rate < 0.0 {
+            return Err(CtmcError::InvalidArgument(format!(
+                "rate for {from} -> {to} must be finite and non-negative, got {rate}"
+            )));
+        }
+        if from == to {
+            return Err(CtmcError::InvalidArgument(format!(
+                "self-loop on `{from}` is not allowed"
+            )));
+        }
+        self.transitions.push((from, to, rate));
+        Ok(self)
+    }
+
+    /// Finalizes the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::UnknownState`] for transitions naming undeclared
+    /// states, [`CtmcError::InvalidArgument`] for duplicate state names, and
+    /// generator validation errors from [`Ctmc::from_parts`].
+    pub fn build(self) -> Result<Ctmc, CtmcError> {
+        let n = self.names.len();
+        for (i, name) in self.names.iter().enumerate() {
+            if self.names[i + 1..].contains(name) {
+                return Err(CtmcError::InvalidArgument(format!(
+                    "duplicate state name `{name}`"
+                )));
+            }
+        }
+        let index = |name: &str| -> Result<usize, CtmcError> {
+            self.names
+                .iter()
+                .position(|n| n == name)
+                .ok_or_else(|| CtmcError::UnknownState(name.to_string()))
+        };
+        let mut generator = Matrix::zeros(n, n);
+        for (from, to, rate) in &self.transitions {
+            let i = index(from)?;
+            let j = index(to)?;
+            generator[(i, j)] += rate;
+        }
+        let mut labeling = Labeling::new(n);
+        for (s, labels) in self.labels.iter().enumerate() {
+            for l in labels {
+                labeling.add(s, l.clone());
+            }
+        }
+        Ctmc::from_parts(self.names, generator, labeling)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Ctmc {
+        CtmcBuilder::new()
+            .state("up", ["ok"])
+            .state("down", ["failed"])
+            .transition("up", "down", 0.5)
+            .unwrap()
+            .transition("down", "up", 2.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_generator() {
+        let c = two_state();
+        assert_eq!(c.n_states(), 2);
+        assert_eq!(c.generator()[(0, 1)], 0.5);
+        assert_eq!(c.generator()[(0, 0)], -0.5);
+        assert_eq!(c.generator()[(1, 0)], 2.0);
+        assert_eq!(c.exit_rate(1), 2.0);
+        assert_eq!(c.max_exit_rate(), 2.0);
+        assert!(!c.is_absorbing(0));
+        assert_eq!(c.successors(0), vec![1]);
+    }
+
+    #[test]
+    fn name_lookup() {
+        let c = two_state();
+        assert_eq!(c.state_index("down"), Some(1));
+        assert_eq!(c.state_index("nope"), None);
+        assert!(c.labeling().has(1, "failed"));
+    }
+
+    #[test]
+    fn parallel_transitions_accumulate() {
+        let c = CtmcBuilder::new()
+            .state("a", Vec::<String>::new())
+            .state("b", Vec::<String>::new())
+            .transition("a", "b", 1.0)
+            .unwrap()
+            .transition("a", "b", 2.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(c.generator()[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn rejects_self_loops_and_bad_rates() {
+        let b = CtmcBuilder::new().state("a", Vec::<String>::new());
+        assert!(b.clone().transition("a", "a", 1.0).is_err());
+        assert!(b.clone().transition("a", "b", -1.0).is_err());
+        assert!(b.transition("a", "b", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_states_and_duplicates() {
+        let err = CtmcBuilder::new()
+            .state("a", Vec::<String>::new())
+            .transition("a", "ghost", 1.0)
+            .unwrap()
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CtmcError::UnknownState(_)));
+        let err = CtmcBuilder::new()
+            .state("a", Vec::<String>::new())
+            .state("a", Vec::<String>::new())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CtmcError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn rejects_empty_chain() {
+        assert!(CtmcBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn from_parts_recomputes_diagonal() {
+        let q = Matrix::from_rows(&[&[123.0, 1.0], &[2.0, 456.0]]).unwrap();
+        let c = Ctmc::from_parts(vec!["a".into(), "b".into()], q, Labeling::new(2)).unwrap();
+        assert_eq!(c.generator()[(0, 0)], -1.0);
+        assert_eq!(c.generator()[(1, 1)], -2.0);
+    }
+
+    #[test]
+    fn from_parts_validates_shapes() {
+        let q = Matrix::zeros(2, 2);
+        assert!(Ctmc::from_parts(vec!["a".into()], q.clone(), Labeling::new(1)).is_err());
+        assert!(
+            Ctmc::from_parts(vec!["a".into(), "b".into()], q.clone(), Labeling::new(3)).is_err()
+        );
+        let mut neg = Matrix::zeros(2, 2);
+        neg[(0, 1)] = -1.0;
+        assert!(Ctmc::from_parts(vec!["a".into(), "b".into()], neg, Labeling::new(2)).is_err());
+    }
+
+    #[test]
+    fn distribution_validation() {
+        let c = two_state();
+        assert!(c.check_distribution(&[0.3, 0.7]).is_ok());
+        assert!(c.check_distribution(&[0.3, 0.3]).is_err());
+        assert!(c.check_distribution(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Discrete-time Markov chains.
+//!
+//! Two DTMCs are derived from a CTMC: the *embedded* jump chain (used for
+//! absorption-probability systems) and the *uniformized* chain (the
+//! workhorse of uniformization-based transient analysis). The paper notes
+//! (Sec. II-B) that all its results adapt to discrete-time mean-field
+//! models, whose local model is a DTMC — this module provides that
+//! substrate.
+
+use mfcsl_math::lu::LuDecomposition;
+use mfcsl_math::Matrix;
+use serde::{Deserialize, Serialize};
+
+use crate::{Ctmc, CtmcError};
+
+/// Row-sum tolerance for stochastic-matrix validation.
+const STOCHASTIC_TOL: f64 = 1e-9;
+
+/// A finite discrete-time Markov chain (a validated stochastic matrix).
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_ctmc::dtmc::Dtmc;
+/// use mfcsl_math::Matrix;
+///
+/// # fn main() -> Result<(), mfcsl_ctmc::CtmcError> {
+/// let p = Matrix::from_rows(&[&[0.9, 0.1], &[0.5, 0.5]])?;
+/// let d = Dtmc::new(p)?;
+/// let pi = d.steady_state()?;
+/// assert!((pi[0] - 5.0 / 6.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dtmc {
+    p: Matrix,
+}
+
+impl Dtmc {
+    /// Validates and wraps a stochastic matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidGenerator`] if `p` is not square, has
+    /// entries outside `[0, 1]`, or rows not summing to 1.
+    pub fn new(p: Matrix) -> Result<Self, CtmcError> {
+        if !p.is_square() {
+            return Err(CtmcError::InvalidGenerator(format!(
+                "transition matrix is {}x{}",
+                p.rows(),
+                p.cols()
+            )));
+        }
+        if p.rows() == 0 {
+            return Err(CtmcError::InvalidGenerator(
+                "chain must have at least one state".into(),
+            ));
+        }
+        for i in 0..p.rows() {
+            let mut sum = 0.0;
+            for j in 0..p.cols() {
+                let v = p[(i, j)];
+                if !v.is_finite() || !(-STOCHASTIC_TOL..=1.0 + STOCHASTIC_TOL).contains(&v) {
+                    return Err(CtmcError::InvalidGenerator(format!(
+                        "entry ({i}, {j}) = {v} is not a probability"
+                    )));
+                }
+                sum += v;
+            }
+            if (sum - 1.0).abs() > STOCHASTIC_TOL {
+                return Err(CtmcError::InvalidGenerator(format!(
+                    "row {i} sums to {sum}"
+                )));
+            }
+        }
+        Ok(Dtmc { p })
+    }
+
+    /// The embedded jump chain of a CTMC: `P_ij = q_ij / E(i)` for
+    /// non-absorbing `i`, the identity row for absorbing states.
+    #[must_use]
+    pub fn embedded(ctmc: &Ctmc) -> Self {
+        let n = ctmc.n_states();
+        let q = ctmc.generator();
+        let mut p = Matrix::zeros(n, n);
+        for i in 0..n {
+            let exit = ctmc.exit_rate(i);
+            if exit <= 0.0 {
+                p[(i, i)] = 1.0;
+            } else {
+                for j in 0..n {
+                    if j != i {
+                        p[(i, j)] = q[(i, j)] / exit;
+                    }
+                }
+            }
+        }
+        Dtmc { p }
+    }
+
+    /// The uniformized chain `P = I + Q/Λ` of a CTMC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidArgument`] if `lambda` is smaller than
+    /// the chain's maximum exit rate (the result would not be stochastic).
+    pub fn uniformized(ctmc: &Ctmc, lambda: f64) -> Result<Self, CtmcError> {
+        if !(lambda >= ctmc.max_exit_rate()) || lambda <= 0.0 {
+            return Err(CtmcError::InvalidArgument(format!(
+                "uniformization rate {lambda} must be positive and at least the maximum \
+                 exit rate {}",
+                ctmc.max_exit_rate()
+            )));
+        }
+        let n = ctmc.n_states();
+        let mut p = ctmc.generator().scaled(1.0 / lambda);
+        for i in 0..n {
+            p[(i, i)] += 1.0;
+        }
+        Ok(Dtmc { p })
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// The transition matrix.
+    #[must_use]
+    pub fn transition_matrix(&self) -> &Matrix {
+        &self.p
+    }
+
+    /// Distribution after `steps` steps starting from `pi0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidDistribution`] for a bad `pi0`.
+    pub fn transient(&self, pi0: &[f64], steps: usize) -> Result<Vec<f64>, CtmcError> {
+        if pi0.len() != self.n_states() {
+            return Err(CtmcError::InvalidDistribution(format!(
+                "distribution has length {}, expected {}",
+                pi0.len(),
+                self.n_states()
+            )));
+        }
+        mfcsl_math::simplex::check_distribution(pi0, mfcsl_math::simplex::DEFAULT_SUM_TOL)
+            .map_err(|e| CtmcError::InvalidDistribution(e.to_string()))?;
+        let mut v = pi0.to_vec();
+        for _ in 0..steps {
+            v = self.p.vec_mul(&v).expect("shape fixed");
+        }
+        Ok(v)
+    }
+
+    /// Stationary distribution `π = πP, Σπ = 1` of an irreducible aperiodic
+    /// chain (unique-solution case).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::Math`] with a singular system if the stationary
+    /// distribution is not unique.
+    pub fn steady_state(&self) -> Result<Vec<f64>, CtmcError> {
+        let n = self.n_states();
+        if n == 1 {
+            return Ok(vec![1.0]);
+        }
+        // (Pᵀ - I) πᵀ = 0 with a normalization row.
+        let mut system = self.p.transpose();
+        for i in 0..n {
+            system[(i, i)] -= 1.0;
+        }
+        for j in 0..n {
+            system[(n - 1, j)] = 1.0;
+        }
+        let mut rhs = vec![0.0; n];
+        rhs[n - 1] = 1.0;
+        let mut pi = LuDecomposition::new(&system)?.solve(&rhs)?;
+        for v in &mut pi {
+            *v = v.max(0.0);
+        }
+        let total: f64 = pi.iter().sum();
+        for v in &mut pi {
+            *v /= total;
+        }
+        Ok(pi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    fn ctmc_ab() -> Ctmc {
+        CtmcBuilder::new()
+            .state("a", ["a"])
+            .state("b", ["b"])
+            .transition("a", "b", 2.0)
+            .unwrap()
+            .transition("b", "a", 1.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_matrices() {
+        assert!(Dtmc::new(Matrix::zeros(2, 3)).is_err());
+        assert!(Dtmc::new(Matrix::zeros(0, 0)).is_err());
+        let bad = Matrix::from_rows(&[&[0.5, 0.4], &[0.5, 0.5]]).unwrap();
+        assert!(Dtmc::new(bad).is_err());
+        let neg = Matrix::from_rows(&[&[1.5, -0.5], &[0.5, 0.5]]).unwrap();
+        assert!(Dtmc::new(neg).is_err());
+    }
+
+    #[test]
+    fn embedded_chain_of_ctmc() {
+        let d = Dtmc::embedded(&ctmc_ab());
+        assert_eq!(d.transition_matrix()[(0, 1)], 1.0);
+        assert_eq!(d.transition_matrix()[(1, 0)], 1.0);
+        // Absorbing state becomes identity row.
+        let c = CtmcBuilder::new()
+            .state("live", ["l"])
+            .state("dead", ["d"])
+            .transition("live", "dead", 1.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let d = Dtmc::embedded(&c);
+        assert_eq!(d.transition_matrix()[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn uniformized_chain_is_stochastic() {
+        let c = ctmc_ab();
+        let d = Dtmc::uniformized(&c, 4.0).unwrap();
+        assert_eq!(d.transition_matrix()[(0, 0)], 0.5);
+        assert_eq!(d.transition_matrix()[(0, 1)], 0.5);
+        assert!(Dtmc::uniformized(&c, 1.0).is_err());
+        assert!(Dtmc::uniformized(&c, -1.0).is_err());
+    }
+
+    #[test]
+    fn transient_and_steady_state() {
+        let p = Matrix::from_rows(&[&[0.9, 0.1], &[0.5, 0.5]]).unwrap();
+        let d = Dtmc::new(p).unwrap();
+        let one = d.transient(&[1.0, 0.0], 1).unwrap();
+        assert!((one[0] - 0.9).abs() < 1e-15);
+        let many = d.transient(&[1.0, 0.0], 200).unwrap();
+        let pi = d.steady_state().unwrap();
+        for (a, b) in many.iter().zip(&pi) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(d.transient(&[1.0], 1).is_err());
+        assert!(d.transient(&[0.6, 0.6], 1).is_err());
+    }
+
+    #[test]
+    fn uniformized_steady_state_matches_ctmc() {
+        let c = ctmc_ab();
+        let d = Dtmc::uniformized(&c, 4.0).unwrap();
+        let pi = d.steady_state().unwrap();
+        // CTMC steady state: (1/3, 2/3).
+        assert!((pi[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((pi[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let d = Dtmc::new(Matrix::identity(1)).unwrap();
+        assert_eq!(d.steady_state().unwrap(), vec![1.0]);
+        assert_eq!(d.transient(&[1.0], 10).unwrap(), vec![1.0]);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the CTMC substrate.
+
+use std::fmt;
+
+use mfcsl_math::MathError;
+use mfcsl_ode::OdeError;
+
+/// Error returned by the CTMC routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtmcError {
+    /// A state name was used that does not exist in the chain.
+    UnknownState(String),
+    /// A state index was out of range.
+    StateIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of states in the chain.
+        n_states: usize,
+    },
+    /// The generator matrix violates a CTMC invariant.
+    InvalidGenerator(String),
+    /// A supplied distribution is not a probability vector of the right size.
+    InvalidDistribution(String),
+    /// An argument was outside its documented domain.
+    InvalidArgument(String),
+    /// An underlying numerical routine failed.
+    Math(MathError),
+    /// An underlying ODE integration failed.
+    Ode(OdeError),
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmcError::UnknownState(name) => write!(f, "unknown state `{name}`"),
+            CtmcError::StateIndexOutOfRange { index, n_states } => {
+                write!(f, "state index {index} out of range for {n_states} states")
+            }
+            CtmcError::InvalidGenerator(msg) => write!(f, "invalid generator: {msg}"),
+            CtmcError::InvalidDistribution(msg) => write!(f, "invalid distribution: {msg}"),
+            CtmcError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            CtmcError::Math(e) => write!(f, "numerical error: {e}"),
+            CtmcError::Ode(e) => write!(f, "ode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CtmcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CtmcError::Math(e) => Some(e),
+            CtmcError::Ode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for CtmcError {
+    fn from(e: MathError) -> Self {
+        CtmcError::Math(e)
+    }
+}
+
+impl From<OdeError> for CtmcError {
+    fn from(e: OdeError) -> Self {
+        CtmcError::Ode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(CtmcError::UnknownState("x".into())
+            .to_string()
+            .contains("x"));
+        let e: CtmcError = MathError::Singular.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: CtmcError = OdeError::InvalidArgument("bad".into()).into();
+        assert!(e.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CtmcError>();
+    }
+}

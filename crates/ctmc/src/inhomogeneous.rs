@@ -1,0 +1,396 @@
+//! Time-inhomogeneous CTMCs and the Kolmogorov equations.
+//!
+//! Along a mean-field trajectory the local model's generator varies with
+//! time: `Q(t) = Q(m̄(t))`. This module provides the generator abstraction
+//! and the three integrations the paper's algorithms are built on:
+//!
+//! * [`forward_distribution`] — `dπ/dt = π(t)·Q(t)` for a distribution;
+//! * [`transition_matrix`] — the forward Kolmogorov equation for the full
+//!   probability matrix `Π'(t', t'+T)` (Eq. 5 of the paper);
+//! * [`propagate_window`] — the combined forward/backward equation
+//!   `dΠ'(t, t+T)/dt = -Q(t)·Π' + Π'·Q(t+T)` (Eq. 6, also used for `Υ` in
+//!   Eq. 12), which slides a fixed-duration window through time.
+
+use mfcsl_math::Matrix;
+use mfcsl_ode::dopri::Dopri5;
+use mfcsl_ode::problem::FnSystem;
+use mfcsl_ode::{OdeOptions, Trajectory};
+
+use crate::{Ctmc, CtmcError};
+
+/// A time-varying infinitesimal generator `Q(t)`.
+///
+/// Implementations must produce a valid generator at every queried time:
+/// non-negative off-diagonal entries with the diagonal equal to minus the
+/// row sum. (The integrators do not re-validate per evaluation; the checker
+/// layer validates at construction.)
+pub trait TimeVaryingGenerator {
+    /// Number of states.
+    fn n_states(&self) -> usize;
+
+    /// Writes `Q(t)` (including the diagonal) into `q`.
+    ///
+    /// Implementations may assume `q` is `n_states × n_states`.
+    fn write_generator(&self, t: f64, q: &mut Matrix);
+
+    /// Convenience: materializes `Q(t)` into a fresh matrix.
+    fn generator_at(&self, t: f64) -> Matrix {
+        let n = self.n_states();
+        let mut q = Matrix::zeros(n, n);
+        self.write_generator(t, &mut q);
+        q
+    }
+}
+
+/// A [`TimeVaryingGenerator`] built from a closure.
+pub struct FnGenerator<F> {
+    n: usize,
+    f: F,
+}
+
+impl<F: Fn(f64, &mut Matrix)> FnGenerator<F> {
+    /// Wraps the closure `f(t, q)` writing the generator at time `t`.
+    pub fn new(n: usize, f: F) -> Self {
+        FnGenerator { n, f }
+    }
+}
+
+impl<F: Fn(f64, &mut Matrix)> TimeVaryingGenerator for FnGenerator<F> {
+    fn n_states(&self) -> usize {
+        self.n
+    }
+
+    fn write_generator(&self, t: f64, q: &mut Matrix) {
+        (self.f)(t, q);
+    }
+}
+
+impl<F> std::fmt::Debug for FnGenerator<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnGenerator").field("n", &self.n).finish()
+    }
+}
+
+/// A constant generator — the time-homogeneous special case, used to
+/// cross-validate the inhomogeneous algorithms against uniformization.
+#[derive(Debug, Clone)]
+pub struct ConstGenerator {
+    q: Matrix,
+}
+
+impl ConstGenerator {
+    /// Wraps the generator of a time-homogeneous chain.
+    #[must_use]
+    pub fn new(ctmc: &Ctmc) -> Self {
+        ConstGenerator {
+            q: ctmc.generator().clone(),
+        }
+    }
+
+    /// Wraps an explicit generator matrix.
+    #[must_use]
+    pub fn from_matrix(q: Matrix) -> Self {
+        ConstGenerator { q }
+    }
+}
+
+impl TimeVaryingGenerator for ConstGenerator {
+    fn n_states(&self) -> usize {
+        self.q.rows()
+    }
+
+    fn write_generator(&self, _t: f64, q: &mut Matrix) {
+        q.as_mut_slice().copy_from_slice(self.q.as_slice());
+    }
+}
+
+/// Solves `dπ/dt = π(t)·Q(t)` from `t0` to `t1` with initial distribution
+/// `pi0`, returning the dense trajectory of the distribution.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::InvalidDistribution`] for a bad `pi0`, and
+/// propagates ODE failures.
+pub fn forward_distribution<G: TimeVaryingGenerator>(
+    gen: &G,
+    pi0: &[f64],
+    t0: f64,
+    t1: f64,
+    options: &OdeOptions,
+) -> Result<Trajectory, CtmcError> {
+    let n = gen.n_states();
+    if pi0.len() != n {
+        return Err(CtmcError::InvalidDistribution(format!(
+            "distribution has length {}, expected {n}",
+            pi0.len()
+        )));
+    }
+    mfcsl_math::simplex::check_distribution(pi0, mfcsl_math::simplex::DEFAULT_SUM_TOL)
+        .map_err(|e| CtmcError::InvalidDistribution(e.to_string()))?;
+    let sys = FnSystem::new(n, move |t: f64, y: &[f64], dy: &mut [f64]| {
+        let mut q = Matrix::zeros(n, n);
+        gen.write_generator(t, &mut q);
+        let out = q.vec_mul(y).expect("shape fixed");
+        dy.copy_from_slice(&out);
+    });
+    Ok(Dopri5::new(*options).solve(&sys, t0, t1, pi0)?)
+}
+
+/// Solves the forward Kolmogorov equation (Eq. 5):
+/// `dΠ'(t', t'+T)/dT = Π'(t', t'+T)·Q(t'+T)` with `Π'(t', t') = I`,
+/// returning `Π'(t', t'+duration)`.
+///
+/// Row `s` column `s'` of the result is the probability of being in `s'` at
+/// time `t' + duration` given state `s` at time `t'`.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::InvalidArgument`] for a negative duration and
+/// propagates ODE failures.
+pub fn transition_matrix<G: TimeVaryingGenerator>(
+    gen: &G,
+    t_start: f64,
+    duration: f64,
+    options: &OdeOptions,
+) -> Result<Matrix, CtmcError> {
+    let traj = transition_matrix_trajectory(gen, t_start, duration, options)?;
+    Ok(flat_to_matrix(gen.n_states(), &traj.final_state()))
+}
+
+/// Like [`transition_matrix`] but returns the whole dense trajectory of the
+/// flattened `n²`-dimensional matrix ODE over `T ∈ [0, duration]` (evaluate
+/// and reshape with [`flat_to_matrix`]).
+///
+/// # Errors
+///
+/// See [`transition_matrix`].
+pub fn transition_matrix_trajectory<G: TimeVaryingGenerator>(
+    gen: &G,
+    t_start: f64,
+    duration: f64,
+    options: &OdeOptions,
+) -> Result<Trajectory, CtmcError> {
+    if !(duration >= 0.0) || !duration.is_finite() {
+        return Err(CtmcError::InvalidArgument(format!(
+            "duration must be finite and non-negative, got {duration}"
+        )));
+    }
+    let n = gen.n_states();
+    let sys = FnSystem::new(n * n, move |big_t: f64, y: &[f64], dy: &mut [f64]| {
+        let mut q = Matrix::zeros(n, n);
+        gen.write_generator(t_start + big_t, &mut q);
+        // dΠ/dT = Π Q: (ΠQ)_{ij} = Σ_k Π_{ik} Q_{kj}.
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += y[i * n + k] * q[(k, j)];
+                }
+                dy[i * n + j] = acc;
+            }
+        }
+    });
+    let identity_flat = Matrix::identity(n).into_vec();
+    Ok(Dopri5::new(*options).solve(&sys, 0.0, duration, &identity_flat)?)
+}
+
+/// Solves the combined forward/backward equation (Eq. 6 / Eq. 12):
+///
+/// `dΠ'(t, t+T)/dt = -Q_lead(t)·Π'(t, t+T) + Π'(t, t+T)·Q_trail(t+T)`
+///
+/// for `t ∈ [t_init, t_end]`, starting from the given `initial` matrix
+/// `Π'(t_init, t_init+T)`. Both sides use the same generator in the
+/// single-until case; the nested-until algorithm of Sec. IV-C feeds the
+/// same modified generator too but restarts the integration at every
+/// discontinuity point.
+///
+/// Returns the dense trajectory of the flattened matrix (reshape with
+/// [`flat_to_matrix`]).
+///
+/// # Errors
+///
+/// Returns [`CtmcError::InvalidArgument`] for shape mismatches, a negative
+/// window `duration`, or a reversed time range, and propagates ODE failures.
+pub fn propagate_window<G: TimeVaryingGenerator>(
+    gen: &G,
+    initial: &Matrix,
+    t_init: f64,
+    t_end: f64,
+    duration: f64,
+    options: &OdeOptions,
+) -> Result<Trajectory, CtmcError> {
+    let n = gen.n_states();
+    if initial.rows() != n || initial.cols() != n {
+        return Err(CtmcError::InvalidArgument(format!(
+            "initial matrix is {}x{}, expected {n}x{n}",
+            initial.rows(),
+            initial.cols()
+        )));
+    }
+    if !(duration >= 0.0) || !(t_end >= t_init) {
+        return Err(CtmcError::InvalidArgument(format!(
+            "invalid window propagation: t ∈ [{t_init}, {t_end}], T = {duration}"
+        )));
+    }
+    let sys = FnSystem::new(n * n, move |t: f64, y: &[f64], dy: &mut [f64]| {
+        let mut q_lead = Matrix::zeros(n, n);
+        let mut q_trail = Matrix::zeros(n, n);
+        gen.write_generator(t, &mut q_lead);
+        gen.write_generator(t + duration, &mut q_trail);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    // -Q(t) Π + Π Q(t+T)
+                    acc += -q_lead[(i, k)] * y[k * n + j] + y[i * n + k] * q_trail[(k, j)];
+                }
+                dy[i * n + j] = acc;
+            }
+        }
+    });
+    Ok(Dopri5::new(*options).solve(&sys, t_init, t_end, initial.as_slice())?)
+}
+
+/// Reshapes a flattened row-major `n²` vector into a matrix.
+///
+/// # Panics
+///
+/// Panics if `flat.len() != n * n`.
+#[must_use]
+pub fn flat_to_matrix(n: usize, flat: &[f64]) -> Matrix {
+    assert_eq!(flat.len(), n * n, "flat vector has wrong length");
+    Matrix::from_vec(n, n, flat.to_vec()).expect("length checked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::transient_matrix;
+    use crate::CtmcBuilder;
+
+    fn chain3() -> Ctmc {
+        CtmcBuilder::new()
+            .state("a", ["a"])
+            .state("b", ["b"])
+            .state("c", ["c"])
+            .transition("a", "b", 1.2)
+            .unwrap()
+            .transition("b", "a", 0.4)
+            .unwrap()
+            .transition("b", "c", 0.9)
+            .unwrap()
+            .transition("c", "b", 2.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn tight() -> OdeOptions {
+        OdeOptions::default().with_tolerances(1e-11, 1e-13)
+    }
+
+    #[test]
+    fn constant_generator_matches_uniformization() {
+        let c = chain3();
+        let gen = ConstGenerator::new(&c);
+        let pi_ode = transition_matrix(&gen, 0.0, 1.5, &tight()).unwrap();
+        let pi_unif = transient_matrix(&c, 1.5, 1e-13).unwrap();
+        assert!(pi_ode.sub_matrix(&pi_unif).unwrap().norm_max() < 1e-8);
+    }
+
+    #[test]
+    fn forward_distribution_matches_matrix_row() {
+        let c = chain3();
+        let gen = ConstGenerator::new(&c);
+        let traj = forward_distribution(&gen, &[1.0, 0.0, 0.0], 0.0, 2.0, &tight()).unwrap();
+        let pi = traj.final_state();
+        let mat = transition_matrix(&gen, 0.0, 2.0, &tight()).unwrap();
+        for j in 0..3 {
+            assert!((pi[j] - mat[(0, j)]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn genuinely_time_varying_generator() {
+        // One-way chain with rate r(t) = t: survival in state 0 over [0, T]
+        // is exp(-T²/2).
+        let gen = FnGenerator::new(2, |t: f64, q: &mut Matrix| {
+            q[(0, 0)] = -t;
+            q[(0, 1)] = t;
+            q[(1, 0)] = 0.0;
+            q[(1, 1)] = 0.0;
+        });
+        let m = transition_matrix(&gen, 0.0, 2.0, &tight()).unwrap();
+        let exact = (-2.0_f64).exp(); // e^{-T²/2} with T=2.
+        assert!((m[(0, 0)] - exact).abs() < 1e-9, "{m}");
+        assert!((m[(0, 1)] - (1.0 - exact)).abs() < 1e-9);
+        // Starting time matters: from t' = 1 the exponent is ∫₁³ t dt = 4.
+        let m = transition_matrix(&gen, 1.0, 2.0, &tight()).unwrap();
+        assert!((m[(0, 0)] - (-4.0_f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_propagation_matches_direct_solves() {
+        // Π(t, t+T) computed by sliding the window must match a fresh
+        // forward solve from each t.
+        let gen = FnGenerator::new(2, |t: f64, q: &mut Matrix| {
+            let r = 0.5 + 0.3 * (t).sin();
+            q[(0, 0)] = -r;
+            q[(0, 1)] = r;
+            q[(1, 0)] = 1.0;
+            q[(1, 1)] = -1.0;
+        });
+        let duration = 0.8;
+        let init = transition_matrix(&gen, 0.0, duration, &tight()).unwrap();
+        let traj = propagate_window(&gen, &init, 0.0, 3.0, duration, &tight()).unwrap();
+        for &t in &[0.5, 1.3, 2.7] {
+            let via_window = flat_to_matrix(2, &traj.eval(t));
+            let direct = transition_matrix(&gen, t, duration, &tight()).unwrap();
+            let diff = via_window.sub_matrix(&direct).unwrap().norm_max();
+            assert!(diff < 1e-7, "t = {t}, diff = {diff}");
+        }
+    }
+
+    #[test]
+    fn rows_remain_stochastic_along_window() {
+        let c = chain3();
+        let gen = ConstGenerator::new(&c);
+        let init = transition_matrix(&gen, 0.0, 1.0, &tight()).unwrap();
+        let traj = propagate_window(&gen, &init, 0.0, 5.0, 1.0, &tight()).unwrap();
+        for &t in traj.knots() {
+            let m = flat_to_matrix(3, &traj.eval(t));
+            for i in 0..3 {
+                let s: f64 = m.row(i).iter().sum();
+                assert!((s - 1.0).abs() < 1e-7, "row sum {s} at t = {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let c = chain3();
+        let gen = ConstGenerator::new(&c);
+        assert!(forward_distribution(&gen, &[1.0], 0.0, 1.0, &tight()).is_err());
+        assert!(forward_distribution(&gen, &[0.6, 0.6, 0.0], 0.0, 1.0, &tight()).is_err());
+        assert!(transition_matrix(&gen, 0.0, -1.0, &tight()).is_err());
+        let bad_init = Matrix::identity(2);
+        assert!(propagate_window(&gen, &bad_init, 0.0, 1.0, 1.0, &tight()).is_err());
+        let good_init = Matrix::identity(3);
+        assert!(propagate_window(&gen, &good_init, 1.0, 0.0, 1.0, &tight()).is_err());
+        assert!(propagate_window(&gen, &good_init, 0.0, 1.0, -1.0, &tight()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn flat_to_matrix_checks_length() {
+        let _ = flat_to_matrix(2, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn zero_duration_window() {
+        let c = chain3();
+        let gen = ConstGenerator::new(&c);
+        let m = transition_matrix(&gen, 0.3, 0.0, &tight()).unwrap();
+        assert!(m.sub_matrix(&Matrix::identity(3)).unwrap().norm_max() < 1e-12);
+    }
+}

@@ -1,0 +1,154 @@
+//! Atomic-proposition labeling of states.
+//!
+//! Def. 1 of the paper equips each local state with a set of *local atomic
+//! properties* (`LAP`). Labels are plain strings; each state holds a sorted
+//! set of them.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::CtmcError;
+
+/// The labeling function `L : S → 2^LAP` of a chain.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_ctmc::Labeling;
+///
+/// let mut l = Labeling::new(3);
+/// l.add(0, "not_infected");
+/// l.add(1, "infected");
+/// l.add(2, "infected");
+/// l.add(2, "active");
+/// assert!(l.has(2, "infected"));
+/// assert_eq!(l.states_with("infected"), vec![1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Labeling {
+    labels: Vec<BTreeSet<String>>,
+}
+
+impl Labeling {
+    /// Creates an empty labeling for `n_states` states.
+    #[must_use]
+    pub fn new(n_states: usize) -> Self {
+        Labeling {
+            labels: vec![BTreeSet::new(); n_states],
+        }
+    }
+
+    /// Number of states covered.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Adds label `lap` to state `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn add(&mut self, state: usize, lap: impl Into<String>) {
+        self.labels[state].insert(lap.into());
+    }
+
+    /// Returns `true` if `state` carries label `lap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn has(&self, state: usize, lap: &str) -> bool {
+        self.labels[state].contains(lap)
+    }
+
+    /// The labels of `state`, sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn of(&self, state: usize) -> &BTreeSet<String> {
+        &self.labels[state]
+    }
+
+    /// All states carrying label `lap`, in increasing order.
+    #[must_use]
+    pub fn states_with(&self, lap: &str) -> Vec<usize> {
+        (0..self.labels.len())
+            .filter(|&s| self.labels[s].contains(lap))
+            .collect()
+    }
+
+    /// The set of all labels used anywhere, sorted.
+    #[must_use]
+    pub fn alphabet(&self) -> BTreeSet<String> {
+        self.labels.iter().flatten().cloned().collect()
+    }
+
+    /// Checks that `state` is a valid index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::StateIndexOutOfRange`] otherwise.
+    pub fn check_state(&self, state: usize) -> Result<(), CtmcError> {
+        if state < self.labels.len() {
+            Ok(())
+        } else {
+            Err(CtmcError::StateIndexOutOfRange {
+                index: state,
+                n_states: self.labels.len(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_operations() {
+        let mut l = Labeling::new(2);
+        assert_eq!(l.n_states(), 2);
+        l.add(0, "a");
+        l.add(0, "b");
+        l.add(1, "a");
+        assert!(l.has(0, "b"));
+        assert!(!l.has(1, "b"));
+        assert_eq!(l.states_with("a"), vec![0, 1]);
+        assert_eq!(l.states_with("zzz"), Vec::<usize>::new());
+        assert_eq!(l.of(0).len(), 2);
+    }
+
+    #[test]
+    fn alphabet_collects_all_labels() {
+        let mut l = Labeling::new(2);
+        l.add(0, "x");
+        l.add(1, "y");
+        l.add(1, "x");
+        let a = l.alphabet();
+        assert_eq!(a.len(), 2);
+        assert!(a.contains("x") && a.contains("y"));
+    }
+
+    #[test]
+    fn check_state_bounds() {
+        let l = Labeling::new(1);
+        assert!(l.check_state(0).is_ok());
+        assert!(matches!(
+            l.check_state(1),
+            Err(CtmcError::StateIndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_adds_are_idempotent() {
+        let mut l = Labeling::new(1);
+        l.add(0, "a");
+        l.add(0, "a");
+        assert_eq!(l.of(0).len(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Continuous-time Markov chain substrate.
+//!
+//! The local model `𝓜ˡ` of a mean-field system (Def. 1 of the paper) is a
+//! CTMC whose rates may depend on the global occupancy vector; with the
+//! occupancy frozen it is an ordinary time-homogeneous CTMC, and along a
+//! mean-field trajectory it is a time-inhomogeneous one. This crate provides
+//! both views plus the standard machinery CSL model checking needs:
+//!
+//! * [`ctmc::Ctmc`] / [`ctmc::CtmcBuilder`] — validated generator matrices
+//!   with state names and atomic-proposition labels;
+//! * [`transient`] — transient distributions and probability matrices via
+//!   uniformization (with a self-contained Poisson-layer computation) and
+//!   via the matrix exponential, cross-checkable against each other;
+//! * [`steady`] — Tarjan SCC / BSCC decomposition and exact steady-state
+//!   distributions for arbitrary (also reducible) chains;
+//! * [`absorb`] — the formula-driven chain transformations `𝓜[Φ]` of CSL
+//!   model checking (making states absorbing);
+//! * [`dtmc`] — the embedded and uniformized discrete-time chains;
+//! * [`inhomogeneous`] — time-varying generators `Q(t)` and the Kolmogorov
+//!   equations (Eq. 5 of the paper) solved with `mfcsl-ode`;
+//! * [`sparse`] — CSR generators with sparse uniformization, sized for
+//!   the huge lumped overall chains of `mfcsl-sim`;
+//! * [`simulate`] — exact path sampling for homogeneous chains and thinning
+//!   for inhomogeneous ones, the statistical baseline for every checker.
+//!
+//! # Example
+//!
+//! ```
+//! use mfcsl_ctmc::CtmcBuilder;
+//!
+//! # fn main() -> Result<(), mfcsl_ctmc::CtmcError> {
+//! let ctmc = CtmcBuilder::new()
+//!     .state("up", ["working"])
+//!     .state("down", ["failed"])
+//!     .transition("up", "down", 0.1)?
+//!     .transition("down", "up", 2.0)?
+//!     .build()?;
+//! let pi = mfcsl_ctmc::steady::steady_state(&ctmc)?;
+//! assert!((pi[0] - 2.0 / 2.1).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+// `!(x > 0.0)`-style guards are used deliberately throughout: unlike
+// `x <= 0.0`, they classify NaN as invalid input instead of letting it
+// through, which is exactly the intent of the validation sites.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod absorb;
+pub mod ctmc;
+pub mod dtmc;
+pub mod error;
+pub mod inhomogeneous;
+pub mod labels;
+pub mod simulate;
+pub mod sparse;
+pub mod steady;
+pub mod transient;
+
+pub use ctmc::{Ctmc, CtmcBuilder};
+pub use error::CtmcError;
+pub use labels::Labeling;

@@ -1,0 +1,412 @@
+//! Exact path sampling.
+//!
+//! Sampled paths are the statistical ground truth against which every
+//! analytic checker in the workspace is validated: the probability of a CSL
+//! path formula can always be estimated by sampling paths and counting.
+//!
+//! * homogeneous chains are simulated directly (exponential holding times,
+//!   embedded jump probabilities);
+//! * time-inhomogeneous chains are simulated by **thinning** (Lewis &
+//!   Shedler): candidate events from a Poisson process at an upper-bound
+//!   rate are accepted with probability `rate(t)/bound`.
+
+use rand::Rng;
+
+use crate::inhomogeneous::TimeVaryingGenerator;
+use crate::{Ctmc, CtmcError};
+
+/// A sampled right-continuous CTMC path on `[t_start, t_end]`.
+///
+/// `states[i]` is occupied on `[times[i], times[i+1])` (with the last state
+/// occupied until `t_end`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    states: Vec<usize>,
+    times: Vec<f64>,
+    t_end: f64,
+}
+
+impl Path {
+    /// Builds a path from parallel state/entry-time arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidArgument`] if the arrays are empty or of
+    /// different lengths, the times are not strictly increasing, or
+    /// `t_end` precedes the last entry time.
+    pub fn new(states: Vec<usize>, times: Vec<f64>, t_end: f64) -> Result<Self, CtmcError> {
+        if states.is_empty() || states.len() != times.len() {
+            return Err(CtmcError::InvalidArgument(format!(
+                "path arrays must be nonempty and equal length ({} states, {} times)",
+                states.len(),
+                times.len()
+            )));
+        }
+        if times.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CtmcError::InvalidArgument(
+                "entry times must be strictly increasing".into(),
+            ));
+        }
+        if t_end < *times.last().expect("nonempty") {
+            return Err(CtmcError::InvalidArgument(format!(
+                "t_end = {t_end} precedes the last jump"
+            )));
+        }
+        Ok(Path {
+            states,
+            times,
+            t_end,
+        })
+    }
+
+    /// Start time of the path.
+    #[must_use]
+    pub fn t_start(&self) -> f64 {
+        self.times[0]
+    }
+
+    /// End of the observation window.
+    #[must_use]
+    pub fn t_end(&self) -> f64 {
+        self.t_end
+    }
+
+    /// Number of jumps along the path.
+    #[must_use]
+    pub fn n_jumps(&self) -> usize {
+        self.states.len() - 1
+    }
+
+    /// The visited states in order.
+    #[must_use]
+    pub fn states(&self) -> &[usize] {
+        &self.states
+    }
+
+    /// Entry times (parallel to [`Path::states`]).
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The state occupied at time `t` (`σ@t` in the paper's notation).
+    /// Clamps outside the observation window.
+    #[must_use]
+    pub fn state_at(&self, t: f64) -> usize {
+        if t <= self.times[0] {
+            return self.states[0];
+        }
+        let i = match self.times.partition_point(|&x| x <= t) {
+            0 => 0,
+            p => p - 1,
+        };
+        self.states[i]
+    }
+
+    /// Iterates over `(state, entry_time, exit_time)` sojourns.
+    pub fn sojourns(&self) -> impl Iterator<Item = (usize, f64, f64)> + '_ {
+        (0..self.states.len()).map(move |i| {
+            let exit = if i + 1 < self.times.len() {
+                self.times[i + 1]
+            } else {
+                self.t_end
+            };
+            (self.states[i], self.times[i], exit)
+        })
+    }
+}
+
+/// Samples a path of a time-homogeneous chain from `start` over
+/// `[0, t_end]`.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::StateIndexOutOfRange`] for a bad start state and
+/// [`CtmcError::InvalidArgument`] for a negative horizon.
+pub fn sample_path<R: Rng + ?Sized>(
+    ctmc: &Ctmc,
+    start: usize,
+    t_end: f64,
+    rng: &mut R,
+) -> Result<Path, CtmcError> {
+    ctmc.labeling().check_state(start)?;
+    if !(t_end >= 0.0) || !t_end.is_finite() {
+        return Err(CtmcError::InvalidArgument(format!(
+            "horizon must be finite and non-negative, got {t_end}"
+        )));
+    }
+    let q = ctmc.generator();
+    let n = ctmc.n_states();
+    let mut states = vec![start];
+    let mut times = vec![0.0];
+    let mut s = start;
+    let mut t = 0.0;
+    loop {
+        let exit = ctmc.exit_rate(s);
+        if exit <= 0.0 {
+            break; // absorbing
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() / exit;
+        if t >= t_end {
+            break;
+        }
+        // Choose the successor proportionally to its rate.
+        let mut pick = rng.gen_range(0.0..exit);
+        let mut next = s;
+        for j in 0..n {
+            if j == s {
+                continue;
+            }
+            let r = q[(s, j)];
+            if r <= 0.0 {
+                continue;
+            }
+            if pick < r {
+                next = j;
+                break;
+            }
+            pick -= r;
+        }
+        s = next;
+        states.push(s);
+        times.push(t);
+    }
+    Path::new(states, times, t_end)
+}
+
+/// Samples a path of a time-inhomogeneous chain by thinning.
+///
+/// `rate_bound` must dominate every exit rate on `[0, t_end]`; it is
+/// validated lazily (an observed exit rate above the bound is an error, as
+/// the sample would be biased).
+///
+/// # Errors
+///
+/// Returns [`CtmcError::InvalidArgument`] for a non-positive bound, a
+/// negative horizon, or a violated bound.
+pub fn sample_path_inhomogeneous<G: TimeVaryingGenerator, R: Rng + ?Sized>(
+    gen: &G,
+    start: usize,
+    t_end: f64,
+    rate_bound: f64,
+    rng: &mut R,
+) -> Result<Path, CtmcError> {
+    let n = gen.n_states();
+    if start >= n {
+        return Err(CtmcError::StateIndexOutOfRange {
+            index: start,
+            n_states: n,
+        });
+    }
+    if !(t_end >= 0.0) || !t_end.is_finite() {
+        return Err(CtmcError::InvalidArgument(format!(
+            "horizon must be finite and non-negative, got {t_end}"
+        )));
+    }
+    if !(rate_bound > 0.0) || !rate_bound.is_finite() {
+        return Err(CtmcError::InvalidArgument(format!(
+            "rate bound must be positive and finite, got {rate_bound}"
+        )));
+    }
+    let mut q = mfcsl_math::Matrix::zeros(n, n);
+    let mut states = vec![start];
+    let mut times = vec![0.0];
+    let mut s = start;
+    let mut t = 0.0;
+    loop {
+        // Candidate event from the dominating Poisson process.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() / rate_bound;
+        if t >= t_end {
+            break;
+        }
+        gen.write_generator(t, &mut q);
+        let exit = -q[(s, s)];
+        if exit > rate_bound * (1.0 + 1e-9) {
+            return Err(CtmcError::InvalidArgument(format!(
+                "exit rate {exit} at t = {t} exceeds the thinning bound {rate_bound}"
+            )));
+        }
+        // Accept with probability exit/bound, then pick a successor.
+        if rng.gen_range(0.0..1.0) < exit / rate_bound {
+            let mut pick = rng.gen_range(0.0..exit);
+            let mut next = s;
+            for j in 0..n {
+                if j == s {
+                    continue;
+                }
+                let r = q[(s, j)];
+                if r <= 0.0 {
+                    continue;
+                }
+                if pick < r {
+                    next = j;
+                    break;
+                }
+                pick -= r;
+            }
+            if next != s {
+                s = next;
+                states.push(s);
+                times.push(t);
+            }
+        }
+    }
+    Path::new(states, times, t_end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inhomogeneous::{ConstGenerator, FnGenerator};
+    use crate::CtmcBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_state() -> Ctmc {
+        CtmcBuilder::new()
+            .state("a", ["a"])
+            .state("b", ["b"])
+            .transition("a", "b", 2.0)
+            .unwrap()
+            .transition("b", "a", 1.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn path_accessors() {
+        let p = Path::new(vec![0, 1, 0], vec![0.0, 1.0, 2.5], 4.0).unwrap();
+        assert_eq!(p.t_start(), 0.0);
+        assert_eq!(p.t_end(), 4.0);
+        assert_eq!(p.n_jumps(), 2);
+        assert_eq!(p.state_at(0.0), 0);
+        assert_eq!(p.state_at(0.99), 0);
+        assert_eq!(p.state_at(1.0), 1);
+        assert_eq!(p.state_at(3.0), 0);
+        assert_eq!(p.state_at(99.0), 0);
+        let soj: Vec<_> = p.sojourns().collect();
+        assert_eq!(soj, vec![(0, 0.0, 1.0), (1, 1.0, 2.5), (0, 2.5, 4.0)]);
+    }
+
+    #[test]
+    fn path_validation() {
+        assert!(Path::new(vec![], vec![], 1.0).is_err());
+        assert!(Path::new(vec![0], vec![0.0, 1.0], 2.0).is_err());
+        assert!(Path::new(vec![0, 1], vec![0.0, 0.0], 2.0).is_err());
+        assert!(Path::new(vec![0, 1], vec![0.0, 3.0], 2.0).is_err());
+    }
+
+    #[test]
+    fn homogeneous_sampling_matches_transient() {
+        // Fraction of paths in state a at t compared to uniformization.
+        let c = two_state();
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = 0.7;
+        let n_paths = 20_000;
+        let mut count = 0usize;
+        for _ in 0..n_paths {
+            let p = sample_path(&c, 0, t, &mut rng).unwrap();
+            if p.state_at(t) == 0 {
+                count += 1;
+            }
+        }
+        let est = count as f64 / n_paths as f64;
+        let exact = crate::transient::transient_distribution(&c, &[1.0, 0.0], t, 1e-13).unwrap()[0];
+        assert!(
+            (est - exact).abs() < 0.015,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn absorbing_state_ends_path() {
+        let c = CtmcBuilder::new()
+            .state("live", ["l"])
+            .state("dead", ["d"])
+            .transition("live", "dead", 100.0)
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = sample_path(&c, 0, 10.0, &mut rng).unwrap();
+        assert_eq!(p.state_at(10.0), 1);
+        assert_eq!(p.n_jumps(), 1);
+    }
+
+    #[test]
+    fn thinning_matches_direct_for_constant_rates() {
+        let c = two_state();
+        let gen = ConstGenerator::new(&c);
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = 0.7;
+        let n_paths = 20_000;
+        let mut count = 0usize;
+        for _ in 0..n_paths {
+            let p = sample_path_inhomogeneous(&gen, 0, t, 2.5, &mut rng).unwrap();
+            if p.state_at(t) == 0 {
+                count += 1;
+            }
+        }
+        let est = count as f64 / n_paths as f64;
+        let exact = crate::transient::transient_distribution(&c, &[1.0, 0.0], t, 1e-13).unwrap()[0];
+        assert!(
+            (est - exact).abs() < 0.015,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn thinning_matches_analytic_time_varying_rate() {
+        // One-way chain with rate t: survival to T is exp(-T²/2).
+        let gen = FnGenerator::new(2, |t: f64, q: &mut mfcsl_math::Matrix| {
+            q[(0, 0)] = -t;
+            q[(0, 1)] = t;
+            q[(1, 0)] = 0.0;
+            q[(1, 1)] = 0.0;
+        });
+        let mut rng = StdRng::seed_from_u64(11);
+        let t_end = 1.5;
+        let n_paths = 20_000;
+        let mut survived = 0usize;
+        for _ in 0..n_paths {
+            let p = sample_path_inhomogeneous(&gen, 0, t_end, 1.5, &mut rng).unwrap();
+            if p.state_at(t_end) == 0 {
+                survived += 1;
+            }
+        }
+        let est = survived as f64 / n_paths as f64;
+        let exact = (-t_end * t_end / 2.0_f64).exp();
+        assert!(
+            (est - exact).abs() < 0.015,
+            "estimate {est} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn thinning_detects_violated_bound() {
+        let gen = FnGenerator::new(2, |_t: f64, q: &mut mfcsl_math::Matrix| {
+            q[(0, 0)] = -10.0;
+            q[(0, 1)] = 10.0;
+            q[(1, 0)] = 0.0;
+            q[(1, 1)] = 0.0;
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let err = sample_path_inhomogeneous(&gen, 0, 10.0, 1.0, &mut rng).unwrap_err();
+        assert!(matches!(err, CtmcError::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn sampling_validates_arguments() {
+        let c = two_state();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sample_path(&c, 9, 1.0, &mut rng).is_err());
+        assert!(sample_path(&c, 0, -1.0, &mut rng).is_err());
+        let gen = ConstGenerator::new(&c);
+        assert!(sample_path_inhomogeneous(&gen, 9, 1.0, 3.0, &mut rng).is_err());
+        assert!(sample_path_inhomogeneous(&gen, 0, 1.0, 0.0, &mut rng).is_err());
+        assert!(sample_path_inhomogeneous(&gen, 0, f64::NAN, 3.0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! Sparse CTMCs in compressed-sparse-row form.
+//!
+//! The lumped overall chain of a finite-`N` mean-field system has
+//! `C(N+K-1, K-1)` states but only `K(K-1)` transitions per state, so a
+//! dense generator wastes quadratic memory. [`SparseCtmc`] stores only the
+//! off-diagonal rates and supports the one operation transient analysis
+//! needs: the uniformized vector–matrix product of uniformization.
+
+use serde::{Deserialize, Serialize};
+
+use crate::transient::PoissonWindow;
+use crate::CtmcError;
+
+/// A CTMC generator in CSR form (off-diagonal rates only; the diagonal is
+/// implied by the row sums).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseCtmc {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    rates: Vec<f64>,
+    exit: Vec<f64>,
+}
+
+impl SparseCtmc {
+    /// Builds a sparse chain from `(from, to, rate)` triplets.
+    ///
+    /// Duplicate `(from, to)` pairs accumulate. Self-loops are rejected;
+    /// rates must be finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidGenerator`] for an empty state space,
+    /// out-of-range indices, self-loops, or invalid rates.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mfcsl_ctmc::sparse::SparseCtmc;
+    ///
+    /// let c = SparseCtmc::from_triplets(2, &[(0, 1, 2.0), (1, 0, 1.0)])?;
+    /// assert_eq!(c.exit_rate(0), 2.0);
+    /// let pi = c.transient_distribution(&[1.0, 0.0], 10.0, 1e-12)?;
+    /// assert!((pi[0] - 1.0 / 3.0).abs() < 1e-9);
+    /// # Ok::<(), mfcsl_ctmc::CtmcError>(())
+    /// ```
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Result<Self, CtmcError> {
+        if n == 0 {
+            return Err(CtmcError::InvalidGenerator(
+                "chain must have at least one state".into(),
+            ));
+        }
+        for &(from, to, rate) in triplets {
+            if from >= n || to >= n {
+                return Err(CtmcError::InvalidGenerator(format!(
+                    "transition ({from}, {to}) out of range for {n} states"
+                )));
+            }
+            if from == to {
+                return Err(CtmcError::InvalidGenerator(format!(
+                    "self-loop on state {from}"
+                )));
+            }
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(CtmcError::InvalidGenerator(format!(
+                    "rate {rate} at ({from}, {to}) must be finite and non-negative"
+                )));
+            }
+        }
+        // Counting sort by row.
+        let mut counts = vec![0usize; n + 1];
+        for &(from, _, _) in triplets {
+            counts[from + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; triplets.len()];
+        let mut rates = vec![0.0; triplets.len()];
+        let mut cursor = row_ptr.clone();
+        for &(from, to, rate) in triplets {
+            let slot = cursor[from];
+            col_idx[slot] = to;
+            rates[slot] = rate;
+            cursor[from] += 1;
+        }
+        let mut exit = vec![0.0; n];
+        for &(from, _, rate) in triplets {
+            exit[from] += rate;
+        }
+        Ok(SparseCtmc {
+            n,
+            row_ptr,
+            col_idx,
+            rates,
+            exit,
+        })
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored transitions.
+    #[must_use]
+    pub fn n_transitions(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Exit rate of a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    #[must_use]
+    pub fn exit_rate(&self, s: usize) -> f64 {
+        self.exit[s]
+    }
+
+    /// The largest exit rate (uniformization rate lower bound).
+    #[must_use]
+    pub fn max_exit_rate(&self) -> f64 {
+        self.exit.iter().fold(0.0_f64, |m, &v| m.max(v))
+    }
+
+    /// One uniformized step `v ← v·P` with `P = I + Q/Λ`, writing into
+    /// `out` (which must be zeroed by the caller... it is overwritten).
+    fn uniformized_step(&self, unif: f64, v: &[f64], out: &mut [f64]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = v[j] * (1.0 - self.exit[j] / unif);
+        }
+        for (i, &vi) in v.iter().enumerate() {
+            if vi == 0.0 {
+                continue;
+            }
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                out[self.col_idx[k]] += vi * self.rates[k] / unif;
+            }
+        }
+    }
+
+    /// Transient distribution `π(t) = π(0)·e^{Qt}` by uniformization with
+    /// sparse vector–matrix products.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidDistribution`] for a bad initial
+    /// distribution and [`CtmcError::InvalidArgument`] for a negative time
+    /// or bad truncation `eps`.
+    pub fn transient_distribution(
+        &self,
+        pi0: &[f64],
+        t: f64,
+        eps: f64,
+    ) -> Result<Vec<f64>, CtmcError> {
+        if pi0.len() != self.n {
+            return Err(CtmcError::InvalidDistribution(format!(
+                "distribution has length {}, expected {}",
+                pi0.len(),
+                self.n
+            )));
+        }
+        mfcsl_math::simplex::check_distribution(pi0, mfcsl_math::simplex::DEFAULT_SUM_TOL)
+            .map_err(|e| CtmcError::InvalidDistribution(e.to_string()))?;
+        if !(t >= 0.0) || !t.is_finite() {
+            return Err(CtmcError::InvalidArgument(format!(
+                "time must be finite and non-negative, got {t}"
+            )));
+        }
+        let rate = self.max_exit_rate();
+        if rate == 0.0 || t == 0.0 {
+            return Ok(pi0.to_vec());
+        }
+        let unif = rate * 1.02;
+        let window = PoissonWindow::new(unif * t, eps)?;
+        let mut v = pi0.to_vec();
+        let mut scratch = vec![0.0; self.n];
+        for _ in 0..window.left {
+            self.uniformized_step(unif, &v, &mut scratch);
+            std::mem::swap(&mut v, &mut scratch);
+        }
+        let mut out = vec![0.0; self.n];
+        for (i, &w) in window.weights.iter().enumerate() {
+            for (o, &vi) in out.iter_mut().zip(&v) {
+                *o += w * vi;
+            }
+            if i + 1 < window.weights.len() {
+                self.uniformized_step(unif, &v, &mut scratch);
+                std::mem::swap(&mut v, &mut scratch);
+            }
+        }
+        let mass: f64 = out.iter().sum();
+        if mass > 0.0 {
+            for o in &mut out {
+                *o /= mass;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::transient_distribution;
+    use crate::CtmcBuilder;
+    use proptest::prelude::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let c = SparseCtmc::from_triplets(3, &[(0, 1, 1.0), (0, 2, 0.5), (2, 0, 2.0)]).unwrap();
+        assert_eq!(c.n_states(), 3);
+        assert_eq!(c.n_transitions(), 3);
+        assert_eq!(c.exit_rate(0), 1.5);
+        assert_eq!(c.exit_rate(1), 0.0);
+        assert_eq!(c.max_exit_rate(), 2.0);
+    }
+
+    #[test]
+    fn duplicate_triplets_accumulate() {
+        let c = SparseCtmc::from_triplets(2, &[(0, 1, 1.0), (0, 1, 2.0)]).unwrap();
+        assert_eq!(c.exit_rate(0), 3.0);
+        let pi = c.transient_distribution(&[1.0, 0.0], 100.0, 1e-12).unwrap();
+        assert!(pi[1] > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(SparseCtmc::from_triplets(0, &[]).is_err());
+        assert!(SparseCtmc::from_triplets(2, &[(0, 2, 1.0)]).is_err());
+        assert!(SparseCtmc::from_triplets(2, &[(0, 0, 1.0)]).is_err());
+        assert!(SparseCtmc::from_triplets(2, &[(0, 1, -1.0)]).is_err());
+        assert!(SparseCtmc::from_triplets(2, &[(0, 1, f64::NAN)]).is_err());
+        let c = SparseCtmc::from_triplets(2, &[(0, 1, 1.0)]).unwrap();
+        assert!(c.transient_distribution(&[1.0], 1.0, 1e-12).is_err());
+        assert!(c.transient_distribution(&[1.0, 0.0], -1.0, 1e-12).is_err());
+    }
+
+    #[test]
+    fn frozen_chain_stays_put() {
+        let c = SparseCtmc::from_triplets(2, &[(0, 1, 0.0)]).unwrap();
+        let pi = c.transient_distribution(&[0.3, 0.7], 5.0, 1e-12).unwrap();
+        assert_eq!(pi, vec![0.3, 0.7]);
+    }
+
+    proptest! {
+        /// Sparse and dense uniformization agree on random chains.
+        #[test]
+        fn prop_matches_dense(
+            rates in proptest::collection::vec(0.0_f64..3.0, 12),
+            t in 0.01_f64..4.0,
+        ) {
+            let names = ["a", "b", "c", "d"];
+            let mut builder = CtmcBuilder::new();
+            for name in names {
+                builder = builder.state(name, [name]);
+            }
+            let mut triplets = Vec::new();
+            let mut idx = 0;
+            for i in 0..4usize {
+                for j in 0..4usize {
+                    if i != j {
+                        let r = rates[idx];
+                        idx += 1;
+                        builder = builder.transition(names[i], names[j], r).unwrap();
+                        triplets.push((i, j, r));
+                    }
+                }
+            }
+            let dense = builder.build().unwrap();
+            let sparse = SparseCtmc::from_triplets(4, &triplets).unwrap();
+            let pi0 = [0.4, 0.3, 0.2, 0.1];
+            let pd = transient_distribution(&dense, &pi0, t, 1e-13).unwrap();
+            let ps = sparse.transient_distribution(&pi0, t, 1e-13).unwrap();
+            for (a, b) in pd.iter().zip(&ps) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

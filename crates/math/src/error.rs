@@ -1,0 +1,108 @@
+//! Error type shared by the numerical routines in this crate.
+
+use std::fmt;
+
+/// Error returned by the numerical routines in `mfcsl-math`.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_math::matrix::Matrix;
+/// use mfcsl_math::MathError;
+///
+/// let err = Matrix::from_rows(&[&[1.0], &[2.0, 3.0]]).unwrap_err();
+/// assert!(matches!(err, MathError::DimensionMismatch { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum MathError {
+    /// Two operands (or an operand and an expectation) disagree on shape.
+    DimensionMismatch {
+        /// Shape the operation expected, e.g. `"2x2"` or `"len 3"`.
+        expected: String,
+        /// Shape that was actually supplied.
+        found: String,
+    },
+    /// A square matrix was required but a rectangular one was supplied.
+    NotSquare {
+        /// Number of rows of the offending matrix.
+        rows: usize,
+        /// Number of columns of the offending matrix.
+        cols: usize,
+    },
+    /// The matrix is singular (or numerically singular) to working precision.
+    Singular,
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations that were performed.
+        iterations: usize,
+        /// Human-readable description of what failed to converge.
+        context: String,
+    },
+    /// A root-finding bracket `[a, b]` does not actually bracket a sign change.
+    InvalidBracket {
+        /// Left end of the bracket.
+        a: f64,
+        /// Right end of the bracket.
+        b: f64,
+    },
+    /// An argument was outside its documented domain.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            MathError::NotSquare { rows, cols } => {
+                write!(f, "matrix is not square: {rows}x{cols}")
+            }
+            MathError::Singular => write!(f, "matrix is singular to working precision"),
+            MathError::NoConvergence {
+                iterations,
+                context,
+            } => write!(f, "no convergence after {iterations} iterations: {context}"),
+            MathError::InvalidBracket { a, b } => {
+                write!(f, "interval [{a}, {b}] does not bracket a root")
+            }
+            MathError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            MathError::DimensionMismatch {
+                expected: "2x2".into(),
+                found: "3x2".into(),
+            },
+            MathError::NotSquare { rows: 2, cols: 3 },
+            MathError::Singular,
+            MathError::NoConvergence {
+                iterations: 10,
+                context: "qr iteration".into(),
+            },
+            MathError::InvalidBracket { a: 0.0, b: 1.0 },
+            MathError::InvalidArgument("p must be in [0,1]".into()),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+}

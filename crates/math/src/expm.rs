@@ -1,0 +1,188 @@
+//! Matrix exponential via scaling-and-squaring with Padé approximants.
+//!
+//! `expm(Q·t)` gives the transient probability matrix of a time-homogeneous
+//! CTMC, which the workspace uses both directly (classic CSL model checking)
+//! and as an independent cross-check of uniformization and of the Kolmogorov
+//! ODE integration.
+
+use crate::lu::LuDecomposition;
+use crate::{MathError, Matrix};
+
+/// Padé order used by [`expm`]. A diagonal `[6/6]` approximant evaluated at
+/// `‖A‖∞ ≤ 0.5` has truncation error far below `f64` precision.
+const PADE_ORDER: usize = 6;
+
+/// Norm threshold after scaling; `‖A / 2^s‖∞ ≤ 0.5`.
+const SCALE_TARGET: f64 = 0.5;
+
+/// Computes the matrix exponential `e^A`.
+///
+/// Uses scaling-and-squaring: `A` is divided by `2^s` until its ∞-norm is at
+/// most 0.5, a diagonal Padé `[6/6]` approximant is evaluated, and the result
+/// is squared `s` times.
+///
+/// # Errors
+///
+/// Returns [`MathError::NotSquare`] for rectangular input,
+/// [`MathError::InvalidArgument`] for non-finite entries, and
+/// [`MathError::Singular`] in the (practically unreachable for scaled input)
+/// case that the Padé denominator is singular.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_math::{expm::expm, Matrix};
+///
+/// # fn main() -> Result<(), mfcsl_math::MathError> {
+/// // exp of the zero matrix is the identity.
+/// let e = expm(&Matrix::zeros(3, 3))?;
+/// assert_eq!(e, Matrix::identity(3));
+/// # Ok(())
+/// # }
+/// ```
+pub fn expm(a: &Matrix) -> Result<Matrix, MathError> {
+    a.check_square()?;
+    a.check_finite()?;
+    let norm = a.norm_inf();
+    // Number of squarings needed to bring the norm under the target.
+    let s = if norm <= SCALE_TARGET {
+        0
+    } else {
+        (norm / SCALE_TARGET).log2().ceil() as u32
+    };
+    let scaled = a.scaled(0.5_f64.powi(s as i32));
+    let mut result = pade(&scaled)?;
+    for _ in 0..s {
+        result = result.matmul(&result)?;
+    }
+    Ok(result)
+}
+
+/// Computes `e^{A t}` (convenience for CTMC transients `Π(t) = e^{Qt}`).
+///
+/// # Errors
+///
+/// See [`expm`].
+pub fn expm_scaled(a: &Matrix, t: f64) -> Result<Matrix, MathError> {
+    expm(&a.scaled(t))
+}
+
+/// Diagonal Padé `[m/m]` approximant of `e^A` for small-norm `A`.
+fn pade(a: &Matrix) -> Result<Matrix, MathError> {
+    let n = a.rows();
+    let m = PADE_ORDER;
+    // Coefficients c_j of the numerator polynomial; the denominator uses the
+    // same coefficients with alternating signs (A -> -A).
+    let mut c = vec![0.0; m + 1];
+    c[0] = 1.0;
+    for j in 0..m {
+        c[j + 1] = c[j] * ((m - j) as f64) / (((2 * m - j) * (j + 1)) as f64);
+    }
+    let mut num = Matrix::identity(n).scaled(c[0]);
+    let mut den = num.clone();
+    let mut power = Matrix::identity(n);
+    for (j, &cj) in c.iter().enumerate().skip(1) {
+        power = power.matmul(a)?;
+        num = num.add_matrix(&power.scaled(cj))?;
+        let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+        den = den.add_matrix(&power.scaled(sign * cj))?;
+    }
+    LuDecomposition::new(&den)?.solve_matrix(&num)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn max_diff(a: &Matrix, b: &Matrix) -> f64 {
+        a.sub_matrix(b).unwrap().norm_max()
+    }
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        assert_eq!(expm(&Matrix::zeros(4, 4)).unwrap(), Matrix::identity(4));
+    }
+
+    #[test]
+    fn exp_of_diagonal() {
+        let a = Matrix::from_diag(&[1.0, -2.0, 0.5]);
+        let e = expm(&a).unwrap();
+        let expected = Matrix::from_diag(&[1.0_f64.exp(), (-2.0_f64).exp(), 0.5_f64.exp()]);
+        assert!(max_diff(&e, &expected) < 1e-13);
+    }
+
+    #[test]
+    fn exp_of_nilpotent() {
+        // A = [[0,1],[0,0]] => e^A = I + A exactly.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let e = expm(&a).unwrap();
+        let expected = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        assert!(max_diff(&e, &expected) < 1e-14);
+    }
+
+    #[test]
+    fn exp_of_rotation_generator() {
+        // A = [[0,-t],[t,0]] => e^A = rotation by angle t.
+        let t = 1.3;
+        let a = Matrix::from_rows(&[&[0.0, -t], &[t, 0.0]]).unwrap();
+        let e = expm(&a).unwrap();
+        let expected = Matrix::from_rows(&[&[t.cos(), -t.sin()], &[t.sin(), t.cos()]]).unwrap();
+        assert!(max_diff(&e, &expected) < 1e-13);
+    }
+
+    #[test]
+    fn large_norm_triggers_scaling() {
+        // Diagonal with a large entry: verifies the squaring phase.
+        let a = Matrix::from_diag(&[-50.0, 3.0]);
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - (-50.0_f64).exp()).abs() < 1e-16);
+        assert!((e[(1, 1)] - 3.0_f64.exp()).abs() < 1e-10 * 3.0_f64.exp());
+    }
+
+    #[test]
+    fn generator_rows_stay_stochastic() {
+        // A CTMC generator: rows sum to zero => e^{Qt} rows sum to one.
+        let q =
+            Matrix::from_rows(&[&[-2.0, 1.5, 0.5], &[0.3, -0.8, 0.5], &[0.0, 2.0, -2.0]]).unwrap();
+        let p = expm_scaled(&q, 0.7).unwrap();
+        for i in 0..3 {
+            let row_sum: f64 = p.row(i).iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-12);
+            for &v in p.row(i) {
+                assert!(v >= -1e-13, "negative probability {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_rectangular_and_nan() {
+        assert!(expm(&Matrix::zeros(2, 3)).is_err());
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = f64::NAN;
+        assert!(expm(&a).is_err());
+    }
+
+    proptest! {
+        /// Semigroup property e^{A}e^{A} = e^{2A} for random matrices.
+        #[test]
+        fn prop_semigroup(entries in proptest::collection::vec(-2.0_f64..2.0, 9)) {
+            let a = Matrix::from_vec(3, 3, entries).unwrap();
+            let e1 = expm(&a).unwrap();
+            let e2 = expm(&a.scaled(2.0)).unwrap();
+            let sq = e1.matmul(&e1).unwrap();
+            let scale = e2.norm_max().max(1.0);
+            prop_assert!(max_diff(&sq, &e2) < 1e-9 * scale);
+        }
+
+        /// det(e^A) = e^{tr A}.
+        #[test]
+        fn prop_det_exp_trace(entries in proptest::collection::vec(-1.5_f64..1.5, 9)) {
+            let a = Matrix::from_vec(3, 3, entries).unwrap();
+            let e = expm(&a).unwrap();
+            let det = crate::lu::LuDecomposition::new(&e).unwrap().det();
+            let expected = a.trace().unwrap().exp();
+            prop_assert!((det - expected).abs() < 1e-9 * expected.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Numerical foundations for the `mfcsl` mean-field model checker.
+//!
+//! This crate provides every piece of numerical machinery the higher layers
+//! need, implemented from scratch on `std`:
+//!
+//! * [`matrix`] — small dense row-major matrices with the usual algebra;
+//! * [`lu`] — LU decomposition with partial pivoting (solve, inverse,
+//!   determinant);
+//! * [`expm`] — the matrix exponential via scaling-and-squaring with Padé
+//!   approximants, used for time-homogeneous CTMC transients;
+//! * [`eigen`] — real-Schur eigenvalues (Hessenberg reduction + Francis
+//!   double-shift QR), used to classify mean-field fixed points;
+//! * [`roots`] — bracketing scans, bisection and Brent's method, used to
+//!   locate threshold crossings and satisfaction-set discontinuity points;
+//! * [`interp`] — cubic-Hermite and piecewise-linear interpolation, the
+//!   backbone of dense ODE output;
+//! * [`quad`] — trapezoid and adaptive-Simpson quadrature;
+//! * [`simplex`] — utilities for occupancy vectors living on the probability
+//!   simplex;
+//! * [`intervals`] — sets of disjoint real intervals with exact open/closed
+//!   endpoints, the representation of conditional satisfaction sets
+//!   `cSat(Ψ, m̄, θ)`;
+//! * [`complex`] — a minimal complex-number type for eigenvalues.
+//!
+//! # Example
+//!
+//! ```
+//! use mfcsl_math::matrix::Matrix;
+//! use mfcsl_math::lu::LuDecomposition;
+//!
+//! # fn main() -> Result<(), mfcsl_math::MathError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]])?;
+//! let lu = LuDecomposition::new(&a)?;
+//! let x = lu.solve(&[1.0, 1.0])?;
+//! assert!((4.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+// `!(x > 0.0)`-style guards are used deliberately throughout: unlike
+// `x <= 0.0`, they classify NaN as invalid input instead of letting it
+// through, which is exactly the intent of the validation sites.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod eigen;
+pub mod error;
+pub mod expm;
+pub mod interp;
+pub mod intervals;
+pub mod lu;
+pub mod matrix;
+pub mod quad;
+pub mod roots;
+pub mod simplex;
+pub mod vec_ops;
+
+pub use complex::Complex;
+pub use error::MathError;
+pub use intervals::{Endpoint, Interval, IntervalSet};
+pub use matrix::Matrix;

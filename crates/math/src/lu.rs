@@ -1,0 +1,320 @@
+//! LU decomposition with partial pivoting.
+//!
+//! Used throughout the workspace to solve the small dense linear systems
+//! arising in steady-state analysis (`πQ = 0`), Newton steps for mean-field
+//! fixed points, and the Padé solves inside the matrix exponential.
+
+use crate::{MathError, Matrix};
+
+/// An LU decomposition `P A = L U` with partial (row) pivoting.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_math::{lu::LuDecomposition, Matrix};
+///
+/// # fn main() -> Result<(), mfcsl_math::MathError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]])?;
+/// let lu = LuDecomposition::new(&a)?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Combined L (strictly lower, unit diagonal implied) and U (upper).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for the determinant.
+    perm_sign: f64,
+}
+
+impl LuDecomposition {
+    /// Relative pivot threshold below which the matrix is declared singular.
+    const SINGULARITY_RTOL: f64 = 1e-13;
+
+    /// Factors `a` as `P A = L U`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotSquare`] for rectangular input and
+    /// [`MathError::Singular`] if a pivot is smaller than
+    /// `1e-13 · max|A|` (with an absolute floor of `f64::MIN_POSITIVE`).
+    pub fn new(a: &Matrix) -> Result<Self, MathError> {
+        a.check_square()?;
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let scale = a.norm_max().max(f64::MIN_POSITIVE);
+        let tol = scale * Self::SINGULARITY_RTOL;
+
+        for k in 0..n {
+            // Find the pivot row.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= tol {
+                return Err(MathError::Singular);
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            // Eliminate below the pivot.
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let upd = factor * lu[(k, j)];
+                    lu[(i, j)] -= upd;
+                }
+            }
+        }
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // substitution reads earlier entries of `x` while writing later ones
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MathError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("len {n}"),
+                found: format!("len {}", b.len()),
+            });
+        }
+        // Apply permutation: y = P b.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix, MathError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("{n} rows"),
+                found: format!("{} rows", b.rows()),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `A⁻¹`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LuDecomposition::solve_matrix`]; the
+    /// factorization itself already guarantees non-singularity.
+    pub fn inverse(&self) -> Result<Matrix, MathError> {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Returns `det(A)`.
+    #[must_use]
+    pub fn det(&self) -> f64 {
+        let n = self.dim();
+        let mut d = self.perm_sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Crude ∞-norm condition estimate `‖A‖∞ · ‖A⁻¹‖∞` (forms the explicit
+    /// inverse; fine for the small matrices this crate targets).
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from [`LuDecomposition::inverse`].
+    pub fn cond_inf(&self, a: &Matrix) -> Result<f64, MathError> {
+        Ok(a.norm_inf() * self.inverse()?.norm_inf())
+    }
+}
+
+/// Convenience wrapper: solves `A x = b` in one call.
+///
+/// # Errors
+///
+/// See [`LuDecomposition::new`] and [`LuDecomposition::solve`].
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MathError> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+/// Convenience wrapper: returns `A⁻¹` in one call.
+///
+/// # Errors
+///
+/// See [`LuDecomposition::new`].
+pub fn inverse(a: &Matrix) -> Result<Matrix, MathError> {
+    LuDecomposition::new(a)?.inverse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_known_system() {
+        let a =
+            Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]).unwrap();
+        let x = solve(&a, &[1.0, -2.0, 0.0]).unwrap();
+        let expected = [1.0, -2.0, -2.0];
+        for (xi, ei) in x.iter().zip(&expected) {
+            assert!((xi - ei).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert_eq!(LuDecomposition::new(&a).unwrap_err(), MathError::Singular);
+    }
+
+    #[test]
+    fn rectangular_is_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(MathError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_with_permutation_sign() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-14);
+        let b = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]).unwrap();
+        assert!((LuDecomposition::new(&b).unwrap().det() - 6.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let err = prod.sub_matrix(&Matrix::identity(2)).unwrap().norm_max();
+        assert!(err < 1e-13);
+    }
+
+    #[test]
+    fn cond_of_identity_is_one() {
+        let i = Matrix::identity(4);
+        let lu = LuDecomposition::new(&i).unwrap();
+        assert!((lu.cond_inf(&i).unwrap() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solve_checks_rhs_length() {
+        let lu = LuDecomposition::new(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+        assert!(lu.solve_matrix(&Matrix::zeros(3, 1)).is_err());
+    }
+
+    proptest! {
+        /// Random diagonally-dominant systems are solved to high accuracy.
+        #[test]
+        fn prop_solves_diagonally_dominant(
+            entries in proptest::collection::vec(-1.0_f64..1.0, 16),
+            rhs in proptest::collection::vec(-10.0_f64..10.0, 4),
+        ) {
+            let n = 4;
+            let mut a = Matrix::from_vec(n, n, entries).unwrap();
+            // Make strongly diagonally dominant => well-conditioned.
+            for i in 0..n {
+                a[(i, i)] = 10.0 + a[(i, i)].abs();
+            }
+            let x = solve(&a, &rhs).unwrap();
+            let back = a.mul_vec(&x).unwrap();
+            for (bi, ri) in back.iter().zip(&rhs) {
+                prop_assert!((bi - ri).abs() < 1e-9);
+            }
+        }
+
+        /// det(AB) = det(A)det(B) for random well-conditioned matrices.
+        #[test]
+        fn prop_det_multiplicative(
+            e1 in proptest::collection::vec(-1.0_f64..1.0, 9),
+            e2 in proptest::collection::vec(-1.0_f64..1.0, 9),
+        ) {
+            let n = 3;
+            let mut a = Matrix::from_vec(n, n, e1).unwrap();
+            let mut b = Matrix::from_vec(n, n, e2).unwrap();
+            for i in 0..n {
+                a[(i, i)] += 5.0;
+                b[(i, i)] += 5.0;
+            }
+            let da = LuDecomposition::new(&a).unwrap().det();
+            let db = LuDecomposition::new(&b).unwrap().det();
+            let dab = LuDecomposition::new(&a.matmul(&b).unwrap()).unwrap().det();
+            prop_assert!((dab - da * db).abs() <= 1e-8 * dab.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,604 @@
+//! Dense row-major matrices.
+//!
+//! The matrices appearing in mean-field model checking are small (the local
+//! state space `K` is typically below a few dozen states), so a simple dense
+//! representation is both adequate and fast. [`Matrix`] stores `f64` entries
+//! row-major in a single `Vec` and provides the algebra the rest of the
+//! workspace needs.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::MathError;
+
+/// A dense row-major matrix of `f64` entries.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_math::Matrix;
+///
+/// # fn main() -> Result<(), mfcsl_math::MathError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])?;
+/// let b = Matrix::identity(2);
+/// let c = (&a * &b)?;
+/// assert_eq!(c, a);
+/// assert_eq!(c[(1, 0)], 3.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MathError> {
+        if data.len() != rows * cols {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("{} entries", rows * cols),
+                found: format!("{} entries", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of equal-length rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if the rows have unequal
+    /// lengths, or [`MathError::InvalidArgument`] if `rows` is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, MathError> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(MathError::InvalidArgument(
+                "matrix must have at least one row".into(),
+            ));
+        }
+        let ncols = rows[0].len();
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            if row.len() != ncols {
+                return Err(MathError::DimensionMismatch {
+                    expected: format!("row of len {ncols}"),
+                    found: format!("row of len {}", row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Creates a diagonal matrix with `diag` on the main diagonal.
+    #[must_use]
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    #[must_use]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows the row-major backing storage.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrows the row-major backing storage.
+    #[must_use]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its row-major backing storage.
+    #[must_use]
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of range");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[must_use]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of range");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    #[must_use]
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index {j} out of range");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Returns the transpose.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Computes the matrix–vector product `A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Result<Vec<f64>, MathError> {
+        if x.len() != self.cols {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("len {}", self.cols),
+                found: format!("len {}", x.len()),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum::<f64>())
+            .collect())
+    }
+
+    /// Computes the vector–matrix product `xᵀ A` (a row vector).
+    ///
+    /// This is the natural orientation for probability distributions, which
+    /// are row vectors in Markov-chain convention: `π(t+dt) ≈ π(t) (I + Q dt)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if `x.len() != self.rows()`.
+    pub fn vec_mul(&self, x: &[f64]) -> Result<Vec<f64>, MathError> {
+        if x.len() != self.rows {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("len {}", self.rows),
+                found: format!("len {}", x.len()),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (j, out_j) in out.iter_mut().enumerate() {
+                *out_j += xi * self[(i, j)];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if the inner dimensions do
+    /// not agree.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, MathError> {
+        if self.cols != rhs.rows {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("{} rows", self.cols),
+                found: format!("{} rows", rhs.rows),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(i);
+                for (o, r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `self + rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if shapes differ.
+    pub fn add_matrix(&self, rhs: &Matrix) -> Result<Matrix, MathError> {
+        self.check_same_shape(rhs)?;
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns `self - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if shapes differ.
+    pub fn sub_matrix(&self, rhs: &Matrix) -> Result<Matrix, MathError> {
+        self.check_same_shape(rhs)?;
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns `alpha * self`.
+    #[must_use]
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| alpha * v).collect(),
+        }
+    }
+
+    /// Applies `f` entry-wise, returning a new matrix.
+    #[must_use]
+    pub fn map<F: Fn(f64) -> f64>(&self, f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Returns the Frobenius norm.
+    #[must_use]
+    pub fn norm_fro(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Returns the ∞-norm (maximum absolute row sum).
+    #[must_use]
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns the 1-norm (maximum absolute column sum).
+    #[must_use]
+    pub fn norm_1(&self) -> f64 {
+        (0..self.cols)
+            .map(|j| (0..self.rows).map(|i| self[(i, j)].abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns the largest absolute entry.
+    #[must_use]
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+    }
+
+    /// Returns the trace of a square matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::NotSquare`] for rectangular matrices.
+    pub fn trace(&self) -> Result<f64, MathError> {
+        self.check_square()?;
+        Ok((0..self.rows).map(|i| self[(i, i)]).sum())
+    }
+
+    /// Extracts a contiguous square submatrix with rows and columns taken
+    /// from `indices` (in order, duplicates allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn select(&self, indices: &[usize]) -> Matrix {
+        let n = indices.len();
+        let mut out = Matrix::zeros(n, n);
+        for (a, &i) in indices.iter().enumerate() {
+            for (b, &j) in indices.iter().enumerate() {
+                out[(a, b)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Checks that every entry is finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] naming the first non-finite
+    /// entry.
+    pub fn check_finite(&self) -> Result<(), MathError> {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if !self[(i, j)].is_finite() {
+                    return Err(MathError::InvalidArgument(format!(
+                        "entry ({i}, {j}) is not finite: {}",
+                        self[(i, j)]
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_same_shape(&self, rhs: &Matrix) -> Result<(), MathError> {
+        if self.rows == rhs.rows && self.cols == rhs.cols {
+            Ok(())
+        } else {
+            Err(MathError::DimensionMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                found: format!("{}x{}", rhs.rows, rhs.cols),
+            })
+        }
+    }
+
+    pub(crate) fn check_square(&self) -> Result<(), MathError> {
+        if self.is_square() {
+            Ok(())
+        } else {
+            Err(MathError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            })
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Result<Matrix, MathError>;
+    fn add(self, rhs: &Matrix) -> Self::Output {
+        self.add_matrix(rhs)
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Result<Matrix, MathError>;
+    fn sub(self, rhs: &Matrix) -> Self::Output {
+        self.sub_matrix(rhs)
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Result<Matrix, MathError>;
+    fn mul(self, rhs: &Matrix) -> Self::Output {
+        self.matmul(rhs)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+    fn neg(self) -> Matrix {
+        self.scaled(-1.0)
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:>12.6}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abcd() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = abcd();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![0.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn from_rows_validates_shape() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[&[1.0], &[2.0, 3.0]]).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = abcd();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        let expected = Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap();
+        assert_eq!(c, expected);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = abcd();
+        let b = Matrix::zeros(3, 2);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn vec_products() {
+        let a = abcd();
+        assert_eq!(a.mul_vec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert_eq!(a.vec_mul(&[1.0, 1.0]).unwrap(), vec![4.0, 6.0]);
+        assert!(a.mul_vec(&[1.0]).is_err());
+        assert!(a.vec_mul(&[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn norms_match_definitions() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[-3.0, 4.0]]).unwrap();
+        assert_eq!(a.norm_inf(), 7.0);
+        assert_eq!(a.norm_1(), 6.0);
+        assert_eq!(a.norm_max(), 4.0);
+        assert!((a.norm_fro() - 30.0_f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn trace_and_diag() {
+        let d = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.trace().unwrap(), 6.0);
+        assert!(Matrix::zeros(2, 3).trace().is_err());
+    }
+
+    #[test]
+    fn select_extracts_submatrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
+        let s = a.select(&[0, 2]);
+        let expected = Matrix::from_rows(&[&[1.0, 3.0], &[7.0, 9.0]]).unwrap();
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn operators_delegate() {
+        let a = abcd();
+        let i = Matrix::identity(2);
+        assert_eq!((&a + &i).unwrap()[(0, 0)], 2.0);
+        assert_eq!((&a - &i).unwrap()[(1, 1)], 3.0);
+        assert_eq!((&a * &i).unwrap(), a);
+        assert_eq!((-&a)[(0, 0)], -1.0);
+    }
+
+    #[test]
+    fn check_finite_flags_nan() {
+        let mut a = abcd();
+        assert!(a.check_finite().is_ok());
+        a[(0, 1)] = f64::NAN;
+        assert!(a.check_finite().is_err());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!abcd().to_string().is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Numerical quadrature.
+//!
+//! Used for integrating rate functions along mean-field trajectories (e.g.
+//! the exponent `∫ k₁ m₃(τ)/m₁(τ) dτ` of a survival probability, which the
+//! test suite uses as an independent check of the Kolmogorov integration).
+
+use crate::MathError;
+
+/// Trapezoid rule over tabulated samples `(xs[i], ys[i])`.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] if the arrays differ in length
+/// and [`MathError::InvalidArgument`] for fewer than two samples or
+/// non-increasing abscissae.
+pub fn trapezoid(xs: &[f64], ys: &[f64]) -> Result<f64, MathError> {
+    if xs.len() != ys.len() {
+        return Err(MathError::DimensionMismatch {
+            expected: format!("len {}", xs.len()),
+            found: format!("len {}", ys.len()),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(MathError::InvalidArgument(
+            "trapezoid rule needs at least two samples".into(),
+        ));
+    }
+    if xs.windows(2).any(|w| w[0] >= w[1]) {
+        return Err(MathError::InvalidArgument(
+            "abscissae must be strictly increasing".into(),
+        ));
+    }
+    let mut acc = 0.0;
+    for i in 0..xs.len() - 1 {
+        acc += 0.5 * (ys[i] + ys[i + 1]) * (xs[i + 1] - xs[i]);
+    }
+    Ok(acc)
+}
+
+/// Adaptive Simpson quadrature of `f` over `[a, b]` to absolute tolerance
+/// `tol`.
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidArgument`] if `a > b` or `tol <= 0`.
+///
+/// # Example
+///
+/// ```
+/// let v = mfcsl_math::quad::adaptive_simpson(|x: f64| x.exp(), 0.0, 1.0, 1e-12)?;
+/// assert!((v - (1.0_f64.exp() - 1.0)).abs() < 1e-10);
+/// # Ok::<(), mfcsl_math::MathError>(())
+/// ```
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    tol: f64,
+) -> Result<f64, MathError> {
+    if a > b {
+        return Err(MathError::InvalidArgument(format!(
+            "interval [{a}, {b}] is reversed"
+        )));
+    }
+    if !(tol > 0.0) {
+        return Err(MathError::InvalidArgument(format!(
+            "tolerance must be positive, got {tol}"
+        )));
+    }
+    if a == b {
+        return Ok(0.0);
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson_rule(a, b, fa, fm, fb);
+    Ok(simpson_recurse(&f, a, b, fa, fm, fb, whole, tol, 50))
+}
+
+fn simpson_rule(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simpson_recurse<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: usize,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson_rule(a, m, fa, flm, fm);
+    let right = simpson_rule(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        // Richardson extrapolation term improves the estimate one order.
+        left + right + delta / 15.0
+    } else {
+        simpson_recurse(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1)
+            + simpson_recurse(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trapezoid_exact_for_linear() {
+        let xs = [0.0, 0.5, 2.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        let v = trapezoid(&xs, &ys).unwrap();
+        assert!((v - (3.0 * 2.0 * 2.0 / 2.0 + 2.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn trapezoid_validates() {
+        assert!(trapezoid(&[0.0, 1.0], &[1.0]).is_err());
+        assert!(trapezoid(&[0.0], &[1.0]).is_err());
+        assert!(trapezoid(&[1.0, 1.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn simpson_integrates_exponential() {
+        let v = adaptive_simpson(f64::exp, 0.0, 2.0, 1e-12).unwrap();
+        assert!((v - (2.0_f64.exp() - 1.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simpson_handles_oscillation() {
+        let v =
+            adaptive_simpson(|x: f64| (10.0 * x).sin(), 0.0, std::f64::consts::PI, 1e-11).unwrap();
+        let exact = (1.0 - (10.0 * std::f64::consts::PI).cos()) / 10.0;
+        assert!((v - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simpson_degenerate_and_invalid() {
+        assert_eq!(adaptive_simpson(|_| 1.0, 1.0, 1.0, 1e-9).unwrap(), 0.0);
+        assert!(adaptive_simpson(|_| 1.0, 1.0, 0.0, 1e-9).is_err());
+        assert!(adaptive_simpson(|_| 1.0, 0.0, 1.0, 0.0).is_err());
+    }
+
+    proptest! {
+        /// Adaptive Simpson integrates random cubics exactly (Simpson is
+        /// exact for cubics, so any tolerance is met).
+        #[test]
+        fn prop_simpson_exact_for_cubics(
+            c0 in -3.0_f64..3.0,
+            c1 in -3.0_f64..3.0,
+            c2 in -3.0_f64..3.0,
+            c3 in -3.0_f64..3.0,
+        ) {
+            let f = |x: f64| c0 + c1 * x + c2 * x * x + c3 * x * x * x;
+            let v = adaptive_simpson(f, -1.0, 2.0, 1e-10).unwrap();
+            let antider = |x: f64| c0 * x + c1 * x * x / 2.0 + c2 * x.powi(3) / 3.0 + c3 * x.powi(4) / 4.0;
+            let exact = antider(2.0) - antider(-1.0);
+            prop_assert!((v - exact).abs() < 1e-9);
+        }
+    }
+}

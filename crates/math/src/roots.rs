@@ -1,0 +1,328 @@
+//! Scalar root finding.
+//!
+//! The model checker reduces many questions to locating where a continuous
+//! function of time crosses a threshold: satisfaction-set discontinuity
+//! points `T_i` (Sec. IV-C of the paper), the boundaries of conditional
+//! satisfaction sets `cSat(Ψ, m̄, θ)` (Sec. V-B), and probability-threshold
+//! crossings in Figure 3. These are found by bracketing scans over a grid
+//! followed by Brent refinement.
+
+use crate::MathError;
+
+/// Maximum iterations for the iterative root finders.
+const MAX_ITERS: usize = 200;
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidBracket`] if `f(a)` and `f(b)` have the same
+/// strict sign, and [`MathError::InvalidArgument`] if `a >= b` or `tol <= 0`.
+///
+/// # Example
+///
+/// ```
+/// let root = mfcsl_math::roots::bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12)?;
+/// assert!((root - 2.0_f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), mfcsl_math::MathError>(())
+/// ```
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result<f64, MathError> {
+    check_bracket_args(a, b, tol)?;
+    let mut lo = a;
+    let mut hi = b;
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(MathError::InvalidBracket { a, b });
+    }
+    for _ in 0..MAX_ITERS {
+        let mid = 0.5 * (lo + hi);
+        if hi - lo < tol {
+            return Ok(mid);
+        }
+        let fmid = f(mid);
+        if fmid == 0.0 {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Finds a root of `f` in `[a, b]` with Brent's method (inverse quadratic
+/// interpolation guarded by bisection).
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidBracket`] if the interval does not bracket a
+/// sign change, [`MathError::InvalidArgument`] for a degenerate interval or
+/// non-positive tolerance, and [`MathError::NoConvergence`] if the iteration
+/// budget is exhausted (not observed in practice).
+pub fn brent<F: FnMut(f64) -> f64>(mut f: F, a: f64, b: f64, tol: f64) -> Result<f64, MathError> {
+    check_bracket_args(a, b, tol)?;
+    let mut xa = a;
+    let mut xb = b;
+    let mut fa = f(xa);
+    let mut fb = f(xb);
+    if fa == 0.0 {
+        return Ok(xa);
+    }
+    if fb == 0.0 {
+        return Ok(xb);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(MathError::InvalidBracket { a, b });
+    }
+    let mut xc = xa;
+    let mut fc = fa;
+    let mut d = xb - xa;
+    let mut e = d;
+    for _ in 0..MAX_ITERS {
+        if fb.abs() > fc.abs() {
+            // Ensure b is the best estimate.
+            xa = xb;
+            xb = xc;
+            xc = xa;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * xb.abs() + 0.5 * tol;
+        let xm = 0.5 * (xc - xb);
+        if xm.abs() <= tol1 || fb == 0.0 {
+            return Ok(xb);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation.
+            let s = fb / fa;
+            let (mut p, mut q);
+            if xa == xc {
+                p = 2.0 * xm * s;
+                q = 1.0 - s;
+            } else {
+                let qq = fa / fc;
+                let r = fb / fc;
+                p = s * (2.0 * xm * qq * (qq - r) - (xb - xa) * (r - 1.0));
+                q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+            }
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        xa = xb;
+        fa = fb;
+        if d.abs() > tol1 {
+            xb += d;
+        } else {
+            xb += tol1.copysign(xm);
+        }
+        fb = f(xb);
+        if fb.signum() == fc.signum() {
+            xc = xa;
+            fc = fa;
+            d = xb - xa;
+            e = d;
+        }
+    }
+    Err(MathError::NoConvergence {
+        iterations: MAX_ITERS,
+        context: "brent root finding".into(),
+    })
+}
+
+/// Scans `f` on a uniform grid of `n` intervals over `[a, b]` and returns
+/// every root found, refined with Brent's method.
+///
+/// Grid points where `f` is exactly zero are reported once; sign changes
+/// between adjacent grid points are refined to `tol`. Roots that the grid is
+/// too coarse to see (an even number of crossings inside one cell) are
+/// missed — choose `n` based on the known smoothness of `f`.
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidArgument`] for `n == 0`, a degenerate
+/// interval, or non-positive tolerance.
+pub fn scan_roots<F: FnMut(f64) -> f64>(
+    mut f: F,
+    a: f64,
+    b: f64,
+    n: usize,
+    tol: f64,
+) -> Result<Vec<f64>, MathError> {
+    if n == 0 {
+        return Err(MathError::InvalidArgument(
+            "scan grid must have at least one interval".into(),
+        ));
+    }
+    check_bracket_args(a, b, tol)?;
+    let grid = crate::vec_ops::linspace(a, b, n + 1);
+    let values: Vec<f64> = grid.iter().map(|&x| f(x)).collect();
+    let mut roots = Vec::new();
+    for i in 0..n {
+        let (x0, x1) = (grid[i], grid[i + 1]);
+        let (f0, f1) = (values[i], values[i + 1]);
+        if f0 == 0.0 {
+            push_if_new(&mut roots, x0, tol);
+            continue;
+        }
+        if i == n - 1 && f1 == 0.0 {
+            push_if_new(&mut roots, x1, tol);
+            continue;
+        }
+        if f0.signum() != f1.signum() && f1 != 0.0 {
+            let r = brent(&mut f, x0, x1, tol)?;
+            push_if_new(&mut roots, r, tol);
+        }
+    }
+    Ok(roots)
+}
+
+fn push_if_new(roots: &mut Vec<f64>, x: f64, tol: f64) {
+    if roots
+        .last()
+        .is_none_or(|&last| (x - last).abs() > 2.0 * tol)
+    {
+        roots.push(x);
+    }
+}
+
+fn check_bracket_args(a: f64, b: f64, tol: f64) -> Result<(), MathError> {
+    if !(a < b) {
+        return Err(MathError::InvalidArgument(format!(
+            "interval [{a}, {b}] is empty or reversed"
+        )));
+    }
+    if !(tol > 0.0) {
+        return Err(MathError::InvalidArgument(format!(
+            "tolerance must be positive, got {tol}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_finds_sqrt2_fast() {
+        let mut calls = 0;
+        let r = brent(
+            |x| {
+                calls += 1;
+                x * x - 2.0
+            },
+            0.0,
+            2.0,
+            1e-14,
+        )
+        .unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert!(calls < 20, "brent used {calls} evaluations");
+    }
+
+    #[test]
+    fn endpoints_that_are_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-9).unwrap(), 0.0);
+        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, 1e-9).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn invalid_brackets_are_rejected() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(MathError::InvalidBracket { .. })
+        ));
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(MathError::InvalidBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_args_are_rejected() {
+        assert!(bisect(|x| x, 1.0, 1.0, 1e-9).is_err());
+        assert!(bisect(|x| x, 0.0, 1.0, 0.0).is_err());
+        assert!(brent(|x| x, 2.0, 1.0, 1e-9).is_err());
+        assert!(scan_roots(|x| x, 0.0, 1.0, 0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn scan_finds_multiple_roots() {
+        // sin has roots at k*pi.
+        let roots = scan_roots(f64::sin, 0.5, 10.0, 200, 1e-12).unwrap();
+        let expected = [
+            std::f64::consts::PI,
+            2.0 * std::f64::consts::PI,
+            3.0 * std::f64::consts::PI,
+        ];
+        assert_eq!(roots.len(), 3, "{roots:?}");
+        for (r, e) in roots.iter().zip(&expected) {
+            assert!((r - e).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn scan_reports_grid_point_roots_once() {
+        // Root exactly at an interior grid point (x = 0.5 with n=2 on [0,1]).
+        let roots = scan_roots(|x| x - 0.5, 0.0, 1.0, 2, 1e-12).unwrap();
+        assert_eq!(roots.len(), 1);
+        assert!((roots[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scan_handles_no_roots() {
+        let roots = scan_roots(|x| x * x + 1.0, -5.0, 5.0, 100, 1e-10).unwrap();
+        assert!(roots.is_empty());
+    }
+
+    proptest! {
+        /// Brent recovers a planted root of a cubic with random offset.
+        #[test]
+        fn prop_brent_recovers_planted_root(root in -5.0_f64..5.0) {
+            let f = |x: f64| (x - root) * ((x - root).powi(2) + 1.0);
+            let r = brent(f, root - 7.0, root + 9.0, 1e-13).unwrap();
+            prop_assert!((r - root).abs() < 1e-8);
+        }
+
+        /// Bisection and Brent agree on monotone functions.
+        #[test]
+        fn prop_bisect_brent_agree(shift in -0.9_f64..0.9) {
+            let f = |x: f64| x.tanh() - shift;
+            let rb = bisect(f, -5.0, 5.0, 1e-12).unwrap();
+            let rr = brent(f, -5.0, 5.0, 1e-12).unwrap();
+            prop_assert!((rb - rr).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Utilities for points on the probability simplex.
+//!
+//! Occupancy vectors of a mean-field model live on
+//! `Δ^K = { m ∈ [0,1]^K : Σ m_j = 1 }`. Numerical integration drifts
+//! slightly off the simplex; these helpers validate, renormalize and sample
+//! simplex points.
+
+use rand::Rng;
+
+use crate::MathError;
+
+/// Default tolerance used by [`check_distribution`] for the sum-to-one test.
+pub const DEFAULT_SUM_TOL: f64 = 1e-9;
+
+/// Checks that `m` is a probability distribution: entries in `[0, 1]` up to
+/// `tol` and summing to 1 up to `tol`.
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidArgument`] describing the first violated
+/// constraint.
+pub fn check_distribution(m: &[f64], tol: f64) -> Result<(), MathError> {
+    if m.is_empty() {
+        return Err(MathError::InvalidArgument(
+            "distribution must have at least one entry".into(),
+        ));
+    }
+    for (i, &v) in m.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(MathError::InvalidArgument(format!(
+                "entry {i} is not finite: {v}"
+            )));
+        }
+        if v < -tol || v > 1.0 + tol {
+            return Err(MathError::InvalidArgument(format!(
+                "entry {i} is outside [0, 1]: {v}"
+            )));
+        }
+    }
+    let sum: f64 = m.iter().sum();
+    if (sum - 1.0).abs() > tol {
+        return Err(MathError::InvalidArgument(format!(
+            "entries sum to {sum}, expected 1"
+        )));
+    }
+    Ok(())
+}
+
+/// Clamps negative round-off to zero and renormalizes `m` to sum exactly
+/// to 1 in place.
+///
+/// This is the cheap "projection" used after every accepted ODE step; it is
+/// exact when the drift is pure round-off.
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidArgument`] if the clamped vector sums to
+/// zero (nothing to normalize).
+pub fn renormalize(m: &mut [f64]) -> Result<(), MathError> {
+    for v in m.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    let sum: f64 = m.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        return Err(MathError::InvalidArgument(format!(
+            "cannot renormalize vector with sum {sum}"
+        )));
+    }
+    for v in m.iter_mut() {
+        *v /= sum;
+    }
+    Ok(())
+}
+
+/// Euclidean projection of an arbitrary vector onto the probability simplex
+/// (Held–Wolfe–Crowder / sorting algorithm).
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidArgument`] for empty or non-finite input.
+pub fn project(m: &[f64]) -> Result<Vec<f64>, MathError> {
+    if m.is_empty() {
+        return Err(MathError::InvalidArgument(
+            "cannot project an empty vector".into(),
+        ));
+    }
+    if m.iter().any(|v| !v.is_finite()) {
+        return Err(MathError::InvalidArgument(
+            "cannot project a non-finite vector".into(),
+        ));
+    }
+    let mut sorted = m.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+    let mut cumsum = 0.0;
+    let mut rho = 0;
+    let mut theta = 0.0;
+    for (i, &v) in sorted.iter().enumerate() {
+        cumsum += v;
+        let candidate = (cumsum - 1.0) / (i as f64 + 1.0);
+        if v - candidate > 0.0 {
+            rho = i;
+            theta = candidate;
+        }
+    }
+    let _ = rho;
+    Ok(m.iter().map(|&v| (v - theta).max(0.0)).collect())
+}
+
+/// Samples a uniformly distributed point on the `k`-simplex via normalized
+/// exponentials (equivalently, a flat Dirichlet).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, k: usize) -> Vec<f64> {
+    assert!(k > 0, "simplex dimension must be positive");
+    let mut v: Vec<f64> = (0..k)
+        .map(|_| {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            -u.ln()
+        })
+        .collect();
+    let sum: f64 = v.iter().sum();
+    for x in &mut v {
+        *x /= sum;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn check_accepts_valid_distributions() {
+        assert!(check_distribution(&[1.0], DEFAULT_SUM_TOL).is_ok());
+        assert!(check_distribution(&[0.5, 0.4, 0.1], DEFAULT_SUM_TOL).is_ok());
+        assert!(check_distribution(&[0.5, 0.5 + 1e-12], DEFAULT_SUM_TOL).is_ok());
+    }
+
+    #[test]
+    fn check_rejects_invalid() {
+        assert!(check_distribution(&[], DEFAULT_SUM_TOL).is_err());
+        assert!(check_distribution(&[0.6, 0.6], DEFAULT_SUM_TOL).is_err());
+        assert!(check_distribution(&[-0.1, 1.1], DEFAULT_SUM_TOL).is_err());
+        assert!(check_distribution(&[f64::NAN, 1.0], DEFAULT_SUM_TOL).is_err());
+    }
+
+    #[test]
+    fn renormalize_fixes_roundoff() {
+        let mut m = [0.5, 0.3, 0.2 + 1e-13];
+        renormalize(&mut m).unwrap();
+        assert!((m.iter().sum::<f64>() - 1.0).abs() < 1e-15);
+        let mut neg = [-1e-15, 0.4, 0.6];
+        renormalize(&mut neg).unwrap();
+        assert_eq!(neg[0], 0.0);
+    }
+
+    #[test]
+    fn renormalize_rejects_zero_vector() {
+        let mut z = [0.0, 0.0];
+        assert!(renormalize(&mut z).is_err());
+        let mut nan = [f64::NAN, 1.0];
+        assert!(renormalize(&mut nan).is_err());
+    }
+
+    #[test]
+    fn project_identity_on_simplex_points() {
+        let m = [0.2, 0.5, 0.3];
+        let p = project(&m).unwrap();
+        for (a, b) in m.iter().zip(&p) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn project_handles_exterior_points() {
+        let p = project(&[2.0, -1.0]).unwrap();
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(p[1], 0.0);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_validates() {
+        assert!(project(&[]).is_err());
+        assert!(project(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn sampling_yields_valid_points() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let m = sample_uniform(&mut rng, 4);
+            check_distribution(&m, DEFAULT_SUM_TOL).unwrap();
+        }
+    }
+
+    proptest! {
+        /// Projection output is always on the simplex and is idempotent.
+        #[test]
+        fn prop_projection_lands_on_simplex(v in proptest::collection::vec(-5.0_f64..5.0, 1..8)) {
+            let p = project(&v).unwrap();
+            check_distribution(&p, 1e-9).unwrap();
+            let pp = project(&p).unwrap();
+            for (a, b) in p.iter().zip(&pp) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+}

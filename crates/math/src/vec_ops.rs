@@ -1,0 +1,171 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! The crate deliberately represents vectors as plain slices / `Vec<f64>` so
+//! that the ODE solvers and model checkers can operate on borrowed state
+//! buffers without wrapper types. The helpers here implement the handful of
+//! BLAS-level-1 operations those algorithms need.
+
+use crate::MathError;
+
+/// Returns the dot product `x · y`.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] if the slices have different
+/// lengths.
+///
+/// # Example
+///
+/// ```
+/// let d = mfcsl_math::vec_ops::dot(&[1.0, 2.0], &[3.0, 4.0])?;
+/// assert_eq!(d, 11.0);
+/// # Ok::<(), mfcsl_math::MathError>(())
+/// ```
+pub fn dot(x: &[f64], y: &[f64]) -> Result<f64, MathError> {
+    check_same_len(x, y)?;
+    Ok(x.iter().zip(y).map(|(a, b)| a * b).sum())
+}
+
+/// Computes `y ← y + alpha * x` in place.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] if the slices have different
+/// lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) -> Result<(), MathError> {
+    check_same_len(x, y)?;
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+    Ok(())
+}
+
+/// Returns the Euclidean (L2) norm of `x`.
+#[must_use]
+pub fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Returns the L1 norm of `x`.
+#[must_use]
+pub fn norm1(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+/// Returns the max (L∞) norm of `x`.
+#[must_use]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// Returns the max-norm distance between `x` and `y`.
+///
+/// # Errors
+///
+/// Returns [`MathError::DimensionMismatch`] if the slices have different
+/// lengths.
+pub fn dist_inf(x: &[f64], y: &[f64]) -> Result<f64, MathError> {
+    check_same_len(x, y)?;
+    Ok(x.iter()
+        .zip(y)
+        .fold(0.0_f64, |m, (a, b)| m.max((a - b).abs())))
+}
+
+/// Scales `x` in place by `alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Returns the sum of the entries of `x`.
+#[must_use]
+pub fn sum(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+/// Returns a linearly spaced grid of `n` points covering `[a, b]` inclusive.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// let g = mfcsl_math::vec_ops::linspace(0.0, 1.0, 5);
+/// assert_eq!(g, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+#[must_use]
+pub fn linspace(a: f64, b: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "linspace requires at least 2 points");
+    let step = (b - a) / (n - 1) as f64;
+    let mut out: Vec<f64> = (0..n).map(|i| a + step * i as f64).collect();
+    // Make the final point exact so downstream interval logic can rely on it.
+    out[n - 1] = b;
+    out
+}
+
+fn check_same_len(x: &[f64], y: &[f64]) -> Result<(), MathError> {
+    if x.len() == y.len() {
+        Ok(())
+    } else {
+        Err(MathError::DimensionMismatch {
+            expected: format!("len {}", x.len()),
+            found: format!("len {}", y.len()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_axpy() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y).unwrap(), 32.0);
+        axpy(2.0, &x, &mut y).unwrap();
+        assert_eq!(y, [6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        assert!(dot(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(axpy(1.0, &[1.0], &mut [1.0, 2.0]).is_err());
+        assert!(dist_inf(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn norms() {
+        let x = [3.0, -4.0];
+        assert_eq!(norm2(&x), 5.0);
+        assert_eq!(norm1(&x), 7.0);
+        assert_eq!(norm_inf(&x), 4.0);
+        assert_eq!(dist_inf(&x, &[3.0, 0.0]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn linspace_endpoints_exact() {
+        let g = linspace(0.0, 0.3, 4);
+        assert_eq!(g.len(), 4);
+        assert_eq!(g[0], 0.0);
+        assert_eq!(g[3], 0.3);
+        assert!((g[1] - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn linspace_needs_two_points() {
+        let _ = linspace(0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn scale_and_sum() {
+        let mut x = [1.0, 2.0];
+        scale(3.0, &mut x);
+        assert_eq!(x, [3.0, 6.0]);
+        assert_eq!(sum(&x), 9.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! A peer-to-peer botnet lifecycle model, following the shape of the
+//! paper's references [6] (Kolesnichenko et al.) and [15] (van Ruitenbeek
+//! & Sanders).
+//!
+//! Five states capture a machine's journey through a P2P botnet:
+//!
+//! ```text
+//! clean ──infect──▶ infected_dormant ──activate──▶ working_bot
+//!   ▲                    │  ▲                        │   │
+//!   └──────clean_d───────┘  └───────rest─────────────┘   └─propagate (drives infection)
+//!   ▲                                                    │
+//!   └────────────────────clean_w────────────────────────┘
+//! ```
+//!
+//! Infection pressure comes from working bots (`infect·m_working`), like
+//! the active spreaders of the paper's virus example, but with separate
+//! disinfection rates for dormant and working machines.
+
+use mfcsl_core::{CoreError, LocalModel, Occupancy};
+use serde::{Deserialize, Serialize};
+
+/// State index of a clean machine.
+pub const CLEAN: usize = 0;
+/// State index of a dormant infected machine.
+pub const DORMANT: usize = 1;
+/// State index of an actively working bot.
+pub const WORKING: usize = 2;
+
+/// Botnet rate constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Infection rate coefficient (scaled by the working-bot fraction).
+    pub infect: f64,
+    /// Dormant → working activation rate.
+    pub activate: f64,
+    /// Working → dormant rest rate.
+    pub rest: f64,
+    /// Disinfection rate of dormant machines.
+    pub clean_dormant: f64,
+    /// Disinfection rate of working bots (easier to detect).
+    pub clean_working: f64,
+}
+
+/// A parameterization with a persistent botnet (supercritical spread).
+#[must_use]
+pub fn aggressive() -> Params {
+    Params {
+        infect: 4.0,
+        activate: 0.5,
+        rest: 0.4,
+        clean_dormant: 0.05,
+        clean_working: 0.4,
+    }
+}
+
+/// A parameterization where disinfection wins (botnet dies out).
+#[must_use]
+pub fn defended() -> Params {
+    Params {
+        infect: 0.5,
+        activate: 0.2,
+        rest: 0.5,
+        clean_dormant: 0.3,
+        clean_working: 0.8,
+    }
+}
+
+/// Builds the botnet local model. Labels: `clean`, `infected`, `dormant`,
+/// `working`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidModel`] for negative or non-finite rates.
+pub fn model(params: Params) -> Result<LocalModel, CoreError> {
+    for (name, v) in [
+        ("infect", params.infect),
+        ("activate", params.activate),
+        ("rest", params.rest),
+        ("clean_dormant", params.clean_dormant),
+        ("clean_working", params.clean_working),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(CoreError::InvalidModel(format!(
+                "rate {name} must be finite and non-negative, got {v}"
+            )));
+        }
+    }
+    let infect = params.infect;
+    LocalModel::builder()
+        .state("clean", ["clean"])
+        .state("dormant", ["infected", "dormant"])
+        .state("working", ["infected", "working"])
+        .transition("clean", "dormant", move |m: &Occupancy| infect * m[WORKING])?
+        .constant_transition("dormant", "working", params.activate)?
+        .constant_transition("working", "dormant", params.rest)?
+        .constant_transition("dormant", "clean", params.clean_dormant)?
+        .constant_transition("working", "clean", params.clean_working)?
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcsl_core::fixedpoint::{self, FixedPointOptions, Stability};
+    use mfcsl_core::meanfield;
+    use mfcsl_ode::OdeOptions;
+
+    #[test]
+    fn aggressive_botnet_persists() {
+        let model = model(aggressive()).unwrap();
+        let m0 = Occupancy::new(vec![0.98, 0.01, 0.01]).unwrap();
+        let fp =
+            fixedpoint::from_initial(&model, &m0, 300.0, &FixedPointOptions::default()).unwrap();
+        let infected = fp.occupancy[DORMANT] + fp.occupancy[WORKING];
+        assert!(infected > 0.3, "endemic infected fraction {infected}");
+        assert_eq!(fp.stability, Stability::Stable);
+    }
+
+    #[test]
+    fn defended_network_clears() {
+        let model = model(defended()).unwrap();
+        let m0 = Occupancy::new(vec![0.5, 0.25, 0.25]).unwrap();
+        let sol = meanfield::solve(&model, &m0, 100.0, &OdeOptions::default()).unwrap();
+        let end = sol.occupancy_at(100.0);
+        assert!(end[CLEAN] > 0.999, "clean fraction at end {}", end[CLEAN]);
+    }
+
+    #[test]
+    fn labels() {
+        let model = model(aggressive()).unwrap();
+        assert_eq!(
+            model.labeling().states_with("infected"),
+            vec![DORMANT, WORKING]
+        );
+        assert!(model.labeling().has(CLEAN, "clean"));
+    }
+
+    #[test]
+    fn validation() {
+        let mut p = aggressive();
+        p.infect = -0.1;
+        assert!(model(p).is_err());
+    }
+}

@@ -1,0 +1,159 @@
+//! A push–pull gossip / rumor-spreading protocol (in the spirit of the
+//! paper's reference [4], Bakhshi et al.).
+//!
+//! Nodes are `ignorant`, `spreading`, or `stifled`:
+//!
+//! * an ignorant node learns the rumor by *push* from spreaders (rate
+//!   `push·m_spreading`) or by *pull* when it contacts a spreader (rate
+//!   `pull·m_spreading`) — combined into one effective infection rate;
+//! * a spreader that contacts another informed node (spreader or stifler)
+//!   loses interest: rate `stifle·(m_spreading + m_stifled)`;
+//! * a stifler forgets and becomes ignorant again at rate `forget`
+//!   (set it to 0 for the classic absorbing variant).
+
+use mfcsl_core::{CoreError, LocalModel, Occupancy};
+use serde::{Deserialize, Serialize};
+
+/// State index of the ignorant state.
+pub const IGNORANT: usize = 0;
+/// State index of the spreading state.
+pub const SPREADING: usize = 1;
+/// State index of the stifled state.
+pub const STIFLED: usize = 2;
+
+/// Protocol rate constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Push contact rate of a spreader toward a random node.
+    pub push: f64,
+    /// Pull contact rate of an ignorant node toward a random node.
+    pub pull: f64,
+    /// Rate at which spreader–informed contacts stifle the spreader.
+    pub stifle: f64,
+    /// Rate at which stiflers forget the rumor.
+    pub forget: f64,
+}
+
+/// A standard parameterization: symmetric push–pull with moderate
+/// stifling and no forgetting.
+#[must_use]
+pub fn default_params() -> Params {
+    Params {
+        push: 1.0,
+        pull: 1.0,
+        stifle: 0.5,
+        forget: 0.0,
+    }
+}
+
+/// Builds the gossip local model. Labels: `ignorant`, `spreading`,
+/// `stifled`, plus `informed` on both informed states.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidModel`] for negative or non-finite rates.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_models::gossip;
+///
+/// let model = gossip::model(gossip::default_params())?;
+/// assert_eq!(model.n_states(), 3);
+/// # Ok::<(), mfcsl_core::CoreError>(())
+/// ```
+pub fn model(params: Params) -> Result<LocalModel, CoreError> {
+    for (name, v) in [
+        ("push", params.push),
+        ("pull", params.pull),
+        ("stifle", params.stifle),
+        ("forget", params.forget),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(CoreError::InvalidModel(format!(
+                "rate {name} must be finite and non-negative, got {v}"
+            )));
+        }
+    }
+    let learn = params.push + params.pull;
+    let stifle = params.stifle;
+    let mut builder = LocalModel::builder()
+        .state("ignorant", ["ignorant"])
+        .state("spreading", ["informed", "spreading"])
+        .state("stifled", ["informed", "stifled"])
+        .transition("ignorant", "spreading", move |m: &Occupancy| {
+            learn * m[SPREADING]
+        })?
+        .transition("spreading", "stifled", move |m: &Occupancy| {
+            stifle * (m[SPREADING] + m[STIFLED])
+        })?;
+    if params.forget > 0.0 {
+        builder = builder.constant_transition("stifled", "ignorant", params.forget)?;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcsl_core::meanfield;
+    use mfcsl_ode::OdeOptions;
+
+    #[test]
+    fn rumor_spreads_then_stifles() {
+        let model = model(default_params()).unwrap();
+        let m0 = Occupancy::new(vec![0.95, 0.05, 0.0]).unwrap();
+        let sol = meanfield::solve(&model, &m0, 50.0, &OdeOptions::default()).unwrap();
+        // The rumor reaches a substantial fraction...
+        let informed_peak = (0..=500)
+            .map(|i| {
+                let m = sol.occupancy_at(i as f64 * 0.1);
+                m[SPREADING] + m[STIFLED]
+            })
+            .fold(0.0, f64::max);
+        assert!(
+            informed_peak > 0.5,
+            "peak informed fraction {informed_peak}"
+        );
+        // ...and spreading dies out eventually (stiflers absorb).
+        let end = sol.occupancy_at(50.0);
+        assert!(
+            end[SPREADING] < 1e-3,
+            "spreaders at end: {}",
+            end[SPREADING]
+        );
+    }
+
+    #[test]
+    fn classic_result_some_ignorants_remain() {
+        // A hallmark of rumor models with stifling: the rumor never
+        // reaches everyone.
+        let model = model(default_params()).unwrap();
+        let m0 = Occupancy::new(vec![0.95, 0.05, 0.0]).unwrap();
+        let sol = meanfield::solve(&model, &m0, 100.0, &OdeOptions::default()).unwrap();
+        let end = sol.occupancy_at(100.0);
+        assert!(end[IGNORANT] > 1e-3, "ignorants at end: {}", end[IGNORANT]);
+    }
+
+    #[test]
+    fn forgetting_recycles_nodes() {
+        let mut p = default_params();
+        p.forget = 0.2;
+        let model = model(p).unwrap();
+        let m0 = Occupancy::new(vec![0.95, 0.05, 0.0]).unwrap();
+        let sol = meanfield::solve(&model, &m0, 100.0, &OdeOptions::default()).unwrap();
+        let end = sol.occupancy_at(100.0);
+        // With forgetting, stiflers cannot absorb all mass.
+        assert!(end[STIFLED] < 0.999);
+    }
+
+    #[test]
+    fn validation() {
+        let mut p = default_params();
+        p.push = -1.0;
+        assert!(model(p).is_err());
+        p = default_params();
+        p.forget = f64::NAN;
+        assert!(model(p).is_err());
+    }
+}

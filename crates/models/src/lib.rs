@@ -1,0 +1,29 @@
+//! A zoo of mean-field models for the `mfcsl` workspace.
+//!
+//! Every model is a [`mfcsl_core::LocalModel`] constructor plus canonical
+//! parameter sets:
+//!
+//! * [`virus`] — the reproduced paper's running example (Fig. 2, Table II):
+//!   computer-virus spread with not-infected / inactive / active states and
+//!   two infection laws;
+//! * [`sis`] / [`sir`] — the textbook epidemic models, used throughout the
+//!   test suite because their mean-field ODEs are analytically solvable;
+//! * [`gossip`] — a push–pull rumor-spreading protocol in the spirit of the
+//!   paper's reference [4];
+//! * [`botnet`] — a peer-to-peer botnet lifecycle model following the shape
+//!   of the paper's references [6] and [15];
+//! * [`seiqr`] — a five-state malware model with latency and quarantine,
+//!   exercising the checkers on larger local state spaces;
+//! * [`supermarket`] — the power-of-`d`-choices load-balancing model, the
+//!   classic mean-field system with provably distinct fixed-point structure
+//!   (exercises larger local state spaces).
+
+#![warn(missing_docs)]
+
+pub mod botnet;
+pub mod gossip;
+pub mod seiqr;
+pub mod sir;
+pub mod sis;
+pub mod supermarket;
+pub mod virus;

@@ -1,0 +1,217 @@
+//! A five-state malware/epidemic model with latency and quarantine
+//! (SEIQR), in the spirit of the staged infection models of the paper's
+//! reference [15] (van Ruitenbeek & Sanders).
+//!
+//! ```text
+//! susceptible ──expose──▶ exposed ──activate──▶ infectious
+//!      ▲                     │                     │    │
+//!      │                 quarantine            quarantine│
+//!      │                     ▼                     ▼    │
+//!      │                 quarantined ──release──▶ recovered
+//!      └─────────────────────────────waning──────────┘
+//! ```
+//!
+//! Exposure pressure is proportional to the infectious fraction. With five
+//! local states this model exercises the checker on larger matrices (the
+//! nested machinery runs on 6×6 extended chains) and shows a transient
+//! epidemic peak followed by recovery — a shape the `cSat` machinery turns
+//! into interior satisfaction windows.
+
+use mfcsl_core::{CoreError, LocalModel, Occupancy};
+use serde::{Deserialize, Serialize};
+
+/// State index of the susceptible state.
+pub const SUSCEPTIBLE: usize = 0;
+/// State index of the exposed (latent) state.
+pub const EXPOSED: usize = 1;
+/// State index of the infectious state.
+pub const INFECTIOUS: usize = 2;
+/// State index of the quarantined state.
+pub const QUARANTINED: usize = 3;
+/// State index of the recovered state.
+pub const RECOVERED: usize = 4;
+
+/// SEIQR rate constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Exposure coefficient (scaled by the infectious fraction).
+    pub beta: f64,
+    /// Latency-to-infectious activation rate.
+    pub sigma: f64,
+    /// Recovery rate of infectious machines.
+    pub gamma: f64,
+    /// Quarantine detection rate (applies to exposed and infectious).
+    pub kappa: f64,
+    /// Release rate from quarantine into recovered.
+    pub release: f64,
+    /// Waning-immunity rate (recovered → susceptible; 0 for permanent).
+    pub waning: f64,
+}
+
+/// An outbreak-with-response parameterization: fast spread, moderate
+/// quarantine, slow waning.
+#[must_use]
+pub fn outbreak() -> Params {
+    Params {
+        beta: 3.0,
+        sigma: 1.0,
+        gamma: 0.5,
+        kappa: 0.4,
+        release: 0.3,
+        waning: 0.05,
+    }
+}
+
+/// Builds the SEIQR local model. Labels: one per state name plus
+/// `infected` on exposed/infectious/quarantined and `healthy` on
+/// susceptible/recovered.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidModel`] for negative or non-finite rates.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_models::seiqr;
+///
+/// let model = seiqr::model(seiqr::outbreak())?;
+/// assert_eq!(model.n_states(), 5);
+/// # Ok::<(), mfcsl_core::CoreError>(())
+/// ```
+pub fn model(params: Params) -> Result<LocalModel, CoreError> {
+    for (name, v) in [
+        ("beta", params.beta),
+        ("sigma", params.sigma),
+        ("gamma", params.gamma),
+        ("kappa", params.kappa),
+        ("release", params.release),
+        ("waning", params.waning),
+    ] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(CoreError::InvalidModel(format!(
+                "rate {name} must be finite and non-negative, got {v}"
+            )));
+        }
+    }
+    let beta = params.beta;
+    let mut builder = LocalModel::builder()
+        .state("susceptible", ["susceptible", "healthy"])
+        .state("exposed", ["exposed", "infected"])
+        .state("infectious", ["infectious", "infected"])
+        .state("quarantined", ["quarantined", "infected"])
+        .state("recovered", ["recovered", "healthy"])
+        .transition("susceptible", "exposed", move |m: &Occupancy| {
+            beta * m[INFECTIOUS]
+        })?
+        .constant_transition("exposed", "infectious", params.sigma)?
+        .constant_transition("infectious", "recovered", params.gamma)?
+        .constant_transition("exposed", "quarantined", params.kappa)?
+        .constant_transition("infectious", "quarantined", params.kappa)?
+        .constant_transition("quarantined", "recovered", params.release)?;
+    if params.waning > 0.0 {
+        builder = builder.constant_transition("recovered", "susceptible", params.waning)?;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcsl_core::fixedpoint::{self, FixedPointOptions, Stability};
+    use mfcsl_core::meanfield;
+    use mfcsl_core::mfcsl::{parse_formula, Checker};
+    use mfcsl_csl::Tolerances;
+    use mfcsl_ode::OdeOptions;
+
+    fn m0() -> Occupancy {
+        Occupancy::new(vec![0.97, 0.02, 0.01, 0.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn epidemic_peaks_and_settles() {
+        let model = model(outbreak()).unwrap();
+        let sol = meanfield::solve(&model, &m0(), 100.0, &OdeOptions::default()).unwrap();
+        let infectious = |t: f64| sol.occupancy_at(t)[INFECTIOUS];
+        let peak = (0..=1000)
+            .map(|i| infectious(i as f64 * 0.1))
+            .fold(0.0_f64, f64::max);
+        assert!(peak > 0.1, "the outbreak should take off (peak {peak})");
+        // With waning immunity there is an endemic equilibrium.
+        let fp =
+            fixedpoint::from_initial(&model, &m0(), 400.0, &FixedPointOptions::default()).unwrap();
+        assert_eq!(fp.stability, Stability::Stable);
+        assert!(fp.occupancy[INFECTIOUS] > 0.0);
+    }
+
+    #[test]
+    fn permanent_immunity_burns_out() {
+        let mut p = outbreak();
+        p.waning = 0.0;
+        let model = model(p).unwrap();
+        let sol = meanfield::solve(&model, &m0(), 200.0, &OdeOptions::default()).unwrap();
+        let end = sol.occupancy_at(200.0);
+        assert!(end[INFECTIOUS] < 1e-6);
+        assert!(end[EXPOSED] < 1e-6);
+        assert!(end[RECOVERED] > 0.5, "most machines pass through infection");
+    }
+
+    #[test]
+    fn mfcsl_queries_on_five_states() {
+        let model = model(outbreak()).unwrap();
+        let checker = Checker::with_tolerances(&model, Tolerances::fast());
+        // The infectious fraction starts at 1%:
+        assert!(checker
+            .check(&parse_formula("E{<0.05}[ infectious ]").unwrap(), &m0())
+            .unwrap()
+            .holds());
+        // ...and the danger window where it exceeds 10% is an interior
+        // interval (the epidemic rises, peaks, then the response wins).
+        let cs = checker
+            .csat(
+                &parse_formula("E{>0.1}[ infectious ]").unwrap(),
+                &m0(),
+                40.0,
+            )
+            .unwrap();
+        assert_eq!(cs.intervals().len(), 1, "{cs}");
+        let iv = cs.intervals()[0];
+        assert!(iv.lo().value > 0.0, "window starts after onset: {cs}");
+        assert!(
+            iv.hi().value < 40.0,
+            "window closes before the horizon: {cs}"
+        );
+        // Nested formula on the 5-state model: exercised without error.
+        let nested =
+            parse_formula("E{>0.05}[ P{>0.5}[ infected U[0,10] P{>0.9}[ tt U[0,2] recovered ] ] ]")
+                .unwrap();
+        let _ = checker.check(&nested, &m0()).unwrap();
+    }
+
+    #[test]
+    fn quarantine_reduces_the_peak() {
+        let with = model(outbreak()).unwrap();
+        let without = model(Params {
+            kappa: 0.0,
+            ..outbreak()
+        })
+        .unwrap();
+        let peak = |m: &LocalModel| {
+            let sol = meanfield::solve(m, &m0(), 60.0, &OdeOptions::default()).unwrap();
+            (0..=600)
+                .map(|i| sol.occupancy_at(i as f64 * 0.1)[INFECTIOUS])
+                .fold(0.0_f64, f64::max)
+        };
+        assert!(peak(&with) < peak(&without));
+    }
+
+    #[test]
+    fn validation() {
+        let mut p = outbreak();
+        p.beta = -1.0;
+        assert!(model(p).is_err());
+        p = outbreak();
+        p.waning = f64::NAN;
+        assert!(model(p).is_err());
+    }
+}

@@ -1,0 +1,139 @@
+//! The SIR (susceptible–infected–recovered) epidemic.
+//!
+//! Three states with one-way immunity: infection at rate `β·m_I`, recovery
+//! at rate `γ` into an absorbing recovered state. The mean-field flow has a
+//! continuum of disease-free fixed points `(s, 0, r)` — a useful stress
+//! test for the fixed-point search and for steady-state operator guards.
+
+use mfcsl_core::{CoreError, LocalModel, Occupancy};
+
+/// State index of the susceptible state.
+pub const SUSCEPTIBLE: usize = 0;
+/// State index of the infected state.
+pub const INFECTED: usize = 1;
+/// State index of the recovered state.
+pub const RECOVERED: usize = 2;
+
+/// Builds the SIR local model. Labels: `susceptible`, `infected`,
+/// `recovered` (plus `healthy` on both non-infected states).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidModel`] for negative or non-finite rates.
+pub fn model(beta: f64, gamma: f64) -> Result<LocalModel, CoreError> {
+    if !beta.is_finite() || beta < 0.0 || !gamma.is_finite() || gamma < 0.0 {
+        return Err(CoreError::InvalidModel(format!(
+            "rates must be finite and non-negative, got beta = {beta}, gamma = {gamma}"
+        )));
+    }
+    LocalModel::builder()
+        .state("susceptible", ["susceptible", "healthy"])
+        .state("infected", ["infected"])
+        .state("recovered", ["recovered", "healthy"])
+        .transition("susceptible", "infected", move |m: &Occupancy| {
+            beta * m[INFECTED]
+        })?
+        .constant_transition("infected", "recovered", gamma)?
+        .build()
+}
+
+/// The final epidemic size: solves the classic transcendental relation
+/// `r_∞ = 1 - s₀·exp(-R₀ (r_∞ - r₀))` by bisection, with `R₀ = β/γ`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for `γ = 0` or an occupancy of
+/// the wrong dimension.
+pub fn final_size(beta: f64, gamma: f64, m0: &Occupancy) -> Result<f64, CoreError> {
+    if m0.len() != 3 {
+        return Err(CoreError::InvalidArgument(format!(
+            "SIR occupancy has 3 entries, got {}",
+            m0.len()
+        )));
+    }
+    if gamma <= 0.0 {
+        return Err(CoreError::InvalidArgument(
+            "final size needs a positive recovery rate".into(),
+        ));
+    }
+    let r0_ratio = beta / gamma;
+    let s0 = m0[SUSCEPTIBLE];
+    let r0 = m0[RECOVERED];
+    let f = |r_inf: f64| r_inf - (1.0 - s0 * (-r0_ratio * (r_inf - r0)).exp());
+    // r_inf lies in [r0 + i0, 1]; bracket and bisect.
+    let lo = r0 + m0[INFECTED];
+    mfcsl_math_bisect(f, lo.min(1.0 - 1e-12), 1.0)
+}
+
+fn mfcsl_math_bisect<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64) -> Result<f64, CoreError> {
+    let (mut a, mut b) = (lo, hi);
+    let (fa, fb) = (f(a), f(b));
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        // Degenerate epidemic (no infection): the final size is the start.
+        return Ok(lo);
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (a + b);
+        let fm = f(mid);
+        if fm == 0.0 || b - a < 1e-14 {
+            return Ok(mid);
+        }
+        if fm.signum() == fa.signum() {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcsl_core::meanfield;
+    use mfcsl_ode::OdeOptions;
+
+    #[test]
+    fn epidemic_burns_out_to_final_size() {
+        let (beta, gamma) = (3.0, 1.0);
+        let model = model(beta, gamma).unwrap();
+        let m0 = Occupancy::new(vec![0.99, 0.01, 0.0]).unwrap();
+        let sol = meanfield::solve(
+            &model,
+            &m0,
+            80.0,
+            &OdeOptions::default().with_tolerances(1e-11, 1e-13),
+        )
+        .unwrap();
+        let end = sol.occupancy_at(80.0);
+        assert!(end[INFECTED] < 1e-6, "infection should burn out");
+        let predicted = final_size(beta, gamma, &m0).unwrap();
+        assert!(
+            (end[RECOVERED] - predicted).abs() < 1e-4,
+            "recovered {} vs final-size relation {predicted}",
+            end[RECOVERED]
+        );
+    }
+
+    #[test]
+    fn subcritical_epidemic_stays_small() {
+        let model = model(0.5, 1.0).unwrap();
+        let m0 = Occupancy::new(vec![0.9, 0.1, 0.0]).unwrap();
+        let sol = meanfield::solve(&model, &m0, 60.0, &OdeOptions::default()).unwrap();
+        let end = sol.occupancy_at(60.0);
+        assert!(end[RECOVERED] < 0.25, "total infections stay bounded");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(model(-1.0, 1.0).is_err());
+        assert!(final_size(1.0, 0.0, &Occupancy::new(vec![0.9, 0.1, 0.0]).unwrap()).is_err());
+        assert!(final_size(1.0, 1.0, &Occupancy::new(vec![0.5, 0.5]).unwrap()).is_err());
+    }
+}

@@ -1,0 +1,97 @@
+//! The SIS (susceptible–infected–susceptible) epidemic.
+//!
+//! Two states with infection rate `β·m_I` and recovery rate `γ`. Its
+//! mean-field ODE is the logistic equation — analytically solvable — which
+//! makes SIS the canonical oracle model of the test suite.
+
+use mfcsl_core::{CoreError, LocalModel, Occupancy};
+
+/// State index of the susceptible state.
+pub const SUSCEPTIBLE: usize = 0;
+/// State index of the infected state.
+pub const INFECTED: usize = 1;
+
+/// Builds the SIS local model with infection rate `β·m_I` and recovery
+/// rate `γ`. Labels: `susceptible`/`healthy` and `infected`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidModel`] for negative or non-finite rates.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_models::sis;
+///
+/// let model = sis::model(2.0, 1.0)?;
+/// assert_eq!(model.n_states(), 2);
+/// # Ok::<(), mfcsl_core::CoreError>(())
+/// ```
+pub fn model(beta: f64, gamma: f64) -> Result<LocalModel, CoreError> {
+    if !beta.is_finite() || beta < 0.0 || !gamma.is_finite() || gamma < 0.0 {
+        return Err(CoreError::InvalidModel(format!(
+            "rates must be finite and non-negative, got beta = {beta}, gamma = {gamma}"
+        )));
+    }
+    LocalModel::builder()
+        .state("susceptible", ["susceptible", "healthy"])
+        .state("infected", ["infected"])
+        .transition("susceptible", "infected", move |m: &Occupancy| {
+            beta * m[INFECTED]
+        })?
+        .constant_transition("infected", "susceptible", gamma)?
+        .build()
+}
+
+/// Analytic mean-field infected fraction at time `t` for the supercritical
+/// case `β > γ` (logistic solution of `di/dt = βi(1-i) - γi`).
+///
+/// # Panics
+///
+/// Panics if `β ≤ γ` or `i0 ∉ (0, 1]`.
+#[must_use]
+pub fn analytic_infected_fraction(beta: f64, gamma: f64, i0: f64, t: f64) -> f64 {
+    assert!(beta > gamma, "closed form given for the supercritical case");
+    assert!(i0 > 0.0 && i0 <= 1.0, "initial fraction must be in (0, 1]");
+    let i_star = 1.0 - gamma / beta;
+    let r = beta - gamma;
+    i_star / (1.0 + (i_star / i0 - 1.0) * (-r * t).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcsl_core::meanfield;
+    use mfcsl_ode::OdeOptions;
+
+    #[test]
+    fn numeric_matches_analytic() {
+        let model = model(2.0, 1.0).unwrap();
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let sol = meanfield::solve(
+            &model,
+            &m0,
+            8.0,
+            &OdeOptions::default().with_tolerances(1e-11, 1e-13),
+        )
+        .unwrap();
+        for &t in &[0.3, 1.0, 4.0, 8.0] {
+            let exact = analytic_infected_fraction(2.0, 1.0, 0.1, t);
+            let got = sol.occupancy_at(t)[INFECTED];
+            assert!((got - exact).abs() < 1e-8, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(model(-1.0, 1.0).is_err());
+        assert!(model(1.0, f64::INFINITY).is_err());
+        assert!(model(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "supercritical")]
+    fn analytic_guard() {
+        let _ = analytic_infected_fraction(1.0, 2.0, 0.1, 1.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! The supermarket (power-of-`d`-choices) load-balancing model.
+//!
+//! `N` queues serve at rate `μ`; tasks arrive at total rate `Nλ` and each
+//! task samples `d` queues uniformly, joining the shortest (ties broken
+//! uniformly). The local state of a queue is its length, capped at `cap`
+//! (arrivals to a full shortest queue are dropped).
+//!
+//! With tail occupancies `s_i = Σ_{j ≥ i} m_j`, a task lands in a queue of
+//! current length `i` with probability `s_i^d − s_{i+1}^d`, so the
+//! *per-queue* arrival rate in state `i` is `λ(s_i^d − s_{i+1}^d)/m_i` — a
+//! ratio-form occupancy-dependent rate like the paper's smart-virus law.
+//! This is the classic mean-field system with the doubly-exponential
+//! queue-tail fixed point (Mitzenmacher / Vvedenskaya-Dobrushin-Karpelevich),
+//! included to exercise larger local state spaces (`K = cap + 1`).
+
+use mfcsl_core::{CoreError, LocalModel, Occupancy};
+use serde::{Deserialize, Serialize};
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Per-queue arrival rate `λ` (stability requires `λ < μ`).
+    pub lambda: f64,
+    /// Service rate `μ`.
+    pub mu: f64,
+    /// Number of choices `d ≥ 1`.
+    pub d: u32,
+    /// Maximum queue length (local state space is `0..=cap`).
+    pub cap: usize,
+}
+
+/// Builds the supermarket local model. State `i` is labeled `len_i`, plus
+/// `empty` (`i = 0`), `busy` (`i ≥ 1`) and `full` (`i = cap`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidModel`] for non-finite/negative rates,
+/// `d = 0`, or `cap = 0`.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_models::supermarket;
+///
+/// let model = supermarket::model(supermarket::Params {
+///     lambda: 0.7,
+///     mu: 1.0,
+///     d: 2,
+///     cap: 6,
+/// })?;
+/// assert_eq!(model.n_states(), 7);
+/// # Ok::<(), mfcsl_core::CoreError>(())
+/// ```
+pub fn model(params: Params) -> Result<LocalModel, CoreError> {
+    if !params.lambda.is_finite() || params.lambda < 0.0 {
+        return Err(CoreError::InvalidModel(format!(
+            "lambda must be finite and non-negative, got {}",
+            params.lambda
+        )));
+    }
+    if !params.mu.is_finite() || params.mu < 0.0 {
+        return Err(CoreError::InvalidModel(format!(
+            "mu must be finite and non-negative, got {}",
+            params.mu
+        )));
+    }
+    if params.d == 0 {
+        return Err(CoreError::InvalidModel("d must be at least 1".into()));
+    }
+    if params.cap == 0 {
+        return Err(CoreError::InvalidModel(
+            "cap must be at least 1 (otherwise the model has a single state)".into(),
+        ));
+    }
+    let k = params.cap + 1;
+    let mut builder = LocalModel::builder();
+    for i in 0..k {
+        let mut labels = vec![format!("len_{i}")];
+        if i == 0 {
+            labels.push("empty".into());
+        } else {
+            labels.push("busy".into());
+        }
+        if i == params.cap {
+            labels.push("full".into());
+        }
+        builder = builder.state(format!("q{i}"), labels);
+    }
+    let d = params.d as f64;
+    let lambda = params.lambda;
+    for i in 0..params.cap {
+        // Arrival i -> i+1 at rate λ(s_i^d - s_{i+1}^d)/m_i.
+        let idx = i;
+        builder = builder.transition(
+            format!("q{i}"),
+            format!("q{}", i + 1),
+            move |m: &Occupancy| {
+                let tail = |from: usize| -> f64 {
+                    (from..m.len()).map(|j| m[j]).sum::<f64>().clamp(0.0, 1.0)
+                };
+                let s_i = tail(idx);
+                let s_next = tail(idx + 1);
+                let mass = m[idx];
+                if mass > 1e-9 {
+                    lambda * (s_i.powf(d) - s_next.powf(d)) / mass
+                } else {
+                    // m_i → 0: the landing probability also vanishes (it is
+                    // at most d·m_i·s_i^{d-1}); use the limit d·λ·s_i^{d-1}.
+                    lambda * d * s_i.powf(d - 1.0)
+                }
+            },
+        )?;
+    }
+    for i in 1..k {
+        builder = builder.constant_transition(format!("q{i}"), format!("q{}", i - 1), params.mu)?;
+    }
+    builder.build()
+}
+
+/// The infinite-capacity fixed-point tail occupancy
+/// `s_i = ρ^{(dⁱ − 1)/(d − 1)}` (for `d ≥ 2`; `ρⁱ` for `d = 1`).
+#[must_use]
+pub fn analytic_tail(rho: f64, d: u32, i: usize) -> f64 {
+    if d == 1 {
+        rho.powi(i as i32)
+    } else {
+        let exponent = ((d as f64).powi(i as i32) - 1.0) / (d as f64 - 1.0);
+        rho.powf(exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcsl_core::fixedpoint::{self, FixedPointOptions};
+    use mfcsl_core::meanfield;
+    use mfcsl_ode::OdeOptions;
+
+    fn settle(params: Params) -> Occupancy {
+        let model = model(params).unwrap();
+        let k = params.cap + 1;
+        let m0 = Occupancy::unit(k, 0).unwrap();
+        let fp = fixedpoint::from_initial(&model, &m0, 400.0, &FixedPointOptions::default());
+        match fp {
+            Ok(fp) => fp.occupancy,
+            Err(_) => {
+                // Fall back to a long integration if Newton is finicky on
+                // the simplex boundary.
+                let sol = meanfield::solve(&model, &m0, 2000.0, &OdeOptions::default()).unwrap();
+                sol.occupancy_at(2000.0)
+            }
+        }
+    }
+
+    #[test]
+    fn d1_fixed_point_is_geometric() {
+        // d = 1 is an M/M/1-like queue: m_i ∝ ρ^i (truncated).
+        let rho = 0.5;
+        let params = Params {
+            lambda: rho,
+            mu: 1.0,
+            d: 1,
+            cap: 10,
+        };
+        let m = settle(params);
+        for i in 0..=8 {
+            let ratio = m[i + 1] / m[i];
+            assert!(
+                (ratio - rho).abs() < 1e-4,
+                "geometric ratio at {i}: {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn d2_tail_is_doubly_exponential() {
+        let rho = 0.7;
+        let params = Params {
+            lambda: rho,
+            mu: 1.0,
+            d: 2,
+            cap: 12,
+        };
+        let m = settle(params);
+        let tail = |i: usize| -> f64 { (i..m.len()).map(|j| m[j]).sum() };
+        for i in 1..=3 {
+            let expected = analytic_tail(rho, 2, i);
+            let got = tail(i);
+            assert!(
+                (got - expected).abs() < 5e-3,
+                "tail s_{i}: {got} vs analytic {expected}"
+            );
+        }
+        // Two choices beat one choice dramatically at depth 3:
+        // ρ^7 ≪ ρ^3.
+        assert!(tail(3) < analytic_tail(rho, 1, 3) / 3.0);
+    }
+
+    #[test]
+    fn mass_is_conserved_along_trajectory() {
+        let params = Params {
+            lambda: 0.9,
+            mu: 1.0,
+            d: 2,
+            cap: 8,
+        };
+        let model = model(params).unwrap();
+        let m0 = Occupancy::unit(9, 0).unwrap();
+        let sol = meanfield::solve(&model, &m0, 30.0, &OdeOptions::default()).unwrap();
+        for &t in &[0.0, 3.0, 11.0, 30.0] {
+            let m = sol.occupancy_at(t);
+            assert!((m.as_slice().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let ok = Params {
+            lambda: 0.5,
+            mu: 1.0,
+            d: 2,
+            cap: 4,
+        };
+        assert!(model(ok).is_ok());
+        assert!(model(Params { d: 0, ..ok }).is_err());
+        assert!(model(Params { cap: 0, ..ok }).is_err());
+        assert!(model(Params { lambda: -1.0, ..ok }).is_err());
+        assert!(model(Params { mu: f64::NAN, ..ok }).is_err());
+    }
+
+    #[test]
+    fn labels() {
+        let m = model(Params {
+            lambda: 0.5,
+            mu: 1.0,
+            d: 2,
+            cap: 3,
+        })
+        .unwrap();
+        assert!(m.labeling().has(0, "empty"));
+        assert!(m.labeling().has(3, "full"));
+        assert_eq!(m.labeling().states_with("busy"), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,463 @@
+//! Adaptive Dormand–Prince 5(4) integration.
+//!
+//! The production solver of the workspace: an explicit embedded Runge–Kutta
+//! pair of orders 5 and 4 with FSAL (first-same-as-last), a smoothed
+//! step-size controller, and dense output through the trajectory's cubic
+//! Hermite representation.
+
+use crate::problem::OdeSystem;
+use crate::solution::{SolveStats, Trajectory};
+use crate::{OdeError, OdeOptions};
+
+/// Dormand–Prince 5(4) solver.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_ode::dopri::Dopri5;
+/// use mfcsl_ode::problem::FnSystem;
+/// use mfcsl_ode::OdeOptions;
+///
+/// # fn main() -> Result<(), mfcsl_ode::OdeError> {
+/// // Harmonic oscillator: y'' = -y.
+/// let sys = FnSystem::new(2, |_t, y: &[f64], dy: &mut [f64]| {
+///     dy[0] = y[1];
+///     dy[1] = -y[0];
+/// });
+/// let sol = Dopri5::new(OdeOptions::default()).solve(&sys, 0.0, std::f64::consts::PI, &[1.0, 0.0])?;
+/// assert!((sol.final_state()[0] + 1.0).abs() < 1e-7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dopri5 {
+    options: OdeOptions,
+}
+
+// Butcher tableau of the Dormand–Prince 5(4) pair.
+const A21: f64 = 1.0 / 5.0;
+const A31: f64 = 3.0 / 40.0;
+const A32: f64 = 9.0 / 40.0;
+const A41: f64 = 44.0 / 45.0;
+const A42: f64 = -56.0 / 15.0;
+const A43: f64 = 32.0 / 9.0;
+const A51: f64 = 19372.0 / 6561.0;
+const A52: f64 = -25360.0 / 2187.0;
+const A53: f64 = 64448.0 / 6561.0;
+const A54: f64 = -212.0 / 729.0;
+const A61: f64 = 9017.0 / 3168.0;
+const A62: f64 = -355.0 / 33.0;
+const A63: f64 = 46732.0 / 5247.0;
+const A64: f64 = 49.0 / 176.0;
+const A65: f64 = -5103.0 / 18656.0;
+const B1: f64 = 35.0 / 384.0;
+const B3: f64 = 500.0 / 1113.0;
+const B4: f64 = 125.0 / 192.0;
+const B5: f64 = -2187.0 / 6784.0;
+const B6: f64 = 11.0 / 84.0;
+// Error coefficients: b (order 5) minus b* (order 4).
+const E1: f64 = 71.0 / 57_600.0;
+const E3: f64 = -71.0 / 16_695.0;
+const E4: f64 = 71.0 / 1_920.0;
+const E5: f64 = -17_253.0 / 339_200.0;
+const E6: f64 = 22.0 / 525.0;
+const E7: f64 = -1.0 / 40.0;
+
+const C2: f64 = 1.0 / 5.0;
+const C3: f64 = 3.0 / 10.0;
+const C4: f64 = 4.0 / 5.0;
+const C5: f64 = 8.0 / 9.0;
+
+const SAFETY: f64 = 0.9;
+const FAC_MIN: f64 = 0.2;
+const FAC_MAX: f64 = 5.0;
+
+impl Dopri5 {
+    /// Creates a solver with the given options.
+    #[must_use]
+    pub fn new(options: OdeOptions) -> Self {
+        Dopri5 { options }
+    }
+
+    /// Borrows the solver options.
+    #[must_use]
+    pub fn options(&self) -> &OdeOptions {
+        &self.options
+    }
+
+    /// Integrates `sys` from `t0` to `t1 >= t0` starting at `y0`, returning
+    /// a dense trajectory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::InvalidArgument`] for `t1 < t0`, a state of the
+    /// wrong dimension, or invalid options; [`OdeError::StepSizeTooSmall`] /
+    /// [`OdeError::MaxStepsExceeded`] if the controller fails; and
+    /// [`OdeError::NonFiniteDerivative`] if the right-hand side misbehaves.
+    pub fn solve<S: OdeSystem>(
+        &self,
+        sys: &S,
+        t0: f64,
+        t1: f64,
+        y0: &[f64],
+    ) -> Result<Trajectory, OdeError> {
+        self.options.validate()?;
+        let n = sys.dim();
+        if y0.len() != n {
+            return Err(OdeError::InvalidArgument(format!(
+                "initial state has dimension {}, system expects {n}",
+                y0.len()
+            )));
+        }
+        if !(t1 >= t0) {
+            return Err(OdeError::InvalidArgument(format!(
+                "integration range [{t0}, {t1}] is reversed or NaN"
+            )));
+        }
+        let mut stats = SolveStats::default();
+        let mut t = t0;
+        let mut y = y0.to_vec();
+        sys.project(t, &mut y);
+        let mut k1 = vec![0.0; n];
+        sys.rhs(t, &y, &mut k1);
+        stats.rhs_evals += 1;
+        check_finite(t, &k1)?;
+
+        let mut ts = vec![t];
+        let mut ys = vec![y.clone()];
+        let mut ds = vec![k1.clone()];
+
+        if t1 == t0 {
+            return Trajectory::new(ts, ys, ds, stats);
+        }
+
+        let mut h = match self.options.h_init {
+            Some(h) => h.min(self.options.h_max).min(t1 - t0),
+            None => self.initial_step(sys, t, &y, &k1, t1, &mut stats),
+        };
+
+        // Stage buffers.
+        let mut k2 = vec![0.0; n];
+        let mut k3 = vec![0.0; n];
+        let mut k4 = vec![0.0; n];
+        let mut k5 = vec![0.0; n];
+        let mut k6 = vec![0.0; n];
+        let mut k7 = vec![0.0; n];
+        let mut y_stage = vec![0.0; n];
+        let mut y_new = vec![0.0; n];
+
+        let mut steps = 0usize;
+        while t < t1 {
+            steps += 1;
+            if steps > self.options.max_steps {
+                return Err(OdeError::MaxStepsExceeded {
+                    steps: self.options.max_steps,
+                    t,
+                });
+            }
+            h = h.min(t1 - t).min(self.options.h_max);
+            if h < self.options.h_min {
+                // Allow the final sliver of the interval to be smaller than
+                // h_min; everything else is a genuine underflow.
+                if t1 - t > self.options.h_min {
+                    return Err(OdeError::StepSizeTooSmall { t, h });
+                }
+                h = t1 - t;
+            }
+
+            // Stage 2.
+            for i in 0..n {
+                y_stage[i] = y[i] + h * A21 * k1[i];
+            }
+            sys.rhs(t + C2 * h, &y_stage, &mut k2);
+            // Stage 3.
+            for i in 0..n {
+                y_stage[i] = y[i] + h * (A31 * k1[i] + A32 * k2[i]);
+            }
+            sys.rhs(t + C3 * h, &y_stage, &mut k3);
+            // Stage 4.
+            for i in 0..n {
+                y_stage[i] = y[i] + h * (A41 * k1[i] + A42 * k2[i] + A43 * k3[i]);
+            }
+            sys.rhs(t + C4 * h, &y_stage, &mut k4);
+            // Stage 5.
+            for i in 0..n {
+                y_stage[i] = y[i] + h * (A51 * k1[i] + A52 * k2[i] + A53 * k3[i] + A54 * k4[i]);
+            }
+            sys.rhs(t + C5 * h, &y_stage, &mut k5);
+            // Stage 6 (c = 1).
+            for i in 0..n {
+                y_stage[i] = y[i]
+                    + h * (A61 * k1[i] + A62 * k2[i] + A63 * k3[i] + A64 * k4[i] + A65 * k5[i]);
+            }
+            sys.rhs(t + h, &y_stage, &mut k6);
+            // 5th-order solution (also stage 7 location).
+            for i in 0..n {
+                y_new[i] =
+                    y[i] + h * (B1 * k1[i] + B3 * k3[i] + B4 * k4[i] + B5 * k5[i] + B6 * k6[i]);
+            }
+            sys.rhs(t + h, &y_new, &mut k7);
+            stats.rhs_evals += 6;
+            check_finite(t + h, &k7)?;
+
+            // Scaled error norm.
+            let mut err_sq = 0.0;
+            for i in 0..n {
+                let err_i = h
+                    * (E1 * k1[i] + E3 * k3[i] + E4 * k4[i] + E5 * k5[i] + E6 * k6[i] + E7 * k7[i]);
+                let scale = self.options.atol + self.options.rtol * y[i].abs().max(y_new[i].abs());
+                let q = err_i / scale;
+                err_sq += q * q;
+            }
+            let err = (err_sq / n as f64).sqrt();
+
+            if err <= 1.0 || h <= self.options.h_min {
+                // Accept.
+                stats.accepted += 1;
+                let t_new = t + h;
+                sys.project(t_new, &mut y_new);
+                if y_new != y_stage {
+                    // Either the 5th-order update differs from stage 6 (it
+                    // always does) or projection moved the point: refresh the
+                    // FSAL derivative at the accepted state.
+                    sys.rhs(t_new, &y_new, &mut k7);
+                    stats.rhs_evals += 1;
+                }
+                t = t_new;
+                std::mem::swap(&mut y, &mut y_new);
+                std::mem::swap(&mut k1, &mut k7);
+                ts.push(t);
+                ys.push(y.clone());
+                ds.push(k1.clone());
+            } else {
+                stats.rejected += 1;
+            }
+            // Step-size update (order-5 controller).
+            let fac = (SAFETY * err.powf(-0.2)).clamp(FAC_MIN, FAC_MAX);
+            h *= fac;
+        }
+        Trajectory::new(ts, ys, ds, stats)
+    }
+
+    /// Hairer-style automatic initial step selection.
+    fn initial_step<S: OdeSystem>(
+        &self,
+        sys: &S,
+        t0: f64,
+        y0: &[f64],
+        f0: &[f64],
+        t1: f64,
+        stats: &mut SolveStats,
+    ) -> f64 {
+        let n = y0.len();
+        let scale: Vec<f64> = y0
+            .iter()
+            .map(|&yi| self.options.atol + self.options.rtol * yi.abs())
+            .collect();
+        let d0 = rms(y0, &scale);
+        let d1 = rms(f0, &scale);
+        let h0 = if d0 < 1e-5 || d1 < 1e-5 {
+            1e-6
+        } else {
+            0.01 * d0 / d1
+        };
+        // One explicit Euler step to estimate the second derivative.
+        let y1: Vec<f64> = (0..n).map(|i| y0[i] + h0 * f0[i]).collect();
+        let mut f1 = vec![0.0; n];
+        sys.rhs(t0 + h0, &y1, &mut f1);
+        stats.rhs_evals += 1;
+        let diff: Vec<f64> = (0..n).map(|i| f1[i] - f0[i]).collect();
+        let d2 = rms(&diff, &scale) / h0;
+        let max_d = d1.max(d2);
+        let h1 = if max_d <= 1e-15 {
+            (h0 * 1e-3).max(1e-6)
+        } else {
+            (0.01 / max_d).powf(0.2)
+        };
+        (100.0 * h0)
+            .min(h1)
+            .min(t1 - t0)
+            .min(self.options.h_max)
+            .max(self.options.h_min)
+    }
+}
+
+impl Default for Dopri5 {
+    fn default() -> Self {
+        Dopri5::new(OdeOptions::default())
+    }
+}
+
+fn rms(v: &[f64], scale: &[f64]) -> f64 {
+    let s: f64 = v
+        .iter()
+        .zip(scale)
+        .map(|(a, s)| (a / s) * (a / s))
+        .sum::<f64>()
+        / v.len() as f64;
+    s.sqrt()
+}
+
+fn check_finite(t: f64, v: &[f64]) -> Result<(), OdeError> {
+    if v.iter().all(|x| x.is_finite()) {
+        Ok(())
+    } else {
+        Err(OdeError::NonFiniteDerivative { t })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{FnSystem, ProjectedFnSystem};
+
+    fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0])
+    }
+
+    #[test]
+    fn exponential_decay_high_accuracy() {
+        let sol = Dopri5::new(OdeOptions::default().with_tolerances(1e-12, 1e-14))
+            .solve(&decay(), 0.0, 5.0, &[1.0])
+            .unwrap();
+        let exact = (-5.0_f64).exp();
+        assert!((sol.final_state()[0] - exact).abs() < 1e-11);
+    }
+
+    #[test]
+    fn dense_output_accuracy() {
+        let sol = Dopri5::new(
+            OdeOptions::default()
+                .with_tolerances(1e-10, 1e-13)
+                .with_h_max(0.1),
+        )
+        .solve(&decay(), 0.0, 3.0, &[1.0])
+        .unwrap();
+        for &t in &[0.123, 0.77, 1.5, 2.9] {
+            let exact = (-t_f(t)).exp();
+            assert!(
+                (sol.eval(t)[0] - exact).abs() < 1e-8,
+                "dense output at t = {t}"
+            );
+        }
+        fn t_f(t: f64) -> f64 {
+            t
+        }
+    }
+
+    #[test]
+    fn oscillator_conserves_energy_approximately() {
+        let sys = FnSystem::new(2, |_t, y: &[f64], dy: &mut [f64]| {
+            dy[0] = y[1];
+            dy[1] = -y[0];
+        });
+        let sol = Dopri5::new(OdeOptions::default().with_tolerances(1e-11, 1e-13))
+            .solve(&sys, 0.0, 20.0 * std::f64::consts::PI, &[1.0, 0.0])
+            .unwrap();
+        let yf = sol.final_state();
+        assert!((yf[0] - 1.0).abs() < 1e-7, "{yf:?}");
+        assert!(yf[1].abs() < 1e-7);
+    }
+
+    #[test]
+    fn time_dependent_rhs() {
+        // dy/dt = 2t => y = t^2.
+        let sys = FnSystem::new(1, |t, _y: &[f64], dy: &mut [f64]| dy[0] = 2.0 * t);
+        let sol = Dopri5::default().solve(&sys, 0.0, 4.0, &[0.0]).unwrap();
+        assert!((sol.final_state()[0] - 16.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn zero_length_interval() {
+        let sol = Dopri5::default().solve(&decay(), 1.0, 1.0, &[0.7]).unwrap();
+        assert_eq!(sol.final_state(), vec![0.7]);
+        assert_eq!(sol.stats().accepted, 0);
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(Dopri5::default().solve(&decay(), 1.0, 0.0, &[1.0]).is_err());
+        assert!(Dopri5::default()
+            .solve(&decay(), 0.0, 1.0, &[1.0, 2.0])
+            .is_err());
+        let bad_opts = OdeOptions::default().with_tolerances(-1.0, 1e-9);
+        assert!(Dopri5::new(bad_opts)
+            .solve(&decay(), 0.0, 1.0, &[1.0])
+            .is_err());
+    }
+
+    #[test]
+    fn nan_rhs_is_reported() {
+        let sys = FnSystem::new(1, |_t, _y: &[f64], dy: &mut [f64]| dy[0] = f64::NAN);
+        let err = Dopri5::default().solve(&sys, 0.0, 1.0, &[1.0]).unwrap_err();
+        assert!(matches!(err, OdeError::NonFiniteDerivative { .. }));
+    }
+
+    #[test]
+    fn max_steps_is_enforced() {
+        let opts = OdeOptions::default().with_max_steps(3).with_h_max(1e-3);
+        let err = Dopri5::new(opts)
+            .solve(&decay(), 0.0, 10.0, &[1.0])
+            .unwrap_err();
+        assert!(matches!(err, OdeError::MaxStepsExceeded { .. }));
+    }
+
+    #[test]
+    fn projection_is_applied_at_every_knot() {
+        // A system whose exact flow preserves the simplex; inject the
+        // renormalizing projection and verify every stored knot satisfies it.
+        let sys = ProjectedFnSystem::new(
+            2,
+            |_t, y: &[f64], dy: &mut [f64]| {
+                dy[0] = -y[0] + 0.5 * y[1];
+                dy[1] = y[0] - 0.5 * y[1];
+            },
+            |_t, y: &mut [f64]| {
+                let s = y[0] + y[1];
+                y[0] /= s;
+                y[1] /= s;
+            },
+        );
+        let sol = Dopri5::default()
+            .solve(&sys, 0.0, 10.0, &[0.9, 0.1])
+            .unwrap();
+        for &t in sol.knots() {
+            let y = sol.eval(t);
+            assert!((y[0] + y[1] - 1.0).abs() < 1e-12);
+        }
+        // Converges to the stationary distribution (1/3, 2/3).
+        let yf = sol.final_state();
+        assert!((yf[0] - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_are_plausible() {
+        let sol = Dopri5::default().solve(&decay(), 0.0, 1.0, &[1.0]).unwrap();
+        let st = sol.stats();
+        assert!(st.accepted >= 1);
+        assert!(st.rhs_evals >= 7 * st.accepted);
+    }
+
+    #[test]
+    fn convergence_order_is_five() {
+        // Fixed-step behaviour approximated by constraining h_max; halving
+        // h_max should cut the error by roughly 2^5 once tolerances are loose
+        // enough that h_max binds.
+        let sys = FnSystem::new(1, |t, y: &[f64], dy: &mut [f64]| dy[0] = y[0] * t.cos());
+        let exact = (1.0_f64.sin()).exp();
+        let run = |h: f64| {
+            let opts = OdeOptions::default()
+                .with_tolerances(1e-2, 1e-2)
+                .with_h_max(h);
+            let sol = Dopri5::new(opts).solve(&sys, 0.0, 1.0, &[1.0]).unwrap();
+            (sol.final_state()[0] - exact).abs()
+        };
+        let e1 = run(0.2);
+        let e2 = run(0.1);
+        let order = (e1 / e2).log2();
+        assert!(
+            order > 4.0,
+            "observed order {order} (errors {e1:.3e}, {e2:.3e})"
+        );
+    }
+}

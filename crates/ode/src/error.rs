@@ -1,0 +1,95 @@
+//! Error type for the ODE solvers.
+
+use std::fmt;
+
+use mfcsl_math::MathError;
+
+/// Error returned by the solvers in `mfcsl-ode`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OdeError {
+    /// The adaptive controller pushed the step size below its minimum; the
+    /// problem is too stiff for the chosen method/tolerances.
+    StepSizeTooSmall {
+        /// Time at which the step underflow occurred.
+        t: f64,
+        /// The step size that would have been needed.
+        h: f64,
+    },
+    /// The step budget was exhausted before reaching the end time.
+    MaxStepsExceeded {
+        /// Number of steps taken.
+        steps: usize,
+        /// Time reached when the budget ran out.
+        t: f64,
+    },
+    /// The right-hand side produced a non-finite derivative.
+    NonFiniteDerivative {
+        /// Time of the offending evaluation.
+        t: f64,
+    },
+    /// Newton iteration inside an implicit method failed to converge.
+    NewtonFailed {
+        /// Time of the failing step.
+        t: f64,
+    },
+    /// An argument was outside its documented domain.
+    InvalidArgument(String),
+    /// An underlying linear-algebra operation failed.
+    Math(MathError),
+}
+
+impl fmt::Display for OdeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdeError::StepSizeTooSmall { t, h } => {
+                write!(f, "step size underflow at t = {t} (h = {h})")
+            }
+            OdeError::MaxStepsExceeded { steps, t } => {
+                write!(f, "exceeded {steps} steps at t = {t}")
+            }
+            OdeError::NonFiniteDerivative { t } => {
+                write!(f, "right-hand side returned a non-finite value at t = {t}")
+            }
+            OdeError::NewtonFailed { t } => {
+                write!(f, "newton iteration failed to converge at t = {t}")
+            }
+            OdeError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            OdeError::Math(e) => write!(f, "linear algebra error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OdeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OdeError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MathError> for OdeError {
+    fn from(e: MathError) -> Self {
+        OdeError::Math(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = OdeError::StepSizeTooSmall { t: 1.0, h: 1e-18 };
+        assert!(e.to_string().contains("underflow"));
+        let wrapped = OdeError::from(MathError::Singular);
+        assert!(std::error::Error::source(&wrapped).is_some());
+        assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OdeError>();
+    }
+}

@@ -1,0 +1,298 @@
+//! Event location on dense trajectories.
+//!
+//! An *event* is a time where a scalar function of the solution,
+//! `g(t, y(t))`, crosses zero. The model checker expresses its questions in
+//! this form: "when does the expected probability cross the threshold `p`?"
+//! (the boundaries of `cSat(Ψ, m̄, θ)`, Sec. V-B of the paper) and "when does
+//! state `s` enter or leave the satisfaction set?" (the discontinuity points
+//! `T_i` of Sec. IV-C).
+//!
+//! Events are located after integration, on the dense output: each interval
+//! between accepted steps is scanned on a refinement grid and sign changes
+//! are polished with Brent's method.
+
+use mfcsl_math::roots::brent;
+
+use crate::solution::Trajectory;
+use crate::OdeError;
+
+/// Which sign changes count as events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Any sign change.
+    #[default]
+    Any,
+    /// Only negative-to-positive crossings.
+    Rising,
+    /// Only positive-to-negative crossings.
+    Falling,
+}
+
+/// A located event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Event time.
+    pub t: f64,
+    /// `true` if `g` was increasing through zero at the event.
+    pub rising: bool,
+}
+
+/// Locates zero crossings of `g(t, y(t))` along a trajectory.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_ode::dopri::Dopri5;
+/// use mfcsl_ode::events::{EventLocator, Direction};
+/// use mfcsl_ode::problem::FnSystem;
+/// use mfcsl_ode::OdeOptions;
+///
+/// # fn main() -> Result<(), mfcsl_ode::OdeError> {
+/// let sys = FnSystem::new(2, |_t, y: &[f64], dy: &mut [f64]| {
+///     dy[0] = y[1];
+///     dy[1] = -y[0];
+/// });
+/// let sol = Dopri5::new(OdeOptions::default()).solve(&sys, 0.0, 7.0, &[1.0, 0.0])?;
+/// // cos(t) crosses zero at pi/2 and 3pi/2.
+/// let events = EventLocator::new(|_t, y| y[0])
+///     .with_direction(Direction::Falling)
+///     .locate(&sol, 1e-10)?;
+/// assert_eq!(events.len(), 1);
+/// assert!((events[0].t - std::f64::consts::FRAC_PI_2).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub struct EventLocator<G> {
+    g: G,
+    direction: Direction,
+    /// Subdivisions per accepted step when scanning for sign changes.
+    refine: usize,
+}
+
+impl<G: Fn(f64, &[f64]) -> f64> EventLocator<G> {
+    /// Creates a locator for the event function `g(t, y)`.
+    pub fn new(g: G) -> Self {
+        EventLocator {
+            g,
+            direction: Direction::Any,
+            refine: 8,
+        }
+    }
+
+    /// Restricts which crossings are reported.
+    #[must_use]
+    pub fn with_direction(mut self, direction: Direction) -> Self {
+        self.direction = direction;
+        self
+    }
+
+    /// Sets the per-step scan refinement (default 8). Higher values catch
+    /// faster oscillations of `g` between accepted steps.
+    #[must_use]
+    pub fn with_refinement(mut self, refine: usize) -> Self {
+        self.refine = refine.max(1);
+        self
+    }
+
+    /// Returns all events on the trajectory, in increasing time order,
+    /// located to absolute time tolerance `tol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::InvalidArgument`] if `tol <= 0`, and propagates
+    /// root-refinement failures.
+    pub fn locate(&self, traj: &Trajectory, tol: f64) -> Result<Vec<Event>, OdeError> {
+        if !(tol > 0.0) {
+            return Err(OdeError::InvalidArgument(format!(
+                "event tolerance must be positive, got {tol}"
+            )));
+        }
+        let eval_g = |t: f64| (self.g)(t, &traj.eval(t));
+        let knots = traj.knots();
+        let mut events: Vec<Event> = Vec::new();
+        let mut prev_t = knots[0];
+        let mut prev_g = eval_g(prev_t);
+        for w in knots.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            for i in 1..=self.refine {
+                let t = if i == self.refine {
+                    b
+                } else {
+                    a + (b - a) * i as f64 / self.refine as f64
+                };
+                let gt = eval_g(t);
+                if prev_g == 0.0 {
+                    // Exact zero at a grid point: report with the slope sign.
+                    let rising = gt > 0.0;
+                    push_event(
+                        &mut events,
+                        Event { t: prev_t, rising },
+                        self.direction,
+                        tol,
+                    );
+                } else if gt != 0.0 && prev_g.signum() != gt.signum() {
+                    let root = brent(eval_g, prev_t, t, tol)?;
+                    let rising = gt > 0.0;
+                    push_event(&mut events, Event { t: root, rising }, self.direction, tol);
+                }
+                prev_t = t;
+                prev_g = gt;
+            }
+        }
+        if prev_g == 0.0 {
+            // Trailing exact zero; slope direction unknown, treat as rising.
+            push_event(
+                &mut events,
+                Event {
+                    t: prev_t,
+                    rising: true,
+                },
+                self.direction,
+                tol,
+            );
+        }
+        Ok(events)
+    }
+
+    /// Returns the first event after `t_min`, if any.
+    ///
+    /// # Errors
+    ///
+    /// See [`EventLocator::locate`].
+    pub fn first_after(
+        &self,
+        traj: &Trajectory,
+        t_min: f64,
+        tol: f64,
+    ) -> Result<Option<Event>, OdeError> {
+        Ok(self
+            .locate(traj, tol)?
+            .into_iter()
+            .find(|e| e.t > t_min + tol))
+    }
+}
+
+fn push_event(events: &mut Vec<Event>, e: Event, direction: Direction, tol: f64) {
+    let wanted = match direction {
+        Direction::Any => true,
+        Direction::Rising => e.rising,
+        Direction::Falling => !e.rising,
+    };
+    if !wanted {
+        return;
+    }
+    if events
+        .last()
+        .is_none_or(|last| (e.t - last.t).abs() > 2.0 * tol)
+    {
+        events.push(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dopri::Dopri5;
+    use crate::problem::FnSystem;
+    use crate::OdeOptions;
+
+    fn oscillator_solution(t_end: f64) -> Trajectory {
+        let sys = FnSystem::new(2, |_t, y: &[f64], dy: &mut [f64]| {
+            dy[0] = y[1];
+            dy[1] = -y[0];
+        });
+        Dopri5::new(OdeOptions::default().with_tolerances(1e-11, 1e-13))
+            .solve(&sys, 0.0, t_end, &[1.0, 0.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn finds_all_cosine_zeros() {
+        let sol = oscillator_solution(10.0);
+        let events = EventLocator::new(|_t, y: &[f64]| y[0])
+            .locate(&sol, 1e-10)
+            .unwrap();
+        // cos zeros in [0, 10]: pi/2, 3pi/2, 5pi/2 -> 1.5708, 4.7124, 7.854.
+        assert_eq!(events.len(), 3, "{events:?}");
+        let expected = [0.5, 1.5, 2.5].map(|k| k * std::f64::consts::PI);
+        for (e, x) in events.iter().zip(&expected) {
+            assert!((e.t - x).abs() < 1e-8);
+        }
+        assert!(!events[0].rising);
+        assert!(events[1].rising);
+    }
+
+    #[test]
+    fn direction_filtering() {
+        let sol = oscillator_solution(10.0);
+        let rising = EventLocator::new(|_t, y: &[f64]| y[0])
+            .with_direction(Direction::Rising)
+            .locate(&sol, 1e-10)
+            .unwrap();
+        assert_eq!(rising.len(), 1);
+        assert!((rising[0].t - 1.5 * std::f64::consts::PI).abs() < 1e-8);
+        let falling = EventLocator::new(|_t, y: &[f64]| y[0])
+            .with_direction(Direction::Falling)
+            .locate(&sol, 1e-10)
+            .unwrap();
+        assert_eq!(falling.len(), 2);
+    }
+
+    #[test]
+    fn first_after_skips_earlier_events() {
+        let sol = oscillator_solution(10.0);
+        let e = EventLocator::new(|_t, y: &[f64]| y[0])
+            .first_after(&sol, 2.0, 1e-10)
+            .unwrap()
+            .unwrap();
+        assert!((e.t - 1.5 * std::f64::consts::PI).abs() < 1e-8);
+        let none = EventLocator::new(|_t, y: &[f64]| y[0])
+            .first_after(&sol, 9.0, 1e-10)
+            .unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn no_events_when_no_crossing() {
+        let sol = oscillator_solution(1.0);
+        let events = EventLocator::new(|_t, y: &[f64]| y[0] + 10.0)
+            .locate(&sol, 1e-10)
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn time_dependent_event_function() {
+        let sol = oscillator_solution(2.0);
+        // g = t - 1.25 crosses zero at exactly 1.25 regardless of the state.
+        let events = EventLocator::new(|t, _y: &[f64]| t - 1.25)
+            .locate(&sol, 1e-12)
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!((events[0].t - 1.25).abs() < 1e-10);
+        assert!(events[0].rising);
+    }
+
+    #[test]
+    fn invalid_tolerance() {
+        let sol = oscillator_solution(1.0);
+        assert!(EventLocator::new(|_t, y: &[f64]| y[0])
+            .locate(&sol, 0.0)
+            .is_err());
+    }
+
+    #[test]
+    fn exact_zero_at_start_is_reported_once() {
+        let sol = oscillator_solution(3.0);
+        // y[1] = -sin starts at exactly 0.
+        let events = EventLocator::new(|_t, y: &[f64]| y[1])
+            .locate(&sol, 1e-10)
+            .unwrap();
+        assert!(!events.is_empty());
+        assert!(events[0].t.abs() < 1e-9);
+        // No duplicate of the t=0 event.
+        if events.len() > 1 {
+            assert!(events[1].t > 1.0);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Fixed-step explicit Runge–Kutta methods.
+//!
+//! These exist as convergence-test baselines and ablation points for the
+//! adaptive production solver; the classic RK4 is also handy when a cheap,
+//! predictable integration over a known-smooth interval is wanted.
+
+use crate::problem::OdeSystem;
+use crate::solution::{SolveStats, Trajectory};
+use crate::OdeError;
+
+/// Which fixed-step scheme to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FixedMethod {
+    /// Explicit Euler (order 1).
+    Euler,
+    /// Heun's method / explicit trapezoid (order 2).
+    Heun,
+    /// The classic Runge–Kutta method (order 4).
+    Rk4,
+}
+
+impl FixedMethod {
+    /// Formal order of accuracy.
+    #[must_use]
+    pub fn order(self) -> usize {
+        match self {
+            FixedMethod::Euler => 1,
+            FixedMethod::Heun => 2,
+            FixedMethod::Rk4 => 4,
+        }
+    }
+}
+
+/// Integrates `sys` from `t0` to `t1` with `steps` equal steps of the given
+/// scheme, returning a dense trajectory.
+///
+/// # Errors
+///
+/// Returns [`OdeError::InvalidArgument`] for a reversed interval, zero
+/// steps, or a state of the wrong dimension, and
+/// [`OdeError::NonFiniteDerivative`] if the right-hand side misbehaves.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_ode::fixed::{integrate_fixed, FixedMethod};
+/// use mfcsl_ode::problem::FnSystem;
+///
+/// # fn main() -> Result<(), mfcsl_ode::OdeError> {
+/// let sys = FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0]);
+/// let sol = integrate_fixed(&sys, FixedMethod::Rk4, 0.0, 1.0, &[1.0], 100)?;
+/// assert!((sol.final_state()[0] - (-1.0_f64).exp()).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn integrate_fixed<S: OdeSystem>(
+    sys: &S,
+    method: FixedMethod,
+    t0: f64,
+    t1: f64,
+    y0: &[f64],
+    steps: usize,
+) -> Result<Trajectory, OdeError> {
+    let n = sys.dim();
+    if y0.len() != n {
+        return Err(OdeError::InvalidArgument(format!(
+            "initial state has dimension {}, system expects {n}",
+            y0.len()
+        )));
+    }
+    if !(t1 >= t0) {
+        return Err(OdeError::InvalidArgument(format!(
+            "integration range [{t0}, {t1}] is reversed or NaN"
+        )));
+    }
+    if steps == 0 {
+        return Err(OdeError::InvalidArgument("steps must be positive".into()));
+    }
+    let mut stats = SolveStats::default();
+    let mut y = y0.to_vec();
+    let mut t = t0;
+    sys.project(t, &mut y);
+    let mut k = vec![0.0; n];
+    sys.rhs(t, &y, &mut k);
+    stats.rhs_evals += 1;
+
+    let mut ts = vec![t];
+    let mut ys = vec![y.clone()];
+    let mut ds = vec![k.clone()];
+    if t1 == t0 {
+        return Trajectory::new(ts, ys, ds, stats);
+    }
+    let h = (t1 - t0) / steps as f64;
+
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut y_stage = vec![0.0; n];
+
+    for step in 0..steps {
+        match method {
+            FixedMethod::Euler => {
+                for i in 0..n {
+                    y[i] += h * k[i];
+                }
+                stats.rhs_evals += 0;
+            }
+            FixedMethod::Heun => {
+                for i in 0..n {
+                    y_stage[i] = y[i] + h * k[i];
+                }
+                sys.rhs(t + h, &y_stage, &mut k2);
+                stats.rhs_evals += 1;
+                for i in 0..n {
+                    y[i] += 0.5 * h * (k[i] + k2[i]);
+                }
+            }
+            FixedMethod::Rk4 => {
+                for i in 0..n {
+                    y_stage[i] = y[i] + 0.5 * h * k[i];
+                }
+                sys.rhs(t + 0.5 * h, &y_stage, &mut k2);
+                for i in 0..n {
+                    y_stage[i] = y[i] + 0.5 * h * k2[i];
+                }
+                sys.rhs(t + 0.5 * h, &y_stage, &mut k3);
+                for i in 0..n {
+                    y_stage[i] = y[i] + h * k3[i];
+                }
+                sys.rhs(t + h, &y_stage, &mut k4);
+                stats.rhs_evals += 3;
+                for i in 0..n {
+                    y[i] += h / 6.0 * (k[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+                }
+            }
+        }
+        // Snap the final time exactly.
+        t = if step + 1 == steps {
+            t1
+        } else {
+            t0 + h * (step + 1) as f64
+        };
+        sys.project(t, &mut y);
+        sys.rhs(t, &y, &mut k);
+        stats.rhs_evals += 1;
+        if k.iter().any(|v| !v.is_finite()) || y.iter().any(|v| !v.is_finite()) {
+            return Err(OdeError::NonFiniteDerivative { t });
+        }
+        stats.accepted += 1;
+        ts.push(t);
+        ys.push(y.clone());
+        ds.push(k.clone());
+    }
+    Trajectory::new(ts, ys, ds, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FnSystem;
+
+    fn decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0])
+    }
+
+    fn error_at_unit_time(method: FixedMethod, steps: usize) -> f64 {
+        let sol = integrate_fixed(&decay(), method, 0.0, 1.0, &[1.0], steps).unwrap();
+        (sol.final_state()[0] - (-1.0_f64).exp()).abs()
+    }
+
+    #[test]
+    fn euler_converges_at_order_one() {
+        let e1 = error_at_unit_time(FixedMethod::Euler, 100);
+        let e2 = error_at_unit_time(FixedMethod::Euler, 200);
+        let order = (e1 / e2).log2();
+        assert!((order - 1.0).abs() < 0.1, "observed order {order}");
+    }
+
+    #[test]
+    fn heun_converges_at_order_two() {
+        let e1 = error_at_unit_time(FixedMethod::Heun, 100);
+        let e2 = error_at_unit_time(FixedMethod::Heun, 200);
+        let order = (e1 / e2).log2();
+        assert!((order - 2.0).abs() < 0.1, "observed order {order}");
+    }
+
+    #[test]
+    fn rk4_converges_at_order_four() {
+        let e1 = error_at_unit_time(FixedMethod::Rk4, 20);
+        let e2 = error_at_unit_time(FixedMethod::Rk4, 40);
+        let order = (e1 / e2).log2();
+        assert!((order - 4.0).abs() < 0.2, "observed order {order}");
+    }
+
+    #[test]
+    fn orders_exposed() {
+        assert_eq!(FixedMethod::Euler.order(), 1);
+        assert_eq!(FixedMethod::Heun.order(), 2);
+        assert_eq!(FixedMethod::Rk4.order(), 4);
+    }
+
+    #[test]
+    fn validates_arguments() {
+        assert!(integrate_fixed(&decay(), FixedMethod::Rk4, 1.0, 0.0, &[1.0], 10).is_err());
+        assert!(integrate_fixed(&decay(), FixedMethod::Rk4, 0.0, 1.0, &[1.0, 2.0], 10).is_err());
+        assert!(integrate_fixed(&decay(), FixedMethod::Rk4, 0.0, 1.0, &[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn zero_length_interval() {
+        let sol = integrate_fixed(&decay(), FixedMethod::Euler, 2.0, 2.0, &[0.3], 5).unwrap();
+        assert_eq!(sol.final_state(), vec![0.3]);
+    }
+
+    #[test]
+    fn final_knot_time_is_exact() {
+        let sol = integrate_fixed(&decay(), FixedMethod::Rk4, 0.0, 0.3, &[1.0], 3).unwrap();
+        assert_eq!(sol.t_end(), 0.3);
+    }
+}

@@ -1,0 +1,151 @@
+//! Solver configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::OdeError;
+
+/// Configuration for the adaptive solvers.
+///
+/// The defaults are tuned for the model-checking workloads in this
+/// workspace: probabilities and occupancy fractions live in `[0, 1]`, so a
+/// relative tolerance of `1e-9` with a small absolute floor keeps threshold
+/// crossings (located on the dense output) accurate to well below the
+/// `1e-4` granularity the paper reports.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_ode::OdeOptions;
+///
+/// let opts = OdeOptions::default().with_tolerances(1e-12, 1e-14);
+/// assert_eq!(opts.rtol, 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OdeOptions {
+    /// Relative error tolerance per step.
+    pub rtol: f64,
+    /// Absolute error tolerance per step.
+    pub atol: f64,
+    /// Initial step size; `None` selects it automatically.
+    pub h_init: Option<f64>,
+    /// Smallest step the controller may take before giving up.
+    pub h_min: f64,
+    /// Largest step the controller may take (caps dense-output error).
+    pub h_max: f64,
+    /// Hard bound on the number of accepted + rejected steps.
+    pub max_steps: usize,
+}
+
+impl Default for OdeOptions {
+    fn default() -> Self {
+        OdeOptions {
+            rtol: 1e-9,
+            atol: 1e-12,
+            h_init: None,
+            h_min: 1e-14,
+            h_max: 0.25,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+impl OdeOptions {
+    /// Returns a copy with the given relative and absolute tolerances.
+    #[must_use]
+    pub fn with_tolerances(mut self, rtol: f64, atol: f64) -> Self {
+        self.rtol = rtol;
+        self.atol = atol;
+        self
+    }
+
+    /// Returns a copy with the given maximum step size.
+    #[must_use]
+    pub fn with_h_max(mut self, h_max: f64) -> Self {
+        self.h_max = h_max;
+        self
+    }
+
+    /// Returns a copy with the given step budget.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Validates the option combination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::InvalidArgument`] for non-positive tolerances or
+    /// step bounds, or `h_min > h_max`.
+    pub fn validate(&self) -> Result<(), OdeError> {
+        if !(self.rtol > 0.0) || !(self.atol > 0.0) {
+            return Err(OdeError::InvalidArgument(format!(
+                "tolerances must be positive (rtol = {}, atol = {})",
+                self.rtol, self.atol
+            )));
+        }
+        if !(self.h_min > 0.0) || !(self.h_max > 0.0) || self.h_min > self.h_max {
+            return Err(OdeError::InvalidArgument(format!(
+                "step bounds must satisfy 0 < h_min <= h_max (h_min = {}, h_max = {})",
+                self.h_min, self.h_max
+            )));
+        }
+        if let Some(h) = self.h_init {
+            if !(h > 0.0) {
+                return Err(OdeError::InvalidArgument(format!(
+                    "initial step must be positive, got {h}"
+                )));
+            }
+        }
+        if self.max_steps == 0 {
+            return Err(OdeError::InvalidArgument(
+                "max_steps must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        OdeOptions::default().validate().unwrap();
+    }
+
+    #[test]
+    fn builders_chain() {
+        let o = OdeOptions::default()
+            .with_tolerances(1e-6, 1e-9)
+            .with_h_max(0.5)
+            .with_max_steps(10);
+        assert_eq!(o.rtol, 1e-6);
+        assert_eq!(o.h_max, 0.5);
+        assert_eq!(o.max_steps, 10);
+        o.validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_combinations_rejected() {
+        assert!(OdeOptions::default()
+            .with_tolerances(0.0, 1e-9)
+            .validate()
+            .is_err());
+        assert!(OdeOptions::default().with_h_max(-1.0).validate().is_err());
+        assert!(OdeOptions::default().with_max_steps(0).validate().is_err());
+        let o = OdeOptions {
+            h_min: 1.0,
+            h_max: 0.5,
+            ..OdeOptions::default()
+        };
+        assert!(o.validate().is_err());
+        let o = OdeOptions {
+            h_init: Some(-0.1),
+            ..OdeOptions::default()
+        };
+        assert!(o.validate().is_err());
+    }
+}

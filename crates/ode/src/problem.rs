@@ -1,0 +1,150 @@
+//! The ODE problem abstraction.
+
+/// A first-order ODE system `dy/dt = f(t, y)`.
+///
+/// Implementors write the derivative into a caller-provided buffer so the
+/// solvers can run allocation-free inner loops.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_ode::problem::{FnSystem, OdeSystem};
+///
+/// let sys = FnSystem::new(2, |_t, y: &[f64], dy: &mut [f64]| {
+///     dy[0] = y[1];
+///     dy[1] = -y[0];
+/// });
+/// let mut dy = [0.0; 2];
+/// sys.rhs(0.0, &[1.0, 0.0], &mut dy);
+/// assert_eq!(dy, [0.0, -1.0]);
+/// ```
+pub trait OdeSystem {
+    /// State dimension.
+    fn dim(&self) -> usize;
+
+    /// Writes `f(t, y)` into `dy`.
+    ///
+    /// Implementations may assume `y.len() == dy.len() == self.dim()`.
+    fn rhs(&self, t: f64, y: &[f64], dy: &mut [f64]);
+
+    /// Optional post-step projection applied to every accepted solution
+    /// point (e.g. renormalizing an occupancy vector onto the probability
+    /// simplex). The default is a no-op.
+    fn project(&self, _t: f64, _y: &mut [f64]) {}
+}
+
+/// Adapter turning a closure into an [`OdeSystem`].
+pub struct FnSystem<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> FnSystem<F> {
+    /// Wraps the closure `f(t, y, dy)` as a system of dimension `dim`.
+    pub fn new(dim: usize, f: F) -> Self {
+        FnSystem { dim, f }
+    }
+}
+
+impl<F: Fn(f64, &[f64], &mut [f64])> OdeSystem for FnSystem<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn rhs(&self, t: f64, y: &[f64], dy: &mut [f64]) {
+        (self.f)(t, y, dy);
+    }
+}
+
+impl<F> std::fmt::Debug for FnSystem<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnSystem").field("dim", &self.dim).finish()
+    }
+}
+
+/// An [`OdeSystem`] with a projection hook, built from two closures.
+pub struct ProjectedFnSystem<F, P> {
+    inner: FnSystem<F>,
+    projection: P,
+}
+
+impl<F, P> ProjectedFnSystem<F, P>
+where
+    F: Fn(f64, &[f64], &mut [f64]),
+    P: Fn(f64, &mut [f64]),
+{
+    /// Wraps `f(t, y, dy)` and the post-step projection `p(t, y)`.
+    pub fn new(dim: usize, f: F, projection: P) -> Self {
+        ProjectedFnSystem {
+            inner: FnSystem::new(dim, f),
+            projection,
+        }
+    }
+}
+
+impl<F, P> OdeSystem for ProjectedFnSystem<F, P>
+where
+    F: Fn(f64, &[f64], &mut [f64]),
+    P: Fn(f64, &mut [f64]),
+{
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn rhs(&self, t: f64, y: &[f64], dy: &mut [f64]) {
+        self.inner.rhs(t, y, dy);
+    }
+
+    fn project(&self, t: f64, y: &mut [f64]) {
+        (self.projection)(t, y);
+    }
+}
+
+impl<F, P> std::fmt::Debug for ProjectedFnSystem<F, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProjectedFnSystem")
+            .field("dim", &self.inner.dim)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_system_delegates() {
+        let sys = FnSystem::new(1, |t, _y: &[f64], dy: &mut [f64]| dy[0] = t);
+        assert_eq!(sys.dim(), 1);
+        let mut dy = [0.0];
+        sys.rhs(3.0, &[0.0], &mut dy);
+        assert_eq!(dy[0], 3.0);
+        // Default projection is a no-op.
+        let mut y = [5.0];
+        sys.project(0.0, &mut y);
+        assert_eq!(y[0], 5.0);
+    }
+
+    #[test]
+    fn projected_system_applies_projection() {
+        let sys = ProjectedFnSystem::new(
+            2,
+            |_t, y: &[f64], dy: &mut [f64]| dy.copy_from_slice(y),
+            |_t, y: &mut [f64]| {
+                let s: f64 = y.iter().sum();
+                for v in y.iter_mut() {
+                    *v /= s;
+                }
+            },
+        );
+        let mut y = [2.0, 6.0];
+        sys.project(0.0, &mut y);
+        assert_eq!(y, [0.25, 0.75]);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let sys = FnSystem::new(3, |_t, _y: &[f64], _dy: &mut [f64]| {});
+        assert!(format!("{sys:?}").contains('3'));
+    }
+}

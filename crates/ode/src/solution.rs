@@ -1,0 +1,164 @@
+//! Solver output: dense trajectories.
+
+use mfcsl_math::interp::HermiteCurve;
+use serde::{Deserialize, Serialize};
+
+use crate::OdeError;
+
+/// Statistics collected during an integration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Accepted steps.
+    pub accepted: usize,
+    /// Rejected (re-tried) steps.
+    pub rejected: usize,
+    /// Right-hand-side evaluations.
+    pub rhs_evals: usize,
+}
+
+/// A dense ODE solution on `[t_start, t_end]`.
+///
+/// The trajectory stores the state and derivative at every accepted step and
+/// interpolates in between with a C¹ cubic Hermite curve, so it can be
+/// evaluated at arbitrary times — which is exactly what the Kolmogorov-based
+/// model-checking algorithms need when they query `m̄(t)` at their own
+/// integration times.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    curve: HermiteCurve,
+    stats: SolveStats,
+}
+
+impl Trajectory {
+    /// Builds a trajectory from knot data.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`HermiteCurve::new`].
+    pub fn new(
+        ts: Vec<f64>,
+        ys: Vec<Vec<f64>>,
+        ds: Vec<Vec<f64>>,
+        stats: SolveStats,
+    ) -> Result<Self, OdeError> {
+        Ok(Trajectory {
+            curve: HermiteCurve::new(ts, ys, ds)?,
+            stats,
+        })
+    }
+
+    /// State dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.curve.dim()
+    }
+
+    /// Start of the solved time range.
+    #[must_use]
+    pub fn t_start(&self) -> f64 {
+        self.curve.t_start()
+    }
+
+    /// End of the solved time range.
+    #[must_use]
+    pub fn t_end(&self) -> f64 {
+        self.curve.t_end()
+    }
+
+    /// The accepted step times.
+    #[must_use]
+    pub fn knots(&self) -> &[f64] {
+        self.curve.knots()
+    }
+
+    /// Integration statistics.
+    #[must_use]
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Evaluates the state at time `t` (clamped to the solved range).
+    #[must_use]
+    pub fn eval(&self, t: f64) -> Vec<f64> {
+        self.curve.eval(t)
+    }
+
+    /// Evaluates the state at time `t` into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.dim()`.
+    pub fn eval_into(&self, t: f64, out: &mut [f64]) {
+        self.curve.eval_into(t, out);
+    }
+
+    /// Evaluates the state derivative at time `t`.
+    #[must_use]
+    pub fn eval_derivative(&self, t: f64) -> Vec<f64> {
+        self.curve.eval_derivative(t)
+    }
+
+    /// The final state `y(t_end)`.
+    #[must_use]
+    pub fn final_state(&self) -> Vec<f64> {
+        self.eval(self.t_end())
+    }
+
+    /// Borrows the underlying interpolation curve.
+    #[must_use]
+    pub fn curve(&self) -> &HermiteCurve {
+        &self.curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_trajectory() -> Trajectory {
+        // y(t) = 2t on [0, 2].
+        Trajectory::new(
+            vec![0.0, 1.0, 2.0],
+            vec![vec![0.0], vec![2.0], vec![4.0]],
+            vec![vec![2.0], vec![2.0], vec![2.0]],
+            SolveStats {
+                accepted: 2,
+                rejected: 0,
+                rhs_evals: 12,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let tr = linear_trajectory();
+        assert_eq!(tr.dim(), 1);
+        assert_eq!(tr.t_start(), 0.0);
+        assert_eq!(tr.t_end(), 2.0);
+        assert_eq!(tr.knots().len(), 3);
+        assert_eq!(tr.stats().accepted, 2);
+        assert_eq!(tr.final_state(), vec![4.0]);
+    }
+
+    #[test]
+    fn interpolation_is_exact_for_linear_data() {
+        let tr = linear_trajectory();
+        assert!((tr.eval(0.7)[0] - 1.4).abs() < 1e-14);
+        assert!((tr.eval_derivative(1.3)[0] - 2.0).abs() < 1e-12);
+        let mut buf = [0.0];
+        tr.eval_into(1.5, &mut buf);
+        assert!((buf[0] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn invalid_knots_rejected() {
+        let r = Trajectory::new(
+            vec![0.0, 0.0],
+            vec![vec![0.0], vec![1.0]],
+            vec![vec![0.0], vec![0.0]],
+            SolveStats::default(),
+        );
+        assert!(r.is_err());
+    }
+}

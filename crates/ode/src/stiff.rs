@@ -1,0 +1,278 @@
+//! An A-stable implicit method for stiff rate regimes.
+//!
+//! Mean-field models with widely separated rates (e.g. a fast activation
+//! loop inside a slow epidemic) make explicit solvers take tiny steps. The
+//! implicit trapezoidal rule is A-stable and second order; each step solves
+//! its nonlinear equation by Newton iteration with a finite-difference
+//! Jacobian and an LU factorization from `mfcsl-math`.
+
+use mfcsl_math::lu::LuDecomposition;
+use mfcsl_math::Matrix;
+
+use crate::problem::OdeSystem;
+use crate::solution::{SolveStats, Trajectory};
+use crate::OdeError;
+
+/// Fixed-step implicit trapezoidal integrator.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_ode::stiff::ImplicitTrapezoid;
+/// use mfcsl_ode::problem::FnSystem;
+///
+/// # fn main() -> Result<(), mfcsl_ode::OdeError> {
+/// // Very stiff decay: y' = -1000 y. 50 implicit steps stay stable where
+/// // explicit Euler with the same step size would explode.
+/// let sys = FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| dy[0] = -1000.0 * y[0]);
+/// let sol = ImplicitTrapezoid::default().solve(&sys, 0.0, 1.0, &[1.0], 50)?;
+/// assert!(sol.final_state()[0].abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ImplicitTrapezoid {
+    /// Newton convergence tolerance on the step increment (max norm).
+    pub newton_tol: f64,
+    /// Maximum Newton iterations per step.
+    pub max_newton_iters: usize,
+    /// Finite-difference perturbation scale for the Jacobian.
+    pub fd_eps: f64,
+}
+
+impl Default for ImplicitTrapezoid {
+    fn default() -> Self {
+        ImplicitTrapezoid {
+            newton_tol: 1e-12,
+            max_newton_iters: 25,
+            fd_eps: 1e-7,
+        }
+    }
+}
+
+impl ImplicitTrapezoid {
+    /// Integrates `sys` from `t0` to `t1` in `steps` equal implicit steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OdeError::InvalidArgument`] for bad arguments,
+    /// [`OdeError::NewtonFailed`] if a step's Newton iteration does not
+    /// converge, and propagates LU failures as [`OdeError::Math`].
+    pub fn solve<S: OdeSystem>(
+        &self,
+        sys: &S,
+        t0: f64,
+        t1: f64,
+        y0: &[f64],
+        steps: usize,
+    ) -> Result<Trajectory, OdeError> {
+        let n = sys.dim();
+        if y0.len() != n {
+            return Err(OdeError::InvalidArgument(format!(
+                "initial state has dimension {}, system expects {n}",
+                y0.len()
+            )));
+        }
+        if !(t1 >= t0) {
+            return Err(OdeError::InvalidArgument(format!(
+                "integration range [{t0}, {t1}] is reversed or NaN"
+            )));
+        }
+        if steps == 0 {
+            return Err(OdeError::InvalidArgument("steps must be positive".into()));
+        }
+        let mut stats = SolveStats::default();
+        let mut t = t0;
+        let mut y = y0.to_vec();
+        sys.project(t, &mut y);
+        let mut f_cur = vec![0.0; n];
+        sys.rhs(t, &y, &mut f_cur);
+        stats.rhs_evals += 1;
+
+        let mut ts = vec![t];
+        let mut ys = vec![y.clone()];
+        let mut ds = vec![f_cur.clone()];
+        if t1 == t0 {
+            return Trajectory::new(ts, ys, ds, stats);
+        }
+        let h = (t1 - t0) / steps as f64;
+
+        let mut f_next = vec![0.0; n];
+        for step in 0..steps {
+            let t_next = if step + 1 == steps {
+                t1
+            } else {
+                t0 + h * (step + 1) as f64
+            };
+            // Predictor: explicit Euler.
+            let mut y_next: Vec<f64> = (0..n).map(|i| y[i] + h * f_cur[i]).collect();
+            // Newton iterations on
+            //   G(y_next) = y_next - y - h/2 (f(t, y) + f(t_next, y_next)) = 0.
+            let mut converged = false;
+            for _ in 0..self.max_newton_iters {
+                sys.rhs(t_next, &y_next, &mut f_next);
+                stats.rhs_evals += 1;
+                let residual: Vec<f64> = (0..n)
+                    .map(|i| y_next[i] - y[i] - 0.5 * h * (f_cur[i] + f_next[i]))
+                    .collect();
+                let jac = self.jacobian(sys, t_next, &y_next, &f_next, &mut stats);
+                // Newton matrix: I - h/2 J.
+                let mut newton = jac.scaled(-0.5 * h);
+                for i in 0..n {
+                    newton[(i, i)] += 1.0;
+                }
+                let delta = LuDecomposition::new(&newton)?.solve(&residual)?;
+                let mut max_step = 0.0_f64;
+                for i in 0..n {
+                    y_next[i] -= delta[i];
+                    max_step = max_step.max(delta[i].abs());
+                }
+                let scale = 1.0 + mfcsl_math::vec_ops::norm_inf(&y_next);
+                if max_step <= self.newton_tol * scale {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(OdeError::NewtonFailed { t: t_next });
+            }
+            sys.project(t_next, &mut y_next);
+            sys.rhs(t_next, &y_next, &mut f_next);
+            stats.rhs_evals += 1;
+            if y_next.iter().any(|v| !v.is_finite()) {
+                return Err(OdeError::NonFiniteDerivative { t: t_next });
+            }
+            stats.accepted += 1;
+            t = t_next;
+            y.copy_from_slice(&y_next);
+            f_cur.copy_from_slice(&f_next);
+            ts.push(t);
+            ys.push(y.clone());
+            ds.push(f_cur.clone());
+        }
+        Trajectory::new(ts, ys, ds, stats)
+    }
+
+    /// Forward-difference Jacobian of the right-hand side.
+    fn jacobian<S: OdeSystem>(
+        &self,
+        sys: &S,
+        t: f64,
+        y: &[f64],
+        f_at_y: &[f64],
+        stats: &mut SolveStats,
+    ) -> Matrix {
+        let n = y.len();
+        let mut jac = Matrix::zeros(n, n);
+        let mut y_pert = y.to_vec();
+        let mut f_pert = vec![0.0; n];
+        for j in 0..n {
+            let eps = self.fd_eps * (1.0 + y[j].abs());
+            y_pert[j] = y[j] + eps;
+            sys.rhs(t, &y_pert, &mut f_pert);
+            stats.rhs_evals += 1;
+            for i in 0..n {
+                jac[(i, j)] = (f_pert[i] - f_at_y[i]) / eps;
+            }
+            y_pert[j] = y[j];
+        }
+        jac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::{integrate_fixed, FixedMethod};
+    use crate::problem::FnSystem;
+
+    fn stiff_decay() -> FnSystem<impl Fn(f64, &[f64], &mut [f64])> {
+        FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| dy[0] = -1000.0 * y[0])
+    }
+
+    #[test]
+    fn stable_on_stiff_problem_where_explicit_explodes() {
+        // 50 steps of h = 0.02 on lambda = -1000: explicit Euler diverges.
+        let explicit = integrate_fixed(&stiff_decay(), FixedMethod::Euler, 0.0, 1.0, &[1.0], 50)
+            .unwrap()
+            .final_state()[0];
+        assert!(explicit.abs() > 1e10, "explicit euler should blow up");
+        let implicit = ImplicitTrapezoid::default()
+            .solve(&stiff_decay(), 0.0, 1.0, &[1.0], 50)
+            .unwrap()
+            .final_state()[0];
+        assert!(implicit.abs() < 1e-2, "implicit stays bounded: {implicit}");
+    }
+
+    #[test]
+    fn second_order_convergence_on_smooth_problem() {
+        let sys = FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| dy[0] = -y[0]);
+        let exact = (-1.0_f64).exp();
+        let err = |steps| {
+            (ImplicitTrapezoid::default()
+                .solve(&sys, 0.0, 1.0, &[1.0], steps)
+                .unwrap()
+                .final_state()[0]
+                - exact)
+                .abs()
+        };
+        let e1 = err(50);
+        let e2 = err(100);
+        let order = (e1 / e2).log2();
+        assert!((order - 2.0).abs() < 0.1, "observed order {order}");
+    }
+
+    #[test]
+    fn nonlinear_problem_logistic() {
+        // y' = y(1-y), y(0)=0.1; exact: 1/(1 + 9 e^{-t}).
+        let sys = FnSystem::new(1, |_t, y: &[f64], dy: &mut [f64]| {
+            dy[0] = y[0] * (1.0 - y[0])
+        });
+        let sol = ImplicitTrapezoid::default()
+            .solve(&sys, 0.0, 5.0, &[0.1], 500)
+            .unwrap();
+        let exact = 1.0 / (1.0 + 9.0 * (-5.0_f64).exp());
+        assert!((sol.final_state()[0] - exact).abs() < 1e-5);
+    }
+
+    #[test]
+    fn linear_system_matches_expm() {
+        // 2-state generator; compare against the matrix exponential.
+        let sys = FnSystem::new(2, |_t, y: &[f64], dy: &mut [f64]| {
+            dy[0] = -2.0 * y[0] + 1.0 * y[1];
+            dy[1] = 2.0 * y[0] - 1.0 * y[1];
+        });
+        let sol = ImplicitTrapezoid::default()
+            .solve(&sys, 0.0, 1.0, &[1.0, 0.0], 400)
+            .unwrap();
+        let a = Matrix::from_rows(&[&[-2.0, 1.0], &[2.0, -1.0]]).unwrap();
+        let e = mfcsl_math::expm::expm(&a).unwrap();
+        // Column vector convention: y(1) = e^{A} y(0).
+        let expected = e.mul_vec(&[1.0, 0.0]).unwrap();
+        for (a, b) in sol.final_state().iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn validates_arguments() {
+        let s = stiff_decay();
+        assert!(ImplicitTrapezoid::default()
+            .solve(&s, 1.0, 0.0, &[1.0], 10)
+            .is_err());
+        assert!(ImplicitTrapezoid::default()
+            .solve(&s, 0.0, 1.0, &[1.0, 2.0], 10)
+            .is_err());
+        assert!(ImplicitTrapezoid::default()
+            .solve(&s, 0.0, 1.0, &[1.0], 0)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_interval() {
+        let sol = ImplicitTrapezoid::default()
+            .solve(&stiff_decay(), 0.5, 0.5, &[2.0], 10)
+            .unwrap();
+        assert_eq!(sol.final_state(), vec![2.0]);
+    }
+}

@@ -1,0 +1,218 @@
+//! Monte-Carlo estimators with confidence intervals.
+
+use mfcsl_core::CoreError;
+
+/// A point estimate with a two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// The point estimate.
+    pub mean: f64,
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+    /// Number of samples behind the estimate.
+    pub n: usize,
+}
+
+impl Estimate {
+    /// Half-width of the interval.
+    #[must_use]
+    pub fn half_width(&self) -> f64 {
+        0.5 * (self.hi - self.lo)
+    }
+
+    /// `true` if `value` lies inside the interval.
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+}
+
+/// Wilson score interval for a binomial proportion — well-behaved near 0
+/// and 1, where the standard CSL probability thresholds live.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for zero trials,
+/// `successes > trials`, or a non-positive `z`.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_sim::estimator::proportion_ci;
+///
+/// let est = proportion_ci(720, 1000, 1.96)?;
+/// assert!((est.mean - 0.72).abs() < 1e-12);
+/// assert!(est.contains(0.7));
+/// # Ok::<(), mfcsl_core::CoreError>(())
+/// ```
+pub fn proportion_ci(successes: usize, trials: usize, z: f64) -> Result<Estimate, CoreError> {
+    if trials == 0 {
+        return Err(CoreError::InvalidArgument(
+            "proportion estimate needs at least one trial".into(),
+        ));
+    }
+    if successes > trials {
+        return Err(CoreError::InvalidArgument(format!(
+            "{successes} successes out of {trials} trials"
+        )));
+    }
+    if !(z > 0.0) || !z.is_finite() {
+        return Err(CoreError::InvalidArgument(format!(
+            "z-score must be positive and finite, got {z}"
+        )));
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = z / denom * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    Ok(Estimate {
+        mean: p,
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+        n: trials,
+    })
+}
+
+/// Normal-approximation interval for the mean of real-valued samples.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for fewer than two samples, a
+/// non-finite sample, or a non-positive `z`.
+pub fn mean_ci(samples: &[f64], z: f64) -> Result<Estimate, CoreError> {
+    if samples.len() < 2 {
+        return Err(CoreError::InvalidArgument(
+            "mean estimate needs at least two samples".into(),
+        ));
+    }
+    if samples.iter().any(|v| !v.is_finite()) {
+        return Err(CoreError::InvalidArgument("samples must be finite".into()));
+    }
+    if !(z > 0.0) || !z.is_finite() {
+        return Err(CoreError::InvalidArgument(format!(
+            "z-score must be positive and finite, got {z}"
+        )));
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    let half = z * (var / n).sqrt();
+    Ok(Estimate {
+        mean,
+        lo: mean - half,
+        hi: mean + half,
+        n: samples.len(),
+    })
+}
+
+/// Runs `n` independent replications of `f` across `threads` OS threads,
+/// feeding each replication a distinct seed derived from `base_seed`
+/// (SplitMix64 over the replication index, so results are independent of
+/// the thread count).
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn run_replications<T, F>(n: usize, threads: usize, base_seed: u64, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let threads = threads.max(1);
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (worker, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (offset, slot) in slice.iter_mut().enumerate() {
+                    let index = worker * chunk + offset;
+                    *slot = Some(f(splitmix64(base_seed.wrapping_add(index as u64))));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("worker filled slot"))
+        .collect()
+}
+
+/// SplitMix64: turns sequential indices into well-spread seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_interval_basics() {
+        let e = proportion_ci(50, 100, 1.96).unwrap();
+        assert!((e.mean - 0.5).abs() < 1e-12);
+        assert!(e.contains(0.5));
+        assert!(e.lo > 0.39 && e.hi < 0.61);
+        assert_eq!(e.n, 100);
+        // Extreme proportions stay in [0, 1].
+        let e = proportion_ci(0, 10, 1.96).unwrap();
+        assert_eq!(e.lo, 0.0);
+        assert!(e.hi > 0.0);
+        let e = proportion_ci(10, 10, 1.96).unwrap();
+        assert_eq!(e.hi, 1.0);
+        assert!(e.lo < 1.0);
+    }
+
+    #[test]
+    fn wilson_validation() {
+        assert!(proportion_ci(1, 0, 1.96).is_err());
+        assert!(proportion_ci(5, 3, 1.96).is_err());
+        assert!(proportion_ci(1, 2, 0.0).is_err());
+    }
+
+    #[test]
+    fn mean_interval() {
+        let samples = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let e = mean_ci(&samples, 1.96).unwrap();
+        assert!((e.mean - 3.0).abs() < 1e-12);
+        assert!(e.contains(3.0));
+        assert!(e.half_width() > 0.0);
+        assert!(mean_ci(&[1.0], 1.96).is_err());
+        assert!(mean_ci(&[1.0, f64::NAN], 1.96).is_err());
+        assert!(mean_ci(&samples, -1.0).is_err());
+    }
+
+    #[test]
+    fn replication_runner_is_deterministic_across_thread_counts() {
+        let single = run_replications(17, 1, 42, |seed| seed % 1000);
+        let multi = run_replications(17, 4, 42, |seed| seed % 1000);
+        assert_eq!(single, multi);
+        assert_eq!(single.len(), 17);
+        // Seeds are distinct.
+        let mut sorted = single.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 17);
+    }
+
+    #[test]
+    fn replication_runner_parallel_monte_carlo() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        // Estimate P(U < 0.3) with 20k samples across 4 threads.
+        let hits = run_replications(20_000, 4, 7, |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            u8::from(rng.gen_range(0.0..1.0_f64) < 0.3)
+        });
+        let successes: usize = hits.iter().map(|&h| h as usize).sum();
+        let e = proportion_ci(successes, hits.len(), 2.58).unwrap();
+        assert!(e.contains(0.3), "{e:?}");
+    }
+}

@@ -1,0 +1,31 @@
+//! Finite-`N` baselines for the mean-field model checker.
+//!
+//! The mean-field method (Theorem 1 of the paper) is exact only in the
+//! `N → ∞` limit; this crate provides the finite-population ground truth it
+//! is compared against in the benches:
+//!
+//! * [`ssa`] — exact stochastic simulation (Gillespie) of `N` interacting
+//!   objects through their count vector, including a *tagged object* whose
+//!   individual path realizes the random-local-object semantics of MF-CSL's
+//!   `EP` operator at finite `N`;
+//! * [`lumped`] — the explicit overall CTMC for finite `N`: the state space
+//!   is all count vectors summing to `N` (`C(N+K-1, K-1)` states — the very
+//!   state-space explosion the mean-field method avoids), built on
+//!   `mfcsl-ctmc` so exact transient analysis is available for small `N`;
+//! * [`paths`] — checking CSL until formulas on sampled piecewise-constant
+//!   paths (statistical model checking);
+//! * [`estimator`] — Monte-Carlo proportion/mean estimators with confidence
+//!   intervals, and a thread-parallel replication runner.
+
+// `!(x > 0.0)`-style guards are used deliberately throughout: unlike
+// `x <= 0.0`, they classify NaN as invalid input instead of letting it
+// through, which is exactly the intent of the validation sites.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod estimator;
+pub mod lumped;
+pub mod paths;
+pub mod ssa;
+
+pub use ssa::CountTrajectory;

@@ -1,0 +1,358 @@
+//! Checking CSL path formulas on sampled piecewise-constant paths.
+//!
+//! Statistical model checking: the probability of a path formula is the
+//! success frequency over many sampled paths. This module decides whether
+//! one concrete path satisfies `Φ₁ U^[t₁,t₂] Φ₂` or `X^[t₁,t₂] Φ` given the
+//! (time-independent) satisfaction sets of the operands — the ground truth
+//! against which the analytic checkers are validated.
+
+use mfcsl_core::CoreError;
+
+/// A borrowed view of a piecewise-constant path: `(state, entry, exit)`
+/// sojourns covering `[0, t_end]` contiguously.
+pub type Sojourn = (usize, f64, f64);
+
+/// Decides `σ ⊨ Φ₁ U^[t₁,t₂] Φ₂` on a concrete path.
+///
+/// Semantics (Def. 4 of the paper): there is `t' ∈ [t₁, t₂]` with
+/// `σ@t' ⊨ Φ₂` and `σ@t'' ⊨ Φ₁` for all `t'' ∈ [0, t')`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for an empty sojourn list, a
+/// state index out of range of the satisfaction vectors, or a reversed
+/// interval.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_sim::paths::until_holds;
+///
+/// // Path: state 0 on [0, 0.4), state 1 from 0.4 on.
+/// let sojourns = [(0, 0.0, 0.4), (1, 0.4, 2.0)];
+/// let sat1 = [true, false];
+/// let sat2 = [false, true];
+/// assert!(until_holds(&sojourns, &sat1, &sat2, 0.0, 1.0)?);
+/// assert!(!until_holds(&sojourns, &sat1, &sat2, 0.0, 0.3)?);
+/// # Ok::<(), mfcsl_core::CoreError>(())
+/// ```
+pub fn until_holds(
+    sojourns: &[Sojourn],
+    sat1: &[bool],
+    sat2: &[bool],
+    t1: f64,
+    t2: f64,
+) -> Result<bool, CoreError> {
+    if sojourns.is_empty() {
+        return Err(CoreError::InvalidArgument(
+            "path must have at least one sojourn".into(),
+        ));
+    }
+    if !(t1 >= 0.0) || !(t2 >= t1) {
+        return Err(CoreError::InvalidArgument(format!(
+            "until interval [{t1}, {t2}] is invalid"
+        )));
+    }
+    // Walk sojourns, tracking whether Φ₁ has held on [0, current).
+    for &(state, entry, exit) in sojourns {
+        check_state(state, sat1)?;
+        if sat2[state] {
+            // Candidate t' range within this sojourn: σ@t' = state for
+            // t' ∈ [entry, exit) (and at t_end for the last sojourn, but
+            // exit bounds suffice — t' = exit belongs to the next sojourn).
+            let lo = entry.max(t1);
+            if sat1[state] {
+                // Any t' in [lo, min(exit, t2)] works (the prefix up to
+                // `entry` is Φ₁-valid if we got here, and [entry, t')
+                // stays in this Φ₁ state).
+                if lo <= t2 && lo < exit {
+                    return Ok(true);
+                }
+            } else {
+                // Only t' = entry can work: waiting inside a ¬Φ₁ state
+                // would violate the prefix condition.
+                if entry >= t1 && entry <= t2 {
+                    return Ok(true);
+                }
+            }
+        }
+        if !sat1[state] {
+            // The prefix condition fails for any later t'.
+            return Ok(false);
+        }
+        if entry > t2 {
+            return Ok(false);
+        }
+    }
+    // Path ended (absorbing tail counts as occupying the last state until
+    // t_end; if we are here, that state is Φ₁ ∧ ¬Φ₂, or the loop covered
+    // everything without finding a witness).
+    Ok(false)
+}
+
+/// Decides the *time-varying-set* until `σ ⊨ Γ₁ U^[0,T] Γ₂` on a concrete
+/// path, where the sets are piecewise constant in (global) time: there is
+/// `t' ∈ [0, T]` with `σ@t' ∈ Γ₂(t')` and `σ@t'' ∈ Γ₁(t'')` for all
+/// `t'' ∈ [0, t')`. Both sets are right-continuous at their boundaries —
+/// the ground truth for the nested-until machinery of Sec. IV-C.
+///
+/// `gamma1_at` / `gamma2_at` map a time to the membership vector in force.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for an empty sojourn list, a
+/// negative horizon, or a state index out of range.
+pub fn until_holds_time_varying<F1, F2>(
+    sojourns: &[Sojourn],
+    gamma1_at: F1,
+    gamma2_at: F2,
+    big_t: f64,
+    boundaries: &[f64],
+) -> Result<bool, CoreError>
+where
+    F1: Fn(f64) -> Vec<bool>,
+    F2: Fn(f64) -> Vec<bool>,
+{
+    if sojourns.is_empty() {
+        return Err(CoreError::InvalidArgument(
+            "path must have at least one sojourn".into(),
+        ));
+    }
+    if !(big_t >= 0.0) {
+        return Err(CoreError::InvalidArgument(format!(
+            "until horizon {big_t} is invalid"
+        )));
+    }
+    // Build the merged event grid: path jumps plus set boundaries, within
+    // [0, T]. On each cell the state and both sets are constant.
+    let mut cuts: Vec<f64> = vec![0.0, big_t];
+    for &(_, entry, _) in sojourns {
+        if entry > 0.0 && entry < big_t {
+            cuts.push(entry);
+        }
+    }
+    for &b in boundaries {
+        if b > 0.0 && b < big_t {
+            cuts.push(b);
+        }
+    }
+    cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    cuts.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let state_at = |t: f64| -> usize {
+        // Right-continuous path lookup over sojourns.
+        let mut current = sojourns[0].0;
+        for &(s, entry, _) in sojourns {
+            if entry <= t {
+                current = s;
+            } else {
+                break;
+            }
+        }
+        current
+    };
+    let check = |set: &[bool], s: usize| -> Result<bool, CoreError> {
+        set.get(s).copied().ok_or_else(|| {
+            CoreError::InvalidArgument(format!(
+                "path visits state {s}, set has {} entries",
+                set.len()
+            ))
+        })
+    };
+    // Walk cells [c_i, c_{i+1}): membership is decided at the left edge
+    // (everything is right-continuous). The prefix condition must hold on
+    // the whole cell for the walk to continue past it.
+    for (i, &t) in cuts.iter().enumerate() {
+        let s = state_at(t);
+        if check(&gamma2_at(t), s)? {
+            return Ok(true); // witness at t' = t, prefix held so far
+        }
+        if !check(&gamma1_at(t), s)? {
+            return Ok(false); // prefix breaks on [t, next); no later witness
+        }
+        let _ = i;
+    }
+    Ok(false)
+}
+
+/// Decides `σ ⊨ X^[t₁,t₂] Φ` on a concrete path: the first jump exists,
+/// happens within the interval, and lands in a `Φ` state.
+///
+/// # Errors
+///
+/// As [`until_holds`].
+pub fn next_holds(
+    sojourns: &[Sojourn],
+    sat_inner: &[bool],
+    t1: f64,
+    t2: f64,
+) -> Result<bool, CoreError> {
+    if sojourns.is_empty() {
+        return Err(CoreError::InvalidArgument(
+            "path must have at least one sojourn".into(),
+        ));
+    }
+    if !(t1 >= 0.0) || !(t2 >= t1) {
+        return Err(CoreError::InvalidArgument(format!(
+            "next interval [{t1}, {t2}] is invalid"
+        )));
+    }
+    if sojourns.len() < 2 {
+        return Ok(false); // no jump at all
+    }
+    let (second_state, jump_time, _) = sojourns[1];
+    check_state(second_state, sat_inner)?;
+    Ok(jump_time >= t1 && jump_time <= t2 && sat_inner[second_state])
+}
+
+fn check_state(state: usize, sat: &[bool]) -> Result<(), CoreError> {
+    if state < sat.len() {
+        Ok(())
+    } else {
+        Err(CoreError::InvalidArgument(format!(
+            "path visits state {state}, satisfaction vector has {} entries",
+            sat.len()
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn until_basic_witnesses() {
+        let path = [(0, 0.0, 1.0), (1, 1.0, 3.0)];
+        let a = [true, false];
+        let b = [false, true];
+        // Reaches Φ₂ at t=1.
+        assert!(until_holds(&path, &a, &b, 0.0, 2.0).unwrap());
+        assert!(until_holds(&path, &a, &b, 1.0, 1.0).unwrap());
+        assert!(!until_holds(&path, &a, &b, 0.0, 0.9).unwrap());
+        assert!(until_holds(&path, &a, &b, 0.5, 1.5).unwrap());
+        // After the jump the prefix is broken for later witnesses... but
+        // state 1 is the goal, so the t1=2 query still finds t'=2 only if
+        // Φ₁ holds on [0,2): state 1 on [1,2) is ¬Φ₁ ⇒ false.
+        assert!(!until_holds(&path, &a, &b, 2.0, 3.0).unwrap());
+    }
+
+    #[test]
+    fn until_immediate_goal() {
+        let path = [(1, 0.0, 5.0)];
+        let a = [true, false];
+        let b = [false, true];
+        // σ@0 ⊨ Φ₂ with empty prefix.
+        assert!(until_holds(&path, &a, &b, 0.0, 1.0).unwrap());
+        // t₁ > 0: must wait inside the ¬Φ₁ goal state — not allowed.
+        assert!(!until_holds(&path, &a, &b, 0.5, 1.0).unwrap());
+        // If the goal state also satisfies Φ₁, waiting is fine.
+        let both = [true, true];
+        assert!(until_holds(&path, &both, &b, 0.5, 1.0).unwrap());
+    }
+
+    #[test]
+    fn until_broken_prefix() {
+        // 0 -> 2 (neither) -> 1 (goal).
+        let path = [(0, 0.0, 1.0), (2, 1.0, 2.0), (1, 2.0, 4.0)];
+        let a = [true, false, false];
+        let b = [false, true, false];
+        assert!(!until_holds(&path, &a, &b, 0.0, 4.0).unwrap());
+        // If state 2 satisfies Φ₁ the witness at t=2 is fine.
+        let a2 = [true, false, true];
+        assert!(until_holds(&path, &a2, &b, 0.0, 4.0).unwrap());
+    }
+
+    #[test]
+    fn until_stuck_in_phi1_forever() {
+        let path = [(0, 0.0, 10.0)];
+        let a = [true, false];
+        let b = [false, true];
+        assert!(!until_holds(&path, &a, &b, 0.0, 5.0).unwrap());
+    }
+
+    #[test]
+    fn next_semantics() {
+        let path = [(0, 0.0, 1.5), (1, 1.5, 3.0)];
+        let goal = [false, true];
+        assert!(next_holds(&path, &goal, 1.0, 2.0).unwrap());
+        assert!(!next_holds(&path, &goal, 0.0, 1.0).unwrap());
+        assert!(!next_holds(&path, &goal, 2.0, 3.0).unwrap());
+        let other = [true, false];
+        assert!(!next_holds(&path, &other, 1.0, 2.0).unwrap());
+        // No jump at all.
+        assert!(!next_holds(&[(0, 0.0, 9.0)], &goal, 0.0, 5.0).unwrap());
+    }
+
+    #[test]
+    fn validation() {
+        let a = [true];
+        assert!(until_holds(&[], &a, &a, 0.0, 1.0).is_err());
+        assert!(until_holds(&[(0, 0.0, 1.0)], &a, &a, 1.0, 0.5).is_err());
+        assert!(until_holds(&[(3, 0.0, 1.0)], &a, &a, 0.0, 1.0).is_err());
+        assert!(next_holds(&[], &a, 0.0, 1.0).is_err());
+        assert!(next_holds(&[(0, 0.0, 1.0), (2, 1.0, 2.0)], &a, 0.0, 1.5).is_err());
+    }
+}
+
+#[cfg(test)]
+mod time_varying_tests {
+    use super::*;
+
+    fn g(sets: &'static [(f64, [bool; 2])]) -> impl Fn(f64) -> Vec<bool> {
+        move |t: f64| {
+            let mut current = sets[0].1;
+            for &(b, set) in sets {
+                if b <= t {
+                    current = set;
+                } else {
+                    break;
+                }
+            }
+            current.to_vec()
+        }
+    }
+
+    #[test]
+    fn witness_when_goal_turns_on() {
+        // Path stays in state 0 forever; goal set turns on for state 0 at
+        // t = 2.
+        let path = [(0usize, 0.0, 10.0)];
+        let g1 = g(&[(0.0, [true, true])]);
+        let g2 = g(&[(0.0, [false, false]), (2.0, [true, false])]);
+        assert!(until_holds_time_varying(&path, &g1, &g2, 5.0, &[2.0]).unwrap());
+        // Horizon before the switch: no witness.
+        assert!(!until_holds_time_varying(&path, &g1, &g2, 1.5, &[2.0]).unwrap());
+    }
+
+    #[test]
+    fn prefix_breaks_when_invariant_turns_off() {
+        // State 0 leaves Γ₁ at t = 1; goal (state 1) reached by a jump at 3.
+        let path = [(0usize, 0.0, 3.0), (1, 3.0, 10.0)];
+        let g1 = g(&[(0.0, [true, true]), (1.0, [false, true])]);
+        let g2 = g(&[(0.0, [false, true])]);
+        assert!(!until_holds_time_varying(&path, &g1, &g2, 5.0, &[1.0]).unwrap());
+        // With the invariant intact the jump is a witness.
+        let g1_ok = g(&[(0.0, [true, true])]);
+        assert!(until_holds_time_varying(&path, &g1_ok, &g2, 5.0, &[]).unwrap());
+    }
+
+    #[test]
+    fn goal_at_exact_horizon_counts() {
+        // Goal turns on exactly at t = T (right-continuous sets).
+        let path = [(0usize, 0.0, 10.0)];
+        let g1 = g(&[(0.0, [true, true])]);
+        let g2 = g(&[(0.0, [false, false]), (5.0, [true, false])]);
+        assert!(until_holds_time_varying(&path, &g1, &g2, 5.0, &[5.0]).unwrap());
+    }
+
+    #[test]
+    fn validation() {
+        let g1 = g(&[(0.0, [true, true])]);
+        let g2 = g(&[(0.0, [false, true])]);
+        assert!(until_holds_time_varying(&[], &g1, &g2, 1.0, &[]).is_err());
+        let path = [(0usize, 0.0, 1.0)];
+        assert!(until_holds_time_varying(&path, &g1, &g2, -1.0, &[]).is_err());
+        let bad = [(7usize, 0.0, 1.0)];
+        assert!(until_holds_time_varying(&bad, &g1, &g2, 1.0, &[]).is_err());
+    }
+}

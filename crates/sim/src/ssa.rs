@@ -1,0 +1,426 @@
+//! Exact stochastic simulation of `N` interacting objects.
+//!
+//! Because the objects are exchangeable, the full system state is the
+//! count vector `c` with `Σ c_s = N`; the empirical occupancy is `c/N`.
+//! One object in state `s` jumps to `s'` at rate `Q_{s,s'}(c/N)`, so the
+//! aggregate rate of the `(s → s')` reaction is `c_s · Q_{s,s'}(c/N)`
+//! (a density-dependent Markov chain in Kurtz's sense). The Gillespie
+//! (SSA) loop samples these reactions exactly.
+
+use mfcsl_core::{CoreError, LocalModel, Occupancy};
+use mfcsl_math::Matrix;
+use rand::Rng;
+
+/// A piecewise-constant trajectory of the count vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CountTrajectory {
+    n: usize,
+    times: Vec<f64>,
+    counts: Vec<Vec<usize>>,
+    t_end: f64,
+}
+
+impl CountTrajectory {
+    /// Population size `N`.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// End of the observation window.
+    #[must_use]
+    pub fn t_end(&self) -> f64 {
+        self.t_end
+    }
+
+    /// Number of reaction events.
+    #[must_use]
+    pub fn n_events(&self) -> usize {
+        self.times.len() - 1
+    }
+
+    /// Event times (the first entry is 0).
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The count vector in force at time `t` (clamped to the window).
+    #[must_use]
+    pub fn counts_at(&self, t: f64) -> &[usize] {
+        let i = match self.times.partition_point(|&x| x <= t) {
+            0 => 0,
+            p => p - 1,
+        };
+        &self.counts[i]
+    }
+
+    /// The empirical occupancy `c(t)/N`.
+    #[must_use]
+    pub fn occupancy_at(&self, t: f64) -> Occupancy {
+        let c = self.counts_at(t);
+        Occupancy::project(c.iter().map(|&x| x as f64 / self.n as f64).collect())
+            .expect("counts sum to N > 0")
+    }
+}
+
+/// Draws a count vector with `Σ = n` that matches the occupancy in
+/// expectation, by largest-remainder rounding (deterministic).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for `n == 0`.
+pub fn counts_from_occupancy(m: &Occupancy, n: usize) -> Result<Vec<usize>, CoreError> {
+    if n == 0 {
+        return Err(CoreError::InvalidArgument(
+            "population size must be positive".into(),
+        ));
+    }
+    let raw: Vec<f64> = m.as_slice().iter().map(|&f| f * n as f64).collect();
+    let mut counts: Vec<usize> = raw.iter().map(|&x| x.floor() as usize).collect();
+    let mut assigned: usize = counts.iter().sum();
+    // Distribute the remainder to the largest fractional parts.
+    let mut order: Vec<usize> = (0..raw.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = raw[a] - raw[a].floor();
+        let fb = raw[b] - raw[b].floor();
+        fb.partial_cmp(&fa).expect("finite")
+    });
+    let mut cursor = 0;
+    while assigned < n {
+        counts[order[cursor % order.len()]] += 1;
+        assigned += 1;
+        cursor += 1;
+    }
+    Ok(counts)
+}
+
+/// Runs the SSA from an initial count vector up to `t_end`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for an empty population, a count
+/// vector of the wrong dimension, or a negative horizon; rate-function
+/// failures propagate as [`CoreError::InvalidRate`].
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_core::{LocalModel, Occupancy};
+/// use mfcsl_sim::ssa;
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = LocalModel::builder()
+///     .state("s", ["healthy"])
+///     .state("i", ["infected"])
+///     .transition("s", "i", |m: &Occupancy| 2.0 * m[1])?
+///     .constant_transition("i", "s", 1.0)?
+///     .build()?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let traj = ssa::simulate(&model, vec![90, 10], 5.0, &mut rng)?;
+/// assert_eq!(traj.population(), 100);
+/// let m5 = traj.occupancy_at(5.0);
+/// assert!((m5[0] + m5[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate<R: Rng + ?Sized>(
+    model: &LocalModel,
+    counts0: Vec<usize>,
+    t_end: f64,
+    rng: &mut R,
+) -> Result<CountTrajectory, CoreError> {
+    let (traj, _) = simulate_inner(model, counts0, None, t_end, rng)?;
+    Ok(traj)
+}
+
+/// A tagged object's piecewise-constant path inside a finite population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaggedPath {
+    /// Visited states.
+    pub states: Vec<usize>,
+    /// Entry times (parallel to `states`, first entry 0).
+    pub times: Vec<f64>,
+    /// End of the observation window.
+    pub t_end: f64,
+}
+
+impl TaggedPath {
+    /// The tagged object's state at time `t`.
+    #[must_use]
+    pub fn state_at(&self, t: f64) -> usize {
+        let i = match self.times.partition_point(|&x| x <= t) {
+            0 => 0,
+            p => p - 1,
+        };
+        self.states[i]
+    }
+
+    /// Iterates over `(state, entry, exit)` sojourns.
+    pub fn sojourns(&self) -> impl Iterator<Item = (usize, f64, f64)> + '_ {
+        (0..self.states.len()).map(move |i| {
+            let exit = if i + 1 < self.times.len() {
+                self.times[i + 1]
+            } else {
+                self.t_end
+            };
+            (self.states[i], self.times[i], exit)
+        })
+    }
+}
+
+/// Runs the SSA while following one *tagged* object starting in
+/// `tagged_state` — the finite-`N` realization of the paper's "random
+/// object within the overall system".
+///
+/// # Errors
+///
+/// As [`simulate`], plus [`CoreError::InvalidArgument`] if the tagged
+/// state has zero initial count.
+pub fn simulate_tagged<R: Rng + ?Sized>(
+    model: &LocalModel,
+    counts0: Vec<usize>,
+    tagged_state: usize,
+    t_end: f64,
+    rng: &mut R,
+) -> Result<(CountTrajectory, TaggedPath), CoreError> {
+    if tagged_state >= counts0.len() || counts0[tagged_state] == 0 {
+        return Err(CoreError::InvalidArgument(format!(
+            "tagged state {tagged_state} has no objects in the initial counts"
+        )));
+    }
+    let (traj, tagged) = simulate_inner(model, counts0, Some(tagged_state), t_end, rng)?;
+    Ok((traj, tagged.expect("tagged path requested")))
+}
+
+fn simulate_inner<R: Rng + ?Sized>(
+    model: &LocalModel,
+    counts0: Vec<usize>,
+    tagged_state: Option<usize>,
+    t_end: f64,
+    rng: &mut R,
+) -> Result<(CountTrajectory, Option<TaggedPath>), CoreError> {
+    let k = model.n_states();
+    if counts0.len() != k {
+        return Err(CoreError::InvalidArgument(format!(
+            "count vector has {} entries, model has {k} states",
+            counts0.len()
+        )));
+    }
+    let n: usize = counts0.iter().sum();
+    if n == 0 {
+        return Err(CoreError::InvalidArgument(
+            "population must be nonempty".into(),
+        ));
+    }
+    if !(t_end >= 0.0) || !t_end.is_finite() {
+        return Err(CoreError::InvalidArgument(format!(
+            "horizon must be finite and non-negative, got {t_end}"
+        )));
+    }
+
+    let mut counts = counts0;
+    let mut t = 0.0;
+    let mut times = vec![0.0];
+    let mut count_log = vec![counts.clone()];
+    let mut tagged = tagged_state;
+    let mut tagged_states = tagged.map(|s| vec![s]);
+    let mut tagged_times = tagged.map(|_| vec![0.0]);
+
+    let mut q = Matrix::zeros(k, k);
+    loop {
+        let m = Occupancy::project(counts.iter().map(|&c| c as f64 / n as f64).collect())?;
+        // Validate rates through the checked entry point once per event.
+        let q_checked = model.generator_at(&m)?;
+        q.as_mut_slice().copy_from_slice(q_checked.as_slice());
+        // Aggregate reaction rates: a_(s,j) = c_s * q_sj.
+        let mut total = 0.0;
+        for s in 0..k {
+            if counts[s] == 0 {
+                continue;
+            }
+            for j in 0..k {
+                if j != s {
+                    total += counts[s] as f64 * q[(s, j)];
+                }
+            }
+        }
+        if total <= 0.0 {
+            break; // frozen configuration
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() / total;
+        if t >= t_end {
+            break;
+        }
+        // Pick the reaction.
+        let mut pick = rng.gen_range(0.0..total);
+        let mut chosen = None;
+        'outer: for s in 0..k {
+            if counts[s] == 0 {
+                continue;
+            }
+            for j in 0..k {
+                if j == s {
+                    continue;
+                }
+                let a = counts[s] as f64 * q[(s, j)];
+                if a <= 0.0 {
+                    continue;
+                }
+                if pick < a {
+                    chosen = Some((s, j));
+                    break 'outer;
+                }
+                pick -= a;
+            }
+        }
+        let Some((s, j)) = chosen else { break };
+        counts[s] -= 1;
+        counts[j] += 1;
+        // Was it the tagged object? Each of the c_s objects in s is equally
+        // likely to be the one that jumped.
+        if let Some(ts) = tagged {
+            if ts == s && rng.gen_range(0.0..1.0) < 1.0 / (counts[s] + 1) as f64 {
+                tagged = Some(j);
+                tagged_states.as_mut().expect("tagged").push(j);
+                tagged_times.as_mut().expect("tagged").push(t);
+            }
+        }
+        times.push(t);
+        count_log.push(counts.clone());
+    }
+
+    let traj = CountTrajectory {
+        n,
+        times,
+        counts: count_log,
+        t_end,
+    };
+    let tagged_path = tagged_states.map(|states| TaggedPath {
+        states,
+        times: tagged_times.expect("tagged"),
+        t_end,
+    });
+    Ok((traj, tagged_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sis() -> LocalModel {
+        LocalModel::builder()
+            .state("s", ["healthy"])
+            .state("i", ["infected"])
+            .transition("s", "i", |m: &Occupancy| 2.0 * m[1])
+            .unwrap()
+            .constant_transition("i", "s", 1.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn counts_from_occupancy_rounds_exactly() {
+        let m = Occupancy::new(vec![0.8, 0.15, 0.05]).unwrap();
+        let c = counts_from_occupancy(&m, 100).unwrap();
+        assert_eq!(c, vec![80, 15, 5]);
+        let c = counts_from_occupancy(&m, 7).unwrap();
+        assert_eq!(c.iter().sum::<usize>(), 7);
+        assert!(counts_from_occupancy(&m, 0).is_err());
+    }
+
+    #[test]
+    fn population_is_conserved() {
+        let model = sis();
+        let mut rng = StdRng::seed_from_u64(3);
+        let traj = simulate(&model, vec![50, 50], 10.0, &mut rng).unwrap();
+        for &t in &[0.0, 1.0, 5.0, 10.0] {
+            assert_eq!(traj.counts_at(t).iter().sum::<usize>(), 100);
+        }
+        assert_eq!(traj.population(), 100);
+        assert!(traj.n_events() > 0);
+    }
+
+    #[test]
+    fn frozen_population_stops() {
+        // All healthy, no infected: SIS has zero rates (infection needs
+        // m_i > 0).
+        let model = sis();
+        let mut rng = StdRng::seed_from_u64(3);
+        let traj = simulate(&model, vec![100, 0], 10.0, &mut rng).unwrap();
+        assert_eq!(traj.n_events(), 0);
+        assert_eq!(traj.occupancy_at(10.0)[0], 1.0);
+    }
+
+    #[test]
+    fn large_population_tracks_mean_field() {
+        // Mean-field SIS infected fraction at t=2 from i0=0.1:
+        // 0.5/(1+4e^{-2}) ≈ 0.3252. Average 40 runs of N=2000.
+        let model = sis();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut acc = 0.0;
+        let runs = 40;
+        for _ in 0..runs {
+            let traj = simulate(&model, vec![1800, 200], 2.0, &mut rng).unwrap();
+            acc += traj.occupancy_at(2.0)[1];
+        }
+        let est = acc / runs as f64;
+        let exact = 0.5 / (1.0 + 4.0 * (-2.0_f64).exp());
+        assert!(
+            (est - exact).abs() < 0.01,
+            "finite-N estimate {est} vs mean-field {exact}"
+        );
+    }
+
+    #[test]
+    fn tagged_object_jump_rate_matches_local_model() {
+        // With constant recovery rate 1, a tagged infected object should
+        // leave within t=1 with probability 1-e^{-1} regardless of N.
+        let model = sis();
+        let mut rng = StdRng::seed_from_u64(11);
+        let runs = 4000;
+        let mut recovered = 0;
+        for _ in 0..runs {
+            let (_, path) = simulate_tagged(&model, vec![10, 40], 1, 1.0, &mut rng).unwrap();
+            // Did the tagged object leave state 1 at least once?
+            if path.states.len() > 1 && path.times[1] <= 1.0 {
+                recovered += 1;
+            }
+        }
+        let est = recovered as f64 / runs as f64;
+        let exact = 1.0 - (-1.0_f64).exp();
+        assert!(
+            (est - exact).abs() < 0.03,
+            "tagged recovery estimate {est} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn tagged_path_accessors() {
+        let p = TaggedPath {
+            states: vec![0, 1],
+            times: vec![0.0, 2.0],
+            t_end: 5.0,
+        };
+        assert_eq!(p.state_at(1.9), 0);
+        assert_eq!(p.state_at(2.0), 1);
+        let soj: Vec<_> = p.sojourns().collect();
+        assert_eq!(soj, vec![(0, 0.0, 2.0), (1, 2.0, 5.0)]);
+    }
+
+    #[test]
+    fn validation() {
+        let model = sis();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(simulate(&model, vec![1], 1.0, &mut rng).is_err());
+        assert!(simulate(&model, vec![0, 0], 1.0, &mut rng).is_err());
+        assert!(simulate(&model, vec![1, 1], -1.0, &mut rng).is_err());
+        assert!(simulate_tagged(&model, vec![1, 0], 1, 1.0, &mut rng).is_err());
+        assert!(simulate_tagged(&model, vec![1, 0], 7, 1.0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Evaluating botnet countermeasures with MF-CSL.
+//!
+//! Compares an aggressive botnet against a well-defended network: endemic
+//! steady-state levels (the `ES` operator), the window during which the
+//! botnet is considered dangerous, and the chance that a clean machine
+//! survives a deadline — the style of question the paper's botnet
+//! reference [6] asks.
+//!
+//! Run with `cargo run --example botnet_takedown`.
+
+use mfcsl::core::fixedpoint::{self, FixedPointOptions};
+use mfcsl::core::mfcsl::{parse_formula, Checker};
+use mfcsl::core::Occupancy;
+use mfcsl::models::botnet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m0 = Occupancy::new(vec![0.90, 0.07, 0.03])?;
+    for (name, params) in [
+        ("aggressive botnet", botnet::aggressive()),
+        ("defended network", botnet::defended()),
+    ] {
+        println!("══ {name}: {params:?} ══");
+        let model = botnet::model(params)?;
+        let checker = Checker::new(&model);
+
+        // Fixed-point landscape.
+        let fps = fixedpoint::find_all(&model, 12, 7, &FixedPointOptions::default())?;
+        for fp in &fps {
+            println!(
+                "fixed point m̃ = {} ({:?}, spectral abscissa {:+.4})",
+                fp.occupancy, fp.stability, fp.spectral_abscissa
+            );
+        }
+
+        // Long-run infection level from m0.
+        match checker.check(&parse_formula("ES{>0.25}[ infected ]")?, &m0) {
+            Ok(v) => println!(
+                "steady state has >25% infected: {}",
+                if v.holds() { "yes" } else { "no" }
+            ),
+            Err(e) => println!("steady-state query not answerable: {e}"),
+        }
+
+        // Danger window: more than 5% of machines working as bots.
+        let danger = parse_formula("E{>0.05}[ working ]")?;
+        let cs = checker.csat(&danger, &m0, 40.0)?;
+        println!("danger window (>5% working bots): {cs}");
+
+        // Survival of a clean machine over a 5-unit deadline, evaluated now.
+        let survive = parse_formula("EP{<0.5}[ clean U[0,5] infected ]")?;
+        let v = checker.check(&survive, &m0)?;
+        println!(
+            "less than half of current exposure leads to infection within 5: {}\n",
+            if v.holds() { "yes" } else { "no" }
+        );
+    }
+    Ok(())
+}

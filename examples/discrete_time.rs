@@ -1,0 +1,62 @@
+//! Discrete-time mean-field checking (the paper's Sec. II-B remark).
+//!
+//! A synchronous-round gossip protocol: in every round an ignorant node
+//! hears the rumor with probability proportional to the spreading
+//! fraction, and a spreader gets stifled when it contacts another informed
+//! node. The discrete layer answers the same questions as the continuous
+//! one, with step-indexed bounds.
+//!
+//! Run with `cargo run --release --example discrete_time`.
+
+use mfcsl::core::discrete::DiscreteLocalModel;
+use mfcsl::core::Occupancy;
+use mfcsl::csl::Comparison;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let model = DiscreteLocalModel::builder()
+        .state("ignorant", ["ignorant"])
+        .state("spreading", ["informed", "spreading"])
+        .state("stifled", ["informed", "stifled"])
+        .transition("ignorant", "spreading", |m: &Occupancy| {
+            (0.8 * m[1]).min(1.0)
+        })?
+        .transition("spreading", "stifled", |m: &Occupancy| {
+            (0.4 * (m[1] + m[2])).min(1.0)
+        })?
+        .build()?;
+
+    let m0 = Occupancy::new(vec![0.95, 0.05, 0.0])?;
+    let rounds = 60;
+    let traj = model.iterate(&m0, rounds)?;
+
+    println!("round-synchronous gossip, occupancy per round:");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "round", "ignorant", "spread", "stifled"
+    );
+    for k in [0usize, 5, 10, 20, 40, 60] {
+        let m = traj.occupancy_at(k);
+        println!("{k:>6} {:>10.4} {:>10.4} {:>10.4}", m[0], m[1], m[2]);
+    }
+
+    // Discrete EP: probability that a random ignorant node learns the
+    // rumor within 5 rounds, evaluated at round k.
+    let sat1 = model.sat_ap("ignorant")?;
+    let sat2 = model.sat_ap("informed")?;
+    println!("\nEP(ignorant U[0,5] informed) per evaluation round:");
+    for k in [0usize, 5, 10, 20, 40] {
+        let ep = model.expected_until(&traj, k, &sat1, &sat2, 0, 5)?;
+        println!("  round {k:>2}: {ep:.4}");
+    }
+
+    // Discrete cSat: rounds at which the expected value is below 0.9.
+    let steps = model.csat_expected_until(&traj, 50, &sat1, &sat2, 0, 5, Comparison::Lt, 0.9)?;
+    println!(
+        "\nrounds in [0, 50] where EP(ignorant U[0,5] informed) < 0.9: {} of 51",
+        steps.len()
+    );
+    if let (Some(first), Some(last)) = (steps.first(), steps.last()) {
+        println!("  (from round {first} to round {last})");
+    }
+    Ok(())
+}

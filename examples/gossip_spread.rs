@@ -1,0 +1,52 @@
+//! MF-CSL analysis of a push–pull gossip protocol.
+//!
+//! Answers protocol-design questions with MF-CSL: when has the rumor
+//! reached a majority? What is the chance a random ignorant node learns it
+//! within one round-trip time? Does the rumor ever die out?
+//!
+//! Run with `cargo run --example gossip_spread`.
+
+use mfcsl::core::mfcsl::{parse_formula, Checker};
+use mfcsl::core::Occupancy;
+use mfcsl::csl::parse_path_formula;
+use mfcsl::models::gossip;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = gossip::default_params();
+    let model = gossip::model(params)?;
+    // One initial spreader per twenty nodes.
+    let m0 = Occupancy::new(vec![0.95, 0.05, 0.0])?;
+    let checker = Checker::new(&model);
+
+    println!("push–pull gossip, {params:?}");
+    println!("initial occupancy: {m0}\n");
+
+    // When is a majority informed?
+    let majority = parse_formula("E{>=0.5}[ informed ]")?;
+    let cs = checker.csat(&majority, &m0, 30.0)?;
+    println!("majority informed during: {cs}");
+
+    // When is the network actively spreading (at least 10% spreaders)?
+    let active = parse_formula("E{>=0.1}[ spreading ]")?;
+    let cs = checker.csat(&active, &m0, 30.0)?;
+    println!("≥10% of nodes actively spreading during: {cs}");
+
+    // Probability that a random node gets informed within Δ = 2.
+    let path = parse_path_formula("ignorant U[0,2] informed")?;
+    let curve = checker.ep_curve(&path, &m0, 20.0)?;
+    println!("\nexpected probability of learning the rumor within 2 time units:");
+    for t in [0.0, 2.0, 5.0, 10.0, 20.0] {
+        println!(
+            "  evaluated at t = {t:>4}: EP = {:.4}   (informed fraction {:.4})",
+            curve.expected_at(t),
+            1.0 - curve.occupancy_at(t)[gossip::IGNORANT],
+        );
+    }
+
+    // The rumor eventually stops spreading: the spreader fraction sinks
+    // below every positive bound.
+    let quiet = parse_formula("E{<0.01}[ spreading ]")?;
+    let cs = checker.csat(&quiet, &m0, 30.0)?;
+    println!("\nspreading below 1% during: {cs}");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build the paper's virus model and check MF-CSL formulas.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use mfcsl::core::mfcsl::{parse_formula, Checker};
+use mfcsl::models::virus;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The running example of the paper (Fig. 2, Table II Setting 1): a
+    // computer is not-infected, infected-inactive, or infected-active; the
+    // infection rate depends on the fraction of active spreaders.
+    let params = virus::setting_1();
+    let model = virus::model(params, virus::InfectionLaw::SmartVirus)?;
+    println!("local model states: {:?}", model.state_names());
+    println!("atomic propositions: {:?}", model.labeling().alphabet());
+
+    // The occupancy vector of the paper's worked example: 80% healthy,
+    // 15% inactive infected, 5% active infected.
+    let m0 = virus::example_occupancy()?;
+    println!("\ninitial occupancy m̄ = {m0}");
+
+    let checker = Checker::new(&model);
+
+    // The three formulas of the paper's Example 2.
+    let formulas = [
+        // "the system is infected" (more than 80% of machines infected)
+        "E{>0.8}[ infected ]",
+        // "in steady state at least 10% of machines are infected"
+        "ES{>=0.1}[ infected ]",
+        // "a random infected machine recovers within 5 time units with
+        //  probability below 40%"
+        "EP{<0.4}[ infected U[0,5] not_infected ]",
+    ];
+    println!();
+    for text in formulas {
+        let psi = parse_formula(text)?;
+        let verdict = checker.check(&psi, &m0)?;
+        println!(
+            "m̄ ⊨ {text:<45} : {}{}",
+            if verdict.holds() { "holds" } else { "fails" },
+            if verdict.is_marginal() {
+                "  (marginal)"
+            } else {
+                ""
+            },
+        );
+    }
+
+    // Conditional satisfaction set: at which times does the formula hold
+    // along the mean-field trajectory?
+    let psi = parse_formula("E{<0.25}[ infected ]")?;
+    let csat = checker.csat(&psi, &m0, 20.0)?;
+    println!("\ncSat(E{{<0.25}}[ infected ], m̄, 20) = {csat}");
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! The paper's Section VI worked examples, end to end.
+//!
+//! Reproduces (with this library's standard CSL semantics — see
+//! EXPERIMENTS.md for the one documented deviation):
+//!
+//! 1. checking `EP{<0.3}[ not_infected U[0,1] infected ]` against
+//!    `m̄ = (0.8, 0.15, 0.05)` under Table II Setting 1, including the
+//!    transient matrix `Π'(0,1)` of the modified chain;
+//! 2. the conditional satisfaction set of the same formula on `[0, 20]`
+//!    (the paper reports `[0, 14.5412)` for the growing-epidemic variant);
+//! 3. the Setting-2 nested formula
+//!    `E{>0.8}[ P{>0.9}[ infected U[0,15] Φ₁ ] ] & E{<0.1}[ active ]` with
+//!    `Φ₁ = P{>0.8}[ tt U[0,0.5] infected ]`, including the inner
+//!    satisfaction-set discontinuity the paper locates at `t ≈ 10.443`.
+//!
+//! Run with `cargo run --example virus_outbreak`.
+
+use mfcsl::core::meanfield;
+use mfcsl::core::mfcsl::{parse_formula, Checker};
+use mfcsl::csl::checker::InhomogeneousChecker;
+use mfcsl::csl::{parse_path_formula, parse_state_formula, Tolerances};
+use mfcsl::ctmc::inhomogeneous::transition_matrix;
+use mfcsl::models::virus;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    example_one()?;
+    example_csat()?;
+    example_nested()?;
+    Ok(())
+}
+
+/// Sec. VI, first example: checking the satisfaction relation.
+fn example_one() -> Result<(), Box<dyn std::error::Error>> {
+    println!("── Example 1: m̄ ⊨ EP{{<0.3}}[ not_infected U[0,1] infected ] ──");
+    let model = virus::model(virus::setting_1(), virus::InfectionLaw::SmartVirus)?;
+    let m0 = virus::example_occupancy()?;
+    let tol = Tolerances::default();
+
+    // Step 1+2 of the paper: solve the mean-field ODE and the forward
+    // Kolmogorov equation on the modified chain M[infected] (infected
+    // states absorbing).
+    let sol = meanfield::solve(&model, &m0, 1.0, &tol.ode)?;
+    let tv = sol.local_tv_model()?;
+    let masked = mfcsl::csl::until::MaskedGenerator::new(tv.generator(), vec![false, true, true])?;
+    let pi = transition_matrix(&masked, 0.0, 1.0, &tol.ode)?;
+    println!("Π'(0,1) on M[infected] (paper: [[0.91, 0.09, 0], …]):\n{pi}");
+
+    // Step 3: the weighted sum of Def. 6.
+    let checker = Checker::new(&model);
+    let path = parse_path_formula("not_infected U[0,1] infected")?;
+    let curve = checker.ep_curve(&path, &m0, 0.0)?;
+    let ep = curve.expected_at(0.0);
+    println!("per-state probabilities at t = 0:");
+    for s in 0..3 {
+        println!(
+            "  Prob(s{}, φ, m̄) = {:.6}",
+            s + 1,
+            curve.state_prob_at(s, 0.0)
+        );
+    }
+    println!("EP(φ) = Σ m_j·Prob(s_j) = {ep:.6}");
+    println!(
+        "paper's convention (healthy starters only): m₁·Prob(s₁) = {:.6}  (paper: 0.072)",
+        m0[0] * curve.state_prob_at(0, 0.0)
+    );
+    let psi = parse_formula("EP{<0.3}[ not_infected U[0,1] infected ]")?;
+    let verdict = checker.check(&psi, &m0)?;
+    println!(
+        "verdict: m̄ {} EP{{<0.3}}[…]\n",
+        if verdict.holds() { "⊨" } else { "⊭" },
+    );
+    Ok(())
+}
+
+/// Sec. VI, second computation: the conditional satisfaction set.
+fn example_csat() -> Result<(), Box<dyn std::error::Error>> {
+    println!("── Example 2: cSat(EP{{<0.3}}[ not_infected U[0,1] infected ], m̄, 20) ──");
+    let m0 = virus::example_occupancy()?;
+    let psi = parse_formula("EP{<0.3}[ not_infected U[0,1] infected ]")?;
+    for (name, params) in [
+        ("Table II Setting 1 (as printed)", virus::setting_1()),
+        ("Setting 1 with k2 ↔ k3 swapped", virus::setting_1_swapped()),
+    ] {
+        let model = virus::model(params, virus::InfectionLaw::SmartVirus)?;
+        let checker = Checker::new(&model);
+        let csat = checker.csat(&psi, &m0, 20.0)?;
+        println!("{name}: cSat = {csat}");
+    }
+    println!("(the paper reports [0, 14.5412) for its Figure 3 curve)\n");
+    Ok(())
+}
+
+/// Sec. VI, third example: the nested formula under Setting 2.
+fn example_nested() -> Result<(), Box<dyn std::error::Error>> {
+    println!("── Example 3 (Setting 2): nested until with a time-varying goal set ──");
+    let model = virus::model(virus::setting_2(), virus::InfectionLaw::SmartVirus)?;
+    let m0 = virus::example_occupancy_2()?;
+    let tol = Tolerances::default();
+
+    // The inner formula Φ₁ = P{>0.8}[ tt U[0,0.5] infected ]: its
+    // satisfaction set changes when the infection probability of a healthy
+    // machine crosses 0.8 (the paper locates this at t ≈ 10.443).
+    let sol = meanfield::solve(&model, &m0, 16.0, &tol.ode)?;
+    let tv = sol.local_tv_model()?;
+    let csl = InhomogeneousChecker::with_tolerances(&tv, tol);
+    let phi1 = parse_state_formula("P{>0.8}[ tt U[0,0.5] infected ]")?;
+    let sat = csl.sat_over_time(&phi1, 15.0)?;
+    println!(
+        "Sat(Φ₁, m̄, t) boundaries on [0, 15]: {:?}  (paper: {{10.443}})",
+        sat.boundaries()
+    );
+    println!("Sat(Φ₁) early: {:?}", sat.set_at(0.0));
+    println!("Sat(Φ₁) late:  {:?}", sat.set_at(14.9));
+
+    // The full MF-CSL conjunction of the paper.
+    let checker = Checker::new(&model);
+    let psi1 =
+        parse_formula("E{>0.8}[ P{>0.9}[ infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ] ] ]")?;
+    let psi2 = parse_formula("E{<0.1}[ active ]")?;
+    let v1 = checker.check(&psi1, &m0)?;
+    let v2 = checker.check(&psi2, &m0)?;
+    let both = checker.check(&psi1.clone().and(psi2.clone()), &m0)?;
+    println!("m̄ {} Ψ₁ (paper: ⊭)", if v1.holds() { "⊨" } else { "⊭" });
+    println!("m̄ {} Ψ₂ (paper: ⊨)", if v2.holds() { "⊨" } else { "⊭" });
+    println!(
+        "m̄ {} Ψ₁ ∧ Ψ₂ (paper: ⊭)",
+        if both.holds() { "⊨" } else { "⊭" },
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # mfcsl — model-checking mean-field models
+//!
+//! A reproduction of *“A logic for model-checking mean-field models”*
+//! (Kolesnichenko, de Boer, Remke, Haverkort — DSN 2013). This facade crate
+//! re-exports the public API of the workspace:
+//!
+//! * [`math`] — dense linear algebra, root finding, interval sets;
+//! * [`ode`] — initial-value ODE solvers with dense output and events;
+//! * [`ctmc`] — continuous-time Markov chain substrate;
+//! * [`csl`] — CSL model checking on homogeneous and time-inhomogeneous
+//!   chains;
+//! * [`core`] — mean-field models and the MF-CSL logic (the paper's
+//!   contribution);
+//! * [`sim`] — finite-`N` baselines: exact simulation and the explicit
+//!   lumped CTMC;
+//! * [`models`] — ready-made example models, including the paper's
+//!   virus-spread running example.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mfcsl::core::mfcsl::parse_formula;
+//! use mfcsl::core::Occupancy;
+//! use mfcsl::models::virus;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's running example (Fig. 2, Table II Setting 1).
+//! let model = virus::model(virus::setting_1(), virus::InfectionLaw::SmartVirus)?;
+//! let m0 = Occupancy::new(vec![0.8, 0.15, 0.05])?;
+//!
+//! // "the expected probability that a random computer goes from
+//! //  not-infected to infected within 1 time unit is below 30%"
+//! let psi = parse_formula("EP{<0.3}[ not_infected U[0,1] infected ]")?;
+//! let checker = mfcsl::core::mfcsl::Checker::new(&model);
+//! let verdict = checker.check(&psi, &m0)?;
+//! assert!(verdict.holds());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use mfcsl_core as core;
+pub use mfcsl_csl as csl;
+pub use mfcsl_ctmc as ctmc;
+pub use mfcsl_math as math;
+pub use mfcsl_models as models;
+pub use mfcsl_ode as ode;
+pub use mfcsl_sim as sim;

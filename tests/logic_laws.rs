@@ -1,0 +1,212 @@
+//! Property-based integration tests: logical laws of MF-CSL and CSL that
+//! must hold for *any* model, occupancy and formula — checked on randomly
+//! generated inputs spanning the whole pipeline.
+
+use mfcsl::core::mfcsl::{Checker, MfFormula};
+use mfcsl::core::{LocalModel, Occupancy};
+use mfcsl::csl::{Comparison, PathFormula, StateFormula, TimeInterval, Tolerances};
+use proptest::prelude::*;
+
+/// A random 3-state model with occupancy-coupled rates, parameterized so
+/// rates stay bounded and smooth.
+fn arb_model() -> impl Strategy<Value = LocalModel> {
+    (proptest::collection::vec(0.05_f64..2.0, 6), 0.0_f64..1.5).prop_map(|(rates, coupling)| {
+        let (r0, r2) = (rates[0], rates[2]);
+        LocalModel::builder()
+            .state("a", ["low"])
+            .state("b", ["mid"])
+            .state("c", ["high"])
+            .transition("a", "b", move |m: &Occupancy| r0 + coupling * m[2])
+            .expect("no self-loop")
+            .constant_transition("b", "a", rates[1])
+            .expect("valid")
+            .transition("b", "c", move |m: &Occupancy| r2 + coupling * m[0])
+            .expect("no self-loop")
+            .constant_transition("c", "b", rates[3])
+            .expect("valid")
+            .constant_transition("c", "a", rates[4])
+            .expect("valid")
+            .constant_transition("a", "c", rates[5])
+            .expect("valid")
+            .build()
+            .expect("valid model")
+    })
+}
+
+fn arb_occupancy() -> impl Strategy<Value = Occupancy> {
+    proptest::collection::vec(0.01_f64..1.0, 3)
+        .prop_map(|v| Occupancy::project(v).expect("positive entries"))
+}
+
+fn arb_cmp() -> impl Strategy<Value = Comparison> {
+    prop_oneof![
+        Just(Comparison::Le),
+        Just(Comparison::Lt),
+        Just(Comparison::Gt),
+        Just(Comparison::Ge),
+    ]
+}
+
+/// A small random MF-CSL formula over the `low`/`mid`/`high` alphabet.
+fn arb_formula() -> impl Strategy<Value = MfFormula> {
+    let atom = prop_oneof![Just("low"), Just("mid"), Just("high")];
+    let leaf = (arb_cmp(), 0.05_f64..0.95, atom.clone(), proptest::bool::ANY)
+        .prop_map(|(cmp, p, ap, use_until)| {
+            if use_until {
+                MfFormula::expect_path(
+                    cmp,
+                    p,
+                    PathFormula::until(
+                        StateFormula::True,
+                        TimeInterval::bounded_by(1.0).expect("valid"),
+                        StateFormula::ap(ap),
+                    ),
+                )
+                .expect("valid bound")
+            } else {
+                MfFormula::expect(cmp, p, StateFormula::ap(ap)).expect("valid bound")
+            }
+        })
+        .boxed();
+    (leaf.clone(), leaf, proptest::bool::ANY).prop_map(
+        |(a, b, conj)| {
+            if conj {
+                a.and(b)
+            } else {
+                a.or(b)
+            }
+        },
+    )
+}
+
+fn fast() -> Tolerances {
+    Tolerances::fast()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Excluded middle: exactly one of Ψ and ¬Ψ holds.
+    #[test]
+    fn prop_excluded_middle(model in arb_model(), m0 in arb_occupancy(), psi in arb_formula()) {
+        let checker = Checker::with_tolerances(&model, fast());
+        let v = checker.check(&psi, &m0).unwrap();
+        let vn = checker.check(&psi.clone().not(), &m0).unwrap();
+        prop_assert_ne!(v.holds(), vn.holds());
+    }
+
+    /// De Morgan on verdicts: ¬(A ∧ B) ⇔ ¬A ∨ ¬B.
+    #[test]
+    fn prop_de_morgan_verdicts(
+        model in arb_model(),
+        m0 in arb_occupancy(),
+        a in arb_formula(),
+        b in arb_formula(),
+    ) {
+        let checker = Checker::with_tolerances(&model, fast());
+        let lhs = checker
+            .check(&a.clone().and(b.clone()).not(), &m0)
+            .unwrap()
+            .holds();
+        let rhs = checker
+            .check(&a.clone().not().or(b.clone().not()), &m0)
+            .unwrap()
+            .holds();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// cSat respects boolean structure pointwise along the window.
+    #[test]
+    fn prop_csat_pointwise(
+        model in arb_model(),
+        m0 in arb_occupancy(),
+        a in arb_formula(),
+        b in arb_formula(),
+    ) {
+        let checker = Checker::with_tolerances(&model, fast());
+        let theta = 4.0;
+        let ca = checker.csat(&a, &m0, theta).unwrap();
+        let cb = checker.csat(&b, &m0, theta).unwrap();
+        let cand = checker.csat(&a.clone().and(b.clone()), &m0, theta).unwrap();
+        let cor = checker.csat(&a.clone().or(b.clone()), &m0, theta).unwrap();
+        // Sample away from interval endpoints (numerical crossing location
+        // can differ by the root tolerance between runs).
+        for i in 0..=16 {
+            let t = theta * i as f64 / 16.0;
+            let near_edge = [&ca, &cb, &cand, &cor].iter().any(|s| {
+                s.intervals().iter().any(|iv| {
+                    (iv.lo().value - t).abs() < 1e-3 || (iv.hi().value - t).abs() < 1e-3
+                })
+            });
+            if near_edge {
+                continue;
+            }
+            prop_assert_eq!(cand.contains(t), ca.contains(t) && cb.contains(t), "AND at t = {}", t);
+            prop_assert_eq!(cor.contains(t), ca.contains(t) || cb.contains(t), "OR at t = {}", t);
+        }
+    }
+
+    /// The verdict at m̄ agrees with cSat membership at t = 0.
+    #[test]
+    fn prop_check_is_csat_at_zero(
+        model in arb_model(),
+        m0 in arb_occupancy(),
+        psi in arb_formula(),
+    ) {
+        let checker = Checker::with_tolerances(&model, fast());
+        let v = checker.check(&psi, &m0).unwrap();
+        if v.is_marginal() {
+            // Within numerical noise of a bound: membership at 0 may
+            // legitimately differ between the two computations.
+            return Ok(());
+        }
+        let cs = checker.csat(&psi, &m0, 0.0).unwrap();
+        prop_assert_eq!(v.holds(), cs.contains(0.0));
+    }
+
+    /// Until probabilities are monotone in the time bound and within [0,1].
+    #[test]
+    fn prop_until_monotone_in_bound(
+        model in arb_model(),
+        m0 in arb_occupancy(),
+        t1 in 0.2_f64..1.0,
+    ) {
+        let sol = mfcsl::core::meanfield::solve(
+            &model, &m0, 2.0 * t1, &fast().ode,
+        ).unwrap();
+        let tv = sol.local_tv_model().unwrap();
+        let checker = mfcsl::csl::checker::InhomogeneousChecker::with_tolerances(&tv, fast());
+        let path_short = PathFormula::until(
+            StateFormula::True,
+            TimeInterval::bounded_by(t1).unwrap(),
+            StateFormula::ap("high"),
+        );
+        let path_long = PathFormula::until(
+            StateFormula::True,
+            TimeInterval::bounded_by(2.0 * t1).unwrap(),
+            StateFormula::ap("high"),
+        );
+        let p_short = checker.path_probabilities(&path_short).unwrap();
+        let p_long = checker.path_probabilities(&path_long).unwrap();
+        for (s, (a, b)) in p_short.iter().zip(&p_long).enumerate() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(a), "state {}: {}", s, a);
+            prop_assert!(*b >= *a - 1e-7, "state {}: short {} long {}", s, a, b);
+        }
+    }
+
+    /// E-operator values are exactly occupancy masses: E{>=f}[ap] holds
+    /// iff the mass of the ap-states is at least f.
+    #[test]
+    fn prop_e_operator_is_mass(
+        model in arb_model(),
+        m0 in arb_occupancy(),
+        f in 0.05_f64..0.95,
+    ) {
+        let checker = Checker::with_tolerances(&model, fast());
+        let psi = MfFormula::expect(Comparison::Ge, f, StateFormula::ap("mid")).unwrap();
+        let v = checker.check(&psi, &m0).unwrap();
+        if (m0[1] - f).abs() > 1e-9 {
+            prop_assert_eq!(v.holds(), m0[1] >= f);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! End-to-end reproduction of the paper's Section VI worked examples.
+//!
+//! Quantities that depend only on the stated parameters are asserted
+//! against hand-derived values; quantities where the paper's printed
+//! numbers are not reproducible from its stated parameters are asserted
+//! for *shape* (see EXPERIMENTS.md for the paper-vs-measured table).
+
+use mfcsl::core::meanfield;
+use mfcsl::core::mfcsl::{parse_formula, Checker};
+use mfcsl::csl::checker::InhomogeneousChecker;
+use mfcsl::csl::until::MaskedGenerator;
+use mfcsl::csl::{parse_path_formula, parse_state_formula, Tolerances};
+use mfcsl::ctmc::inhomogeneous::transition_matrix;
+use mfcsl::math::quad::adaptive_simpson;
+use mfcsl::models::virus;
+
+fn tight() -> Tolerances {
+    let mut t = Tolerances::default();
+    t.ode = t.ode.with_tolerances(1e-11, 1e-13);
+    t
+}
+
+/// Example 1, step 2: the transient matrix `Π'(0,1)` of `M[infected]`.
+/// The survival probability of `s1` is `exp(-∫₀¹ k₁ m₃(τ)/m₁(τ) dτ)`,
+/// which we verify against independent quadrature over the mean-field
+/// trajectory.
+#[test]
+fn example1_transient_matrix_matches_quadrature() {
+    let model = virus::model(virus::setting_1(), virus::InfectionLaw::SmartVirus).unwrap();
+    let m0 = virus::example_occupancy().unwrap();
+    let tol = tight();
+    let sol = meanfield::solve(&model, &m0, 1.0, &tol.ode).unwrap();
+    let tv = sol.local_tv_model().unwrap();
+    let masked = MaskedGenerator::new(tv.generator(), vec![false, true, true]).unwrap();
+    let pi = transition_matrix(&masked, 0.0, 1.0, &tol.ode).unwrap();
+
+    // Independent quadrature of the integrated infection rate.
+    let integral = adaptive_simpson(
+        |t| {
+            let m = sol.occupancy_at(t);
+            0.9 * m[2] / m[0]
+        },
+        0.0,
+        1.0,
+        1e-12,
+    )
+    .unwrap();
+    let survival = (-integral).exp();
+    assert!(
+        (pi[(0, 0)] - survival).abs() < 1e-8,
+        "kolmogorov {} vs quadrature {survival}",
+        pi[(0, 0)]
+    );
+    // Infected rows are absorbing.
+    assert!((pi[(1, 1)] - 1.0).abs() < 1e-10);
+    assert!((pi[(2, 2)] - 1.0).abs() < 1e-10);
+    // Row sums are stochastic.
+    for i in 0..3 {
+        assert!((pi.row(i).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}
+
+/// Example 1, step 3: the satisfaction verdict. Both under standard CSL
+/// semantics (infected states satisfy the until immediately) and under the
+/// paper's healthy-starters-only reading, the formula holds.
+#[test]
+fn example1_verdict_holds_under_both_conventions() {
+    let model = virus::model(virus::setting_1(), virus::InfectionLaw::SmartVirus).unwrap();
+    let m0 = virus::example_occupancy().unwrap();
+    let checker = Checker::with_tolerances(&model, tight());
+    let psi = parse_formula("EP{<0.3}[ not_infected U[0,1] infected ]").unwrap();
+    assert!(checker.check(&psi, &m0).unwrap().holds());
+
+    let path = parse_path_formula("not_infected U[0,1] infected").unwrap();
+    let curve = checker.ep_curve(&path, &m0, 0.0).unwrap();
+    // Standard semantics: EP = m1·p1 + m2·1 + m3·1.
+    let p1 = curve.state_prob_at(0, 0.0);
+    let ep = curve.expected_at(0.0);
+    assert!((ep - (0.8 * p1 + 0.15 + 0.05)).abs() < 1e-9);
+    assert!(ep < 0.3);
+    // Paper's convention: only the healthy starters contribute.
+    assert!(0.8 * p1 < 0.3);
+    // Infected states satisfy the until with probability one.
+    assert!((curve.state_prob_at(1, 0.0) - 1.0).abs() < 1e-9);
+    assert!((curve.state_prob_at(2, 0.0) - 1.0).abs() < 1e-9);
+}
+
+/// The Figure-3 construction: the paper-convention expected probability
+/// `m₁(t)·Prob(s₁, φ, m̄, t)` crosses 0.3 from below exactly once for the
+/// growing-epidemic variant, and never for Table II Setting 1 as printed.
+#[test]
+fn figure3_crossing_shape() {
+    let m0 = virus::example_occupancy().unwrap();
+    let path = parse_path_formula("not_infected U[0,1] infected").unwrap();
+
+    let crossing_count = |params: virus::Params| -> usize {
+        let model = virus::model(params, virus::InfectionLaw::SmartVirus).unwrap();
+        let checker = Checker::with_tolerances(&model, Tolerances::default());
+        let theta = 15.0;
+        let curve = checker.ep_curve(&path, &m0, theta).unwrap();
+        let mut count = 0;
+        let mut prev = curve.expected_at(0.0) - 0.3;
+        for i in 1..=300 {
+            let v = curve.expected_at(i as f64 * theta / 300.0) - 0.3;
+            if prev.signum() != v.signum() {
+                count += 1;
+            }
+            prev = v;
+        }
+        count
+    };
+    assert_eq!(
+        crossing_count(virus::setting_1()),
+        0,
+        "printed Setting 1 decays; no upward crossing"
+    );
+    assert_eq!(
+        crossing_count(virus::setting_1_swapped()),
+        1,
+        "swapped Setting 1 grows and its EP curve crosses 0.3 exactly once (paper shape)"
+    );
+}
+
+/// Example 3 (Setting 2): the nested formula's final verdicts match the
+/// paper: `m̄ ⊭ Ψ₁`, `m̄ ⊨ E{<0.1}[active]`, conjunction fails.
+#[test]
+fn example3_nested_verdicts() {
+    let model = virus::model(virus::setting_2(), virus::InfectionLaw::SmartVirus).unwrap();
+    let m0 = virus::example_occupancy_2().unwrap();
+    let checker = Checker::with_tolerances(&model, Tolerances::default());
+    let psi1 =
+        parse_formula("E{>0.8}[ P{>0.9}[ infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ] ] ]")
+            .unwrap();
+    let psi2 = parse_formula("E{<0.1}[ active ]").unwrap();
+    assert!(!checker.check(&psi1, &m0).unwrap().holds(), "paper: ⊭ Ψ₁");
+    assert!(checker.check(&psi2, &m0).unwrap().holds(), "paper: ⊨ Ψ₂");
+    assert!(
+        !checker.check(&psi1.clone().and(psi2), &m0).unwrap().holds(),
+        "paper: conjunction fails"
+    );
+}
+
+/// Example 3: the per-state probabilities of the outer until are
+/// `(0, 1, 1)` — infected states are already in the goal set, the healthy
+/// state cannot take an `infected U … ` path at all.
+#[test]
+fn example3_outer_until_probabilities() {
+    let model = virus::model(virus::setting_2(), virus::InfectionLaw::SmartVirus).unwrap();
+    let m0 = virus::example_occupancy_2().unwrap();
+    let tol = Tolerances::default();
+    let horizon = 15.5;
+    let sol = meanfield::solve(&model, &m0, horizon, &tol.ode).unwrap();
+    let tv = sol.local_tv_model().unwrap();
+    let csl = InhomogeneousChecker::with_tolerances(&tv, tol);
+    let path = parse_path_formula("infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ]").unwrap();
+    let probs = csl.path_probabilities(&path).unwrap();
+    assert!(
+        probs[0].abs() < 1e-9,
+        "paper: Prob(s1) = 0, got {}",
+        probs[0]
+    );
+    assert!((probs[1] - 1.0).abs() < 1e-9, "paper: Prob(s2) = 1");
+    assert!((probs[2] - 1.0).abs() < 1e-9, "paper: Prob(s3) = 1");
+}
+
+/// Example 2 of Sec. III: the three illustrative formulas all parse and
+/// evaluate.
+#[test]
+fn section3_example_formulas_evaluate() {
+    let model = virus::model(virus::setting_1(), virus::InfectionLaw::SmartVirus).unwrap();
+    let m0 = virus::example_occupancy().unwrap();
+    let checker = Checker::with_tolerances(&model, Tolerances::default());
+    for text in [
+        "E{>0.8}[ infected ]",
+        "ES{>=0.1}[ infected ]",
+        "EP{<0.4}[ infected U[0,5] not_infected ]",
+    ] {
+        let psi = parse_formula(text).unwrap();
+        let _ = checker.check(&psi, &m0).unwrap();
+    }
+    // E{>0.8}[infected] fails at 20% infected.
+    let psi = parse_formula("E{>0.8}[ infected ]").unwrap();
+    assert!(!checker.check(&psi, &m0).unwrap().holds());
+}
+
+/// The cSat of the paper's Figure-3 formula: with the printed Setting 1
+/// the formula holds on all of [0, 20]; with the growing variant it holds
+/// on a left half-open window `[0, τ)` (the paper's [0, 14.5412) shape).
+#[test]
+fn csat_shapes_for_figure3_formula() {
+    let m0 = virus::example_occupancy().unwrap();
+    let psi = parse_formula("EP{<0.3}[ not_infected U[0,1] infected ]").unwrap();
+
+    let model = virus::model(virus::setting_1(), virus::InfectionLaw::SmartVirus).unwrap();
+    let checker = Checker::with_tolerances(&model, Tolerances::default());
+    let cs = checker.csat(&psi, &m0, 20.0).unwrap();
+    assert_eq!(cs.measure(), 20.0, "printed setting: holds everywhere");
+
+    let model = virus::model(virus::setting_1_swapped(), virus::InfectionLaw::SmartVirus).unwrap();
+    let checker = Checker::with_tolerances(&model, Tolerances::default());
+    let cs = checker.csat(&psi, &m0, 20.0).unwrap();
+    assert_eq!(cs.intervals().len(), 1, "one left window: {cs}");
+    let iv = cs.intervals()[0];
+    assert_eq!(iv.lo().value, 0.0);
+    assert!(iv.lo().closed);
+    assert!(!iv.hi().closed, "strict < excludes the crossing instant");
+    assert!(iv.hi().value > 0.0 && iv.hi().value < 20.0);
+}
+
+/// The inner formula of Example 3 under the swapped Setting 2 variant:
+/// when the epidemic explodes, a satisfaction-set discontinuity appears
+/// inside the window, exercising the ζ/s* machinery end to end.
+#[test]
+fn example3_discontinuity_appears_for_growing_variant() {
+    // Swap k2/k3 in Setting 2 as well — the stronger activation makes the
+    // infection probability of a healthy machine cross 0.8 inside [0, 15].
+    let params = virus::Params {
+        k1: 5.0,
+        k2: 0.01,
+        k3: 0.02,
+        k4: 0.5,
+        k5: 0.5,
+    };
+    let model = virus::model(params, virus::InfectionLaw::SmartVirus).unwrap();
+    let m0 = virus::example_occupancy_2().unwrap();
+    let tol = Tolerances::default();
+    let sol = meanfield::solve(&model, &m0, 16.0, &tol.ode).unwrap();
+    let tv = sol.local_tv_model().unwrap();
+    let csl = InhomogeneousChecker::with_tolerances(&tv, tol);
+    let phi1 = parse_state_formula("P{>0.8}[ tt U[0,0.5] infected ]").unwrap();
+    let sat = csl.sat_over_time(&phi1, 15.0).unwrap();
+    // s2/s3 are always in; whether s1 joins depends on the trajectory.
+    assert_eq!(sat.set_at(0.0), &[false, true, true]);
+    if sat.boundaries().is_empty() {
+        // Even without a crossing the machinery must agree with the
+        // single-until answer; nothing more to assert here.
+        return;
+    }
+    assert_eq!(sat.boundaries().len(), 1);
+    let b = sat.boundaries()[0];
+    assert!(b > 0.0 && b < 15.0);
+    assert_eq!(sat.set_at(b + 1e-6), &[true, true, true]);
+}
