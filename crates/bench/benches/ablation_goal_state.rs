@@ -1,5 +1,5 @@
 //! Ablation: the paper's single fresh goal state `s*` vs the state-space
-//! doubling of its reference [14] (Ext-C in DESIGN.md).
+//! doubling of its reference \[14\] (Ext-C in DESIGN.md).
 //!
 //! Sec. IV-C argues the doubling "increases the computational complexity
 //! and does not add any extra information": the matrix Kolmogorov

@@ -7,7 +7,7 @@
 use std::fmt::Write as _;
 
 use mfcsl_core::fixedpoint::{self, FixedPointOptions};
-use mfcsl_core::mfcsl::{parse_formula, Checker};
+use mfcsl_core::mfcsl::{parse_formula, CheckSession, EngineStats, MfFormula, SolveKind};
 use mfcsl_core::{meanfield, LocalModel, Occupancy};
 use mfcsl_csl::Tolerances;
 use mfcsl_ode::OdeOptions;
@@ -83,28 +83,52 @@ pub fn info(
     Ok(out)
 }
 
-/// `mfcsl check <model> --m0 … "<formula>"`.
+/// `mfcsl check <model> --m0 … [--fast] [--stats] "<formula>"…`.
+///
+/// All formulas of the invocation are checked through one memoizing
+/// [`CheckSession`], so they share the mean-field trajectory (solved once
+/// to the batch's maximum horizon), the per-subformula CSL caches, and
+/// the stationary regime. `--stats` appends the session's counters.
 ///
 /// # Errors
 ///
 /// Propagates parse/check failures as [`CliError`].
-pub fn check(model: &LocalModel, m0: &Occupancy, formula: &str) -> Result<String, CliError> {
-    let psi = parse_formula(formula)?;
-    let verdict = Checker::new(model).check(&psi, m0)?;
-    Ok(format!(
-        "{} {} {}{}",
-        m0,
-        if verdict.holds() { "⊨" } else { "⊭" },
-        psi,
-        if verdict.is_marginal() {
-            "   (marginal: value within numerical margin of the bound)"
-        } else {
-            ""
-        }
-    ))
+pub fn check(
+    model: &LocalModel,
+    m0: &Occupancy,
+    formulas: &[String],
+    fast: bool,
+    show_stats: bool,
+) -> Result<String, CliError> {
+    let psis = parse_formulas(formulas)?;
+    let session = session(model, fast);
+    let verdicts = session.check_all(&psis, m0)?;
+    let mut out = String::new();
+    for (psi, verdict) in psis.iter().zip(&verdicts) {
+        writeln!(
+            out,
+            "{} {} {}{}{}",
+            m0,
+            if verdict.holds() { "⊨" } else { "⊭" },
+            psi,
+            if verdict.is_marginal() {
+                "   (marginal: value within numerical margin of the bound)"
+            } else {
+                ""
+            },
+            if fast { " (fast tolerances)" } else { "" },
+        )
+        .expect("write to string");
+    }
+    if show_stats {
+        out.push_str(&format_stats(&session.stats()));
+    }
+    Ok(out)
 }
 
-/// `mfcsl csat <model> --m0 … --theta T "<formula>"`.
+/// `mfcsl csat <model> --m0 … --theta T [--stats] "<formula>"…`.
+///
+/// Like [`check`], all formulas share one [`CheckSession`].
 ///
 /// # Errors
 ///
@@ -113,14 +137,93 @@ pub fn csat(
     model: &LocalModel,
     m0: &Occupancy,
     theta: f64,
-    formula: &str,
+    formulas: &[String],
+    show_stats: bool,
 ) -> Result<String, CliError> {
-    let psi = parse_formula(formula)?;
-    let set = Checker::new(model).csat(&psi, m0, theta)?;
-    Ok(format!(
-        "cSat({psi}, {m0}, {theta}) = {set}   (measure {:.6})",
-        set.measure()
-    ))
+    let psis = parse_formulas(formulas)?;
+    let session = session(model, false);
+    let mut out = String::new();
+    for psi in &psis {
+        let set = session.csat(psi, m0, theta)?;
+        writeln!(
+            out,
+            "cSat({psi}, {m0}, {theta}) = {set}   (measure {:.6})",
+            set.measure()
+        )
+        .expect("write to string");
+    }
+    if show_stats {
+        out.push_str(&format_stats(&session.stats()));
+    }
+    Ok(out)
+}
+
+fn parse_formulas(formulas: &[String]) -> Result<Vec<MfFormula>, CliError> {
+    formulas
+        .iter()
+        .map(|f| parse_formula(f).map_err(CliError::from))
+        .collect()
+}
+
+fn session(model: &LocalModel, fast: bool) -> CheckSession<'_> {
+    if fast {
+        CheckSession::with_tolerances(model, Tolerances::fast())
+    } else {
+        CheckSession::new(model)
+    }
+}
+
+/// Renders a session's [`EngineStats`] as the `--stats` block.
+fn format_stats(stats: &EngineStats) -> String {
+    let mut out = String::from("engine statistics:\n");
+    writeln!(
+        out,
+        "  trajectories: {} solved, {} extended, {} reused",
+        stats.trajectory_solves, stats.trajectory_extensions, stats.trajectory_reuses
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "  stationary regimes: {} solved, {} reused",
+        stats.regime_solves, stats.regime_reuses
+    )
+    .expect("write to string");
+    let c = &stats.cache;
+    writeln!(
+        out,
+        "  interned formulas: {} state, {} path",
+        c.interned_state_formulas, c.interned_path_formulas
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "  sat sets: {} hits, {} misses ({} cached)",
+        c.set_hits, c.set_misses, c.cached_sets
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "  prob curves: {} hits, {} misses ({} cached)",
+        c.curve_hits, c.curve_misses, c.cached_curves
+    )
+    .expect("write to string");
+    for s in &stats.solves {
+        writeln!(
+            out,
+            "  {} [{:.3}, {:.3}]: {} steps, {} rhs evals, {:.3} ms",
+            match s.kind {
+                SolveKind::Fresh => "solve ",
+                SolveKind::Extension => "extend",
+            },
+            s.t_from,
+            s.t_to,
+            s.ode_steps,
+            s.rhs_evals,
+            s.wall.as_secs_f64() * 1e3
+        )
+        .expect("write to string");
+    }
+    out
 }
 
 /// `mfcsl trajectory <model> --m0 … --t-end T [--points N]` — CSV of the
@@ -178,23 +281,6 @@ pub fn fixed_points(model: &LocalModel) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// Checks a formula at a list of evaluation settings and tolerances —
-/// exercised by `check --fast`.
-///
-/// # Errors
-///
-/// Propagates failures as [`CliError`].
-pub fn check_fast(model: &LocalModel, m0: &Occupancy, formula: &str) -> Result<String, CliError> {
-    let psi = parse_formula(formula)?;
-    let verdict = Checker::with_tolerances(model, Tolerances::fast()).check(&psi, m0)?;
-    Ok(format!(
-        "{} {} {} (fast tolerances)",
-        m0,
-        if verdict.holds() { "⊨" } else { "⊭" },
-        psi
-    ))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,25 +319,49 @@ rate i -> s : gamma
         assert!(text.contains("healthy"));
     }
 
+    fn one(f: &str) -> Vec<String> {
+        vec![f.to_string()]
+    }
+
     #[test]
     fn check_and_fast_agree() {
         let (model, _) = sis();
         let m0 = parse_occupancy("0.9,0.1").unwrap();
-        let a = check(&model, &m0, "E{<0.2}[ infected ]").unwrap();
-        let b = check_fast(&model, &m0, "E{<0.2}[ infected ]").unwrap();
+        let a = check(&model, &m0, &one("E{<0.2}[ infected ]"), false, false).unwrap();
+        let b = check(&model, &m0, &one("E{<0.2}[ infected ]"), true, false).unwrap();
         assert!(a.contains('⊨'));
         assert!(b.contains('⊨'));
-        let c = check(&model, &m0, "E{>0.2}[ infected ]").unwrap();
+        assert!(b.contains("fast tolerances"));
+        let c = check(&model, &m0, &one("E{>0.2}[ infected ]"), false, false).unwrap();
         assert!(c.contains('⊭'));
+    }
+
+    #[test]
+    fn check_batch_shares_one_session() {
+        let (model, _) = sis();
+        let m0 = parse_occupancy("0.9,0.1").unwrap();
+        let formulas = vec![
+            "E{<0.2}[ infected ]".to_string(),
+            "EP{>0}[ tt U[0,2] infected ]".to_string(),
+            "EP{>0}[ tt U[0,2] infected ]".to_string(),
+        ];
+        let out = check(&model, &m0, &formulas, false, true).unwrap();
+        assert_eq!(out.matches('⊨').count(), 3, "{out}");
+        assert!(out.contains("engine statistics:"), "{out}");
+        assert!(out.contains("trajectories: 1 solved, 0 extended"), "{out}");
+        // The repeated formula hits the curve cache.
+        assert!(out.contains("prob curves: 1 hits, 1 misses"), "{out}");
     }
 
     #[test]
     fn csat_reports_interval() {
         let (model, _) = sis();
         let m0 = parse_occupancy("0.9,0.1").unwrap();
-        let text = csat(&model, &m0, 10.0, "E{<0.3}[ infected ]").unwrap();
+        let text = csat(&model, &m0, 10.0, &one("E{<0.3}[ infected ]"), false).unwrap();
         assert!(text.contains("cSat"));
         assert!(text.contains("measure"));
+        let text = csat(&model, &m0, 10.0, &one("E{<0.3}[ infected ]"), true).unwrap();
+        assert!(text.contains("engine statistics:"), "{text}");
     }
 
     #[test]
@@ -277,9 +387,9 @@ rate i -> s : gamma
     fn errors_are_messages() {
         let (model, _) = sis();
         let m0 = parse_occupancy("0.9,0.1").unwrap();
-        let err = check(&model, &m0, "E{>2}[ infected ]").unwrap_err();
+        let err = check(&model, &m0, &one("E{>2}[ infected ]"), false, false).unwrap_err();
         assert!(err.to_string().contains("[0, 1]"));
-        let err = check(&model, &m0, "E{>0.5}[ ghost ]").unwrap_err();
+        let err = check(&model, &m0, &one("E{>0.5}[ ghost ]"), false, false).unwrap_err();
         assert!(err.to_string().contains("ghost"));
     }
 }

@@ -19,8 +19,8 @@ mfcsl — MF-CSL model checker for mean-field models
 
 USAGE:
   mfcsl info <model.mf>
-  mfcsl check <model.mf> --m0 <fractions> [--fast] \"<mf-csl formula>\"
-  mfcsl csat <model.mf> --m0 <fractions> --theta <T> \"<mf-csl formula>\"
+  mfcsl check <model.mf> --m0 <fractions> [--fast] [--stats] \"<formula>\"...
+  mfcsl csat <model.mf> --m0 <fractions> --theta <T> [--stats] \"<formula>\"...
   mfcsl trajectory <model.mf> --m0 <fractions> --t-end <T> [--points <N>]
   mfcsl fixed-points <model.mf>
 
@@ -28,6 +28,9 @@ USAGE:
   Formulas use the MF-CSL text syntax, e.g.
       EP{<0.3}[ not_infected U[0,1] infected ]
       E{>0.8}[ P{>0.9}[ infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ] ] ]
+  All formulas of one invocation share a single analysis session (one
+  mean-field solve, shared satisfaction-set and curve caches); --stats
+  prints the session's cache counters and per-solve timings.
 ";
 
 fn main() -> ExitCode {
@@ -62,7 +65,8 @@ fn run(args: Vec<String>) -> Result<String, CliError> {
     let mut t_end: Option<f64> = None;
     let mut points: usize = 101;
     let mut fast = false;
-    let mut formula: Option<String> = None;
+    let mut stats = false;
+    let mut formulas: Vec<String> = Vec::new();
     let rest: Vec<String> = args.collect();
     let mut i = 0;
     while i < rest.len() {
@@ -102,14 +106,15 @@ fn run(args: Vec<String>) -> Result<String, CliError> {
                 fast = true;
                 i += 1;
             }
+            "--stats" => {
+                stats = true;
+                i += 1;
+            }
             other if other.starts_with("--") => {
                 return Err(CliError(format!("unknown flag `{other}`")));
             }
             _ => {
-                if formula.is_some() {
-                    return Err(CliError(format!("unexpected argument `{}`", rest[i])));
-                }
-                formula = Some(rest[i].clone());
+                formulas.push(rest[i].clone());
                 i += 1;
             }
         }
@@ -121,28 +126,24 @@ fn run(args: Vec<String>) -> Result<String, CliError> {
                 .ok_or_else(|| CliError("--m0 is required for this command".into()))?,
         )
     };
-    let need_formula = || -> Result<String, CliError> {
-        formula
-            .clone()
-            .ok_or_else(|| CliError("a formula argument is required".into()))
+    let need_formulas = || -> Result<&[String], CliError> {
+        if formulas.is_empty() {
+            Err(CliError("a formula argument is required".into()))
+        } else {
+            Ok(&formulas)
+        }
     };
 
     match command.as_str() {
         "info" => commands::info(&model, file.params()),
         "check" => {
             let m0 = need_m0()?;
-            let f = need_formula()?;
-            if fast {
-                commands::check_fast(&model, &m0, &f)
-            } else {
-                commands::check(&model, &m0, &f)
-            }
+            commands::check(&model, &m0, need_formulas()?, fast, stats)
         }
         "csat" => {
             let m0 = need_m0()?;
-            let f = need_formula()?;
             let theta = theta.ok_or_else(|| CliError("--theta is required for csat".into()))?;
-            commands::csat(&model, &m0, theta, &f)
+            commands::csat(&model, &m0, theta, need_formulas()?, stats)
         }
         "trajectory" => {
             let m0 = need_m0()?;

@@ -62,6 +62,25 @@ fn check_fast_flag() {
 }
 
 #[test]
+fn check_many_formulas_with_stats() {
+    let out = run_ok(&[
+        "check",
+        &modelfile("sis.mf"),
+        "--m0",
+        "0.9,0.1",
+        "--stats",
+        "E{<0.2}[ infected ]",
+        "EP{>0}[ tt U[0,2] infected ]",
+        "ES{>0.45}[ infected ]",
+    ]);
+    assert_eq!(out.matches('⊨').count(), 3, "{out}");
+    assert!(out.contains("engine statistics:"), "{out}");
+    // One session for the whole invocation: a single mean-field solve.
+    assert!(out.contains("trajectories: 1 solved, 0 extended"), "{out}");
+    assert!(out.contains("rhs evals"), "{out}");
+}
+
+#[test]
 fn csat_reports_the_logistic_crossing() {
     let out = run_ok(&[
         "csat",

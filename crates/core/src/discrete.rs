@@ -3,7 +3,7 @@
 //! Sec. II-B of the paper notes that "all the results in the present paper
 //! can easily be adapted to discrete-time mean-field models", whose local
 //! model is a DTMC with occupancy-dependent transition probabilities
-//! (Bakhshi et al., the paper's reference [4]). This module carries out
+//! (Bakhshi et al., the paper's reference \[4\]). This module carries out
 //! that adaptation:
 //!
 //! * [`DiscreteLocalModel`] — `K` labeled states and transition

@@ -3,7 +3,7 @@
 //! The stationary occupancy `m̃` solves `m̃·Q(m̃) = 0` on the simplex. It is
 //! found by damped Newton iteration in reduced coordinates (the last
 //! fraction is eliminated through `Σ m_j = 1`) and classified by the
-//! spectrum of the reduced Jacobian: the paper (and its reference [17])
+//! spectrum of the reduced Jacobian: the paper (and its reference \[17\])
 //! stresses that the fixed point approximates the steady state only for
 //! well-behaved models — [`Stability`] makes that check explicit.
 

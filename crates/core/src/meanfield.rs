@@ -79,6 +79,39 @@ impl<'a> OccupancyTrajectory<'a> {
             self.model.state_names().to_vec(),
         )
     }
+
+    /// Extends the trajectory to a longer horizon by solving only the new
+    /// segment `[t_end, new_t_end]`, restarting the integrator from the
+    /// exact (bitwise) final knot state.
+    ///
+    /// The already-solved knot data is kept untouched, so every evaluation
+    /// on the old range — and therefore every satisfaction set or
+    /// probability curve cached against it — remains bitwise identical.
+    /// A horizon at or below the current `t_end` returns the trajectory
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for a non-finite horizon and
+    /// propagates ODE failures from the segment solve.
+    pub fn extended_to(self, t_end: f64, options: &OdeOptions) -> Result<Self, CoreError> {
+        if !t_end.is_finite() {
+            return Err(CoreError::InvalidArgument(format!(
+                "horizon must be finite, got {t_end}"
+            )));
+        }
+        if t_end <= self.t_end() {
+            return Ok(self);
+        }
+        let t0 = self.t_end();
+        let y0 = self.trajectory.eval(t0);
+        let sys = mf_system(self.model);
+        let tail = Dopri5::new(*options).solve(&sys, t0, t_end, &y0)?;
+        Ok(OccupancyTrajectory {
+            model: self.model,
+            trajectory: self.trajectory.extended_with(&tail)?,
+        })
+    }
 }
 
 /// [`TimeVaryingGenerator`] adapter: evaluates `Q(m̄(t))` by reading the
@@ -151,7 +184,20 @@ pub fn solve<'a>(
             "horizon must be finite and non-negative, got {t_end}"
         )));
     }
-    let sys = ProjectedFnSystem::new(
+    let sys = mf_system(model);
+    let trajectory = Dopri5::new(*options).solve(&sys, 0.0, t_end, m0.as_slice())?;
+    Ok(OccupancyTrajectory { model, trajectory })
+}
+
+/// The mean-field ODE system `dm̄/dt = m̄·Q(m̄)` with simplex projection —
+/// shared by the fresh solve and the segment solve of
+/// [`OccupancyTrajectory::extended_to`], so both integrate exactly the same
+/// right-hand side.
+fn mf_system(
+    model: &LocalModel,
+) -> ProjectedFnSystem<impl Fn(f64, &[f64], &mut [f64]) + '_, impl Fn(f64, &mut [f64])> {
+    let n = model.n_states();
+    ProjectedFnSystem::new(
         n,
         move |_t: f64, y: &[f64], dy: &mut [f64]| {
             // The drift is m·Q(m); mid-step states may drift slightly off
@@ -173,9 +219,7 @@ pub fn solve<'a>(
         |_t: f64, y: &mut [f64]| {
             let _ = mfcsl_math::simplex::renormalize(y);
         },
-    );
-    let trajectory = Dopri5::new(*options).solve(&sys, 0.0, t_end, m0.as_slice())?;
-    Ok(OccupancyTrajectory { model, trajectory })
+    )
 }
 
 #[cfg(test)]
@@ -299,6 +343,47 @@ mod tests {
         let tv = sol.local_tv_model().unwrap();
         assert_eq!(tv.n_states(), 2);
         assert_eq!(tv.sat_ap("infected").unwrap(), vec![false, true]);
+    }
+
+    #[test]
+    fn extension_matches_single_solve_within_tolerance() {
+        // Solve to θ₁, extend to θ₂ — must agree with one fresh solve to θ₂
+        // within the ODE tolerance everywhere (the two take different step
+        // sequences past θ₁, so exact equality is not expected there).
+        let model = virus([0.9, 0.1, 0.01, 0.3, 0.3]);
+        let m0 = Occupancy::new(vec![0.85, 0.1, 0.05]).unwrap();
+        let options = OdeOptions::default().with_tolerances(1e-9, 1e-12);
+        let (theta1, theta2) = (4.0, 11.0);
+        let partial = solve(&model, &m0, theta1, &options).unwrap();
+        let prefix_sample = partial.trajectory().eval(2.3);
+        let extended = partial.extended_to(theta2, &options).unwrap();
+        assert_eq!(extended.t_end(), theta2);
+        // Extension left the old range bitwise untouched.
+        assert_eq!(extended.trajectory().eval(2.3), prefix_sample);
+        let fresh = solve(&model, &m0, theta2, &options).unwrap();
+        for i in 0..=22 {
+            let t = theta2 * f64::from(i) / 22.0;
+            let a = extended.occupancy_at(t);
+            let b = fresh.occupancy_at(t);
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((x - y).abs() < 1e-7, "t = {t}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn extension_noop_and_validation() {
+        let model = sis(2.0, 1.0);
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let options = OdeOptions::default();
+        let sol = solve(&model, &m0, 3.0, &options).unwrap();
+        let knots_before = sol.trajectory().knots().to_vec();
+        // Shorter or equal horizons are no-ops.
+        let sol = sol.extended_to(1.0, &options).unwrap();
+        assert_eq!(sol.trajectory().knots(), &knots_before[..]);
+        let sol = sol.extended_to(3.0, &options).unwrap();
+        assert_eq!(sol.trajectory().knots(), &knots_before[..]);
+        assert!(sol.extended_to(f64::NAN, &options).is_err());
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use mfcsl_csl::checker::{InhomogeneousChecker, ProbCurve};
 use mfcsl_csl::model::StationaryRegime;
 use mfcsl_csl::nested::PiecewiseStateSet;
-use mfcsl_csl::{homogeneous, PathFormula, StateFormula, Tolerances};
+use mfcsl_csl::{homogeneous, PathFormula, SatCache, StateFormula, Tolerances};
 
 use crate::fixedpoint::{self, FixedPointOptions, Stability};
 use crate::meanfield::{self, OccupancyTrajectory, TrajectoryGenerator};
@@ -136,11 +136,15 @@ impl<'a> Checker<'a> {
         let solution = self.solve(psi, m0, 0.0)?;
         let tv = self.tv_model(&solution, psi, m0)?;
         let csl = InhomogeneousChecker::with_tolerances(&tv, self.tol);
-        self.eval(psi, &csl, m0)
+        self.eval(None, psi, &csl, m0)
     }
 
-    fn eval(
+    /// Evaluates `psi` against an already-built CSL checker, optionally
+    /// memoizing CSL-layer results in `cache` (the analysis engine's
+    /// entry point; `Checker::check` passes `None`).
+    pub(crate) fn eval(
         &self,
+        cache: Option<&SatCache>,
         psi: &MfFormula,
         csl: &InhomogeneousChecker<'_, TrajectoryGenerator<'_>>,
         m0: &Occupancy,
@@ -148,23 +152,23 @@ impl<'a> Checker<'a> {
         match psi {
             MfFormula::True => Ok(Verdict::decided(true)),
             MfFormula::Not(inner) => {
-                let v = self.eval(inner, csl, m0)?;
+                let v = self.eval(cache, inner, csl, m0)?;
                 Ok(Verdict {
                     holds: !v.holds,
                     marginal: v.marginal,
                 })
             }
             MfFormula::And(a, b) => {
-                let va = self.eval(a, csl, m0)?;
-                let vb = self.eval(b, csl, m0)?;
+                let va = self.eval(cache, a, csl, m0)?;
+                let vb = self.eval(cache, b, csl, m0)?;
                 Ok(Verdict {
                     holds: va.holds && vb.holds,
                     marginal: va.marginal || vb.marginal,
                 })
             }
             MfFormula::Or(a, b) => {
-                let va = self.eval(a, csl, m0)?;
-                let vb = self.eval(b, csl, m0)?;
+                let va = self.eval(cache, a, csl, m0)?;
+                let vb = self.eval(cache, b, csl, m0)?;
                 Ok(Verdict {
                     holds: va.holds || vb.holds,
                     marginal: va.marginal || vb.marginal,
@@ -172,13 +176,19 @@ impl<'a> Checker<'a> {
             }
             MfFormula::Expect { cmp, p, inner } => {
                 // Σ_j m_j · Ind(s_j ⊨ Φ) ⋈ p.
-                let sat = csl.sat(inner)?;
+                let sat = match cache {
+                    Some(c) => csl.sat_cached(c, inner)?,
+                    None => csl.sat(inner)?,
+                };
                 let value = m0.mass_of(&sat);
                 Ok(Verdict::compare(value, *cmp, *p, self.tol.margin))
             }
             MfFormula::ExpectPath { cmp, p, path } => {
                 // Σ_j m_j · Prob(s_j, φ, m̄) ⋈ p.
-                let probs = csl.path_probabilities(path)?;
+                let probs = match cache {
+                    Some(c) => csl.path_probabilities_cached(c, path)?,
+                    None => csl.path_probabilities(path)?,
+                };
                 let value: f64 = m0
                     .as_slice()
                     .iter()
@@ -289,14 +299,26 @@ impl<'a> Checker<'a> {
     }
 
     /// Solves the mean-field trajectory far enough for `psi` evaluated
-    /// anywhere in `[0, theta]`.
+    /// anywhere in `[0, theta]`: the horizon is `theta` plus the maximum
+    /// over all (nested) until/next windows of `psi`, so one solve covers
+    /// every operator of the formula.
     pub(crate) fn solve(
         &self,
         psi: &MfFormula,
         m0: &Occupancy,
         theta: f64,
     ) -> Result<OccupancyTrajectory<'a>, CoreError> {
-        let horizon = theta + psi.time_horizon();
+        self.solve_to(m0, theta + psi.time_horizon())
+    }
+
+    /// Solves the mean-field trajectory over `[0, horizon]` (shared by
+    /// [`Checker::solve`] and the analysis engine, so both integrate the
+    /// exact same system with the same options).
+    pub(crate) fn solve_to(
+        &self,
+        m0: &Occupancy,
+        horizon: f64,
+    ) -> Result<OccupancyTrajectory<'a>, CoreError> {
         meanfield::solve(self.model, m0, horizon, &self.tol.ode)
     }
 

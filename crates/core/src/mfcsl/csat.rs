@@ -8,7 +8,7 @@
 //! `∧` is intersection, `¬` is complement within `[0, θ]`.
 
 use mfcsl_csl::checker::InhomogeneousChecker;
-use mfcsl_csl::{homogeneous, Comparison};
+use mfcsl_csl::{homogeneous, Comparison, SatCache};
 use mfcsl_math::roots::brent;
 use mfcsl_math::{Interval, IntervalSet};
 
@@ -65,11 +65,14 @@ impl Checker<'_> {
         let solution = self.solve(psi, m0, theta)?;
         let tv = self.tv_model(&solution, psi, m0)?;
         let csl = InhomogeneousChecker::with_tolerances(&tv, *self.tolerances());
-        self.csat_rec(psi, &csl, &solution, theta)
+        self.csat_rec(None, psi, &csl, &solution, theta)
     }
 
-    fn csat_rec(
+    /// The recursion behind [`Checker::csat`], with an optional CSL-layer
+    /// memo cache (used by the analysis engine; `csat` passes `None`).
+    pub(crate) fn csat_rec(
         &self,
+        cache: Option<&SatCache>,
         psi: &MfFormula,
         csl: &InhomogeneousChecker<'_, TrajectoryGenerator<'_>>,
         solution: &OccupancyTrajectory<'_>,
@@ -78,29 +81,35 @@ impl Checker<'_> {
         match psi {
             MfFormula::True => Ok(full_window(theta)),
             MfFormula::Not(inner) => Ok(self
-                .csat_rec(inner, csl, solution, theta)?
+                .csat_rec(cache, inner, csl, solution, theta)?
                 .complement(0.0, theta)
                 .map_err(CoreError::Math)?),
             MfFormula::And(a, b) => {
-                let sa = self.csat_rec(a, csl, solution, theta)?;
-                let sb = self.csat_rec(b, csl, solution, theta)?;
+                let sa = self.csat_rec(cache, a, csl, solution, theta)?;
+                let sb = self.csat_rec(cache, b, csl, solution, theta)?;
                 Ok(sa.intersect(&sb))
             }
             MfFormula::Or(a, b) => {
-                let sa = self.csat_rec(a, csl, solution, theta)?;
-                let sb = self.csat_rec(b, csl, solution, theta)?;
+                let sa = self.csat_rec(cache, a, csl, solution, theta)?;
+                let sb = self.csat_rec(cache, b, csl, solution, theta)?;
                 Ok(sa.union(&sb))
             }
             MfFormula::Expect { cmp, p, inner } => {
                 // Table I row 1: Σ_j m_j(t) · Ind(s_j ⊨ Φ at t) ⋈ p, with
                 // jump points where the satisfaction set changes.
-                let sat = csl.sat_over_time(inner, theta)?;
+                let sat = match cache {
+                    Some(c) => csl.sat_over_time_cached(c, inner, theta)?,
+                    None => std::rc::Rc::new(csl.sat_over_time(inner, theta)?),
+                };
                 let value = |t: f64| solution.occupancy_at(t).mass_of(sat.set_at(t));
                 self.threshold_intervals(&value, sat.boundaries(), *cmp, *p, theta)
             }
             MfFormula::ExpectPath { cmp, p, path } => {
                 // Table I row 3: Σ_j m_j(t) · Prob(s_j, φ, m̄, t) ⋈ p.
-                let curve = csl.path_prob_curve(path, theta)?;
+                let curve = match cache {
+                    Some(c) => csl.path_prob_curve_cached(c, path, theta)?,
+                    None => std::rc::Rc::new(csl.path_prob_curve(path, theta)?),
+                };
                 let value = move |t: f64| -> f64 {
                     let m = solution.occupancy_at(t);
                     let probs = curve.probs_at(t);

@@ -1,0 +1,547 @@
+//! The memoizing analysis engine: [`CheckSession`].
+//!
+//! A session owns every expensive intermediate artifact produced while
+//! checking MF-CSL formulas against one [`LocalModel`], and shares them
+//! across formulas:
+//!
+//! * **Mean-field trajectories** — solved once per initial occupancy (the
+//!   cache key is the bit pattern of `m̄(0)`; tolerances are fixed per
+//!   session) and *extended in place* when a later formula needs a longer
+//!   horizon, restarting the integrator from the final knot instead of
+//!   re-solving from `t = 0`. Extension keeps the already-solved prefix
+//!   bitwise identical, which is what keeps the CSL-layer memo entries
+//!   below valid after the horizon grows.
+//! * **CSL satisfaction sets and probability curves** — one
+//!   [`SatCache`] per trajectory entry hash-conses
+//!   every CSL subformula and memoizes the per-subformula
+//!   [`PiecewiseStateSet`](mfcsl_csl::nested::PiecewiseStateSet)s and
+//!   [`ProbCurve`]s, so operators shared between formulas (or repeated
+//!   within one) are developed once.
+//! * **Stationary regimes** — the fixed point reached from each initial
+//!   occupancy and the chain frozen at it, computed once per `m̄(0)` for
+//!   all `ES` operators.
+//!
+//! Cached checks run the *same code* as the uncached [`Checker`] — the
+//! cache is threaded as an `Option` through one shared implementation —
+//! so a session's verdicts, interval sets, and curves are bitwise
+//! identical to an uncached checker handed the same trajectory, and
+//! repeated queries are bitwise identical to the first.
+//!
+//! [`EngineStats`] exposes hit/miss counters, ODE work, and per-solve
+//! wall times; the CLI surfaces them behind `--stats`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use mfcsl_csl::checker::{InhomogeneousChecker, ProbCurve};
+use mfcsl_csl::model::StationaryRegime;
+use mfcsl_csl::{CacheStats, PathFormula, SatCache, Tolerances};
+use mfcsl_math::IntervalSet;
+
+use crate::meanfield::OccupancyTrajectory;
+use crate::mfcsl::check::{Checker, Verdict};
+use crate::mfcsl::syntax::MfFormula;
+use crate::{CoreError, LocalModel, Occupancy};
+
+/// How a recorded mean-field ODE integration came about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveKind {
+    /// A full solve from `t = 0` for a new initial occupancy.
+    Fresh,
+    /// An extension of an existing trajectory to a longer horizon.
+    Extension,
+}
+
+/// One mean-field ODE integration performed by a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolveRecord {
+    /// Fresh solve or extension.
+    pub kind: SolveKind,
+    /// Integration start time (`0` for fresh solves, the previous horizon
+    /// for extensions).
+    pub t_from: f64,
+    /// Integration end time (the new trajectory horizon).
+    pub t_to: f64,
+    /// Accepted integrator steps in this integration.
+    pub ode_steps: usize,
+    /// Right-hand-side evaluations in this integration.
+    pub rhs_evals: usize,
+    /// Wall-clock time of the integration.
+    pub wall: Duration,
+}
+
+/// Snapshot of a session's counters, taken by [`CheckSession::stats`].
+///
+/// The counters themselves are plain [`Cell`]s bumped on each event, so
+/// keeping statistics costs nothing when nobody asks for them; building
+/// this snapshot is the only allocating operation.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Full mean-field solves from `t = 0`.
+    pub trajectory_solves: u64,
+    /// In-place trajectory extensions to a longer horizon.
+    pub trajectory_extensions: u64,
+    /// Queries served by an already-long-enough trajectory.
+    pub trajectory_reuses: u64,
+    /// Stationary regimes computed (one settle + Newton polish each).
+    pub regime_solves: u64,
+    /// `ES` queries served by a cached stationary regime.
+    pub regime_reuses: u64,
+    /// CSL-layer cache counters, aggregated over all trajectory entries.
+    pub cache: CacheStats,
+    /// Every ODE integration performed, in order.
+    pub solves: Vec<SolveRecord>,
+}
+
+struct Entry<'a> {
+    trajectory: OccupancyTrajectory<'a>,
+    cache: SatCache,
+}
+
+/// A memoizing checking session over one model: the `AnalysisEngine` of
+/// the stack.
+///
+/// All methods take `&self`; the caches use interior mutability. The
+/// session is deliberately `!Sync` — clone the underlying model into
+/// separate sessions for parallel fan-out.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_core::mfcsl::{parse_formula, CheckSession};
+/// use mfcsl_core::{LocalModel, Occupancy};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let model = LocalModel::builder()
+///     .state("s", ["healthy"])
+///     .state("i", ["infected"])
+///     .transition("s", "i", |m: &Occupancy| 2.0 * m[1])?
+///     .constant_transition("i", "s", 1.0)?
+///     .build()?;
+/// let session = CheckSession::new(&model);
+/// let m0 = Occupancy::new(vec![0.9, 0.1])?;
+/// // Both formulas share one trajectory solve and the CSL work for
+/// // the common `infected` subformula:
+/// assert!(session.check(&parse_formula("E{<0.2}[ infected ]")?, &m0)?.holds());
+/// assert!(session.check(&parse_formula("EP{>0.1}[ tt U[0,2] infected ]")?, &m0)?.holds());
+/// assert_eq!(session.stats().trajectory_solves, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CheckSession<'a> {
+    checker: Checker<'a>,
+    entries: RefCell<HashMap<Vec<u64>, Entry<'a>>>,
+    regimes: RefCell<HashMap<Vec<u64>, StationaryRegime>>,
+    trajectory_solves: Cell<u64>,
+    trajectory_extensions: Cell<u64>,
+    trajectory_reuses: Cell<u64>,
+    regime_solves: Cell<u64>,
+    regime_reuses: Cell<u64>,
+    solves: RefCell<Vec<SolveRecord>>,
+}
+
+impl<'a> CheckSession<'a> {
+    /// Creates a session with default tolerances.
+    #[must_use]
+    pub fn new(model: &'a LocalModel) -> Self {
+        CheckSession::from_checker(Checker::new(model))
+    }
+
+    /// Creates a session with explicit tolerances.
+    #[must_use]
+    pub fn with_tolerances(model: &'a LocalModel, tol: Tolerances) -> Self {
+        CheckSession::from_checker(Checker::with_tolerances(model, tol))
+    }
+
+    /// Wraps an already-configured checker (settle time, tolerances).
+    #[must_use]
+    pub fn from_checker(checker: Checker<'a>) -> Self {
+        CheckSession {
+            checker,
+            entries: RefCell::new(HashMap::new()),
+            regimes: RefCell::new(HashMap::new()),
+            trajectory_solves: Cell::new(0),
+            trajectory_extensions: Cell::new(0),
+            trajectory_reuses: Cell::new(0),
+            regime_solves: Cell::new(0),
+            regime_reuses: Cell::new(0),
+            solves: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// The underlying (uncached) checker.
+    #[must_use]
+    pub fn checker(&self) -> &Checker<'a> {
+        &self.checker
+    }
+
+    /// The model under analysis.
+    #[must_use]
+    pub fn model(&self) -> &'a LocalModel {
+        self.checker.model()
+    }
+
+    /// Checks `m̄ ⊨ Ψ`, reusing every applicable cached artifact.
+    ///
+    /// # Errors
+    ///
+    /// See [`Checker::check`].
+    pub fn check(&self, psi: &MfFormula, m0: &Occupancy) -> Result<Verdict, CoreError> {
+        let key = self.ensure_trajectory(m0, psi.time_horizon())?;
+        let entries = self.entries.borrow();
+        let entry = entries.get(&key).expect("entry ensured above");
+        let mut tv = entry.trajectory.local_tv_model()?;
+        if psi.requires_stationary() {
+            tv = tv.with_stationary(self.stationary_regime(m0)?)?;
+        }
+        let csl = InhomogeneousChecker::with_tolerances(&tv, *self.checker.tolerances());
+        self.checker.eval(Some(&entry.cache), psi, &csl, m0)
+    }
+
+    /// Checks a batch of formulas against one occupancy vector.
+    ///
+    /// The trajectory horizon is taken as the maximum over the whole batch
+    /// *up front*, so the mean-field ODE is solved to its final length
+    /// once instead of being grown formula by formula.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first formula that fails; see [`Checker::check`].
+    pub fn check_all(
+        &self,
+        psis: &[MfFormula],
+        m0: &Occupancy,
+    ) -> Result<Vec<Verdict>, CoreError> {
+        let horizon = psis.iter().map(MfFormula::time_horizon).fold(0.0, f64::max);
+        if !psis.is_empty() {
+            self.ensure_trajectory(m0, horizon)?;
+        }
+        psis.iter().map(|psi| self.check(psi, m0)).collect()
+    }
+
+    /// Computes `cSat(Ψ, m̄, θ)` (see [`Checker::csat`]), reusing cached
+    /// artifacts.
+    ///
+    /// # Errors
+    ///
+    /// See [`Checker::csat`].
+    pub fn csat(
+        &self,
+        psi: &MfFormula,
+        m0: &Occupancy,
+        theta: f64,
+    ) -> Result<IntervalSet, CoreError> {
+        if !(theta >= 0.0) || !theta.is_finite() {
+            return Err(CoreError::InvalidArgument(format!(
+                "evaluation horizon must be finite and non-negative, got {theta}"
+            )));
+        }
+        let key = self.ensure_trajectory(m0, theta + psi.time_horizon())?;
+        let entries = self.entries.borrow();
+        let entry = entries.get(&key).expect("entry ensured above");
+        let mut tv = entry.trajectory.local_tv_model()?;
+        if psi.requires_stationary() {
+            tv = tv.with_stationary(self.stationary_regime(m0)?)?;
+        }
+        let csl = InhomogeneousChecker::with_tolerances(&tv, *self.checker.tolerances());
+        self.checker
+            .csat_rec(Some(&entry.cache), psi, &csl, &entry.trajectory, theta)
+    }
+
+    /// The per-state path-probability curve `t ↦ Prob(s, φ, m̄, t)` over
+    /// `[0, θ]`, memoized per subformula (the curve behind `EP⋈p(φ)`;
+    /// compare [`Checker::ep_curve`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Checker::check`].
+    pub fn path_prob_curve(
+        &self,
+        path: &PathFormula,
+        m0: &Occupancy,
+        theta: f64,
+    ) -> Result<Rc<ProbCurve>, CoreError> {
+        let psi = MfFormula::ExpectPath {
+            cmp: mfcsl_csl::Comparison::Gt,
+            p: 0.0,
+            path: path.clone(),
+        };
+        let key = self.ensure_trajectory(m0, theta + psi.time_horizon())?;
+        let entries = self.entries.borrow();
+        let entry = entries.get(&key).expect("entry ensured above");
+        let tv = entry.trajectory.local_tv_model()?;
+        let csl = InhomogeneousChecker::with_tolerances(&tv, *self.checker.tolerances());
+        Ok(csl.path_prob_curve_cached(&entry.cache, path, theta)?)
+    }
+
+    /// The stationary regime reached from `m0`, computed once per initial
+    /// occupancy.
+    ///
+    /// # Errors
+    ///
+    /// See [`Checker::check`].
+    pub fn stationary_regime(&self, m0: &Occupancy) -> Result<StationaryRegime, CoreError> {
+        let key = occupancy_key(m0);
+        if let Some(regime) = self.regimes.borrow().get(&key) {
+            self.regime_reuses.set(self.regime_reuses.get() + 1);
+            return Ok(regime.clone());
+        }
+        let regime = self.checker.stationary_regime(m0)?;
+        self.regime_solves.set(self.regime_solves.get() + 1);
+        self.regimes.borrow_mut().insert(key, regime.clone());
+        Ok(regime)
+    }
+
+    /// A snapshot of the session's statistics.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        let mut cache = CacheStats::default();
+        for entry in self.entries.borrow().values() {
+            let s = entry.cache.stats();
+            cache.set_hits += s.set_hits;
+            cache.set_misses += s.set_misses;
+            cache.curve_hits += s.curve_hits;
+            cache.curve_misses += s.curve_misses;
+            cache.interned_state_formulas += s.interned_state_formulas;
+            cache.interned_path_formulas += s.interned_path_formulas;
+            cache.cached_sets += s.cached_sets;
+            cache.cached_curves += s.cached_curves;
+        }
+        EngineStats {
+            trajectory_solves: self.trajectory_solves.get(),
+            trajectory_extensions: self.trajectory_extensions.get(),
+            trajectory_reuses: self.trajectory_reuses.get(),
+            regime_solves: self.regime_solves.get(),
+            regime_reuses: self.regime_reuses.get(),
+            cache,
+            solves: self.solves.borrow().clone(),
+        }
+    }
+
+    /// Drops every cached trajectory, memo table, and stationary regime
+    /// (use when the model's interpretation changed out from under the
+    /// session). Counters are kept.
+    pub fn clear(&self) {
+        self.entries.borrow_mut().clear();
+        self.regimes.borrow_mut().clear();
+    }
+
+    /// Makes sure the trajectory for `m0` covers `[0, horizon]`, solving
+    /// or extending as needed, and returns its cache key.
+    fn ensure_trajectory(&self, m0: &Occupancy, horizon: f64) -> Result<Vec<u64>, CoreError> {
+        let key = occupancy_key(m0);
+        let mut entries = self.entries.borrow_mut();
+        match entries.remove(&key) {
+            Some(entry) => {
+                if entry.trajectory.t_end() >= horizon {
+                    self.trajectory_reuses.set(self.trajectory_reuses.get() + 1);
+                    entries.insert(key.clone(), entry);
+                } else {
+                    let t_from = entry.trajectory.t_end();
+                    let before = entry.trajectory.trajectory().stats();
+                    let start = Instant::now();
+                    let trajectory = entry
+                        .trajectory
+                        .extended_to(horizon, &self.checker.tolerances().ode)?;
+                    let after = trajectory.trajectory().stats();
+                    self.solves.borrow_mut().push(SolveRecord {
+                        kind: SolveKind::Extension,
+                        t_from,
+                        t_to: trajectory.t_end(),
+                        ode_steps: after.accepted - before.accepted,
+                        rhs_evals: after.rhs_evals - before.rhs_evals,
+                        wall: start.elapsed(),
+                    });
+                    self.trajectory_extensions
+                        .set(self.trajectory_extensions.get() + 1);
+                    entries.insert(
+                        key.clone(),
+                        Entry {
+                            trajectory,
+                            cache: entry.cache,
+                        },
+                    );
+                }
+            }
+            None => {
+                let start = Instant::now();
+                let trajectory = self.checker.solve_to(m0, horizon)?;
+                let stats = trajectory.trajectory().stats();
+                self.solves.borrow_mut().push(SolveRecord {
+                    kind: SolveKind::Fresh,
+                    t_from: 0.0,
+                    t_to: trajectory.t_end(),
+                    ode_steps: stats.accepted,
+                    rhs_evals: stats.rhs_evals,
+                    wall: start.elapsed(),
+                });
+                self.trajectory_solves.set(self.trajectory_solves.get() + 1);
+                entries.insert(
+                    key,
+                    Entry {
+                        trajectory,
+                        cache: SatCache::new(),
+                    },
+                );
+                return Ok(occupancy_key(m0));
+            }
+        }
+        Ok(key)
+    }
+}
+
+/// Cache key of an initial occupancy: its exact bit pattern. Two vectors
+/// share a trajectory iff every component is bitwise equal — anything
+/// looser would silently mix trajectories of different initial states.
+fn occupancy_key(m0: &Occupancy) -> Vec<u64> {
+    m0.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mfcsl::parse_formula;
+
+    fn sis() -> LocalModel {
+        LocalModel::builder()
+            .state("s", ["healthy"])
+            .state("i", ["infected"])
+            .transition("s", "i", |m: &Occupancy| 2.0 * m[1])
+            .unwrap()
+            .constant_transition("i", "s", 1.0)
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn m0() -> Occupancy {
+        Occupancy::new(vec![0.9, 0.1]).unwrap()
+    }
+
+    #[test]
+    fn session_matches_uncached_checker() {
+        let model = sis();
+        let session = CheckSession::new(&model);
+        let checker = Checker::new(&model);
+        let psis = [
+            parse_formula("E{>=0.1}[ infected ]").unwrap(),
+            parse_formula("EP{>0.5}[ healthy U[0,50] infected ]").unwrap(),
+            parse_formula("ES{>0.45}[ infected ]").unwrap(),
+        ];
+        for psi in &psis {
+            // A cold entry solves to the same horizon the uncached checker
+            // uses, so the verdicts are identical (not merely close).
+            let fresh = CheckSession::new(&model);
+            assert_eq!(
+                fresh.check(psi, &m0()).unwrap(),
+                checker.check(psi, &m0()).unwrap()
+            );
+            // The shared warm session at least agrees on the verdict.
+            let v = session.check(psi, &m0()).unwrap();
+            assert_eq!(v.holds(), checker.check(psi, &m0()).unwrap().holds());
+            // Asking again is served from the caches, identically.
+            assert_eq!(session.check(psi, &m0()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn one_trajectory_for_a_batch() {
+        let model = sis();
+        let session = CheckSession::new(&model);
+        let psis = vec![
+            parse_formula("E{<0.2}[ infected ]").unwrap(),
+            parse_formula("EP{>0}[ tt U[0,2] infected ]").unwrap(),
+            parse_formula("EP{>0}[ tt U[0,5] infected ]").unwrap(),
+        ];
+        session.check_all(&psis, &m0()).unwrap();
+        let stats = session.stats();
+        // The batch horizon (5) is computed up front: one solve, no
+        // growth when the individual formulas are then checked.
+        assert_eq!(stats.trajectory_solves, 1);
+        assert_eq!(stats.trajectory_extensions, 0);
+        assert_eq!(stats.solves.len(), 1);
+        assert_eq!(stats.solves[0].kind, SolveKind::Fresh);
+        assert!(stats.solves[0].t_to >= 5.0);
+        assert!(stats.solves[0].ode_steps > 0);
+    }
+
+    #[test]
+    fn growing_horizons_extend_in_place() {
+        let model = sis();
+        let session = CheckSession::new(&model);
+        let short = parse_formula("EP{>0}[ tt U[0,2] infected ]").unwrap();
+        let long = parse_formula("EP{>0}[ tt U[0,8] infected ]").unwrap();
+        session.check(&short, &m0()).unwrap();
+        session.check(&long, &m0()).unwrap();
+        session.check(&short, &m0()).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.trajectory_solves, 1);
+        assert_eq!(stats.trajectory_extensions, 1);
+        assert_eq!(stats.trajectory_reuses, 1);
+        assert_eq!(stats.solves.len(), 2);
+        assert_eq!(stats.solves[1].kind, SolveKind::Extension);
+        assert_eq!(stats.solves[1].t_from, 2.0);
+        assert_eq!(stats.solves[1].t_to, 8.0);
+    }
+
+    #[test]
+    fn repeated_subformulas_hit_the_memo_tables() {
+        let model = sis();
+        let session = CheckSession::new(&model);
+        let psi = parse_formula("EP{>0}[ tt U[0,2] infected ]").unwrap();
+        session.check(&psi, &m0()).unwrap();
+        let cold = session.stats().cache;
+        assert_eq!(cold.curve_hits, 0);
+        assert!(cold.curve_misses > 0);
+        session.check(&psi, &m0()).unwrap();
+        let warm = session.stats().cache;
+        assert!(warm.curve_hits > 0, "{warm:?}");
+        assert_eq!(warm.curve_misses, cold.curve_misses);
+    }
+
+    #[test]
+    fn stationary_regime_computed_once() {
+        let model = sis();
+        let session = CheckSession::new(&model);
+        let a = parse_formula("ES{>0.45}[ infected ]").unwrap();
+        let b = parse_formula("ES{<0.55}[ infected ]").unwrap();
+        assert!(session.check(&a, &m0()).unwrap().holds());
+        assert!(session.check(&b, &m0()).unwrap().holds());
+        let stats = session.stats();
+        assert_eq!(stats.regime_solves, 1);
+        assert_eq!(stats.regime_reuses, 1);
+    }
+
+    #[test]
+    fn distinct_occupancies_get_distinct_entries() {
+        let model = sis();
+        let session = CheckSession::new(&model);
+        let psi = parse_formula("E{>=0.1}[ infected ]").unwrap();
+        session.check(&psi, &m0()).unwrap();
+        session
+            .check(&psi, &Occupancy::new(vec![0.5, 0.5]).unwrap())
+            .unwrap();
+        assert_eq!(session.stats().trajectory_solves, 2);
+        session.clear();
+        session.check(&psi, &m0()).unwrap();
+        assert_eq!(session.stats().trajectory_solves, 3);
+    }
+
+    #[test]
+    fn csat_via_session_matches_uncached() {
+        let model = sis();
+        let session = CheckSession::new(&model);
+        let checker = Checker::new(&model);
+        let psi = parse_formula("E{<0.3}[ infected ]").unwrap();
+        let cached = session.csat(&psi, &m0(), 20.0).unwrap();
+        let plain = checker.csat(&psi, &m0(), 20.0).unwrap();
+        assert_eq!(cached.intervals().len(), plain.intervals().len());
+        for (a, b) in cached.intervals().iter().zip(plain.intervals()) {
+            assert_eq!(a.lo().value.to_bits(), b.lo().value.to_bits());
+            assert_eq!(a.hi().value.to_bits(), b.hi().value.to_bits());
+        }
+        assert!(session.csat(&psi, &m0(), -1.0).is_err());
+    }
+}

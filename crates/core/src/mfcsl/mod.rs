@@ -17,13 +17,18 @@
 //! * [`check`] — satisfaction of an occupancy vector (Sec. V-A) through
 //!   [`Checker`], plus the expectation curves used by the benches;
 //! * [`csat`] — the conditional satisfaction set `cSat(Ψ, m̄, θ)` (Eq. 20 /
-//!   Table I) as an exact [`mfcsl_math::IntervalSet`].
+//!   Table I) as an exact [`mfcsl_math::IntervalSet`];
+//! * [`engine`] — the memoizing analysis engine ([`CheckSession`]):
+//!   trajectories, satisfaction sets, probability curves, and stationary
+//!   regimes computed once and shared across the formulas of a session.
 
 pub mod check;
 pub mod csat;
+pub mod engine;
 pub mod parser;
 pub mod syntax;
 
 pub use check::{Checker, ECurve, EpCurve, Verdict};
+pub use engine::{CheckSession, EngineStats, SolveKind, SolveRecord};
 pub use parser::parse_formula;
 pub use syntax::MfFormula;

@@ -1,0 +1,297 @@
+//! Hash-consed formulas and memoized satisfaction sets.
+//!
+//! Checking a batch of MF-CSL formulas over one mean-field trajectory
+//! re-derives the same CSL subformulas again and again: `E` and `EP`
+//! operators share atomic propositions, until operands, and often whole
+//! `P`-subformulas. [`SatCache`] interns every state and path formula it
+//! sees into structural ids (so syntactically identical subtrees get the
+//! same id regardless of where they appear) and memoizes the expensive
+//! products of the checker — [`PiecewiseStateSet`]s and [`ProbCurve`]s —
+//! keyed by `(formula id, evaluation horizon θ)`.
+//!
+//! # Validity
+//!
+//! A cache is only meaningful for a fixed local model trajectory and fixed
+//! tolerances: entries are *not* invalidated automatically. The analysis
+//! engine in `mfcsl-core` owns one cache per `(initial occupancy,
+//! tolerances)` pair and relies on trajectory *extension* keeping the
+//! already-solved prefix bitwise identical, so entries computed against a
+//! shorter trajectory stay exact after the horizon grows (every entry only
+//! ever examined times within its own solve horizon).
+//!
+//! All interior state uses `RefCell`/`Cell`, so the checker threads a
+//! shared `&SatCache` through its recursion without borrow gymnastics;
+//! the type is deliberately `!Sync`.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::checker::ProbCurve;
+use crate::nested::PiecewiseStateSet;
+use crate::syntax::{Comparison, PathFormula, StateFormula};
+
+/// Interned id of a state formula (structurally shared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateId(u32);
+
+/// Interned id of a path formula (structurally shared).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathId(u32);
+
+/// Structural key of a state formula with children resolved to ids and
+/// probability bounds keyed by their bit patterns (`f64::to_bits`), so two
+/// bounds compare equal exactly when the checker would treat them
+/// identically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum StateKey {
+    True,
+    Ap(String),
+    Not(StateId),
+    And(StateId, StateId),
+    Or(StateId, StateId),
+    Steady {
+        cmp: Comparison,
+        p_bits: u64,
+        inner: StateId,
+    },
+    Prob {
+        cmp: Comparison,
+        p_bits: u64,
+        path: PathId,
+    },
+}
+
+/// Structural key of a path formula.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum PathKey {
+    Next {
+        lo_bits: u64,
+        hi_bits: u64,
+        inner: StateId,
+    },
+    Until {
+        lo_bits: u64,
+        hi_bits: u64,
+        lhs: StateId,
+        rhs: StateId,
+    },
+}
+
+/// Counters and sizes of a [`SatCache`], as reported by
+/// [`SatCache::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Satisfaction-set lookups that found a memoized entry.
+    pub set_hits: u64,
+    /// Satisfaction-set lookups that had to compute.
+    pub set_misses: u64,
+    /// Probability-curve lookups that found a memoized entry.
+    pub curve_hits: u64,
+    /// Probability-curve lookups that had to compute.
+    pub curve_misses: u64,
+    /// Distinct state formulas interned.
+    pub interned_state_formulas: usize,
+    /// Distinct path formulas interned.
+    pub interned_path_formulas: usize,
+    /// Memoized satisfaction sets currently stored.
+    pub cached_sets: usize,
+    /// Memoized probability curves currently stored.
+    pub cached_curves: usize,
+}
+
+/// Hash-consing interner plus memo tables for satisfaction sets and
+/// probability curves. See the [module documentation](self) for validity
+/// rules.
+#[derive(Debug, Default)]
+pub struct SatCache {
+    state_keys: RefCell<HashMap<StateKey, StateId>>,
+    path_keys: RefCell<HashMap<PathKey, PathId>>,
+    sets: RefCell<HashMap<(StateId, u64), Rc<PiecewiseStateSet>>>,
+    curves: RefCell<HashMap<(PathId, u64), Rc<ProbCurve>>>,
+    set_hits: Cell<u64>,
+    set_misses: Cell<u64>,
+    curve_hits: Cell<u64>,
+    curve_misses: Cell<u64>,
+}
+
+impl SatCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        SatCache::default()
+    }
+
+    /// Interns a state formula, returning its structural id. Identical
+    /// subtrees — anywhere, in any formula — map to the same id.
+    pub fn intern_state(&self, phi: &StateFormula) -> StateId {
+        let key = match phi {
+            StateFormula::True => StateKey::True,
+            StateFormula::Ap(ap) => StateKey::Ap(ap.clone()),
+            StateFormula::Not(inner) => StateKey::Not(self.intern_state(inner)),
+            StateFormula::And(a, b) => StateKey::And(self.intern_state(a), self.intern_state(b)),
+            StateFormula::Or(a, b) => StateKey::Or(self.intern_state(a), self.intern_state(b)),
+            StateFormula::Steady { cmp, p, inner } => StateKey::Steady {
+                cmp: *cmp,
+                p_bits: p.to_bits(),
+                inner: self.intern_state(inner),
+            },
+            StateFormula::Prob { cmp, p, path } => StateKey::Prob {
+                cmp: *cmp,
+                p_bits: p.to_bits(),
+                path: self.intern_path(path),
+            },
+        };
+        let mut keys = self.state_keys.borrow_mut();
+        let next = StateId(keys.len() as u32);
+        *keys.entry(key).or_insert(next)
+    }
+
+    /// Interns a path formula, returning its structural id.
+    pub fn intern_path(&self, path: &PathFormula) -> PathId {
+        let key = match path {
+            PathFormula::Next { interval, inner } => PathKey::Next {
+                lo_bits: interval.lo().to_bits(),
+                hi_bits: interval.hi().to_bits(),
+                inner: self.intern_state(inner),
+            },
+            PathFormula::Until { interval, lhs, rhs } => PathKey::Until {
+                lo_bits: interval.lo().to_bits(),
+                hi_bits: interval.hi().to_bits(),
+                lhs: self.intern_state(lhs),
+                rhs: self.intern_state(rhs),
+            },
+        };
+        let mut keys = self.path_keys.borrow_mut();
+        let next = PathId(keys.len() as u32);
+        *keys.entry(key).or_insert(next)
+    }
+
+    /// Looks up a memoized satisfaction set for `(id, θ)`, counting the
+    /// outcome as a hit or miss.
+    pub(crate) fn lookup_set(&self, id: StateId, theta: f64) -> Option<Rc<PiecewiseStateSet>> {
+        let found = self.sets.borrow().get(&(id, theta.to_bits())).cloned();
+        match &found {
+            Some(_) => self.set_hits.set(self.set_hits.get() + 1),
+            None => self.set_misses.set(self.set_misses.get() + 1),
+        }
+        found
+    }
+
+    /// Memoizes a satisfaction set for `(id, θ)`.
+    pub(crate) fn store_set(&self, id: StateId, theta: f64, set: Rc<PiecewiseStateSet>) {
+        self.sets.borrow_mut().insert((id, theta.to_bits()), set);
+    }
+
+    /// Looks up a memoized probability curve for `(id, θ)`, counting the
+    /// outcome.
+    pub(crate) fn lookup_curve(&self, id: PathId, theta: f64) -> Option<Rc<ProbCurve>> {
+        let found = self.curves.borrow().get(&(id, theta.to_bits())).cloned();
+        match &found {
+            Some(_) => self.curve_hits.set(self.curve_hits.get() + 1),
+            None => self.curve_misses.set(self.curve_misses.get() + 1),
+        }
+        found
+    }
+
+    /// Memoizes a probability curve for `(id, θ)`.
+    pub(crate) fn store_curve(&self, id: PathId, theta: f64, curve: Rc<ProbCurve>) {
+        self.curves.borrow_mut().insert((id, theta.to_bits()), curve);
+    }
+
+    /// A snapshot of the hit/miss counters and table sizes.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            set_hits: self.set_hits.get(),
+            set_misses: self.set_misses.get(),
+            curve_hits: self.curve_hits.get(),
+            curve_misses: self.curve_misses.get(),
+            interned_state_formulas: self.state_keys.borrow().len(),
+            interned_path_formulas: self.path_keys.borrow().len(),
+            cached_sets: self.sets.borrow().len(),
+            cached_curves: self.curves.borrow().len(),
+        }
+    }
+
+    /// Drops every memoized set and curve (the interner is kept; ids remain
+    /// stable). Use when the underlying trajectory is replaced rather than
+    /// extended.
+    pub fn invalidate(&self) {
+        self.sets.borrow_mut().clear();
+        self.curves.borrow_mut().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_path_formula, parse_state_formula};
+
+    #[test]
+    fn structural_sharing_across_formulas() {
+        let cache = SatCache::new();
+        let a = parse_state_formula("P{<0.5}[ healthy U[0,1] infected ]").unwrap();
+        let b = parse_state_formula("!P{<0.5}[ healthy U[0,1] infected ]").unwrap();
+        let ia = cache.intern_state(&a);
+        let ib = cache.intern_state(&b);
+        assert_ne!(ia, ib);
+        // The shared P-subformula interned once; `b` adds only the Not node.
+        if let StateFormula::Not(inner) = &b {
+            assert_eq!(cache.intern_state(inner), ia);
+        } else {
+            panic!("expected Not");
+        }
+        let stats = cache.stats();
+        // tt-free formula tree: healthy, infected, until-path, P, Not.
+        assert_eq!(stats.interned_state_formulas, 4);
+        assert_eq!(stats.interned_path_formulas, 1);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let cache = SatCache::new();
+        let phi = parse_state_formula("a & (b | !a)").unwrap();
+        let first = cache.intern_state(&phi);
+        let second = cache.intern_state(&phi);
+        assert_eq!(first, second);
+        let n = cache.stats().interned_state_formulas;
+        let _ = cache.intern_state(&phi);
+        assert_eq!(cache.stats().interned_state_formulas, n);
+    }
+
+    #[test]
+    fn probability_bounds_key_by_bits() {
+        let cache = SatCache::new();
+        let a = parse_state_formula("P{<0.5}[ tt U[0,1] x ]").unwrap();
+        let b = parse_state_formula("P{<0.25}[ tt U[0,1] x ]").unwrap();
+        assert_ne!(cache.intern_state(&a), cache.intern_state(&b));
+        // Same bound, same interval — shared path id.
+        let pa = parse_path_formula("tt U[0,1] x").unwrap();
+        let pb = parse_path_formula("tt U[0,2] x").unwrap();
+        assert_ne!(cache.intern_path(&pa), cache.intern_path(&pb));
+        // `a` and `b` share one until path; `pb` adds the second.
+        assert_eq!(cache.stats().interned_path_formulas, 2);
+    }
+
+    #[test]
+    fn memo_tables_count_hits_and_misses() {
+        let cache = SatCache::new();
+        let phi = parse_state_formula("tt").unwrap();
+        let id = cache.intern_state(&phi);
+        assert!(cache.lookup_set(id, 1.0).is_none());
+        let set = Rc::new(PiecewiseStateSet::constant(0.0, 1.0, vec![true]).unwrap());
+        cache.store_set(id, 1.0, set);
+        assert!(cache.lookup_set(id, 1.0).is_some());
+        // A different horizon is a different key.
+        assert!(cache.lookup_set(id, 2.0).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.set_hits, 1);
+        assert_eq!(stats.set_misses, 2);
+        assert_eq!(stats.cached_sets, 1);
+        cache.invalidate();
+        assert_eq!(cache.stats().cached_sets, 0);
+        // Interner survives invalidation.
+        assert_eq!(cache.intern_state(&phi), id);
+    }
+}

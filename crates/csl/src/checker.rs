@@ -15,9 +15,12 @@
 //!   (Sec. IV-C);
 //! * interval next — [`crate::next`], sampled on the scan grid.
 
+use std::rc::Rc;
+
 use mfcsl_ctmc::inhomogeneous::TimeVaryingGenerator;
 use mfcsl_math::roots::brent;
 
+use crate::cache::SatCache;
 use crate::model::LocalTvModel;
 use crate::nested::{PiecewiseSets, PiecewiseStateSet, ReachEvaluator};
 use crate::syntax::{Comparison, PathFormula, StateFormula};
@@ -173,13 +176,51 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
         phi: &StateFormula,
         theta: f64,
     ) -> Result<PiecewiseStateSet, CslError> {
+        Ok(Rc::unwrap_or_clone(self.sat_over_time_rc(None, phi, theta)?))
+    }
+
+    /// [`InhomogeneousChecker::sat`] memoized through a [`SatCache`].
+    ///
+    /// Produces bitwise-identical results to the uncached method: hits
+    /// return the stored set, misses run the exact same computation the
+    /// uncached path runs (sharing one implementation) before storing it.
+    ///
+    /// # Errors
+    ///
+    /// See [`InhomogeneousChecker::sat_over_time`].
+    pub fn sat_cached(&self, cache: &SatCache, phi: &StateFormula) -> Result<Vec<bool>, CslError> {
+        let pw = self.sat_over_time_cached(cache, phi, 0.0)?;
+        Ok(pw.set_at(0.0).to_vec())
+    }
+
+    /// [`InhomogeneousChecker::sat_over_time`] memoized through a
+    /// [`SatCache`]; see [`InhomogeneousChecker::sat_cached`].
+    ///
+    /// # Errors
+    ///
+    /// See [`InhomogeneousChecker::sat_over_time`].
+    pub fn sat_over_time_cached(
+        &self,
+        cache: &SatCache,
+        phi: &StateFormula,
+        theta: f64,
+    ) -> Result<Rc<PiecewiseStateSet>, CslError> {
+        self.sat_over_time_rc(Some(cache), phi, theta)
+    }
+
+    fn sat_over_time_rc(
+        &self,
+        cache: Option<&SatCache>,
+        phi: &StateFormula,
+        theta: f64,
+    ) -> Result<Rc<PiecewiseStateSet>, CslError> {
         if !(theta >= 0.0) || !theta.is_finite() {
             return Err(CslError::InvalidArgument(format!(
                 "evaluation horizon must be finite and non-negative, got {theta}"
             )));
         }
         self.tol.validate()?;
-        self.sot(phi, theta)
+        self.sot(cache, phi, theta)
     }
 
     /// `Prob(s, φ, m̄)` per state at evaluation time 0 (Eq. 4).
@@ -188,7 +229,23 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
     ///
     /// See [`InhomogeneousChecker::sat_over_time`].
     pub fn path_probabilities(&self, path: &PathFormula) -> Result<Vec<f64>, CslError> {
-        Ok(self.path_prob_curve(path, 0.0)?.probs_at(0.0))
+        Ok(self.path_prob_curve_rc(None, path, 0.0)?.probs_at(0.0))
+    }
+
+    /// [`InhomogeneousChecker::path_probabilities`] memoized through a
+    /// [`SatCache`]; see [`InhomogeneousChecker::sat_cached`].
+    ///
+    /// # Errors
+    ///
+    /// See [`InhomogeneousChecker::sat_over_time`].
+    pub fn path_probabilities_cached(
+        &self,
+        cache: &SatCache,
+        path: &PathFormula,
+    ) -> Result<Vec<f64>, CslError> {
+        Ok(self
+            .path_prob_curve_rc(Some(cache), path, 0.0)?
+            .probs_at(0.0))
     }
 
     /// The probability curve `t ↦ Prob(s, φ, m̄, t)` over `[0, θ]` (Eq. 7 /
@@ -199,18 +256,64 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
     ///
     /// See [`InhomogeneousChecker::sat_over_time`].
     pub fn path_prob_curve(&self, path: &PathFormula, theta: f64) -> Result<ProbCurve, CslError> {
+        let rc = self.path_prob_curve_rc(None, path, theta)?;
+        Ok(Rc::try_unwrap(rc).expect("uncached curve is uniquely owned"))
+    }
+
+    /// [`InhomogeneousChecker::path_prob_curve`] memoized through a
+    /// [`SatCache`]; see [`InhomogeneousChecker::sat_cached`].
+    ///
+    /// # Errors
+    ///
+    /// See [`InhomogeneousChecker::sat_over_time`].
+    pub fn path_prob_curve_cached(
+        &self,
+        cache: &SatCache,
+        path: &PathFormula,
+        theta: f64,
+    ) -> Result<Rc<ProbCurve>, CslError> {
+        self.path_prob_curve_rc(Some(cache), path, theta)
+    }
+
+    fn path_prob_curve_rc(
+        &self,
+        cache: Option<&SatCache>,
+        path: &PathFormula,
+        theta: f64,
+    ) -> Result<Rc<ProbCurve>, CslError> {
         if !(theta >= 0.0) || !theta.is_finite() {
             return Err(CslError::InvalidArgument(format!(
                 "evaluation horizon must be finite and non-negative, got {theta}"
             )));
         }
         self.tol.validate()?;
+        if let Some(cache) = cache {
+            let id = cache.intern_path(path);
+            if let Some(hit) = cache.lookup_curve(id, theta) {
+                return Ok(hit);
+            }
+            let curve = Rc::new(self.build_prob_curve(Some(cache), path, theta)?);
+            cache.store_curve(id, theta, Rc::clone(&curve));
+            Ok(curve)
+        } else {
+            Ok(Rc::new(self.build_prob_curve(None, path, theta)?))
+        }
+    }
+
+    /// The single implementation behind both the cached and uncached
+    /// probability-curve paths.
+    fn build_prob_curve(
+        &self,
+        cache: Option<&SatCache>,
+        path: &PathFormula,
+        theta: f64,
+    ) -> Result<ProbCurve, CslError> {
         let n = self.model.n_states();
         match path {
             PathFormula::Until { interval, lhs, rhs } => {
                 let look_ahead = theta + interval.hi();
-                let lhs_pw = self.sot(lhs, look_ahead)?;
-                let rhs_pw = self.sot(rhs, look_ahead)?;
+                let lhs_pw = self.sot(cache, lhs, look_ahead)?;
+                let rhs_pw = self.sot(cache, rhs, look_ahead)?;
                 if lhs_pw.is_constant() && rhs_pw.is_constant() {
                     let ev = until::until_evaluator(
                         self.model,
@@ -233,7 +336,8 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
                             interval.lo()
                         )));
                     }
-                    let sets = PiecewiseSets::new(lhs_pw, rhs_pw)?;
+                    let sets =
+                        PiecewiseSets::new(Rc::unwrap_or_clone(lhs_pw), Rc::unwrap_or_clone(rhs_pw))?;
                     let ev = nested::reach_evaluator(
                         self.model.generator(),
                         &sets,
@@ -250,7 +354,7 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
                 }
             }
             PathFormula::Next { interval, inner } => {
-                let inner_pw = self.sot(inner, theta + interval.hi())?;
+                let inner_pw = self.sot(cache, inner, theta + interval.hi())?;
                 if !inner_pw.is_constant() {
                     return Err(CslError::Unsupported(
                         "the Next operator with a time-dependent operand".into(),
@@ -296,7 +400,33 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
         }
     }
 
-    fn sot(&self, phi: &StateFormula, theta: f64) -> Result<PiecewiseStateSet, CslError> {
+    /// The memo layer around [`InhomogeneousChecker::sot_node`]: with a
+    /// cache, intern-lookup-compute-store; without one, just compute.
+    fn sot(
+        &self,
+        cache: Option<&SatCache>,
+        phi: &StateFormula,
+        theta: f64,
+    ) -> Result<Rc<PiecewiseStateSet>, CslError> {
+        if let Some(cache) = cache {
+            let id = cache.intern_state(phi);
+            if let Some(hit) = cache.lookup_set(id, theta) {
+                return Ok(hit);
+            }
+            let set = Rc::new(self.sot_node(Some(cache), phi, theta)?);
+            cache.store_set(id, theta, Rc::clone(&set));
+            Ok(set)
+        } else {
+            Ok(Rc::new(self.sot_node(None, phi, theta)?))
+        }
+    }
+
+    fn sot_node(
+        &self,
+        cache: Option<&SatCache>,
+        phi: &StateFormula,
+        theta: f64,
+    ) -> Result<PiecewiseStateSet, CslError> {
         let n = self.model.n_states();
         match phi {
             StateFormula::True => Ok(PiecewiseStateSet::constant(0.0, theta, vec![true; n])?),
@@ -304,15 +434,15 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
                 let set = self.model.sat_ap(ap)?;
                 Ok(PiecewiseStateSet::constant(0.0, theta, set)?)
             }
-            StateFormula::Not(inner) => Ok(self.sot(inner, theta)?.complemented()),
+            StateFormula::Not(inner) => Ok(self.sot(cache, inner, theta)?.complemented()),
             StateFormula::And(a, b) => {
-                let sa = self.sot(a, theta)?;
-                let sb = self.sot(b, theta)?;
+                let sa = self.sot(cache, a, theta)?;
+                let sb = self.sot(cache, b, theta)?;
                 sa.combine(&sb, |x, y| x && y)
             }
             StateFormula::Or(a, b) => {
-                let sa = self.sot(a, theta)?;
-                let sb = self.sot(b, theta)?;
+                let sa = self.sot(cache, a, theta)?;
+                let sb = self.sot(cache, b, theta)?;
                 sa.combine(&sb, |x, y| x || y)
             }
             StateFormula::Steady { cmp, p, inner } => {
@@ -334,7 +464,7 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
                 Ok(PiecewiseStateSet::constant(0.0, theta, vec![holds; n])?)
             }
             StateFormula::Prob { cmp, p, path } => {
-                let curve = self.path_prob_curve(path, theta)?;
+                let curve = self.path_prob_curve_rc(cache, path, theta)?;
                 self.threshold_set(&curve, *cmp, *p, theta)
             }
         }

@@ -1,5 +1,5 @@
 //! State-space-doubling reachability — the construction of Bortolussi &
-//! Hillston [14], kept as an ablation baseline.
+//! Hillston \[14\], kept as an ablation baseline.
 //!
 //! The paper argues (Sec. IV-C) that its single fresh goal state `s*` is
 //! cheaper than doubling the state space "and considering all goal states

@@ -1,7 +1,7 @@
 //! Classic CSL model checking on time-homogeneous CTMCs.
 //!
 //! Implements the standard algorithms of Baier, Haverkort, Hermanns &
-//! Katoen [18] that Sec. IV-A of the paper recalls: satisfaction sets are
+//! Katoen \[18\] that Sec. IV-A of the paper recalls: satisfaction sets are
 //! developed recursively over the parse tree; the interval until
 //! `Φ₁ U^[t₁,t₂] Φ₂` is the two-phase reachability product of Eq. 3 on the
 //! modified chains `𝓜[¬Φ₁]` and `𝓜[¬Φ₁∨Φ₂]`; the steady-state operator is

@@ -4,7 +4,7 @@
 //! pipeline (Sec. IV): Continuous Stochastic Logic evaluated on the
 //! time-inhomogeneous CTMC `𝓜ˡ` that a mean-field trajectory induces on a
 //! random individual object, plus the classic algorithms for
-//! time-homogeneous chains (Baier et al. [18]) used both for the frozen
+//! time-homogeneous chains (Baier et al. \[18\]) used both for the frozen
 //! (steady-state) chain and as a cross-validation oracle when rates are
 //! constant.
 //!
@@ -21,13 +21,16 @@
 //!   `s*` and carry-over matrices `ζ(T_i)` (Sec. IV-C, Eqs. 8–13 and the
 //!   appendix algorithm);
 //! * [`doubling`] — the state-space-doubling formulation of Bortolussi &
-//!   Hillston [14], kept as an ablation baseline for the paper's claim that
+//!   Hillston \[14\], kept as an ablation baseline for the paper's claim that
 //!   the single-goal-state construction is cheaper;
 //! * [`next`] — the interval Next operator (omitted in the paper's main
-//!   text, algorithm per its reference [19]);
+//!   text, algorithm per its reference \[19\]);
 //! * [`checker`] — recursive satisfaction-set development (Sec. IV-E),
 //!   producing both fixed-time sets and piecewise-constant time-dependent
-//!   sets with located discontinuity points.
+//!   sets with located discontinuity points;
+//! * [`cache`] — hash-consed formula interning plus memoized satisfaction
+//!   sets and probability curves, shared across the formulas of one
+//!   analysis session by the engine in `mfcsl-core`.
 
 // `!(x > 0.0)`-style guards are used deliberately throughout: unlike
 // `x <= 0.0`, they classify NaN as invalid input instead of letting it
@@ -35,6 +38,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod checker;
 pub mod doubling;
 pub mod error;
@@ -47,6 +51,7 @@ pub mod syntax;
 pub mod tolerances;
 pub mod until;
 
+pub use cache::{CacheStats, SatCache};
 pub use error::CslError;
 pub use model::LocalTvModel;
 pub use parser::{parse_path_formula, parse_state_formula};

@@ -5,7 +5,7 @@
 //! *discontinuity points* `T₁ < … < T_k`. The reachability probability
 //! `π^{[¬Γ₁∨Γ₂]}(t', t'+T)` is computed on an extended chain with a single
 //! fresh goal state `s*` (the paper's improvement over the state-space
-//! doubling of [14], see [`crate::doubling`]):
+//! doubling of \[14\], see [`crate::doubling`]):
 //!
 //! * within each inter-discontinuity interval, transitions into `Γ₂` states
 //!   are redirected to `s*` and everything outside `Γ₁` is absorbing;
@@ -930,7 +930,7 @@ mod tests {
 
         /// Randomized cross-validation of the three nested-reachability
         /// computations: the appendix-algorithm evaluator, fresh Eq. 9
-        /// products, and the state-space doubling of [14] must agree for
+        /// products, and the state-space doubling of \[14\] must agree for
         /// random boundaries and random set patterns.
         #[test]
         fn prop_nested_constructions_agree(

@@ -1,7 +1,7 @@
 //! The interval Next operator on the time-inhomogeneous local model.
 //!
 //! The paper omits Next from its main discussion (Sec. IV-A notes such
-//! properties are rare in practice and defers to its reference [19]); it is
+//! properties are rare in practice and defers to its reference \[19\]); it is
 //! included here for completeness. For a start state `s` at evaluation time
 //! `t`, with time-independent inner satisfaction set `A`:
 //!

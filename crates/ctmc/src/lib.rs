@@ -20,6 +20,9 @@
 //!   equations (Eq. 5 of the paper) solved with `mfcsl-ode`;
 //! * [`sparse`] — CSR generators with sparse uniformization, sized for
 //!   the huge lumped overall chains of `mfcsl-sim`;
+//! * [`propagator`] — the backend-agnostic uniformization step kernel
+//!   shared by the dense and sparse transient solvers, with a size-based
+//!   backend selection heuristic;
 //! * [`simulate`] — exact path sampling for homogeneous chains and thinning
 //!   for inhomogeneous ones, the statistical baseline for every checker.
 //!
@@ -53,6 +56,7 @@ pub mod dtmc;
 pub mod error;
 pub mod inhomogeneous;
 pub mod labels;
+pub mod propagator;
 pub mod simulate;
 pub mod sparse;
 pub mod steady;

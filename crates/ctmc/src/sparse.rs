@@ -8,7 +8,6 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::transient::PoissonWindow;
 use crate::CtmcError;
 
 /// A CTMC generator in CSR form (off-diagonal rates only; the diagonal is
@@ -127,8 +126,9 @@ impl SparseCtmc {
     }
 
     /// One uniformized step `v ← v·P` with `P = I + Q/Λ`, writing into
-    /// `out` (which must be zeroed by the caller... it is overwritten).
-    fn uniformized_step(&self, unif: f64, v: &[f64], out: &mut [f64]) {
+    /// `out` (fully overwritten). The step kernel behind
+    /// [`crate::propagator::SparsePropagator`].
+    pub(crate) fn uniformized_step(&self, unif: f64, v: &[f64], out: &mut [f64]) {
         for (j, o) in out.iter_mut().enumerate() {
             *o = v[j] * (1.0 - self.exit[j] / unif);
         }
@@ -165,40 +165,8 @@ impl SparseCtmc {
         }
         mfcsl_math::simplex::check_distribution(pi0, mfcsl_math::simplex::DEFAULT_SUM_TOL)
             .map_err(|e| CtmcError::InvalidDistribution(e.to_string()))?;
-        if !(t >= 0.0) || !t.is_finite() {
-            return Err(CtmcError::InvalidArgument(format!(
-                "time must be finite and non-negative, got {t}"
-            )));
-        }
-        let rate = self.max_exit_rate();
-        if rate == 0.0 || t == 0.0 {
-            return Ok(pi0.to_vec());
-        }
-        let unif = rate * 1.02;
-        let window = PoissonWindow::new(unif * t, eps)?;
-        let mut v = pi0.to_vec();
-        let mut scratch = vec![0.0; self.n];
-        for _ in 0..window.left {
-            self.uniformized_step(unif, &v, &mut scratch);
-            std::mem::swap(&mut v, &mut scratch);
-        }
-        let mut out = vec![0.0; self.n];
-        for (i, &w) in window.weights.iter().enumerate() {
-            for (o, &vi) in out.iter_mut().zip(&v) {
-                *o += w * vi;
-            }
-            if i + 1 < window.weights.len() {
-                self.uniformized_step(unif, &v, &mut scratch);
-                std::mem::swap(&mut v, &mut scratch);
-            }
-        }
-        let mass: f64 = out.iter().sum();
-        if mass > 0.0 {
-            for o in &mut out {
-                *o /= mass;
-            }
-        }
-        Ok(out)
+        let prop = crate::propagator::SparsePropagator::new(self);
+        crate::propagator::propagate_distribution(&prop, pi0, t, eps)
     }
 }
 

@@ -136,42 +136,8 @@ pub fn transient_distribution(
     eps: f64,
 ) -> Result<Vec<f64>, CtmcError> {
     ctmc.check_distribution(pi0)?;
-    if !(t >= 0.0) || !t.is_finite() {
-        return Err(CtmcError::InvalidArgument(format!(
-            "time must be finite and non-negative, got {t}"
-        )));
-    }
-    let lambda_rate = ctmc.max_exit_rate();
-    if lambda_rate == 0.0 || t == 0.0 {
-        return Ok(pi0.to_vec());
-    }
-    // A little headroom improves the conditioning of P's diagonal.
-    let unif = lambda_rate * 1.02;
-    let p = uniformized_matrix(ctmc, unif);
-    let window = PoissonWindow::new(unif * t, eps)?;
-    let n = ctmc.n_states();
-    let mut v = pi0.to_vec();
-    // Advance to the left edge of the window.
-    for _ in 0..window.left {
-        v = p.vec_mul(&v).expect("shape fixed");
-    }
-    let mut out = vec![0.0; n];
-    for (i, &w) in window.weights.iter().enumerate() {
-        for (o, &vi) in out.iter_mut().zip(&v) {
-            *o += w * vi;
-        }
-        if i + 1 < window.weights.len() {
-            v = p.vec_mul(&v).expect("shape fixed");
-        }
-    }
-    // Renormalize the truncation loss.
-    let mass: f64 = out.iter().sum();
-    if mass > 0.0 {
-        for o in &mut out {
-            *o /= mass;
-        }
-    }
-    Ok(out)
+    let prop = crate::propagator::DensePropagator::new(ctmc);
+    crate::propagator::propagate_distribution(&prop, pi0, t, eps)
 }
 
 /// Computes the full transient probability matrix `Π(t) = e^{Qt}` by

@@ -168,6 +168,52 @@ impl HermiteCurve {
         &self.ts
     }
 
+    /// State vectors at the knots (`values()[k]` corresponds to
+    /// `knots()[k]`).
+    #[must_use]
+    pub fn values(&self) -> &[Vec<f64>] {
+        &self.ys
+    }
+
+    /// State derivatives at the knots.
+    #[must_use]
+    pub fn derivatives(&self) -> &[Vec<f64>] {
+        &self.ds
+    }
+
+    /// Appends `tail` to this curve, producing one curve over the union of
+    /// the two time ranges.
+    ///
+    /// The tail must start exactly (bitwise) at this curve's last knot and
+    /// agree there in dimension; the duplicated junction knot is taken from
+    /// `self`, so the knot data on `[t_start, t_end]` of the original curve
+    /// is preserved bitwise — evaluations on the old range are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::DimensionMismatch`] if the state dimensions
+    /// differ and [`MathError::InvalidArgument`] if the tail does not start
+    /// at this curve's end time.
+    pub fn concat(mut self, tail: &HermiteCurve) -> Result<Self, MathError> {
+        if tail.dim() != self.dim() {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("state dim {}", self.dim()),
+                found: format!("state dim {}", tail.dim()),
+            });
+        }
+        if tail.t_start() != self.t_end() {
+            return Err(MathError::InvalidArgument(format!(
+                "cannot concatenate: tail starts at {} but curve ends at {}",
+                tail.t_start(),
+                self.t_end()
+            )));
+        }
+        self.ts.extend_from_slice(&tail.ts[1..]);
+        self.ys.extend_from_slice(&tail.ys[1..]);
+        self.ds.extend_from_slice(&tail.ds[1..]);
+        Ok(self)
+    }
+
     /// Evaluates the curve at `t`, clamping outside `[t_start, t_end]`.
     #[must_use]
     pub fn eval(&self, t: f64) -> Vec<f64> {
@@ -320,6 +366,41 @@ mod tests {
         assert_eq!(c.eval(-1.0), vec![0.0, 0.0]);
         assert_eq!(c.eval(5.0), vec![4.0, -2.0]);
         assert_eq!(c.eval_derivative(-1.0), vec![0.0, -1.0]);
+    }
+
+    #[test]
+    fn curve_concat_extends_range_and_preserves_prefix() {
+        let a = HermiteCurve::new(
+            vec![0.0, 1.0],
+            vec![vec![0.0], vec![1.0]],
+            vec![vec![0.0], vec![2.0]],
+        )
+        .unwrap();
+        let b = HermiteCurve::new(
+            vec![1.0, 2.0],
+            vec![vec![1.0], vec![4.0]],
+            vec![vec![2.0], vec![4.0]],
+        )
+        .unwrap();
+        let prefix_sample = a.eval(0.5);
+        let joined = a.clone().concat(&b).unwrap();
+        assert_eq!(joined.t_start(), 0.0);
+        assert_eq!(joined.t_end(), 2.0);
+        assert_eq!(joined.knots(), &[0.0, 1.0, 2.0]);
+        // The old range is untouched, bitwise.
+        assert_eq!(joined.eval(0.5), prefix_sample);
+        assert_eq!(joined.eval(1.0), vec![1.0]);
+        assert!((joined.eval(1.5)[0] - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_concat_validates() {
+        let a = HermiteCurve::new(vec![0.0], vec![vec![0.0]], vec![vec![0.0]]).unwrap();
+        let gap = HermiteCurve::new(vec![2.0], vec![vec![0.0]], vec![vec![0.0]]).unwrap();
+        assert!(a.clone().concat(&gap).is_err());
+        let wrong_dim =
+            HermiteCurve::new(vec![0.0], vec![vec![0.0, 1.0]], vec![vec![0.0, 0.0]]).unwrap();
+        assert!(a.concat(&wrong_dim).is_err());
     }
 
     #[test]

@@ -1,5 +1,5 @@
 //! A peer-to-peer botnet lifecycle model, following the shape of the
-//! paper's references [6] (Kolesnichenko et al.) and [15] (van Ruitenbeek
+//! paper's references \[6\] (Kolesnichenko et al.) and \[15\] (van Ruitenbeek
 //! & Sanders).
 //!
 //! Five states capture a machine's journey through a P2P botnet:

@@ -1,5 +1,5 @@
 //! A push–pull gossip / rumor-spreading protocol (in the spirit of the
-//! paper's reference [4], Bakhshi et al.).
+//! paper's reference \[4\], Bakhshi et al.).
 //!
 //! Nodes are `ignorant`, `spreading`, or `stifled`:
 //!

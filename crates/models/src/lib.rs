@@ -9,9 +9,9 @@
 //! * [`sis`] / [`sir`] — the textbook epidemic models, used throughout the
 //!   test suite because their mean-field ODEs are analytically solvable;
 //! * [`gossip`] — a push–pull rumor-spreading protocol in the spirit of the
-//!   paper's reference [4];
+//!   paper's reference \[4\];
 //! * [`botnet`] — a peer-to-peer botnet lifecycle model following the shape
-//!   of the paper's references [6] and [15];
+//!   of the paper's references \[6\] and \[15\];
 //! * [`seiqr`] — a five-state malware model with latency and quarantine,
 //!   exercising the checkers on larger local state spaces;
 //! * [`supermarket`] — the power-of-`d`-choices load-balancing model, the

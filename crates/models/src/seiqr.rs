@@ -1,6 +1,6 @@
 //! A five-state malware/epidemic model with latency and quarantine
 //! (SEIQR), in the spirit of the staged infection models of the paper's
-//! reference [15] (van Ruitenbeek & Sanders).
+//! reference \[15\] (van Ruitenbeek & Sanders).
 //!
 //! ```text
 //! susceptible ──expose──▶ exposed ──activate──▶ infectious

@@ -109,6 +109,30 @@ impl Trajectory {
     pub fn curve(&self) -> &HermiteCurve {
         &self.curve
     }
+
+    /// Appends `tail` (a solution segment starting exactly at this
+    /// trajectory's `t_end`) and sums the integration statistics.
+    ///
+    /// The knot data on the original `[t_start, t_end]` range is kept
+    /// bitwise intact, so evaluations there are unchanged; only the solved
+    /// range grows. This is how the analysis engine extends a cached
+    /// mean-field trajectory to a longer horizon without re-solving from 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HermiteCurve::concat`] errors: dimension mismatch or a
+    /// tail that does not start at `t_end`.
+    pub fn extended_with(self, tail: &Trajectory) -> Result<Self, OdeError> {
+        let stats = SolveStats {
+            accepted: self.stats.accepted + tail.stats.accepted,
+            rejected: self.stats.rejected + tail.stats.rejected,
+            rhs_evals: self.stats.rhs_evals + tail.stats.rhs_evals,
+        };
+        Ok(Trajectory {
+            curve: self.curve.concat(&tail.curve)?,
+            stats,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +173,33 @@ mod tests {
         let mut buf = [0.0];
         tr.eval_into(1.5, &mut buf);
         assert!((buf[0] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn extension_preserves_prefix_and_sums_stats() {
+        let tr = linear_trajectory();
+        let tail = Trajectory::new(
+            vec![2.0, 3.0],
+            vec![vec![4.0], vec![6.0]],
+            vec![vec![2.0], vec![2.0]],
+            SolveStats {
+                accepted: 1,
+                rejected: 2,
+                rhs_evals: 7,
+            },
+        )
+        .unwrap();
+        let before = tr.eval(0.7);
+        let joined = tr.extended_with(&tail).unwrap();
+        assert_eq!(joined.t_end(), 3.0);
+        assert_eq!(joined.eval(0.7), before);
+        assert!((joined.eval(2.5)[0] - 5.0).abs() < 1e-14);
+        assert_eq!(joined.stats().accepted, 3);
+        assert_eq!(joined.stats().rejected, 2);
+        assert_eq!(joined.stats().rhs_evals, 19);
+        // A gap is rejected.
+        let gap = linear_trajectory();
+        assert!(joined.extended_with(&gap).is_err());
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Offline stub of `criterion`.
+//!
+//! The build container has no crates.io access, so this crate provides the
+//! minimal harness API the workspace benches compile against: `Criterion`,
+//! `benchmark_group` with `sample_size`/`bench_function`/`bench_with_input`/
+//! `finish`, `Bencher::iter`, `BenchmarkId`, and the `criterion_group!`/
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical analysis it runs each benchmark
+//! `sample_size` times and prints mean wall-time per iteration — enough to
+//! eyeball relative performance; not a rigorous measurement.
+
+use std::time::Instant;
+
+/// Identifier combining a function name and an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Per-iteration timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u32,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its result alive via [`black_box`].
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.total_nanos += start.elapsed().as_nanos();
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to take (stub: also the iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u32;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
+        let mut bencher = Bencher {
+            iters: self.samples,
+            total_nanos: 0,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.total_nanos as f64 / f64::from(self.samples.max(1));
+        println!(
+            "bench {}/{}: {:.3} ms/iter ({} iters)",
+            self.name,
+            label,
+            per_iter / 1.0e6,
+            self.samples
+        );
+    }
+
+    /// Registers and immediately runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<LabelArg>,
+        f: F,
+    ) -> &mut Self {
+        self.run(id.into().0, f);
+        self
+    }
+
+    /// Registers a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<LabelArg>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.into().0, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(&mut self) {}
+}
+
+/// String-or-`BenchmarkId` argument adapter for `bench_function`.
+pub struct LabelArg(String);
+
+impl From<&str> for LabelArg {
+    fn from(s: &str) -> Self {
+        LabelArg(s.to_string())
+    }
+}
+
+impl From<String> for LabelArg {
+    fn from(s: String) -> Self {
+        LabelArg(s)
+    }
+}
+
+impl From<BenchmarkId> for LabelArg {
+    fn from(id: BenchmarkId) -> Self {
+        LabelArg(id.name)
+    }
+}
+
+/// Top-level benchmark harness (stub of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<LabelArg>,
+        f: F,
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Opaque-to-the-optimizer identity, keeping benchmarked values alive.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Bundles benchmark functions into a runner (stub of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (stub of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,15 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on data-structure types
+//! for API completeness, but never actually serializes anything (report
+//! binaries emit CSV by hand). The build container has no crates.io access,
+//! so this stub provides the trait names and re-exports no-op derive macros
+//! that expand to nothing.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stub of `serde_derive`: the derive macros expand to nothing.
+//!
+//! The build container has no network access to crates.io, and nothing in
+//! this workspace actually serializes data (report binaries write CSV by
+//! hand), so the derives only need to parse — not to generate impls.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
