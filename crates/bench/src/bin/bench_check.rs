@@ -1,0 +1,240 @@
+//! Scalability benchmark of the parallel checking runtime: writes
+//! `BENCH_check.json` at the repo root.
+//!
+//! Three workloads, each timed at 1, 2, 4, and 8 pool threads with the
+//! speedup relative to the 1-thread run:
+//!
+//! * **fig3** — the Figure 3 checking batch: several MF-CSL formulas on
+//!   the virus model checked through one [`CheckSession`], fanning the
+//!   per-formula checks out over the pool.
+//! * **table2** — a CSat sweep over a grid of initial occupancies on
+//!   Setting 2 (the per-initial-state analysis behind satisfaction
+//!   regions), one pool task per occupancy.
+//! * **scalability** — the transient solution of the exact lumped
+//!   overall CTMC (`C(N+2, 2)` states) via column-blocked uniformization,
+//!   the large-matrix workload the pool was built for.
+//!
+//! Every parallel run is compared against the serial result and must be
+//! bitwise identical; the JSON records the outcome. Wall-clock speedup
+//! requires a multicore host — the report includes the machine's
+//! available parallelism so a 1-core CI box is not mistaken for a
+//! scaling regression.
+//!
+//! Usage: `cargo run --release -p mfcsl-bench --bin bench_check --
+//! [--smoke] [--out <path>]`.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mfcsl_core::mfcsl::{parse_formula, CheckSession};
+use mfcsl_core::Occupancy;
+use mfcsl_models::virus;
+use mfcsl_pool::ThreadPool;
+use mfcsl_sim::{lumped, ssa};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct WorkloadReport {
+    name: &'static str,
+    description: String,
+    /// `(threads, wall_seconds, bitwise_equal_to_serial)` per run.
+    runs: Vec<(usize, f64, bool)>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_check.json".to_string());
+
+    let reports = vec![fig3_workload(smoke), table2_workload(smoke), scalability_workload(smoke)];
+
+    let json = render_json(&reports, smoke);
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    println!("report written to {out_path}");
+    for r in &reports {
+        let base = r.runs[0].1;
+        for (threads, wall, bitwise) in &r.runs {
+            println!(
+                "{:<12} threads={threads}  wall={wall:.4}s  speedup={:.2}x  bitwise_equal={bitwise}",
+                r.name,
+                base / wall
+            );
+        }
+    }
+}
+
+/// The Figure 3 checking batch: distinct formulas with distinct horizons,
+/// fanned out per formula.
+fn fig3_workload(smoke: bool) -> WorkloadReport {
+    let model =
+        virus::model(virus::setting_1(), virus::InfectionLaw::SmartVirus).expect("valid params");
+    let m0 = virus::example_occupancy().expect("paper occupancy");
+    let texts: Vec<String> = if smoke {
+        vec![
+            "EP{<0.3}[ not_infected U[0,1] infected ]".to_string(),
+            "E{>0.05}[ infected ]".to_string(),
+        ]
+    } else {
+        (0..8)
+            .map(|i| {
+                format!(
+                    "EP{{<0.3}}[ not_infected U[0,{}] infected ]",
+                    1.0 + 0.5 * f64::from(i)
+                )
+            })
+            .collect()
+    };
+    let psis: Vec<_> = texts.iter().map(|t| parse_formula(t).expect("parses")).collect();
+
+    let serial_session = CheckSession::new(&model);
+    let serial = serial_session.check_all(&psis, &m0).expect("checks");
+
+    let mut runs = Vec::new();
+    for threads in THREAD_COUNTS {
+        let pool = Arc::new(ThreadPool::new(threads));
+        let session = CheckSession::new(&model).with_pool(pool);
+        let start = Instant::now();
+        let verdicts = session.check_all(&psis, &m0).expect("checks");
+        let wall = start.elapsed().as_secs_f64();
+        runs.push((threads, wall, verdicts == serial));
+    }
+    WorkloadReport {
+        name: "fig3",
+        description: format!(
+            "check_all of {} Figure-3-style formulas on the virus model (Setting 1), \
+             one pool task per formula",
+            psis.len()
+        ),
+        runs,
+    }
+}
+
+/// A CSat sweep over a grid of initial occupancies, fanned out per
+/// occupancy.
+fn table2_workload(smoke: bool) -> WorkloadReport {
+    let model =
+        virus::model(virus::setting_2(), virus::InfectionLaw::SmartVirus).expect("valid params");
+    let psi = parse_formula("E{<0.4}[ infected ]").expect("parses");
+    let grid = if smoke { 3 } else { 12 };
+    let m0s: Vec<Occupancy> = (1..=grid)
+        .map(|i| {
+            let infected = 0.5 * f64::from(i) / f64::from(grid);
+            Occupancy::new(vec![1.0 - infected, infected / 2.0, infected / 2.0]).expect("valid")
+        })
+        .collect();
+    let theta = if smoke { 5.0 } else { 15.0 };
+
+    let serial_session = CheckSession::new(&model);
+    let serial = serial_session.csat_sweep(&psi, &m0s, theta).expect("sweeps");
+    let serial_bits = interval_bits(&serial);
+
+    let mut runs = Vec::new();
+    for threads in THREAD_COUNTS {
+        let pool = Arc::new(ThreadPool::new(threads));
+        let session = CheckSession::new(&model).with_pool(pool);
+        let start = Instant::now();
+        let sets = session.csat_sweep(&psi, &m0s, theta).expect("sweeps");
+        let wall = start.elapsed().as_secs_f64();
+        runs.push((threads, wall, interval_bits(&sets) == serial_bits));
+    }
+    WorkloadReport {
+        name: "table2",
+        description: format!(
+            "cSat sweep of E{{<0.4}}[infected] over {} initial occupancies on Setting 2, \
+             one pool task per occupancy",
+            m0s.len()
+        ),
+        runs,
+    }
+}
+
+fn interval_bits(sets: &[mfcsl_math::IntervalSet]) -> Vec<u64> {
+    sets.iter()
+        .flat_map(|s| {
+            s.intervals()
+                .iter()
+                .flat_map(|i| [i.lo().value.to_bits(), i.hi().value.to_bits()])
+        })
+        .collect()
+}
+
+/// The exact lumped overall CTMC: `C(N+2, 2)` states solved by
+/// column-blocked uniformization on the sparse backend.
+fn scalability_workload(smoke: bool) -> WorkloadReport {
+    let model =
+        virus::model(virus::setting_2(), virus::InfectionLaw::SmartVirus).expect("valid params");
+    let m0 = Occupancy::new(vec![0.8, 0.1, 0.1]).expect("valid");
+    let n = if smoke { 60 } else { 320 };
+    let t = 2.0;
+    let chain = lumped::build_sparse(&model, n, 600_000).expect("builds");
+    let c0 = ssa::counts_from_occupancy(&m0, n).expect("counts");
+
+    let serial = chain.expected_occupancy(&c0, t, 1e-10).expect("transient");
+    let serial_bits: Vec<u64> = serial.iter().map(|x| x.to_bits()).collect();
+
+    let mut runs = Vec::new();
+    for threads in THREAD_COUNTS {
+        let pool = ThreadPool::new(threads);
+        let start = Instant::now();
+        let e = chain
+            .expected_occupancy_on(Some(&pool), &c0, t, 1e-10)
+            .expect("transient");
+        let wall = start.elapsed().as_secs_f64();
+        let bits: Vec<u64> = e.iter().map(|x| x.to_bits()).collect();
+        runs.push((threads, wall, bits == serial_bits));
+    }
+    WorkloadReport {
+        name: "scalability",
+        description: format!(
+            "transient solution of the lumped overall CTMC for N = {n} \
+             ({} states, sparse backend, column-blocked uniformization)",
+            lumped::n_lumped_states(n, 3)
+        ),
+        runs,
+    }
+}
+
+/// Hand-rolled JSON (the workspace's serde is an offline stub without a
+/// serializer).
+fn render_json(reports: &[WorkloadReport], smoke: bool) -> String {
+    let threads_available = mfcsl_pool::default_parallelism();
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"check\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"threads_available\": {threads_available},");
+    if threads_available < 2 {
+        let _ = writeln!(
+            out,
+            "  \"note\": \"host exposes a single core: wall-clock speedup over the \
+             1-thread run is not attainable on this machine; rerun on a multicore \
+             host to measure scaling\","
+        );
+    }
+    let _ = writeln!(out, "  \"workloads\": [");
+    for (wi, r) in reports.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(out, "      \"description\": \"{}\",", r.description);
+        let _ = writeln!(out, "      \"results\": [");
+        let base = r.runs[0].1;
+        for (i, (threads, wall, bitwise)) in r.runs.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "        {{\"threads\": {threads}, \"wall_seconds\": {wall:.6}, \
+                 \"speedup_vs_1\": {:.4}, \"bitwise_equal_to_serial\": {bitwise}}}{}",
+                base / wall,
+                if i + 1 < r.runs.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = writeln!(out, "    }}{}", if wi + 1 < reports.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}

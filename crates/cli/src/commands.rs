@@ -5,12 +5,14 @@
 //! and printing.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use mfcsl_core::fixedpoint::{self, FixedPointOptions};
 use mfcsl_core::mfcsl::{parse_formula, CheckSession, EngineStats, MfFormula, SolveKind};
 use mfcsl_core::{meanfield, LocalModel, Occupancy};
 use mfcsl_csl::Tolerances;
 use mfcsl_ode::OdeOptions;
+use mfcsl_pool::{PoolStats, ThreadPool};
 
 /// Error type of the CLI layer: a human-readable message.
 #[derive(Debug)]
@@ -83,12 +85,17 @@ pub fn info(
     Ok(out)
 }
 
-/// `mfcsl check <model> --m0 … [--fast] [--stats] "<formula>"…`.
+/// `mfcsl check <model> --m0 … [--fast] [--threads N] [--stats]
+/// "<formula>"…`.
 ///
 /// All formulas of the invocation are checked through one memoizing
 /// [`CheckSession`], so they share the mean-field trajectory (solved once
 /// to the batch's maximum horizon), the per-subformula CSL caches, and
-/// the stationary regime. `--stats` appends the session's counters.
+/// the stationary regime. The per-formula checks fan out over a thread
+/// pool of `threads` lanes (`None` → the machine's available
+/// parallelism); verdicts are bitwise identical at any thread count.
+/// `--stats` appends the session's counters and the pool's per-thread
+/// task counts.
 ///
 /// # Errors
 ///
@@ -99,9 +106,11 @@ pub fn check(
     formulas: &[String],
     fast: bool,
     show_stats: bool,
+    threads: Option<usize>,
 ) -> Result<String, CliError> {
     let psis = parse_formulas(formulas)?;
-    let session = session(model, fast);
+    let pool = pool(threads);
+    let session = session(model, fast).with_pool(Arc::clone(&pool));
     let verdicts = session.check_all(&psis, m0)?;
     let mut out = String::new();
     for (psi, verdict) in psis.iter().zip(&verdicts) {
@@ -121,39 +130,46 @@ pub fn check(
         .expect("write to string");
     }
     if show_stats {
-        out.push_str(&format_stats(&session.stats()));
+        out.push_str(&format_stats(&session.stats(), Some(&pool.stats())));
     }
     Ok(out)
 }
 
-/// `mfcsl csat <model> --m0 … --theta T [--stats] "<formula>"…`.
+/// `mfcsl csat <model> --m0 … [--m0 …]… --theta T [--threads N] [--stats]
+/// "<formula>"…`.
 ///
-/// Like [`check`], all formulas share one [`CheckSession`].
+/// Like [`check`], all formulas share one [`CheckSession`]. With several
+/// `--m0` flags, each formula is swept over all initial occupancies —
+/// the sweep fans out over the pool, one task per occupancy, with
+/// bitwise-identical interval sets at any thread count.
 ///
 /// # Errors
 ///
 /// Propagates parse/check failures as [`CliError`].
 pub fn csat(
     model: &LocalModel,
-    m0: &Occupancy,
+    m0s: &[Occupancy],
     theta: f64,
     formulas: &[String],
     show_stats: bool,
+    threads: Option<usize>,
 ) -> Result<String, CliError> {
     let psis = parse_formulas(formulas)?;
-    let session = session(model, false);
+    let pool = pool(threads);
+    let session = session(model, false).with_pool(Arc::clone(&pool));
     let mut out = String::new();
     for psi in &psis {
-        let set = session.csat(psi, m0, theta)?;
-        writeln!(
-            out,
-            "cSat({psi}, {m0}, {theta}) = {set}   (measure {:.6})",
-            set.measure()
-        )
-        .expect("write to string");
+        for (m0, set) in m0s.iter().zip(session.csat_sweep(psi, m0s, theta)?) {
+            writeln!(
+                out,
+                "cSat({psi}, {m0}, {theta}) = {set}   (measure {:.6})",
+                set.measure()
+            )
+            .expect("write to string");
+        }
     }
     if show_stats {
-        out.push_str(&format_stats(&session.stats()));
+        out.push_str(&format_stats(&session.stats(), Some(&pool.stats())));
     }
     Ok(out)
 }
@@ -173,8 +189,17 @@ fn session(model: &LocalModel, fast: bool) -> CheckSession<'_> {
     }
 }
 
+/// Builds the checking pool: `--threads N` or the machine's available
+/// parallelism.
+fn pool(threads: Option<usize>) -> Arc<ThreadPool> {
+    Arc::new(match threads {
+        Some(n) => ThreadPool::new(n),
+        None => ThreadPool::with_default_parallelism(),
+    })
+}
+
 /// Renders a session's [`EngineStats`] as the `--stats` block.
-fn format_stats(stats: &EngineStats) -> String {
+fn format_stats(stats: &EngineStats, pool: Option<&PoolStats>) -> String {
     let mut out = String::from("engine statistics:\n");
     writeln!(
         out,
@@ -220,6 +245,18 @@ fn format_stats(stats: &EngineStats) -> String {
             s.ode_steps,
             s.rhs_evals,
             s.wall.as_secs_f64() * 1e3
+        )
+        .expect("write to string");
+    }
+    if let Some(p) = pool {
+        let per_thread: Vec<String> = p.tasks_per_thread.iter().map(u64::to_string).collect();
+        writeln!(
+            out,
+            "  pool: {} threads, {} tasks (per thread: {}), utilization {:.1}%",
+            p.threads,
+            p.total_tasks,
+            per_thread.join("/"),
+            p.utilization * 100.0
         )
         .expect("write to string");
     }
@@ -327,12 +364,12 @@ rate i -> s : gamma
     fn check_and_fast_agree() {
         let (model, _) = sis();
         let m0 = parse_occupancy("0.9,0.1").unwrap();
-        let a = check(&model, &m0, &one("E{<0.2}[ infected ]"), false, false).unwrap();
-        let b = check(&model, &m0, &one("E{<0.2}[ infected ]"), true, false).unwrap();
+        let a = check(&model, &m0, &one("E{<0.2}[ infected ]"), false, false, None).unwrap();
+        let b = check(&model, &m0, &one("E{<0.2}[ infected ]"), true, false, None).unwrap();
         assert!(a.contains('⊨'));
         assert!(b.contains('⊨'));
         assert!(b.contains("fast tolerances"));
-        let c = check(&model, &m0, &one("E{>0.2}[ infected ]"), false, false).unwrap();
+        let c = check(&model, &m0, &one("E{>0.2}[ infected ]"), false, false, None).unwrap();
         assert!(c.contains('⊭'));
     }
 
@@ -345,23 +382,59 @@ rate i -> s : gamma
             "EP{>0}[ tt U[0,2] infected ]".to_string(),
             "EP{>0}[ tt U[0,2] infected ]".to_string(),
         ];
-        let out = check(&model, &m0, &formulas, false, true).unwrap();
+        // One thread: the repeated formula deterministically hits the
+        // curve cache warmed by its first occurrence.
+        let out = check(&model, &m0, &formulas, false, true, Some(1)).unwrap();
         assert_eq!(out.matches('⊨').count(), 3, "{out}");
         assert!(out.contains("engine statistics:"), "{out}");
         assert!(out.contains("trajectories: 1 solved, 0 extended"), "{out}");
         // The repeated formula hits the curve cache.
         assert!(out.contains("prob curves: 1 hits, 1 misses"), "{out}");
+        assert!(out.contains("pool: 1 threads"), "{out}");
+    }
+
+    #[test]
+    fn check_parallel_verdicts_match_serial() {
+        let (model, _) = sis();
+        let m0 = parse_occupancy("0.9,0.1").unwrap();
+        let formulas = vec![
+            "E{<0.2}[ infected ]".to_string(),
+            "EP{>0}[ tt U[0,2] infected ]".to_string(),
+            "EP{>0}[ tt U[0,5] infected ]".to_string(),
+            "ES{>0.45}[ infected ]".to_string(),
+        ];
+        let serial = check(&model, &m0, &formulas, false, false, Some(1)).unwrap();
+        for threads in [2, 8] {
+            let parallel = check(&model, &m0, &formulas, false, false, Some(threads)).unwrap();
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
     }
 
     #[test]
     fn csat_reports_interval() {
         let (model, _) = sis();
         let m0 = parse_occupancy("0.9,0.1").unwrap();
-        let text = csat(&model, &m0, 10.0, &one("E{<0.3}[ infected ]"), false).unwrap();
+        let m0s = std::slice::from_ref(&m0);
+        let text = csat(&model, m0s, 10.0, &one("E{<0.3}[ infected ]"), false, None).unwrap();
         assert!(text.contains("cSat"));
         assert!(text.contains("measure"));
-        let text = csat(&model, &m0, 10.0, &one("E{<0.3}[ infected ]"), true).unwrap();
+        let text = csat(&model, m0s, 10.0, &one("E{<0.3}[ infected ]"), true, None).unwrap();
         assert!(text.contains("engine statistics:"), "{text}");
+    }
+
+    #[test]
+    fn csat_sweeps_several_occupancies() {
+        let (model, _) = sis();
+        let m0s = vec![
+            parse_occupancy("0.9,0.1").unwrap(),
+            parse_occupancy("0.5,0.5").unwrap(),
+            parse_occupancy("0.2,0.8").unwrap(),
+        ];
+        let psi = one("E{<0.3}[ infected ]");
+        let serial = csat(&model, &m0s, 10.0, &psi, false, Some(1)).unwrap();
+        assert_eq!(serial.matches("cSat").count(), 3, "{serial}");
+        let parallel = csat(&model, &m0s, 10.0, &psi, false, Some(8)).unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]
@@ -387,9 +460,9 @@ rate i -> s : gamma
     fn errors_are_messages() {
         let (model, _) = sis();
         let m0 = parse_occupancy("0.9,0.1").unwrap();
-        let err = check(&model, &m0, &one("E{>2}[ infected ]"), false, false).unwrap_err();
+        let err = check(&model, &m0, &one("E{>2}[ infected ]"), false, false, None).unwrap_err();
         assert!(err.to_string().contains("[0, 1]"));
-        let err = check(&model, &m0, &one("E{>0.5}[ ghost ]"), false, false).unwrap_err();
+        let err = check(&model, &m0, &one("E{>0.5}[ ghost ]"), false, false, None).unwrap_err();
         assert!(err.to_string().contains("ghost"));
     }
 }

@@ -19,8 +19,8 @@ mfcsl — MF-CSL model checker for mean-field models
 
 USAGE:
   mfcsl info <model.mf>
-  mfcsl check <model.mf> --m0 <fractions> [--fast] [--stats] \"<formula>\"...
-  mfcsl csat <model.mf> --m0 <fractions> --theta <T> [--stats] \"<formula>\"...
+  mfcsl check <model.mf> --m0 <fractions> [--fast] [--threads <N>] [--stats] \"<formula>\"...
+  mfcsl csat <model.mf> --m0 <fractions> [--m0 <fractions>]... --theta <T> [--threads <N>] [--stats] \"<formula>\"...
   mfcsl trajectory <model.mf> --m0 <fractions> --t-end <T> [--points <N>]
   mfcsl fixed-points <model.mf>
 
@@ -29,8 +29,13 @@ USAGE:
       EP{<0.3}[ not_infected U[0,1] infected ]
       E{>0.8}[ P{>0.9}[ infected U[0,15] P{>0.8}[ tt U[0,0.5] infected ] ] ]
   All formulas of one invocation share a single analysis session (one
-  mean-field solve, shared satisfaction-set and curve caches); --stats
-  prints the session's cache counters and per-solve timings.
+  mean-field solve, shared satisfaction-set and curve caches) and fan out
+  over a work-stealing thread pool: --threads <N> sets the lane count
+  (default: the machine's available parallelism; results are bitwise
+  identical at any thread count). csat accepts --m0 repeatedly and sweeps
+  every formula over all initial occupancies in parallel. --stats prints
+  the session's cache counters, per-solve timings, and the pool's
+  per-thread task counts.
 ";
 
 fn main() -> ExitCode {
@@ -60,10 +65,11 @@ fn run(args: Vec<String>) -> Result<String, CliError> {
     let model = file.instantiate()?;
 
     // Collect remaining flags and the optional trailing formula.
-    let mut m0_text: Option<String> = None;
+    let mut m0_texts: Vec<String> = Vec::new();
     let mut theta: Option<f64> = None;
     let mut t_end: Option<f64> = None;
     let mut points: usize = 101;
+    let mut threads: Option<usize> = None;
     let mut fast = false;
     let mut stats = false;
     let mut formulas: Vec<String> = Vec::new();
@@ -77,7 +83,17 @@ fn run(args: Vec<String>) -> Result<String, CliError> {
         };
         match rest[i].as_str() {
             "--m0" => {
-                m0_text = Some(parse_value(&rest, i, "--m0")?);
+                m0_texts.push(parse_value(&rest, i, "--m0")?);
+                i += 2;
+            }
+            "--threads" => {
+                let n: usize = parse_value(&rest, i, "--threads")?
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --threads: {e}")))?;
+                if n == 0 {
+                    return Err(CliError("--threads must be at least 1".into()));
+                }
+                threads = Some(n);
                 i += 2;
             }
             "--theta" => {
@@ -120,11 +136,22 @@ fn run(args: Vec<String>) -> Result<String, CliError> {
         }
     }
     let need_m0 = || -> Result<mfcsl_core::Occupancy, CliError> {
-        commands::parse_occupancy(
-            m0_text
-                .as_deref()
-                .ok_or_else(|| CliError("--m0 is required for this command".into()))?,
-        )
+        match m0_texts.as_slice() {
+            [] => Err(CliError("--m0 is required for this command".into())),
+            [one] => commands::parse_occupancy(one),
+            _ => Err(CliError(
+                "this command takes a single --m0 (only csat sweeps several)".into(),
+            )),
+        }
+    };
+    let need_m0s = || -> Result<Vec<mfcsl_core::Occupancy>, CliError> {
+        if m0_texts.is_empty() {
+            return Err(CliError("--m0 is required for this command".into()));
+        }
+        m0_texts
+            .iter()
+            .map(|t| commands::parse_occupancy(t))
+            .collect()
     };
     let need_formulas = || -> Result<&[String], CliError> {
         if formulas.is_empty() {
@@ -138,12 +165,12 @@ fn run(args: Vec<String>) -> Result<String, CliError> {
         "info" => commands::info(&model, file.params()),
         "check" => {
             let m0 = need_m0()?;
-            commands::check(&model, &m0, need_formulas()?, fast, stats)
+            commands::check(&model, &m0, need_formulas()?, fast, stats, threads)
         }
         "csat" => {
-            let m0 = need_m0()?;
+            let m0s = need_m0s()?;
             let theta = theta.ok_or_else(|| CliError("--theta is required for csat".into()))?;
-            commands::csat(&model, &m0, theta, need_formulas()?, stats)
+            commands::csat(&model, &m0s, theta, need_formulas()?, stats, threads)
         }
         "trajectory" => {
             let m0 = need_m0()?;

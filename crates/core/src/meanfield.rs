@@ -18,7 +18,7 @@ use mfcsl_ode::{OdeOptions, Trajectory};
 use crate::{CoreError, LocalModel, Occupancy};
 
 /// A dense solution of the mean-field ODE (Eq. 1) over `[0, t_end]`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct OccupancyTrajectory<'a> {
     model: &'a LocalModel,
     trajectory: Trajectory,

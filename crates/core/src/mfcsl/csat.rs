@@ -99,7 +99,7 @@ impl Checker<'_> {
                 // jump points where the satisfaction set changes.
                 let sat = match cache {
                     Some(c) => csl.sat_over_time_cached(c, inner, theta)?,
-                    None => std::rc::Rc::new(csl.sat_over_time(inner, theta)?),
+                    None => std::sync::Arc::new(csl.sat_over_time(inner, theta)?),
                 };
                 let value = |t: f64| solution.occupancy_at(t).mass_of(sat.set_at(t));
                 self.threshold_intervals(&value, sat.boundaries(), *cmp, *p, theta)
@@ -108,7 +108,7 @@ impl Checker<'_> {
                 // Table I row 3: Σ_j m_j(t) · Prob(s_j, φ, m̄, t) ⋈ p.
                 let curve = match cache {
                     Some(c) => csl.path_prob_curve_cached(c, path, theta)?,
-                    None => std::rc::Rc::new(csl.path_prob_curve(path, theta)?),
+                    None => std::sync::Arc::new(csl.path_prob_curve(path, theta)?),
                 };
                 let value = move |t: f64| -> f64 {
                     let m = solution.occupancy_at(t);

@@ -27,18 +27,32 @@
 //! identical to an uncached checker handed the same trajectory, and
 //! repeated queries are bitwise identical to the first.
 //!
+//! # Parallelism
+//!
+//! The session is `Send + Sync`: entries live in sharded reader–writer
+//! maps handing out `Arc`s, each trajectory sits behind its own `RwLock`
+//! (readers share; extension takes the write side), and the counters are
+//! atomics. Attach a [`ThreadPool`] with [`CheckSession::with_pool`] and
+//! the independent work units fan out as pool tasks: the formulas of a
+//! [`CheckSession::check_all`] batch and the initial occupancies of a
+//! [`CheckSession::csat_sweep`]. Results are collected in input order and
+//! every task runs the same serial checking code against the shared
+//! caches, so verdicts, interval sets, and curves are bitwise identical
+//! to the serial path at any thread count.
+//!
 //! [`EngineStats`] exposes hit/miss counters, ODE work, and per-solve
 //! wall times; the CLI surfaces them behind `--stats`.
 
-use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use mfcsl_csl::checker::{InhomogeneousChecker, ProbCurve};
 use mfcsl_csl::model::StationaryRegime;
 use mfcsl_csl::{CacheStats, PathFormula, SatCache, Tolerances};
 use mfcsl_math::IntervalSet;
+use mfcsl_pool::shard::ShardedMap;
+use mfcsl_pool::ThreadPool;
 
 use crate::meanfield::OccupancyTrajectory;
 use crate::mfcsl::check::{Checker, Verdict};
@@ -74,9 +88,9 @@ pub struct SolveRecord {
 
 /// Snapshot of a session's counters, taken by [`CheckSession::stats`].
 ///
-/// The counters themselves are plain [`Cell`]s bumped on each event, so
-/// keeping statistics costs nothing when nobody asks for them; building
-/// this snapshot is the only allocating operation.
+/// The counters themselves are plain atomics bumped on each event, so
+/// keeping statistics costs almost nothing when nobody asks for them;
+/// building this snapshot is the only allocating operation.
 #[derive(Debug, Clone, Default)]
 pub struct EngineStats {
     /// Full mean-field solves from `t = 0`.
@@ -91,21 +105,26 @@ pub struct EngineStats {
     pub regime_reuses: u64,
     /// CSL-layer cache counters, aggregated over all trajectory entries.
     pub cache: CacheStats,
-    /// Every ODE integration performed, in order.
+    /// Every ODE integration performed, in order of completion.
     pub solves: Vec<SolveRecord>,
 }
 
 struct Entry<'a> {
-    trajectory: OccupancyTrajectory<'a>,
+    /// The solved trajectory; readers share, extension takes the write
+    /// side. Extension replaces the value with one whose solved prefix is
+    /// bitwise identical, so concurrent readers before/after an extension
+    /// observe the same prefix values.
+    trajectory: RwLock<OccupancyTrajectory<'a>>,
     cache: SatCache,
 }
 
 /// A memoizing checking session over one model: the `AnalysisEngine` of
 /// the stack.
 ///
-/// All methods take `&self`; the caches use interior mutability. The
-/// session is deliberately `!Sync` — clone the underlying model into
-/// separate sessions for parallel fan-out.
+/// All methods take `&self`; the session is `Send + Sync` and may be
+/// shared across threads — attach a pool with
+/// [`CheckSession::with_pool`] to fan batches out (see the
+/// [module docs](self)).
 ///
 /// # Example
 ///
@@ -132,14 +151,22 @@ struct Entry<'a> {
 /// ```
 pub struct CheckSession<'a> {
     checker: Checker<'a>,
-    entries: RefCell<HashMap<Vec<u64>, Entry<'a>>>,
-    regimes: RefCell<HashMap<Vec<u64>, StationaryRegime>>,
-    trajectory_solves: Cell<u64>,
-    trajectory_extensions: Cell<u64>,
-    trajectory_reuses: Cell<u64>,
-    regime_solves: Cell<u64>,
-    regime_reuses: Cell<u64>,
-    solves: RefCell<Vec<SolveRecord>>,
+    pool: Option<Arc<ThreadPool>>,
+    entries: ShardedMap<Vec<u64>, Arc<Entry<'a>>>,
+    /// Per-key creation gates: the first thread to need an entry solves
+    /// while holding its gate, so concurrent callers with the same `m̄(0)`
+    /// solve the mean-field ODE exactly once.
+    entry_gates: ShardedMap<Vec<u64>, Arc<Mutex<()>>>,
+    regimes: ShardedMap<Vec<u64>, StationaryRegime>,
+    /// Serializes stationary-regime computation (rare and expensive), so
+    /// racing `ES` queries compute each regime exactly once.
+    regime_gate: Mutex<()>,
+    trajectory_solves: AtomicU64,
+    trajectory_extensions: AtomicU64,
+    trajectory_reuses: AtomicU64,
+    regime_solves: AtomicU64,
+    regime_reuses: AtomicU64,
+    solves: Mutex<Vec<SolveRecord>>,
 }
 
 impl<'a> CheckSession<'a> {
@@ -160,15 +187,34 @@ impl<'a> CheckSession<'a> {
     pub fn from_checker(checker: Checker<'a>) -> Self {
         CheckSession {
             checker,
-            entries: RefCell::new(HashMap::new()),
-            regimes: RefCell::new(HashMap::new()),
-            trajectory_solves: Cell::new(0),
-            trajectory_extensions: Cell::new(0),
-            trajectory_reuses: Cell::new(0),
-            regime_solves: Cell::new(0),
-            regime_reuses: Cell::new(0),
-            solves: RefCell::new(Vec::new()),
+            pool: None,
+            entries: ShardedMap::new(),
+            entry_gates: ShardedMap::new(),
+            regimes: ShardedMap::new(),
+            regime_gate: Mutex::new(()),
+            trajectory_solves: AtomicU64::new(0),
+            trajectory_extensions: AtomicU64::new(0),
+            trajectory_reuses: AtomicU64::new(0),
+            regime_solves: AtomicU64::new(0),
+            regime_reuses: AtomicU64::new(0),
+            solves: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Attaches a thread pool: batch entry points
+    /// ([`CheckSession::check_all`], [`CheckSession::csat_sweep`]) fan
+    /// their independent work units out as pool tasks. Verdicts and sets
+    /// stay bitwise identical to the pool-less session.
+    #[must_use]
+    pub fn with_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The attached pool, if any.
+    #[must_use]
+    pub fn pool(&self) -> Option<&ThreadPool> {
+        self.pool.as_deref()
     }
 
     /// The underlying (uncached) checker.
@@ -189,10 +235,9 @@ impl<'a> CheckSession<'a> {
     ///
     /// See [`Checker::check`].
     pub fn check(&self, psi: &MfFormula, m0: &Occupancy) -> Result<Verdict, CoreError> {
-        let key = self.ensure_trajectory(m0, psi.time_horizon())?;
-        let entries = self.entries.borrow();
-        let entry = entries.get(&key).expect("entry ensured above");
-        let mut tv = entry.trajectory.local_tv_model()?;
+        let entry = self.ensure_trajectory(m0, psi.time_horizon())?;
+        let trajectory = entry.trajectory.read().unwrap();
+        let mut tv = trajectory.local_tv_model()?;
         if psi.requires_stationary() {
             tv = tv.with_stationary(self.stationary_regime(m0)?)?;
         }
@@ -204,11 +249,15 @@ impl<'a> CheckSession<'a> {
     ///
     /// The trajectory horizon is taken as the maximum over the whole batch
     /// *up front*, so the mean-field ODE is solved to its final length
-    /// once instead of being grown formula by formula.
+    /// once instead of being grown formula by formula. With a pool
+    /// attached, the per-formula checks then run as parallel tasks over
+    /// the shared trajectory and caches; verdicts are collected in
+    /// formula order.
     ///
     /// # Errors
     ///
-    /// Fails on the first formula that fails; see [`Checker::check`].
+    /// Fails on the first (in input order) formula that fails; see
+    /// [`Checker::check`].
     pub fn check_all(
         &self,
         psis: &[MfFormula],
@@ -218,7 +267,13 @@ impl<'a> CheckSession<'a> {
         if !psis.is_empty() {
             self.ensure_trajectory(m0, horizon)?;
         }
-        psis.iter().map(|psi| self.check(psi, m0)).collect()
+        match &self.pool {
+            Some(pool) if pool.threads() > 1 && psis.len() > 1 => pool
+                .map_indexed(psis.len(), |i| self.check(&psis[i], m0))
+                .into_iter()
+                .collect(),
+            _ => psis.iter().map(|psi| self.check(psi, m0)).collect(),
+        }
     }
 
     /// Computes `cSat(Ψ, m̄, θ)` (see [`Checker::csat`]), reusing cached
@@ -238,16 +293,41 @@ impl<'a> CheckSession<'a> {
                 "evaluation horizon must be finite and non-negative, got {theta}"
             )));
         }
-        let key = self.ensure_trajectory(m0, theta + psi.time_horizon())?;
-        let entries = self.entries.borrow();
-        let entry = entries.get(&key).expect("entry ensured above");
-        let mut tv = entry.trajectory.local_tv_model()?;
+        let entry = self.ensure_trajectory(m0, theta + psi.time_horizon())?;
+        let trajectory = entry.trajectory.read().unwrap();
+        let mut tv = trajectory.local_tv_model()?;
         if psi.requires_stationary() {
             tv = tv.with_stationary(self.stationary_regime(m0)?)?;
         }
         let csl = InhomogeneousChecker::with_tolerances(&tv, *self.checker.tolerances());
         self.checker
-            .csat_rec(Some(&entry.cache), psi, &csl, &entry.trajectory, theta)
+            .csat_rec(Some(&entry.cache), psi, &csl, &trajectory, theta)
+    }
+
+    /// Computes `cSat(Ψ, m̄, θ)` for a whole sweep of initial occupancies
+    /// — the per-initial-state satisfaction analysis behind CSat region
+    /// plots. With a pool attached, the occupancies run as parallel tasks
+    /// (each with its own trajectory entry, solved once); results are
+    /// collected in input order and are bitwise identical to calling
+    /// [`CheckSession::csat`] one occupancy at a time.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first (in input order) occupancy that fails; see
+    /// [`Checker::csat`].
+    pub fn csat_sweep(
+        &self,
+        psi: &MfFormula,
+        m0s: &[Occupancy],
+        theta: f64,
+    ) -> Result<Vec<IntervalSet>, CoreError> {
+        match &self.pool {
+            Some(pool) if pool.threads() > 1 && m0s.len() > 1 => pool
+                .map_indexed(m0s.len(), |i| self.csat(psi, &m0s[i], theta))
+                .into_iter()
+                .collect(),
+            _ => m0s.iter().map(|m0| self.csat(psi, m0, theta)).collect(),
+        }
     }
 
     /// The per-state path-probability curve `t ↦ Prob(s, φ, m̄, t)` over
@@ -262,16 +342,15 @@ impl<'a> CheckSession<'a> {
         path: &PathFormula,
         m0: &Occupancy,
         theta: f64,
-    ) -> Result<Rc<ProbCurve>, CoreError> {
+    ) -> Result<Arc<ProbCurve>, CoreError> {
         let psi = MfFormula::ExpectPath {
             cmp: mfcsl_csl::Comparison::Gt,
             p: 0.0,
             path: path.clone(),
         };
-        let key = self.ensure_trajectory(m0, theta + psi.time_horizon())?;
-        let entries = self.entries.borrow();
-        let entry = entries.get(&key).expect("entry ensured above");
-        let tv = entry.trajectory.local_tv_model()?;
+        let entry = self.ensure_trajectory(m0, theta + psi.time_horizon())?;
+        let trajectory = entry.trajectory.read().unwrap();
+        let tv = trajectory.local_tv_model()?;
         let csl = InhomogeneousChecker::with_tolerances(&tv, *self.checker.tolerances());
         Ok(csl.path_prob_curve_cached(&entry.cache, path, theta)?)
     }
@@ -284,13 +363,18 @@ impl<'a> CheckSession<'a> {
     /// See [`Checker::check`].
     pub fn stationary_regime(&self, m0: &Occupancy) -> Result<StationaryRegime, CoreError> {
         let key = occupancy_key(m0);
-        if let Some(regime) = self.regimes.borrow().get(&key) {
-            self.regime_reuses.set(self.regime_reuses.get() + 1);
-            return Ok(regime.clone());
+        if let Some(regime) = self.regimes.get(&key) {
+            self.regime_reuses.fetch_add(1, Ordering::Relaxed);
+            return Ok(regime);
+        }
+        let _gate = self.regime_gate.lock().unwrap();
+        if let Some(regime) = self.regimes.get(&key) {
+            self.regime_reuses.fetch_add(1, Ordering::Relaxed);
+            return Ok(regime);
         }
         let regime = self.checker.stationary_regime(m0)?;
-        self.regime_solves.set(self.regime_solves.get() + 1);
-        self.regimes.borrow_mut().insert(key, regime.clone());
+        self.regime_solves.fetch_add(1, Ordering::Relaxed);
+        self.regimes.insert(key, regime.clone());
         Ok(regime)
     }
 
@@ -298,7 +382,7 @@ impl<'a> CheckSession<'a> {
     #[must_use]
     pub fn stats(&self) -> EngineStats {
         let mut cache = CacheStats::default();
-        for entry in self.entries.borrow().values() {
+        self.entries.for_each(|_, entry| {
             let s = entry.cache.stats();
             cache.set_hits += s.set_hits;
             cache.set_misses += s.set_misses;
@@ -308,15 +392,15 @@ impl<'a> CheckSession<'a> {
             cache.interned_path_formulas += s.interned_path_formulas;
             cache.cached_sets += s.cached_sets;
             cache.cached_curves += s.cached_curves;
-        }
+        });
         EngineStats {
-            trajectory_solves: self.trajectory_solves.get(),
-            trajectory_extensions: self.trajectory_extensions.get(),
-            trajectory_reuses: self.trajectory_reuses.get(),
-            regime_solves: self.regime_solves.get(),
-            regime_reuses: self.regime_reuses.get(),
+            trajectory_solves: self.trajectory_solves.load(Ordering::Relaxed),
+            trajectory_extensions: self.trajectory_extensions.load(Ordering::Relaxed),
+            trajectory_reuses: self.trajectory_reuses.load(Ordering::Relaxed),
+            regime_solves: self.regime_solves.load(Ordering::Relaxed),
+            regime_reuses: self.regime_reuses.load(Ordering::Relaxed),
             cache,
-            solves: self.solves.borrow().clone(),
+            solves: self.solves.lock().unwrap().clone(),
         }
     }
 
@@ -324,71 +408,86 @@ impl<'a> CheckSession<'a> {
     /// (use when the model's interpretation changed out from under the
     /// session). Counters are kept.
     pub fn clear(&self) {
-        self.entries.borrow_mut().clear();
-        self.regimes.borrow_mut().clear();
+        self.entries.clear();
+        self.entry_gates.clear();
+        self.regimes.clear();
     }
 
     /// Makes sure the trajectory for `m0` covers `[0, horizon]`, solving
-    /// or extending as needed, and returns its cache key.
-    fn ensure_trajectory(&self, m0: &Occupancy, horizon: f64) -> Result<Vec<u64>, CoreError> {
+    /// or extending as needed, and returns its entry.
+    fn ensure_trajectory(
+        &self,
+        m0: &Occupancy,
+        horizon: f64,
+    ) -> Result<Arc<Entry<'a>>, CoreError> {
         let key = occupancy_key(m0);
-        let mut entries = self.entries.borrow_mut();
-        match entries.remove(&key) {
-            Some(entry) => {
-                if entry.trajectory.t_end() >= horizon {
-                    self.trajectory_reuses.set(self.trajectory_reuses.get() + 1);
-                    entries.insert(key.clone(), entry);
-                } else {
-                    let t_from = entry.trajectory.t_end();
-                    let before = entry.trajectory.trajectory().stats();
-                    let start = Instant::now();
-                    let trajectory = entry
-                        .trajectory
-                        .extended_to(horizon, &self.checker.tolerances().ode)?;
-                    let after = trajectory.trajectory().stats();
-                    self.solves.borrow_mut().push(SolveRecord {
-                        kind: SolveKind::Extension,
-                        t_from,
-                        t_to: trajectory.t_end(),
-                        ode_steps: after.accepted - before.accepted,
-                        rhs_evals: after.rhs_evals - before.rhs_evals,
-                        wall: start.elapsed(),
-                    });
-                    self.trajectory_extensions
-                        .set(self.trajectory_extensions.get() + 1);
-                    entries.insert(
-                        key.clone(),
-                        Entry {
-                            trajectory,
-                            cache: entry.cache,
-                        },
-                    );
-                }
-            }
-            None => {
-                let start = Instant::now();
-                let trajectory = self.checker.solve_to(m0, horizon)?;
-                let stats = trajectory.trajectory().stats();
-                self.solves.borrow_mut().push(SolveRecord {
-                    kind: SolveKind::Fresh,
-                    t_from: 0.0,
-                    t_to: trajectory.t_end(),
-                    ode_steps: stats.accepted,
-                    rhs_evals: stats.rhs_evals,
-                    wall: start.elapsed(),
-                });
-                self.trajectory_solves.set(self.trajectory_solves.get() + 1);
-                entries.insert(
-                    key,
-                    Entry {
-                        trajectory,
-                        cache: SatCache::new(),
-                    },
-                );
-                return Ok(occupancy_key(m0));
+        if let Some(entry) = self.entries.get(&key) {
+            self.ensure_horizon(&entry, horizon)?;
+            return Ok(entry);
+        }
+        let gate = self
+            .entry_gates
+            .get_or_insert_with(key.clone(), || Arc::new(Mutex::new(())));
+        let _guard = gate.lock().unwrap();
+        if let Some(entry) = self.entries.get(&key) {
+            drop(_guard);
+            self.ensure_horizon(&entry, horizon)?;
+            return Ok(entry);
+        }
+        let start = Instant::now();
+        let trajectory = self.checker.solve_to(m0, horizon)?;
+        let stats = trajectory.trajectory().stats();
+        self.solves.lock().unwrap().push(SolveRecord {
+            kind: SolveKind::Fresh,
+            t_from: 0.0,
+            t_to: trajectory.t_end(),
+            ode_steps: stats.accepted,
+            rhs_evals: stats.rhs_evals,
+            wall: start.elapsed(),
+        });
+        self.trajectory_solves.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(Entry {
+            trajectory: RwLock::new(trajectory),
+            cache: SatCache::new(),
+        });
+        self.entries.insert(key, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Extends an existing entry's trajectory when `horizon` outgrows it.
+    fn ensure_horizon(&self, entry: &Entry<'a>, horizon: f64) -> Result<(), CoreError> {
+        {
+            let trajectory = entry.trajectory.read().unwrap();
+            if trajectory.t_end() >= horizon {
+                self.trajectory_reuses.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
             }
         }
-        Ok(key)
+        let mut trajectory = entry.trajectory.write().unwrap();
+        // Another thread may have extended past `horizon` while we waited
+        // for the write lock.
+        if trajectory.t_end() >= horizon {
+            self.trajectory_reuses.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let t_from = trajectory.t_end();
+        let before = trajectory.trajectory().stats();
+        let start = Instant::now();
+        let extended = trajectory
+            .clone()
+            .extended_to(horizon, &self.checker.tolerances().ode)?;
+        let after = extended.trajectory().stats();
+        self.solves.lock().unwrap().push(SolveRecord {
+            kind: SolveKind::Extension,
+            t_from,
+            t_to: extended.t_end(),
+            ode_steps: after.accepted - before.accepted,
+            rhs_evals: after.rhs_evals - before.rhs_evals,
+            wall: start.elapsed(),
+        });
+        self.trajectory_extensions.fetch_add(1, Ordering::Relaxed);
+        *trajectory = extended;
+        Ok(())
     }
 }
 
@@ -418,6 +517,12 @@ mod tests {
 
     fn m0() -> Occupancy {
         Occupancy::new(vec![0.9, 0.1]).unwrap()
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<CheckSession<'_>>();
     }
 
     #[test]
@@ -465,6 +570,54 @@ mod tests {
         assert_eq!(stats.solves[0].kind, SolveKind::Fresh);
         assert!(stats.solves[0].t_to >= 5.0);
         assert!(stats.solves[0].ode_steps > 0);
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_batch_bitwise() {
+        let model = sis();
+        let psis = vec![
+            parse_formula("E{<0.2}[ infected ]").unwrap(),
+            parse_formula("EP{>0}[ tt U[0,2] infected ]").unwrap(),
+            parse_formula("EP{>0}[ tt U[0,5] infected ]").unwrap(),
+            parse_formula("ES{>0.45}[ infected ]").unwrap(),
+            parse_formula("EP{>0.5}[ healthy U[0,5] infected ]").unwrap(),
+        ];
+        let serial = CheckSession::new(&model);
+        let expected = serial.check_all(&psis, &m0()).unwrap();
+        for threads in [1, 2, 8] {
+            let pool = Arc::new(ThreadPool::new(threads));
+            let session = CheckSession::new(&model).with_pool(pool);
+            let got = session.check_all(&psis, &m0()).unwrap();
+            assert_eq!(got, expected, "threads = {threads}");
+            // Same solve discipline as the serial batch.
+            let stats = session.stats();
+            assert_eq!(stats.trajectory_solves, 1);
+            assert_eq!(stats.trajectory_extensions, 0);
+        }
+    }
+
+    #[test]
+    fn parallel_csat_sweep_matches_serial() {
+        let model = sis();
+        let psi = parse_formula("E{<0.3}[ infected ]").unwrap();
+        let m0s: Vec<Occupancy> = (1..8)
+            .map(|i| Occupancy::new(vec![1.0 - 0.1 * f64::from(i), 0.1 * f64::from(i)]).unwrap())
+            .collect();
+        let serial = CheckSession::new(&model);
+        let expected = serial.csat_sweep(&psi, &m0s, 10.0).unwrap();
+        let pool = Arc::new(ThreadPool::new(8));
+        let session = CheckSession::new(&model).with_pool(pool);
+        let got = session.csat_sweep(&psi, &m0s, 10.0).unwrap();
+        assert_eq!(expected.len(), got.len());
+        for (a, b) in expected.iter().zip(&got) {
+            assert_eq!(a.intervals().len(), b.intervals().len());
+            for (ia, ib) in a.intervals().iter().zip(b.intervals()) {
+                assert_eq!(ia.lo().value.to_bits(), ib.lo().value.to_bits());
+                assert_eq!(ia.hi().value.to_bits(), ib.hi().value.to_bits());
+            }
+        }
+        // One trajectory per occupancy, regardless of scheduling.
+        assert_eq!(session.stats().trajectory_solves, m0s.len() as u64);
     }
 
     #[test]

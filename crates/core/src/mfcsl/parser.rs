@@ -233,7 +233,10 @@ impl MfParser<'_> {
             "E" => MfFormula::expect(cmp, p, parse_state_formula(body).map_err(rebase)?),
             "ES" => MfFormula::expect_steady(cmp, p, parse_state_formula(body).map_err(rebase)?),
             "EP" => MfFormula::expect_path(cmp, p, parse_path_formula(body).map_err(rebase)?),
-            _ => unreachable!("caller matched the operator name"),
+            other => Err(CoreError::Parse {
+                position: self.pos,
+                message: format!("unknown expectation operator `{other}` (expected E, ES, or EP)"),
+            }),
         }
     }
 }
@@ -269,13 +272,8 @@ mod tests {
     fn boolean_structure_and_precedence() {
         let psi = parse_formula("tt | E{>0.5}[ a ] & !tt").unwrap();
         // `&` binds tighter than `|`.
-        match psi {
-            MfFormula::Or(lhs, rhs) => {
-                assert_eq!(*lhs, MfFormula::True);
-                assert!(matches!(*rhs, MfFormula::And(_, _)));
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        let e = MfFormula::expect(Comparison::Gt, 0.5, mfcsl_csl::StateFormula::ap("a")).unwrap();
+        assert_eq!(psi, MfFormula::True.or(e.and(MfFormula::True.not())));
         let psi = parse_formula("(tt)").unwrap();
         assert_eq!(psi, MfFormula::True);
         assert_eq!(parse_formula("ff").unwrap(), MfFormula::True.not());

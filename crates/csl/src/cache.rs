@@ -19,13 +19,21 @@
 //! shorter trajectory stay exact after the horizon grows (every entry only
 //! ever examined times within its own solve horizon).
 //!
-//! All interior state uses `RefCell`/`Cell`, so the checker threads a
-//! shared `&SatCache` through its recursion without borrow gymnastics;
-//! the type is deliberately `!Sync`.
+//! # Concurrency
+//!
+//! The cache is `Send + Sync`: the tables are sharded reader–writer maps
+//! ([`ShardedMap`]) handing out `Arc`s, the counters are atomics. Pool
+//! tasks of one checking session therefore share a single cache. Two
+//! tasks may race to compute the same entry — both compute, last write
+//! wins — which is harmless *because* every cached artifact is a
+//! deterministic, bitwise-reproducible function of `(formula, θ)` over
+//! the fixed trajectory: the winner stores exactly the bytes the loser
+//! would have.
 
-use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mfcsl_pool::shard::ShardedMap;
 
 use crate::checker::ProbCurve;
 use crate::nested::PiecewiseStateSet;
@@ -101,18 +109,20 @@ pub struct CacheStats {
 }
 
 /// Hash-consing interner plus memo tables for satisfaction sets and
-/// probability curves. See the [module documentation](self) for validity
-/// rules.
+/// probability curves, shared across the tasks of a checking session. See
+/// the [module documentation](self) for validity and concurrency rules.
 #[derive(Debug, Default)]
 pub struct SatCache {
-    state_keys: RefCell<HashMap<StateKey, StateId>>,
-    path_keys: RefCell<HashMap<PathKey, PathId>>,
-    sets: RefCell<HashMap<(StateId, u64), Rc<PiecewiseStateSet>>>,
-    curves: RefCell<HashMap<(PathId, u64), Rc<ProbCurve>>>,
-    set_hits: Cell<u64>,
-    set_misses: Cell<u64>,
-    curve_hits: Cell<u64>,
-    curve_misses: Cell<u64>,
+    state_keys: ShardedMap<StateKey, StateId>,
+    path_keys: ShardedMap<PathKey, PathId>,
+    sets: ShardedMap<(StateId, u64), Arc<PiecewiseStateSet>>,
+    curves: ShardedMap<(PathId, u64), Arc<ProbCurve>>,
+    next_state_id: AtomicU64,
+    next_path_id: AtomicU64,
+    set_hits: AtomicU64,
+    set_misses: AtomicU64,
+    curve_hits: AtomicU64,
+    curve_misses: AtomicU64,
 }
 
 impl SatCache {
@@ -123,7 +133,8 @@ impl SatCache {
     }
 
     /// Interns a state formula, returning its structural id. Identical
-    /// subtrees — anywhere, in any formula — map to the same id.
+    /// subtrees — anywhere, in any formula, from any thread — map to the
+    /// same id.
     pub fn intern_state(&self, phi: &StateFormula) -> StateId {
         let key = match phi {
             StateFormula::True => StateKey::True,
@@ -142,9 +153,9 @@ impl SatCache {
                 path: self.intern_path(path),
             },
         };
-        let mut keys = self.state_keys.borrow_mut();
-        let next = StateId(keys.len() as u32);
-        *keys.entry(key).or_insert(next)
+        self.state_keys.get_or_insert_with(key, || {
+            StateId(self.next_state_id.fetch_add(1, Ordering::Relaxed) as u32)
+        })
     }
 
     /// Interns a path formula, returning its structural id.
@@ -162,55 +173,55 @@ impl SatCache {
                 rhs: self.intern_state(rhs),
             },
         };
-        let mut keys = self.path_keys.borrow_mut();
-        let next = PathId(keys.len() as u32);
-        *keys.entry(key).or_insert(next)
+        self.path_keys.get_or_insert_with(key, || {
+            PathId(self.next_path_id.fetch_add(1, Ordering::Relaxed) as u32)
+        })
     }
 
     /// Looks up a memoized satisfaction set for `(id, θ)`, counting the
     /// outcome as a hit or miss.
-    pub(crate) fn lookup_set(&self, id: StateId, theta: f64) -> Option<Rc<PiecewiseStateSet>> {
-        let found = self.sets.borrow().get(&(id, theta.to_bits())).cloned();
+    pub(crate) fn lookup_set(&self, id: StateId, theta: f64) -> Option<Arc<PiecewiseStateSet>> {
+        let found = self.sets.get(&(id, theta.to_bits()));
         match &found {
-            Some(_) => self.set_hits.set(self.set_hits.get() + 1),
-            None => self.set_misses.set(self.set_misses.get() + 1),
-        }
+            Some(_) => self.set_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.set_misses.fetch_add(1, Ordering::Relaxed),
+        };
         found
     }
 
     /// Memoizes a satisfaction set for `(id, θ)`.
-    pub(crate) fn store_set(&self, id: StateId, theta: f64, set: Rc<PiecewiseStateSet>) {
-        self.sets.borrow_mut().insert((id, theta.to_bits()), set);
+    pub(crate) fn store_set(&self, id: StateId, theta: f64, set: Arc<PiecewiseStateSet>) {
+        self.sets.insert((id, theta.to_bits()), set);
     }
 
     /// Looks up a memoized probability curve for `(id, θ)`, counting the
     /// outcome.
-    pub(crate) fn lookup_curve(&self, id: PathId, theta: f64) -> Option<Rc<ProbCurve>> {
-        let found = self.curves.borrow().get(&(id, theta.to_bits())).cloned();
+    pub(crate) fn lookup_curve(&self, id: PathId, theta: f64) -> Option<Arc<ProbCurve>> {
+        let found = self.curves.get(&(id, theta.to_bits()));
         match &found {
-            Some(_) => self.curve_hits.set(self.curve_hits.get() + 1),
-            None => self.curve_misses.set(self.curve_misses.get() + 1),
-        }
+            Some(_) => self.curve_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.curve_misses.fetch_add(1, Ordering::Relaxed),
+        };
         found
     }
 
     /// Memoizes a probability curve for `(id, θ)`.
-    pub(crate) fn store_curve(&self, id: PathId, theta: f64, curve: Rc<ProbCurve>) {
-        self.curves.borrow_mut().insert((id, theta.to_bits()), curve);
+    pub(crate) fn store_curve(&self, id: PathId, theta: f64, curve: Arc<ProbCurve>) {
+        self.curves.insert((id, theta.to_bits()), curve);
     }
 
     /// A snapshot of the hit/miss counters and table sizes.
     #[must_use]
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            set_hits: self.set_hits.get(),
-            set_misses: self.set_misses.get(),
-            curve_hits: self.curve_hits.get(),
-            curve_misses: self.curve_misses.get(),
-            interned_state_formulas: self.state_keys.borrow().len(),
-            interned_path_formulas: self.path_keys.borrow().len(),
-            cached_sets: self.sets.borrow().len(),
-            cached_curves: self.curves.borrow().len(),
+            set_hits: self.set_hits.load(Ordering::Relaxed),
+            set_misses: self.set_misses.load(Ordering::Relaxed),
+            curve_hits: self.curve_hits.load(Ordering::Relaxed),
+            curve_misses: self.curve_misses.load(Ordering::Relaxed),
+            interned_state_formulas: self.state_keys.len(),
+            interned_path_formulas: self.path_keys.len(),
+            cached_sets: self.sets.len(),
+            cached_curves: self.curves.len(),
         }
     }
 
@@ -218,8 +229,8 @@ impl SatCache {
     /// stable). Use when the underlying trajectory is replaced rather than
     /// extended.
     pub fn invalidate(&self) {
-        self.sets.borrow_mut().clear();
-        self.curves.borrow_mut().clear();
+        self.sets.clear();
+        self.curves.clear();
     }
 }
 
@@ -280,7 +291,7 @@ mod tests {
         let phi = parse_state_formula("tt").unwrap();
         let id = cache.intern_state(&phi);
         assert!(cache.lookup_set(id, 1.0).is_none());
-        let set = Rc::new(PiecewiseStateSet::constant(0.0, 1.0, vec![true]).unwrap());
+        let set = Arc::new(PiecewiseStateSet::constant(0.0, 1.0, vec![true]).unwrap());
         cache.store_set(id, 1.0, set);
         assert!(cache.lookup_set(id, 1.0).is_some());
         // A different horizon is a different key.
@@ -293,5 +304,34 @@ mod tests {
         assert_eq!(cache.stats().cached_sets, 0);
         // Interner survives invalidation.
         assert_eq!(cache.intern_state(&phi), id);
+    }
+
+    #[test]
+    fn cache_is_send_and_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<SatCache>();
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let cache = SatCache::new();
+        let pool = mfcsl_pool::ThreadPool::new(8);
+        let phis: Vec<StateFormula> = (0..4)
+            .map(|i| parse_state_formula(&format!("P{{<0.5}}[ a{i} U[0,1] b ]")).unwrap())
+            .collect();
+        let mut ids = vec![None; 64];
+        pool.scope(|s| {
+            for (i, slot) in ids.iter_mut().enumerate() {
+                let cache = &cache;
+                let phi = &phis[i % 4];
+                s.spawn(move || *slot = Some(cache.intern_state(phi)));
+            }
+        });
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.unwrap(), ids[i % 4].unwrap());
+        }
+        // 4 Prob nodes + 4 a_i + shared b = 9 state formulas, 4 paths.
+        assert_eq!(cache.stats().interned_state_formulas, 9);
+        assert_eq!(cache.stats().interned_path_formulas, 4);
     }
 }

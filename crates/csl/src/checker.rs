@@ -15,7 +15,7 @@
 //!   (Sec. IV-C);
 //! * interval next — [`crate::next`], sampled on the scan grid.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use mfcsl_ctmc::inhomogeneous::TimeVaryingGenerator;
 use mfcsl_math::roots::brent;
@@ -176,7 +176,7 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
         phi: &StateFormula,
         theta: f64,
     ) -> Result<PiecewiseStateSet, CslError> {
-        Ok(Rc::unwrap_or_clone(self.sat_over_time_rc(None, phi, theta)?))
+        Ok(Arc::unwrap_or_clone(self.sat_over_time_rc(None, phi, theta)?))
     }
 
     /// [`InhomogeneousChecker::sat`] memoized through a [`SatCache`].
@@ -204,7 +204,7 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
         cache: &SatCache,
         phi: &StateFormula,
         theta: f64,
-    ) -> Result<Rc<PiecewiseStateSet>, CslError> {
+    ) -> Result<Arc<PiecewiseStateSet>, CslError> {
         self.sat_over_time_rc(Some(cache), phi, theta)
     }
 
@@ -213,7 +213,7 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
         cache: Option<&SatCache>,
         phi: &StateFormula,
         theta: f64,
-    ) -> Result<Rc<PiecewiseStateSet>, CslError> {
+    ) -> Result<Arc<PiecewiseStateSet>, CslError> {
         if !(theta >= 0.0) || !theta.is_finite() {
             return Err(CslError::InvalidArgument(format!(
                 "evaluation horizon must be finite and non-negative, got {theta}"
@@ -257,7 +257,7 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
     /// See [`InhomogeneousChecker::sat_over_time`].
     pub fn path_prob_curve(&self, path: &PathFormula, theta: f64) -> Result<ProbCurve, CslError> {
         let rc = self.path_prob_curve_rc(None, path, theta)?;
-        Ok(Rc::try_unwrap(rc).expect("uncached curve is uniquely owned"))
+        Ok(Arc::try_unwrap(rc).expect("uncached curve is uniquely owned"))
     }
 
     /// [`InhomogeneousChecker::path_prob_curve`] memoized through a
@@ -271,7 +271,7 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
         cache: &SatCache,
         path: &PathFormula,
         theta: f64,
-    ) -> Result<Rc<ProbCurve>, CslError> {
+    ) -> Result<Arc<ProbCurve>, CslError> {
         self.path_prob_curve_rc(Some(cache), path, theta)
     }
 
@@ -280,7 +280,7 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
         cache: Option<&SatCache>,
         path: &PathFormula,
         theta: f64,
-    ) -> Result<Rc<ProbCurve>, CslError> {
+    ) -> Result<Arc<ProbCurve>, CslError> {
         if !(theta >= 0.0) || !theta.is_finite() {
             return Err(CslError::InvalidArgument(format!(
                 "evaluation horizon must be finite and non-negative, got {theta}"
@@ -292,11 +292,11 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
             if let Some(hit) = cache.lookup_curve(id, theta) {
                 return Ok(hit);
             }
-            let curve = Rc::new(self.build_prob_curve(Some(cache), path, theta)?);
-            cache.store_curve(id, theta, Rc::clone(&curve));
+            let curve = Arc::new(self.build_prob_curve(Some(cache), path, theta)?);
+            cache.store_curve(id, theta, Arc::clone(&curve));
             Ok(curve)
         } else {
-            Ok(Rc::new(self.build_prob_curve(None, path, theta)?))
+            Ok(Arc::new(self.build_prob_curve(None, path, theta)?))
         }
     }
 
@@ -337,7 +337,7 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
                         )));
                     }
                     let sets =
-                        PiecewiseSets::new(Rc::unwrap_or_clone(lhs_pw), Rc::unwrap_or_clone(rhs_pw))?;
+                        PiecewiseSets::new(Arc::unwrap_or_clone(lhs_pw), Arc::unwrap_or_clone(rhs_pw))?;
                     let ev = nested::reach_evaluator(
                         self.model.generator(),
                         &sets,
@@ -407,17 +407,17 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
         cache: Option<&SatCache>,
         phi: &StateFormula,
         theta: f64,
-    ) -> Result<Rc<PiecewiseStateSet>, CslError> {
+    ) -> Result<Arc<PiecewiseStateSet>, CslError> {
         if let Some(cache) = cache {
             let id = cache.intern_state(phi);
             if let Some(hit) = cache.lookup_set(id, theta) {
                 return Ok(hit);
             }
-            let set = Rc::new(self.sot_node(Some(cache), phi, theta)?);
-            cache.store_set(id, theta, Rc::clone(&set));
+            let set = Arc::new(self.sot_node(Some(cache), phi, theta)?);
+            cache.store_set(id, theta, Arc::clone(&set));
             Ok(set)
         } else {
-            Ok(Rc::new(self.sot_node(None, phi, theta)?))
+            Ok(Arc::new(self.sot_node(None, phi, theta)?))
         }
     }
 

@@ -371,10 +371,12 @@ mod tests {
             (">=", Comparison::Ge),
         ] {
             let phi = parse_state_formula(&format!("P{{{text}0.5}}[ tt U[0,1] g ]")).unwrap();
-            match phi {
-                StateFormula::Prob { cmp: c, .. } => assert_eq!(c, cmp),
-                other => panic!("unexpected {other:?}"),
-            }
+            let until = PathFormula::until(
+                StateFormula::True,
+                TimeInterval::new(0.0, 1.0).unwrap(),
+                StateFormula::ap("g"),
+            );
+            assert_eq!(phi, StateFormula::prob(cmp, 0.5, until).unwrap());
         }
     }
 
@@ -405,16 +407,15 @@ mod tests {
     #[test]
     fn scientific_notation_numbers() {
         let phi = parse_state_formula("P{<1e-3}[ tt U[0,1.5e1] g ]").unwrap();
-        match phi {
-            StateFormula::Prob { p, path, .. } => {
-                assert_eq!(p, 1e-3);
-                match *path {
-                    PathFormula::Until { interval, .. } => assert_eq!(interval.hi(), 15.0),
-                    other => panic!("unexpected {other:?}"),
-                }
-            }
-            other => panic!("unexpected {other:?}"),
-        }
+        let until = PathFormula::until(
+            StateFormula::True,
+            TimeInterval::new(0.0, 15.0).unwrap(),
+            StateFormula::ap("g"),
+        );
+        assert_eq!(
+            phi,
+            StateFormula::prob(Comparison::Lt, 1e-3, until).unwrap()
+        );
     }
 
     #[test]

@@ -125,21 +125,42 @@ impl SparseCtmc {
         self.exit.iter().fold(0.0_f64, |m, &v| m.max(v))
     }
 
-    /// One uniformized step `v ← v·P` with `P = I + Q/Λ`, writing into
-    /// `out` (fully overwritten). The step kernel behind
-    /// [`crate::propagator::SparsePropagator`].
-    pub(crate) fn uniformized_step(&self, unif: f64, v: &[f64], out: &mut [f64]) {
-        for (j, o) in out.iter_mut().enumerate() {
-            *o = v[j] * (1.0 - self.exit[j] / unif);
+    /// Exit rates of every state (row sums of the off-diagonal rates).
+    #[must_use]
+    pub(crate) fn exit_rates(&self) -> &[f64] {
+        &self.exit
+    }
+
+    /// The transitions in CSC order: `(col_ptr, row_idx, rates)` such that
+    /// the incoming transitions of state `j` are `(row_idx[k], rates[k])`
+    /// for `k ∈ col_ptr[j]..col_ptr[j+1]`, sorted by ascending source row.
+    /// This is the layout the column-gather step kernel of
+    /// [`crate::propagator::SparsePropagator`] reads.
+    pub(crate) fn to_csc(&self) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
+        let nnz = self.rates.len();
+        let mut counts = vec![0usize; self.n + 1];
+        for &j in &self.col_idx {
+            counts[j + 1] += 1;
         }
-        for (i, &vi) in v.iter().enumerate() {
-            if vi == 0.0 {
-                continue;
-            }
+        for j in 0..self.n {
+            counts[j + 1] += counts[j];
+        }
+        let col_ptr = counts.clone();
+        let mut row_idx = vec![0usize; nnz];
+        let mut rates = vec![0.0; nnz];
+        let mut cursor = col_ptr.clone();
+        // Walking the CSR rows in ascending order fills each column's
+        // entries in ascending source row, the order the gather sums in.
+        for i in 0..self.n {
             for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                out[self.col_idx[k]] += vi * self.rates[k] / unif;
+                let j = self.col_idx[k];
+                let slot = cursor[j];
+                row_idx[slot] = i;
+                rates[slot] = self.rates[k];
+                cursor[j] += 1;
             }
         }
+        (col_ptr, row_idx, rates)
     }
 
     /// Transient distribution `π(t) = π(0)·e^{Qt}` by uniformization with
@@ -167,6 +188,34 @@ impl SparseCtmc {
             .map_err(|e| CtmcError::InvalidDistribution(e.to_string()))?;
         let prop = crate::propagator::SparsePropagator::new(self);
         crate::propagator::propagate_distribution(&prop, pi0, t, eps)
+    }
+
+    /// [`SparseCtmc::transient_distribution`] with each uniformized step
+    /// split into column blocks on `pool` — bitwise identical to the
+    /// serial path at any thread count (see
+    /// [`crate::propagator::propagate_distribution_on`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`SparseCtmc::transient_distribution`].
+    pub fn transient_distribution_on(
+        &self,
+        pool: Option<&mfcsl_pool::ThreadPool>,
+        pi0: &[f64],
+        t: f64,
+        eps: f64,
+    ) -> Result<Vec<f64>, CtmcError> {
+        if pi0.len() != self.n {
+            return Err(CtmcError::InvalidDistribution(format!(
+                "distribution has length {}, expected {}",
+                pi0.len(),
+                self.n
+            )));
+        }
+        mfcsl_math::simplex::check_distribution(pi0, mfcsl_math::simplex::DEFAULT_SUM_TOL)
+            .map_err(|e| CtmcError::InvalidDistribution(e.to_string()))?;
+        let prop = crate::propagator::SparsePropagator::new(self);
+        crate::propagator::propagate_distribution_on(pool, &prop, pi0, t, eps)
     }
 }
 

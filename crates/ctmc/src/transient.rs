@@ -140,6 +140,25 @@ pub fn transient_distribution(
     crate::propagator::propagate_distribution(&prop, pi0, t, eps)
 }
 
+/// [`transient_distribution`] with each uniformized step split into column
+/// blocks on `pool` — bitwise identical to the serial path at any thread
+/// count (see [`crate::propagator::propagate_distribution_on`]).
+///
+/// # Errors
+///
+/// As [`transient_distribution`].
+pub fn transient_distribution_on(
+    pool: Option<&mfcsl_pool::ThreadPool>,
+    ctmc: &Ctmc,
+    pi0: &[f64],
+    t: f64,
+    eps: f64,
+) -> Result<Vec<f64>, CtmcError> {
+    ctmc.check_distribution(pi0)?;
+    let prop = crate::propagator::DensePropagator::new(ctmc);
+    crate::propagator::propagate_distribution_on(pool, &prop, pi0, t, eps)
+}
+
 /// Computes the full transient probability matrix `Π(t) = e^{Qt}` by
 /// uniformization (row `s` is the distribution at time `t` given start `s`).
 ///
@@ -147,40 +166,110 @@ pub fn transient_distribution(
 ///
 /// See [`transient_distribution`].
 pub fn transient_matrix(ctmc: &Ctmc, t: f64, eps: f64) -> Result<Matrix, CtmcError> {
+    transient_matrix_on(None, ctmc, t, eps)
+}
+
+/// [`transient_matrix`] with the row integrations fanned out on `pool`.
+///
+/// Each row of `Π(t)` is the independent Kolmogorov propagation of one
+/// unit vector; rows are dispatched as pool tasks, computed by the same
+/// per-row kernel the serial path runs, and written to disjoint output
+/// rows in fixed index order — so the matrix is bitwise identical to the
+/// serial one at any thread count.
+///
+/// # Errors
+///
+/// See [`transient_distribution`].
+pub fn transient_matrix_on(
+    pool: Option<&mfcsl_pool::ThreadPool>,
+    ctmc: &Ctmc,
+    t: f64,
+    eps: f64,
+) -> Result<Matrix, CtmcError> {
     if !(t >= 0.0) || !t.is_finite() {
         return Err(CtmcError::InvalidArgument(format!(
             "time must be finite and non-negative, got {t}"
         )));
     }
-    let n = ctmc.n_states();
-    let lambda_rate = ctmc.max_exit_rate();
-    if lambda_rate == 0.0 || t == 0.0 {
+    if ctmc.max_exit_rate() == 0.0 || t == 0.0 {
+        return Ok(Matrix::identity(ctmc.n_states()));
+    }
+    let prop = crate::propagator::DensePropagator::new(ctmc);
+    transient_matrix_for(pool, &prop, t, eps)
+}
+
+/// The transient matrix of any uniformization backend: row `s` of the
+/// result is the distribution at time `t` of the unit mass started in
+/// state `s`, each row propagated independently (and in parallel when a
+/// pool is given). This is what lets the *sparse* backend produce
+/// transient matrices too — the dense path is [`transient_matrix_on`].
+///
+/// # Errors
+///
+/// See [`transient_distribution`].
+pub fn transient_matrix_for<P: crate::propagator::Propagator + Sync>(
+    pool: Option<&mfcsl_pool::ThreadPool>,
+    prop: &P,
+    t: f64,
+    eps: f64,
+) -> Result<Matrix, CtmcError> {
+    if !(t >= 0.0) || !t.is_finite() {
+        return Err(CtmcError::InvalidArgument(format!(
+            "time must be finite and non-negative, got {t}"
+        )));
+    }
+    let n = prop.n_states();
+    if prop.unif_rate() == 0.0 || t == 0.0 {
         return Ok(Matrix::identity(n));
     }
-    let unif = lambda_rate * 1.02;
-    let p = uniformized_matrix(ctmc, unif);
-    let window = PoissonWindow::new(unif * t, eps)?;
-    let mut power = Matrix::identity(n);
-    for _ in 0..window.left {
-        power = power.matmul(&p)?;
-    }
+    // One Poisson window shared by every row (same Λt), computed up front.
+    let window = PoissonWindow::new(prop.unif_rate() * t, eps)?;
+    let row_of = |r: usize| -> Vec<f64> {
+        let mut v = vec![0.0; n];
+        v[r] = 1.0;
+        propagate_row(prop, v, &window)
+    };
+    let rows: Vec<Vec<f64>> = match pool {
+        Some(pool) if pool.threads() > 1 => pool.map_indexed(n, row_of),
+        _ => (0..n).map(row_of).collect(),
+    };
     let mut out = Matrix::zeros(n, n);
-    for (i, &w) in window.weights.iter().enumerate() {
-        out = out.add_matrix(&power.scaled(w))?;
-        if i + 1 < window.weights.len() {
-            power = power.matmul(&p)?;
-        }
-    }
-    // Renormalize rows against truncation loss.
-    for i in 0..n {
-        let mass: f64 = out.row(i).iter().sum();
-        if mass > 0.0 {
-            for v in out.row_mut(i) {
-                *v /= mass;
-            }
-        }
+    for (i, row) in rows.iter().enumerate() {
+        out.row_mut(i).copy_from_slice(row);
     }
     Ok(out)
+}
+
+/// One row's windowed uniformization: the same accumulate-and-renormalize
+/// arithmetic as the distribution driver, against a precomputed window.
+fn propagate_row<P: crate::propagator::Propagator>(
+    prop: &P,
+    mut v: Vec<f64>,
+    window: &PoissonWindow,
+) -> Vec<f64> {
+    let n = v.len();
+    let mut scratch = vec![0.0; n];
+    for _ in 0..window.left {
+        prop.step(&v, &mut scratch);
+        std::mem::swap(&mut v, &mut scratch);
+    }
+    let mut out = vec![0.0; n];
+    for (i, &w) in window.weights.iter().enumerate() {
+        for (o, &vi) in out.iter_mut().zip(&v) {
+            *o += w * vi;
+        }
+        if i + 1 < window.weights.len() {
+            prop.step(&v, &mut scratch);
+            std::mem::swap(&mut v, &mut scratch);
+        }
+    }
+    let mass: f64 = out.iter().sum();
+    if mass > 0.0 {
+        for o in &mut out {
+            *o /= mass;
+        }
+    }
+    out
 }
 
 /// Computes `Π(t) = e^{Qt}` with the matrix exponential — the independent
@@ -197,16 +286,6 @@ pub fn transient_matrix_expm(ctmc: &Ctmc, t: f64) -> Result<Matrix, CtmcError> {
         )));
     }
     Ok(expm_scaled(ctmc.generator(), t)?)
-}
-
-/// The uniformized DTMC matrix `P = I + Q/Λ`.
-fn uniformized_matrix(ctmc: &Ctmc, unif: f64) -> Matrix {
-    let n = ctmc.n_states();
-    let mut p = ctmc.generator().scaled(1.0 / unif);
-    for i in 0..n {
-        p[(i, i)] += 1.0;
-    }
-    p
 }
 
 #[cfg(test)]
@@ -338,6 +417,46 @@ mod tests {
         assert!(transient_distribution(&c, &[1.0, 0.0], -1.0, 1e-12).is_err());
         assert!(transient_matrix(&c, f64::NAN, 1e-12).is_err());
         assert!(transient_matrix_expm(&c, -2.0).is_err());
+    }
+
+    #[test]
+    fn pooled_matrix_is_bitwise_identical_to_serial() {
+        let mut builder = CtmcBuilder::new();
+        let names: Vec<String> = (0..40).map(|i| format!("s{i}")).collect();
+        for name in &names {
+            builder = builder.state(name, [name.as_str()]);
+        }
+        for i in 0..40 {
+            builder = builder
+                .transition(&names[i], &names[(i + 1) % 40], 0.5 + (i % 4) as f64)
+                .unwrap()
+                .transition(&names[i], &names[(i + 7) % 40], 0.3)
+                .unwrap();
+        }
+        let c = builder.build().unwrap();
+        let serial = transient_matrix(&c, 1.1, 1e-12).unwrap();
+        for threads in [1, 2, 8] {
+            let pool = mfcsl_pool::ThreadPool::new(threads);
+            let parallel = transient_matrix_on(Some(&pool), &c, 1.1, 1e-12).unwrap();
+            for (a, b) in serial.as_slice().iter().zip(parallel.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_backend_matrix_matches_dense() {
+        use crate::propagator::{DensePropagator, SparsePropagator};
+        use crate::sparse::SparseCtmc;
+        let c = two_state();
+        let sparse = SparseCtmc::from_triplets(2, &[(0, 1, 2.0), (1, 0, 1.0)]).unwrap();
+        let dp = DensePropagator::new(&c);
+        let sp = SparsePropagator::new(&sparse);
+        let md = transient_matrix_for(None, &dp, 0.9, 1e-13).unwrap();
+        let ms = transient_matrix_for(None, &sp, 0.9, 1e-13).unwrap();
+        for (a, b) in md.as_slice().iter().zip(ms.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 
     proptest! {

@@ -153,6 +153,110 @@ mod prop {
             prop_assert_eq!(warm, uncached);
         }
 
+        /// Parallel batch checking is bitwise-identical to the serial
+        /// session at every thread count: the pool only changes *where*
+        /// each per-formula task runs, never what it computes.
+        #[test]
+        fn prop_parallel_batch_bitwise_matches_serial(
+            which in 0usize..2,
+            // Stay inside the swapped virus model's domain (see the curve
+            // property below for the `m1 → 0` divergence).
+            infected in 0.05f64..0.6,
+            p in 0.05f64..0.95,
+            window in 0.5f64..4.0,
+        ) {
+            let model = build_model(which);
+            let m0 = build_m0(which, infected);
+            let psis: Vec<MfFormula> =
+                (0..6).map(|op| build_formula(which, op, p, window)).collect();
+            let serial = CheckSession::new(&model).check_all(&psis, &m0).unwrap();
+            for threads in [1usize, 2, 8] {
+                let pool = std::sync::Arc::new(mfcsl_pool::ThreadPool::new(threads));
+                let session = CheckSession::new(&model).with_pool(pool);
+                let got = session.check_all(&psis, &m0).unwrap();
+                prop_assert_eq!(&got, &serial, "threads = {}", threads);
+            }
+        }
+
+        /// Parallel CSat sweeps produce interval sets whose endpoints are
+        /// bitwise-identical to the serial sweep at every thread count.
+        #[test]
+        fn prop_parallel_csat_sweep_bitwise_matches_serial(
+            which in 0usize..2,
+            p in 0.1f64..0.9,
+            // Bounded like the curve property: the swapped virus model
+            // leaves its domain for long horizons from high infection.
+            theta in 2.0f64..5.0,
+        ) {
+            let model = build_model(which);
+            let psi = build_formula(which, 0, p, 1.0);
+            let m0s: Vec<Occupancy> =
+                (1..6).map(|i| build_m0(which, 0.1 * f64::from(i))).collect();
+            let serial = CheckSession::new(&model).csat_sweep(&psi, &m0s, theta).unwrap();
+            for threads in [1usize, 2, 8] {
+                let pool = std::sync::Arc::new(mfcsl_pool::ThreadPool::new(threads));
+                let session = CheckSession::new(&model).with_pool(pool);
+                let got = session.csat_sweep(&psi, &m0s, theta).unwrap();
+                prop_assert_eq!(got.len(), serial.len());
+                for (a, b) in serial.iter().zip(&got) {
+                    prop_assert_eq!(a.intervals().len(), b.intervals().len(),
+                        "threads = {}", threads);
+                    for (ia, ib) in a.intervals().iter().zip(b.intervals()) {
+                        prop_assert_eq!(ia.lo().value.to_bits(), ib.lo().value.to_bits(),
+                            "threads = {}", threads);
+                        prop_assert_eq!(ia.hi().value.to_bits(), ib.hi().value.to_bits(),
+                            "threads = {}", threads);
+                    }
+                }
+            }
+        }
+
+        /// Probability curves drawn from a pool-attached session after a
+        /// parallel batch are bitwise-identical, sample for sample, to the
+        /// serial session's curves.
+        #[test]
+        fn prop_parallel_prob_curves_bitwise_match_serial(
+            which in 0usize..2,
+            // High initial infection over long horizons drives the swapped
+            // virus model's `k1·m3/m1` rate to infinity as `m1 → 0` (a
+            // model-domain limit, not a checker bug); stay inside it.
+            infected in 0.05f64..0.6,
+            window in 0.5f64..4.0,
+            theta in 0.5f64..4.0,
+        ) {
+            let model = build_model(which);
+            let m0 = build_m0(which, infected);
+            let path =
+                parse_path_formula(&format!("!infected U[0,{window}] infected")).unwrap();
+            // Both sessions run the same call sequence (batch, then curve)
+            // so their trajectories take the same solve-then-extend path;
+            // only the batch's scheduling differs.
+            let psis = vec![
+                parse_formula(&format!(
+                    "EP{{<0.99}}[ !infected U[0,{window}] infected ]"
+                )).unwrap(),
+                parse_formula("E{<0.5}[ infected ]").unwrap(),
+            ];
+            let serial_session = CheckSession::new(&model);
+            serial_session.check_all(&psis, &m0).unwrap();
+            let serial = serial_session.path_prob_curve(&path, &m0, theta).unwrap();
+            for threads in [1usize, 2, 8] {
+                let pool = std::sync::Arc::new(mfcsl_pool::ThreadPool::new(threads));
+                let session = CheckSession::new(&model).with_pool(pool);
+                session.check_all(&psis, &m0).unwrap();
+                let curve = session.path_prob_curve(&path, &m0, theta).unwrap();
+                for i in 0..=20 {
+                    let t = theta * f64::from(i) / 20.0;
+                    let reference = serial.probs_at(t);
+                    let got = curve.probs_at(t);
+                    for s in 0..reference.len() {
+                        prop_assert_eq!(reference[s].to_bits(), got[s].to_bits(),
+                            "threads = {} t = {} state = {}", threads, t, s);
+                    }
+                }
+            }
+        }
+
         /// Engine-cached probability curves are bitwise-identical to the
         /// fresh uncached checker's curves, sample for sample.
         #[test]

@@ -65,12 +65,29 @@ impl LumpedChain {
         t: f64,
         eps: f64,
     ) -> Result<Vec<f64>, CoreError> {
+        self.expected_occupancy_on(None, counts0, t, eps)
+    }
+
+    /// [`LumpedChain::expected_occupancy`] with the Kolmogorov steps split
+    /// into column blocks on `pool` — bitwise identical to the serial path
+    /// at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// As [`LumpedChain::expected_occupancy`].
+    pub fn expected_occupancy_on(
+        &self,
+        pool: Option<&mfcsl_pool::ThreadPool>,
+        counts0: &[usize],
+        t: f64,
+        eps: f64,
+    ) -> Result<Vec<f64>, CoreError> {
         let start = self.index_of(counts0).ok_or_else(|| {
             CoreError::InvalidArgument(format!("counts {counts0:?} are not a state"))
         })?;
         let mut pi0 = vec![0.0; self.n_states()];
         pi0[start] = 1.0;
-        let pi = mfcsl_ctmc::transient::transient_distribution(&self.ctmc, &pi0, t, eps)?;
+        let pi = mfcsl_ctmc::transient::transient_distribution_on(pool, &self.ctmc, &pi0, t, eps)?;
         let k = counts0.len();
         let n = self.population as f64;
         let mut occ = vec![0.0; k];
@@ -200,12 +217,30 @@ impl SparseLumpedChain {
         t: f64,
         eps: f64,
     ) -> Result<Vec<f64>, CoreError> {
+        self.expected_occupancy_on(None, counts0, t, eps)
+    }
+
+    /// [`SparseLumpedChain::expected_occupancy`] with the Kolmogorov steps
+    /// split into column blocks on `pool` — bitwise identical to the
+    /// serial path at any thread count. This is the large-state-space
+    /// workload of the scalability bench.
+    ///
+    /// # Errors
+    ///
+    /// As [`SparseLumpedChain::expected_occupancy`].
+    pub fn expected_occupancy_on(
+        &self,
+        pool: Option<&mfcsl_pool::ThreadPool>,
+        counts0: &[usize],
+        t: f64,
+        eps: f64,
+    ) -> Result<Vec<f64>, CoreError> {
         let start = self.index_of(counts0).ok_or_else(|| {
             CoreError::InvalidArgument(format!("counts {counts0:?} are not a state"))
         })?;
         let mut pi0 = vec![0.0; self.n_states()];
         pi0[start] = 1.0;
-        let pi = self.chain.transient_distribution(&pi0, t, eps)?;
+        let pi = self.chain.transient_distribution_on(pool, &pi0, t, eps)?;
         let k = counts0.len();
         let n = self.population as f64;
         let mut occ = vec![0.0; k];
@@ -467,6 +502,25 @@ mod tests {
         assert!(sparse.index_of(&[12, 0]).is_some());
         assert!(sparse.index_of(&[13, 0]).is_none());
         assert!(sparse.expected_occupancy(&[13, 0], 1.0, 1e-12).is_err());
+    }
+
+    #[test]
+    fn pooled_expected_occupancy_is_bitwise_identical() {
+        let model = sis();
+        // N = 500 on 2 states: 501 lumped states, above the blocking
+        // threshold, so the pooled path really splits the steps.
+        let sparse = build_sparse(&model, 500, 10_000).unwrap();
+        let c0 = vec![400, 100];
+        let serial = sparse.expected_occupancy(&c0, 1.0, 1e-12).unwrap();
+        for threads in [1, 2, 8] {
+            let pool = mfcsl_pool::ThreadPool::new(threads);
+            let parallel = sparse
+                .expected_occupancy_on(Some(&pool), &c0, 1.0, 1e-12)
+                .unwrap();
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads = {threads}");
+            }
+        }
     }
 
     #[test]

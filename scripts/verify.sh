@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, full test suite, and a benchmark smoke run.
+#
+# This is the repo's single entry point for "is the tree healthy":
+#   1. release build of every workspace member;
+#   2. the whole test suite (unit + property + integration);
+#   3. a smoke run of the parallel-checking benchmark, validating that it
+#      produces well-formed JSON and that every parallel run was bitwise
+#      equal to serial.
+#
+# Usage: scripts/verify.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# NB: --workspace matters — the repo root is both a workspace and the
+# umbrella `mfcsl` package, so a plain `cargo build`/`cargo test` here
+# would cover only the umbrella crate and leave the CLI binary stale.
+echo "== cargo build --release --workspace =="
+cargo build --release --workspace
+
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
+
+echo "== bench_check smoke =="
+smoke_out="$(mktemp -t bench_check_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_out"' EXIT
+cargo run --release -p mfcsl-bench --bin bench_check -- --smoke --out "$smoke_out" >/dev/null
+
+python3 - "$smoke_out" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+assert report["bench"] == "check", report
+assert report["smoke"] is True, report
+names = [w["name"] for w in report["workloads"]]
+assert names == ["fig3", "table2", "scalability"], names
+for w in report["workloads"]:
+    threads = [r["threads"] for r in w["results"]]
+    assert threads == [1, 2, 4, 8], (w["name"], threads)
+    for r in w["results"]:
+        assert r["wall_seconds"] > 0, (w["name"], r)
+        assert r["bitwise_equal_to_serial"] is True, (w["name"], r)
+print("bench_check smoke report is well-formed; all runs bitwise equal to serial")
+EOF
+
+echo "verify: OK"
