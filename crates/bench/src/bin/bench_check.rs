@@ -20,20 +20,57 @@
 //! available parallelism so a 1-core CI box is not mistaken for a
 //! scaling regression.
 //!
+//! A fourth, serial **solver** workload times the individual hot-loop
+//! kernels (mean-field solve, Eq. 5 matrix transient, Eq. 6 window
+//! propagation with and without the steady-regime uniformization hand-off)
+//! and — via the counting allocator installed in this binary — their
+//! allocation counts and peak heap growth. It writes a separate
+//! `BENCH_solver.json` so the schema of `BENCH_check.json` stays stable
+//! for downstream comparisons.
+//!
+//! Both reports are stamped with the git revision and the machine's
+//! available parallelism. `--baseline <path>` compares the serial
+//! (1-thread) wall-clock of each workload against a previous
+//! `BENCH_check.json` and exits non-zero on a >25 % slowdown; the
+//! comparison is refused (not failed) when the baseline was taken on a
+//! host with a different core count or in a different smoke mode, because
+//! such timings are not commensurable.
+//!
 //! Usage: `cargo run --release -p mfcsl-bench --bin bench_check --
-//! [--smoke] [--out <path>]`.
+//! [--smoke] [--out <path>] [--solver-out <path>] [--baseline <path>]`.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
+use mfcsl_core::meanfield;
 use mfcsl_core::mfcsl::{parse_formula, CheckSession};
 use mfcsl_core::Occupancy;
+use mfcsl_ctmc::inhomogeneous::{
+    propagate_window, propagate_window_from, transition_matrix, transition_matrix_trajectory,
+    ConstantTail, FnGenerator,
+};
+use mfcsl_math::{alloc_counter, Matrix};
 use mfcsl_models::virus;
+use mfcsl_ode::{OdeOptions, SolverWorkspace};
 use mfcsl_pool::ThreadPool;
 use mfcsl_sim::{lumped, ssa};
 
+/// Counts every allocation the workloads make, so the solver report can
+/// show the hot loops run allocation-free (see `mfcsl_math::alloc_counter`).
+#[global_allocator]
+static GLOBAL: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
+
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Slowdown tolerance of the `--baseline` regression gate.
+const GATE_TOLERANCE: f64 = 1.25;
+
+/// Walls below this are scheduler noise, not signal: a workload whose
+/// serial run finishes this fast (both now and in the baseline) passes the
+/// gate unconditionally. Smoke-mode runs sit entirely below the floor, so
+/// the gate's pass/fail verdict only ever comes from full-size runs.
+const GATE_NOISE_FLOOR: f64 = 0.05;
 
 struct WorkloadReport {
     name: &'static str,
@@ -42,14 +79,26 @@ struct WorkloadReport {
     runs: Vec<(usize, f64, bool)>,
 }
 
+/// One timed hot-loop kernel of the solver workload.
+struct KernelReport {
+    name: &'static str,
+    description: String,
+    wall_seconds: f64,
+    rhs_evals: usize,
+    accepted_steps: usize,
+    allocations: u64,
+    peak_bytes: u64,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "BENCH_check.json".to_string());
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_check.json".to_string());
+    let solver_out_path = flag("--solver-out").unwrap_or_else(|| "BENCH_solver.json".to_string());
+    let baseline_path = flag("--baseline");
 
     let reports = vec![fig3_workload(smoke), table2_workload(smoke), scalability_workload(smoke)];
 
@@ -66,6 +115,35 @@ fn main() {
             );
         }
     }
+
+    let kernels = solver_workload(smoke);
+    let solver_json = render_solver_json(&kernels, smoke);
+    std::fs::write(&solver_out_path, solver_json).expect("write solver report");
+    println!("solver report written to {solver_out_path}");
+    for k in &kernels {
+        println!(
+            "{:<22} wall={:.4}s  rhs_evals={}  steps={}  allocs={}  peak_bytes={}",
+            k.name, k.wall_seconds, k.rhs_evals, k.accepted_steps, k.allocations, k.peak_bytes
+        );
+    }
+
+    if let Some(path) = baseline_path {
+        std::process::exit(regression_gate(&path, &reports, smoke));
+    }
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside a
+/// checkout.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// The Figure 3 checking batch: distinct formulas with distinct horizons,
@@ -206,6 +284,7 @@ fn render_json(reports: &[WorkloadReport], smoke: bool) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"check\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"git_revision\": \"{}\",", git_revision());
     let _ = writeln!(out, "  \"threads_available\": {threads_available},");
     if threads_available < 2 {
         let _ = writeln!(
@@ -237,4 +316,277 @@ fn render_json(reports: &[WorkloadReport], smoke: bool) -> String {
     let _ = writeln!(out, "  ]");
     out.push_str("}\n");
     out
+}
+
+/// Runs `f` inside an allocation-counter bracket and a wall-clock timer.
+/// `f` returns the `(rhs_evals, accepted_steps)` counters reported by the
+/// solver statistics of whatever it integrated.
+fn timed_kernel(
+    name: &'static str,
+    description: String,
+    f: impl FnOnce() -> (usize, usize),
+) -> KernelReport {
+    let base = alloc_counter::begin();
+    let start = Instant::now();
+    let (rhs_evals, accepted_steps) = f();
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let d = alloc_counter::delta(base);
+    KernelReport {
+        name,
+        description,
+        wall_seconds,
+        rhs_evals,
+        accepted_steps,
+        allocations: d.allocations,
+        peak_bytes: d.peak_bytes,
+    }
+}
+
+/// The serial per-kernel workload behind `BENCH_solver.json`: the hot
+/// loops every verdict bottoms out in, timed one by one with RHS-eval and
+/// allocation counts.
+fn solver_workload(smoke: bool) -> Vec<KernelReport> {
+    let model =
+        virus::model(virus::setting_2(), virus::InfectionLaw::SmartVirus).expect("valid params");
+    let grid = if smoke { 3 } else { 12 };
+    let theta = if smoke { 5.0 } else { 15.0 };
+    let m0s: Vec<Occupancy> = (1..=grid)
+        .map(|i| {
+            let infected = 0.5 * f64::from(i) / f64::from(grid);
+            Occupancy::new(vec![1.0 - infected, infected / 2.0, infected / 2.0]).expect("valid")
+        })
+        .collect();
+    let opts = OdeOptions::default();
+    let stats_of = |t: &mfcsl_ode::Trajectory| (t.stats().rhs_evals, t.stats().accepted);
+
+    // Warm-up outside the measured sections: faults in code pages and the
+    // allocator's own arenas so the first kernel is not charged for them.
+    let _ = meanfield::solve(&model, &m0s[0], 1.0, &opts).expect("solves");
+
+    let mut kernels = Vec::new();
+
+    kernels.push(timed_kernel(
+        "meanfield_fresh",
+        format!(
+            "mean-field solve (Eq. 1) of Setting 2 over {grid} initial occupancies to \
+             theta = {theta}, fresh solver workspace per solve"
+        ),
+        || {
+            m0s.iter().fold((0, 0), |(rhs, acc), m0| {
+                let sol = meanfield::solve(&model, m0, theta, &opts).expect("solves");
+                let s = sol.trajectory().stats();
+                (rhs + s.rhs_evals, acc + s.accepted)
+            })
+        },
+    ));
+
+    kernels.push(timed_kernel(
+        "meanfield_workspace",
+        "the same sweep through one shared SolverWorkspace: stage buffers k1..k7 and the \
+         step arena are allocated once and reused across all solves"
+            .to_string(),
+        || {
+            let mut ws = SolverWorkspace::new();
+            m0s.iter().fold((0, 0), |(rhs, acc), m0| {
+                let sol = meanfield::solve_with(&model, m0, theta, &opts, &mut ws).expect("solves");
+                let s = sol.trajectory().stats();
+                (rhs + s.rhs_evals, acc + s.accepted)
+            })
+        },
+    ));
+
+    let sol = meanfield::solve(&model, &m0s[0], theta, &opts).expect("solves");
+    let gen = sol.generator();
+    kernels.push(timed_kernel(
+        "transition_matrix",
+        format!(
+            "forward Kolmogorov matrix transient (Eq. 5) of the Setting-2 trajectory \
+             generator over T in [0, {theta}], Q(t) memoized by Runge-Kutta stage time"
+        ),
+        || {
+            let traj = transition_matrix_trajectory(&gen, 0.0, theta, &opts).expect("integrates");
+            stats_of(&traj)
+        },
+    ));
+
+    // Eq. 6 window propagation on a generator that settles exactly at
+    // t* = 2, so the full integration and the steady-regime hand-off solve
+    // the same problem and the saved Runge-Kutta stages are visible.
+    let settling = FnGenerator::new(2, |t: f64, q: &mut Matrix| {
+        let s = (2.0 - t).max(0.0);
+        let r = 1.0 + s * s;
+        q[(0, 0)] = -r;
+        q[(0, 1)] = r;
+        q[(1, 0)] = 0.7;
+        q[(1, 1)] = -0.7;
+    });
+    let t_end = if smoke { 10.0 } else { 40.0 };
+    let duration = 0.8;
+    let init = transition_matrix(&settling, 0.0, duration, &opts).expect("integrates");
+
+    kernels.push(timed_kernel(
+        "window_full",
+        format!(
+            "combined-window propagation (Eq. 6, T = {duration}) over t in [0, {t_end}] of a \
+             generator constant from t = 2, integrated as a matrix ODE throughout"
+        ),
+        || {
+            let traj =
+                propagate_window(&settling, &init, 0.0, t_end, duration, &opts).expect("propagates");
+            stats_of(&traj)
+        },
+    ));
+
+    kernels.push(timed_kernel(
+        "window_fastpath",
+        "the same propagation with the steady-regime hand-off: matrix ODE up to t* = 2, then \
+         one uniformization (Eq. 14/15) covers the constant tail"
+            .to_string(),
+        || {
+            let tail = ConstantTail {
+                t_star: 2.0,
+                eps: mfcsl_ctmc::transient::DEFAULT_EPSILON,
+            };
+            let traj =
+                propagate_window_from(&settling, &init, 0.0, t_end, duration, &opts, Some(&tail))
+                    .expect("propagates");
+            stats_of(&traj)
+        },
+    ));
+
+    kernels
+}
+
+/// Hand-rolled JSON for `BENCH_solver.json` (same reason as
+/// [`render_json`]: the workspace's serde stub has no serializer).
+fn render_solver_json(kernels: &[KernelReport], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"solver\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"git_revision\": \"{}\",", git_revision());
+    let _ = writeln!(out, "  \"threads_available\": {},", mfcsl_pool::default_parallelism());
+    let _ = writeln!(out, "  \"allocation_counters\": {},", alloc_counter::installed());
+    let _ = writeln!(out, "  \"kernels\": [");
+    for (i, k) in kernels.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", k.name);
+        let _ = writeln!(out, "      \"description\": \"{}\",", k.description);
+        let _ = writeln!(out, "      \"wall_seconds\": {:.6},", k.wall_seconds);
+        let _ = writeln!(out, "      \"rhs_evals\": {},", k.rhs_evals);
+        let _ = writeln!(out, "      \"accepted_steps\": {},", k.accepted_steps);
+        let _ = writeln!(out, "      \"allocations\": {},", k.allocations);
+        let _ = writeln!(out, "      \"peak_bytes\": {}", k.peak_bytes);
+        let _ = writeln!(out, "    }}{}", if i + 1 < kernels.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+/// What the regression gate needs from a previous `BENCH_check.json`.
+struct Baseline {
+    smoke: bool,
+    threads_available: usize,
+    git_revision: String,
+    /// Serial (1-thread) wall-clock per workload name.
+    serial_walls: Vec<(String, f64)>,
+}
+
+/// Extracts the gate-relevant fields from a report produced by
+/// [`render_json`] with a line-oriented scan (no JSON parser in the
+/// offline workspace). Returns `None` when a required field is missing.
+fn parse_baseline(text: &str) -> Option<Baseline> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let rest = line.trim().strip_prefix(key)?;
+        Some(rest.trim_end_matches(','))
+    }
+    let mut bench = None;
+    let mut smoke = None;
+    let mut threads_available = None;
+    let mut git_revision = String::from("unknown");
+    let mut serial_walls = Vec::new();
+    let mut workload: Option<String> = None;
+    for line in text.lines() {
+        if let Some(v) = field(line, "\"bench\": ") {
+            bench = Some(v.trim_matches('"').to_string());
+        } else if let Some(v) = field(line, "\"smoke\": ") {
+            smoke = v.parse::<bool>().ok();
+        } else if let Some(v) = field(line, "\"threads_available\": ") {
+            threads_available = v.parse::<usize>().ok();
+        } else if let Some(v) = field(line, "\"git_revision\": ") {
+            git_revision = v.trim_matches('"').to_string();
+        } else if let Some(v) = field(line, "\"name\": ") {
+            workload = Some(v.trim_matches('"').to_string());
+        } else if line.contains("\"threads\": 1,") {
+            // The first run of each workload is the serial one.
+            if let Some(name) = workload.take() {
+                let wall = line
+                    .split("\"wall_seconds\": ")
+                    .nth(1)?
+                    .split(',')
+                    .next()?
+                    .trim()
+                    .parse::<f64>()
+                    .ok()?;
+                serial_walls.push((name, wall));
+            }
+        }
+    }
+    if bench.as_deref() != Some("check") {
+        return None;
+    }
+    Some(Baseline {
+        smoke: smoke?,
+        threads_available: threads_available?,
+        git_revision,
+        serial_walls,
+    })
+}
+
+/// Compares this run's serial wall-clock against a previous report.
+/// Returns the process exit code: 0 on pass or refused comparison, 1 on a
+/// regression or an unreadable baseline.
+fn regression_gate(path: &str, reports: &[WorkloadReport], smoke: bool) -> i32 {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("baseline gate: cannot read {path}");
+        return 1;
+    };
+    let Some(base) = parse_baseline(&text) else {
+        eprintln!("baseline gate: {path} is not a bench_check report");
+        return 1;
+    };
+    let threads_available = mfcsl_pool::default_parallelism();
+    if base.threads_available != threads_available || base.smoke != smoke {
+        println!(
+            "baseline gate: refusing to compare against {path} (rev {}): baseline has \
+             threads_available={} smoke={}, this run has threads_available={} smoke={} — \
+             wall-clock from differing hosts or modes is not commensurable",
+            base.git_revision, base.threads_available, base.smoke, threads_available, smoke
+        );
+        return 0;
+    }
+    let mut failed = false;
+    for r in reports {
+        let Some((_, base_wall)) =
+            base.serial_walls.iter().find(|(name, _)| name == r.name)
+        else {
+            println!("baseline gate: {:<12} not in baseline, skipped", r.name);
+            continue;
+        };
+        let wall = r.runs[0].1;
+        let ratio = wall / base_wall;
+        let verdict = if wall < GATE_NOISE_FLOOR && *base_wall < GATE_NOISE_FLOOR {
+            "ok (below noise floor)"
+        } else if ratio > GATE_TOLERANCE {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "baseline gate: {:<12} serial {wall:.4}s vs {base_wall:.4}s (rev {}) = {ratio:.2}x  {verdict}",
+            r.name, base.git_revision
+        );
+    }
+    i32::from(failed)
 }

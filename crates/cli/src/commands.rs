@@ -11,6 +11,7 @@ use mfcsl_core::fixedpoint::{self, FixedPointOptions};
 use mfcsl_core::mfcsl::{parse_formula, CheckSession, EngineStats, MfFormula, SolveKind};
 use mfcsl_core::{meanfield, LocalModel, Occupancy};
 use mfcsl_csl::Tolerances;
+use mfcsl_math::alloc_counter;
 use mfcsl_ode::OdeOptions;
 use mfcsl_pool::{PoolStats, ThreadPool};
 
@@ -108,6 +109,7 @@ pub fn check(
     show_stats: bool,
     threads: Option<usize>,
 ) -> Result<String, CliError> {
+    let alloc_base = alloc_counter::begin();
     let psis = parse_formulas(formulas)?;
     let pool = pool(threads);
     let session = session(model, fast).with_pool(Arc::clone(&pool));
@@ -130,7 +132,7 @@ pub fn check(
         .expect("write to string");
     }
     if show_stats {
-        out.push_str(&format_stats(&session.stats(), Some(&pool.stats())));
+        out.push_str(&format_stats(&session.stats(), Some(&pool.stats()), alloc_base));
     }
     Ok(out)
 }
@@ -154,6 +156,7 @@ pub fn csat(
     show_stats: bool,
     threads: Option<usize>,
 ) -> Result<String, CliError> {
+    let alloc_base = alloc_counter::begin();
     let psis = parse_formulas(formulas)?;
     let pool = pool(threads);
     let session = session(model, false).with_pool(Arc::clone(&pool));
@@ -169,7 +172,7 @@ pub fn csat(
         }
     }
     if show_stats {
-        out.push_str(&format_stats(&session.stats(), Some(&pool.stats())));
+        out.push_str(&format_stats(&session.stats(), Some(&pool.stats()), alloc_base));
     }
     Ok(out)
 }
@@ -199,7 +202,15 @@ fn pool(threads: Option<usize>) -> Arc<ThreadPool> {
 }
 
 /// Renders a session's [`EngineStats`] as the `--stats` block.
-fn format_stats(stats: &EngineStats, pool: Option<&PoolStats>) -> String {
+///
+/// `alloc_base` is the allocation-counter snapshot taken when the command
+/// started; the allocation line only appears when the binary installed the
+/// counting allocator (the `mfcsl` binary does, library tests do not).
+fn format_stats(
+    stats: &EngineStats,
+    pool: Option<&PoolStats>,
+    alloc_base: alloc_counter::Snapshot,
+) -> String {
     let mut out = String::from("engine statistics:\n");
     writeln!(
         out,
@@ -245,6 +256,17 @@ fn format_stats(stats: &EngineStats, pool: Option<&PoolStats>) -> String {
             s.ode_steps,
             s.rhs_evals,
             s.wall.as_secs_f64() * 1e3
+        )
+        .expect("write to string");
+    }
+    let total_rhs: usize = stats.solves.iter().map(|s| s.rhs_evals).sum();
+    writeln!(out, "  ode rhs evaluations: {total_rhs} total").expect("write to string");
+    if alloc_counter::installed() {
+        let d = alloc_counter::delta(alloc_base);
+        writeln!(
+            out,
+            "  allocations: {} ({} peak bytes above entry)",
+            d.allocations, d.peak_bytes
         )
         .expect("write to string");
     }

@@ -14,6 +14,13 @@ use std::process::ExitCode;
 use mfcsl_cli::commands::{self, CliError};
 use mfcsl_cli::model_file::ModelFile;
 
+/// Counts allocations so `--stats` can report how much heap traffic a
+/// check generated (see `mfcsl_math::alloc_counter`); the overhead is a
+/// few relaxed atomic updates per allocation.
+#[global_allocator]
+static GLOBAL: mfcsl_math::alloc_counter::CountingAlloc =
+    mfcsl_math::alloc_counter::CountingAlloc;
+
 const USAGE: &str = "\
 mfcsl — MF-CSL model checker for mean-field models
 
@@ -34,8 +41,9 @@ USAGE:
   (default: the machine's available parallelism; results are bitwise
   identical at any thread count). csat accepts --m0 repeatedly and sweeps
   every formula over all initial occupancies in parallel. --stats prints
-  the session's cache counters, per-solve timings, and the pool's
-  per-thread task counts.
+  the session's cache counters, per-solve timings with RHS-evaluation
+  counts, the command's allocation count, and the pool's per-thread task
+  counts.
 ";
 
 fn main() -> ExitCode {

@@ -136,18 +136,27 @@ impl LocalModel {
         let n = self.n_states();
         assert_eq!(m.len(), n, "occupancy has wrong dimension");
         assert!(q.rows() == n && q.cols() == n, "matrix has wrong shape");
-        for v in q.as_mut_slice() {
-            *v = 0.0;
-        }
+        // Slice-indexed throughout: this is the innermost call of every
+        // mean-field RHS evaluation, so per-entry `Index` bounds checks are
+        // measurable. The accumulation order matches the checked variant
+        // exactly.
+        let qs = q.as_mut_slice();
+        qs.fill(0.0);
         for tr in &self.transitions {
             let rate = (tr.rate)(m);
             if rate.is_finite() && rate > 0.0 {
-                q[(tr.from, tr.to)] += rate;
+                qs[tr.from * n + tr.to] += rate;
             }
         }
         for i in 0..n {
-            let row_sum: f64 = (0..n).filter(|&j| j != i).map(|j| q[(i, j)]).sum();
-            q[(i, i)] = -row_sum;
+            let row = &qs[i * n..(i + 1) * n];
+            let mut row_sum = 0.0;
+            for (j, &v) in row.iter().enumerate() {
+                if j != i {
+                    row_sum += v;
+                }
+            }
+            qs[i * n + i] = -row_sum;
         }
     }
 

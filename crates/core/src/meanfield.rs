@@ -8,14 +8,23 @@
 //! with generator `Q(m̄(t))`, exposed through [`TrajectoryGenerator`] for
 //! the CSL layer.
 
+use std::cell::RefCell;
+
 use mfcsl_csl::{CslError, LocalTvModel};
 use mfcsl_ctmc::inhomogeneous::TimeVaryingGenerator;
 use mfcsl_math::Matrix;
-use mfcsl_ode::dopri::Dopri5;
-use mfcsl_ode::problem::ProjectedFnSystem;
+use mfcsl_ode::dopri::{Dopri5, SolverWorkspace};
+use mfcsl_ode::problem::OdeSystem;
 use mfcsl_ode::{OdeOptions, Trajectory};
 
 use crate::{CoreError, LocalModel, Occupancy};
+
+/// Drift threshold below which the trajectory counts as settled for the
+/// steady-regime fast path. Conservative: a drift of `ε` over a window of
+/// length `T` perturbs the window matrix by `O(ε·L·T)` (`L` the rate
+/// functions' Lipschitz constant), so `1e-11` keeps the fast path within
+/// the `1e-9` equivalence budget for the windows the checkers use.
+pub const STEADY_DETECT_EPS: f64 = 1e-11;
 
 /// A dense solution of the mean-field ODE (Eq. 1) over `[0, t_end]`.
 #[derive(Debug, Clone)]
@@ -69,15 +78,72 @@ impl<'a> OccupancyTrajectory<'a> {
     /// CSL checkers operate on (without a stationary regime; see
     /// [`crate::mfcsl::Checker`] for the variant that attaches one).
     ///
+    /// When the trajectory has numerically settled before its horizon, the
+    /// settle time is attached via [`LocalTvModel::with_steady_from`], which
+    /// lets the until algorithms hand the window propagation off to a
+    /// single uniformization once the generator stops varying.
+    ///
     /// # Errors
     ///
     /// Propagates shape validation from [`LocalTvModel::new`].
     pub fn local_tv_model(&self) -> Result<LocalTvModel<TrajectoryGenerator<'_>>, CslError> {
-        LocalTvModel::new(
+        let mut tv = LocalTvModel::new(
             self.generator(),
             self.model.labeling().clone(),
             self.model.state_names().to_vec(),
-        )
+        )?;
+        if let Some(t) = self.settled_from(STEADY_DETECT_EPS) {
+            tv = tv.with_steady_from(t);
+        }
+        Ok(tv)
+    }
+
+    /// The earliest knot time from which the trajectory stays settled: every
+    /// knot from there to the horizon has `‖dm̄/dt‖∞ ≤ eps`. Beyond the
+    /// horizon the dense solution extrapolates as a constant, so from the
+    /// returned time on the generator `Q(m̄(t))` no longer varies (within
+    /// the drift bound `eps`). `None` if the final knot still moves.
+    #[must_use]
+    pub fn settled_from(&self, eps: f64) -> Option<f64> {
+        let curve = self.trajectory.curve();
+        let ts = curve.knots();
+        let mut settled = None;
+        for k in (0..ts.len()).rev() {
+            if curve.derivative_at(k).iter().all(|&v| v.abs() <= eps) {
+                settled = Some(ts[k]);
+            } else {
+                break;
+            }
+        }
+        settled
+    }
+
+    /// The earliest knot time from which every later knot stays within
+    /// `eps` (max norm) of `target` — used by the analysis engine to stamp
+    /// a stationary regime with the time its trajectory reached `m̃`.
+    /// `None` if the final knot is still farther than `eps` away, or on a
+    /// dimension mismatch.
+    #[must_use]
+    pub fn settled_near(&self, target: &[f64], eps: f64) -> Option<f64> {
+        let curve = self.trajectory.curve();
+        if target.len() != curve.dim() {
+            return None;
+        }
+        let ts = curve.knots();
+        let mut settled = None;
+        for k in (0..ts.len()).rev() {
+            let close = curve
+                .value_at(k)
+                .iter()
+                .zip(target)
+                .all(|(&v, &m)| (v - m).abs() <= eps);
+            if close {
+                settled = Some(ts[k]);
+            } else {
+                break;
+            }
+        }
+        settled
     }
 
     /// Extends the trajectory to a longer horizon by solving only the new
@@ -95,6 +161,23 @@ impl<'a> OccupancyTrajectory<'a> {
     /// Returns [`CoreError::InvalidArgument`] for a non-finite horizon and
     /// propagates ODE failures from the segment solve.
     pub fn extended_to(self, t_end: f64, options: &OdeOptions) -> Result<Self, CoreError> {
+        self.extended_to_with(t_end, options, &mut SolverWorkspace::new())
+    }
+
+    /// Like [`OccupancyTrajectory::extended_to`] but reuses a caller-owned
+    /// solver workspace for the segment solve, so repeated horizon
+    /// extensions (the analysis engine's common case) allocate nothing per
+    /// call beyond the new knot storage.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`OccupancyTrajectory::extended_to`].
+    pub fn extended_to_with(
+        self,
+        t_end: f64,
+        options: &OdeOptions,
+        workspace: &mut SolverWorkspace,
+    ) -> Result<Self, CoreError> {
         if !t_end.is_finite() {
             return Err(CoreError::InvalidArgument(format!(
                 "horizon must be finite, got {t_end}"
@@ -105,8 +188,8 @@ impl<'a> OccupancyTrajectory<'a> {
         }
         let t0 = self.t_end();
         let y0 = self.trajectory.eval(t0);
-        let sys = mf_system(self.model);
-        let tail = Dopri5::new(*options).solve(&sys, t0, t_end, &y0)?;
+        let sys = MeanFieldSystem::new(self.model);
+        let tail = Dopri5::new(*options).solve_into(&sys, t0, t_end, &y0, workspace)?;
         Ok(OccupancyTrajectory {
             model: self.model,
             trajectory: self.trajectory.extended_with(&tail)?,
@@ -172,6 +255,23 @@ pub fn solve<'a>(
     t_end: f64,
     options: &OdeOptions,
 ) -> Result<OccupancyTrajectory<'a>, CoreError> {
+    solve_with(model, m0, t_end, options, &mut SolverWorkspace::new())
+}
+
+/// Like [`solve`] but reuses a caller-owned solver workspace, so
+/// back-to-back mean-field solves (parameter sweeps, the `cSat` grid)
+/// allocate nothing per call beyond the trajectory's own knot storage.
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub fn solve_with<'a>(
+    model: &'a LocalModel,
+    m0: &Occupancy,
+    t_end: f64,
+    options: &OdeOptions,
+    workspace: &mut SolverWorkspace,
+) -> Result<OccupancyTrajectory<'a>, CoreError> {
     let n = model.n_states();
     if m0.len() != n {
         return Err(CoreError::InvalidArgument(format!(
@@ -184,8 +284,8 @@ pub fn solve<'a>(
             "horizon must be finite and non-negative, got {t_end}"
         )));
     }
-    let sys = mf_system(model);
-    let trajectory = Dopri5::new(*options).solve(&sys, 0.0, t_end, m0.as_slice())?;
+    let sys = MeanFieldSystem::new(model);
+    let trajectory = Dopri5::new(*options).solve_into(&sys, 0.0, t_end, m0.as_slice(), workspace)?;
     Ok(OccupancyTrajectory { model, trajectory })
 }
 
@@ -193,33 +293,74 @@ pub fn solve<'a>(
 /// shared by the fresh solve and the segment solve of
 /// [`OccupancyTrajectory::extended_to`], so both integrate exactly the same
 /// right-hand side.
-fn mf_system(
-    model: &LocalModel,
-) -> ProjectedFnSystem<impl Fn(f64, &[f64], &mut [f64]) + '_, impl Fn(f64, &mut [f64])> {
-    let n = model.n_states();
-    ProjectedFnSystem::new(
-        n,
-        move |_t: f64, y: &[f64], dy: &mut [f64]| {
-            // The drift is m·Q(m); mid-step states may drift slightly off
-            // the simplex, so project the copy we hand to the rate
-            // functions.
-            match Occupancy::project(y.to_vec()) {
-                Ok(m) => {
-                    let mut q = Matrix::zeros(n, n);
-                    model.write_generator_at(&m, &mut q);
-                    let drift = q.vec_mul(m.as_slice()).expect("shape fixed");
-                    dy.copy_from_slice(&drift);
-                }
-                Err(_) => {
-                    // Signal the solver through a non-finite derivative.
-                    dy.fill(f64::NAN);
-                }
+///
+/// The occupancy copy and the generator matrix live in a `RefCell` scratch
+/// allocated once per system, so the right-hand side itself is
+/// allocation-free; its accumulation order matches `Matrix::vec_mul`
+/// exactly, keeping trajectories bitwise identical to the old allocating
+/// implementation.
+struct MeanFieldSystem<'a> {
+    model: &'a LocalModel,
+    scratch: RefCell<MfScratch>,
+}
+
+struct MfScratch {
+    occ: Occupancy,
+    q: Matrix,
+}
+
+impl<'a> MeanFieldSystem<'a> {
+    fn new(model: &'a LocalModel) -> Self {
+        let n = model.n_states();
+        MeanFieldSystem {
+            model,
+            scratch: RefCell::new(MfScratch {
+                occ: Occupancy::new_unchecked(vec![0.0; n]),
+                q: Matrix::zeros(n, n),
+            }),
+        }
+    }
+}
+
+impl OdeSystem for MeanFieldSystem<'_> {
+    fn dim(&self) -> usize {
+        self.model.n_states()
+    }
+
+    fn rhs(&self, _t: f64, y: &[f64], dy: &mut [f64]) {
+        let mut s = self.scratch.borrow_mut();
+        // Mid-step states may drift slightly off the simplex, so project the
+        // copy we hand to the rate functions; the copy's buffer is recycled
+        // through the scratch `Occupancy`.
+        let mut m = std::mem::replace(&mut s.occ, Occupancy::new_unchecked(Vec::new())).into_vec();
+        m.copy_from_slice(y);
+        let projected = mfcsl_math::simplex::renormalize(&mut m).is_ok();
+        s.occ = Occupancy::new_unchecked(m);
+        if !projected {
+            // Signal the solver through a non-finite derivative.
+            dy.fill(f64::NAN);
+            return;
+        }
+        let MfScratch { occ, q } = &mut *s;
+        self.model.write_generator_at(occ, q);
+        // dy = m̄·Q(m̄), with `Matrix::vec_mul`'s accumulation order.
+        let n = dy.len();
+        let qs = q.as_slice();
+        dy.fill(0.0);
+        for (i, &xi) in occ.as_slice().iter().enumerate() {
+            if xi == 0.0 {
+                continue;
             }
-        },
-        |_t: f64, y: &mut [f64]| {
-            let _ = mfcsl_math::simplex::renormalize(y);
-        },
-    )
+            let row = &qs[i * n..(i + 1) * n];
+            for (dy_j, &q_ij) in dy.iter_mut().zip(row) {
+                *dy_j += xi * q_ij;
+            }
+        }
+    }
+
+    fn project(&self, _t: f64, y: &mut [f64]) {
+        let _ = mfcsl_math::simplex::renormalize(y);
+    }
 }
 
 #[cfg(test)]
@@ -384,6 +525,32 @@ mod tests {
         let sol = sol.extended_to(3.0, &options).unwrap();
         assert_eq!(sol.trajectory().knots(), &knots_before[..]);
         assert!(sol.extended_to(f64::NAN, &options).is_err());
+    }
+
+    #[test]
+    fn settle_detection_finds_the_regime_entry() {
+        // SIS converges exponentially at rate ~1, so by t = 60 the drift is
+        // far below the detection threshold — but at t = 5 it is not.
+        let model = sis(2.0, 1.0);
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let short = solve(&model, &m0, 5.0, &OdeOptions::default()).unwrap();
+        assert_eq!(short.settled_from(STEADY_DETECT_EPS), None);
+        let long = solve(&model, &m0, 60.0, &OdeOptions::default()).unwrap();
+        let t_star = long
+            .settled_from(STEADY_DETECT_EPS)
+            .expect("trajectory settles well before t = 60");
+        assert!(t_star > 5.0 && t_star < 60.0, "t_star = {t_star}");
+        // The settled stretch sits on the endemic point (0.5, 0.5).
+        let near = long
+            .settled_near(&[0.5, 0.5], 1e-9)
+            .expect("settles onto the endemic point");
+        assert!(near <= 60.0);
+        // Dimension mismatch and an unreached target report None.
+        assert_eq!(long.settled_near(&[0.5], 1e-9), None);
+        assert_eq!(long.settled_near(&[0.9, 0.1], 1e-9), None);
+        // The settle time flows into the CSL model.
+        assert_eq!(long.local_tv_model().unwrap().steady_from(), Some(t_star));
+        assert_eq!(short.local_tv_model().unwrap().steady_from(), None);
     }
 
     #[test]

@@ -350,9 +350,13 @@ impl<'a> Checker<'a> {
             )));
         }
         let frozen = self.model.frozen_at(&fp.occupancy)?;
+        // The settle *time* is a property of a concrete trajectory, not of
+        // the fixed point; the analysis engine stamps it when it holds the
+        // trajectory for `m0` (see `CheckSession::stationary_regime`).
         Ok(StationaryRegime {
             distribution: fp.occupancy.into_vec(),
             frozen,
+            settle_time: None,
         })
     }
 }

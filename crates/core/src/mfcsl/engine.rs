@@ -372,7 +372,16 @@ impl<'a> CheckSession<'a> {
             self.regime_reuses.fetch_add(1, Ordering::Relaxed);
             return Ok(regime);
         }
-        let regime = self.checker.stationary_regime(m0)?;
+        let mut regime = self.checker.stationary_regime(m0)?;
+        // Regime hand-off: when this session already holds the trajectory
+        // for `m0`, stamp the regime with the time it reached `m̃`, so the
+        // CSL layer can replace post-settle window propagation with one
+        // uniformization of the frozen chain.
+        if let Some(entry) = self.entries.get(&key) {
+            let trajectory = entry.trajectory.read().unwrap();
+            regime.settle_time =
+                trajectory.settled_near(&regime.distribution, crate::meanfield::STEADY_DETECT_EPS);
+        }
         self.regime_solves.fetch_add(1, Ordering::Relaxed);
         self.regimes.insert(key, regime.clone());
         Ok(regime)

@@ -680,6 +680,7 @@ mod tests {
             .with_stationary(StationaryRegime {
                 distribution: stationary.clone(),
                 frozen: ctmc.clone(),
+                settle_time: None,
             })
             .unwrap();
         let checker = InhomogeneousChecker::with_tolerances(&model, tol());

@@ -22,6 +22,10 @@ pub struct StationaryRegime {
     pub distribution: Vec<f64>,
     /// The local chain with rates frozen at `m̃`.
     pub frozen: Ctmc,
+    /// Time from which the mean-field trajectory has numerically settled
+    /// onto `m̃` (so `Q(t)` is constant from here on), when known. Enables
+    /// the steady-regime uniformization fast path of the until algorithms.
+    pub settle_time: Option<f64>,
 }
 
 /// A time-inhomogeneous labeled local model.
@@ -54,6 +58,7 @@ pub struct LocalTvModel<G> {
     labeling: Labeling,
     names: Vec<String>,
     stationary: Option<StationaryRegime>,
+    steady_from: Option<f64>,
 }
 
 impl<G: TimeVaryingGenerator> LocalTvModel<G> {
@@ -82,7 +87,28 @@ impl<G: TimeVaryingGenerator> LocalTvModel<G> {
             labeling,
             names,
             stationary: None,
+            steady_from: None,
         })
+    }
+
+    /// Declares that the generator is constant in time from `t` on (the
+    /// mean-field trajectory has settled). The until algorithms use this to
+    /// replace the tail of the window propagation with one uniformization;
+    /// callers must only set it when `Q(t')` really no longer varies for
+    /// `t' ≥ t` within the checking tolerances.
+    #[must_use]
+    pub fn with_steady_from(mut self, t: f64) -> Self {
+        self.steady_from = Some(t);
+        self
+    }
+
+    /// The time from which the generator is constant, if known — either
+    /// declared via [`LocalTvModel::with_steady_from`] or carried by the
+    /// attached stationary regime.
+    #[must_use]
+    pub fn steady_from(&self) -> Option<f64> {
+        self.steady_from
+            .or_else(|| self.stationary.as_ref().and_then(|r| r.settle_time))
     }
 
     /// Attaches the stationary regime (enables the `S` operator).
@@ -238,11 +264,13 @@ mod tests {
         let good = StationaryRegime {
             distribution: vec![0.5, 0.5],
             frozen: frozen.clone(),
+            settle_time: None,
         };
         assert!(model().with_stationary(good).is_ok());
         let bad = StationaryRegime {
             distribution: vec![1.0],
             frozen,
+            settle_time: None,
         };
         assert!(model().with_stationary(bad).is_err());
     }

@@ -319,6 +319,10 @@ impl PiecewiseSets {
 pub struct ExtendedGenerator<'a, G> {
     inner: &'a G,
     sets: &'a PiecewiseSets,
+    /// Reusable `n×n` buffer for the inner generator — `write_generator`
+    /// sits on the Kolmogorov hot path (7+ evaluations per solver step), so
+    /// the base matrix is allocated once per wrapper, not per call.
+    base: std::cell::RefCell<Matrix>,
 }
 
 impl<'a, G: TimeVaryingGenerator> ExtendedGenerator<'a, G> {
@@ -335,7 +339,12 @@ impl<'a, G: TimeVaryingGenerator> ExtendedGenerator<'a, G> {
                 sets.n_states()
             )));
         }
-        Ok(ExtendedGenerator { inner, sets })
+        let n = inner.n_states();
+        Ok(ExtendedGenerator {
+            inner,
+            sets,
+            base: std::cell::RefCell::new(Matrix::zeros(n, n)),
+        })
     }
 }
 
@@ -346,8 +355,9 @@ impl<G: TimeVaryingGenerator> TimeVaryingGenerator for ExtendedGenerator<'_, G> 
 
     fn write_generator(&self, t: f64, q: &mut Matrix) {
         let n = self.inner.n_states();
-        let mut base = Matrix::zeros(n, n);
+        let mut base = self.base.borrow_mut();
         self.inner.write_generator(t, &mut base);
+        let base = &*base;
         let g1 = self.sets.gamma1.set_at(t);
         let g2 = self.sets.gamma2.set_at(t);
         for i in 0..=n {

@@ -9,7 +9,7 @@
 //! prescribes; Eq. 7 then assembles the per-state probabilities.
 
 use mfcsl_ctmc::inhomogeneous::{
-    flat_to_matrix, propagate_window, transition_matrix, TimeVaryingGenerator,
+    flat_to_matrix, propagate_window_from, transition_matrix, ConstantTail, TimeVaryingGenerator,
 };
 use mfcsl_math::Matrix;
 use mfcsl_ode::Trajectory;
@@ -175,12 +175,29 @@ pub fn until_evaluator<G: TimeVaryingGenerator>(
     let gen = model.generator();
     let t1 = interval.lo();
     let duration_b = interval.hi() - interval.lo();
+    // Steady-regime hand-off: once the mean-field trajectory has settled,
+    // the (masked) generator is constant and the sliding window matrix no
+    // longer changes — the propagation tail collapses to one uniformization.
+    // The masks here are time-independent, so the window invariant
+    // `Π'(t, t+T) = e^{QT}` required by the fast path holds for both phases.
+    let tail = model.steady_from().map(|t_star| ConstantTail {
+        t_star,
+        eps: mfcsl_ctmc::transient::DEFAULT_EPSILON,
+    });
 
     // Phase B on 𝓜[¬Φ₁ ∨ Φ₂].
     let absorb_b: Vec<bool> = (0..n).map(|s| !sat1[s] || sat2[s]).collect();
     let masked_b = MaskedGenerator::new(gen, absorb_b)?;
     let init_b = transition_matrix(&masked_b, t1, duration_b, &tol.ode)?;
-    let phase_b = propagate_window(&masked_b, &init_b, t1, theta + t1, duration_b, &tol.ode)?;
+    let phase_b = propagate_window_from(
+        &masked_b,
+        &init_b,
+        t1,
+        theta + t1,
+        duration_b,
+        &tol.ode,
+        tail.as_ref(),
+    )?;
 
     // Phase A on 𝓜[¬Φ₁], only needed for t₁ > 0.
     let phase_a = if interval.starts_at_zero() {
@@ -189,8 +206,14 @@ pub fn until_evaluator<G: TimeVaryingGenerator>(
         let absorb_a: Vec<bool> = sat1.iter().map(|&b| !b).collect();
         let masked_a = MaskedGenerator::new(gen, absorb_a)?;
         let init_a = transition_matrix(&masked_a, 0.0, t1, &tol.ode)?;
-        Some(propagate_window(
-            &masked_a, &init_a, 0.0, theta, t1, &tol.ode,
+        Some(propagate_window_from(
+            &masked_a,
+            &init_a,
+            0.0,
+            theta,
+            t1,
+            &tol.ode,
+            tail.as_ref(),
         )?)
     };
 
@@ -352,6 +375,51 @@ mod tests {
             let exact = survive * jump;
             let got = ev.prob_state_at(0, t);
             assert!((got - exact).abs() < 1e-7, "t = {t}: {got} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn steady_from_fast_path_matches_full_integration() {
+        // A model whose generator is exactly constant from t = 2 on. With
+        // `with_steady_from(2.0)` the evaluator swaps the settled stretch of
+        // both window propagations for one uniformization each; the until
+        // probabilities must agree with the fully integrated evaluator to
+        // the fast path's equivalence budget.
+        let gen = || {
+            FnGenerator::new(2, |t: f64, q: &mut Matrix| {
+                let s = (2.0 - t).max(0.0);
+                let r = 0.6 + s * s;
+                q[(0, 0)] = -r;
+                q[(0, 1)] = r;
+                q[(1, 0)] = 0.5;
+                q[(1, 1)] = -0.5;
+            })
+        };
+        let labels = || {
+            let mut l = Labeling::new(2);
+            l.add(0, "healthy");
+            l.add(1, "infected");
+            l
+        };
+        let names = || vec!["healthy".to_string(), "infected".to_string()];
+        let slow = LocalTvModel::new(gen(), labels(), names()).unwrap();
+        let fast = LocalTvModel::new(gen(), labels(), names())
+            .unwrap()
+            .with_steady_from(2.0);
+        assert_eq!(fast.steady_from(), Some(2.0));
+        let sat1 = [true, false];
+        let sat2 = [false, true];
+        let interval = TimeInterval::new(0.4, 1.3).unwrap();
+        let theta = 10.0;
+        let ev_slow = until_evaluator(&slow, &sat1, &sat2, interval, theta, &tol()).unwrap();
+        let ev_fast = until_evaluator(&fast, &sat1, &sat2, interval, theta, &tol()).unwrap();
+        for i in 0..=20 {
+            let t = theta * f64::from(i) / 20.0;
+            let a = ev_slow.probs_at(t);
+            let b = ev_fast.probs_at(t);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-9, "t = {t}: {x} vs {y}");
+            }
         }
     }
 

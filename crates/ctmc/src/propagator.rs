@@ -101,6 +101,33 @@ impl DensePropagator {
             unif,
         }
     }
+
+    /// Builds the uniformized matrix straight from a generator matrix —
+    /// used by the steady-regime fast path, where the constant generator
+    /// `Q(m̃)` is written by a [`crate::inhomogeneous::TimeVaryingGenerator`]
+    /// and never materialized as a [`Ctmc`]. The caller guarantees `q` is a
+    /// valid generator (non-negative off-diagonals, rows summing to zero);
+    /// rows of an absorbing (all-zero) chain yield the identity propagator.
+    #[must_use]
+    pub fn from_generator(q: &Matrix) -> Self {
+        let n = q.rows();
+        let rate = (0..n).map(|i| -q[(i, i)]).fold(0.0_f64, f64::max);
+        if rate == 0.0 {
+            return DensePropagator {
+                pt: Matrix::identity(n),
+                unif: 0.0,
+            };
+        }
+        let unif = rate * 1.02;
+        let mut p = q.scaled(1.0 / unif);
+        for i in 0..n {
+            p[(i, i)] += 1.0;
+        }
+        DensePropagator {
+            pt: p.transpose(),
+            unif,
+        }
+    }
 }
 
 impl Propagator for DensePropagator {
@@ -132,9 +159,13 @@ pub struct SparsePropagator<'a> {
     /// CSC layout of the off-diagonal rates: for column `j`, the incoming
     /// transitions are `(row_idx[k], rates[k])` for
     /// `k ∈ col_ptr[j]..col_ptr[j+1]`, sorted by ascending source row.
+    /// Rates are stored pre-divided by `Λ` (they are entries of `P`, not
+    /// `Q`), so the gather kernel is pure multiply-add.
     col_ptr: Vec<usize>,
     row_idx: Vec<usize>,
     rates: Vec<f64>,
+    /// `P`'s diagonal, `1 - exit[j]/Λ`, precomputed once.
+    diag: Vec<f64>,
     unif: f64,
 }
 
@@ -146,12 +177,22 @@ impl<'a> SparsePropagator<'a> {
     pub fn new(ctmc: &'a SparseCtmc) -> Self {
         let rate = ctmc.max_exit_rate();
         let unif = if rate == 0.0 { 0.0 } else { rate * 1.02 };
-        let (col_ptr, row_idx, rates) = ctmc.to_csc();
+        let (col_ptr, row_idx, mut rates) = ctmc.to_csc();
+        let mut diag = vec![1.0; ctmc.n_states()];
+        if unif != 0.0 {
+            for r in &mut rates {
+                *r /= unif;
+            }
+            for (d, &e) in diag.iter_mut().zip(ctmc.exit_rates()) {
+                *d = 1.0 - e / unif;
+            }
+        }
         SparsePropagator {
             ctmc,
             col_ptr,
             row_idx,
             rates,
+            diag,
             unif,
         }
     }
@@ -171,14 +212,21 @@ impl Propagator for SparsePropagator<'_> {
             out.copy_from_slice(&v[start..start + out.len()]);
             return;
         }
-        let exit = self.ctmc.exit_rates();
+        debug_assert_eq!(v.len(), self.ctmc.n_states());
         for (k, o) in out.iter_mut().enumerate() {
             let j = start + k;
             // Diagonal first, then incoming transitions by ascending
             // source row — a fixed order, independent of any blocking.
-            let mut acc = v[j] * (1.0 - exit[j] / self.unif);
-            for idx in self.col_ptr[j]..self.col_ptr[j + 1] {
-                acc += v[self.row_idx[idx]] * self.rates[idx] / self.unif;
+            let mut acc = v[j] * self.diag[j];
+            let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
+            for (&i, &r) in self.row_idx[lo..hi].iter().zip(&self.rates[lo..hi]) {
+                // SAFETY: `SparseCtmc::from_triplets` validates every
+                // source index against `n_states`, `to_csc` copies them
+                // unchanged, and the trait contract guarantees
+                // `v.len() == n_states()` — so `i < v.len()` always. The
+                // explicit gather avoids a bounds check in the innermost
+                // loop of transient analysis.
+                acc += unsafe { *v.get_unchecked(i) } * r;
             }
             *o = acc;
         }

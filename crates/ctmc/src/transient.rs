@@ -70,17 +70,30 @@ impl PoissonWindow {
         for k in mode..right {
             weights[k - left + 1] = weights[k - left] * lambda / (k + 1) as f64;
         }
-        // Recur left: w(k-1) = w(k) * k / lambda.
+        // Recur left: w(k-1) = w(k) * k / lambda. The pmf decreases
+        // monotonically below the mode, so stop as soon as a term falls
+        // under the per-term error budget: the unnormalized total is at
+        // least 1 (the mode term), so the skipped terms contribute less
+        // than eps/4 of normalized mass in aggregate — the same budget
+        // the tail trim below works with. For large Λt this skips the
+        // bulk of the left radius instead of recurring down to it.
+        let floor = eps / (4.0 * weights.len() as f64);
+        let mut first = mode_idx;
         for k in (left + 1..=mode).rev() {
-            weights[k - left - 1] = weights[k - left] * k as f64 / lambda;
+            let w = weights[k - left] * k as f64 / lambda;
+            if w < floor {
+                break;
+            }
+            weights[k - left - 1] = w;
+            first = k - left - 1;
         }
-        let total: f64 = weights.iter().sum();
-        for w in &mut weights {
+        let total: f64 = weights[first..].iter().sum();
+        for w in &mut weights[first..] {
             *w /= total;
         }
         // Trim negligible tails so callers do fewer matrix products.
         let tail = eps / 4.0;
-        let mut lo = 0;
+        let mut lo = first;
         let mut acc = 0.0;
         while lo < weights.len() && acc + weights[lo] < tail {
             acc += weights[lo];
@@ -329,6 +342,26 @@ mod tests {
             .map(|(i, &p)| (w.left + i) as f64 * p)
             .sum();
         assert!((mean - 5000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn poisson_window_left_truncation_keeps_invariants() {
+        // The left recursion stops at the error budget instead of running
+        // to the window edge; mass and mean must be unaffected at any λ.
+        for &lambda in &[7.0, 50.0, 500.0, 20_000.0] {
+            let w = PoissonWindow::new(lambda, 1e-12).unwrap();
+            assert!((w.total_mass() - 1.0).abs() < 1e-9, "λ = {lambda}");
+            let mean: f64 = w
+                .weights
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (w.left + i) as f64 * p)
+                .sum();
+            assert!((mean - lambda).abs() < 1.0, "λ = {lambda}, mean {mean}");
+            assert!(w.weights.iter().all(|&x| x.is_finite() && x >= 0.0));
+            // No zero padding survives at the edges of the kept window.
+            assert!(w.weights[0] > 0.0 && *w.weights.last().unwrap() > 0.0);
+        }
     }
 
     #[test]

@@ -97,13 +97,20 @@ pub fn linear(xs: &[f64], ys: &[f64], x: f64) -> Result<f64, MathError> {
 
 /// A vector-valued piecewise cubic Hermite curve (the dense-output format of
 /// the ODE solvers): knot times with values and derivatives per component.
+///
+/// Knot data is stored in two flat knot-major arenas (`ys[k*dim..(k+1)*dim]`
+/// is the state at `knots()[k]`), so appending an accepted solver step is one
+/// `extend_from_slice` per arena instead of a boxed `Vec` clone, and
+/// evaluation walks contiguous memory.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HermiteCurve {
+    dim: usize,
     ts: Vec<f64>,
-    /// `ys[k]` is the state vector at `ts[k]`.
-    ys: Vec<Vec<f64>>,
-    /// `ds[k]` is the state derivative at `ts[k]`.
-    ds: Vec<Vec<f64>>,
+    /// Flat knot-major state values: `ys[k*dim..(k+1)*dim]` is the state at
+    /// `ts[k]`.
+    ys: Vec<f64>,
+    /// Flat knot-major state derivatives, same layout as `ys`.
+    ds: Vec<f64>,
 }
 
 impl HermiteCurve {
@@ -136,18 +143,53 @@ impl HermiteCurve {
                 });
             }
         }
+        let mut ys_flat = Vec::with_capacity(ts.len() * dim);
+        let mut ds_flat = Vec::with_capacity(ts.len() * dim);
+        for (y, d) in ys.iter().zip(&ds) {
+            ys_flat.extend_from_slice(y);
+            ds_flat.extend_from_slice(d);
+        }
+        Self::from_flat(dim, ts, ys_flat, ds_flat)
+    }
+
+    /// Builds a curve directly from flat knot-major arenas, the storage the
+    /// solver workspace accumulates accepted steps into.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidArgument`] if no knot is supplied or the
+    /// knots are not strictly increasing, and
+    /// [`MathError::DimensionMismatch`] if an arena length is not
+    /// `ts.len() * dim`.
+    pub fn from_flat(
+        dim: usize,
+        ts: Vec<f64>,
+        ys: Vec<f64>,
+        ds: Vec<f64>,
+    ) -> Result<Self, MathError> {
+        if ts.is_empty() {
+            return Err(MathError::InvalidArgument(
+                "curve needs at least one knot".into(),
+            ));
+        }
+        if ys.len() != ts.len() * dim || ds.len() != ts.len() * dim {
+            return Err(MathError::DimensionMismatch {
+                expected: format!("{} knots of dim {dim}", ts.len()),
+                found: format!("{} values / {} derivatives", ys.len(), ds.len()),
+            });
+        }
         if ts.windows(2).any(|w| w[0] >= w[1]) {
             return Err(MathError::InvalidArgument(
                 "knot times must be strictly increasing".into(),
             ));
         }
-        Ok(HermiteCurve { ts, ys, ds })
+        Ok(HermiteCurve { dim, ts, ys, ds })
     }
 
     /// State dimension.
     #[must_use]
     pub fn dim(&self) -> usize {
-        self.ys[0].len()
+        self.dim
     }
 
     /// First knot time.
@@ -168,17 +210,24 @@ impl HermiteCurve {
         &self.ts
     }
 
-    /// State vectors at the knots (`values()[k]` corresponds to
-    /// `knots()[k]`).
+    /// The state vector at knot `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
     #[must_use]
-    pub fn values(&self) -> &[Vec<f64>] {
-        &self.ys
+    pub fn value_at(&self, k: usize) -> &[f64] {
+        &self.ys[k * self.dim..(k + 1) * self.dim]
     }
 
-    /// State derivatives at the knots.
+    /// The state derivative at knot `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
     #[must_use]
-    pub fn derivatives(&self) -> &[Vec<f64>] {
-        &self.ds
+    pub fn derivative_at(&self, k: usize) -> &[f64] {
+        &self.ds[k * self.dim..(k + 1) * self.dim]
     }
 
     /// Appends `tail` to this curve, producing one curve over the union of
@@ -209,8 +258,8 @@ impl HermiteCurve {
             )));
         }
         self.ts.extend_from_slice(&tail.ts[1..]);
-        self.ys.extend_from_slice(&tail.ys[1..]);
-        self.ds.extend_from_slice(&tail.ds[1..]);
+        self.ys.extend_from_slice(&tail.ys[tail.dim..]);
+        self.ds.extend_from_slice(&tail.ds[tail.dim..]);
         Ok(self)
     }
 
@@ -230,28 +279,22 @@ impl HermiteCurve {
     pub fn eval_into(&self, t: f64, out: &mut [f64]) {
         assert_eq!(out.len(), self.dim(), "output buffer has wrong dimension");
         if t <= self.ts[0] {
-            out.copy_from_slice(&self.ys[0]);
+            out.copy_from_slice(self.value_at(0));
             return;
         }
         let last = self.ts.len() - 1;
         if t >= self.ts[last] {
-            out.copy_from_slice(&self.ys[last]);
+            out.copy_from_slice(self.value_at(last));
             return;
         }
         let i = match self.ts.partition_point(|&k| k <= t) {
             0 => 0,
             p => p - 1,
         };
+        let (y0, y1) = (self.value_at(i), self.value_at(i + 1));
+        let (d0, d1) = (self.derivative_at(i), self.derivative_at(i + 1));
         for (c, out_c) in out.iter_mut().enumerate() {
-            *out_c = hermite(
-                self.ts[i],
-                self.ts[i + 1],
-                self.ys[i][c],
-                self.ys[i + 1][c],
-                self.ds[i][c],
-                self.ds[i + 1][c],
-                t,
-            );
+            *out_c = hermite(self.ts[i], self.ts[i + 1], y0[c], y1[c], d0[c], d1[c], t);
         }
     }
 
@@ -260,28 +303,20 @@ impl HermiteCurve {
     #[must_use]
     pub fn eval_derivative(&self, t: f64) -> Vec<f64> {
         if t <= self.ts[0] {
-            return self.ds[0].clone();
+            return self.derivative_at(0).to_vec();
         }
         let last = self.ts.len() - 1;
         if t >= self.ts[last] {
-            return self.ds[last].clone();
+            return self.derivative_at(last).to_vec();
         }
         let i = match self.ts.partition_point(|&k| k <= t) {
             0 => 0,
             p => p - 1,
         };
+        let (y0, y1) = (self.value_at(i), self.value_at(i + 1));
+        let (d0, d1) = (self.derivative_at(i), self.derivative_at(i + 1));
         (0..self.dim())
-            .map(|c| {
-                hermite_derivative(
-                    self.ts[i],
-                    self.ts[i + 1],
-                    self.ys[i][c],
-                    self.ys[i + 1][c],
-                    self.ds[i][c],
-                    self.ds[i + 1][c],
-                    t,
-                )
-            })
+            .map(|c| hermite_derivative(self.ts[i], self.ts[i + 1], y0[c], y1[c], d0[c], d1[c], t))
             .collect()
     }
 }
@@ -401,6 +436,33 @@ mod tests {
         let wrong_dim =
             HermiteCurve::new(vec![0.0], vec![vec![0.0, 1.0]], vec![vec![0.0, 0.0]]).unwrap();
         assert!(a.concat(&wrong_dim).is_err());
+    }
+
+    #[test]
+    fn from_flat_matches_nested_and_validates() {
+        let nested = HermiteCurve::new(
+            vec![0.0, 1.0, 2.0],
+            vec![vec![0.0, 0.0], vec![1.0, -1.0], vec![4.0, -2.0]],
+            vec![vec![0.0, -1.0], vec![2.0, -1.0], vec![4.0, -1.0]],
+        )
+        .unwrap();
+        let flat = HermiteCurve::from_flat(
+            2,
+            vec![0.0, 1.0, 2.0],
+            vec![0.0, 0.0, 1.0, -1.0, 4.0, -2.0],
+            vec![0.0, -1.0, 2.0, -1.0, 4.0, -1.0],
+        )
+        .unwrap();
+        assert_eq!(nested, flat);
+        assert_eq!(flat.value_at(1), &[1.0, -1.0]);
+        assert_eq!(flat.derivative_at(2), &[4.0, -1.0]);
+        // Arena length must be knots * dim.
+        assert!(HermiteCurve::from_flat(2, vec![0.0, 1.0], vec![0.0; 3], vec![0.0; 4]).is_err());
+        // Empty and non-increasing knots are rejected.
+        assert!(HermiteCurve::from_flat(2, vec![], vec![], vec![]).is_err());
+        assert!(
+            HermiteCurve::from_flat(1, vec![1.0, 1.0], vec![0.0; 2], vec![0.0; 2]).is_err()
+        );
     }
 
     #[test]

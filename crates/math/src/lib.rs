@@ -43,6 +43,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![warn(missing_docs)]
 
+pub mod alloc_counter;
 pub mod complex;
 pub mod eigen;
 pub mod error;

@@ -158,6 +158,23 @@ pub fn example_occupancy() -> Result<Occupancy, CoreError> {
     Occupancy::new(vec![0.8, 0.15, 0.05])
 }
 
+/// The four parameter/law combinations the Table II experiments exercise:
+/// both printed Setting-1 variants and Setting 2 under the smart-virus
+/// attack law, plus Setting 2 under proportional (epidemic) mixing.
+///
+/// The equivalence property tests sweep every hot-path kernel across this
+/// whole family, so an optimization that is only correct for one rate
+/// regime (slow Setting 1, stiff Setting 2) cannot slip through.
+#[must_use]
+pub fn table2_settings() -> [(&'static str, Params, InfectionLaw); 4] {
+    [
+        ("setting_1", setting_1(), InfectionLaw::SmartVirus),
+        ("setting_1_swapped", setting_1_swapped(), InfectionLaw::SmartVirus),
+        ("setting_2", setting_2(), InfectionLaw::SmartVirus),
+        ("setting_2_epidemic", setting_2(), InfectionLaw::Epidemic),
+    ]
+}
+
 /// The occupancy vector of the paper's second worked example
 /// (`m̄ = (0.85, 0.1, 0.05)`).
 ///

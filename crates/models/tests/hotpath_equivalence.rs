@@ -1,0 +1,163 @@
+//! Equivalence properties for the hot-path kernels, swept across all four
+//! Table II parameter settings (`virus::table2_settings`).
+//!
+//! Two classes of claims, with two different strengths:
+//!
+//! * **bitwise** — optimizations that only changed memory layout (shared
+//!   solver workspaces, arena trajectory storage) must reproduce the
+//!   reference solve bit for bit: same knots, same values, same
+//!   derivatives, same step statistics;
+//! * **within 1e-9** — the steady-regime fast path replaces a matrix-ODE
+//!   integration by one uniformization (Eq. 14/15), which is a different
+//!   numerical method, so agreement is required to 1e-9 — well below the
+//!   solver tolerance but not exact.
+
+use mfcsl_core::meanfield;
+use mfcsl_core::Occupancy;
+use mfcsl_ctmc::inhomogeneous::{
+    flat_to_matrix, propagate_window_from, transition_matrix, ConstantTail, FnGenerator,
+};
+use mfcsl_math::Matrix;
+use mfcsl_models::virus;
+use mfcsl_ode::{OdeOptions, SolverWorkspace};
+use proptest::prelude::*;
+
+/// A random interior point of the 3-state simplex. Entries are bounded
+/// away from the boundary so the smart-virus rate cap never engages and
+/// the stiff Setting-2 rates stay integrable at test speed.
+fn occupancy_strategy() -> impl Strategy<Value = Occupancy> {
+    (0.15f64..1.0, 0.15f64..1.0, 0.15f64..1.0).prop_map(|(a, b, c)| {
+        let s = a + b + c;
+        Occupancy::new(vec![a / s, b / s, c / s]).expect("normalized simplex point")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Solving through a caller-owned, repeatedly reused workspace is the
+    /// pure memory-layout change: every setting must give bitwise
+    /// identical trajectories and identical step counts.
+    #[test]
+    fn workspace_reuse_is_bitwise_identical(
+        m0 in occupancy_strategy(),
+        theta in 0.5f64..2.5,
+    ) {
+        let opts = OdeOptions::default();
+        let mut ws = SolverWorkspace::new();
+        for (name, params, law) in virus::table2_settings() {
+            let model = virus::model(params, law).expect("valid params");
+            let fresh = meanfield::solve(&model, &m0, theta, &opts).expect("solves");
+            let reused =
+                meanfield::solve_with(&model, &m0, theta, &opts, &mut ws).expect("solves");
+            let (a, b) = (fresh.trajectory(), reused.trajectory());
+            prop_assert_eq!(a.stats(), b.stats(), "step statistics differ on {}", name);
+            let (ca, cb) = (a.curve(), b.curve());
+            prop_assert_eq!(ca.knots(), cb.knots(), "knot times differ on {}", name);
+            for k in 0..ca.knots().len() {
+                let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                prop_assert_eq!(
+                    bits(ca.value_at(k)),
+                    bits(cb.value_at(k)),
+                    "knot {} values differ on {}", k, name
+                );
+                prop_assert_eq!(
+                    bits(ca.derivative_at(k)),
+                    bits(cb.derivative_at(k)),
+                    "knot {} derivatives differ on {}", k, name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Where the steady-regime hand-off replaces the window matrix ODE by
+    /// a uniformization of the frozen generator, the window value must
+    /// match the matrix ODE's answer to 1e-9 at every time in the settled
+    /// regime.
+    ///
+    /// The generator follows a simplex path that settles exactly at
+    /// `t* = 2` (a linear occupancy blend, frozen from then on), mimicking
+    /// a mean-field trajectory entering its stationary regime.
+    #[test]
+    fn steady_uniformization_matches_matrix_ode(
+        m_start in occupancy_strategy(),
+        m_end in occupancy_strategy(),
+        duration in 0.2f64..0.6,
+    ) {
+        // Everything runs two orders tighter than the 1e-9 claim: the
+        // hand-off knot keeps the head integration's own end value, so at
+        // default tolerances the comparison would measure the matrix ODE's
+        // truncation error rather than the uniformization's.
+        let opts = OdeOptions::default().with_tolerances(1e-11, 1e-13);
+        for (name, params, law) in virus::table2_settings() {
+            let model = virus::model(params, law).expect("valid params");
+            let n = model.n_states();
+            let gen = FnGenerator::new(n, |t: f64, q: &mut Matrix| {
+                let a = (t / 2.0).min(1.0);
+                let blend: Vec<f64> = m_start
+                    .as_slice()
+                    .iter()
+                    .zip(m_end.as_slice())
+                    .map(|(x, y)| x + (y - x) * a)
+                    .collect();
+                let m = Occupancy::new(blend).expect("simplex is convex");
+                let qm = model.generator_at(&m).expect("generator");
+                for i in 0..n {
+                    for j in 0..n {
+                        q[(i, j)] = qm[(i, j)];
+                    }
+                }
+            });
+            let tail = ConstantTail { t_star: 2.0, eps: 1e-13 };
+            let init = transition_matrix(&gen, 0.0, duration, &opts).expect("initial window");
+            let fast = propagate_window_from(&gen, &init, 0.0, 6.0, duration, &opts, Some(&tail))
+                .expect("propagates");
+            // The matrix-ODE reference: a direct Eq. 5 solve over
+            // [t, t + T]. For t >= t* the generator is frozen, so one
+            // reference serves the whole settled regime.
+            let reference = transition_matrix(&gen, 2.0, duration, &opts).expect("reference");
+            // The settled end of the trajectory is the raw uniformization
+            // output W = e^{QT}: this is the value that replaced the
+            // matrix ODE, and it must agree to 1e-9.
+            let w = flat_to_matrix(n, &fast.eval(6.0));
+            for r in 0..n {
+                for c in 0..n {
+                    let diff = (w[(r, c)] - reference[(r, c)]).abs();
+                    prop_assert!(
+                        diff < 1e-9,
+                        "{}: uniformized window({}, {}) differs from the matrix ODE by {}",
+                        name, r, c, diff
+                    );
+                }
+            }
+            // Across the hand-off blend the curve interpolates between the
+            // head integration's own end value and W, so the agreement
+            // there is bounded by the window equation's conditioning (its
+            // error modes grow like differences of generator eigenvalues —
+            // the very reason the uniformized tail is preferable), not by
+            // the uniformization error. A coarse bound catches gross
+            // hand-off mistakes without re-measuring the ODE's drift.
+            // (On stiff Setting 2 the head's end value alone is ~1e-5 off
+            // at rtol 1e-11 — eigenvalue spreads near 60 amplify injected
+            // error by e^{60 (t - t_err)} — hence the coarse bound.)
+            for i in 0..=8 {
+                let t = 2.0 + 4.0 * f64::from(i) / 8.0;
+                let w = flat_to_matrix(n, &fast.eval(t));
+                for r in 0..n {
+                    for c in 0..n {
+                        let diff = (w[(r, c)] - reference[(r, c)]).abs();
+                        prop_assert!(
+                            diff < 1e-3,
+                            "{}: window({}, {}) at t = {} is {} away from the settled value",
+                            name, r, c, t, diff
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

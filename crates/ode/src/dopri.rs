@@ -34,6 +34,75 @@ pub struct Dopri5 {
     options: OdeOptions,
 }
 
+/// Reusable integration scratch: the seven stage buffers, the current and
+/// trial states, and the flat knot arenas that accumulate accepted steps.
+///
+/// A workspace is allocated once and handed to [`Dopri5::solve_into`] for
+/// every integration that should reuse its buffers — the hot Kolmogorov
+/// loops issue thousands of `solve` calls, and without a workspace each one
+/// re-allocates ten state-sized vectors plus one `Vec` clone of the state
+/// and derivative per accepted step. The arenas are moved into the returned
+/// [`Trajectory`] (which owns its knot data), so only the stage buffers
+/// persist across calls; they are resized on demand if the dimension
+/// changes.
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    k5: Vec<f64>,
+    k6: Vec<f64>,
+    k7: Vec<f64>,
+    y: Vec<f64>,
+    y_stage: Vec<f64>,
+    y_new: Vec<f64>,
+    ts: Vec<f64>,
+    ys: Vec<f64>,
+    ds: Vec<f64>,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace; buffers are sized lazily on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+
+    /// Clears the arenas and sizes every stage buffer for dimension `n`.
+    fn reset(&mut self, n: usize) {
+        for buf in [
+            &mut self.k1,
+            &mut self.k2,
+            &mut self.k3,
+            &mut self.k4,
+            &mut self.k5,
+            &mut self.k6,
+            &mut self.k7,
+            &mut self.y,
+            &mut self.y_stage,
+            &mut self.y_new,
+        ] {
+            buf.clear();
+            buf.resize(n, 0.0);
+        }
+        self.ts.clear();
+        self.ys.clear();
+        self.ds.clear();
+    }
+
+    /// Moves the accumulated knot arenas into a trajectory.
+    fn take_trajectory(&mut self, dim: usize, stats: SolveStats) -> Result<Trajectory, OdeError> {
+        Trajectory::from_flat(
+            dim,
+            std::mem::take(&mut self.ts),
+            std::mem::take(&mut self.ys),
+            std::mem::take(&mut self.ds),
+            stats,
+        )
+    }
+}
+
 // Butcher tableau of the Dormand–Prince 5(4) pair.
 const A21: f64 = 1.0 / 5.0;
 const A31: f64 = 3.0 / 40.0;
@@ -101,6 +170,29 @@ impl Dopri5 {
         t1: f64,
         y0: &[f64],
     ) -> Result<Trajectory, OdeError> {
+        let mut ws = SolverWorkspace::new();
+        self.solve_into(sys, t0, t1, y0, &mut ws)
+    }
+
+    /// Like [`Dopri5::solve`] but reuses a caller-owned [`SolverWorkspace`]
+    /// for the stage buffers and knot arenas, so back-to-back integrations
+    /// (the Kolmogorov row/column fan-outs, trajectory extensions) allocate
+    /// nothing per call beyond the returned trajectory's own knot storage.
+    ///
+    /// The result is bitwise identical to [`Dopri5::solve`]: only the memory
+    /// layout differs, not the arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Dopri5::solve`].
+    pub fn solve_into<S: OdeSystem>(
+        &self,
+        sys: &S,
+        t0: f64,
+        t1: f64,
+        y0: &[f64],
+        ws: &mut SolverWorkspace,
+    ) -> Result<Trajectory, OdeError> {
         self.options.validate()?;
         let n = sys.dim();
         if y0.len() != n {
@@ -114,37 +206,27 @@ impl Dopri5 {
                 "integration range [{t0}, {t1}] is reversed or NaN"
             )));
         }
+        ws.reset(n);
         let mut stats = SolveStats::default();
         let mut t = t0;
-        let mut y = y0.to_vec();
-        sys.project(t, &mut y);
-        let mut k1 = vec![0.0; n];
-        sys.rhs(t, &y, &mut k1);
+        ws.y.copy_from_slice(y0);
+        sys.project(t, &mut ws.y);
+        sys.rhs(t, &ws.y, &mut ws.k1);
         stats.rhs_evals += 1;
-        check_finite(t, &k1)?;
+        check_finite(t, &ws.k1)?;
 
-        let mut ts = vec![t];
-        let mut ys = vec![y.clone()];
-        let mut ds = vec![k1.clone()];
+        ws.ts.push(t);
+        ws.ys.extend_from_slice(&ws.y);
+        ws.ds.extend_from_slice(&ws.k1);
 
         if t1 == t0 {
-            return Trajectory::new(ts, ys, ds, stats);
+            return ws.take_trajectory(n, stats);
         }
 
         let mut h = match self.options.h_init {
             Some(h) => h.min(self.options.h_max).min(t1 - t0),
-            None => self.initial_step(sys, t, &y, &k1, t1, &mut stats),
+            None => self.initial_step(sys, t, &ws.y, &ws.k1, t1, &mut stats),
         };
-
-        // Stage buffers.
-        let mut k2 = vec![0.0; n];
-        let mut k3 = vec![0.0; n];
-        let mut k4 = vec![0.0; n];
-        let mut k5 = vec![0.0; n];
-        let mut k6 = vec![0.0; n];
-        let mut k7 = vec![0.0; n];
-        let mut y_stage = vec![0.0; n];
-        let mut y_new = vec![0.0; n];
 
         let mut steps = 0usize;
         while t < t1 {
@@ -167,45 +249,60 @@ impl Dopri5 {
 
             // Stage 2.
             for i in 0..n {
-                y_stage[i] = y[i] + h * A21 * k1[i];
+                ws.y_stage[i] = ws.y[i] + h * A21 * ws.k1[i];
             }
-            sys.rhs(t + C2 * h, &y_stage, &mut k2);
+            sys.rhs(t + C2 * h, &ws.y_stage, &mut ws.k2);
             // Stage 3.
             for i in 0..n {
-                y_stage[i] = y[i] + h * (A31 * k1[i] + A32 * k2[i]);
+                ws.y_stage[i] = ws.y[i] + h * (A31 * ws.k1[i] + A32 * ws.k2[i]);
             }
-            sys.rhs(t + C3 * h, &y_stage, &mut k3);
+            sys.rhs(t + C3 * h, &ws.y_stage, &mut ws.k3);
             // Stage 4.
             for i in 0..n {
-                y_stage[i] = y[i] + h * (A41 * k1[i] + A42 * k2[i] + A43 * k3[i]);
+                ws.y_stage[i] = ws.y[i] + h * (A41 * ws.k1[i] + A42 * ws.k2[i] + A43 * ws.k3[i]);
             }
-            sys.rhs(t + C4 * h, &y_stage, &mut k4);
+            sys.rhs(t + C4 * h, &ws.y_stage, &mut ws.k4);
             // Stage 5.
             for i in 0..n {
-                y_stage[i] = y[i] + h * (A51 * k1[i] + A52 * k2[i] + A53 * k3[i] + A54 * k4[i]);
+                ws.y_stage[i] = ws.y[i]
+                    + h * (A51 * ws.k1[i] + A52 * ws.k2[i] + A53 * ws.k3[i] + A54 * ws.k4[i]);
             }
-            sys.rhs(t + C5 * h, &y_stage, &mut k5);
+            sys.rhs(t + C5 * h, &ws.y_stage, &mut ws.k5);
             // Stage 6 (c = 1).
             for i in 0..n {
-                y_stage[i] = y[i]
-                    + h * (A61 * k1[i] + A62 * k2[i] + A63 * k3[i] + A64 * k4[i] + A65 * k5[i]);
+                ws.y_stage[i] = ws.y[i]
+                    + h * (A61 * ws.k1[i]
+                        + A62 * ws.k2[i]
+                        + A63 * ws.k3[i]
+                        + A64 * ws.k4[i]
+                        + A65 * ws.k5[i]);
             }
-            sys.rhs(t + h, &y_stage, &mut k6);
+            sys.rhs(t + h, &ws.y_stage, &mut ws.k6);
             // 5th-order solution (also stage 7 location).
             for i in 0..n {
-                y_new[i] =
-                    y[i] + h * (B1 * k1[i] + B3 * k3[i] + B4 * k4[i] + B5 * k5[i] + B6 * k6[i]);
+                ws.y_new[i] = ws.y[i]
+                    + h * (B1 * ws.k1[i]
+                        + B3 * ws.k3[i]
+                        + B4 * ws.k4[i]
+                        + B5 * ws.k5[i]
+                        + B6 * ws.k6[i]);
             }
-            sys.rhs(t + h, &y_new, &mut k7);
+            sys.rhs(t + h, &ws.y_new, &mut ws.k7);
             stats.rhs_evals += 6;
-            check_finite(t + h, &k7)?;
+            check_finite(t + h, &ws.k7)?;
 
             // Scaled error norm.
             let mut err_sq = 0.0;
             for i in 0..n {
                 let err_i = h
-                    * (E1 * k1[i] + E3 * k3[i] + E4 * k4[i] + E5 * k5[i] + E6 * k6[i] + E7 * k7[i]);
-                let scale = self.options.atol + self.options.rtol * y[i].abs().max(y_new[i].abs());
+                    * (E1 * ws.k1[i]
+                        + E3 * ws.k3[i]
+                        + E4 * ws.k4[i]
+                        + E5 * ws.k5[i]
+                        + E6 * ws.k6[i]
+                        + E7 * ws.k7[i]);
+                let scale =
+                    self.options.atol + self.options.rtol * ws.y[i].abs().max(ws.y_new[i].abs());
                 let q = err_i / scale;
                 err_sq += q * q;
             }
@@ -215,20 +312,24 @@ impl Dopri5 {
                 // Accept.
                 stats.accepted += 1;
                 let t_new = t + h;
-                sys.project(t_new, &mut y_new);
-                if y_new != y_stage {
-                    // Either the 5th-order update differs from stage 6 (it
-                    // always does) or projection moved the point: refresh the
-                    // FSAL derivative at the accepted state.
-                    sys.rhs(t_new, &y_new, &mut k7);
+                // Stash the pre-projection state in y_stage (free scratch at
+                // this point) so we only pay the FSAL refresh when the
+                // projection actually moved the accepted point; k7 was
+                // evaluated at the unprojected state, so when the point is
+                // unchanged the stored derivative is already exact and
+                // skipping the refresh is bitwise-neutral.
+                ws.y_stage.copy_from_slice(&ws.y_new);
+                sys.project(t_new, &mut ws.y_new);
+                if ws.y_new != ws.y_stage {
+                    sys.rhs(t_new, &ws.y_new, &mut ws.k7);
                     stats.rhs_evals += 1;
                 }
                 t = t_new;
-                std::mem::swap(&mut y, &mut y_new);
-                std::mem::swap(&mut k1, &mut k7);
-                ts.push(t);
-                ys.push(y.clone());
-                ds.push(k1.clone());
+                std::mem::swap(&mut ws.y, &mut ws.y_new);
+                std::mem::swap(&mut ws.k1, &mut ws.k7);
+                ws.ts.push(t);
+                ws.ys.extend_from_slice(&ws.y);
+                ws.ds.extend_from_slice(&ws.k1);
             } else {
                 stats.rejected += 1;
             }
@@ -236,7 +337,7 @@ impl Dopri5 {
             let fac = (SAFETY * err.powf(-0.2)).clamp(FAC_MIN, FAC_MAX);
             h *= fac;
         }
-        Trajectory::new(ts, ys, ds, stats)
+        ws.take_trajectory(n, stats)
     }
 
     /// Hairer-style automatic initial step selection.
@@ -431,11 +532,34 @@ mod tests {
     }
 
     #[test]
+    fn solve_into_reuses_workspace_bitwise() {
+        // One workspace across dimension changes and repeated solves; every
+        // result must be bitwise identical to the allocating path.
+        let mut ws = SolverWorkspace::new();
+        let osc = FnSystem::new(2, |_t, y: &[f64], dy: &mut [f64]| {
+            dy[0] = y[1];
+            dy[1] = -y[0];
+        });
+        let solver = Dopri5::default();
+        let a = solver.solve(&decay(), 0.0, 3.0, &[1.0]).unwrap();
+        let b = solver.solve_into(&decay(), 0.0, 3.0, &[1.0], &mut ws).unwrap();
+        assert_eq!(a, b);
+        let c = solver.solve(&osc, 0.0, 7.0, &[1.0, 0.0]).unwrap();
+        let d = solver.solve_into(&osc, 0.0, 7.0, &[1.0, 0.0], &mut ws).unwrap();
+        assert_eq!(c, d);
+        // Zero-length interval through the workspace path.
+        let e = solver.solve_into(&decay(), 1.0, 1.0, &[0.5], &mut ws).unwrap();
+        assert_eq!(e.final_state(), vec![0.5]);
+    }
+
+    #[test]
     fn stats_are_plausible() {
         let sol = Dopri5::default().solve(&decay(), 0.0, 1.0, &[1.0]).unwrap();
         let st = sol.stats();
         assert!(st.accepted >= 1);
-        assert!(st.rhs_evals >= 7 * st.accepted);
+        // 6 stage evals per accepted step (FSAL saves the 7th when the
+        // projection leaves the accepted point untouched), plus rejections.
+        assert!(st.rhs_evals >= 6 * st.accepted);
     }
 
     #[test]

@@ -56,7 +56,8 @@ pub mod problem;
 pub mod solution;
 pub mod stiff;
 
+pub use dopri::SolverWorkspace;
 pub use error::OdeError;
 pub use options::OdeOptions;
 pub use problem::{FnSystem, OdeSystem};
-pub use solution::Trajectory;
+pub use solution::{SolveStats, Trajectory};

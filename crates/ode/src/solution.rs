@@ -47,6 +47,26 @@ impl Trajectory {
         })
     }
 
+    /// Builds a trajectory from flat knot-major arenas (`ys[k*dim..]` is the
+    /// state at `ts[k]`), the layout the solver workspace accumulates
+    /// accepted steps into.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation errors from [`HermiteCurve::from_flat`].
+    pub fn from_flat(
+        dim: usize,
+        ts: Vec<f64>,
+        ys: Vec<f64>,
+        ds: Vec<f64>,
+        stats: SolveStats,
+    ) -> Result<Self, OdeError> {
+        Ok(Trajectory {
+            curve: HermiteCurve::from_flat(dim, ts, ys, ds)?,
+            stats,
+        })
+    }
+
     /// State dimension.
     #[must_use]
     pub fn dim(&self) -> usize {

@@ -3,10 +3,16 @@
 #
 # This is the repo's single entry point for "is the tree healthy":
 #   1. release build of every workspace member;
-#   2. the whole test suite (unit + property + integration);
-#   3. a smoke run of the parallel-checking benchmark, validating that it
-#      produces well-formed JSON and that every parallel run was bitwise
-#      equal to serial.
+#   2. clippy over every target with warnings denied;
+#   3. the whole test suite (unit + property + integration);
+#   4. a smoke run of the parallel-checking benchmark, validating that it
+#      produces well-formed JSON (both the checking and the solver-kernel
+#      reports) and that every parallel run was bitwise equal to serial;
+#   5. a second smoke run through the --baseline regression gate against
+#      the first, exercising the baseline parser and the gate verdict
+#      (smoke walls sit below the gate's noise floor, so this checks the
+#      machinery deterministically; real slowdown detection happens on
+#      full-size runs compared across commits).
 #
 # Usage: scripts/verify.sh
 
@@ -19,15 +25,22 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release --workspace =="
 cargo build --release --workspace
 
+echo "== cargo clippy --workspace --all-targets =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
 echo "== bench_check smoke =="
 smoke_out="$(mktemp -t bench_check_smoke.XXXXXX.json)"
-trap 'rm -f "$smoke_out"' EXIT
-cargo run --release -p mfcsl-bench --bin bench_check -- --smoke --out "$smoke_out" >/dev/null
+solver_out="$(mktemp -t bench_solver_smoke.XXXXXX.json)"
+gate_out="$(mktemp -t bench_check_gate.XXXXXX.json)"
+gate_solver_out="$(mktemp -t bench_solver_gate.XXXXXX.json)"
+trap 'rm -f "$smoke_out" "$solver_out" "$gate_out" "$gate_solver_out"' EXIT
+cargo run --release -p mfcsl-bench --bin bench_check -- --smoke \
+    --out "$smoke_out" --solver-out "$solver_out" >/dev/null
 
-python3 - "$smoke_out" <<'EOF'
+python3 - "$smoke_out" "$solver_out" <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -35,6 +48,8 @@ with open(sys.argv[1]) as f:
 
 assert report["bench"] == "check", report
 assert report["smoke"] is True, report
+assert report["git_revision"], report
+assert report["threads_available"] >= 1, report
 names = [w["name"] for w in report["workloads"]]
 assert names == ["fig3", "table2", "scalability"], names
 for w in report["workloads"]:
@@ -44,6 +59,38 @@ for w in report["workloads"]:
         assert r["wall_seconds"] > 0, (w["name"], r)
         assert r["bitwise_equal_to_serial"] is True, (w["name"], r)
 print("bench_check smoke report is well-formed; all runs bitwise equal to serial")
+
+with open(sys.argv[2]) as f:
+    solver = json.load(f)
+
+assert solver["bench"] == "solver", solver
+assert solver["smoke"] is True, solver
+assert solver["allocation_counters"] is True, solver
+kernels = [k["name"] for k in solver["kernels"]]
+assert kernels == [
+    "meanfield_fresh",
+    "meanfield_workspace",
+    "transition_matrix",
+    "window_full",
+    "window_fastpath",
+], kernels
+by_name = {k["name"]: k for k in solver["kernels"]}
+for k in solver["kernels"]:
+    assert k["wall_seconds"] > 0, k
+    assert k["rhs_evals"] > 0, k
+    assert k["accepted_steps"] > 0, k
+# The workspace-reuse sweep is bitwise: identical step counts, fewer
+# allocations than fresh-workspace solves.
+assert by_name["meanfield_workspace"]["rhs_evals"] == by_name["meanfield_fresh"]["rhs_evals"]
+assert by_name["meanfield_workspace"]["allocations"] <= by_name["meanfield_fresh"]["allocations"]
+# The steady-regime hand-off must save Runge-Kutta work on the same problem.
+assert by_name["window_fastpath"]["rhs_evals"] < by_name["window_full"]["rhs_evals"]
+print("bench_solver smoke report is well-formed; fast path saves RHS evaluations")
 EOF
+
+echo "== bench_check --baseline regression gate =="
+cargo run --release -p mfcsl-bench --bin bench_check -- --smoke \
+    --out "$gate_out" --solver-out "$gate_solver_out" --baseline "$smoke_out" \
+    | grep "baseline gate"
 
 echo "verify: OK"
