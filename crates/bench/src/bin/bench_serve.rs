@@ -1,0 +1,251 @@
+//! Load benchmark of the `mfcsld` serving layer: writes
+//! `BENCH_serve.json` at the repo root.
+//!
+//! Two workloads against an in-process daemon on an ephemeral port:
+//!
+//! * **cold** — sequential requests that each carry a distinct parameter
+//!   override, so every one misses the session store and pays the full
+//!   session build (model instantiation + mean-field solve). This is the
+//!   worst-case per-request latency.
+//! * **warm** — a closed-loop fleet of concurrent clients hammering one
+//!   `(model, params, tolerances)` session key. After the first request
+//!   the session is warm: every verdict is served from the shared
+//!   memoized `CheckSession`, and the report asserts all responses are
+//!   bitwise identical to the first.
+//!
+//! Each workload records throughput and the p50/p95/p99 of the
+//! client-observed request latency. The report is stamped with the git
+//! revision and the machine's available parallelism (PR-3 conventions;
+//! like the other reports, wall-clock from different hosts is not
+//! commensurable).
+//!
+//! Usage: `cargo run --release -p mfcsl-bench --bin bench_serve --
+//! [--smoke] [--out <path>] [--models <dir>]`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use mfcsl_serve::{client, CheckRequest, ModelRegistry, Server, ServerConfig};
+
+struct ServeWorkload {
+    name: &'static str,
+    description: String,
+    requests: usize,
+    concurrency: usize,
+    wall_seconds: f64,
+    /// Sorted client-observed latencies in microseconds.
+    latencies_us: Vec<u64>,
+    bitwise_equal: bool,
+}
+
+impl ServeWorkload {
+    fn throughput_rps(&self) -> f64 {
+        self.requests as f64 / self.wall_seconds
+    }
+
+    /// Nearest-rank percentile of the sorted latency list.
+    fn percentile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = (q * self.latencies_us.len() as f64).ceil() as usize;
+        self.latencies_us[rank.clamp(1, self.latencies_us.len()) - 1]
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let models_dir = flag("--models").map(PathBuf::from).unwrap_or_else(default_models_dir);
+
+    let registry = ModelRegistry::load(std::slice::from_ref(&models_dir)).expect("models load");
+    let workers = mfcsl_pool::default_parallelism().max(2);
+    let server = Server::bind(
+        registry,
+        ServerConfig {
+            workers,
+            queue_capacity: 256,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("daemon binds");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run());
+
+    let (cold_n, fleet, per_client) = if smoke { (3, 4, 5) } else { (12, 8, 25) };
+    let workloads = vec![
+        cold_workload(&addr, cold_n),
+        warm_workload(&addr, fleet, per_client),
+    ];
+
+    client::shutdown(&addr).expect("daemon drains");
+    daemon.join().expect("daemon thread").expect("daemon exits cleanly");
+
+    let json = render_json(&workloads, workers, smoke);
+    std::fs::write(&out_path, json).expect("write benchmark report");
+    println!("report written to {out_path}");
+    for w in &workloads {
+        println!(
+            "{:<6} requests={:<4} concurrency={}  wall={:.4}s  rps={:.1}  \
+             p50={}us p95={}us p99={}us  bitwise_equal={}",
+            w.name,
+            w.requests,
+            w.concurrency,
+            w.wall_seconds,
+            w.throughput_rps(),
+            w.percentile_us(0.50),
+            w.percentile_us(0.95),
+            w.percentile_us(0.99),
+            w.bitwise_equal
+        );
+    }
+}
+
+/// `modelfiles/` under the working directory if it exists (running from
+/// the repo root), otherwise resolved from this crate's source location.
+fn default_models_dir() -> PathBuf {
+    let cwd = PathBuf::from("modelfiles");
+    if cwd.is_dir() {
+        cwd
+    } else {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../modelfiles")
+    }
+}
+
+/// The request batch every workload checks: the paper's virus model under
+/// a mixed batch of formula kinds (time-bounded path, expectation,
+/// steady-state).
+fn virus_request() -> CheckRequest {
+    CheckRequest::new(
+        "virus",
+        &[0.8, 0.15, 0.05],
+        &[
+            "EP{<0.3}[ not_infected U[0,1] infected ]".to_string(),
+            "E{<0.3}[ infected ]".to_string(),
+            "ES{>0.1}[ infected ]".to_string(),
+        ],
+    )
+}
+
+/// Sequential requests, each with a unique `k2` override: a forced session
+/// miss per request.
+fn cold_workload(addr: &str, n: usize) -> ServeWorkload {
+    let mut latencies_us = Vec::with_capacity(n);
+    let start = Instant::now();
+    for i in 0..n {
+        let mut req = virus_request();
+        // Perturb a rate parameter just enough to change the session key.
+        req.params.insert("k2".to_string(), 0.1 + (i + 1) as f64 * 1e-6);
+        let t0 = Instant::now();
+        let outcome = client::post_check(addr, &req).expect("cold request");
+        latencies_us.push(t0.elapsed().as_micros() as u64);
+        assert!(!outcome.warm, "override {i} unexpectedly hit a warm session");
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    latencies_us.sort_unstable();
+    ServeWorkload {
+        name: "cold",
+        description: format!(
+            "{n} sequential checks of a 3-formula batch on the virus model, each with a \
+             distinct k2 override forcing a fresh session (full model build + mean-field solve)"
+        ),
+        requests: n,
+        concurrency: 1,
+        wall_seconds,
+        latencies_us,
+        bitwise_equal: true,
+    }
+}
+
+/// A closed-loop fleet on one session key; all responses must be bitwise
+/// identical to the warm-up reference.
+fn warm_workload(addr: &str, fleet: usize, per_client: usize) -> ServeWorkload {
+    let reference = client::post_check(addr, &virus_request()).expect("warm-up request");
+    let start = Instant::now();
+    let handles: Vec<_> = (0..fleet)
+        .map(|_| {
+            let addr = addr.to_string();
+            let reference = reference.verdicts.clone();
+            std::thread::spawn(move || {
+                let mut lats = Vec::with_capacity(per_client);
+                let mut identical = true;
+                for _ in 0..per_client {
+                    let t0 = Instant::now();
+                    let outcome = client::post_check(&addr, &virus_request()).expect("warm request");
+                    lats.push(t0.elapsed().as_micros() as u64);
+                    identical &= outcome.warm && outcome.verdicts == reference;
+                }
+                (lats, identical)
+            })
+        })
+        .collect();
+    let mut latencies_us = Vec::with_capacity(fleet * per_client);
+    let mut bitwise_equal = true;
+    for h in handles {
+        let (lats, identical) = h.join().expect("client thread");
+        latencies_us.extend(lats);
+        bitwise_equal &= identical;
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    latencies_us.sort_unstable();
+    ServeWorkload {
+        name: "warm",
+        description: format!(
+            "{fleet} concurrent closed-loop clients x {per_client} checks of the same \
+             3-formula virus batch on one session key, all served from the shared warm session"
+        ),
+        requests: fleet * per_client,
+        concurrency: fleet,
+        wall_seconds,
+        latencies_us,
+        bitwise_equal,
+    }
+}
+
+/// Hand-rolled JSON (the workspace's serde is an offline stub without a
+/// serializer).
+fn render_json(workloads: &[ServeWorkload], workers: usize, smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"bench\": \"serve\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"git_revision\": \"{}\",", git_revision());
+    let _ = writeln!(out, "  \"threads_available\": {},", mfcsl_pool::default_parallelism());
+    let _ = writeln!(out, "  \"workers\": {workers},");
+    let _ = writeln!(out, "  \"workloads\": [");
+    for (i, w) in workloads.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(out, "      \"description\": \"{}\",", w.description);
+        let _ = writeln!(out, "      \"requests\": {},", w.requests);
+        let _ = writeln!(out, "      \"concurrency\": {},", w.concurrency);
+        let _ = writeln!(out, "      \"wall_seconds\": {:.6},", w.wall_seconds);
+        let _ = writeln!(out, "      \"throughput_rps\": {:.4},", w.throughput_rps());
+        let _ = writeln!(out, "      \"p50_us\": {},", w.percentile_us(0.50));
+        let _ = writeln!(out, "      \"p95_us\": {},", w.percentile_us(0.95));
+        let _ = writeln!(out, "      \"p99_us\": {},", w.percentile_us(0.99));
+        let _ = writeln!(out, "      \"bitwise_equal\": {}", w.bitwise_equal);
+        let _ = writeln!(out, "    }}{}", if i + 1 < workloads.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside a
+/// checkout.
+fn git_revision() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}

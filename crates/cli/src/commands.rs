@@ -116,20 +116,14 @@ pub fn check(
     let verdicts = session.check_all(&psis, m0)?;
     let mut out = String::new();
     for (psi, verdict) in psis.iter().zip(&verdicts) {
-        writeln!(
-            out,
-            "{} {} {}{}{}",
-            m0,
-            if verdict.holds() { "⊨" } else { "⊭" },
-            psi,
-            if verdict.is_marginal() {
-                "   (marginal: value within numerical margin of the bound)"
-            } else {
-                ""
-            },
-            if fast { " (fast tolerances)" } else { "" },
-        )
-        .expect("write to string");
+        out.push_str(&verdict_line(
+            &m0.to_string(),
+            &psi.to_string(),
+            verdict.holds(),
+            verdict.is_marginal(),
+            fast,
+        ));
+        out.push('\n');
     }
     if show_stats {
         out.push_str(&format_stats(&session.stats(), Some(&pool.stats()), alloc_base));
@@ -175,6 +169,25 @@ pub fn csat(
         out.push_str(&format_stats(&session.stats(), Some(&pool.stats()), alloc_base));
     }
     Ok(out)
+}
+
+/// Renders one verdict line. The offline `check` command and the wire
+/// client both print through this helper, so daemon output is bitwise
+/// identical to offline output for the same verdicts.
+#[must_use]
+pub fn verdict_line(m0: &str, psi: &str, holds: bool, marginal: bool, fast: bool) -> String {
+    format!(
+        "{} {} {}{}{}",
+        m0,
+        if holds { "⊨" } else { "⊭" },
+        psi,
+        if marginal {
+            "   (marginal: value within numerical margin of the bound)"
+        } else {
+            ""
+        },
+        if fast { " (fast tolerances)" } else { "" },
+    )
 }
 
 fn parse_formulas(formulas: &[String]) -> Result<Vec<MfFormula>, CliError> {
@@ -338,6 +351,105 @@ pub fn fixed_points(model: &LocalModel) -> Result<String, CliError> {
         .expect("write to string");
     }
     Ok(out)
+}
+
+/// `mfcsl serve <models>… [--addr A] [--workers N] [--queue N]
+/// [--threads N] [--allow-sleep]` — runs the `mfcsld` daemon.
+///
+/// Prints a `mfcsld listening on <addr> …` line (flushed before the accept
+/// loop starts, so scripts can parse the ephemeral port), then blocks until
+/// a `POST /shutdown` drains the queue.
+///
+/// # Errors
+///
+/// Registry and bind failures become [`CliError`].
+pub fn serve(flags: crate::args::ServeFlags) -> Result<String, CliError> {
+    use std::io::Write as _;
+    let registry =
+        mfcsl_serve::ModelRegistry::load(&flags.paths).map_err(|e| CliError(e.to_string()))?;
+    let n_models = registry.len();
+    let config = mfcsl_serve::ServerConfig {
+        addr: flags.addr,
+        workers: flags.workers,
+        queue_capacity: flags.queue,
+        threads: flags.threads,
+        allow_sleep: flags.allow_sleep,
+    };
+    let workers = config.workers;
+    let queue = config.queue_capacity;
+    let server = mfcsl_serve::Server::bind(registry, config)
+        .map_err(|e| CliError(format!("cannot bind: {e}")))?;
+    println!(
+        "mfcsld listening on {} ({n_models} models, {workers} workers, queue {queue})",
+        server.local_addr()
+    );
+    std::io::stdout().flush().expect("flush stdout");
+    server
+        .run()
+        .map_err(|e| CliError(format!("daemon failed: {e}")))?;
+    Ok("mfcsld stopped\n".into())
+}
+
+/// `mfcsl client <addr> check <model> --m0 … [--fast] [--timeout-ms T]
+/// [--param k=v]… "<formula>"…` — posts one batch to a running daemon.
+///
+/// Output lines are rendered through [`verdict_line`] from the daemon's
+/// echoed (parsed-and-rendered) occupancy and formulas, so they are
+/// bitwise identical to `mfcsl check` run offline against the same model.
+///
+/// # Errors
+///
+/// Transport failures and non-200 statuses become [`CliError`].
+pub fn client_check(
+    addr: &str,
+    model: &str,
+    flags: &crate::args::ClientCheckFlags,
+) -> Result<String, CliError> {
+    let request = mfcsl_serve::CheckRequest {
+        model: model.to_string(),
+        m0: flags.m0.clone(),
+        formulas: flags.formulas.clone(),
+        fast: flags.fast,
+        params: flags.params.clone(),
+        timeout_ms: flags.timeout_ms,
+        sleep_ms: None,
+    };
+    let outcome =
+        mfcsl_serve::client::post_check(addr, &request).map_err(|e| CliError(e.to_string()))?;
+    let mut out = String::new();
+    for v in &outcome.verdicts {
+        out.push_str(&verdict_line(
+            &outcome.m0,
+            &v.formula,
+            v.holds,
+            v.marginal,
+            flags.fast,
+        ));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `mfcsl client <addr> <health|metrics|models|shutdown>` — the daemon's
+/// maintenance endpoints.
+///
+/// # Errors
+///
+/// Transport failures and non-200 statuses become [`CliError`].
+pub fn client_control(addr: &str, action: &str) -> Result<String, CliError> {
+    let map = |e: mfcsl_serve::ClientError| CliError(e.to_string());
+    match action {
+        "health" => mfcsl_serve::client::get_text(addr, "/healthz").map_err(map),
+        "metrics" => mfcsl_serve::client::get_text(addr, "/metrics").map_err(map),
+        "models" => mfcsl_serve::client::get_text(addr, "/v1/models").map_err(map),
+        "shutdown" => {
+            mfcsl_serve::client::shutdown(addr).map_err(map)?;
+            Ok("draining\n".into())
+        }
+        other => Err(CliError(format!(
+            "unknown client action `{other}` (expected check, health, metrics, models or shutdown)"
+        ))),
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,12 @@
 //! Library backing the `mfcsl` command-line model checker.
 //!
-//! * [`expr`] — the arithmetic rate-expression language of model files;
-//! * [`model_file`] — the `.mf` model format (states, params, rates);
+//! * [`args`] — command-line argument parsing and validation;
 //! * [`commands`] — the implementations behind the CLI subcommands, kept
 //!   in the library so they are unit-testable.
+//!
+//! The `.mf` model format and its rate-expression language live in the
+//! shared [`mfcsl_modelfile`] crate (the serving daemon consumes them too);
+//! they are re-exported here under their historical paths.
 
 // `!(x > 0.0)`-style guards are used deliberately throughout: unlike
 // `x <= 0.0`, they classify NaN as invalid input instead of letting it
@@ -11,6 +14,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod commands;
-pub mod expr;
-pub mod model_file;
+
+pub use mfcsl_modelfile::{expr, model_file};

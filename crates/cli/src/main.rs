@@ -6,11 +6,14 @@
 //! mfcsl csat <model.mf> --m0 0.8,0.15,0.05 --theta 20 "<formula>"
 //! mfcsl trajectory <model.mf> --m0 0.8,0.15,0.05 --t-end 20 [--points 101]
 //! mfcsl fixed-points <model.mf>
+//! mfcsl serve modelfiles/ --addr 127.0.0.1:7171
+//! mfcsl client 127.0.0.1:7171 check virus --m0 0.8,0.15,0.05 "<formula>"
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use mfcsl_cli::args;
 use mfcsl_cli::commands::{self, CliError};
 use mfcsl_cli::model_file::ModelFile;
 
@@ -30,6 +33,9 @@ USAGE:
   mfcsl csat <model.mf> --m0 <fractions> [--m0 <fractions>]... --theta <T> [--threads <N>] [--stats] \"<formula>\"...
   mfcsl trajectory <model.mf> --m0 <fractions> --t-end <T> [--points <N>]
   mfcsl fixed-points <model.mf>
+  mfcsl serve <model.mf | dir>... [--addr <host:port>] [--workers <N>] [--queue <N>] [--threads <N>]
+  mfcsl client <host:port> check <model> --m0 <fractions> [--fast] [--timeout-ms <T>] [--param k=v]... \"<formula>\"...
+  mfcsl client <host:port> health|metrics|models|shutdown
 
   <fractions> is comma-separated and must sum to 1, e.g. 0.8,0.15,0.05.
   Formulas use the MF-CSL text syntax, e.g.
@@ -44,10 +50,19 @@ USAGE:
   the session's cache counters, per-solve timings with RHS-evaluation
   counts, the command's allocation count, and the pool's per-thread task
   counts.
+
+  serve runs the mfcsld batch-checking daemon over the given models; it
+  keeps sessions warm per (model, params, tolerances) and answers with
+  verdicts bitwise identical to offline check. client talks to it.
 ";
 
 fn main() -> ExitCode {
-    match run(std::env::args().skip(1).collect()) {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    match run(argv) {
         Ok(output) => {
             print!("{output}");
             if !output.ends_with('\n') {
@@ -56,137 +71,87 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
+            // One line per error: scripts (and humans) get the cause
+            // without a usage dump scrolling it away.
             eprintln!("error: {e}");
-            eprintln!("\n{USAGE}");
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(args: Vec<String>) -> Result<String, CliError> {
-    let mut args = args.into_iter();
-    let command = args.next().ok_or_else(|| CliError("no command".into()))?;
-    let model_path = args
+fn run(argv: Vec<String>) -> Result<String, CliError> {
+    let mut argv = argv.into_iter();
+    let command = argv.next().ok_or_else(|| CliError("no command".into()))?;
+    let rest: Vec<String> = argv.collect();
+
+    // Commands with their own argument shapes dispatch before the common
+    // `<model.mf> [flags]` path.
+    match command.as_str() {
+        "help" | "--help" | "-h" => return Ok(USAGE.to_string()),
+        "serve" => return commands::serve(args::parse_serve(&rest)?),
+        "client" => {
+            let mut rest = rest.into_iter();
+            let addr = rest
+                .next()
+                .ok_or_else(|| CliError("client needs the daemon's <host:port>".into()))?;
+            let action = rest
+                .next()
+                .ok_or_else(|| CliError("client needs an action (check, health, …)".into()))?;
+            let tail: Vec<String> = rest.collect();
+            return if action == "check" {
+                let mut tail = tail.into_iter();
+                let model = tail
+                    .next()
+                    .ok_or_else(|| CliError("client check needs a model name".into()))?;
+                let flags = args::parse_client_check(&tail.collect::<Vec<_>>())?;
+                commands::client_check(&addr, &model, &flags)
+            } else {
+                commands::client_control(&addr, &action)
+            };
+        }
+        _ => {}
+    }
+
+    let mut rest = rest.into_iter();
+    let model_path = rest
         .next()
         .ok_or_else(|| CliError("missing model file".into()))?;
     let file = ModelFile::load(&PathBuf::from(&model_path))?;
     let model = file.instantiate()?;
-
-    // Collect remaining flags and the optional trailing formula.
-    let mut m0_texts: Vec<String> = Vec::new();
-    let mut theta: Option<f64> = None;
-    let mut t_end: Option<f64> = None;
-    let mut points: usize = 101;
-    let mut threads: Option<usize> = None;
-    let mut fast = false;
-    let mut stats = false;
-    let mut formulas: Vec<String> = Vec::new();
-    let rest: Vec<String> = args.collect();
-    let mut i = 0;
-    while i < rest.len() {
-        let parse_value = |rest: &[String], i: usize, flag: &str| -> Result<String, CliError> {
-            rest.get(i + 1)
-                .cloned()
-                .ok_or_else(|| CliError(format!("{flag} needs a value")))
-        };
-        match rest[i].as_str() {
-            "--m0" => {
-                m0_texts.push(parse_value(&rest, i, "--m0")?);
-                i += 2;
-            }
-            "--threads" => {
-                let n: usize = parse_value(&rest, i, "--threads")?
-                    .parse()
-                    .map_err(|e| CliError(format!("bad --threads: {e}")))?;
-                if n == 0 {
-                    return Err(CliError("--threads must be at least 1".into()));
-                }
-                threads = Some(n);
-                i += 2;
-            }
-            "--theta" => {
-                theta = Some(
-                    parse_value(&rest, i, "--theta")?
-                        .parse()
-                        .map_err(|e| CliError(format!("bad --theta: {e}")))?,
-                );
-                i += 2;
-            }
-            "--t-end" => {
-                t_end = Some(
-                    parse_value(&rest, i, "--t-end")?
-                        .parse()
-                        .map_err(|e| CliError(format!("bad --t-end: {e}")))?,
-                );
-                i += 2;
-            }
-            "--points" => {
-                points = parse_value(&rest, i, "--points")?
-                    .parse()
-                    .map_err(|e| CliError(format!("bad --points: {e}")))?;
-                i += 2;
-            }
-            "--fast" => {
-                fast = true;
-                i += 1;
-            }
-            "--stats" => {
-                stats = true;
-                i += 1;
-            }
-            other if other.starts_with("--") => {
-                return Err(CliError(format!("unknown flag `{other}`")));
-            }
-            _ => {
-                formulas.push(rest[i].clone());
-                i += 1;
-            }
-        }
-    }
-    let need_m0 = || -> Result<mfcsl_core::Occupancy, CliError> {
-        match m0_texts.as_slice() {
-            [] => Err(CliError("--m0 is required for this command".into())),
-            [one] => commands::parse_occupancy(one),
-            _ => Err(CliError(
-                "this command takes a single --m0 (only csat sweeps several)".into(),
-            )),
-        }
-    };
-    let need_m0s = || -> Result<Vec<mfcsl_core::Occupancy>, CliError> {
-        if m0_texts.is_empty() {
-            return Err(CliError("--m0 is required for this command".into()));
-        }
-        m0_texts
-            .iter()
-            .map(|t| commands::parse_occupancy(t))
-            .collect()
-    };
-    let need_formulas = || -> Result<&[String], CliError> {
-        if formulas.is_empty() {
-            Err(CliError("a formula argument is required".into()))
-        } else {
-            Ok(&formulas)
-        }
-    };
+    let flags = args::parse_common(&rest.collect::<Vec<_>>())?;
 
     match command.as_str() {
         "info" => commands::info(&model, file.params()),
-        "check" => {
-            let m0 = need_m0()?;
-            commands::check(&model, &m0, need_formulas()?, fast, stats, threads)
-        }
+        "check" => commands::check(
+            &model,
+            &flags.single_m0()?,
+            flags.formulas()?,
+            flags.fast,
+            flags.stats,
+            flags.threads,
+        ),
         "csat" => {
-            let m0s = need_m0s()?;
-            let theta = theta.ok_or_else(|| CliError("--theta is required for csat".into()))?;
-            commands::csat(&model, &m0s, theta, need_formulas()?, stats, threads)
+            let theta = flags
+                .theta
+                .ok_or_else(|| CliError("--theta is required for csat".into()))?;
+            commands::csat(
+                &model,
+                &flags.all_m0s()?,
+                theta,
+                flags.formulas()?,
+                flags.stats,
+                flags.threads,
+            )
         }
         "trajectory" => {
-            let m0 = need_m0()?;
-            let t_end =
-                t_end.ok_or_else(|| CliError("--t-end is required for trajectory".into()))?;
-            commands::trajectory(&model, &m0, t_end, points)
+            let t_end = flags
+                .t_end
+                .ok_or_else(|| CliError("--t-end is required for trajectory".into()))?;
+            commands::trajectory(&model, &flags.single_m0()?, t_end, flags.points)
         }
         "fixed-points" => commands::fixed_points(&model),
-        other => Err(CliError(format!("unknown command `{other}`"))),
+        other => Err(CliError(format!(
+            "unknown command `{other}` (run `mfcsl help` for usage)"
+        ))),
     }
 }

@@ -158,3 +158,106 @@ fn error_paths() {
     let err = run_err(&[]);
     assert!(err.contains("USAGE"), "{err}");
 }
+
+/// A hardened argument error: exactly one stderr line, nonzero exit.
+fn one_line_err(args: &[&str]) -> String {
+    let err = run_err(args);
+    assert_eq!(err.trim_end().lines().count(), 1, "one line expected:\n{err}");
+    err
+}
+
+#[test]
+fn malformed_arguments_die_with_one_line() {
+    let sis = modelfile("sis.mf");
+    // Off-simplex occupancies.
+    let err = one_line_err(&["check", &sis, "--m0", "0.5,0.6", "E{<0.5}[ infected ]"]);
+    assert!(err.contains("bad occupancy"), "{err}");
+    let err = one_line_err(&["check", &sis, "--m0", "1.5,-0.5", "E{<0.5}[ infected ]"]);
+    assert!(err.contains("bad occupancy"), "{err}");
+    // A zero thread count.
+    let err = one_line_err(&["check", &sis, "--m0", "0.9,0.1", "--threads", "0", "f"]);
+    assert!(err.contains("--threads must be at least 1"), "{err}");
+    // Malformed time windows: nonpositive, non-finite, non-numeric.
+    for bad in ["0", "-2", "nan", "inf", "abc"] {
+        let err = one_line_err(&["csat", &sis, "--m0", "0.9,0.1", "--theta", bad, "f"]);
+        assert!(err.contains("--theta"), "{bad}: {err}");
+        let err = one_line_err(&["trajectory", &sis, "--m0", "0.9,0.1", "--t-end", bad]);
+        assert!(err.contains("--t-end"), "{bad}: {err}");
+    }
+}
+
+/// Kills the daemon if the test panics before the clean shutdown, so a
+/// failed assertion cannot leak an orphan process holding the test's
+/// output pipes open.
+struct KillOnDrop(std::process::Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn serve_and_client_match_offline_check() {
+    use std::io::BufRead as _;
+
+    let m0 = "0.8,0.15,0.05";
+    let formulas = [
+        "EP{<0.3}[ not_infected U[0,1] infected ]",
+        "E{<0.3}[ infected ]",
+        "ES{>0.1}[ infected ]",
+    ];
+
+    // The offline reference output.
+    let virus = modelfile("virus.mf");
+    let mut offline_args = vec!["check", virus.as_str(), "--m0", m0];
+    offline_args.extend_from_slice(&formulas);
+    let offline = run_ok(&offline_args);
+
+    // Start the daemon on an ephemeral port and parse the address from its
+    // announcement line.
+    let model_dir = modelfile("");
+    let mut daemon = KillOnDrop(
+        bin()
+            .args(["serve", &model_dir, "--addr", "127.0.0.1:0", "--workers", "2"])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("daemon starts"),
+    );
+    let mut announcement = String::new();
+    std::io::BufReader::new(daemon.0.stdout.as_mut().expect("piped stdout"))
+        .read_line(&mut announcement)
+        .expect("announcement line");
+    assert!(announcement.contains("mfcsld listening on"), "{announcement}");
+    let addr = announcement
+        .split_whitespace()
+        .nth(3)
+        .expect("address in announcement")
+        .to_string();
+
+    // The served verdict lines are bitwise identical to the offline run.
+    let mut client_args = vec!["client", &addr, "check", "virus", "--m0", m0];
+    client_args.extend_from_slice(&formulas);
+    let served = run_ok(&client_args);
+    assert_eq!(served, offline, "daemon output must match offline check");
+
+    // Maintenance endpoints work through the CLI, and the second check was
+    // answered by the warm session.
+    let served_again = run_ok(&client_args);
+    assert_eq!(served_again, offline);
+    let metrics = run_ok(&["client", &addr, "metrics"]);
+    assert!(metrics.contains("mfcsld_session_warm_hits_total 1"), "{metrics}");
+    let health = run_ok(&["client", &addr, "health"]);
+    assert!(health.contains("ok"), "{health}");
+
+    // Unknown models come back as a clean one-line error.
+    let err = one_line_err(&["client", &addr, "check", "ghost", "--m0", m0, "f"]);
+    assert!(err.contains("unknown model `ghost`"), "{err}");
+
+    // Drain and stop; the daemon process exits cleanly.
+    let out = run_ok(&["client", &addr, "shutdown"]);
+    assert!(out.contains("draining"), "{out}");
+    let status = daemon.0.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status {status:?}");
+}

@@ -109,6 +109,35 @@ pub struct EngineStats {
     pub solves: Vec<SolveRecord>,
 }
 
+impl EngineStats {
+    /// Total right-hand-side evaluations across all recorded integrations.
+    #[must_use]
+    pub fn total_rhs_evals(&self) -> usize {
+        self.solves.iter().map(|s| s.rhs_evals).sum()
+    }
+
+    /// Folds another snapshot into this one. Used by aggregators (the
+    /// serving daemon's `/metrics`) that report one combined view over
+    /// many sessions; `solves` records are concatenated in the order the
+    /// snapshots are merged.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.trajectory_solves += other.trajectory_solves;
+        self.trajectory_extensions += other.trajectory_extensions;
+        self.trajectory_reuses += other.trajectory_reuses;
+        self.regime_solves += other.regime_solves;
+        self.regime_reuses += other.regime_reuses;
+        self.cache.set_hits += other.cache.set_hits;
+        self.cache.set_misses += other.cache.set_misses;
+        self.cache.curve_hits += other.cache.curve_hits;
+        self.cache.curve_misses += other.cache.curve_misses;
+        self.cache.interned_state_formulas += other.cache.interned_state_formulas;
+        self.cache.interned_path_formulas += other.cache.interned_path_formulas;
+        self.cache.cached_sets += other.cache.cached_sets;
+        self.cache.cached_curves += other.cache.cached_curves;
+        self.solves.extend_from_slice(&other.solves);
+    }
+}
+
 struct Entry<'a> {
     /// The solved trajectory; readers share, extension takes the write
     /// side. Extension replaces the value with one whose solved prefix is

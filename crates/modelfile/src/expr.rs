@@ -124,11 +124,11 @@ impl Expr {
     /// # Example
     ///
     /// ```
-    /// use mfcsl_cli::expr::Expr;
+    /// use mfcsl_modelfile::expr::Expr;
     ///
     /// let e = Expr::parse("k1 * m[s3] / max(m[s1], 1e-6)")?;
     /// assert!(matches!(e, Expr::Binary { .. }));
-    /// # Ok::<(), mfcsl_cli::expr::ExprError>(())
+    /// # Ok::<(), mfcsl_modelfile::expr::ExprError>(())
     /// ```
     pub fn parse(input: &str) -> Result<Self, ExprError> {
         let mut p = ExprParser { input, pos: 0 };

@@ -1,0 +1,18 @@
+//! The `.mf` model-file format, shared by every front end (the `mfcsl`
+//! CLI and the `mfcsld` serving daemon).
+//!
+//! * [`expr`] — the arithmetic rate-expression language of model files;
+//! * [`model_file`] — the `.mf` format itself (states, params, rates),
+//!   with parse errors carrying 1-based line numbers and instantiation
+//!   with per-request parameter overrides.
+
+// `!(x > 0.0)`-style guards are used deliberately: unlike `x <= 0.0`,
+// they classify NaN as invalid input instead of letting it through.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod model_file;
+
+pub use expr::{Expr, ExprError};
+pub use model_file::{ModelFile, ModelFileError};

@@ -23,7 +23,9 @@
 //!
 //! `#` starts a comment; blank lines are ignored. Declaration order:
 //! states and params may interleave, but every state and parameter must be
-//! declared before the first `rate` line that uses it.
+//! declared before the first `rate` line that uses it — a rate referencing
+//! an undeclared (or not-yet-declared) symbol is a parse error carrying
+//! the rate line's 1-based number.
 
 use std::collections::BTreeMap;
 
@@ -59,13 +61,20 @@ pub struct ModelFile {
 impl ModelFile {
     /// Parses model-file text.
     ///
+    /// Every `rate` line is validated as it is read: its endpoint states
+    /// must already be declared, and its expression must compile against
+    /// the states and parameters declared so far, so undeclared symbols
+    /// and use-before-declaration are reported with the rate line's
+    /// 1-based number.
+    ///
     /// # Errors
     ///
     /// Returns [`ModelFileError`] with the offending line.
     pub fn parse(text: &str) -> Result<Self, ModelFileError> {
         let mut states: Vec<(String, Vec<String>)> = Vec::new();
+        let mut state_index: BTreeMap<String, usize> = BTreeMap::new();
         let mut params = BTreeMap::new();
-        let mut rates = Vec::new();
+        let mut rates: Vec<(String, String, Expr)> = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
             let fail = |message: String| ModelFileError {
@@ -96,9 +105,10 @@ impl ModelFile {
                     if name.is_empty() || !is_ident(&name) {
                         return Err(fail(format!("invalid state name `{name}`")));
                     }
-                    if states.iter().any(|(n, _)| *n == name) {
+                    if state_index.contains_key(&name) {
                         return Err(fail(format!("duplicate state `{name}`")));
                     }
+                    state_index.insert(name.clone(), states.len());
                     states.push((name, labels));
                 }
                 "param" => {
@@ -131,9 +141,27 @@ impl ModelFile {
                     let (from, to) = arrow_part
                         .split_once("->")
                         .ok_or_else(|| fail("expected `<from> -> <to>`".into()))?;
+                    let (from, to) = (from.trim().to_string(), to.trim().to_string());
+                    for endpoint in [&from, &to] {
+                        if !state_index.contains_key(endpoint.as_str()) {
+                            return Err(fail(format!(
+                                "rate references undeclared state `{endpoint}` \
+                                 (states must be declared before the rates that use them)"
+                            )));
+                        }
+                    }
+                    if from == to {
+                        return Err(fail(format!("rate {from} -> {to} is a self-loop")));
+                    }
                     let expr = Expr::parse(expr_text.trim())
                         .map_err(|e| fail(format!("bad rate expression: {e}")))?;
-                    rates.push((from.trim().to_string(), to.trim().to_string(), expr));
+                    // Validation compile against the symbols declared so
+                    // far: undeclared parameters/states — including ones
+                    // declared only further down the file — fail here,
+                    // with this line's number.
+                    expr.compile(&params, &state_index)
+                        .map_err(|e| fail(format!("bad rate expression: {e}")))?;
+                    rates.push((from, to, expr));
                 }
                 other => {
                     return Err(fail(format!(
@@ -180,13 +208,46 @@ impl ModelFile {
         &self.params
     }
 
-    /// Instantiates the [`LocalModel`].
+    /// Instantiates the [`LocalModel`] with the file's parameter values.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError`] for unresolved names or invalid model
-    /// structure (unknown states in rates, self-loops, …).
+    /// Returns [`CoreError`] for invalid model structure.
     pub fn instantiate(&self) -> Result<LocalModel, CoreError> {
+        self.instantiate_with(&BTreeMap::new())
+    }
+
+    /// Instantiates the [`LocalModel`] with some parameters overridden —
+    /// the per-request re-parameterization behind the serving layer's
+    /// `(model, params, tolerances)` session keys.
+    ///
+    /// Overrides replace the *final* values of the parameter table: a
+    /// parameter that was defined as an expression over earlier parameters
+    /// keeps its folded value unless overridden itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for an override naming no
+    /// declared parameter or carrying a non-finite value, and [`CoreError`]
+    /// for invalid model structure.
+    pub fn instantiate_with(
+        &self,
+        overrides: &BTreeMap<String, f64>,
+    ) -> Result<LocalModel, CoreError> {
+        let mut params = self.params.clone();
+        for (name, value) in overrides {
+            if !params.contains_key(name) {
+                return Err(CoreError::InvalidArgument(format!(
+                    "unknown parameter override `{name}`"
+                )));
+            }
+            if !value.is_finite() {
+                return Err(CoreError::InvalidArgument(format!(
+                    "parameter override `{name}` must be finite, got {value}"
+                )));
+            }
+            params.insert(name.clone(), *value);
+        }
         let state_index: BTreeMap<String, usize> = self
             .states
             .iter()
@@ -199,7 +260,7 @@ impl ModelFile {
         }
         for (from, to, expr) in &self.rates {
             let compiled = expr
-                .compile(&self.params, &state_index)
+                .compile(&params, &state_index)
                 .map_err(|e| CoreError::InvalidModel(format!("rate {from} -> {to}: {e}")))?;
             builder = builder.transition(from.clone(), to.clone(), move |m: &Occupancy| {
                 compiled.eval(m)
@@ -288,29 +349,77 @@ rate s3 -> s1 : k5
         assert_eq!(err.line, 2);
         let err = ModelFile::parse("state a\nrate a : 1\n").unwrap_err();
         assert_eq!(err.line, 2);
-        let err = ModelFile::parse("state a\nrate a -> b : 1 +\n").unwrap_err();
-        assert_eq!(err.line, 2);
+        let err = ModelFile::parse("state a\nstate b\nrate a -> b : 1 +\n").unwrap_err();
+        assert_eq!(err.line, 3);
         assert!(ModelFile::parse("param x = 1\n").is_err());
         let err = ModelFile::parse("state 1abc\n").unwrap_err();
         assert_eq!(err.line, 1);
     }
 
     #[test]
-    fn instantiation_errors_surface() {
-        // Unknown state in a rate.
-        let file = ModelFile::parse("state a\nrate a -> ghost : 1\n").unwrap();
-        assert!(file.instantiate().is_err());
-        // Unknown parameter in a rate expression.
-        let file = ModelFile::parse("state a\nstate b\nrate a -> b : kk\n").unwrap();
-        assert!(file.instantiate().is_err());
-        // Self-loop.
-        let file = ModelFile::parse("state a\nrate a -> a : 1\n").unwrap();
-        assert!(file.instantiate().is_err());
+    fn duplicate_names_report_their_line() {
+        let err = ModelFile::parse("state a\nparam k = 1\nparam k = 2\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("duplicate parameter `k`"), "{err}");
+        let err = ModelFile::parse("state a\nstate b\nstate a\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("duplicate state `a`"), "{err}");
     }
 
     #[test]
-    fn duplicate_param_rejected() {
-        let err = ModelFile::parse("state a\nparam k = 1\nparam k = 2\n").unwrap_err();
+    fn undeclared_rate_symbols_report_their_line() {
+        // Unknown endpoint state.
+        let err = ModelFile::parse("state a\nrate a -> ghost : 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("undeclared state `ghost`"), "{err}");
+        // Unknown parameter inside the expression.
+        let err = ModelFile::parse("state a\nstate b\nrate a -> b : kk\n").unwrap_err();
         assert_eq!(err.line, 3);
+        assert!(err.message.contains("unknown parameter `kk`"), "{err}");
+        // Unknown state inside m[...].
+        let err = ModelFile::parse("state a\nstate b\nrate a -> b : m[zz]\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("unknown state `zz`"), "{err}");
+    }
+
+    #[test]
+    fn use_before_declaration_reports_the_rate_line() {
+        // The endpoint is declared, but only *after* the rate line.
+        let err = ModelFile::parse("state a\nrate a -> b : 1\nstate b\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("undeclared state `b`"), "{err}");
+        // Same for a parameter used before its `param` line.
+        let err =
+            ModelFile::parse("state a\nstate b\nrate a -> b : late\nparam late = 1\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("unknown parameter `late`"), "{err}");
+        // Same for an occupancy reference to a later state.
+        let err = ModelFile::parse("state a\nstate b\nrate a -> b : m[c]\nstate c\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("unknown state `c`"), "{err}");
+    }
+
+    #[test]
+    fn self_loops_rejected_at_parse_time() {
+        let err = ModelFile::parse("state a\nrate a -> a : 1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("self-loop"), "{err}");
+    }
+
+    #[test]
+    fn instantiate_with_overrides() {
+        let file = ModelFile::parse(VIRUS).unwrap();
+        let overrides: BTreeMap<String, f64> = [("k2".to_string(), 0.5)].into();
+        let model = file.instantiate_with(&overrides).unwrap();
+        let m = Occupancy::new(vec![0.8, 0.15, 0.05]).unwrap();
+        let q = model.generator_at(&m).unwrap();
+        assert_eq!(q[(1, 0)], 0.5);
+        // The file's own table is untouched.
+        assert_eq!(file.params()["k2"], 0.1);
+        // Unknown and non-finite overrides are rejected.
+        let bogus: BTreeMap<String, f64> = [("zz".to_string(), 1.0)].into();
+        assert!(file.instantiate_with(&bogus).is_err());
+        let nan: BTreeMap<String, f64> = [("k2".to_string(), f64::NAN)].into();
+        assert!(file.instantiate_with(&nan).is_err());
     }
 }

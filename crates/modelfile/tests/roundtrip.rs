@@ -1,0 +1,134 @@
+//! Round-trip tests: the shipped `.mf` mirrors of the programmatic
+//! models must agree with `crates/models` exactly — same labels, same
+//! generator entries (bitwise) at sample occupancies — so a daemon
+//! serving the model files is checking the same model as code built
+//! against `mfcsl-models`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use mfcsl_core::{LocalModel, Occupancy};
+use mfcsl_modelfile::model_file::ModelFile;
+
+fn load(name: &str) -> ModelFile {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../modelfiles")
+        .join(name);
+    ModelFile::load(&path).expect("shipped model file parses")
+}
+
+/// Asserts both models assign identical label sets to every state and
+/// produce bitwise-identical generator matrices at each occupancy.
+fn assert_same_model(parsed: &LocalModel, programmatic: &LocalModel, occupancies: &[Vec<f64>]) {
+    assert_eq!(parsed.n_states(), programmatic.n_states());
+    let n = parsed.n_states();
+    let alphabet: std::collections::BTreeSet<String> = parsed
+        .labeling()
+        .alphabet()
+        .into_iter()
+        .chain(programmatic.labeling().alphabet())
+        .collect();
+    for i in 0..n {
+        for label in &alphabet {
+            assert_eq!(
+                parsed.labeling().has(i, label),
+                programmatic.labeling().has(i, label),
+                "label `{label}` disagrees on state {i}"
+            );
+        }
+    }
+    for m0 in occupancies {
+        let m = Occupancy::new(m0.clone()).expect("valid sample occupancy");
+        let q_parsed = parsed.generator_at(&m).expect("parsed generator");
+        let q_prog = programmatic.generator_at(&m).expect("programmatic generator");
+        for i in 0..n {
+            for j in 0..n {
+                let (a, b) = (q_parsed[(i, j)], q_prog[(i, j)]);
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "generator entry ({i},{j}) at m0={m0:?}: parsed {a:e} vs programmatic {b:e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gossip_mf_matches_programmatic_model() {
+    let file = load("gossip.mf");
+    let parsed = file.instantiate().expect("gossip.mf instantiates");
+    let programmatic = mfcsl_models::gossip::model(mfcsl_models::gossip::default_params()).unwrap();
+    assert_same_model(
+        &parsed,
+        &programmatic,
+        &[
+            vec![0.95, 0.05, 0.0],
+            vec![0.6, 0.3, 0.1],
+            vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+        ],
+    );
+}
+
+#[test]
+fn gossip_mf_matches_with_forget_override() {
+    // The file's `forget` parameter re-creates the forgetting variant.
+    let file = load("gossip.mf");
+    let overrides: BTreeMap<String, f64> = [("forget".to_string(), 0.2)].into();
+    let parsed = file.instantiate_with(&overrides).expect("override instantiates");
+    let programmatic = mfcsl_models::gossip::model(mfcsl_models::gossip::Params {
+        push: 1.0,
+        pull: 1.0,
+        stifle: 0.5,
+        forget: 0.2,
+    })
+    .unwrap();
+    assert_same_model(&parsed, &programmatic, &[vec![0.6, 0.3, 0.1]]);
+}
+
+#[test]
+fn supermarket_mf_matches_programmatic_model() {
+    let file = load("supermarket.mf");
+    let parsed = file.instantiate().expect("supermarket.mf instantiates");
+    let programmatic = mfcsl_models::supermarket::model(mfcsl_models::supermarket::Params {
+        lambda: 0.7,
+        mu: 1.0,
+        d: 2,
+        cap: 6,
+    })
+    .unwrap();
+    // Every component stays above the 1e-9 vanishing-mass threshold, so
+    // the file's max(m_i, 1e-9) guard and the programmatic branch agree
+    // bitwise.
+    assert_same_model(
+        &parsed,
+        &programmatic,
+        &[
+            vec![0.3, 0.25, 0.2, 0.1, 0.08, 0.05, 0.02],
+            vec![0.5, 0.2, 0.1, 0.08, 0.06, 0.04, 0.02],
+            vec![
+                1.0 / 7.0,
+                1.0 / 7.0,
+                1.0 / 7.0,
+                1.0 / 7.0,
+                1.0 / 7.0,
+                1.0 / 7.0,
+                1.0 - 6.0 / 7.0,
+            ],
+        ],
+    );
+}
+
+#[test]
+fn supermarket_mf_matches_with_lambda_override() {
+    let file = load("supermarket.mf");
+    let overrides: BTreeMap<String, f64> = [("lambda".to_string(), 0.9)].into();
+    let parsed = file.instantiate_with(&overrides).expect("override instantiates");
+    let programmatic = mfcsl_models::supermarket::model(mfcsl_models::supermarket::Params {
+        lambda: 0.9,
+        mu: 1.0,
+        d: 2,
+        cap: 6,
+    })
+    .unwrap();
+    assert_same_model(&parsed, &programmatic, &[vec![0.3, 0.25, 0.2, 0.1, 0.08, 0.05, 0.02]]);
+}

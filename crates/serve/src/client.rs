@@ -1,0 +1,246 @@
+//! A small wire client for `mfcsld`, used by the CLI's `client`
+//! subcommand, the load harness, and the integration tests.
+
+use std::collections::BTreeMap;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::http::roundtrip;
+use crate::json::Json;
+
+/// A check request as posted to `POST /v1/check`.
+#[derive(Debug, Clone)]
+pub struct CheckRequest {
+    /// Registry name of the model.
+    pub model: String,
+    /// Initial occupancy fractions.
+    pub m0: Vec<f64>,
+    /// MF-CSL formulas (text syntax); the whole batch shares one session.
+    pub formulas: Vec<String>,
+    /// Use the fast (loose) tolerance preset.
+    pub fast: bool,
+    /// Parameter overrides applied before instantiation.
+    pub params: BTreeMap<String, f64>,
+    /// Per-request deadline, measured from admission, in milliseconds.
+    pub timeout_ms: Option<f64>,
+    /// Debug: ask the server to sleep before checking (needs
+    /// `--allow-sleep` server-side; load tests only).
+    pub sleep_ms: Option<f64>,
+}
+
+impl CheckRequest {
+    /// A plain request: one model, one occupancy, some formulas.
+    #[must_use]
+    pub fn new(model: &str, m0: &[f64], formulas: &[String]) -> CheckRequest {
+        CheckRequest {
+            model: model.to_string(),
+            m0: m0.to_vec(),
+            formulas: formulas.to_vec(),
+            fast: false,
+            params: BTreeMap::new(),
+            timeout_ms: None,
+            sleep_ms: None,
+        }
+    }
+
+    fn render(&self) -> String {
+        let mut fields = vec![
+            ("model".to_string(), Json::Str(self.model.clone())),
+            (
+                "m0".to_string(),
+                Json::Arr(self.m0.iter().map(|&v| Json::Num(v)).collect()),
+            ),
+            (
+                "formulas".to_string(),
+                Json::Arr(self.formulas.iter().map(|f| Json::from(f.as_str())).collect()),
+            ),
+            ("fast".to_string(), Json::Bool(self.fast)),
+        ];
+        if !self.params.is_empty() {
+            fields.push((
+                "params".to_string(),
+                Json::Obj(
+                    self.params
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        if let Some(ms) = self.timeout_ms {
+            fields.push(("timeout_ms".to_string(), Json::Num(ms)));
+        }
+        if let Some(ms) = self.sleep_ms {
+            fields.push(("sleep_ms".to_string(), Json::Num(ms)));
+        }
+        Json::Obj(fields).render()
+    }
+}
+
+/// One verdict of a check response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireVerdict {
+    /// The formula, rendered by the server from its parsed form.
+    pub formula: String,
+    /// Whether it holds.
+    pub holds: bool,
+    /// Whether the value was within the numerical margin of the bound.
+    pub marginal: bool,
+}
+
+/// A successful check response.
+#[derive(Debug, Clone)]
+pub struct CheckOutcome {
+    /// The occupancy, rendered by the server.
+    pub m0: String,
+    /// Per-formula verdicts, in request order.
+    pub verdicts: Vec<WireVerdict>,
+    /// Whether the request hit a warm session.
+    pub warm: bool,
+    /// Server-side checking time in microseconds.
+    pub micros: f64,
+}
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, read, write).
+    Io(String),
+    /// The server answered with a non-200 status.
+    Status {
+        /// HTTP status code (`429`, `504`, …).
+        status: u16,
+        /// The server's error message, if it sent one.
+        message: String,
+        /// `Retry-After` seconds, when the server sent the header.
+        retry_after: Option<u64>,
+    },
+    /// The server answered 200 but the body did not parse.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Status {
+                status, message, ..
+            } => write!(f, "server answered {status}: {message}"),
+            ClientError::Protocol(e) => write!(f, "bad response: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Connect timeout for every client call.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+/// Socket read timeout for every client call (checks can be slow on cold
+/// sessions, so this is generous).
+const IO_TIMEOUT: Duration = Duration::from_secs(120);
+
+fn connect(addr: &str) -> Result<TcpStream, ClientError> {
+    let resolved = std::net::ToSocketAddrs::to_socket_addrs(addr)
+        .map_err(|e| ClientError::Io(format!("cannot resolve `{addr}`: {e}")))?
+        .next()
+        .ok_or_else(|| ClientError::Io(format!("`{addr}` resolves to no address")))?;
+    let stream = TcpStream::connect_timeout(&resolved, CONNECT_TIMEOUT)
+        .map_err(|e| ClientError::Io(format!("cannot connect to {addr}: {e}")))?;
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    Ok(stream)
+}
+
+/// Posts a check batch and decodes the response.
+///
+/// # Errors
+///
+/// [`ClientError::Status`] carries non-200 answers (`429` with its
+/// `Retry-After`, `504` deadlines, `4xx` validation messages).
+pub fn post_check(addr: &str, request: &CheckRequest) -> Result<CheckOutcome, ClientError> {
+    let mut stream = connect(addr)?;
+    let response = roundtrip(
+        &mut stream,
+        "POST",
+        "/v1/check",
+        request.render().as_bytes(),
+    )
+    .map_err(|e| ClientError::Io(e.to_string()))?;
+    if response.status != 200 {
+        let message = Json::parse(&response.text())
+            .ok()
+            .and_then(|v| v.get("error").and_then(Json::as_str).map(str::to_string))
+            .unwrap_or_else(|| response.text());
+        return Err(ClientError::Status {
+            status: response.status,
+            message,
+            retry_after: response
+                .header("retry-after")
+                .and_then(|v| v.parse().ok()),
+        });
+    }
+    let body = Json::parse(&response.text())
+        .map_err(|e| ClientError::Protocol(e.to_string()))?;
+    let verdicts = body
+        .get("verdicts")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ClientError::Protocol("missing `verdicts`".into()))?
+        .iter()
+        .map(|v| {
+            Some(WireVerdict {
+                formula: v.get("formula")?.as_str()?.to_string(),
+                holds: v.get("holds")?.as_bool()?,
+                marginal: v.get("marginal")?.as_bool()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| ClientError::Protocol("malformed verdict entry".into()))?;
+    Ok(CheckOutcome {
+        m0: body
+            .get("m0")
+            .and_then(Json::as_str)
+            .unwrap_or_default()
+            .to_string(),
+        verdicts,
+        warm: body.get("warm").and_then(Json::as_bool).unwrap_or(false),
+        micros: body.get("micros").and_then(Json::as_f64).unwrap_or(0.0),
+    })
+}
+
+/// `GET`s a text endpoint (`/healthz`, `/metrics`, `/v1/models`).
+///
+/// # Errors
+///
+/// Transport failures and non-200 statuses become [`ClientError`].
+pub fn get_text(addr: &str, path: &str) -> Result<String, ClientError> {
+    let mut stream = connect(addr)?;
+    let response =
+        roundtrip(&mut stream, "GET", path, b"").map_err(|e| ClientError::Io(e.to_string()))?;
+    if response.status != 200 {
+        return Err(ClientError::Status {
+            status: response.status,
+            message: response.text(),
+            retry_after: None,
+        });
+    }
+    Ok(response.text())
+}
+
+/// Asks the daemon to drain and shut down.
+///
+/// # Errors
+///
+/// Transport failures and non-200 statuses become [`ClientError`].
+pub fn shutdown(addr: &str) -> Result<(), ClientError> {
+    let mut stream = connect(addr)?;
+    let response = roundtrip(&mut stream, "POST", "/shutdown", b"{}")
+        .map_err(|e| ClientError::Io(e.to_string()))?;
+    if response.status != 200 {
+        return Err(ClientError::Status {
+            status: response.status,
+            message: response.text(),
+            retry_after: None,
+        });
+    }
+    Ok(())
+}

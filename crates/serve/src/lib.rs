@@ -1,0 +1,23 @@
+//! `mfcsld`: a batch model-checking daemon for mean-field models.
+//!
+//! This crate is std-only by design (the workspace builds offline): the HTTP
+//! server, the JSON wire format, and the client are all hand-rolled on top of
+//! `std::net`. The daemon keeps [`store::WarmSession`]s alive across requests
+//! so repeated checks against the same `(model, params, tolerances)` key hit
+//! the memoizing engine's caches instead of re-solving trajectories.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod server;
+pub mod store;
+
+pub use client::{CheckOutcome, CheckRequest, ClientError, WireVerdict};
+pub use json::{Json, JsonError};
+pub use registry::ModelRegistry;
+pub use server::{Server, ServerConfig};
+pub use store::{SessionKey, SessionStore, WarmSession};

@@ -1,0 +1,463 @@
+//! The `mfcsld` daemon: accept loop, bounded admission queue, worker
+//! threads, request handlers, and drain-and-shutdown.
+//!
+//! Serving mechanics in one paragraph: the accept loop is the admission
+//! controller — a connection either enters the bounded queue or is turned
+//! away immediately with `429` and a `Retry-After` hint, so backpressure is
+//! visible to clients the instant the daemon saturates instead of growing an
+//! unbounded backlog. Workers pop connections, parse one request, and answer
+//! it; check requests resolve a warm [`crate::store::WarmSession`] keyed by
+//! `(model, params, tolerances)` and fan their formula batch out through
+//! `CheckSession::check_all`, which keeps daemon verdicts bitwise identical
+//! to the offline CLI. `POST /shutdown` flips an atomic flag and self-
+//! connects to wake the accept loop; queued requests still drain before the
+//! workers exit.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mfcsl_core::mfcsl::parse_formula;
+use mfcsl_core::Occupancy;
+use mfcsl_pool::ThreadPool;
+
+use crate::http::{read_request, write_response, Request};
+use crate::json::Json;
+use crate::metrics::ServerMetrics;
+use crate::registry::ModelRegistry;
+use crate::store::{SessionKey, SessionStore};
+
+/// Largest accepted request body, in bytes.
+const MAX_BODY: usize = 1 << 20;
+
+/// Per-connection socket read timeout: a stalled client cannot pin a
+/// worker forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Granularity of the debug-sleep loop (which re-checks the deadline
+/// between naps).
+const SLEEP_SLICE: Duration = Duration::from_millis(5);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads popping the admission queue.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it get `429`.
+    pub queue_capacity: usize,
+    /// Checking-pool lanes shared by all sessions (`0` → the machine's
+    /// available parallelism).
+    pub threads: usize,
+    /// Honor the debug `sleep_ms` request field (load tests only).
+    pub allow_sleep: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_capacity: 64,
+            threads: 0,
+            allow_sleep: false,
+        }
+    }
+}
+
+/// One admitted connection waiting for a worker.
+struct Pending {
+    stream: TcpStream,
+    enqueued_at: Instant,
+}
+
+/// State shared by the accept loop and the workers.
+struct Shared {
+    registry: ModelRegistry,
+    store: SessionStore,
+    pool: Arc<ThreadPool>,
+    metrics: ServerMetrics,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Pending>>,
+    queue_signal: Condvar,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+/// A bound-but-not-yet-running daemon. [`Server::bind`] then
+/// [`Server::run`]; `run` blocks until a `POST /shutdown` drains the queue.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(registry: ModelRegistry, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let pool = Arc::new(if config.threads == 0 {
+            ThreadPool::with_default_parallelism()
+        } else {
+            ThreadPool::new(config.threads)
+        });
+        let shared = Arc::new(Shared {
+            registry,
+            store: SessionStore::new(Arc::clone(&pool)),
+            pool,
+            metrics: ServerMetrics::new(),
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            queue_signal: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Runs the daemon: spawns the workers, accepts until shutdown, then
+    /// drains and joins. Returns when the last in-flight request finished.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop transport failures.
+    pub fn run(self) -> std::io::Result<()> {
+        let workers: Vec<_> = (0..self.shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("mfcsld-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        for incoming in self.listener.incoming() {
+            let stream = match incoming {
+                Ok(s) => s,
+                // Transient accept errors (e.g. aborted handshakes) should
+                // not take the daemon down.
+                Err(e) if e.kind() == std::io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            };
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                // The wakeup connection (or a late client); drop it and
+                // stop accepting.
+                drop(stream);
+                break;
+            }
+            admit(&self.shared, stream);
+        }
+
+        // Drain: workers finish whatever is queued, then exit.
+        self.shared.queue_signal.notify_all();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Accept-time admission control: queue the connection or `429` it.
+fn admit(shared: &Arc<Shared>, stream: TcpStream) {
+    let mut queue = shared.queue.lock().expect("queue poisoned");
+    if queue.len() >= shared.config.queue_capacity {
+        drop(queue);
+        shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        // Rejection runs off the accept loop so a slow client cannot stall
+        // admission. After writing the 429 the request bytes are drained
+        // until the client closes: dropping a socket with unread data
+        // sends a TCP reset, which would destroy the in-flight response.
+        std::thread::spawn(move || {
+            let mut stream = stream;
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+            let body = Json::Obj(vec![(
+                "error".into(),
+                Json::from("admission queue full, retry shortly"),
+            )])
+            .render();
+            let _ = write_response(
+                &mut stream,
+                429,
+                "application/json",
+                &[("Retry-After", "1".to_string())],
+                body.as_bytes(),
+            );
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let mut sink = [0u8; 1024];
+            while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+        });
+        return;
+    }
+    shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+    queue.push_back(Pending {
+        stream,
+        enqueued_at: Instant::now(),
+    });
+    drop(queue);
+    shared.queue_signal.notify_one();
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let pending = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(p) = queue.pop_front() {
+                    break Some(p);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .queue_signal
+                    .wait_timeout(queue, Duration::from_millis(200))
+                    .expect("queue poisoned")
+                    .0;
+            }
+        };
+        let Some(pending) = pending else {
+            return; // shutdown with an empty queue: drained.
+        };
+        handle_connection(shared, pending);
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, pending: Pending) {
+    let Pending {
+        mut stream,
+        enqueued_at,
+    } = pending;
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let request = match read_request(&mut stream, MAX_BODY) {
+        Ok(r) => r,
+        Err(e) => {
+            shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(&mut stream, 400, &e.to_string());
+            return;
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = write_response(&mut stream, 200, "text/plain", &[], b"ok\n");
+        }
+        ("GET", "/metrics") => {
+            let body = {
+                let (depth, cap) = {
+                    let queue = shared.queue.lock().expect("queue poisoned");
+                    (queue.len(), shared.config.queue_capacity)
+                };
+                shared.metrics.render(
+                    &shared.store.merged_stats(),
+                    &shared.pool.stats(),
+                    shared.store.len(),
+                    depth,
+                    cap,
+                )
+            };
+            let _ = write_response(&mut stream, 200, "text/plain", &[], body.as_bytes());
+        }
+        ("GET", "/v1/models") => {
+            let names = Json::Arr(
+                shared
+                    .registry
+                    .names()
+                    .into_iter()
+                    .map(Json::from)
+                    .collect(),
+            );
+            let body = Json::Obj(vec![("models".into(), names)]).render();
+            let _ = write_response(&mut stream, 200, "application/json", &[], body.as_bytes());
+        }
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            let body = Json::Obj(vec![("draining".into(), Json::Bool(true))]).render();
+            let _ = write_response(&mut stream, 200, "application/json", &[], body.as_bytes());
+            // Wake the accept loop so it observes the flag, and every
+            // worker waiting on the queue.
+            let _ = TcpStream::connect(shared.local_addr);
+            shared.queue_signal.notify_all();
+        }
+        ("POST", "/v1/check") => handle_check(shared, &mut stream, &request, enqueued_at),
+        _ => {
+            shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(
+                &mut stream,
+                404,
+                &format!("no route {} {}", request.method, request.path),
+            );
+        }
+    }
+}
+
+/// `POST /v1/check`: one formula batch against one model/occupancy.
+fn handle_check(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    request: &Request,
+    enqueued_at: Instant,
+) {
+    let client_error = |shared: &Shared, stream: &mut TcpStream, status: u16, message: &str| {
+        shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+        respond_error(stream, status, message);
+    };
+    let body = match std::str::from_utf8(&request.body)
+        .map_err(|e| e.to_string())
+        .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(e) => return client_error(shared, stream, 400, &format!("bad JSON body: {e}")),
+    };
+
+    // -- decode ----------------------------------------------------------
+    let Some(model_name) = body.get("model").and_then(Json::as_str) else {
+        return client_error(shared, stream, 400, "missing string field `model`");
+    };
+    if shared.registry.get(model_name).is_none() {
+        return client_error(
+            shared,
+            stream,
+            404,
+            &format!("unknown model `{model_name}`"),
+        );
+    }
+    let Some(m0_values) = body.get("m0").and_then(Json::as_arr) else {
+        return client_error(shared, stream, 400, "missing array field `m0`");
+    };
+    let Some(formula_texts) = body.get("formulas").and_then(Json::as_arr) else {
+        return client_error(shared, stream, 400, "missing array field `formulas`");
+    };
+    let fast = body.get("fast").and_then(Json::as_bool).unwrap_or(false);
+    let overrides = match body.get("params") {
+        None => std::collections::BTreeMap::new(),
+        Some(v) => match v.as_num_map() {
+            Some(m) => m,
+            None => {
+                return client_error(shared, stream, 400, "`params` must map names to numbers")
+            }
+        },
+    };
+    let timeout_ms = body.get("timeout_ms").and_then(Json::as_f64);
+    let deadline = timeout_ms.map(|ms| enqueued_at + Duration::from_secs_f64(ms.max(0.0) / 1e3));
+    let sleep_ms = body.get("sleep_ms").and_then(Json::as_f64).unwrap_or(0.0);
+
+    // -- debug sleep (load tests), slice-wise so deadlines still fire ----
+    if shared.config.allow_sleep && sleep_ms > 0.0 {
+        let until = Instant::now() + Duration::from_secs_f64(sleep_ms / 1e3);
+        while Instant::now() < until {
+            if past(deadline) {
+                return timeout(shared, stream, enqueued_at);
+            }
+            std::thread::sleep(SLEEP_SLICE.min(until - Instant::now()));
+        }
+    }
+    if past(deadline) {
+        return timeout(shared, stream, enqueued_at);
+    }
+
+    // -- validate against the engine's own types -------------------------
+    let fractions: Option<Vec<f64>> = m0_values.iter().map(Json::as_f64).collect();
+    let m0 = match fractions
+        .ok_or_else(|| "`m0` must contain numbers".to_string())
+        .and_then(|f| Occupancy::new(f).map_err(|e| e.to_string()))
+    {
+        Ok(m) => m,
+        Err(e) => return client_error(shared, stream, 400, &format!("bad `m0`: {e}")),
+    };
+    let texts: Option<Vec<&str>> = formula_texts.iter().map(Json::as_str).collect();
+    let Some(texts) = texts else {
+        return client_error(shared, stream, 400, "`formulas` must contain strings");
+    };
+    if texts.is_empty() {
+        return client_error(shared, stream, 400, "`formulas` must not be empty");
+    }
+    let psis: Result<Vec<_>, _> = texts.iter().map(|t| parse_formula(t)).collect();
+    let psis = match psis {
+        Ok(p) => p,
+        Err(e) => return client_error(shared, stream, 400, &format!("bad formula: {e}")),
+    };
+
+    // -- resolve the warm session ----------------------------------------
+    let key = SessionKey::new(model_name, &overrides, fast);
+    let (session, warm) = match shared.store.get_or_create(&shared.registry, &key) {
+        Ok(pair) => pair,
+        Err(e) => {
+            let status = if e.to_string().contains("unknown model") {
+                404
+            } else {
+                400
+            };
+            return client_error(shared, stream, status, &e.to_string());
+        }
+    };
+    if warm {
+        shared.metrics.warm_hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.metrics.cold_starts.fetch_add(1, Ordering::Relaxed);
+    }
+    if past(deadline) {
+        return timeout(shared, stream, enqueued_at);
+    }
+
+    // -- check ------------------------------------------------------------
+    let started = Instant::now();
+    let verdicts = match session.check_all(&psis, &m0) {
+        Ok(v) => v,
+        Err(e) => return client_error(shared, stream, 400, &e.to_string()),
+    };
+    let micros = started.elapsed().as_secs_f64() * 1e6;
+
+    // Formulas are echoed back *rendered* (the parsed form's display), so
+    // clients can print lines bitwise identical to `mfcsl check`.
+    let rendered: Vec<Json> = psis
+        .iter()
+        .zip(&verdicts)
+        .map(|(psi, v)| {
+            Json::Obj(vec![
+                ("formula".into(), Json::Str(psi.to_string())),
+                ("holds".into(), Json::Bool(v.holds())),
+                ("marginal".into(), Json::Bool(v.is_marginal())),
+            ])
+        })
+        .collect();
+    let response = Json::Obj(vec![
+        ("model".into(), Json::from(model_name)),
+        ("m0".into(), Json::Str(m0.to_string())),
+        ("fast".into(), Json::Bool(fast)),
+        ("verdicts".into(), Json::Arr(rendered)),
+        ("warm".into(), Json::Bool(warm)),
+        ("micros".into(), Json::Num(micros)),
+    ])
+    .render();
+    shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.observe_latency(enqueued_at.elapsed());
+    let _ = write_response(stream, 200, "application/json", &[], response.as_bytes());
+}
+
+fn past(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+fn timeout(shared: &Arc<Shared>, stream: &mut TcpStream, enqueued_at: Instant) {
+    shared.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.observe_latency(enqueued_at.elapsed());
+    respond_error(stream, 504, "deadline exceeded");
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
+    let body = Json::Obj(vec![("error".into(), Json::from(message))]).render();
+    let _ = write_response(stream, status, "application/json", &[], body.as_bytes());
+}

@@ -1,0 +1,265 @@
+//! Warm session reuse: the daemon's `(model, params, tolerances)` →
+//! [`CheckSession`] store.
+//!
+//! A [`CheckSession`] borrows its [`LocalModel`], which works for the CLI
+//! (one model, one invocation) but not for a daemon whose sessions must
+//! outlive any single request. [`WarmSession`] closes that gap: it owns the
+//! instantiated model in a [`Box`] (stable heap address) and pairs it with a
+//! session whose lifetime is unsafely erased to `'static`. The pairing is
+//! sound because the session is dropped strictly before the model (field
+//! declaration order) and because `WarmSession` only ever exposes delegating
+//! methods — the `'static` session can never be observed or moved out, so no
+//! reference outlives the box.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use mfcsl_core::mfcsl::{CheckSession, EngineStats, MfFormula, Verdict};
+use mfcsl_core::{CoreError, LocalModel, Occupancy};
+use mfcsl_csl::Tolerances;
+use mfcsl_pool::ThreadPool;
+
+use crate::registry::ModelRegistry;
+
+/// Identity of a warm session: which model, at which parameter values,
+/// under which tolerance preset.
+///
+/// Parameter values are keyed by their `f64` bit patterns — the same
+/// convention the engine uses for occupancy keys — so `0.1` and a value
+/// that merely prints like `0.1` are distinct keys and results stay
+/// bitwise reproducible.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SessionKey {
+    /// Registry name of the model.
+    pub model: String,
+    /// Sorted `(name, value bits)` parameter overrides.
+    pub params: Vec<(String, u64)>,
+    /// Fast (loose) tolerance preset instead of the default.
+    pub fast: bool,
+}
+
+impl SessionKey {
+    /// Builds the key for a request.
+    #[must_use]
+    pub fn new(model: &str, overrides: &BTreeMap<String, f64>, fast: bool) -> SessionKey {
+        SessionKey {
+            model: model.to_string(),
+            params: overrides
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_bits()))
+                .collect(),
+            fast,
+        }
+    }
+}
+
+/// An owned model plus a checking session over it, safe to keep warm across
+/// requests and to share between worker threads.
+///
+/// # Safety invariants
+///
+/// * `session` is declared before `_model`, so it drops first;
+/// * `_model` is boxed and never mutated or replaced, so the `'static`
+///   reference inside `session` stays valid for the whole lifetime of the
+///   struct even when the struct itself moves;
+/// * no method returns the session (or anything borrowing it with the
+///   erased lifetime) — only owned results cross the boundary.
+pub struct WarmSession {
+    session: CheckSession<'static>,
+    _model: Box<LocalModel>,
+}
+
+impl std::fmt::Debug for WarmSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmSession").finish_non_exhaustive()
+    }
+}
+
+impl WarmSession {
+    /// Builds a warm session over an owned model.
+    #[must_use]
+    pub fn new(model: LocalModel, fast: bool, pool: Arc<ThreadPool>) -> WarmSession {
+        let model = Box::new(model);
+        // SAFETY: the box's allocation outlives the session (drop order:
+        // `session` first) and is never moved out of or mutated; see the
+        // struct-level invariants.
+        let model_ref: &'static LocalModel =
+            unsafe { &*std::ptr::from_ref::<LocalModel>(model.as_ref()) };
+        let session = if fast {
+            CheckSession::with_tolerances(model_ref, Tolerances::fast())
+        } else {
+            CheckSession::new(model_ref)
+        }
+        .with_pool(pool);
+        WarmSession {
+            session,
+            _model: model,
+        }
+    }
+
+    /// Checks a batch of formulas against one initial occupancy, sharing
+    /// the session's caches. Delegates to [`CheckSession::check_all`], so a
+    /// batch posted to the daemon follows the exact same horizon discipline
+    /// as the offline `mfcsl check` command — verdicts are bitwise
+    /// identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates checking failures.
+    pub fn check_all(
+        &self,
+        psis: &[MfFormula],
+        m0: &Occupancy,
+    ) -> Result<Vec<Verdict>, CoreError> {
+        self.session.check_all(psis, m0)
+    }
+
+    /// Snapshot of the session's engine counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.session.stats()
+    }
+}
+
+/// The daemon-wide session store. `get_or_create` is the only entry point;
+/// it reports whether the request hit a warm session.
+#[derive(Debug)]
+pub struct SessionStore {
+    sessions: Mutex<HashMap<SessionKey, Arc<WarmSession>>>,
+    pool: Arc<ThreadPool>,
+}
+
+impl SessionStore {
+    /// Creates an empty store whose sessions all share `pool`.
+    #[must_use]
+    pub fn new(pool: Arc<ThreadPool>) -> SessionStore {
+        SessionStore {
+            sessions: Mutex::new(HashMap::new()),
+            pool,
+        }
+    }
+
+    /// Fetches the warm session for `key`, instantiating the model (with
+    /// the key's parameter overrides) on first use. The second component is
+    /// `true` when the session was already warm.
+    ///
+    /// Instantiation happens under the store lock: it only compiles rate
+    /// expressions (no solving), and holding the lock means concurrent
+    /// first requests for one key cannot race two cold sessions into
+    /// existence — all but the first would waste their trajectory caches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidArgument`] for unknown models or bad
+    /// parameter overrides.
+    pub fn get_or_create(
+        &self,
+        registry: &ModelRegistry,
+        key: &SessionKey,
+    ) -> Result<(Arc<WarmSession>, bool), CoreError> {
+        let mut sessions = self.sessions.lock().expect("session store poisoned");
+        if let Some(existing) = sessions.get(key) {
+            return Ok((Arc::clone(existing), true));
+        }
+        let file = registry.get(&key.model).ok_or_else(|| {
+            CoreError::InvalidArgument(format!("unknown model `{}`", key.model))
+        })?;
+        let overrides: BTreeMap<String, f64> = key
+            .params
+            .iter()
+            .map(|(k, bits)| (k.clone(), f64::from_bits(*bits)))
+            .collect();
+        let model = file.instantiate_with(&overrides)?;
+        let session = Arc::new(WarmSession::new(model, key.fast, Arc::clone(&self.pool)));
+        sessions.insert(key.clone(), Arc::clone(&session));
+        Ok((session, false))
+    }
+
+    /// Number of sessions currently warm.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sessions.lock().expect("session store poisoned").len()
+    }
+
+    /// Whether the store holds no sessions yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Merged engine counters over every warm session (for `/metrics`).
+    #[must_use]
+    pub fn merged_stats(&self) -> EngineStats {
+        let sessions = self.sessions.lock().expect("session store poisoned");
+        let mut total = EngineStats::default();
+        for session in sessions.values() {
+            total.merge(&session.stats());
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcsl_core::mfcsl::parse_formula;
+
+    fn sis_model() -> LocalModel {
+        mfcsl_modelfile::ModelFile::parse(
+            "state s : healthy\nstate i : infected\nparam beta = 2\n\
+             rate s -> i : beta * m[i]\nrate i -> s : 1\n",
+        )
+        .unwrap()
+        .instantiate()
+        .unwrap()
+    }
+
+    #[test]
+    fn warm_session_checks_and_survives_moves() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let warm = WarmSession::new(sis_model(), false, pool);
+        // Move the struct (heap model address must stay valid).
+        let warm = Box::new(warm);
+        let warm = *warm;
+        let psi = parse_formula("E{<0.4}[ infected ]").unwrap();
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let verdicts = warm.check_all(std::slice::from_ref(&psi), &m0).unwrap();
+        assert!(verdicts[0].holds());
+        assert_eq!(warm.stats().trajectory_solves, 1);
+    }
+
+    #[test]
+    fn warm_session_is_shared_across_threads() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let warm = Arc::new(WarmSession::new(sis_model(), false, pool));
+        let psi = parse_formula("E{<0.4}[ infected ]").unwrap();
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let warm = Arc::clone(&warm);
+                let psi = psi.clone();
+                let m0 = m0.clone();
+                std::thread::spawn(move || {
+                    warm.check_all(std::slice::from_ref(&psi), &m0).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap()[0].holds());
+        }
+        // All four checks shared one trajectory.
+        assert_eq!(warm.stats().trajectory_solves, 1);
+    }
+
+    #[test]
+    fn session_keys_distinguish_params_and_tolerances() {
+        let base = SessionKey::new("sis", &BTreeMap::new(), false);
+        let fast = SessionKey::new("sis", &BTreeMap::new(), true);
+        let tweaked =
+            SessionKey::new("sis", &[("beta".to_string(), 3.0)].into_iter().collect(), false);
+        assert_ne!(base, fast);
+        assert_ne!(base, tweaked);
+        assert_eq!(base, SessionKey::new("sis", &BTreeMap::new(), false));
+    }
+}

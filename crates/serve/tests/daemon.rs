@@ -1,0 +1,243 @@
+//! End-to-end tests for the `mfcsld` daemon: real sockets, real worker
+//! threads, verdicts compared against the offline engine.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mfcsl_core::mfcsl::{parse_formula, CheckSession};
+use mfcsl_core::Occupancy;
+use mfcsl_serve::client::{self, CheckRequest, ClientError};
+use mfcsl_serve::{ModelRegistry, Server, ServerConfig};
+
+fn modelfile_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../modelfiles")
+}
+
+fn start_daemon(config: ServerConfig) -> (String, std::thread::JoinHandle<()>) {
+    let registry = ModelRegistry::load(&[modelfile_dir()]).unwrap();
+    let server = Server::bind(registry, config).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle)
+}
+
+const VIRUS_M0: [f64; 3] = [0.8, 0.15, 0.05];
+
+fn virus_formulas() -> Vec<String> {
+    [
+        "E{<0.3}[ infected ]",
+        "EP{>0}[ tt U[0,2] infected ]",
+        "EP{<0.5}[ not_infected U[0,1] active ]",
+        "ES{>0.1}[ infected ]",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect()
+}
+
+#[test]
+fn daemon_matches_offline_engine_and_reuses_sessions() {
+    let (addr, handle) = start_daemon(ServerConfig::default());
+
+    // Offline reference: same model file, same batch through check_all.
+    let file = mfcsl_modelfile::ModelFile::load(&modelfile_dir().join("virus.mf")).unwrap();
+    let model = file.instantiate().unwrap();
+    let session = CheckSession::new(&model);
+    let psis: Vec<_> = virus_formulas()
+        .iter()
+        .map(|f| parse_formula(f).unwrap())
+        .collect();
+    let m0 = Occupancy::new(VIRUS_M0.to_vec()).unwrap();
+    let offline = session.check_all(&psis, &m0).unwrap();
+
+    let request = CheckRequest::new("virus", &VIRUS_M0, &virus_formulas());
+    let cold = client::post_check(&addr, &request).unwrap();
+    assert!(!cold.warm, "first request must build the session");
+    assert_eq!(cold.verdicts.len(), offline.len());
+    for (wire, reference) in cold.verdicts.iter().zip(&offline) {
+        assert_eq!(wire.holds, reference.holds(), "{}", wire.formula);
+        assert_eq!(wire.marginal, reference.is_marginal(), "{}", wire.formula);
+    }
+    // The server echoes the occupancy and formulas in their parsed
+    // renderings, so clients can reproduce offline output verbatim.
+    assert_eq!(cold.m0, m0.to_string());
+    for (wire, psi) in cold.verdicts.iter().zip(&psis) {
+        assert_eq!(wire.formula, psi.to_string());
+    }
+
+    // Second identical batch: warm session, answered from the caches.
+    let warm = client::post_check(&addr, &request).unwrap();
+    assert!(warm.warm, "second request must hit the warm session");
+    for (a, b) in cold.verdicts.iter().zip(&warm.verdicts) {
+        assert_eq!(a, b);
+    }
+
+    // A different tolerance preset is a different session.
+    let mut fast = request.clone();
+    fast.fast = true;
+    assert!(!client::post_check(&addr, &fast).unwrap().warm);
+
+    // A parameter override is a different session too.
+    let mut tweaked = request.clone();
+    tweaked.params.insert("k2".into(), 0.5);
+    assert!(!client::post_check(&addr, &tweaked).unwrap().warm);
+
+    assert_eq!(client::get_text(&addr, "/healthz").unwrap(), "ok\n");
+    let models = client::get_text(&addr, "/v1/models").unwrap();
+    assert!(models.contains("\"virus\""), "{models}");
+
+    let metrics = client::get_text(&addr, "/metrics").unwrap();
+    assert!(metrics.contains("mfcsld_session_warm_hits_total 1"), "{metrics}");
+    assert!(metrics.contains("mfcsld_session_cold_starts_total 3"), "{metrics}");
+    assert!(metrics.contains("mfcsld_sessions_warm 3"), "{metrics}");
+    // The warm batch re-used the cold batch's trajectory.
+    assert!(metrics.contains("mfcsld_engine_trajectory_solves_total 3"), "{metrics}");
+    assert!(metrics.contains("mfcsld_requests_completed_total 4"), "{metrics}");
+    assert!(metrics.contains("mfcsld_requests_rejected_total 0"), "{metrics}");
+
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+    // The socket is gone after shutdown.
+    assert!(client::get_text(&addr, "/healthz").is_err());
+}
+
+#[test]
+fn daemon_validates_requests() {
+    let (addr, handle) = start_daemon(ServerConfig::default());
+
+    let formulas = vec!["E{<0.3}[ infected ]".to_string()];
+    fn status<T: std::fmt::Debug>(r: Result<T, ClientError>) -> (u16, String) {
+        match r {
+            Err(ClientError::Status {
+                status, message, ..
+            }) => (status, message),
+            other => panic!("expected a status error, got {other:?}"),
+        }
+    }
+
+    let (code, msg) = status(client::post_check(
+        &addr,
+        &CheckRequest::new("ghost", &VIRUS_M0, &formulas),
+    ));
+    assert_eq!(code, 404);
+    assert!(msg.contains("unknown model `ghost`"), "{msg}");
+
+    let (code, msg) = status(client::post_check(
+        &addr,
+        &CheckRequest::new("virus", &[0.5, 0.6, 0.2], &formulas),
+    ));
+    assert_eq!(code, 400);
+    assert!(msg.contains("bad `m0`"), "{msg}");
+
+    let (code, msg) = status(client::post_check(
+        &addr,
+        &CheckRequest::new("virus", &VIRUS_M0, &["E{<0.3}[ ghost_label ]".to_string()]),
+    ));
+    assert_eq!(code, 400);
+    assert!(msg.contains("ghost_label"), "{msg}");
+
+    let mut bad_param = CheckRequest::new("virus", &VIRUS_M0, &formulas);
+    bad_param.params.insert("zz".into(), 1.0);
+    let (code, msg) = status(client::post_check(&addr, &bad_param));
+    assert_eq!(code, 400);
+    assert!(msg.contains("unknown parameter override `zz`"), "{msg}");
+
+    let (code, _) = status(client::get_text(&addr, "/nothing/here"));
+    assert_eq!(code, 404);
+
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn daemon_applies_backpressure_and_deadlines() {
+    // One worker, queue of one: a sleeping request plus a queued request
+    // saturate the daemon, so a third connection gets 429 at accept time.
+    let (addr, handle) = start_daemon(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        threads: 1,
+        allow_sleep: true,
+        ..ServerConfig::default()
+    });
+    let formulas = vec!["E{<0.3}[ infected ]".to_string()];
+
+    let mut sleepy = CheckRequest::new("virus", &VIRUS_M0, &formulas);
+    sleepy.sleep_ms = Some(600.0);
+    let addr_a = addr.clone();
+    let s_a = sleepy.clone();
+    let a = std::thread::spawn(move || client::post_check(&addr_a, &s_a));
+    // Wait until the worker has picked request A up (its connection leaves
+    // the queue), then fill the queue with B.
+    std::thread::sleep(Duration::from_millis(150));
+    let addr_b = addr.clone();
+    let s_b = sleepy.clone();
+    let b = std::thread::spawn(move || client::post_check(&addr_b, &s_b));
+    std::thread::sleep(Duration::from_millis(150));
+
+    // C: the queue is full → 429 with a Retry-After hint, immediately.
+    let started = Instant::now();
+    let c = client::post_check(&addr, &CheckRequest::new("virus", &VIRUS_M0, &formulas));
+    match c {
+        Err(ClientError::Status {
+            status,
+            retry_after,
+            ..
+        }) => {
+            assert_eq!(status, 429);
+            assert_eq!(retry_after, Some(1));
+        }
+        other => panic!("expected 429, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_millis(400),
+        "429 must not wait for the queue to drain"
+    );
+
+    // A and B both complete once the worker gets to them.
+    assert!(a.join().unwrap().unwrap().verdicts[0].holds);
+    assert!(b.join().unwrap().unwrap().verdicts[0].holds);
+
+    // A request whose deadline expires while it sleeps gets 504.
+    let mut doomed = CheckRequest::new("virus", &VIRUS_M0, &formulas);
+    doomed.sleep_ms = Some(2_000.0);
+    doomed.timeout_ms = Some(100.0);
+    match client::post_check(&addr, &doomed) {
+        Err(ClientError::Status { status, .. }) => assert_eq!(status, 504),
+        other => panic!("expected 504, got {other:?}"),
+    }
+
+    let metrics = client::get_text(&addr, "/metrics").unwrap();
+    assert!(metrics.contains("mfcsld_requests_rejected_total 1"), "{metrics}");
+    assert!(metrics.contains("mfcsld_requests_timed_out_total 1"), "{metrics}");
+
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_get_identical_verdicts() {
+    let (addr, handle) = start_daemon(ServerConfig {
+        workers: 4,
+        ..ServerConfig::default()
+    });
+    let request = Arc::new(CheckRequest::new("virus", &VIRUS_M0, &virus_formulas()));
+    let reference = client::post_check(&addr, &request).unwrap();
+
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let addr = addr.clone();
+            let request = Arc::clone(&request);
+            std::thread::spawn(move || client::post_check(&addr, &request).unwrap())
+        })
+        .collect();
+    for c in clients {
+        let outcome = c.join().unwrap();
+        assert!(outcome.warm);
+        assert_eq!(outcome.verdicts, reference.verdicts);
+    }
+
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+}

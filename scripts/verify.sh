@@ -12,12 +12,29 @@
 #      the first, exercising the baseline parser and the gate verdict
 #      (smoke walls sit below the gate's noise floor, so this checks the
 #      machinery deterministically; real slowdown detection happens on
-#      full-size runs compared across commits).
+#      full-size runs compared across commits);
+#   6. an mfcsld daemon smoke test: an ephemeral-port daemon answers 20
+#      concurrent formula requests bitwise identically to the offline
+#      CLI, reports warm-cache hits in /metrics on the second batch,
+#      applies 429 backpressure when its admission queue is full, and
+#      drains cleanly on shutdown;
+#   7. a smoke run of the serving load benchmark with schema validation
+#      of BENCH_serve.json.
 #
 # Usage: scripts/verify.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+tmpdir="$(mktemp -d -t mfcsl_verify.XXXXXX)"
+serve_pid=""
+slow_pid=""
+cleanup() {
+    [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+    [ -n "$slow_pid" ] && kill "$slow_pid" 2>/dev/null || true
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
 
 # NB: --workspace matters — the repo root is both a workspace and the
 # umbrella `mfcsl` package, so a plain `cargo build`/`cargo test` here
@@ -32,11 +49,10 @@ echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
 echo "== bench_check smoke =="
-smoke_out="$(mktemp -t bench_check_smoke.XXXXXX.json)"
-solver_out="$(mktemp -t bench_solver_smoke.XXXXXX.json)"
-gate_out="$(mktemp -t bench_check_gate.XXXXXX.json)"
-gate_solver_out="$(mktemp -t bench_solver_gate.XXXXXX.json)"
-trap 'rm -f "$smoke_out" "$solver_out" "$gate_out" "$gate_solver_out"' EXIT
+smoke_out="$tmpdir/bench_check_smoke.json"
+solver_out="$tmpdir/bench_solver_smoke.json"
+gate_out="$tmpdir/bench_check_gate.json"
+gate_solver_out="$tmpdir/bench_solver_gate.json"
 cargo run --release -p mfcsl-bench --bin bench_check -- --smoke \
     --out "$smoke_out" --solver-out "$solver_out" >/dev/null
 
@@ -92,5 +108,149 @@ echo "== bench_check --baseline regression gate =="
 cargo run --release -p mfcsl-bench --bin bench_check -- --smoke \
     --out "$gate_out" --solver-out "$gate_solver_out" --baseline "$smoke_out" \
     | grep "baseline gate"
+
+echo "== mfcsld daemon smoke =="
+mfcsl=./target/release/mfcsl
+m0="0.8,0.15,0.05"
+formulas=(
+    "EP{<0.3}[ not_infected U[0,1] infected ]"
+    "E{<0.3}[ infected ]"
+    "ES{>0.1}[ infected ]"
+)
+
+# The offline reference every served verdict must match byte-for-byte.
+"$mfcsl" check modelfiles/virus.mf --m0 "$m0" "${formulas[@]}" > "$tmpdir/offline.txt"
+
+"$mfcsl" serve modelfiles --addr 127.0.0.1:0 --workers 2 > "$tmpdir/serve.log" &
+serve_pid=$!
+for _ in $(seq 100); do
+    grep -q "mfcsld listening on" "$tmpdir/serve.log" 2>/dev/null && break
+    sleep 0.1
+done
+addr="$(awk '/mfcsld listening on/ {print $4; exit}' "$tmpdir/serve.log")"
+[ -n "$addr" ] || { echo "daemon never announced its address"; exit 1; }
+
+# First batch: 20 concurrent clients, each output bitwise equal to
+# offline. (Wait on the client pids specifically — a bare `wait` would
+# also wait on the daemon job, which does not exit until shutdown.)
+client_pids=()
+for i in $(seq 20); do
+    "$mfcsl" client "$addr" check virus --m0 "$m0" "${formulas[@]}" \
+        > "$tmpdir/served.$i.txt" &
+    client_pids+=("$!")
+done
+wait "${client_pids[@]}"
+for i in $(seq 20); do
+    cmp -s "$tmpdir/offline.txt" "$tmpdir/served.$i.txt" || {
+        echo "served output $i differs from offline check:"
+        diff "$tmpdir/offline.txt" "$tmpdir/served.$i.txt" || true
+        exit 1
+    }
+done
+echo "20 concurrent served verdicts bitwise equal to offline check"
+
+# Second batch: all warm. The session store built exactly one session for
+# the 20-request stampede (instantiation happens under the store lock), so
+# after three more requests the counters must show 1 cold start and 22
+# warm hits.
+for _ in 1 2 3; do
+    "$mfcsl" client "$addr" check virus --m0 "$m0" "${formulas[@]}" > /dev/null
+done
+"$mfcsl" client "$addr" metrics > "$tmpdir/metrics.txt"
+grep -q "^mfcsld_session_cold_starts_total 1$" "$tmpdir/metrics.txt" || {
+    echo "expected exactly one cold start:"; cat "$tmpdir/metrics.txt"; exit 1; }
+grep -q "^mfcsld_session_warm_hits_total 22$" "$tmpdir/metrics.txt" || {
+    echo "expected 22 warm hits:"; cat "$tmpdir/metrics.txt"; exit 1; }
+echo "second batch served warm (1 cold start, 22 warm hits)"
+
+# Drain-and-stop: the daemon must exit cleanly on its own.
+"$mfcsl" client "$addr" shutdown | grep -q draining
+wait "$serve_pid"
+serve_pid=""
+echo "daemon drained and exited cleanly"
+
+# Backpressure: a one-worker, one-slot daemon under a slow request must
+# 429 the connection that finds both the worker and the queue busy.
+"$mfcsl" serve modelfiles/virus.mf --addr 127.0.0.1:0 \
+    --workers 1 --queue 1 --allow-sleep > "$tmpdir/slow.log" &
+slow_pid=$!
+for _ in $(seq 100); do
+    grep -q "mfcsld listening on" "$tmpdir/slow.log" 2>/dev/null && break
+    sleep 0.1
+done
+slow_addr="$(awk '/mfcsld listening on/ {print $4; exit}' "$tmpdir/slow.log")"
+python3 - "$slow_addr" <<'EOF'
+import socket, sys, time
+
+host, port = sys.argv[1].rsplit(":", 1)
+body = (
+    '{"model":"virus","m0":[0.8,0.15,0.05],'
+    '"formulas":["E{<0.3}[ infected ]"],"sleep_ms":1500}'
+).encode()
+
+def post():
+    s = socket.create_connection((host, int(port)), timeout=15)
+    s.sendall(
+        b"POST /v1/check HTTP/1.1\r\nHost: mfcsld\r\nContent-Length: "
+        + str(len(body)).encode() + b"\r\nConnection: close\r\n\r\n" + body
+    )
+    return s
+
+def status(s):
+    buf = b""
+    while b"\r\n" not in buf:
+        chunk = s.recv(4096)
+        if not chunk:
+            break
+        buf += chunk
+    return buf.split(b"\r\n", 1)[0].decode()
+
+a = post()          # occupies the single worker (sleeps 1500 ms)
+time.sleep(0.3)
+b = post()          # sits in the one queue slot
+time.sleep(0.3)
+c = post()          # queue full: must be rejected at admission
+line = status(c)
+assert " 429 " in line, f"expected 429, got {line!r}"
+for s in (a, b):    # the admitted requests still complete
+    line = status(s)
+    assert " 200 " in line, f"expected 200, got {line!r}"
+    s.close()
+c.close()
+print("queue-full connection got 429; admitted requests completed")
+EOF
+"$mfcsl" client "$slow_addr" shutdown > /dev/null
+wait "$slow_pid"
+slow_pid=""
+
+echo "== bench_serve smoke =="
+serve_bench_out="$tmpdir/bench_serve_smoke.json"
+cargo run --release -p mfcsl-bench --bin bench_serve -- --smoke \
+    --out "$serve_bench_out" >/dev/null
+
+python3 - "$serve_bench_out" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+assert report["bench"] == "serve", report
+assert report["smoke"] is True, report
+assert report["git_revision"], report
+assert report["threads_available"] >= 1, report
+assert report["workers"] >= 1, report
+names = [w["name"] for w in report["workloads"]]
+assert names == ["cold", "warm"], names
+for w in report["workloads"]:
+    assert w["requests"] > 0, w
+    assert w["concurrency"] >= 1, w
+    assert w["wall_seconds"] > 0, w
+    assert w["throughput_rps"] > 0, w
+    assert 0 < w["p50_us"] <= w["p95_us"] <= w["p99_us"], w
+    assert w["bitwise_equal"] is True, w
+cold, warm = report["workloads"]
+assert warm["concurrency"] > cold["concurrency"], (cold, warm)
+print("bench_serve smoke report is well-formed; all responses bitwise equal")
+EOF
 
 echo "verify: OK"
