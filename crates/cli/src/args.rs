@@ -150,6 +150,9 @@ pub struct ServeFlags {
     pub queue: usize,
     /// `--threads` (default: the machine's available parallelism).
     pub threads: usize,
+    /// `--max-sessions` (default 64): warm sessions retained before LRU
+    /// eviction kicks in.
+    pub max_sessions: usize,
     /// `--allow-sleep` (honor the debug `sleep_ms` request field).
     pub allow_sleep: bool,
 }
@@ -166,6 +169,7 @@ pub fn parse_serve(rest: &[String]) -> Result<ServeFlags, CliError> {
         workers: 4,
         queue: 64,
         threads: 0,
+        max_sessions: 64,
         allow_sleep: false,
     };
     let mut i = 0;
@@ -185,6 +189,11 @@ pub fn parse_serve(rest: &[String]) -> Result<ServeFlags, CliError> {
             }
             "--threads" => {
                 flags.threads = parse_threads(&flag_value(rest, i, "--threads")?)?;
+                i += 2;
+            }
+            "--max-sessions" => {
+                flags.max_sessions =
+                    parse_count("--max-sessions", &flag_value(rest, i, "--max-sessions")?)?;
                 i += 2;
             }
             "--allow-sleep" => {
@@ -411,16 +420,18 @@ mod tests {
     fn serve_flags() {
         let flags = parse_serve(&argv(&[
             "modelfiles", "--addr", "127.0.0.1:0", "--workers", "2", "--queue", "8",
-            "--threads", "3", "--allow-sleep",
+            "--threads", "3", "--max-sessions", "16", "--allow-sleep",
         ]))
         .unwrap();
         assert_eq!(flags.paths.len(), 1);
         assert_eq!(flags.addr, "127.0.0.1:0");
         assert_eq!((flags.workers, flags.queue, flags.threads), (2, 8, 3));
+        assert_eq!(flags.max_sessions, 16);
         assert!(flags.allow_sleep);
         assert!(parse_serve(&argv(&[])).is_err());
         assert!(parse_serve(&argv(&["m", "--workers", "0"])).is_err());
         assert!(parse_serve(&argv(&["m", "--queue", "0"])).is_err());
+        assert!(parse_serve(&argv(&["m", "--max-sessions", "0"])).is_err());
     }
 
     #[test]

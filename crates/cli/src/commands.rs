@@ -354,7 +354,8 @@ pub fn fixed_points(model: &LocalModel) -> Result<String, CliError> {
 }
 
 /// `mfcsl serve <models>… [--addr A] [--workers N] [--queue N]
-/// [--threads N] [--allow-sleep]` — runs the `mfcsld` daemon.
+/// [--threads N] [--max-sessions N] [--allow-sleep]` — runs the `mfcsld`
+/// daemon.
 ///
 /// Prints a `mfcsld listening on <addr> …` line (flushed before the accept
 /// loop starts, so scripts can parse the ephemeral port), then blocks until
@@ -373,6 +374,7 @@ pub fn serve(flags: crate::args::ServeFlags) -> Result<String, CliError> {
         workers: flags.workers,
         queue_capacity: flags.queue,
         threads: flags.threads,
+        max_sessions: flags.max_sessions,
         allow_sleep: flags.allow_sleep,
     };
     let workers = config.workers;

@@ -33,7 +33,7 @@ USAGE:
   mfcsl csat <model.mf> --m0 <fractions> [--m0 <fractions>]... --theta <T> [--threads <N>] [--stats] \"<formula>\"...
   mfcsl trajectory <model.mf> --m0 <fractions> --t-end <T> [--points <N>]
   mfcsl fixed-points <model.mf>
-  mfcsl serve <model.mf | dir>... [--addr <host:port>] [--workers <N>] [--queue <N>] [--threads <N>]
+  mfcsl serve <model.mf | dir>... [--addr <host:port>] [--workers <N>] [--queue <N>] [--threads <N>] [--max-sessions <N>]
   mfcsl client <host:port> check <model> --m0 <fractions> [--fast] [--timeout-ms <T>] [--param k=v]... \"<formula>\"...
   mfcsl client <host:port> health|metrics|models|shutdown
 

@@ -50,17 +50,34 @@ impl From<std::io::Error> for HttpError {
     }
 }
 
+/// Largest accepted request line or header line, in bytes. Without this
+/// bound a client streaming an endless line (never sending `\n`) would make
+/// the server buffer it all in memory.
+const MAX_LINE: u64 = 8 * 1024;
+
+/// Reads one `\n`-terminated line of at most [`MAX_LINE`] bytes. Returns an
+/// empty string at EOF (mirroring `read_line`'s `Ok(0)`).
+fn read_bounded_line<R: BufRead>(reader: &mut R, what: &str) -> Result<String, HttpError> {
+    let mut line = String::new();
+    let n = reader.by_ref().take(MAX_LINE).read_line(&mut line)?;
+    if n as u64 >= MAX_LINE && !line.ends_with('\n') {
+        return Err(HttpError(format!(
+            "{what} exceeds the {MAX_LINE}-byte limit"
+        )));
+    }
+    Ok(line)
+}
+
 /// Reads one request from the stream.
 ///
 /// # Errors
 ///
-/// Fails on malformed request lines/headers, bodies larger than
-/// `max_body`, or transport errors (including read timeouts configured on
-/// the stream).
+/// Fails on malformed or over-long request lines/headers, bodies larger
+/// than `max_body`, or transport errors (including read timeouts configured
+/// on the stream).
 pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
     let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
+    let request_line = read_bounded_line(&mut reader, "request line")?;
     let mut parts = request_line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v)) if v.starts_with("HTTP/1") => (m.to_string(), p.to_string()),
@@ -69,8 +86,8 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     let mut headers = Vec::new();
     let mut content_length = 0usize;
     loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
+        let line = read_bounded_line(&mut reader, "header line")?;
+        if line.is_empty() {
             return Err(HttpError("connection closed mid-headers".into()));
         }
         let line = line.trim_end();
@@ -237,4 +254,56 @@ pub fn roundtrip(
         headers,
         body,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{SocketAddr, TcpListener};
+
+    /// Serves one connection with `read_request` while a client thread
+    /// writes `payload`, returning the parse outcome.
+    fn parse_payload(payload: Vec<u8>) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr: SocketAddr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            // The server may close mid-write once it hits a limit; that
+            // write error is the expected signal, not a test failure.
+            let _ = client.write_all(&payload);
+            let _ = client.flush();
+            client
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let outcome = read_request(&mut stream, 1 << 20);
+        drop(stream);
+        drop(writer.join());
+        outcome
+    }
+
+    #[test]
+    fn read_request_bounds_header_lines() {
+        let mut payload = b"GET / HTTP/1.1\r\nx-junk: ".to_vec();
+        payload.extend(std::iter::repeat_n(b'a', 16 * 1024));
+        let err = parse_payload(payload).unwrap_err();
+        assert!(err.to_string().contains("header line exceeds"), "{err}");
+    }
+
+    #[test]
+    fn read_request_bounds_the_request_line() {
+        let payload = vec![b'a'; 16 * 1024];
+        let err = parse_payload(payload).unwrap_err();
+        assert!(err.to_string().contains("request line exceeds"), "{err}");
+    }
+
+    #[test]
+    fn read_request_accepts_ordinary_requests() {
+        let request =
+            parse_payload(b"POST /v1/check HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi".to_vec())
+                .unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/v1/check");
+        assert_eq!(request.header("content-length"), Some("2"));
+        assert_eq!(request.body, b"hi");
+    }
 }

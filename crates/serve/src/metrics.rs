@@ -26,6 +26,9 @@ pub struct ServerMetrics {
     pub completed: AtomicU64,
     /// Requests answered `4xx` (bad body, unknown model/path, …).
     pub client_errors: AtomicU64,
+    /// Handler panics caught by the worker loop (each costs one
+    /// connection, never a worker).
+    pub panics: AtomicU64,
     /// Check requests that found their session warm.
     pub warm_hits: AtomicU64,
     /// Check requests that had to build a cold session.
@@ -67,6 +70,7 @@ impl ServerMetrics {
         engine: &EngineStats,
         pool: &PoolStats,
         sessions: usize,
+        sessions_evicted: u64,
         queue_depth: usize,
         queue_capacity: usize,
     ) -> String {
@@ -81,7 +85,9 @@ impl ServerMetrics {
         line(&mut out, "mfcsld_requests_timed_out_total", g(&self.timed_out).to_string());
         line(&mut out, "mfcsld_requests_completed_total", g(&self.completed).to_string());
         line(&mut out, "mfcsld_requests_client_errors_total", g(&self.client_errors).to_string());
+        line(&mut out, "mfcsld_worker_panics_total", g(&self.panics).to_string());
         line(&mut out, "mfcsld_sessions_warm", sessions.to_string());
+        line(&mut out, "mfcsld_sessions_evicted_total", sessions_evicted.to_string());
         line(&mut out, "mfcsld_session_warm_hits_total", g(&self.warm_hits).to_string());
         line(&mut out, "mfcsld_session_cold_starts_total", g(&self.cold_starts).to_string());
         line(&mut out, "mfcsld_queue_depth", queue_depth.to_string());
@@ -137,13 +143,15 @@ mod tests {
         m.accepted.fetch_add(4, Ordering::Relaxed);
         m.completed.fetch_add(3, Ordering::Relaxed);
         let pool = mfcsl_pool::ThreadPool::new(1);
-        let text = m.render(&EngineStats::default(), &pool.stats(), 2, 1, 32);
+        let text = m.render(&EngineStats::default(), &pool.stats(), 2, 5, 1, 32);
         assert!(text.contains("mfcsld_requests_accepted_total 4"), "{text}");
         assert!(text.contains("mfcsld_request_latency_us_bucket{le=\"100\"} 2"), "{text}");
         assert!(text.contains("mfcsld_request_latency_us_bucket{le=\"3160\"} 3"), "{text}");
         assert!(text.contains("mfcsld_request_latency_us_bucket{le=\"+Inf\"} 4"), "{text}");
         assert!(text.contains("mfcsld_request_latency_us_count 4"), "{text}");
         assert!(text.contains("mfcsld_sessions_warm 2"), "{text}");
+        assert!(text.contains("mfcsld_sessions_evicted_total 5"), "{text}");
+        assert!(text.contains("mfcsld_worker_panics_total 0"), "{text}");
         assert!(text.contains("mfcsld_queue_capacity 32"), "{text}");
         // Every line is `name value`.
         for l in text.lines() {

@@ -15,7 +15,7 @@
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -40,6 +40,19 @@ const READ_TIMEOUT: Duration = Duration::from_secs(10);
 /// between naps).
 const SLEEP_SLICE: Duration = Duration::from_millis(5);
 
+/// Upper bound on a request's `timeout_ms` (one hour). Client-supplied
+/// values are clamped here before the `Duration` conversion, which panics
+/// on overflow.
+const MAX_TIMEOUT_MS: f64 = 3_600_000.0;
+
+/// Upper bound on the debug `sleep_ms` field (one minute).
+const MAX_SLEEP_MS: f64 = 60_000.0;
+
+/// Most courtesy-rejection threads (writing `429` + draining) allowed at
+/// once; connections rejected beyond this are dropped outright so sustained
+/// overload cannot turn into unbounded thread churn.
+const MAX_REJECTS_IN_FLIGHT: usize = 32;
+
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -52,6 +65,9 @@ pub struct ServerConfig {
     /// Checking-pool lanes shared by all sessions (`0` → the machine's
     /// available parallelism).
     pub threads: usize,
+    /// Most warm sessions retained at once; beyond it the least recently
+    /// used session is evicted.
+    pub max_sessions: usize,
     /// Honor the debug `sleep_ms` request field (load tests only).
     pub allow_sleep: bool,
 }
@@ -63,6 +79,7 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             threads: 0,
+            max_sessions: 64,
             allow_sleep: false,
         }
     }
@@ -84,6 +101,8 @@ struct Shared {
     queue: Mutex<VecDeque<Pending>>,
     queue_signal: Condvar,
     shutdown: AtomicBool,
+    /// Courtesy-rejection threads currently writing a `429`.
+    rejects_in_flight: AtomicUsize,
     local_addr: SocketAddr,
 }
 
@@ -110,13 +129,14 @@ impl Server {
         });
         let shared = Arc::new(Shared {
             registry,
-            store: SessionStore::new(Arc::clone(&pool)),
+            store: SessionStore::new(Arc::clone(&pool), config.max_sessions),
             pool,
             metrics: ServerMetrics::new(),
             config,
             queue: Mutex::new(VecDeque::new()),
             queue_signal: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            rejects_in_flight: AtomicUsize::new(0),
             local_addr,
         });
         Ok(Server { listener, shared })
@@ -181,6 +201,16 @@ fn admit(shared: &Arc<Shared>, stream: TcpStream) {
         // admission. After writing the 429 the request bytes are drained
         // until the client closes: dropping a socket with unread data
         // sends a TCP reset, which would destroy the in-flight response.
+        // The courtesy threads are bounded: past the cap the connection is
+        // shed outright (the client sees a reset), because spawning one
+        // thread per rejection under sustained overload would amplify the
+        // very resource pressure the 429 signals.
+        if shared.rejects_in_flight.load(Ordering::Relaxed) >= MAX_REJECTS_IN_FLIGHT {
+            drop(stream);
+            return;
+        }
+        shared.rejects_in_flight.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
         std::thread::spawn(move || {
             let mut stream = stream;
             let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
@@ -199,6 +229,7 @@ fn admit(shared: &Arc<Shared>, stream: TcpStream) {
             let _ = stream.shutdown(std::net::Shutdown::Write);
             let mut sink = [0u8; 1024];
             while matches!(std::io::Read::read(&mut stream, &mut sink), Ok(n) if n > 0) {}
+            shared.rejects_in_flight.fetch_sub(1, Ordering::Relaxed);
         });
         return;
     }
@@ -232,7 +263,15 @@ fn worker_loop(shared: &Arc<Shared>) {
         let Some(pending) = pending else {
             return; // shutdown with an empty queue: drained.
         };
-        handle_connection(shared, pending);
+        // A panicking handler must cost one connection, not the worker: an
+        // unrecovered unwind here would silently shrink the worker pool
+        // until the daemon accepts but never serves.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            handle_connection(shared, pending);
+        }));
+        if outcome.is_err() {
+            shared.metrics.panics.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -264,6 +303,7 @@ fn handle_connection(shared: &Arc<Shared>, pending: Pending) {
                     &shared.store.merged_stats(),
                     &shared.pool.stats(),
                     shared.store.len(),
+                    shared.store.evicted(),
                     depth,
                     cap,
                 )
@@ -350,9 +390,15 @@ fn handle_check(
             }
         },
     };
-    let timeout_ms = body.get("timeout_ms").and_then(Json::as_f64);
-    let deadline = timeout_ms.map(|ms| enqueued_at + Duration::from_secs_f64(ms.max(0.0) / 1e3));
-    let sleep_ms = body.get("sleep_ms").and_then(Json::as_f64).unwrap_or(0.0);
+    let timeout_ms = match millis_field(&body, "timeout_ms", MAX_TIMEOUT_MS) {
+        Ok(v) => v,
+        Err(e) => return client_error(shared, stream, 400, &e),
+    };
+    let deadline = timeout_ms.map(|ms| enqueued_at + Duration::from_secs_f64(ms / 1e3));
+    let sleep_ms = match millis_field(&body, "sleep_ms", MAX_SLEEP_MS) {
+        Ok(v) => v.unwrap_or(0.0),
+        Err(e) => return client_error(shared, stream, 400, &e),
+    };
 
     // -- debug sleep (load tests), slice-wise so deadlines still fire ----
     if shared.config.allow_sleep && sleep_ms > 0.0 {
@@ -445,6 +491,22 @@ fn handle_check(
     shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
     shared.metrics.observe_latency(enqueued_at.elapsed());
     let _ = write_response(stream, 200, "application/json", &[], response.as_bytes());
+}
+
+/// Decodes an optional millisecond field. Non-numbers, negatives, and
+/// non-finite values (`1e999` parses to infinity) are rejected — fed raw to
+/// `Duration::from_secs_f64` they would panic and kill the worker — and
+/// finite values are clamped to `cap_ms`.
+fn millis_field(body: &Json, name: &str, cap_ms: f64) -> Result<Option<f64>, String> {
+    match body.get(name) {
+        None => Ok(None),
+        Some(v) => match v.as_f64() {
+            Some(ms) if ms.is_finite() && ms >= 0.0 => Ok(Some(ms.min(cap_ms))),
+            _ => Err(format!(
+                "`{name}` must be a finite non-negative number of milliseconds"
+            )),
+        },
+    }
 }
 
 fn past(deadline: Option<Instant>) -> bool {

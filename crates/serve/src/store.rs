@@ -4,12 +4,17 @@
 //! A [`CheckSession`] borrows its [`LocalModel`], which works for the CLI
 //! (one model, one invocation) but not for a daemon whose sessions must
 //! outlive any single request. [`WarmSession`] closes that gap: it owns the
-//! instantiated model in a [`Box`] (stable heap address) and pairs it with a
-//! session whose lifetime is unsafely erased to `'static`. The pairing is
-//! sound because the session is dropped strictly before the model (field
-//! declaration order) and because `WarmSession` only ever exposes delegating
-//! methods — the `'static` session can never be observed or moved out, so no
-//! reference outlives the box.
+//! instantiated model in an [`Arc`] (stable heap address, no aliasing claims
+//! on moves) and pairs it with a session whose lifetime is unsafely erased
+//! to `'static`. The pairing is sound because the session is dropped
+//! strictly before the model (field declaration order) and because
+//! `WarmSession` only ever exposes delegating methods — the `'static`
+//! session can never be observed or moved out, so no reference outlives the
+//! allocation.
+//!
+//! The store is bounded: at most `max_sessions` warm sessions are retained,
+//! with least-recently-used eviction, so clients posting ever-new parameter
+//! values cannot grow daemon memory without limit.
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
@@ -60,14 +65,18 @@ impl SessionKey {
 /// # Safety invariants
 ///
 /// * `session` is declared before `_model`, so it drops first;
-/// * `_model` is boxed and never mutated or replaced, so the `'static`
-///   reference inside `session` stays valid for the whole lifetime of the
-///   struct even when the struct itself moves;
+/// * the model lives in an [`Arc`] allocation whose address is stable and —
+///   unlike a `Box`, which asserts unique (`noalias`) access to its payload
+///   every time it moves — carries no aliasing claims when the `Arc` handle
+///   itself is moved, so the derived `'static` reference stays valid even as
+///   the struct moves;
+/// * the model is never mutated or replaced, and the `Arc` is never cloned
+///   out of the struct;
 /// * no method returns the session (or anything borrowing it with the
 ///   erased lifetime) — only owned results cross the boundary.
 pub struct WarmSession {
     session: CheckSession<'static>,
-    _model: Box<LocalModel>,
+    _model: Arc<LocalModel>,
 }
 
 impl std::fmt::Debug for WarmSession {
@@ -80,12 +89,12 @@ impl WarmSession {
     /// Builds a warm session over an owned model.
     #[must_use]
     pub fn new(model: LocalModel, fast: bool, pool: Arc<ThreadPool>) -> WarmSession {
-        let model = Box::new(model);
-        // SAFETY: the box's allocation outlives the session (drop order:
-        // `session` first) and is never moved out of or mutated; see the
+        let model = Arc::new(model);
+        // SAFETY: the Arc's allocation outlives the session (drop order:
+        // `session` first) and is never moved out of or mutated, and moving
+        // the Arc handle makes no aliasing claims on the payload; see the
         // struct-level invariants.
-        let model_ref: &'static LocalModel =
-            unsafe { &*std::ptr::from_ref::<LocalModel>(model.as_ref()) };
+        let model_ref: &'static LocalModel = unsafe { &*Arc::as_ptr(&model) };
         let session = if fast {
             CheckSession::with_tolerances(model_ref, Tolerances::fast())
         } else {
@@ -122,21 +131,47 @@ impl WarmSession {
     }
 }
 
+/// One retained session plus its recency stamp for LRU eviction.
+#[derive(Debug)]
+struct Entry {
+    session: Arc<WarmSession>,
+    last_used: u64,
+}
+
+/// Everything guarded by the store's one mutex.
+#[derive(Debug, Default)]
+struct StoreInner {
+    sessions: HashMap<SessionKey, Entry>,
+    /// Monotonic logical clock stamping `last_used`.
+    clock: u64,
+    /// Sessions evicted so far.
+    evicted: u64,
+    /// Engine counters of evicted sessions, folded in at eviction time so
+    /// `/metrics` totals stay monotonic across evictions.
+    retired: EngineStats,
+}
+
 /// The daemon-wide session store. `get_or_create` is the only entry point;
-/// it reports whether the request hit a warm session.
+/// it reports whether the request hit a warm session. The store holds at
+/// most `max_sessions` sessions, evicting the least recently used one to
+/// make room — in-flight requests keep their `Arc` to an evicted session,
+/// so eviction never invalidates a running check.
 #[derive(Debug)]
 pub struct SessionStore {
-    sessions: Mutex<HashMap<SessionKey, Arc<WarmSession>>>,
+    inner: Mutex<StoreInner>,
     pool: Arc<ThreadPool>,
+    max_sessions: usize,
 }
 
 impl SessionStore {
-    /// Creates an empty store whose sessions all share `pool`.
+    /// Creates an empty store whose sessions all share `pool`, retaining at
+    /// most `max_sessions` warm sessions (a value of `0` is treated as 1).
     #[must_use]
-    pub fn new(pool: Arc<ThreadPool>) -> SessionStore {
+    pub fn new(pool: Arc<ThreadPool>, max_sessions: usize) -> SessionStore {
         SessionStore {
-            sessions: Mutex::new(HashMap::new()),
+            inner: Mutex::new(StoreInner::default()),
             pool,
+            max_sessions: max_sessions.max(1),
         }
     }
 
@@ -158,9 +193,12 @@ impl SessionStore {
         registry: &ModelRegistry,
         key: &SessionKey,
     ) -> Result<(Arc<WarmSession>, bool), CoreError> {
-        let mut sessions = self.sessions.lock().expect("session store poisoned");
-        if let Some(existing) = sessions.get(key) {
-            return Ok((Arc::clone(existing), true));
+        let mut inner = self.inner.lock().expect("session store poisoned");
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some(existing) = inner.sessions.get_mut(key) {
+            existing.last_used = now;
+            return Ok((Arc::clone(&existing.session), true));
         }
         let file = registry.get(&key.model).ok_or_else(|| {
             CoreError::InvalidArgument(format!("unknown model `{}`", key.model))
@@ -172,14 +210,40 @@ impl SessionStore {
             .collect();
         let model = file.instantiate_with(&overrides)?;
         let session = Arc::new(WarmSession::new(model, key.fast, Arc::clone(&self.pool)));
-        sessions.insert(key.clone(), Arc::clone(&session));
+        if inner.sessions.len() >= self.max_sessions {
+            Self::evict_lru(&mut inner);
+        }
+        inner.sessions.insert(
+            key.clone(),
+            Entry {
+                session: Arc::clone(&session),
+                last_used: now,
+            },
+        );
         Ok((session, false))
+    }
+
+    /// Drops the least recently used session, folding its engine counters
+    /// into the retired totals.
+    fn evict_lru(inner: &mut StoreInner) {
+        let Some(victim) = inner
+            .sessions
+            .iter()
+            .min_by_key(|(_, entry)| entry.last_used)
+            .map(|(key, _)| key.clone())
+        else {
+            return;
+        };
+        if let Some(entry) = inner.sessions.remove(&victim) {
+            inner.retired.merge(&entry.session.stats());
+            inner.evicted += 1;
+        }
     }
 
     /// Number of sessions currently warm.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.sessions.lock().expect("session store poisoned").len()
+        self.inner.lock().expect("session store poisoned").sessions.len()
     }
 
     /// Whether the store holds no sessions yet.
@@ -188,13 +252,20 @@ impl SessionStore {
         self.len() == 0
     }
 
-    /// Merged engine counters over every warm session (for `/metrics`).
+    /// Number of sessions evicted since startup.
+    #[must_use]
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().expect("session store poisoned").evicted
+    }
+
+    /// Merged engine counters over every warm session plus every evicted
+    /// one (for `/metrics`; totals stay monotonic across evictions).
     #[must_use]
     pub fn merged_stats(&self) -> EngineStats {
-        let sessions = self.sessions.lock().expect("session store poisoned");
-        let mut total = EngineStats::default();
-        for session in sessions.values() {
-            total.merge(&session.stats());
+        let inner = self.inner.lock().expect("session store poisoned");
+        let mut total = inner.retired.clone();
+        for entry in inner.sessions.values() {
+            total.merge(&entry.session.stats());
         }
         total
     }
@@ -250,6 +321,55 @@ mod tests {
         }
         // All four checks shared one trajectory.
         assert_eq!(warm.stats().trajectory_solves, 1);
+    }
+
+    #[test]
+    fn store_evicts_least_recently_used_session() {
+        let dir = std::env::temp_dir().join(format!("mfcsl-store-lru-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("sis.mf"),
+            "state s : healthy\nstate i : infected\nparam beta = 2\n\
+             rate s -> i : beta * m[i]\nrate i -> s : 1\n",
+        )
+        .unwrap();
+        let reg = ModelRegistry::load(std::slice::from_ref(&dir)).unwrap();
+        let pool = Arc::new(ThreadPool::new(1));
+        let store = SessionStore::new(pool, 2);
+        let key = |beta: f64| {
+            SessionKey::new(
+                "sis",
+                &[("beta".to_string(), beta)].into_iter().collect(),
+                false,
+            )
+        };
+
+        let (first, warm) = store.get_or_create(&reg, &key(1.0)).unwrap();
+        assert!(!warm);
+        // Give the first session some engine history so eviction has
+        // counters to retire.
+        let psi = parse_formula("E{<0.9}[ infected ]").unwrap();
+        let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        first.check_all(std::slice::from_ref(&psi), &m0).unwrap();
+
+        assert!(!store.get_or_create(&reg, &key(2.0)).unwrap().1);
+        // Touch key 1 so key 2 becomes the LRU victim.
+        assert!(store.get_or_create(&reg, &key(1.0)).unwrap().1);
+        assert!(!store.get_or_create(&reg, &key(3.0)).unwrap().1);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.evicted(), 1);
+        // Key 2 was evicted, key 1 stayed warm.
+        assert!(store.get_or_create(&reg, &key(1.0)).unwrap().1);
+        assert!(!store.get_or_create(&reg, &key(2.0)).unwrap().1);
+        assert_eq!(store.evicted(), 2);
+        // Push key 1 out entirely: its engine counters must survive in the
+        // retired totals merged into `merged_stats`.
+        assert!(!store.get_or_create(&reg, &key(4.0)).unwrap().1);
+        assert!(!store.get_or_create(&reg, &key(5.0)).unwrap().1);
+        assert_eq!(store.len(), 2);
+        assert!(store.merged_stats().trajectory_solves >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

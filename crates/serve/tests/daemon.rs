@@ -217,6 +217,91 @@ fn daemon_applies_backpressure_and_deadlines() {
 }
 
 #[test]
+fn daemon_survives_hostile_requests() {
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+
+    // One worker: every hostile request below hits the same worker, so the
+    // final healthz proves none of them killed it.
+    let (addr, handle) = start_daemon(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let formulas = vec!["E{<0.3}[ infected ]".to_string()];
+
+    // `1e999` overflows f64 parsing to infinity; fed raw to
+    // `Duration::from_secs_f64` it would panic. Must be a clean 400.
+    for bad in [
+        r#""timeout_ms":1e999"#,
+        r#""timeout_ms":-5"#,
+        r#""timeout_ms":"soon""#,
+        r#""sleep_ms":1e999"#,
+    ] {
+        let body = format!(
+            r#"{{"model":"virus","m0":[0.8,0.15,0.05],"formulas":["E{{<0.3}}[ infected ]"],{bad}}}"#
+        );
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let resp =
+            mfcsl_serve::http::roundtrip(&mut stream, "POST", "/v1/check", body.as_bytes())
+                .unwrap();
+        assert_eq!(resp.status, 400, "{bad} → {}", resp.text());
+        assert!(
+            resp.text().contains("finite non-negative"),
+            "{bad} → {}",
+            resp.text()
+        );
+    }
+
+    // Absurd-but-finite timeouts are clamped (to 1h), never a panic.
+    let mut capped = CheckRequest::new("virus", &VIRUS_M0, &formulas);
+    capped.timeout_ms = Some(1e30);
+    assert!(client::post_check(&addr, &capped).unwrap().verdicts[0].holds);
+
+    // A header line with no newline is cut off at the line limit (the
+    // exact 400 is unit-tested in `http`); here the worker must shrug it
+    // off and keep serving.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nx-junk: ")
+        .unwrap();
+    let _ = stream.write_all(&vec![b'a'; 16 * 1024]);
+    let _ = stream.flush();
+    let mut reply = String::new();
+    let _ = stream.read_to_string(&mut reply);
+    drop(stream);
+
+    // The lone worker is still alive and serving.
+    assert_eq!(client::get_text(&addr, "/healthz").unwrap(), "ok\n");
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn daemon_evicts_sessions_beyond_the_cap() {
+    let (addr, handle) = start_daemon(ServerConfig {
+        max_sessions: 1,
+        ..ServerConfig::default()
+    });
+    let request = CheckRequest::new("virus", &VIRUS_M0, &virus_formulas());
+    assert!(!client::post_check(&addr, &request).unwrap().warm);
+    // A different key displaces the first session (cap is 1)…
+    let mut tweaked = request.clone();
+    tweaked.params.insert("k2".into(), 0.5);
+    assert!(!client::post_check(&addr, &tweaked).unwrap().warm);
+    // …so re-posting the first key is cold again, and the store stays at
+    // one session no matter how many keys clients invent.
+    assert!(!client::post_check(&addr, &request).unwrap().warm);
+    let metrics = client::get_text(&addr, "/metrics").unwrap();
+    assert!(metrics.contains("mfcsld_sessions_warm 1"), "{metrics}");
+    assert!(metrics.contains("mfcsld_sessions_evicted_total 2"), "{metrics}");
+    // Engine totals include the evicted sessions' work: three cold
+    // sessions each solved one trajectory.
+    assert!(metrics.contains("mfcsld_engine_trajectory_solves_total 3"), "{metrics}");
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
 fn concurrent_clients_get_identical_verdicts() {
     let (addr, handle) = start_daemon(ServerConfig {
         workers: 4,
