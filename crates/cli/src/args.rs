@@ -155,6 +155,8 @@ pub struct ServeFlags {
     pub max_sessions: usize,
     /// `--allow-sleep` (honor the debug `sleep_ms` request field).
     pub allow_sleep: bool,
+    /// `--allow-faults` (honor the chaos `fault` request field).
+    pub allow_faults: bool,
 }
 
 /// Parses `mfcsl serve` flags: positional model paths plus daemon knobs.
@@ -171,6 +173,7 @@ pub fn parse_serve(rest: &[String]) -> Result<ServeFlags, CliError> {
         threads: 0,
         max_sessions: 64,
         allow_sleep: false,
+        allow_faults: false,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -198,6 +201,10 @@ pub fn parse_serve(rest: &[String]) -> Result<ServeFlags, CliError> {
             }
             "--allow-sleep" => {
                 flags.allow_sleep = true;
+                i += 1;
+            }
+            "--allow-faults" => {
+                flags.allow_faults = true;
                 i += 1;
             }
             other if other.starts_with("--") => {

@@ -124,6 +124,19 @@ pub fn check(
             fast,
         ));
         out.push('\n');
+        if show_stats {
+            if let Some(r) = verdict.refinement() {
+                writeln!(
+                    out,
+                    "    refinement: {} round{}, final margin {:.3e}, {}",
+                    r.rounds,
+                    if r.rounds == 1 { "" } else { "s" },
+                    r.final_margin,
+                    if r.decided { "decided" } else { "budget exhausted" }
+                )
+                .expect("write to string");
+            }
+        }
     }
     if show_stats {
         out.push_str(&format_stats(&session.stats(), Some(&pool.stats()), alloc_base));
@@ -237,6 +250,18 @@ fn format_stats(
         stats.regime_solves, stats.regime_reuses
     )
     .expect("write to string");
+    writeln!(
+        out,
+        "  recoveries: {} ({} stiff fallbacks)",
+        stats.recoveries, stats.stiff_fallbacks
+    )
+    .expect("write to string");
+    writeln!(
+        out,
+        "  refined verdicts: {} ({} tightening rounds)",
+        stats.refined_verdicts, stats.refine_rounds
+    )
+    .expect("write to string");
     let c = &stats.cache;
     writeln!(
         out,
@@ -263,6 +288,7 @@ fn format_stats(
             match s.kind {
                 SolveKind::Fresh => "solve ",
                 SolveKind::Extension => "extend",
+                SolveKind::Refinement => "refine",
             },
             s.t_from,
             s.t_to,
@@ -376,6 +402,7 @@ pub fn serve(flags: crate::args::ServeFlags) -> Result<String, CliError> {
         threads: flags.threads,
         max_sessions: flags.max_sessions,
         allow_sleep: flags.allow_sleep,
+        allow_faults: flags.allow_faults,
     };
     let workers = config.workers;
     let queue = config.queue_capacity;
@@ -415,6 +442,7 @@ pub fn client_check(
         params: flags.params.clone(),
         timeout_ms: flags.timeout_ms,
         sleep_ms: None,
+        fault: None,
     };
     let outcome =
         mfcsl_serve::client::post_check(addr, &request).map_err(|e| CliError(e.to_string()))?;

@@ -62,3 +62,7 @@ pub mod occupancy;
 pub use error::CoreError;
 pub use local::{LocalModel, LocalModelBuilder};
 pub use occupancy::Occupancy;
+
+// Fault injection is configured by downstream layers (the daemon's chaos
+// hook, test suites) without depending on the ODE crate directly.
+pub use mfcsl_ode::fault::{FaultMode, FaultPlan};

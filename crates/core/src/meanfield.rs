@@ -13,8 +13,10 @@ use std::cell::RefCell;
 use mfcsl_csl::{CslError, LocalTvModel};
 use mfcsl_ctmc::inhomogeneous::TimeVaryingGenerator;
 use mfcsl_math::Matrix;
-use mfcsl_ode::dopri::{Dopri5, SolverWorkspace};
+use mfcsl_ode::dopri::SolverWorkspace;
+use mfcsl_ode::fault::{FaultPlan, FaultySystem};
 use mfcsl_ode::problem::OdeSystem;
+use mfcsl_ode::recover::solve_recovering;
 use mfcsl_ode::{OdeOptions, Trajectory};
 
 use crate::{CoreError, LocalModel, Occupancy};
@@ -189,7 +191,10 @@ impl<'a> OccupancyTrajectory<'a> {
         let t0 = self.t_end();
         let y0 = self.trajectory.eval(t0);
         let sys = MeanFieldSystem::new(self.model);
-        let tail = Dopri5::new(*options).solve_into(&sys, t0, t_end, &y0, workspace)?;
+        // Extensions ride the recovery ladder too (never fault-injected:
+        // faults apply to fresh solves, where the chaos suite exercises
+        // them); the tail's recovery counters sum into the trajectory's.
+        let tail = solve_recovering(&sys, t0, t_end, &y0, options, workspace)?.0;
         Ok(OccupancyTrajectory {
             model: self.model,
             trajectory: self.trajectory.extended_with(&tail)?,
@@ -272,6 +277,45 @@ pub fn solve_with<'a>(
     options: &OdeOptions,
     workspace: &mut SolverWorkspace,
 ) -> Result<OccupancyTrajectory<'a>, CoreError> {
+    solve_faulted_with(model, m0, t_end, options, None, workspace)
+}
+
+/// Like [`solve`] but optionally wraps the right-hand side in a seeded
+/// [`FaultySystem`] — the chaos-testing hook. With `fault == None` this is
+/// exactly [`solve`], bitwise.
+///
+/// # Errors
+///
+/// Same contract as [`solve`]; injected faults surface as the structured
+/// ODE errors they provoke (never a panic).
+pub fn solve_faulted<'a>(
+    model: &'a LocalModel,
+    m0: &Occupancy,
+    t_end: f64,
+    options: &OdeOptions,
+    fault: Option<FaultPlan>,
+) -> Result<OccupancyTrajectory<'a>, CoreError> {
+    solve_faulted_with(model, m0, t_end, options, fault, &mut SolverWorkspace::new())
+}
+
+/// Workspace-reusing variant of [`solve_faulted`]; the common
+/// implementation behind every fresh mean-field solve. Integration runs
+/// through the recovery ladder ([`mfcsl_ode::recover`]): plain Dopri5
+/// first (bitwise identical when healthy), then a relaxed controller, then
+/// the A-stable implicit trapezoid, with recoveries recorded in the
+/// trajectory's [`mfcsl_ode::SolveStats`].
+///
+/// # Errors
+///
+/// Same contract as [`solve`].
+pub fn solve_faulted_with<'a>(
+    model: &'a LocalModel,
+    m0: &Occupancy,
+    t_end: f64,
+    options: &OdeOptions,
+    fault: Option<FaultPlan>,
+    workspace: &mut SolverWorkspace,
+) -> Result<OccupancyTrajectory<'a>, CoreError> {
     let n = model.n_states();
     if m0.len() != n {
         return Err(CoreError::InvalidArgument(format!(
@@ -285,7 +329,13 @@ pub fn solve_with<'a>(
         )));
     }
     let sys = MeanFieldSystem::new(model);
-    let trajectory = Dopri5::new(*options).solve_into(&sys, 0.0, t_end, m0.as_slice(), workspace)?;
+    let trajectory = match fault {
+        None => solve_recovering(&sys, 0.0, t_end, m0.as_slice(), options, workspace)?.0,
+        Some(plan) => {
+            let faulty = FaultySystem::new(&sys, plan);
+            solve_recovering(&faulty, 0.0, t_end, m0.as_slice(), options, workspace)?.0
+        }
+    };
     Ok(OccupancyTrajectory { model, trajectory })
 }
 

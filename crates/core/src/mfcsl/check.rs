@@ -5,21 +5,37 @@ use mfcsl_csl::checker::{InhomogeneousChecker, ProbCurve};
 use mfcsl_csl::model::StationaryRegime;
 use mfcsl_csl::nested::PiecewiseStateSet;
 use mfcsl_csl::{homogeneous, PathFormula, SatCache, StateFormula, Tolerances};
+use mfcsl_ode::fault::FaultPlan;
 
 use crate::fixedpoint::{self, FixedPointOptions, Stability};
 use crate::meanfield::{self, OccupancyTrajectory, TrajectoryGenerator};
 use crate::mfcsl::syntax::MfFormula;
 use crate::{CoreError, LocalModel, Occupancy};
 
+/// How a marginal verdict was re-examined at tightened tolerances (the
+/// analysis engine's automatic refinement; see
+/// [`crate::mfcsl::CheckSession`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Refinement {
+    /// Tightening rounds performed (each halves rtol/atol and the margin).
+    pub rounds: u32,
+    /// The margin in force when refinement stopped.
+    pub final_margin: f64,
+    /// Whether the re-checked value left the tightened margin — i.e. the
+    /// verdict was decided — before the round budget ran out.
+    pub decided: bool,
+}
+
 /// The outcome of checking an MF-CSL formula.
 ///
 /// A verdict is *marginal* when some expectation landed within the
 /// numerical margin of its bound — the boolean answer is then only as
 /// trustworthy as the tolerances.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Verdict {
     holds: bool,
     marginal: bool,
+    refinement: Option<Refinement>,
 }
 
 impl Verdict {
@@ -36,10 +52,25 @@ impl Verdict {
         self.marginal
     }
 
+    /// The refinement record, when a marginal verdict was automatically
+    /// re-checked at tightened tolerances. `None` for verdicts that never
+    /// needed (or never went through) refinement.
+    #[must_use]
+    pub fn refinement(&self) -> Option<Refinement> {
+        self.refinement
+    }
+
+    /// Attaches a refinement record (the analysis engine's re-check).
+    pub(crate) fn with_refinement(mut self, refinement: Refinement) -> Self {
+        self.refinement = Some(refinement);
+        self
+    }
+
     fn decided(holds: bool) -> Self {
         Verdict {
             holds,
             marginal: false,
+            refinement: None,
         }
     }
 
@@ -47,6 +78,7 @@ impl Verdict {
         Verdict {
             holds: cmp.holds(value, p),
             marginal: (value - p).abs() <= margin,
+            refinement: None,
         }
     }
 }
@@ -80,6 +112,7 @@ pub struct Checker<'a> {
     tol: Tolerances,
     settle_time: f64,
     fp_options: FixedPointOptions,
+    fault: Option<FaultPlan>,
 }
 
 impl<'a> Checker<'a> {
@@ -91,6 +124,7 @@ impl<'a> Checker<'a> {
             tol: Tolerances::default(),
             settle_time: 200.0,
             fp_options: FixedPointOptions::default(),
+            fault: None,
         }
     }
 
@@ -102,6 +136,7 @@ impl<'a> Checker<'a> {
             tol,
             settle_time: 200.0,
             fp_options: FixedPointOptions::default(),
+            fault: None,
         }
     }
 
@@ -111,6 +146,35 @@ impl<'a> Checker<'a> {
     pub fn with_settle_time(mut self, settle_time: f64) -> Self {
         self.settle_time = settle_time;
         self
+    }
+
+    /// Installs a deterministic fault-injection plan on the mean-field
+    /// trajectory solves — the chaos-testing hook. Injected faults surface
+    /// as structured [`CoreError`]s, never panics. Production callers leave
+    /// this unset, in which case checking is bitwise identical to a checker
+    /// without the hook.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// The installed fault plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault
+    }
+
+    /// A copy of this checker with different tolerances (the refinement
+    /// re-check's checker: same model, settle time and fault hook).
+    pub(crate) fn retuned(&self, tol: Tolerances) -> Checker<'a> {
+        Checker {
+            model: self.model,
+            tol,
+            settle_time: self.settle_time,
+            fp_options: self.fp_options,
+            fault: self.fault,
+        }
     }
 
     /// The model under analysis.
@@ -156,6 +220,7 @@ impl<'a> Checker<'a> {
                 Ok(Verdict {
                     holds: !v.holds,
                     marginal: v.marginal,
+                    refinement: None,
                 })
             }
             MfFormula::And(a, b) => {
@@ -164,6 +229,7 @@ impl<'a> Checker<'a> {
                 Ok(Verdict {
                     holds: va.holds && vb.holds,
                     marginal: va.marginal || vb.marginal,
+                    refinement: None,
                 })
             }
             MfFormula::Or(a, b) => {
@@ -172,6 +238,7 @@ impl<'a> Checker<'a> {
                 Ok(Verdict {
                     holds: va.holds || vb.holds,
                     marginal: va.marginal || vb.marginal,
+                    refinement: None,
                 })
             }
             MfFormula::Expect { cmp, p, inner } => {
@@ -319,7 +386,7 @@ impl<'a> Checker<'a> {
         m0: &Occupancy,
         horizon: f64,
     ) -> Result<OccupancyTrajectory<'a>, CoreError> {
-        meanfield::solve(self.model, m0, horizon, &self.tol.ode)
+        meanfield::solve_faulted(self.model, m0, horizon, &self.tol.ode, self.fault)
     }
 
     /// Builds the CSL-layer local model, attaching the stationary regime

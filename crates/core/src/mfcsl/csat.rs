@@ -188,20 +188,32 @@ impl Checker<'_> {
             crossings.push(theta);
         }
 
-        // Assemble the breakpoint grid.
+        // Assemble the breakpoint grid. Non-finite breakpoints mean an
+        // upstream curve degenerated (e.g. a NaN sample); surface that as a
+        // structured error rather than silently mis-sorting or panicking.
         let mut breaks: Vec<(f64, BreakKind)> =
             vec![(0.0, BreakKind::Edge), (theta, BreakKind::Edge)];
         for &b in jump_points {
+            if !b.is_finite() {
+                return Err(CoreError::InvalidArgument(format!(
+                    "satisfaction-set jump point is not finite: {b}"
+                )));
+            }
             if b > 0.0 && b < theta {
                 breaks.push((b, BreakKind::Jump));
             }
         }
         for &c in &crossings {
+            if !c.is_finite() {
+                return Err(CoreError::InvalidArgument(format!(
+                    "threshold crossing is not finite: {c}"
+                )));
+            }
             if c >= 0.0 && c <= theta {
                 breaks.push((c, BreakKind::Crossing));
             }
         }
-        breaks.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        breaks.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Merge near-coincident breakpoints; a Jump wins over a Crossing.
         let mut merged: Vec<(f64, BreakKind)> = Vec::with_capacity(breaks.len());
         for (t, kind) in breaks {
@@ -413,6 +425,28 @@ mod tests {
         let psi = parse_formula("E{>0.1}[ infected ]").unwrap();
         let cs = checker.csat(&psi, &m0(), 0.0).unwrap();
         assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn nan_breakpoint_is_a_structured_error_not_a_panic() {
+        let model = sis();
+        let checker = Checker::new(&model);
+        let value = |_t: f64| 0.5;
+        // A NaN jump point must surface as InvalidArgument, never reach the
+        // sort (where partial_cmp would have panicked).
+        let err = checker
+            .threshold_intervals(&value, &[f64::NAN], Comparison::Lt, 0.7, 5.0)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidArgument(_)), "{err:?}");
+        let err = checker
+            .threshold_intervals(&value, &[f64::INFINITY], Comparison::Lt, 0.7, 5.0)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidArgument(_)), "{err:?}");
+        // Finite jump points still work.
+        let cs = checker
+            .threshold_intervals(&value, &[2.5], Comparison::Lt, 0.7, 5.0)
+            .unwrap();
+        assert_eq!(cs.measure(), 5.0);
     }
 
     #[test]

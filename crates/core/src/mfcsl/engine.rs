@@ -55,9 +55,12 @@ use mfcsl_pool::shard::ShardedMap;
 use mfcsl_pool::ThreadPool;
 
 use crate::meanfield::OccupancyTrajectory;
-use crate::mfcsl::check::{Checker, Verdict};
+use crate::mfcsl::check::{Checker, Refinement, Verdict};
 use crate::mfcsl::syntax::MfFormula;
 use crate::{CoreError, LocalModel, Occupancy};
+
+/// Maximum tightening rounds spent refining one marginal verdict.
+const MAX_REFINE_ROUNDS: u32 = 3;
 
 /// How a recorded mean-field ODE integration came about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,12 +69,14 @@ pub enum SolveKind {
     Fresh,
     /// An extension of an existing trajectory to a longer horizon.
     Extension,
+    /// A tightened-tolerance solve made while refining a marginal verdict.
+    Refinement,
 }
 
 /// One mean-field ODE integration performed by a session.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SolveRecord {
-    /// Fresh solve or extension.
+    /// Fresh solve, extension, or marginal-verdict refinement.
     pub kind: SolveKind,
     /// Integration start time (`0` for fresh solves, the previous horizon
     /// for extensions).
@@ -82,6 +87,11 @@ pub struct SolveRecord {
     pub ode_steps: usize,
     /// Right-hand-side evaluations in this integration.
     pub rhs_evals: usize,
+    /// Recovery-ladder rescues in this integration (see
+    /// [`mfcsl_ode::recover`]); zero for a healthy solve.
+    pub recoveries: usize,
+    /// Rescues that fell back to the A-stable implicit trapezoid.
+    pub stiff_fallbacks: usize,
     /// Wall-clock time of the integration.
     pub wall: Duration,
 }
@@ -103,6 +113,16 @@ pub struct EngineStats {
     pub regime_solves: u64,
     /// `ES` queries served by a cached stationary regime.
     pub regime_reuses: u64,
+    /// Integrations rescued by the recovery ladder (relaxed controller or
+    /// stiff fallback) instead of failing.
+    pub recoveries: u64,
+    /// Rescued integrations that used the A-stable implicit-trapezoid
+    /// fallback.
+    pub stiff_fallbacks: u64,
+    /// Marginal verdicts that entered automatic refinement.
+    pub refined_verdicts: u64,
+    /// Total tightening rounds run across all refined verdicts.
+    pub refine_rounds: u64,
     /// CSL-layer cache counters, aggregated over all trajectory entries.
     pub cache: CacheStats,
     /// Every ODE integration performed, in order of completion.
@@ -126,6 +146,10 @@ impl EngineStats {
         self.trajectory_reuses += other.trajectory_reuses;
         self.regime_solves += other.regime_solves;
         self.regime_reuses += other.regime_reuses;
+        self.recoveries += other.recoveries;
+        self.stiff_fallbacks += other.stiff_fallbacks;
+        self.refined_verdicts += other.refined_verdicts;
+        self.refine_rounds += other.refine_rounds;
         self.cache.set_hits += other.cache.set_hits;
         self.cache.set_misses += other.cache.set_misses;
         self.cache.curve_hits += other.cache.curve_hits;
@@ -195,6 +219,10 @@ pub struct CheckSession<'a> {
     trajectory_reuses: AtomicU64,
     regime_solves: AtomicU64,
     regime_reuses: AtomicU64,
+    recoveries: AtomicU64,
+    stiff_fallbacks: AtomicU64,
+    refined_verdicts: AtomicU64,
+    refine_rounds: AtomicU64,
     solves: Mutex<Vec<SolveRecord>>,
 }
 
@@ -226,6 +254,10 @@ impl<'a> CheckSession<'a> {
             trajectory_reuses: AtomicU64::new(0),
             regime_solves: AtomicU64::new(0),
             regime_reuses: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            stiff_fallbacks: AtomicU64::new(0),
+            refined_verdicts: AtomicU64::new(0),
+            refine_rounds: AtomicU64::new(0),
             solves: Mutex::new(Vec::new()),
         }
     }
@@ -260,18 +292,77 @@ impl<'a> CheckSession<'a> {
 
     /// Checks `m̄ ⊨ Ψ`, reusing every applicable cached artifact.
     ///
+    /// A verdict that comes back *marginal* — the compared value within the
+    /// numerical margin of its bound — is automatically re-checked at
+    /// tightened tolerances (rtol/atol and the margin halve each round, up
+    /// to [`MAX_REFINE_ROUNDS`] rounds) until it leaves the margin or the
+    /// budget runs out; the final verdict carries the
+    /// [`Refinement`](crate::mfcsl::Refinement) record. Non-marginal
+    /// verdicts are bitwise identical to a session without refinement.
+    ///
     /// # Errors
     ///
     /// See [`Checker::check`].
     pub fn check(&self, psi: &MfFormula, m0: &Occupancy) -> Result<Verdict, CoreError> {
-        let entry = self.ensure_trajectory(m0, psi.time_horizon())?;
+        let base = self.check_round(&self.checker, 0, psi, m0)?;
+        if !base.is_marginal() {
+            return Ok(base);
+        }
+        self.refine(psi, m0)
+    }
+
+    /// One round of [`CheckSession::check`]: round 0 is the base check
+    /// against the session's own checker and entry; rounds `>= 1` run a
+    /// retuned checker against that round's refinement entry. Stationary
+    /// regimes are tolerance-independent (fixed-point iteration, not ODE
+    /// integration), so every round shares the session's regime cache.
+    fn check_round(
+        &self,
+        checker: &Checker<'a>,
+        round: u32,
+        psi: &MfFormula,
+        m0: &Occupancy,
+    ) -> Result<Verdict, CoreError> {
+        let entry = self.ensure_trajectory_for(checker, round, m0, psi.time_horizon())?;
         let trajectory = entry.trajectory.read().unwrap();
         let mut tv = trajectory.local_tv_model()?;
         if psi.requires_stationary() {
             tv = tv.with_stationary(self.stationary_regime(m0)?)?;
         }
-        let csl = InhomogeneousChecker::with_tolerances(&tv, *self.checker.tolerances());
-        self.checker.eval(Some(&entry.cache), psi, &csl, m0)
+        let csl = InhomogeneousChecker::with_tolerances(&tv, *checker.tolerances());
+        checker.eval(Some(&entry.cache), psi, &csl, m0)
+    }
+
+    /// Re-checks a marginal verdict at progressively tightened tolerances.
+    /// Each round's trajectory and CSL memo tables are session entries of
+    /// their own, so re-refining the same formula (or refining another
+    /// marginal formula over the same `m̄(0)`) reuses them.
+    fn refine(&self, psi: &MfFormula, m0: &Occupancy) -> Result<Verdict, CoreError> {
+        self.refined_verdicts.fetch_add(1, Ordering::Relaxed);
+        let base_tol = *self.checker.tolerances();
+        let mut last = None;
+        let mut final_margin = base_tol.margin;
+        let mut rounds = 0;
+        for round in 1..=MAX_REFINE_ROUNDS {
+            let tol = tightened(&base_tol, round);
+            final_margin = tol.margin;
+            rounds = round;
+            self.refine_rounds.fetch_add(1, Ordering::Relaxed);
+            let checker = self.checker.retuned(tol);
+            let v = self.check_round(&checker, round, psi, m0)?;
+            let done = !v.is_marginal();
+            last = Some(v);
+            if done {
+                break;
+            }
+        }
+        // The loop always runs at least once, so `last` is set.
+        let last = last.unwrap_or_else(|| unreachable!("refinement runs at least one round"));
+        Ok(last.with_refinement(Refinement {
+            rounds,
+            final_margin,
+            decided: !last.is_marginal(),
+        }))
     }
 
     /// Checks a batch of formulas against one occupancy vector.
@@ -437,6 +528,10 @@ impl<'a> CheckSession<'a> {
             trajectory_reuses: self.trajectory_reuses.load(Ordering::Relaxed),
             regime_solves: self.regime_solves.load(Ordering::Relaxed),
             regime_reuses: self.regime_reuses.load(Ordering::Relaxed),
+            recoveries: self.recoveries.load(Ordering::Relaxed),
+            stiff_fallbacks: self.stiff_fallbacks.load(Ordering::Relaxed),
+            refined_verdicts: self.refined_verdicts.load(Ordering::Relaxed),
+            refine_rounds: self.refine_rounds.load(Ordering::Relaxed),
             cache,
             solves: self.solves.lock().unwrap().clone(),
         }
@@ -458,9 +553,28 @@ impl<'a> CheckSession<'a> {
         m0: &Occupancy,
         horizon: f64,
     ) -> Result<Arc<Entry<'a>>, CoreError> {
-        let key = occupancy_key(m0);
+        self.ensure_trajectory_for(&self.checker, 0, m0, horizon)
+    }
+
+    /// [`CheckSession::ensure_trajectory`] generalized over the checker and
+    /// refinement round. Base entries (round 0) are keyed by the occupancy
+    /// bit pattern alone; refinement entries append the round, so all keys
+    /// for one model differ in length or value and share the maps safely —
+    /// and the base entries stay bitwise pristine no matter how much
+    /// refinement happens.
+    fn ensure_trajectory_for(
+        &self,
+        checker: &Checker<'a>,
+        round: u32,
+        m0: &Occupancy,
+        horizon: f64,
+    ) -> Result<Arc<Entry<'a>>, CoreError> {
+        let mut key = occupancy_key(m0);
+        if round > 0 {
+            key.push(u64::from(round));
+        }
         if let Some(entry) = self.entries.get(&key) {
-            self.ensure_horizon(&entry, horizon)?;
+            self.ensure_horizon(&entry, horizon, checker)?;
             return Ok(entry);
         }
         let gate = self
@@ -469,21 +583,29 @@ impl<'a> CheckSession<'a> {
         let _guard = gate.lock().unwrap();
         if let Some(entry) = self.entries.get(&key) {
             drop(_guard);
-            self.ensure_horizon(&entry, horizon)?;
+            self.ensure_horizon(&entry, horizon, checker)?;
             return Ok(entry);
         }
         let start = Instant::now();
-        let trajectory = self.checker.solve_to(m0, horizon)?;
+        let trajectory = checker.solve_to(m0, horizon)?;
         let stats = trajectory.trajectory().stats();
-        self.solves.lock().unwrap().push(SolveRecord {
-            kind: SolveKind::Fresh,
+        self.record_solve(SolveRecord {
+            kind: if round == 0 {
+                SolveKind::Fresh
+            } else {
+                SolveKind::Refinement
+            },
             t_from: 0.0,
             t_to: trajectory.t_end(),
             ode_steps: stats.accepted,
             rhs_evals: stats.rhs_evals,
+            recoveries: stats.recoveries,
+            stiff_fallbacks: stats.stiff_fallbacks,
             wall: start.elapsed(),
         });
-        self.trajectory_solves.fetch_add(1, Ordering::Relaxed);
+        if round == 0 {
+            self.trajectory_solves.fetch_add(1, Ordering::Relaxed);
+        }
         let entry = Arc::new(Entry {
             trajectory: RwLock::new(trajectory),
             cache: SatCache::new(),
@@ -492,8 +614,15 @@ impl<'a> CheckSession<'a> {
         Ok(entry)
     }
 
-    /// Extends an existing entry's trajectory when `horizon` outgrows it.
-    fn ensure_horizon(&self, entry: &Entry<'a>, horizon: f64) -> Result<(), CoreError> {
+    /// Extends an existing entry's trajectory when `horizon` outgrows it,
+    /// integrating with the given checker's ODE options (the session's own
+    /// for base entries, the tightened ones for refinement entries).
+    fn ensure_horizon(
+        &self,
+        entry: &Entry<'a>,
+        horizon: f64,
+        checker: &Checker<'a>,
+    ) -> Result<(), CoreError> {
         {
             let trajectory = entry.trajectory.read().unwrap();
             if trajectory.t_end() >= horizon {
@@ -513,20 +642,46 @@ impl<'a> CheckSession<'a> {
         let start = Instant::now();
         let extended = trajectory
             .clone()
-            .extended_to(horizon, &self.checker.tolerances().ode)?;
+            .extended_to(horizon, &checker.tolerances().ode)?;
         let after = extended.trajectory().stats();
-        self.solves.lock().unwrap().push(SolveRecord {
+        self.record_solve(SolveRecord {
             kind: SolveKind::Extension,
             t_from,
             t_to: extended.t_end(),
             ode_steps: after.accepted - before.accepted,
             rhs_evals: after.rhs_evals - before.rhs_evals,
+            recoveries: after.recoveries - before.recoveries,
+            stiff_fallbacks: after.stiff_fallbacks - before.stiff_fallbacks,
             wall: start.elapsed(),
         });
         self.trajectory_extensions.fetch_add(1, Ordering::Relaxed);
         *trajectory = extended;
         Ok(())
     }
+
+    /// Appends one integration record and folds its recovery counters into
+    /// the session totals.
+    fn record_solve(&self, record: SolveRecord) {
+        if record.recoveries > 0 {
+            self.recoveries
+                .fetch_add(record.recoveries as u64, Ordering::Relaxed);
+        }
+        if record.stiff_fallbacks > 0 {
+            self.stiff_fallbacks
+                .fetch_add(record.stiff_fallbacks as u64, Ordering::Relaxed);
+        }
+        self.solves.lock().unwrap().push(record);
+    }
+}
+
+/// The tolerances in force after `round` halvings of rtol/atol and the
+/// marginality margin.
+fn tightened(tol: &Tolerances, round: u32) -> Tolerances {
+    let f = 0.5_f64.powi(i32::try_from(round).unwrap_or(i32::MAX));
+    let mut t = *tol;
+    t.ode = t.ode.with_tolerances(t.ode.rtol * f, t.ode.atol * f);
+    t.margin *= f;
+    t
 }
 
 /// Cache key of an initial occupancy: its exact bit pattern. Two vectors
@@ -575,18 +730,84 @@ mod tests {
         ];
         for psi in &psis {
             // A cold entry solves to the same horizon the uncached checker
-            // uses, so the verdicts are identical (not merely close).
+            // uses, so the base verdicts are identical (not merely close).
+            // The session additionally refines marginal verdicts, which the
+            // uncached checker never does; that difference shows up only in
+            // the refinement record, never in holds/marginal.
             let fresh = CheckSession::new(&model);
-            assert_eq!(
-                fresh.check(psi, &m0()).unwrap(),
-                checker.check(psi, &m0()).unwrap()
-            );
+            let plain = checker.check(psi, &m0()).unwrap();
+            let cached = fresh.check(psi, &m0()).unwrap();
+            assert_eq!(cached.holds(), plain.holds());
+            assert_eq!(cached.is_marginal(), plain.is_marginal());
+            assert_eq!(plain.refinement(), None);
+            assert_eq!(cached.refinement().is_some(), plain.is_marginal());
             // The shared warm session at least agrees on the verdict.
             let v = session.check(psi, &m0()).unwrap();
-            assert_eq!(v.holds(), checker.check(psi, &m0()).unwrap().holds());
+            assert_eq!(v.holds(), plain.holds());
             // Asking again is served from the caches, identically.
             assert_eq!(session.check(psi, &m0()).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn marginal_verdict_is_refined_to_budget() {
+        let model = sis();
+        let session = CheckSession::new(&model);
+        // E{>=0.1} at m0 = [0.9, 0.1]: the operator value is exactly the
+        // threshold, so no tolerance tightening can ever decide it.
+        let psi = parse_formula("E{>=0.1}[ infected ]").unwrap();
+        let v = session.check(&psi, &m0()).unwrap();
+        assert!(v.holds());
+        assert!(v.is_marginal());
+        let r = v.refinement().expect("marginal verdicts carry a record");
+        assert_eq!(r.rounds, MAX_REFINE_ROUNDS);
+        assert!(!r.decided);
+        // Three halvings of the default 1e-6 margin.
+        assert!((r.final_margin - 1.25e-7).abs() < 1e-20);
+        let stats = session.stats();
+        assert_eq!(stats.refined_verdicts, 1);
+        assert_eq!(stats.refine_rounds, u64::from(MAX_REFINE_ROUNDS));
+        // Refinement solves are recorded but don't count as fresh solves.
+        assert_eq!(stats.trajectory_solves, 1);
+        assert_eq!(
+            stats
+                .solves
+                .iter()
+                .filter(|s| s.kind == SolveKind::Refinement)
+                .count(),
+            MAX_REFINE_ROUNDS as usize
+        );
+    }
+
+    #[test]
+    fn refinement_decides_a_near_threshold_verdict() {
+        let model = sis();
+        let session = CheckSession::new(&model);
+        // Gap to the threshold is 8e-7: inside the default 1e-6 margin
+        // (marginal), outside the round-1 margin of 5e-7 (decided).
+        let psi = parse_formula("E{>=0.0999992}[ infected ]").unwrap();
+        let v = session.check(&psi, &m0()).unwrap();
+        assert!(v.holds());
+        assert!(!v.is_marginal());
+        let r = v.refinement().expect("refined verdicts carry a record");
+        assert_eq!(r.rounds, 1);
+        assert!(r.decided);
+        let stats = session.stats();
+        assert_eq!(stats.refined_verdicts, 1);
+        assert_eq!(stats.refine_rounds, 1);
+    }
+
+    #[test]
+    fn non_marginal_verdicts_skip_refinement() {
+        let model = sis();
+        let session = CheckSession::new(&model);
+        let psi = parse_formula("E{<0.5}[ infected ]").unwrap();
+        let v = session.check(&psi, &m0()).unwrap();
+        assert!(v.holds());
+        assert_eq!(v.refinement(), None);
+        let stats = session.stats();
+        assert_eq!(stats.refined_verdicts, 0);
+        assert_eq!(stats.refine_rounds, 0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod engine;
 pub mod parser;
 pub mod syntax;
 
-pub use check::{Checker, ECurve, EpCurve, Verdict};
+pub use check::{Checker, ECurve, EpCurve, Refinement, Verdict};
 pub use engine::{CheckSession, EngineStats, SolveKind, SolveRecord};
 pub use parser::parse_formula;
 pub use syntax::MfFormula;

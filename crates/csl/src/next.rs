@@ -14,8 +14,9 @@
 
 use mfcsl_ctmc::inhomogeneous::TimeVaryingGenerator;
 use mfcsl_math::Matrix;
-use mfcsl_ode::dopri::Dopri5;
 use mfcsl_ode::problem::FnSystem;
+use mfcsl_ode::recover::solve_recovering;
+use mfcsl_ode::SolverWorkspace;
 
 use crate::model::LocalTvModel;
 use crate::syntax::TimeInterval;
@@ -70,14 +71,17 @@ pub fn next_probabilities<G: TimeVaryingGenerator>(
             };
         });
         // Split at t + a to keep the integrand smooth per segment.
-        let solver = Dopri5::new(tol.ode);
-        let mid = solver.solve(&sys, t, t + interval.lo(), &[1.0, 0.0])?;
-        let final_leg = solver.solve(
+        let mut ws = SolverWorkspace::new();
+        let mid = solve_recovering(&sys, t, t + interval.lo(), &[1.0, 0.0], &tol.ode, &mut ws)?.0;
+        let final_leg = solve_recovering(
             &sys,
             t + interval.lo(),
             t + interval.hi(),
             &mid.final_state(),
-        )?;
+            &tol.ode,
+            &mut ws,
+        )?
+        .0;
         *out_s = final_leg.final_state()[1].clamp(0.0, 1.0);
     }
     Ok(out)

@@ -14,8 +14,8 @@
 use std::cell::RefCell;
 
 use mfcsl_math::Matrix;
-use mfcsl_ode::dopri::Dopri5;
-use mfcsl_ode::{OdeOptions, Trajectory};
+use mfcsl_ode::recover::solve_recovering;
+use mfcsl_ode::{OdeOptions, SolverWorkspace, Trajectory};
 
 use crate::{Ctmc, CtmcError};
 
@@ -283,7 +283,8 @@ pub fn forward_distribution<G: TimeVaryingGenerator>(
         n,
         slot: RefCell::new(QSlot::new(n)),
     };
-    Ok(Dopri5::new(*options).solve(&sys, t0, t1, pi0)?)
+    let mut ws = SolverWorkspace::new();
+    Ok(solve_recovering(&sys, t0, t1, pi0, options, &mut ws)?.0)
 }
 
 /// Solves the forward Kolmogorov equation (Eq. 5):
@@ -333,7 +334,8 @@ pub fn transition_matrix_trajectory<G: TimeVaryingGenerator>(
         slot: RefCell::new(QSlot::new(n)),
     };
     let identity_flat = Matrix::identity(n).into_vec();
-    Ok(Dopri5::new(*options).solve(&sys, 0.0, duration, &identity_flat)?)
+    let mut ws = SolverWorkspace::new();
+    Ok(solve_recovering(&sys, 0.0, duration, &identity_flat, options, &mut ws)?.0)
 }
 
 /// Solves the combined forward/backward equation (Eq. 6 / Eq. 12):
@@ -425,11 +427,15 @@ pub fn propagate_window_from<G: TimeVaryingGenerator>(
     };
     let cut = match tail {
         Some(tail) if tail.t_star.max(t_init) < t_end => tail.t_star.max(t_init),
-        _ => return Ok(Dopri5::new(*options).solve(&sys, t_init, t_end, initial.as_slice())?),
+        _ => {
+            let mut ws = SolverWorkspace::new();
+            return Ok(solve_recovering(&sys, t_init, t_end, initial.as_slice(), options, &mut ws)?.0);
+        }
     };
     let tail = tail.expect("checked above");
     // Head: the genuinely time-varying stretch, integrated as usual.
-    let head = Dopri5::new(*options).solve(&sys, t_init, cut, initial.as_slice())?;
+    let mut ws = SolverWorkspace::new();
+    let head = solve_recovering(&sys, t_init, cut, initial.as_slice(), options, &mut ws)?.0;
     // Tail: one uniformization of the frozen generator gives the constant
     // window value W = e^{Q(t_star)·T}.
     let mut q = Matrix::zeros(n, n);

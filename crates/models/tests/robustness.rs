@@ -1,0 +1,148 @@
+//! Robustness properties of the checking pipeline over the paper's
+//! Table II settings: hostile numerical inputs are structured errors, never
+//! panics, and with no fault injected the recovery-ladder engine answers
+//! bitwise identically to the plain uncached checker.
+
+use mfcsl_core::mfcsl::{parse_formula, CheckSession, Checker, MfFormula};
+use mfcsl_core::{CoreError, LocalModel, Occupancy};
+use mfcsl_csl::Tolerances;
+use mfcsl_models::virus;
+use proptest::prelude::*;
+
+fn setting(index: usize) -> LocalModel {
+    let (_, params, law) = virus::table2_settings()[index % 4];
+    virus::model(params, law).unwrap()
+}
+
+fn m0(infected: f64) -> Occupancy {
+    Occupancy::new(vec![1.0 - infected, 0.75 * infected, 0.25 * infected]).unwrap()
+}
+
+/// Tolerances that are invalid by construction: non-positive or NaN rtol /
+/// atol. (`+inf` is excluded — it is absurd but formally positive, so the
+/// solver accepts every step instead of failing.)
+const HOSTILE_TOLERANCES: [f64; 4] = [f64::NAN, 0.0, -1e-9, f64::NEG_INFINITY];
+
+/// Horizons outside the checker's documented domain.
+const HOSTILE_HORIZONS: [f64; 4] = [f64::NAN, -1.0, f64::INFINITY, f64::NEG_INFINITY];
+
+fn formulas(window: f64) -> Vec<MfFormula> {
+    [
+        "E{<0.5}[ infected ]".to_string(),
+        format!("EP{{>0}}[ tt U[0,{window}] infected ]"),
+        format!("EP{{<0.99}}[ not_infected U[0,{window}] infected ]"),
+    ]
+    .iter()
+    .map(|f| parse_formula(f).unwrap())
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A hostile rtol/atol pair — NaN, zero, negative — is rejected as a
+    /// structured [`CoreError`] on every Table II setting. The recovery
+    /// ladder must not retry it (an invalid argument stays invalid at any
+    /// tolerance), and nothing may panic.
+    #[test]
+    fn prop_hostile_tolerances_are_structured_errors(
+        which in 0usize..4,
+        bad_rtol in 0usize..4,
+        bad_atol in 0usize..4,
+        poison_rtol in proptest::bool::ANY,
+        infected in 0.05f64..0.6,
+        window in 0.5f64..4.0,
+    ) {
+        let model = setting(which);
+        let mut tol = Tolerances::default();
+        let (rtol, atol) = if poison_rtol {
+            (HOSTILE_TOLERANCES[bad_rtol], tol.ode.atol)
+        } else {
+            (tol.ode.rtol, HOSTILE_TOLERANCES[bad_atol])
+        };
+        // A small step budget keeps even a pathological-but-running solve
+        // from grinding; the error must come from validation anyway.
+        tol.ode = tol.ode.with_tolerances(rtol, atol).with_max_steps(2_000);
+        let session = CheckSession::from_checker(Checker::with_tolerances(&model, tol));
+        let m0 = m0(infected);
+        for psi in formulas(window) {
+            match session.check(&psi, &m0) {
+                Err(CoreError::InvalidArgument(_) | CoreError::Ode(_) | CoreError::Csl(_)) => {}
+                other => {
+                    return Err(TestCaseError(format!(
+                        "hostile tolerances must be a structured error, got {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// A hostile evaluation horizon — NaN, negative, infinite — is rejected
+    /// as a structured [`CoreError`] on every Table II setting, through
+    /// both the session and the plain checker.
+    #[test]
+    fn prop_hostile_horizons_are_structured_errors(
+        which in 0usize..4,
+        bad in 0usize..4,
+        infected in 0.05f64..0.6,
+    ) {
+        let model = setting(which);
+        let theta = HOSTILE_HORIZONS[bad];
+        let psi = parse_formula("E{<0.5}[ infected ]").unwrap();
+        let m0 = m0(infected);
+        let session = CheckSession::new(&model);
+        match session.csat(&psi, &m0, theta) {
+            Err(CoreError::InvalidArgument(_) | CoreError::Csl(_)) => {}
+            other => {
+                return Err(TestCaseError(format!(
+                    "hostile horizon {theta} must be a structured error, got {other:?}"
+                )));
+            }
+        }
+        match Checker::with_tolerances(&model, Tolerances::default())
+            .csat(&psi, &m0, theta)
+        {
+            Err(CoreError::InvalidArgument(_) | CoreError::Csl(_)) => {}
+            other => {
+                return Err(TestCaseError(format!(
+                    "hostile horizon {theta} must be a structured error, got {other:?}"
+                )));
+            }
+        }
+    }
+
+    /// With no fault plan installed the recovery-ladder engine is the
+    /// healthy engine: verdicts through the session match the plain
+    /// uncached checker (up to the session-only refinement record), and
+    /// the ladder's counters stay at zero — rung 1 runs the exact same
+    /// Dormand-Prince solve as before the ladder existed.
+    #[test]
+    fn prop_no_fault_ladder_is_bitwise_invisible(
+        which in 0usize..4,
+        infected in 0.05f64..0.6,
+        p in 0.05f64..0.95,
+        window in 0.5f64..4.0,
+    ) {
+        let model = setting(which);
+        let m0 = m0(infected);
+        let psis: Vec<MfFormula> = [
+            format!("E{{<{p}}}[ infected ]"),
+            format!("EP{{<{p}}}[ not_infected U[0,{window}] infected ]"),
+            format!("EP{{>0}}[ tt U[0,{window}] infected ]"),
+        ]
+        .iter()
+        .map(|f| parse_formula(f).unwrap())
+        .collect();
+        let plain = Checker::new(&model);
+        let session = CheckSession::new(&model);
+        let cached = session.check_all(&psis, &m0).unwrap();
+        for (psi, cached) in psis.iter().zip(&cached) {
+            let reference = plain.check(psi, &m0).unwrap();
+            prop_assert_eq!(cached.holds(), reference.holds(), "{}", psi);
+            prop_assert_eq!(cached.is_marginal(), reference.is_marginal(), "{}", psi);
+        }
+        let stats = session.stats();
+        prop_assert_eq!(stats.recoveries, 0);
+        prop_assert_eq!(stats.stiff_fallbacks, 0);
+    }
+}

@@ -17,6 +17,12 @@
 //! * [`stiff::ImplicitTrapezoid`] — an A-stable implicit method with Newton
 //!   iteration, the fallback for stiff rate regimes.
 //!
+//! [`recover::solve_recovering`] chains them into a **recovery ladder**
+//! (plain Dopri5 → relaxed controller → implicit trapezoid) that the
+//! checking pipeline uses for every trajectory solve, and [`fault`]
+//! provides a deterministic, seeded fault-injection wrapper for chaos
+//! testing that ladder.
+//!
 //! # Events
 //!
 //! [`events::EventLocator`] finds times where a scalar function of the state
@@ -50,14 +56,18 @@
 pub mod dopri;
 pub mod error;
 pub mod events;
+pub mod fault;
 pub mod fixed;
 pub mod options;
 pub mod problem;
+pub mod recover;
 pub mod solution;
 pub mod stiff;
 
 pub use dopri::SolverWorkspace;
 pub use error::OdeError;
+pub use fault::{FaultMode, FaultPlan, FaultySystem};
 pub use options::OdeOptions;
 pub use problem::{FnSystem, OdeSystem};
+pub use recover::{solve_recovering, Recovery};
 pub use solution::{SolveStats, Trajectory};

@@ -14,6 +14,12 @@ pub struct SolveStats {
     pub rejected: usize,
     /// Right-hand-side evaluations.
     pub rhs_evals: usize,
+    /// Integrations that only succeeded after at least one rung of the
+    /// recovery ladder (see [`crate::recover`]). Zero for a healthy solve.
+    pub recoveries: usize,
+    /// Integrations produced by the A-stable [`crate::stiff`] fallback, the
+    /// ladder's last rung. Always `<= recoveries`.
+    pub stiff_fallbacks: usize,
 }
 
 /// A dense ODE solution on `[t_start, t_end]`.
@@ -130,6 +136,16 @@ impl Trajectory {
         &self.curve
     }
 
+    /// Stamps this trajectory as produced by the recovery ladder: one
+    /// recovered integration, plus one stiff fallback when the implicit
+    /// trapezoid rung produced it.
+    pub(crate) fn mark_recovered(&mut self, stiff_fallback: bool) {
+        self.stats.recoveries += 1;
+        if stiff_fallback {
+            self.stats.stiff_fallbacks += 1;
+        }
+    }
+
     /// Appends `tail` (a solution segment starting exactly at this
     /// trajectory's `t_end`) and sums the integration statistics.
     ///
@@ -147,6 +163,8 @@ impl Trajectory {
             accepted: self.stats.accepted + tail.stats.accepted,
             rejected: self.stats.rejected + tail.stats.rejected,
             rhs_evals: self.stats.rhs_evals + tail.stats.rhs_evals,
+            recoveries: self.stats.recoveries + tail.stats.recoveries,
+            stiff_fallbacks: self.stats.stiff_fallbacks + tail.stats.stiff_fallbacks,
         };
         Ok(Trajectory {
             curve: self.curve.concat(&tail.curve)?,
@@ -169,6 +187,7 @@ mod tests {
                 accepted: 2,
                 rejected: 0,
                 rhs_evals: 12,
+                ..SolveStats::default()
             },
         )
         .unwrap()
@@ -206,6 +225,7 @@ mod tests {
                 accepted: 1,
                 rejected: 2,
                 rhs_evals: 7,
+                ..SolveStats::default()
             },
         )
         .unwrap();

@@ -5,6 +5,8 @@ use std::collections::BTreeMap;
 use std::net::TcpStream;
 use std::time::Duration;
 
+use mfcsl_core::FaultPlan;
+
 use crate::http::roundtrip;
 use crate::json::Json;
 
@@ -26,6 +28,9 @@ pub struct CheckRequest {
     /// Debug: ask the server to sleep before checking (needs
     /// `--allow-sleep` server-side; load tests only).
     pub sleep_ms: Option<f64>,
+    /// Chaos: seeded fault-injection plan for this request's session (needs
+    /// `--allow-faults` server-side; chaos tests only).
+    pub fault: Option<FaultPlan>,
 }
 
 impl CheckRequest {
@@ -40,6 +45,7 @@ impl CheckRequest {
             params: BTreeMap::new(),
             timeout_ms: None,
             sleep_ms: None,
+            fault: None,
         }
     }
 
@@ -73,6 +79,16 @@ impl CheckRequest {
         if let Some(ms) = self.sleep_ms {
             fields.push(("sleep_ms".to_string(), Json::Num(ms)));
         }
+        if let Some(plan) = self.fault {
+            fields.push((
+                "fault".to_string(),
+                Json::Obj(vec![
+                    ("mode".to_string(), Json::from(plan.mode.as_str())),
+                    ("period".to_string(), Json::Num(plan.period as f64)),
+                    ("seed".to_string(), Json::Num(plan.seed as f64)),
+                ]),
+            ));
+        }
         Json::Obj(fields).render()
     }
 }
@@ -86,6 +102,10 @@ pub struct WireVerdict {
     pub holds: bool,
     /// Whether the value was within the numerical margin of the bound.
     pub marginal: bool,
+    /// Whether the engine ran tightened-tolerance refinement rounds on a
+    /// marginal verdict (the response's `refinement` object carries the
+    /// full record).
+    pub refined: bool,
 }
 
 /// A successful check response.
@@ -112,6 +132,9 @@ pub enum ClientError {
         status: u16,
         /// The server's error message, if it sent one.
         message: String,
+        /// The machine-readable error code, when the server sent one
+        /// (`bad_request`, `queue_full`, `engine_numerical`, …).
+        code: Option<String>,
         /// `Retry-After` seconds, when the server sent the header.
         retry_after: Option<u64>,
     },
@@ -167,13 +190,16 @@ pub fn post_check(addr: &str, request: &CheckRequest) -> Result<CheckOutcome, Cl
     )
     .map_err(|e| ClientError::Io(e.to_string()))?;
     if response.status != 200 {
-        let message = Json::parse(&response.text())
-            .ok()
-            .and_then(|v| v.get("error").and_then(Json::as_str).map(str::to_string))
-            .unwrap_or_else(|| response.text());
+        let parsed = Json::parse(&response.text()).ok();
+        let field = |name: &str| {
+            parsed
+                .as_ref()
+                .and_then(|v| v.get(name).and_then(Json::as_str).map(str::to_string))
+        };
         return Err(ClientError::Status {
             status: response.status,
-            message,
+            message: field("error").unwrap_or_else(|| response.text()),
+            code: field("code"),
             retry_after: response
                 .header("retry-after")
                 .and_then(|v| v.parse().ok()),
@@ -191,6 +217,7 @@ pub fn post_check(addr: &str, request: &CheckRequest) -> Result<CheckOutcome, Cl
                 formula: v.get("formula")?.as_str()?.to_string(),
                 holds: v.get("holds")?.as_bool()?,
                 marginal: v.get("marginal")?.as_bool()?,
+                refined: v.get("refinement").is_some(),
             })
         })
         .collect::<Option<Vec<_>>>()
@@ -220,6 +247,7 @@ pub fn get_text(addr: &str, path: &str) -> Result<String, ClientError> {
         return Err(ClientError::Status {
             status: response.status,
             message: response.text(),
+            code: None,
             retry_after: None,
         });
     }
@@ -239,6 +267,7 @@ pub fn shutdown(addr: &str) -> Result<(), ClientError> {
         return Err(ClientError::Status {
             status: response.status,
             message: response.text(),
+            code: None,
             retry_after: None,
         });
     }

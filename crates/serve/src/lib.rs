@@ -7,6 +7,10 @@
 //! the memoizing engine's caches instead of re-solving trajectories.
 
 #![warn(missing_docs)]
+// Panic audit: production daemon code must not contain panic paths — a
+// panicking handler costs a connection, but a panic on a shared path (locks,
+// spawning, rendering) could cost the whole daemon. Tests are exempt.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
 pub mod http;

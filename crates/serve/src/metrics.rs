@@ -26,6 +26,9 @@ pub struct ServerMetrics {
     pub completed: AtomicU64,
     /// Requests answered `4xx` (bad body, unknown model/path, …).
     pub client_errors: AtomicU64,
+    /// Requests answered `500` because the engine itself failed (numerical
+    /// breakdown, exhausted recovery ladder) — never a worker death.
+    pub engine_errors: AtomicU64,
     /// Handler panics caught by the worker loop (each costs one
     /// connection, never a worker).
     pub panics: AtomicU64,
@@ -65,12 +68,14 @@ impl ServerMetrics {
     /// histogram (cumulative, Prometheus style), merged engine counters
     /// over all warm sessions, and pool occupancy.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn render(
         &self,
         engine: &EngineStats,
         pool: &PoolStats,
         sessions: usize,
         sessions_evicted: u64,
+        sessions_quarantined: u64,
         queue_depth: usize,
         queue_capacity: usize,
     ) -> String {
@@ -85,9 +90,11 @@ impl ServerMetrics {
         line(&mut out, "mfcsld_requests_timed_out_total", g(&self.timed_out).to_string());
         line(&mut out, "mfcsld_requests_completed_total", g(&self.completed).to_string());
         line(&mut out, "mfcsld_requests_client_errors_total", g(&self.client_errors).to_string());
+        line(&mut out, "mfcsld_requests_engine_errors_total", g(&self.engine_errors).to_string());
         line(&mut out, "mfcsld_worker_panics_total", g(&self.panics).to_string());
         line(&mut out, "mfcsld_sessions_warm", sessions.to_string());
         line(&mut out, "mfcsld_sessions_evicted_total", sessions_evicted.to_string());
+        line(&mut out, "mfcsld_sessions_quarantined_total", sessions_quarantined.to_string());
         line(&mut out, "mfcsld_session_warm_hits_total", g(&self.warm_hits).to_string());
         line(&mut out, "mfcsld_session_cold_starts_total", g(&self.cold_starts).to_string());
         line(&mut out, "mfcsld_queue_depth", queue_depth.to_string());
@@ -116,6 +123,10 @@ impl ServerMetrics {
         line(&mut out, "mfcsld_engine_trajectory_reuses_total", engine.trajectory_reuses.to_string());
         line(&mut out, "mfcsld_engine_regime_solves_total", engine.regime_solves.to_string());
         line(&mut out, "mfcsld_engine_regime_reuses_total", engine.regime_reuses.to_string());
+        line(&mut out, "mfcsld_engine_recoveries_total", engine.recoveries.to_string());
+        line(&mut out, "mfcsld_engine_stiff_fallbacks_total", engine.stiff_fallbacks.to_string());
+        line(&mut out, "mfcsld_engine_refined_verdicts_total", engine.refined_verdicts.to_string());
+        line(&mut out, "mfcsld_engine_refine_rounds_total", engine.refine_rounds.to_string());
         line(&mut out, "mfcsld_engine_sat_set_hits_total", engine.cache.set_hits.to_string());
         line(&mut out, "mfcsld_engine_sat_set_misses_total", engine.cache.set_misses.to_string());
         line(&mut out, "mfcsld_engine_curve_hits_total", engine.cache.curve_hits.to_string());
@@ -143,8 +154,12 @@ mod tests {
         m.accepted.fetch_add(4, Ordering::Relaxed);
         m.completed.fetch_add(3, Ordering::Relaxed);
         let pool = mfcsl_pool::ThreadPool::new(1);
-        let text = m.render(&EngineStats::default(), &pool.stats(), 2, 5, 1, 32);
+        let text = m.render(&EngineStats::default(), &pool.stats(), 2, 5, 1, 1, 32);
         assert!(text.contains("mfcsld_requests_accepted_total 4"), "{text}");
+        assert!(text.contains("mfcsld_sessions_quarantined_total 1"), "{text}");
+        assert!(text.contains("mfcsld_requests_engine_errors_total 0"), "{text}");
+        assert!(text.contains("mfcsld_engine_recoveries_total 0"), "{text}");
+        assert!(text.contains("mfcsld_engine_refined_verdicts_total 0"), "{text}");
         assert!(text.contains("mfcsld_request_latency_us_bucket{le=\"100\"} 2"), "{text}");
         assert!(text.contains("mfcsld_request_latency_us_bucket{le=\"3160\"} 3"), "{text}");
         assert!(text.contains("mfcsld_request_latency_us_bucket{le=\"+Inf\"} 4"), "{text}");

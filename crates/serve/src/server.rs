@@ -16,11 +16,11 @@
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use mfcsl_core::mfcsl::parse_formula;
-use mfcsl_core::Occupancy;
+use mfcsl_core::{CoreError, FaultMode, FaultPlan, Occupancy};
 use mfcsl_pool::ThreadPool;
 
 use crate::http::{read_request, write_response, Request};
@@ -70,6 +70,9 @@ pub struct ServerConfig {
     pub max_sessions: usize,
     /// Honor the debug `sleep_ms` request field (load tests only).
     pub allow_sleep: bool,
+    /// Honor the `fault` request field (chaos tests only). Off by default:
+    /// without the flag, fault requests get `400 faults_disabled`.
+    pub allow_faults: bool,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +84,7 @@ impl Default for ServerConfig {
             threads: 0,
             max_sessions: 64,
             allow_sleep: false,
+            allow_faults: false,
         }
     }
 }
@@ -161,9 +165,8 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("mfcsld-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
             })
-            .collect();
+            .collect::<std::io::Result<_>>()?;
 
         for incoming in self.listener.incoming() {
             let stream = match incoming {
@@ -191,9 +194,17 @@ impl Server {
     }
 }
 
+/// Acquires the admission queue's mutex. The queue holds plain connection
+/// handles with no invariants a panic mid-update could break, so a poisoned
+/// lock is recovered rather than propagated — one panicking handler must
+/// never wedge every worker.
+fn lock_queue(shared: &Shared) -> MutexGuard<'_, VecDeque<Pending>> {
+    shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Accept-time admission control: queue the connection or `429` it.
 fn admit(shared: &Arc<Shared>, stream: TcpStream) {
-    let mut queue = shared.queue.lock().expect("queue poisoned");
+    let mut queue = lock_queue(shared);
     if queue.len() >= shared.config.queue_capacity {
         drop(queue);
         shared.metrics.rejected.fetch_add(1, Ordering::Relaxed);
@@ -214,10 +225,10 @@ fn admit(shared: &Arc<Shared>, stream: TcpStream) {
         std::thread::spawn(move || {
             let mut stream = stream;
             let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-            let body = Json::Obj(vec![(
-                "error".into(),
-                Json::from("admission queue full, retry shortly"),
-            )])
+            let body = Json::Obj(vec![
+                ("error".into(), Json::from("admission queue full, retry shortly")),
+                ("code".into(), Json::from("queue_full")),
+            ])
             .render();
             let _ = write_response(
                 &mut stream,
@@ -245,7 +256,7 @@ fn admit(shared: &Arc<Shared>, stream: TcpStream) {
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let pending = {
-            let mut queue = shared.queue.lock().expect("queue poisoned");
+            let mut queue = lock_queue(shared);
             loop {
                 if let Some(p) = queue.pop_front() {
                     break Some(p);
@@ -256,8 +267,8 @@ fn worker_loop(shared: &Arc<Shared>) {
                 queue = shared
                     .queue_signal
                     .wait_timeout(queue, Duration::from_millis(200))
-                    .expect("queue poisoned")
-                    .0;
+                    .map(|(guard, _)| guard)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner().0);
             }
         };
         let Some(pending) = pending else {
@@ -285,7 +296,7 @@ fn handle_connection(shared: &Arc<Shared>, pending: Pending) {
         Ok(r) => r,
         Err(e) => {
             shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(&mut stream, 400, &e.to_string());
+            respond_error(&mut stream, 400, "bad_request", &e.to_string());
             return;
         }
     };
@@ -296,7 +307,7 @@ fn handle_connection(shared: &Arc<Shared>, pending: Pending) {
         ("GET", "/metrics") => {
             let body = {
                 let (depth, cap) = {
-                    let queue = shared.queue.lock().expect("queue poisoned");
+                    let queue = lock_queue(shared);
                     (queue.len(), shared.config.queue_capacity)
                 };
                 shared.metrics.render(
@@ -304,6 +315,7 @@ fn handle_connection(shared: &Arc<Shared>, pending: Pending) {
                     &shared.pool.stats(),
                     shared.store.len(),
                     shared.store.evicted(),
+                    shared.store.quarantined(),
                     depth,
                     cap,
                 )
@@ -337,6 +349,7 @@ fn handle_connection(shared: &Arc<Shared>, pending: Pending) {
             respond_error(
                 &mut stream,
                 404,
+                "not_found",
                 &format!("no route {} {}", request.method, request.path),
             );
         }
@@ -350,35 +363,39 @@ fn handle_check(
     request: &Request,
     enqueued_at: Instant,
 ) {
-    let client_error = |shared: &Shared, stream: &mut TcpStream, status: u16, message: &str| {
-        shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
-        respond_error(stream, status, message);
-    };
+    let client_error =
+        |shared: &Shared, stream: &mut TcpStream, status: u16, code: &str, message: &str| {
+            shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, status, code, message);
+        };
     let body = match std::str::from_utf8(&request.body)
         .map_err(|e| e.to_string())
         .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
     {
         Ok(v) => v,
-        Err(e) => return client_error(shared, stream, 400, &format!("bad JSON body: {e}")),
+        Err(e) => {
+            return client_error(shared, stream, 400, "bad_request", &format!("bad JSON body: {e}"))
+        }
     };
 
     // -- decode ----------------------------------------------------------
     let Some(model_name) = body.get("model").and_then(Json::as_str) else {
-        return client_error(shared, stream, 400, "missing string field `model`");
+        return client_error(shared, stream, 400, "bad_request", "missing string field `model`");
     };
     if shared.registry.get(model_name).is_none() {
         return client_error(
             shared,
             stream,
             404,
+            "unknown_model",
             &format!("unknown model `{model_name}`"),
         );
     }
     let Some(m0_values) = body.get("m0").and_then(Json::as_arr) else {
-        return client_error(shared, stream, 400, "missing array field `m0`");
+        return client_error(shared, stream, 400, "bad_request", "missing array field `m0`");
     };
     let Some(formula_texts) = body.get("formulas").and_then(Json::as_arr) else {
-        return client_error(shared, stream, 400, "missing array field `formulas`");
+        return client_error(shared, stream, 400, "bad_request", "missing array field `formulas`");
     };
     let fast = body.get("fast").and_then(Json::as_bool).unwrap_or(false);
     let overrides = match body.get("params") {
@@ -386,18 +403,28 @@ fn handle_check(
         Some(v) => match v.as_num_map() {
             Some(m) => m,
             None => {
-                return client_error(shared, stream, 400, "`params` must map names to numbers")
+                return client_error(
+                    shared,
+                    stream,
+                    400,
+                    "bad_request",
+                    "`params` must map names to numbers",
+                )
             }
         },
     };
+    let fault = match parse_fault(&body, shared.config.allow_faults) {
+        Ok(f) => f,
+        Err((code, message)) => return client_error(shared, stream, 400, code, &message),
+    };
     let timeout_ms = match millis_field(&body, "timeout_ms", MAX_TIMEOUT_MS) {
         Ok(v) => v,
-        Err(e) => return client_error(shared, stream, 400, &e),
+        Err(e) => return client_error(shared, stream, 400, "bad_request", &e),
     };
     let deadline = timeout_ms.map(|ms| enqueued_at + Duration::from_secs_f64(ms / 1e3));
     let sleep_ms = match millis_field(&body, "sleep_ms", MAX_SLEEP_MS) {
         Ok(v) => v.unwrap_or(0.0),
-        Err(e) => return client_error(shared, stream, 400, &e),
+        Err(e) => return client_error(shared, stream, 400, "bad_request", &e),
     };
 
     // -- debug sleep (load tests), slice-wise so deadlines still fire ----
@@ -421,32 +448,36 @@ fn handle_check(
         .and_then(|f| Occupancy::new(f).map_err(|e| e.to_string()))
     {
         Ok(m) => m,
-        Err(e) => return client_error(shared, stream, 400, &format!("bad `m0`: {e}")),
+        Err(e) => {
+            return client_error(shared, stream, 400, "bad_request", &format!("bad `m0`: {e}"))
+        }
     };
     let texts: Option<Vec<&str>> = formula_texts.iter().map(Json::as_str).collect();
     let Some(texts) = texts else {
-        return client_error(shared, stream, 400, "`formulas` must contain strings");
+        return client_error(shared, stream, 400, "bad_request", "`formulas` must contain strings");
     };
     if texts.is_empty() {
-        return client_error(shared, stream, 400, "`formulas` must not be empty");
+        return client_error(shared, stream, 400, "bad_request", "`formulas` must not be empty");
     }
     let psis: Result<Vec<_>, _> = texts.iter().map(|t| parse_formula(t)).collect();
     let psis = match psis {
         Ok(p) => p,
-        Err(e) => return client_error(shared, stream, 400, &format!("bad formula: {e}")),
+        Err(e) => {
+            return client_error(shared, stream, 400, "bad_request", &format!("bad formula: {e}"))
+        }
     };
 
     // -- resolve the warm session ----------------------------------------
-    let key = SessionKey::new(model_name, &overrides, fast);
+    let key = SessionKey::new(model_name, &overrides, fast, fault);
     let (session, warm) = match shared.store.get_or_create(&shared.registry, &key) {
         Ok(pair) => pair,
         Err(e) => {
-            let status = if e.to_string().contains("unknown model") {
-                404
+            let (status, code) = if e.to_string().contains("unknown model") {
+                (404, "unknown_model")
             } else {
-                400
+                (400, "bad_request")
             };
-            return client_error(shared, stream, status, &e.to_string());
+            return client_error(shared, stream, status, code, &e.to_string());
         }
     };
     if warm {
@@ -461,8 +492,24 @@ fn handle_check(
     // -- check ------------------------------------------------------------
     let started = Instant::now();
     let verdicts = match session.check_all(&psis, &m0) {
-        Ok(v) => v,
-        Err(e) => return client_error(shared, stream, 400, &e.to_string()),
+        Ok(v) => {
+            shared.store.record_success(&key);
+            v
+        }
+        Err(e) => {
+            // An engine failure on validated input is the daemon's problem,
+            // not the client's: answer 500 with a machine-readable code (the
+            // worker survives either way), and count the session toward
+            // quarantine so a poisoned cache cannot keep failing forever.
+            let (status, code) = classify_engine_error(&e);
+            if status >= 500 {
+                shared.metrics.engine_errors.fetch_add(1, Ordering::Relaxed);
+                shared.store.record_failure(&key);
+            } else {
+                shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            return respond_error(stream, status, code, &e.to_string());
+        }
     };
     let micros = started.elapsed().as_secs_f64() * 1e6;
 
@@ -472,11 +519,22 @@ fn handle_check(
         .iter()
         .zip(&verdicts)
         .map(|(psi, v)| {
-            Json::Obj(vec![
+            let mut fields = vec![
                 ("formula".into(), Json::Str(psi.to_string())),
                 ("holds".into(), Json::Bool(v.holds())),
                 ("marginal".into(), Json::Bool(v.is_marginal())),
-            ])
+            ];
+            if let Some(r) = v.refinement() {
+                fields.push((
+                    "refinement".into(),
+                    Json::Obj(vec![
+                        ("rounds".into(), Json::Num(f64::from(r.rounds))),
+                        ("final_margin".into(), Json::Num(r.final_margin)),
+                        ("decided".into(), Json::Bool(r.decided)),
+                    ]),
+                ));
+            }
+            Json::Obj(fields)
         })
         .collect();
     let response = Json::Obj(vec![
@@ -509,6 +567,80 @@ fn millis_field(body: &Json, name: &str, cap_ms: f64) -> Result<Option<f64>, Str
     }
 }
 
+/// Decodes the optional `fault` request object (chaos tests only):
+/// `{"mode": "nan"|"reject"|"stiffen", "period"?: n, "seed"?: n}`. Requires
+/// the daemon to run with fault injection enabled.
+fn parse_fault(
+    body: &Json,
+    allow_faults: bool,
+) -> Result<Option<FaultPlan>, (&'static str, String)> {
+    let Some(spec) = body.get("fault") else {
+        return Ok(None);
+    };
+    if !allow_faults {
+        return Err((
+            "faults_disabled",
+            "fault injection is disabled; start the daemon with --allow-faults".into(),
+        ));
+    }
+    let mode = spec
+        .get("mode")
+        .and_then(Json::as_str)
+        .and_then(FaultMode::parse)
+        .ok_or_else(|| {
+            (
+                "bad_request",
+                "`fault.mode` must be one of `nan`, `reject`, `stiffen`".to_string(),
+            )
+        })?;
+    let uint_field = |name: &str, default: u64| match spec.get(name) {
+        None => Ok(default),
+        Some(v) => match v.as_f64() {
+            Some(n) if n.is_finite() && n >= 0.0 && n <= 2f64.powi(53) && n.fract() == 0.0 => {
+                Ok(n as u64)
+            }
+            _ => Err((
+                "bad_request",
+                format!("`fault.{name}` must be a non-negative integer"),
+            )),
+        },
+    };
+    let period = uint_field("period", 1)?;
+    let seed = uint_field("seed", 0)?;
+    Ok(Some(FaultPlan::new(mode, period, seed)))
+}
+
+/// Maps a checking failure to `(status, code)`. Input-shaped errors that
+/// slipped past request validation stay `4xx`; anything numerical — the
+/// solver, the transient/uniformization layer, linear algebra — is the
+/// engine's own failure and must surface as `500`, never as a client fault
+/// and never as a dead worker.
+fn classify_engine_error(e: &CoreError) -> (u16, &'static str) {
+    use mfcsl_csl::CslError;
+    match e {
+        CoreError::UnknownState(_)
+        | CoreError::InvalidModel(_)
+        | CoreError::InvalidRate { .. }
+        | CoreError::Parse { .. }
+        | CoreError::InvalidArgument(_) => (400, "bad_request"),
+        CoreError::NoStationaryPoint(_) => (400, "no_stationary_point"),
+        // The CSL layer wraps both input-shaped complaints (a typo'd label,
+        // an unsupported fragment) and genuine numerical failures; only the
+        // latter are the daemon's fault.
+        CoreError::Csl(
+            CslError::UnknownAtomicProposition(_)
+            | CslError::Parse { .. }
+            | CslError::Unsupported(_)
+            | CslError::InvalidArgument(_),
+        ) => (400, "bad_request"),
+        CoreError::Csl(CslError::NoStationaryDistribution) => (400, "no_stationary_point"),
+        CoreError::Csl(CslError::Ctmc(_) | CslError::Ode(_) | CslError::Math(_))
+        | CoreError::Ctmc(_)
+        | CoreError::Ode(_)
+        | CoreError::Math(_) => (500, "engine_numerical"),
+    }
+}
+
 fn past(deadline: Option<Instant>) -> bool {
     deadline.is_some_and(|d| Instant::now() >= d)
 }
@@ -516,10 +648,14 @@ fn past(deadline: Option<Instant>) -> bool {
 fn timeout(shared: &Arc<Shared>, stream: &mut TcpStream, enqueued_at: Instant) {
     shared.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
     shared.metrics.observe_latency(enqueued_at.elapsed());
-    respond_error(stream, 504, "deadline exceeded");
+    respond_error(stream, 504, "deadline_exceeded", "deadline exceeded");
 }
 
-fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
-    let body = Json::Obj(vec![("error".into(), Json::from(message))]).render();
+fn respond_error(stream: &mut TcpStream, status: u16, code: &str, message: &str) {
+    let body = Json::Obj(vec![
+        ("error".into(), Json::from(message)),
+        ("code".into(), Json::from(code)),
+    ])
+    .render();
     let _ = write_response(stream, status, "application/json", &[], body.as_bytes());
 }

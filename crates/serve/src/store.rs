@@ -18,14 +18,19 @@
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use mfcsl_core::mfcsl::{CheckSession, EngineStats, MfFormula, Verdict};
-use mfcsl_core::{CoreError, LocalModel, Occupancy};
+use mfcsl_core::mfcsl::{CheckSession, Checker, EngineStats, MfFormula, Verdict};
+use mfcsl_core::{CoreError, FaultPlan, LocalModel, Occupancy};
 use mfcsl_csl::Tolerances;
 use mfcsl_pool::ThreadPool;
 
 use crate::registry::ModelRegistry;
+
+/// Consecutive engine failures after which a session is quarantined:
+/// dropped from the store so the next request rebuilds it from scratch
+/// with fresh caches.
+pub const QUARANTINE_THRESHOLD: u32 = 3;
 
 /// Identity of a warm session: which model, at which parameter values,
 /// under which tolerance preset.
@@ -42,12 +47,21 @@ pub struct SessionKey {
     pub params: Vec<(String, u64)>,
     /// Fast (loose) tolerance preset instead of the default.
     pub fast: bool,
+    /// Seeded fault-injection plan (chaos testing only). Part of the key so
+    /// a faulted request can never poison — or borrow the caches of — a
+    /// healthy session for the same model.
+    pub fault: Option<FaultPlan>,
 }
 
 impl SessionKey {
     /// Builds the key for a request.
     #[must_use]
-    pub fn new(model: &str, overrides: &BTreeMap<String, f64>, fast: bool) -> SessionKey {
+    pub fn new(
+        model: &str,
+        overrides: &BTreeMap<String, f64>,
+        fast: bool,
+        fault: Option<FaultPlan>,
+    ) -> SessionKey {
         SessionKey {
             model: model.to_string(),
             params: overrides
@@ -55,6 +69,7 @@ impl SessionKey {
                 .map(|(k, v)| (k.clone(), v.to_bits()))
                 .collect(),
             fast,
+            fault,
         }
     }
 }
@@ -86,21 +101,31 @@ impl std::fmt::Debug for WarmSession {
 }
 
 impl WarmSession {
-    /// Builds a warm session over an owned model.
+    /// Builds a warm session over an owned model, optionally wired with a
+    /// fault-injection plan (chaos testing only).
     #[must_use]
-    pub fn new(model: LocalModel, fast: bool, pool: Arc<ThreadPool>) -> WarmSession {
+    pub fn new(
+        model: LocalModel,
+        fast: bool,
+        fault: Option<FaultPlan>,
+        pool: Arc<ThreadPool>,
+    ) -> WarmSession {
         let model = Arc::new(model);
         // SAFETY: the Arc's allocation outlives the session (drop order:
         // `session` first) and is never moved out of or mutated, and moving
         // the Arc handle makes no aliasing claims on the payload; see the
         // struct-level invariants.
         let model_ref: &'static LocalModel = unsafe { &*Arc::as_ptr(&model) };
-        let session = if fast {
-            CheckSession::with_tolerances(model_ref, Tolerances::fast())
+        let tolerances = if fast {
+            Tolerances::fast()
         } else {
-            CheckSession::new(model_ref)
+            Tolerances::default()
+        };
+        let mut checker = Checker::with_tolerances(model_ref, tolerances);
+        if let Some(plan) = fault {
+            checker = checker.with_fault_plan(plan);
         }
-        .with_pool(pool);
+        let session = CheckSession::from_checker(checker).with_pool(pool);
         WarmSession {
             session,
             _model: model,
@@ -136,6 +161,9 @@ impl WarmSession {
 struct Entry {
     session: Arc<WarmSession>,
     last_used: u64,
+    /// Consecutive engine failures observed on this session; any success
+    /// resets it. Reaching [`QUARANTINE_THRESHOLD`] quarantines the session.
+    consecutive_failures: u32,
 }
 
 /// Everything guarded by the store's one mutex.
@@ -146,6 +174,8 @@ struct StoreInner {
     clock: u64,
     /// Sessions evicted so far.
     evicted: u64,
+    /// Sessions quarantined (dropped after repeated engine failures).
+    quarantined: u64,
     /// Engine counters of evicted sessions, folded in at eviction time so
     /// `/metrics` totals stay monotonic across evictions.
     retired: EngineStats,
@@ -193,7 +223,7 @@ impl SessionStore {
         registry: &ModelRegistry,
         key: &SessionKey,
     ) -> Result<(Arc<WarmSession>, bool), CoreError> {
-        let mut inner = self.inner.lock().expect("session store poisoned");
+        let mut inner = self.lock();
         inner.clock += 1;
         let now = inner.clock;
         if let Some(existing) = inner.sessions.get_mut(key) {
@@ -209,7 +239,12 @@ impl SessionStore {
             .map(|(k, bits)| (k.clone(), f64::from_bits(*bits)))
             .collect();
         let model = file.instantiate_with(&overrides)?;
-        let session = Arc::new(WarmSession::new(model, key.fast, Arc::clone(&self.pool)));
+        let session = Arc::new(WarmSession::new(
+            model,
+            key.fast,
+            key.fault,
+            Arc::clone(&self.pool),
+        ));
         if inner.sessions.len() >= self.max_sessions {
             Self::evict_lru(&mut inner);
         }
@@ -218,9 +253,40 @@ impl SessionStore {
             Entry {
                 session: Arc::clone(&session),
                 last_used: now,
+                consecutive_failures: 0,
             },
         );
         Ok((session, false))
+    }
+
+    /// Records an engine failure on `key`'s session. After
+    /// [`QUARANTINE_THRESHOLD`] consecutive failures the session is
+    /// quarantined: removed from the store (its counters fold into the
+    /// retired totals) so the next request for the same key rebuilds it
+    /// with fresh caches. Returns `true` when this call quarantined it.
+    pub fn record_failure(&self, key: &SessionKey) -> bool {
+        let mut inner = self.lock();
+        let Some(entry) = inner.sessions.get_mut(key) else {
+            return false;
+        };
+        entry.consecutive_failures += 1;
+        if entry.consecutive_failures < QUARANTINE_THRESHOLD {
+            return false;
+        }
+        if let Some(entry) = inner.sessions.remove(key) {
+            inner.retired.merge(&entry.session.stats());
+            inner.quarantined += 1;
+        }
+        true
+    }
+
+    /// Records a successful check on `key`'s session, resetting its
+    /// consecutive-failure count.
+    pub fn record_success(&self, key: &SessionKey) {
+        let mut inner = self.lock();
+        if let Some(entry) = inner.sessions.get_mut(key) {
+            entry.consecutive_failures = 0;
+        }
     }
 
     /// Drops the least recently used session, folding its engine counters
@@ -243,7 +309,7 @@ impl SessionStore {
     /// Number of sessions currently warm.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("session store poisoned").sessions.len()
+        self.lock().sessions.len()
     }
 
     /// Whether the store holds no sessions yet.
@@ -255,19 +321,33 @@ impl SessionStore {
     /// Number of sessions evicted since startup.
     #[must_use]
     pub fn evicted(&self) -> u64 {
-        self.inner.lock().expect("session store poisoned").evicted
+        self.lock().evicted
+    }
+
+    /// Number of sessions quarantined since startup.
+    #[must_use]
+    pub fn quarantined(&self) -> u64 {
+        self.lock().quarantined
     }
 
     /// Merged engine counters over every warm session plus every evicted
     /// one (for `/metrics`; totals stay monotonic across evictions).
     #[must_use]
     pub fn merged_stats(&self) -> EngineStats {
-        let inner = self.inner.lock().expect("session store poisoned");
+        let inner = self.lock();
         let mut total = inner.retired.clone();
         for entry in inner.sessions.values() {
             total.merge(&entry.session.stats());
         }
         total
+    }
+
+    /// Acquires the store mutex. The guarded state is a cache of plain
+    /// counters and `Arc`s with no invariants that a panic mid-update could
+    /// break, so a poisoned lock is recovered rather than propagated — the
+    /// daemon must not die because one handler thread panicked.
+    fn lock(&self) -> MutexGuard<'_, StoreInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -289,7 +369,7 @@ mod tests {
     #[test]
     fn warm_session_checks_and_survives_moves() {
         let pool = Arc::new(ThreadPool::new(2));
-        let warm = WarmSession::new(sis_model(), false, pool);
+        let warm = WarmSession::new(sis_model(), false, None, pool);
         // Move the struct (heap model address must stay valid).
         let warm = Box::new(warm);
         let warm = *warm;
@@ -303,7 +383,7 @@ mod tests {
     #[test]
     fn warm_session_is_shared_across_threads() {
         let pool = Arc::new(ThreadPool::new(2));
-        let warm = Arc::new(WarmSession::new(sis_model(), false, pool));
+        let warm = Arc::new(WarmSession::new(sis_model(), false, None, pool));
         let psi = parse_formula("E{<0.4}[ infected ]").unwrap();
         let m0 = Occupancy::new(vec![0.9, 0.1]).unwrap();
         let handles: Vec<_> = (0..4)
@@ -342,6 +422,7 @@ mod tests {
                 "sis",
                 &[("beta".to_string(), beta)].into_iter().collect(),
                 false,
+                None,
             )
         };
 
@@ -374,12 +455,61 @@ mod tests {
 
     #[test]
     fn session_keys_distinguish_params_and_tolerances() {
-        let base = SessionKey::new("sis", &BTreeMap::new(), false);
-        let fast = SessionKey::new("sis", &BTreeMap::new(), true);
-        let tweaked =
-            SessionKey::new("sis", &[("beta".to_string(), 3.0)].into_iter().collect(), false);
+        let base = SessionKey::new("sis", &BTreeMap::new(), false, None);
+        let fast = SessionKey::new("sis", &BTreeMap::new(), true, None);
+        let tweaked = SessionKey::new(
+            "sis",
+            &[("beta".to_string(), 3.0)].into_iter().collect(),
+            false,
+            None,
+        );
+        let faulted = SessionKey::new(
+            "sis",
+            &BTreeMap::new(),
+            false,
+            Some(FaultPlan::new(mfcsl_core::FaultMode::Nan, 1, 7)),
+        );
         assert_ne!(base, fast);
         assert_ne!(base, tweaked);
-        assert_eq!(base, SessionKey::new("sis", &BTreeMap::new(), false));
+        assert_ne!(base, faulted, "a faulted request must never share a healthy session");
+        assert_eq!(base, SessionKey::new("sis", &BTreeMap::new(), false, None));
+    }
+
+    #[test]
+    fn repeated_failures_quarantine_and_rebuild_a_session() {
+        let dir = std::env::temp_dir().join(format!("mfcsl-store-qrt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("sis.mf"),
+            "state s : healthy\nstate i : infected\nparam beta = 2\n\
+             rate s -> i : beta * m[i]\nrate i -> s : 1\n",
+        )
+        .unwrap();
+        let reg = ModelRegistry::load(std::slice::from_ref(&dir)).unwrap();
+        let pool = Arc::new(ThreadPool::new(1));
+        let store = SessionStore::new(pool, 4);
+        let key = SessionKey::new("sis", &BTreeMap::new(), false, None);
+
+        let (_, warm) = store.get_or_create(&reg, &key).unwrap();
+        assert!(!warm);
+        // Successes keep resetting the consecutive-failure count.
+        assert!(!store.record_failure(&key));
+        store.record_success(&key);
+        assert!(!store.record_failure(&key));
+        assert!(!store.record_failure(&key));
+        assert_eq!(store.quarantined(), 0);
+        // The third *consecutive* failure quarantines.
+        assert!(store.record_failure(&key));
+        assert_eq!(store.quarantined(), 1);
+        assert_eq!(store.len(), 0);
+        // A failure on an already-quarantined (absent) key is a no-op.
+        assert!(!store.record_failure(&key));
+        assert_eq!(store.quarantined(), 1);
+        // The next request rebuilds the session cold.
+        let (_, warm) = store.get_or_create(&reg, &key).unwrap();
+        assert!(!warm, "quarantined session must be rebuilt, not reused");
+        assert_eq!(store.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -302,6 +302,94 @@ fn daemon_evicts_sessions_beyond_the_cap() {
 }
 
 #[test]
+fn fault_requests_need_the_opt_in_flag() {
+    // Without --allow-faults, a fault request is refused up front with a
+    // machine-readable code — it must never reach the engine.
+    let (addr, handle) = start_daemon(ServerConfig::default());
+    let mut request = CheckRequest::new("virus", &VIRUS_M0, &virus_formulas());
+    request.fault = Some(mfcsl_core::FaultPlan::new(mfcsl_core::FaultMode::Nan, 1, 7));
+    match client::post_check(&addr, &request) {
+        Err(ClientError::Status { status, code, .. }) => {
+            assert_eq!(status, 400);
+            assert_eq!(code.as_deref(), Some("faults_disabled"));
+        }
+        other => panic!("expected 400 faults_disabled, got {other:?}"),
+    }
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn chaos_faults_give_structured_errors_quarantine_and_no_dead_workers() {
+    // One worker: every request funnels through it, so surviving the whole
+    // chaos run proves engine failures never kill a worker.
+    let (addr, handle) = start_daemon(ServerConfig {
+        workers: 1,
+        allow_faults: true,
+        ..ServerConfig::default()
+    });
+    // A time-bounded path formula forces a trajectory solve over [0, 2],
+    // so the injected NaN actually reaches the integrator.
+    let horizon_formula = vec!["EP{>0}[ tt U[0,2] infected ]".to_string()];
+    let mut poisoned = CheckRequest::new("virus", &VIRUS_M0, &horizon_formula);
+    poisoned.fault = Some(mfcsl_core::FaultPlan::new(mfcsl_core::FaultMode::Nan, 1, 7));
+    let healthy = CheckRequest::new("virus", &VIRUS_M0, &horizon_formula);
+
+    // Interleave repeated engine failures with healthy traffic: faulted
+    // requests are 500s with a machine-readable code (a validated request
+    // that fails is the daemon's problem, not the client's), while the
+    // healthy session — a different key — keeps answering throughout.
+    for round in 0..4 {
+        match client::post_check(&addr, &poisoned) {
+            Err(ClientError::Status { status, code, message, .. }) => {
+                assert_eq!(status, 500, "round {round}: {message}");
+                assert_eq!(code.as_deref(), Some("engine_numerical"), "round {round}");
+            }
+            other => panic!("round {round}: expected 500 engine_numerical, got {other:?}"),
+        }
+        assert!(
+            client::post_check(&addr, &healthy).unwrap().verdicts[0].holds,
+            "healthy traffic must keep flowing during the chaos run"
+        );
+    }
+
+    let metrics = client::get_text(&addr, "/metrics").unwrap();
+    // Three consecutive failures quarantine the poisoned session; the
+    // fourth request rebuilt it from scratch (visible as a second cold
+    // start for its key).
+    assert!(metrics.contains("mfcsld_sessions_quarantined_total 1"), "{metrics}");
+    assert!(metrics.contains("mfcsld_requests_engine_errors_total 4"), "{metrics}");
+    assert!(metrics.contains("mfcsld_worker_panics_total 0"), "{metrics}");
+    assert!(metrics.contains("mfcsld_requests_completed_total 4"), "{metrics}");
+    // The lone worker is still alive.
+    assert_eq!(client::get_text(&addr, "/healthz").unwrap(), "ok\n");
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn marginal_verdicts_carry_a_refinement_record_on_the_wire() {
+    let (addr, handle) = start_daemon(ServerConfig::default());
+    // The expectation at t=0 is exactly the infected mass (s2 + s3 = 0.2),
+    // so bounding it by its own value is maximally marginal: the engine
+    // refines through its whole round budget and reports that in the
+    // response.
+    let request = CheckRequest::new("virus", &VIRUS_M0, &["E{>=0.2}[ infected ]".to_string()]);
+    let outcome = client::post_check(&addr, &request).unwrap();
+    assert!(outcome.verdicts[0].marginal, "{:?}", outcome.verdicts);
+    assert!(outcome.verdicts[0].refined, "{:?}", outcome.verdicts);
+    // A comfortably non-marginal verdict carries no refinement record.
+    let plain = CheckRequest::new("virus", &VIRUS_M0, &["E{<0.5}[ infected ]".to_string()]);
+    let outcome = client::post_check(&addr, &plain).unwrap();
+    assert!(!outcome.verdicts[0].marginal);
+    assert!(!outcome.verdicts[0].refined);
+    let metrics = client::get_text(&addr, "/metrics").unwrap();
+    assert!(metrics.contains("mfcsld_engine_refined_verdicts_total 1"), "{metrics}");
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
 fn concurrent_clients_get_identical_verdicts() {
     let (addr, handle) = start_daemon(ServerConfig {
         workers: 4,

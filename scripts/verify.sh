@@ -18,7 +18,14 @@
 #      CLI, reports warm-cache hits in /metrics on the second batch,
 #      applies 429 backpressure when its admission queue is full, and
 #      drains cleanly on shutdown;
-#   7. a smoke run of the serving load benchmark with schema validation
+#   7. a chaos smoke test: a fresh --allow-faults daemon is fed a mix of
+#      healthy requests and seeded NaN fault-injection requests; every
+#      failure must be a structured error with a machine-readable code,
+#      the poisoned session must be quarantined, healthy verdicts must
+#      stay correct, and no worker may die;
+#   8. a panic-audit lint of the daemon library (clippy::unwrap_used /
+#      clippy::expect_used denied outside tests);
+#   9. a smoke run of the serving load benchmark with schema validation
 #      of BENCH_serve.json.
 #
 # Usage: scripts/verify.sh
@@ -29,9 +36,11 @@ cd "$(dirname "$0")/.."
 tmpdir="$(mktemp -d -t mfcsl_verify.XXXXXX)"
 serve_pid=""
 slow_pid=""
+chaos_pid=""
 cleanup() {
     [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
     [ -n "$slow_pid" ] && kill "$slow_pid" 2>/dev/null || true
+    [ -n "$chaos_pid" ] && kill "$chaos_pid" 2>/dev/null || true
     rm -rf "$tmpdir"
 }
 trap cleanup EXIT
@@ -222,6 +231,90 @@ EOF
 "$mfcsl" client "$slow_addr" shutdown > /dev/null
 wait "$slow_pid"
 slow_pid=""
+
+echo "== mfcsld chaos smoke =="
+# A dedicated --allow-faults daemon (so the counters asserted above are
+# undisturbed): interleave seeded NaN fault-injection requests with
+# healthy ones. Every failure must be a structured JSON error with a
+# machine-readable code, the poisoned session must be quarantined, the
+# healthy verdicts must keep matching the offline CLI, and no worker may
+# die.
+"$mfcsl" serve modelfiles/virus.mf --addr 127.0.0.1:0 \
+    --workers 1 --allow-faults > "$tmpdir/chaos.log" &
+chaos_pid=$!
+for _ in $(seq 100); do
+    grep -q "mfcsld listening on" "$tmpdir/chaos.log" 2>/dev/null && break
+    sleep 0.1
+done
+chaos_addr="$(awk '/mfcsld listening on/ {print $4; exit}' "$tmpdir/chaos.log")"
+[ -n "$chaos_addr" ] || { echo "chaos daemon never announced its address"; exit 1; }
+
+python3 - "$chaos_addr" <<'EOF'
+import json, socket, sys
+
+host, port = sys.argv[1].rsplit(":", 1)
+
+def post(payload):
+    body = json.dumps(payload).encode()
+    s = socket.create_connection((host, int(port)), timeout=30)
+    s.sendall(
+        b"POST /v1/check HTTP/1.1\r\nHost: mfcsld\r\nContent-Length: "
+        + str(len(body)).encode() + b"\r\nConnection: close\r\n\r\n" + body
+    )
+    buf = b""
+    while True:
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        buf += chunk
+    s.close()
+    head, _, resp_body = buf.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(resp_body)
+
+# The faulted formula must carry a time horizon so the injected NaN
+# actually reaches the integrator (a bare E operator never integrates).
+formulas = ["EP{>0}[ tt U[0,2] infected ]"]
+healthy = {"model": "virus", "m0": [0.8, 0.15, 0.05], "formulas": formulas}
+poisoned = dict(healthy, fault={"mode": "nan", "period": 1, "seed": 7})
+
+status, body = post(healthy)
+assert status == 200, (status, body)
+reference = body["verdicts"]
+
+for round_no in range(4):
+    status, body = post(poisoned)
+    assert status == 500, f"fault round {round_no}: {status} {body}"
+    assert body.get("code") == "engine_numerical", body
+    assert body.get("error"), body
+    status, body = post(healthy)
+    assert status == 200, f"healthy round {round_no}: {status} {body}"
+    assert body["verdicts"] == reference, body
+
+print("4 injected faults -> structured engine_numerical errors; healthy verdicts unchanged")
+EOF
+
+"$mfcsl" client "$chaos_addr" metrics > "$tmpdir/chaos_metrics.txt"
+grep -q "^mfcsld_worker_panics_total 0$" "$tmpdir/chaos_metrics.txt" || {
+    echo "chaos run killed a worker:"; cat "$tmpdir/chaos_metrics.txt"; exit 1; }
+grep -q "^mfcsld_requests_engine_errors_total 4$" "$tmpdir/chaos_metrics.txt" || {
+    echo "expected 4 engine errors:"; cat "$tmpdir/chaos_metrics.txt"; exit 1; }
+quarantined="$(awk '/^mfcsld_sessions_quarantined_total/ {print $2}' "$tmpdir/chaos_metrics.txt")"
+[ "${quarantined:-0}" -ge 1 ] || {
+    echo "expected at least one quarantined session:"; cat "$tmpdir/chaos_metrics.txt"; exit 1; }
+"$mfcsl" client "$chaos_addr" health | grep -q ok || {
+    echo "chaos daemon unhealthy after fault storm"; exit 1; }
+echo "chaos storm survived: 0 worker deaths, $quarantined session(s) quarantined"
+
+"$mfcsl" client "$chaos_addr" shutdown > /dev/null
+wait "$chaos_pid"
+chaos_pid=""
+
+echo "== panic audit (mfcsl-serve) =="
+# The daemon library carries #![warn(clippy::unwrap_used, expect_used)]
+# outside tests; denying warnings here turns any new panic path into a
+# verification failure.
+cargo clippy -p mfcsl-serve --lib --release -- -D warnings
 
 echo "== bench_serve smoke =="
 serve_bench_out="$tmpdir/bench_serve_smoke.json"
