@@ -24,9 +24,12 @@
 //! kernels (mean-field solve, Eq. 5 matrix transient, Eq. 6 window
 //! propagation with and without the steady-regime uniformization hand-off)
 //! and — via the counting allocator installed in this binary — their
-//! allocation counts and peak heap growth. It writes a separate
-//! `BENCH_solver.json` so the schema of `BENCH_check.json` stays stable
-//! for downstream comparisons.
+//! allocation counts and peak heap growth. It also times the large-`K`
+//! sparse lane on the bounded-queue model (`K ∈ {64, 256}` in smoke mode,
+//! plus `K = 1024` in full runs): GMRES steady state and the vector-path
+//! until, whose `peak_bytes` must stay below one dense `K × K` matrix.
+//! It writes a separate `BENCH_solver.json` so the schema of
+//! `BENCH_check.json` stays stable for downstream comparisons.
 //!
 //! Both reports are stamped with the git revision and the machine's
 //! available parallelism. `--baseline <path>` compares the serial
@@ -81,7 +84,7 @@ struct WorkloadReport {
 
 /// One timed hot-loop kernel of the solver workload.
 struct KernelReport {
-    name: &'static str,
+    name: String,
     description: String,
     wall_seconds: f64,
     rhs_evals: usize,
@@ -322,7 +325,7 @@ fn render_json(reports: &[WorkloadReport], smoke: bool) -> String {
 /// `f` returns the `(rhs_evals, accepted_steps)` counters reported by the
 /// solver statistics of whatever it integrated.
 fn timed_kernel(
-    name: &'static str,
+    name: impl Into<String>,
     description: String,
     f: impl FnOnce() -> (usize, usize),
 ) -> KernelReport {
@@ -332,7 +335,7 @@ fn timed_kernel(
     let wall_seconds = start.elapsed().as_secs_f64();
     let d = alloc_counter::delta(base);
     KernelReport {
-        name,
+        name: name.into(),
         description,
         wall_seconds,
         rhs_evals,
@@ -453,6 +456,76 @@ fn solver_workload(smoke: bool) -> Vec<KernelReport> {
             stats_of(&traj)
         },
     ));
+
+    // Large-K sparse-lane kernels on the bounded-queue model: steady state
+    // through GMRES on the CSC generator and the vector-path until, the two
+    // solves the dense lane cannot reach at these sizes. `peak_bytes` is
+    // the headline number — it must stay below one dense K×K matrix
+    // (8·K² bytes), demonstrating the lane runs in O(nnz) memory.
+    let caps: &[usize] = if smoke { &[64, 256] } else { &[64, 256, 1024] };
+    for &k in caps {
+        let params = mfcsl_models::queueing::Params {
+            cap: k - 1,
+            ..mfcsl_models::queueing::default_params()
+        };
+        let qmodel = mfcsl_models::queueing::model(params).expect("valid params");
+        let m0 = Occupancy::unit(k, 0).expect("valid occupancy");
+        let horizon = 1.0;
+        // The mean-field solve and model plumbing stay outside the
+        // brackets: the kernels charge only the sparse solves themselves.
+        let sol = meanfield::solve(&qmodel, &m0, horizon, &opts).expect("solves");
+        let frozen_m = sol.occupancy_at(horizon);
+
+        kernels.push(timed_kernel(
+            format!("sparse_steady_k{k}"),
+            format!(
+                "stationary distribution of the K = {k} bounded-queue chain frozen at the \
+                 t = {horizon} occupancy: CSC assembly + bordered GMRES (power-iteration \
+                 fallback), never materializing the dense generator"
+            ),
+            || {
+                let (from, to) = qmodel.sparsity();
+                let mut rates = vec![0.0; from.len()];
+                qmodel.write_rates_at(&frozen_m, &mut rates);
+                let triplets: Vec<(usize, usize, f64)> = from
+                    .iter()
+                    .zip(to)
+                    .zip(&rates)
+                    .map(|((&f, &t), &r)| (f, t, r))
+                    .collect();
+                let chain = mfcsl_ctmc::sparse::SparseCtmc::from_triplets(k, &triplets)
+                    .expect("valid chain");
+                let pi = mfcsl_ctmc::steady::steady_state_sparse(&chain).expect("converges");
+                assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                (0, 0)
+            },
+        ));
+
+        let tv = sol.local_tv_model().expect("valid model");
+        let sat2 = tv.sat_ap("congested").expect("labeled");
+        kernels.push(timed_kernel(
+            format!("sparse_until_k{k}"),
+            format!(
+                "EP[ tt U[0,0.8] congested ] on the K = {k} bounded-queue trajectory via the \
+                 vector-path backward solve: one length-K payload through the sparse \
+                 time-varying generator instead of a K x K matrix transient"
+            ),
+            || {
+                let interval = mfcsl_csl::TimeInterval::new(0.0, 0.8).expect("valid interval");
+                let p = mfcsl_csl::until::until_probabilities_sparse(
+                    &tv,
+                    &vec![true; k],
+                    &sat2,
+                    interval,
+                    &mfcsl_csl::Tolerances::default(),
+                )
+                .expect("solves")
+                .expect("sparse lane engages at this size");
+                assert_eq!(p.len(), k);
+                (0, 0)
+            },
+        ));
+    }
 
     kernels
 }

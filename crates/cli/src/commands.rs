@@ -300,6 +300,17 @@ fn format_stats(
     }
     let total_rhs: usize = stats.solves.iter().map(|s| s.rhs_evals).sum();
     writeln!(out, "  ode rhs evaluations: {total_rhs} total").expect("write to string");
+    if !stats.kernel_allocs.is_empty() {
+        out.push_str("  kernel heap peaks (resident matrix bytes above kernel entry):\n");
+        for k in &stats.kernel_allocs {
+            writeln!(
+                out,
+                "    {}: {} peak bytes ({} allocations)",
+                k.kernel, k.peak_bytes, k.allocations
+            )
+            .expect("write to string");
+        }
+    }
     if alloc_counter::installed() {
         let d = alloc_counter::delta(alloc_base);
         writeln!(

@@ -48,8 +48,9 @@ USAGE:
   identical at any thread count). csat accepts --m0 repeatedly and sweeps
   every formula over all initial occupancies in parallel. --stats prints
   the session's cache counters, per-solve timings with RHS-evaluation
-  counts, the command's allocation count, and the pool's per-thread task
-  counts.
+  counts, the command's allocation count, per-kernel heap peaks (the
+  resident matrix bytes each check/csat kernel held), and the pool's
+  per-thread task counts.
 
   serve runs the mfcsld batch-checking daemon over the given models; it
   keeps sessions warm per (model, params, tolerances) and answers with

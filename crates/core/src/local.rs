@@ -54,6 +54,15 @@ pub struct LocalModel {
     names: Vec<String>,
     labeling: Labeling,
     transitions: Vec<Transition>,
+    /// The off-diagonal sparsity pattern of `Q(m̄)`: unique `(from, to)`
+    /// pairs in first-appearance order, precomputed at build time so the
+    /// sparse checking lane can query the topology without evaluating any
+    /// rate function.
+    pattern_from: Vec<usize>,
+    pattern_to: Vec<usize>,
+    /// Per transition, the index of its `(from, to)` pair in the pattern
+    /// (duplicate pairs accumulate into one slot).
+    pattern_slot: Vec<usize>,
 }
 
 impl LocalModel {
@@ -158,6 +167,78 @@ impl LocalModel {
             }
             qs[i * n + i] = -row_sum;
         }
+    }
+
+    /// The fixed off-diagonal transition topology of `Q(m̄)`: parallel
+    /// `(from, to)` slices with every pair unique, in first-appearance
+    /// order. Every off-diagonal entry outside the pattern is zero at
+    /// every occupancy — this is what lets the checking pipeline run
+    /// matrix-free at large `K`.
+    #[must_use]
+    pub fn sparsity(&self) -> (&[usize], &[usize]) {
+        (&self.pattern_from, &self.pattern_to)
+    }
+
+    /// Writes the off-diagonal rates at occupancy `m̄` into `rates`, in the
+    /// order of [`LocalModel::sparsity`]'s pattern, with the same clamping
+    /// as [`LocalModel::write_generator_at`] (non-finite and non-positive
+    /// evaluations contribute zero; duplicate pairs accumulate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates.len()` differs from the pattern length or
+    /// `m.len() != K`.
+    pub fn write_rates_at(&self, m: &Occupancy, rates: &mut [f64]) {
+        assert_eq!(m.len(), self.n_states(), "occupancy has wrong dimension");
+        assert_eq!(
+            rates.len(),
+            self.pattern_from.len(),
+            "rate buffer has wrong length"
+        );
+        rates.fill(0.0);
+        for (tr, &slot) in self.transitions.iter().zip(&self.pattern_slot) {
+            let rate = (tr.rate)(m);
+            if rate.is_finite() && rate > 0.0 {
+                rates[slot] += rate;
+            }
+        }
+    }
+
+    /// The forward-reachable closure of `support` under the transition
+    /// topology (regardless of rate values — a superset of the states any
+    /// trajectory starting in `support` can occupy), sorted ascending.
+    /// On-the-fly satisfaction sets are evaluated over this closure only.
+    ///
+    /// Out-of-range seed states are ignored.
+    #[must_use]
+    pub fn reachable_closure(&self, support: &[usize]) -> Vec<usize> {
+        let n = self.n_states();
+        let mut seen = vec![false; n];
+        let mut queue: Vec<usize> = Vec::new();
+        for &s in support {
+            if s < n && !seen[s] {
+                seen[s] = true;
+                queue.push(s);
+            }
+        }
+        // Adjacency from the unique pattern, bucketed by source state.
+        let mut heads = vec![Vec::new(); n];
+        for (&f, &t) in self.pattern_from.iter().zip(&self.pattern_to) {
+            heads[f].push(t);
+        }
+        let mut cursor = 0;
+        while cursor < queue.len() {
+            let s = queue[cursor];
+            cursor += 1;
+            for &t in &heads[s] {
+                if !seen[t] {
+                    seen[t] = true;
+                    queue.push(t);
+                }
+            }
+        }
+        queue.sort_unstable();
+        queue
     }
 
     /// The time-homogeneous chain frozen at occupancy `m̄` — the object the
@@ -344,10 +425,31 @@ impl LocalModelBuilder {
                 labeling.add(s, l.clone());
             }
         }
+        // Precompute the off-diagonal sparsity pattern. K and the
+        // transition count are both small enough here that a linear scan
+        // per transition is fine (build runs once).
+        let mut pattern_from = Vec::new();
+        let mut pattern_to = Vec::new();
+        let mut pattern_slot = Vec::with_capacity(transitions.len());
+        for tr in &transitions {
+            let slot = pattern_from
+                .iter()
+                .zip(&pattern_to)
+                .position(|(&f, &t)| f == tr.from && t == tr.to)
+                .unwrap_or_else(|| {
+                    pattern_from.push(tr.from);
+                    pattern_to.push(tr.to);
+                    pattern_from.len() - 1
+                });
+            pattern_slot.push(slot);
+        }
         Ok(LocalModel {
             names: self.names,
             labeling,
             transitions,
+            pattern_from,
+            pattern_to,
+            pattern_slot,
         })
     }
 }

@@ -97,6 +97,14 @@ impl<'a> OccupancyTrajectory<'a> {
         if let Some(t) = self.settled_from(STEADY_DETECT_EPS) {
             tv = tv.with_steady_from(t);
         }
+        // On-the-fly satisfaction sets: restrict predicate evaluation to
+        // the forward-reachable closure of the initial occupancy's support.
+        // For models whose initial occupancy touches every communicating
+        // class this is the full space (and sat vectors are unchanged);
+        // for large structured models it prunes the unreachable bulk.
+        let m0 = self.occupancy_at(0.0);
+        let support: Vec<usize> = (0..m0.len()).filter(|&s| m0[s] > 0.0).collect();
+        tv = tv.with_reachable(self.model.reachable_closure(&support));
         Ok(tv)
     }
 
@@ -219,6 +227,16 @@ impl TimeVaryingGenerator for TrajectoryGenerator<'_> {
         let m = Occupancy::project(self.trajectory.eval(t))
             .expect("projected trajectory stays on the simplex");
         self.model.write_generator_at(&m, q);
+    }
+
+    fn sparsity(&self) -> Option<(&[usize], &[usize])> {
+        Some(self.model.sparsity())
+    }
+
+    fn write_rates(&self, t: f64, rates: &mut [f64]) {
+        let m = Occupancy::project(self.trajectory.eval(t))
+            .expect("projected trajectory stays on the simplex");
+        self.model.write_rates_at(&m, rates);
     }
 }
 

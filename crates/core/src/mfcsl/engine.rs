@@ -50,7 +50,7 @@ use std::time::{Duration, Instant};
 use mfcsl_csl::checker::{InhomogeneousChecker, ProbCurve};
 use mfcsl_csl::model::StationaryRegime;
 use mfcsl_csl::{CacheStats, PathFormula, SatCache, Tolerances};
-use mfcsl_math::IntervalSet;
+use mfcsl_math::{alloc_counter, IntervalSet};
 use mfcsl_pool::shard::ShardedMap;
 use mfcsl_pool::ThreadPool;
 
@@ -96,6 +96,26 @@ pub struct SolveRecord {
     pub wall: Duration,
 }
 
+/// Heap footprint of one checking kernel, bracketed with
+/// [`mfcsl_math::alloc_counter`]. Only recorded when the running binary
+/// installed the counting allocator (the `mfcsl` binary and the benchmark
+/// drivers do; library tests do not), so sessions in counter-less
+/// processes carry no records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelAllocRecord {
+    /// Kernel label, e.g. `csat (0.8, 0.15, 0.05)`.
+    pub kernel: String,
+    /// Heap allocations made while the kernel ran.
+    pub allocations: u64,
+    /// Peak bytes the live heap grew above the kernel's entry point — for
+    /// checking kernels, dominated by the resident matrices (dense
+    /// transients are `O(K²)`, the sparse lane `O(nnz)`). The counter is
+    /// process-global: when a pool fans kernels out, concurrent kernels'
+    /// allocations land in each other's brackets, so per-kernel peaks are
+    /// exact in serial runs and upper bounds in parallel ones.
+    pub peak_bytes: u64,
+}
+
 /// Snapshot of a session's counters, taken by [`CheckSession::stats`].
 ///
 /// The counters themselves are plain atomics bumped on each event, so
@@ -127,6 +147,9 @@ pub struct EngineStats {
     pub cache: CacheStats,
     /// Every ODE integration performed, in order of completion.
     pub solves: Vec<SolveRecord>,
+    /// Per-kernel heap brackets ([`KernelAllocRecord`]), in order of
+    /// completion; empty when the binary has no counting allocator.
+    pub kernel_allocs: Vec<KernelAllocRecord>,
 }
 
 impl EngineStats {
@@ -159,6 +182,7 @@ impl EngineStats {
         self.cache.cached_sets += other.cache.cached_sets;
         self.cache.cached_curves += other.cache.cached_curves;
         self.solves.extend_from_slice(&other.solves);
+        self.kernel_allocs.extend_from_slice(&other.kernel_allocs);
     }
 }
 
@@ -224,6 +248,7 @@ pub struct CheckSession<'a> {
     refined_verdicts: AtomicU64,
     refine_rounds: AtomicU64,
     solves: Mutex<Vec<SolveRecord>>,
+    kernel_allocs: Mutex<Vec<KernelAllocRecord>>,
 }
 
 impl<'a> CheckSession<'a> {
@@ -259,6 +284,7 @@ impl<'a> CheckSession<'a> {
             refined_verdicts: AtomicU64::new(0),
             refine_rounds: AtomicU64::new(0),
             solves: Mutex::new(Vec::new()),
+            kernel_allocs: Mutex::new(Vec::new()),
         }
     }
 
@@ -304,11 +330,38 @@ impl<'a> CheckSession<'a> {
     ///
     /// See [`Checker::check`].
     pub fn check(&self, psi: &MfFormula, m0: &Occupancy) -> Result<Verdict, CoreError> {
-        let base = self.check_round(&self.checker, 0, psi, m0)?;
-        if !base.is_marginal() {
-            return Ok(base);
+        self.alloc_bracket(
+            || format!("check {psi}"),
+            || {
+                let base = self.check_round(&self.checker, 0, psi, m0)?;
+                if !base.is_marginal() {
+                    return Ok(base);
+                }
+                self.refine(psi, m0)
+            },
+        )
+    }
+
+    /// Runs `f` inside an [`alloc_counter`] bracket and appends a
+    /// [`KernelAllocRecord`] labeled by `kernel` — a no-op (beyond calling
+    /// `f`) when the binary has no counting allocator installed.
+    fn alloc_bracket<T>(
+        &self,
+        kernel: impl FnOnce() -> String,
+        f: impl FnOnce() -> Result<T, CoreError>,
+    ) -> Result<T, CoreError> {
+        if !alloc_counter::installed() {
+            return f();
         }
-        self.refine(psi, m0)
+        let base = alloc_counter::begin();
+        let result = f();
+        let d = alloc_counter::delta(base);
+        self.kernel_allocs.lock().unwrap().push(KernelAllocRecord {
+            kernel: kernel(),
+            allocations: d.allocations,
+            peak_bytes: d.peak_bytes,
+        });
+        result
     }
 
     /// One round of [`CheckSession::check`]: round 0 is the base check
@@ -403,6 +456,15 @@ impl<'a> CheckSession<'a> {
     ///
     /// See [`Checker::csat`].
     pub fn csat(
+        &self,
+        psi: &MfFormula,
+        m0: &Occupancy,
+        theta: f64,
+    ) -> Result<IntervalSet, CoreError> {
+        self.alloc_bracket(|| format!("csat {m0}"), || self.csat_inner(psi, m0, theta))
+    }
+
+    fn csat_inner(
         &self,
         psi: &MfFormula,
         m0: &Occupancy,
@@ -534,6 +596,7 @@ impl<'a> CheckSession<'a> {
             refine_rounds: self.refine_rounds.load(Ordering::Relaxed),
             cache,
             solves: self.solves.lock().unwrap().clone(),
+            kernel_allocs: self.kernel_allocs.lock().unwrap().clone(),
         }
     }
 

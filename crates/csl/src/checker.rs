@@ -40,6 +40,9 @@ enum CurveImpl {
     Until(UntilEvaluator),
     Nested(ReachEvaluator),
     Sampled { ts: Vec<f64>, values: Vec<Vec<f64>> },
+    /// A θ = 0 point evaluation from the sparse vector lane: the curve
+    /// degenerates to a single per-state vector at time 0.
+    Point(Vec<f64>),
 }
 
 impl ProbCurve {
@@ -69,6 +72,7 @@ impl ProbCurve {
                         .expect("sampled curve is well-formed")
                 })
                 .collect(),
+            CurveImpl::Point(p) => p.clone(),
         }
     }
 
@@ -315,6 +319,27 @@ impl<'a, G: TimeVaryingGenerator> InhomogeneousChecker<'a, G> {
                 let lhs_pw = self.sot(cache, lhs, look_ahead)?;
                 let rhs_pw = self.sot(cache, rhs, look_ahead)?;
                 if lhs_pw.is_constant() && rhs_pw.is_constant() {
+                    // Large-K sparse lane: a point evaluation (θ = 0) with
+                    // constant operand sets needs no probability *curve*,
+                    // only the vector at time 0 — two K-dim payload solves
+                    // instead of two K² matrix ODEs. Engages only when the
+                    // generator exposes a sparsity pattern above the
+                    // density threshold, so small models are untouched.
+                    if theta == 0.0 {
+                        if let Some(p) = until::until_probabilities_sparse(
+                            self.model,
+                            lhs_pw.set_at(0.0),
+                            rhs_pw.set_at(0.0),
+                            *interval,
+                            &self.tol,
+                        )? {
+                            return Ok(ProbCurve {
+                                n,
+                                theta,
+                                imp: CurveImpl::Point(p),
+                            });
+                        }
+                    }
                     let ev = until::until_evaluator(
                         self.model,
                         lhs_pw.set_at(0.0),

@@ -59,6 +59,11 @@ pub struct LocalTvModel<G> {
     names: Vec<String>,
     stationary: Option<StationaryRegime>,
     steady_from: Option<f64>,
+    /// When set, the sorted forward-reachable closure of the checked
+    /// trajectory's initial support: satisfaction sets are evaluated
+    /// on-the-fly over these states only (everything outside is
+    /// unreachable and reads as unlabeled).
+    reachable: Option<Vec<usize>>,
 }
 
 impl<G: TimeVaryingGenerator> LocalTvModel<G> {
@@ -88,7 +93,32 @@ impl<G: TimeVaryingGenerator> LocalTvModel<G> {
             names,
             stationary: None,
             steady_from: None,
+            reachable: None,
         })
+    }
+
+    /// Restricts satisfaction-set construction to `reachable` — the
+    /// forward-reachable closure of the checked trajectory's initial
+    /// support under the transition topology. [`LocalTvModel::sat_ap`]
+    /// then evaluates the labeling lazily over these states only, instead
+    /// of labeling the full state space; states outside the closure can
+    /// never carry probability mass, so every verdict over the closure is
+    /// unchanged. Out-of-range and duplicate entries are ignored.
+    #[must_use]
+    pub fn with_reachable(mut self, reachable: Vec<usize>) -> Self {
+        let n = self.n_states();
+        let mut r: Vec<usize> = reachable.into_iter().filter(|&s| s < n).collect();
+        r.sort_unstable();
+        r.dedup();
+        self.reachable = Some(r);
+        self
+    }
+
+    /// The restricted state set satisfaction evaluation runs over, when
+    /// one was attached.
+    #[must_use]
+    pub fn reachable(&self) -> Option<&[usize]> {
+        self.reachable.as_deref()
     }
 
     /// Declares that the generator is constant in time from `t` on (the
@@ -193,9 +223,21 @@ impl<G: TimeVaryingGenerator> LocalTvModel<G> {
         if !self.labeling.alphabet().contains(ap) {
             return Err(CslError::UnknownAtomicProposition(ap.to_string()));
         }
-        Ok((0..self.n_states())
-            .map(|s| self.labeling.has(s, ap))
-            .collect())
+        match &self.reachable {
+            // On-the-fly construction: query the labeling only for states
+            // the checked trajectory can actually occupy. With the closure
+            // equal to the full space this produces the identical vector.
+            Some(reachable) => {
+                let mut sat = vec![false; self.n_states()];
+                for &s in reachable {
+                    sat[s] = self.labeling.has(s, ap);
+                }
+                Ok(sat)
+            }
+            None => Ok((0..self.n_states())
+                .map(|s| self.labeling.has(s, ap))
+                .collect()),
+        }
     }
 }
 
@@ -246,6 +288,21 @@ mod tests {
             m.sat_ap("ghost"),
             Err(CslError::UnknownAtomicProposition(_))
         ));
+    }
+
+    #[test]
+    fn reachable_restriction_gates_sat_sets() {
+        // Full closure: identical to the eager vector.
+        let full = model().with_reachable(vec![0, 1]);
+        assert_eq!(full.reachable(), Some(&[0, 1][..]));
+        assert_eq!(full.sat_ap("up").unwrap(), vec![true, false]);
+        // Restricted closure: states outside read as unlabeled.
+        let restricted = model().with_reachable(vec![1]);
+        assert_eq!(restricted.sat_ap("up").unwrap(), vec![false, false]);
+        assert_eq!(restricted.sat_ap("down").unwrap(), vec![false, true]);
+        // Out-of-range and duplicate seeds are dropped.
+        let cleaned = model().with_reachable(vec![7, 0, 0]);
+        assert_eq!(cleaned.reachable(), Some(&[0][..]));
     }
 
     #[test]

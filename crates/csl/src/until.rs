@@ -8,11 +8,14 @@
 //! the combined forward/backward equation (Eq. 6), exactly as the paper
 //! prescribes; Eq. 7 then assembles the per-state probabilities.
 
+use std::cell::{Cell, RefCell};
+
 use mfcsl_ctmc::inhomogeneous::{
     flat_to_matrix, propagate_window_from, transition_matrix, ConstantTail, TimeVaryingGenerator,
 };
+use mfcsl_ctmc::propagator::{choose_backend, Backend};
 use mfcsl_math::Matrix;
-use mfcsl_ode::Trajectory;
+use mfcsl_ode::{solve_recovering, OdeOptions, OdeSystem, SolverWorkspace, Trajectory};
 
 use crate::model::LocalTvModel;
 use crate::syntax::TimeInterval;
@@ -60,6 +63,154 @@ impl<G: TimeVaryingGenerator> TimeVaryingGenerator for MaskedGenerator<'_, G> {
             }
         }
     }
+
+    fn sparsity(&self) -> Option<(&[usize], &[usize])> {
+        self.inner.sparsity()
+    }
+
+    fn write_rates(&self, t: f64, rates: &mut [f64]) {
+        self.inner.write_rates(t, rates);
+        if let Some((from, _)) = self.inner.sparsity() {
+            // Masking zeroes entire source rows; in rate-pattern form that
+            // is every pattern slot whose source state is absorbing.
+            for (r, &f) in rates.iter_mut().zip(from) {
+                if self.absorbing[f] {
+                    *r = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// The backward-Kolmogorov payload system of the sparse until lane.
+///
+/// For a payload vector `v`, `g(t') = Π(t', anchor)·v` satisfies the
+/// backward equation `dg/dt' = -Q(t')·g`. Substituting `s = anchor - t'`
+/// gives the forward-in-`s` system `dh/ds = Q(anchor - s)·h` integrated
+/// here, with `h(0) = v` and `h(anchor - t') = g(t')`. Row `i` of `Q·h` is
+/// `Σ_j r_ij·(h_j - h_i)` over the off-diagonal pattern, so the right-hand
+/// side streams through the `(from, to)` triplets — `O(K + nnz)` per
+/// evaluation, no matrix of any kind.
+struct BackwardPayloadSystem<'a, G> {
+    gen: &'a G,
+    n: usize,
+    from: &'a [usize],
+    to: &'a [usize],
+    /// Rates are evaluated at `anchor - s`.
+    anchor: f64,
+    /// Rate buffer memoized by the exact bit pattern of the queried time
+    /// (Dopri5 stage times repeat; see `QSlot` in the ctmc layer).
+    rates: RefCell<Vec<f64>>,
+    memo: Cell<Option<u64>>,
+}
+
+impl<G: TimeVaryingGenerator> OdeSystem for BackwardPayloadSystem<'_, G> {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn rhs(&self, s: f64, y: &[f64], dy: &mut [f64]) {
+        let t = self.anchor - s;
+        let mut rates = self.rates.borrow_mut();
+        if self.memo.get() != Some(t.to_bits()) {
+            self.gen.write_rates(t, &mut rates);
+            self.memo.set(Some(t.to_bits()));
+        }
+        dy.fill(0.0);
+        for ((&f, &to), &r) in self.from.iter().zip(self.to).zip(rates.iter()) {
+            dy[f] += r * (y[to] - y[f]);
+        }
+    }
+}
+
+/// Integrates `h(span) = Π(anchor - span, anchor)·v0` through the payload
+/// system above.
+fn backward_payload<G: TimeVaryingGenerator>(
+    gen: &G,
+    anchor: f64,
+    span: f64,
+    v0: &[f64],
+    options: &OdeOptions,
+) -> Result<Vec<f64>, CslError> {
+    if span == 0.0 {
+        return Ok(v0.to_vec());
+    }
+    let (from, to) = gen
+        .sparsity()
+        .ok_or_else(|| CslError::InvalidArgument("generator lost its sparsity pattern".into()))?;
+    let sys = BackwardPayloadSystem {
+        gen,
+        n: v0.len(),
+        from,
+        to,
+        anchor,
+        rates: RefCell::new(vec![0.0; from.len()]),
+        memo: Cell::new(None),
+    };
+    let mut ws = SolverWorkspace::new();
+    let (traj, _) = solve_recovering(&sys, 0.0, span, v0, options, &mut ws)?;
+    Ok(traj.final_state())
+}
+
+/// Large-`K` fast path for Eq. 4 at evaluation time 0: instead of the two
+/// `K × K` transition-matrix ODEs of [`until_probabilities`], two
+/// `K`-dimensional backward-Kolmogorov payload solves — phase B transports
+/// the goal indicator `1_{Φ₂}` over `[t₁, t₂]` on `𝓜[¬Φ₁ ∨ Φ₂]`, phase A
+/// transports the `Φ₁`-filtered result over `[0, t₁]` on `𝓜[¬Φ₁]`. Peak
+/// memory is `O(K + nnz)` per right-hand side.
+///
+/// Returns `Ok(None)` when the generator exposes no sparsity pattern or
+/// the chain sits below the density threshold — callers fall back to the
+/// matrix path, which additionally supports evaluation at `t > 0`.
+///
+/// # Errors
+///
+/// Returns [`CslError::InvalidArgument`] on shape mismatches and
+/// propagates ODE failures.
+pub fn until_probabilities_sparse<G: TimeVaryingGenerator>(
+    model: &LocalTvModel<G>,
+    sat1: &[bool],
+    sat2: &[bool],
+    interval: TimeInterval,
+    tol: &Tolerances,
+) -> Result<Option<Vec<f64>>, CslError> {
+    let n = model.n_states();
+    let gen = model.generator();
+    let Some((pattern_from, _)) = gen.sparsity() else {
+        return Ok(None);
+    };
+    if choose_backend(n, pattern_from.len()) != Backend::Sparse {
+        return Ok(None);
+    }
+    if sat1.len() != n || sat2.len() != n {
+        return Err(CslError::InvalidArgument(format!(
+            "satisfaction vectors have lengths {}/{}, model has {n} states",
+            sat1.len(),
+            sat2.len()
+        )));
+    }
+    tol.validate()?;
+    let t1 = interval.lo();
+    let t2 = interval.hi();
+
+    // Phase B on 𝓜[¬Φ₁ ∨ Φ₂]: goal mass from each intermediate state.
+    let absorb_b: Vec<bool> = (0..n).map(|s| !sat1[s] || sat2[s]).collect();
+    let masked_b = MaskedGenerator::new(gen, absorb_b)?;
+    let h0: Vec<f64> = sat2.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    let goal_from = backward_payload(&masked_b, t2, t2 - t1, &h0, &tol.ode)?;
+    if interval.starts_at_zero() {
+        return Ok(Some(goal_from));
+    }
+
+    // Phase A on 𝓜[¬Φ₁], transporting the Φ₁-filtered goal mass to time 0.
+    let absorb_a: Vec<bool> = sat1.iter().map(|&b| !b).collect();
+    let masked_a = MaskedGenerator::new(gen, absorb_a)?;
+    let w: Vec<f64> = goal_from
+        .iter()
+        .zip(sat1)
+        .map(|(&v, &s1)| if s1 { v } else { 0.0 })
+        .collect();
+    Ok(Some(backward_payload(&masked_a, t1, t1, &w, &tol.ode)?))
 }
 
 /// Computes `Prob(s, Φ₁ U^[t₁,t₂] Φ₂, m̄)` for every start state `s` at
@@ -420,6 +571,152 @@ mod tests {
             for (x, y) in a.iter().zip(&b) {
                 assert!((x - y).abs() < 1e-9, "t = {t}: {x} vs {y}");
             }
+        }
+    }
+
+    /// A sparsity-aware time-varying birth–death generator over `n`
+    /// states, used to exercise the vector-path until lane.
+    struct SparseTvGen {
+        n: usize,
+        from: Vec<usize>,
+        to: Vec<usize>,
+    }
+
+    impl SparseTvGen {
+        fn new(n: usize) -> Self {
+            let mut from = Vec::new();
+            let mut to = Vec::new();
+            for i in 0..n - 1 {
+                from.push(i);
+                to.push(i + 1);
+                from.push(i + 1);
+                to.push(i);
+            }
+            SparseTvGen { n, from, to }
+        }
+
+        fn rate(&self, k: usize, t: f64) -> f64 {
+            // Up transitions decay towards 1.0, down transitions constant.
+            if self.to[k] > self.from[k] {
+                1.0 + 0.8 / (1.0 + t)
+            } else {
+                1.6
+            }
+        }
+    }
+
+    impl TimeVaryingGenerator for SparseTvGen {
+        fn n_states(&self) -> usize {
+            self.n
+        }
+
+        fn write_generator(&self, t: f64, q: &mut Matrix) {
+            q.as_mut_slice().fill(0.0);
+            for k in 0..self.from.len() {
+                let r = self.rate(k, t);
+                q[(self.from[k], self.to[k])] += r;
+                q[(self.from[k], self.from[k])] -= r;
+            }
+        }
+
+        fn sparsity(&self) -> Option<(&[usize], &[usize])> {
+            Some((&self.from, &self.to))
+        }
+
+        fn write_rates(&self, t: f64, rates: &mut [f64]) {
+            for (k, slot) in rates.iter_mut().enumerate() {
+                *slot = self.rate(k, t);
+            }
+        }
+    }
+
+    fn sparse_model(n: usize) -> LocalTvModel<SparseTvGen> {
+        let mut labels = Labeling::new(n);
+        for s in 0..n {
+            if s < n / 4 {
+                labels.add(s, "low");
+            }
+            labels.add(s, "any");
+        }
+        let names = (0..n).map(|s| format!("s{s}")).collect();
+        LocalTvModel::new(SparseTvGen::new(n), labels, names).unwrap()
+    }
+
+    #[test]
+    fn vector_path_matches_matrix_path() {
+        // 100 states is above the density threshold, so the sparse lane
+        // engages; its two K-dim payload solves must agree with the K²
+        // matrix ODEs of the reference path.
+        let n = 100;
+        let model = sparse_model(n);
+        let sat1: Vec<bool> = (0..n).map(|s| s < 3 * n / 4).collect();
+        let sat2: Vec<bool> = (0..n).map(|s| s >= n / 2 && s < 3 * n / 4).collect();
+        let mut tols = Tolerances::default();
+        tols.ode = tols.ode.with_tolerances(1e-9, 1e-11);
+        for interval in [
+            TimeInterval::bounded_by(0.8).unwrap(),
+            TimeInterval::new(0.3, 1.1).unwrap(),
+        ] {
+            let fast = until_probabilities_sparse(&model, &sat1, &sat2, interval, &tols)
+                .unwrap()
+                .expect("above threshold: sparse lane must engage");
+            let slow = until_probabilities(&model, &sat1, &sat2, interval, &tols).unwrap();
+            for (s, (a, b)) in fast.iter().zip(&slow).enumerate() {
+                assert!((a - b).abs() < 1e-6, "{interval}, state {s}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_path_declines_below_threshold_and_without_pattern() {
+        // 10 states: pattern available but dense is cheaper.
+        let model = sparse_model(10);
+        let sat1 = vec![true; 10];
+        let sat2: Vec<bool> = (0..10).map(|s| s >= 5).collect();
+        let r = until_probabilities_sparse(
+            &model,
+            &sat1,
+            &sat2,
+            TimeInterval::bounded_by(1.0).unwrap(),
+            &tol(),
+        )
+        .unwrap();
+        assert!(r.is_none());
+        // No pattern at all (ConstGenerator): decline regardless of size.
+        let (model, _) = const_model();
+        let r = until_probabilities_sparse(
+            &model,
+            &[true, true, true],
+            &[false, true, true],
+            TimeInterval::bounded_by(1.0).unwrap(),
+            &tol(),
+        )
+        .unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn masked_write_rates_zeroes_absorbing_sources() {
+        let gen = SparseTvGen::new(8);
+        let masked = MaskedGenerator::new(
+            &gen,
+            vec![false, true, false, false, false, false, false, false],
+        )
+        .unwrap();
+        let (from, _) = masked.sparsity().unwrap();
+        let mut rates = vec![0.0; from.len()];
+        masked.write_rates(0.7, &mut rates);
+        for (k, &f) in from.iter().enumerate() {
+            if f == 1 {
+                assert_eq!(rates[k], 0.0);
+            } else {
+                assert!(rates[k] > 0.0);
+            }
+        }
+        // The masked dense generator agrees with the masked rate pattern.
+        let q = masked.generator_at(0.7);
+        for (k, (&f, &t)) in from.iter().zip(masked.sparsity().unwrap().1).enumerate() {
+            assert_eq!(q[(f, t)], rates[k]);
         }
     }
 

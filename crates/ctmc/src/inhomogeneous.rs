@@ -41,6 +41,28 @@ pub trait TimeVaryingGenerator {
         self.write_generator(t, &mut q);
         q
     }
+
+    /// The fixed off-diagonal transition topology of `Q(t)`, when the
+    /// generator knows it: parallel `(from, to)` index slices, constant in
+    /// time (only the rates vary). `None` — the default — means the
+    /// topology is unknown or dense, and callers must fall back to
+    /// [`write_generator`](TimeVaryingGenerator::write_generator).
+    ///
+    /// A generator reporting `Some` promises that every off-diagonal entry
+    /// of `Q(t)` outside the pattern is zero at *every* `t`, and must also
+    /// implement [`write_rates`](TimeVaryingGenerator::write_rates).
+    fn sparsity(&self) -> Option<(&[usize], &[usize])> {
+        None
+    }
+
+    /// Writes the off-diagonal rates at `t` into `rates`, in the order of
+    /// the [`sparsity`](TimeVaryingGenerator::sparsity) pattern. Only
+    /// meaningful when `sparsity()` returns `Some`; the default is a no-op.
+    ///
+    /// Implementations may assume `rates.len()` equals the pattern length,
+    /// and must fully overwrite `rates` with finite, non-negative values
+    /// (clamping invalid evaluations to zero, like the dense writers do).
+    fn write_rates(&self, _t: f64, _rates: &mut [f64]) {}
 }
 
 /// A [`TimeVaryingGenerator`] built from a closure.
@@ -437,11 +459,31 @@ pub fn propagate_window_from<G: TimeVaryingGenerator>(
     let mut ws = SolverWorkspace::new();
     let head = solve_recovering(&sys, t_init, cut, initial.as_slice(), options, &mut ws)?.0;
     // Tail: one uniformization of the frozen generator gives the constant
-    // window value W = e^{Q(t_star)·T}.
-    let mut q = Matrix::zeros(n, n);
-    gen.write_generator(cut, &mut q);
-    let prop = crate::propagator::DensePropagator::from_generator(&q);
-    let w = crate::transient::transient_matrix_for(None, &prop, duration, tail.eps)?;
+    // window value W = e^{Q(t_star)·T}. A sparsity-aware generator above
+    // the density threshold skips the dense Q and Pᵀ materializations.
+    let w = match gen.sparsity() {
+        Some((from, to))
+            if crate::propagator::choose_backend(n, from.len())
+                == crate::propagator::Backend::Sparse =>
+        {
+            let mut rates = vec![0.0; from.len()];
+            gen.write_rates(cut, &mut rates);
+            let triplets: Vec<(usize, usize, f64)> = from
+                .iter()
+                .zip(to)
+                .zip(&rates)
+                .map(|((&f, &t), &r)| (f, t, r))
+                .collect();
+            let prop = crate::propagator::CscPropagator::from_triplets(n, &triplets)?;
+            crate::transient::transient_matrix_for(None, &prop, duration, tail.eps)?
+        }
+        _ => {
+            let mut q = Matrix::zeros(n, n);
+            gen.write_generator(cut, &mut q);
+            let prop = crate::propagator::DensePropagator::from_generator(&q);
+            crate::transient::transient_matrix_for(None, &prop, duration, tail.eps)?
+        }
+    };
     // Append the constant segment as a two-knot Hermite piece anchored at
     // the head's actual final knot (flat value, zero slope). The head's
     // value at the hand-off differs from W only by the settle threshold and

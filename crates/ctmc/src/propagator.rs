@@ -26,7 +26,7 @@
 //! same machine instructions over the same operands in the same order, and
 //! the blocks are disjoint `&mut` slices merged in a fixed order.
 
-use mfcsl_math::Matrix;
+use mfcsl_math::{CscMatrix, Matrix};
 use mfcsl_pool::ThreadPool;
 
 use crate::sparse::SparseCtmc;
@@ -151,36 +151,53 @@ impl Propagator for DensePropagator {
     }
 }
 
-/// Sparse propagator: steps through the chain's rates in CSC order (built
+/// Shared gather kernel of a uniformized step over a CSC matrix `P` whose
+/// off-diagonal entries are pre-divided by `Λ` and whose diagonal is held
+/// separately: `out[k] = v[j]·diag[j] + Σ_{i→j} v[i]·p[i][j]` with
+/// `j = start + k`, summed diagonal-first then by ascending source row — a
+/// fixed order, independent of any blocking.
+fn csc_step_columns(p: &CscMatrix, diag: &[f64], v: &[f64], start: usize, out: &mut [f64]) {
+    debug_assert_eq!(v.len(), diag.len());
+    for (k, o) in out.iter_mut().enumerate() {
+        let j = start + k;
+        let mut acc = v[j] * diag[j];
+        let (rows, rates) = p.col(j);
+        for (&i, &r) in rows.iter().zip(rates) {
+            // SAFETY: `CscMatrix::from_triplets` validates every source
+            // index against `n_rows`, and the trait contract guarantees
+            // `v.len() == n_states()` — so `i < v.len()` always. The
+            // explicit gather avoids a bounds check in the innermost loop
+            // of transient analysis.
+            acc += unsafe { *v.get_unchecked(i) } * r;
+        }
+        *o = acc;
+    }
+}
+
+/// Sparse propagator: steps through the chain's rates in CSC order (scaled
 /// once at construction) without ever materializing `P`.
 #[derive(Debug, Clone)]
 pub struct SparsePropagator<'a> {
     ctmc: &'a SparseCtmc,
-    /// CSC layout of the off-diagonal rates: for column `j`, the incoming
-    /// transitions are `(row_idx[k], rates[k])` for
-    /// `k ∈ col_ptr[j]..col_ptr[j+1]`, sorted by ascending source row.
-    /// Rates are stored pre-divided by `Λ` (they are entries of `P`, not
-    /// `Q`), so the gather kernel is pure multiply-add.
-    col_ptr: Vec<usize>,
-    row_idx: Vec<usize>,
-    rates: Vec<f64>,
+    /// Off-diagonal entries of `P` in CSC order: the chain's rates
+    /// pre-divided by `Λ`, so the gather kernel is pure multiply-add.
+    p: CscMatrix,
     /// `P`'s diagonal, `1 - exit[j]/Λ`, precomputed once.
     diag: Vec<f64>,
     unif: f64,
 }
 
 impl<'a> SparsePropagator<'a> {
-    /// Wraps a CSR chain with the same 2% uniformization headroom as the
-    /// dense backend, so both produce identical Poisson windows. Builds
-    /// the column-major transition layout the gather kernel reads.
+    /// Wraps a CSC chain with the same 2% uniformization headroom as the
+    /// dense backend, so both produce identical Poisson windows.
     #[must_use]
     pub fn new(ctmc: &'a SparseCtmc) -> Self {
         let rate = ctmc.max_exit_rate();
         let unif = if rate == 0.0 { 0.0 } else { rate * 1.02 };
-        let (col_ptr, row_idx, mut rates) = ctmc.to_csc();
+        let mut p = ctmc.rates_csc().clone();
         let mut diag = vec![1.0; ctmc.n_states()];
         if unif != 0.0 {
-            for r in &mut rates {
+            for r in p.values_mut() {
                 *r /= unif;
             }
             for (d, &e) in diag.iter_mut().zip(ctmc.exit_rates()) {
@@ -189,9 +206,7 @@ impl<'a> SparsePropagator<'a> {
         }
         SparsePropagator {
             ctmc,
-            col_ptr,
-            row_idx,
-            rates,
+            p,
             diag,
             unif,
         }
@@ -212,24 +227,92 @@ impl Propagator for SparsePropagator<'_> {
             out.copy_from_slice(&v[start..start + out.len()]);
             return;
         }
-        debug_assert_eq!(v.len(), self.ctmc.n_states());
-        for (k, o) in out.iter_mut().enumerate() {
-            let j = start + k;
-            // Diagonal first, then incoming transitions by ascending
-            // source row — a fixed order, independent of any blocking.
-            let mut acc = v[j] * self.diag[j];
-            let (lo, hi) = (self.col_ptr[j], self.col_ptr[j + 1]);
-            for (&i, &r) in self.row_idx[lo..hi].iter().zip(&self.rates[lo..hi]) {
-                // SAFETY: `SparseCtmc::from_triplets` validates every
-                // source index against `n_states`, `to_csc` copies them
-                // unchanged, and the trait contract guarantees
-                // `v.len() == n_states()` — so `i < v.len()` always. The
-                // explicit gather avoids a bounds check in the innermost
-                // loop of transient analysis.
-                acc += unsafe { *v.get_unchecked(i) } * r;
-            }
-            *o = acc;
+        csc_step_columns(&self.p, &self.diag, v, start, out);
+    }
+}
+
+/// An owned CSC propagator built straight from generator triplets — the
+/// sparse twin of [`DensePropagator::from_generator`], used by the
+/// steady-regime tail path when a
+/// [`crate::inhomogeneous::TimeVaryingGenerator`] exposes its sparsity
+/// pattern. Never materializes a dense `Q` or `P`.
+#[derive(Debug, Clone)]
+pub struct CscPropagator {
+    /// Off-diagonal entries of `P` in CSC order (rates pre-divided by `Λ`).
+    p: CscMatrix,
+    /// `P`'s diagonal, `1 - exit[j]/Λ`.
+    diag: Vec<f64>,
+    unif: f64,
+}
+
+impl CscPropagator {
+    /// Builds the uniformized step kernel from off-diagonal `(from, to,
+    /// rate)` triplets over `n` states. Non-positive and non-finite rates
+    /// are dropped (mirroring the clamping the dense generator writers
+    /// apply); duplicate pairs accumulate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::InvalidGenerator`] for an empty state space or
+    /// out-of-range indices.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Result<Self, CtmcError> {
+        let kept: Vec<(usize, usize, f64)> = triplets
+            .iter()
+            .filter(|&&(from, to, rate)| from != to && rate.is_finite() && rate > 0.0)
+            .copied()
+            .collect();
+        if n == 0 {
+            return Err(CtmcError::InvalidGenerator(
+                "chain must have at least one state".into(),
+            ));
         }
+        let mut exit = vec![0.0; n];
+        for &(from, to, rate) in &kept {
+            if from >= n || to >= n {
+                return Err(CtmcError::InvalidGenerator(format!(
+                    "transition ({from}, {to}) out of range for {n} states"
+                )));
+            }
+            exit[from] += rate;
+        }
+        let mut p = CscMatrix::from_triplets(n, n, &kept)
+            .map_err(|e| CtmcError::InvalidGenerator(e.to_string()))?;
+        let rate = exit.iter().fold(0.0_f64, |m, &v| m.max(v));
+        let unif = if rate == 0.0 { 0.0 } else { rate * 1.02 };
+        let mut diag = vec![1.0; n];
+        if unif != 0.0 {
+            for r in p.values_mut() {
+                *r /= unif;
+            }
+            for (d, &e) in diag.iter_mut().zip(&exit) {
+                *d = 1.0 - e / unif;
+            }
+        }
+        Ok(CscPropagator { p, diag, unif })
+    }
+
+    /// Bytes held by the step kernel (pattern + scaled rates + diagonal).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.p.memory_bytes() + self.diag.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl Propagator for CscPropagator {
+    fn n_states(&self) -> usize {
+        self.diag.len()
+    }
+
+    fn unif_rate(&self) -> f64 {
+        self.unif
+    }
+
+    fn step_columns(&self, v: &[f64], start: usize, out: &mut [f64]) {
+        if self.unif == 0.0 {
+            out.copy_from_slice(&v[start..start + out.len()]);
+            return;
+        }
+        csc_step_columns(&self.p, &self.diag, v, start, out);
     }
 }
 

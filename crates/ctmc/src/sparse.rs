@@ -1,31 +1,37 @@
-//! Sparse CTMCs in compressed-sparse-row form.
+//! Sparse CTMCs on the shared CSC matrix type.
 //!
 //! The lumped overall chain of a finite-`N` mean-field system has
 //! `C(N+K-1, K-1)` states but only `K(K-1)` transitions per state, so a
 //! dense generator wastes quadratic memory. [`SparseCtmc`] stores only the
-//! off-diagonal rates and supports the one operation transient analysis
-//! needs: the uniformized vector–matrix product of uniformization.
+//! off-diagonal rates — as a [`mfcsl_math::CscMatrix`] whose column `j`
+//! lists the *incoming* transitions of state `j` — and supports the one
+//! operation transient analysis needs: the uniformized vector–matrix
+//! product of uniformization. The same CSC storage feeds the sparse
+//! stationary solver in [`crate::steady`].
 
+use mfcsl_math::CscMatrix;
 use serde::{Deserialize, Serialize};
 
 use crate::CtmcError;
 
-/// A CTMC generator in CSR form (off-diagonal rates only; the diagonal is
-/// implied by the row sums).
+/// A CTMC generator in sparse form (off-diagonal rates only; the diagonal
+/// is implied by the row sums). Stored in CSC order so that the incoming
+/// transitions of each state are contiguous — the layout both the
+/// column-gather step kernel of [`crate::propagator::SparsePropagator`]
+/// and the stationary bordered operator of [`crate::steady`] read.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SparseCtmc {
-    n: usize,
-    row_ptr: Vec<usize>,
-    col_idx: Vec<usize>,
-    rates: Vec<f64>,
+    /// Off-diagonal rates: entry `(i, j)` is the rate of `i → j`.
+    csc: CscMatrix,
+    /// Row sums of `csc` (exit rates), precomputed once.
     exit: Vec<f64>,
 }
 
 impl SparseCtmc {
     /// Builds a sparse chain from `(from, to, rate)` triplets.
     ///
-    /// Duplicate `(from, to)` pairs accumulate. Self-loops are rejected;
-    /// rates must be finite and non-negative.
+    /// Duplicate `(from, to)` pairs accumulate into a single stored entry.
+    /// Self-loops are rejected; rates must be finite and non-negative.
     ///
     /// # Errors
     ///
@@ -66,47 +72,25 @@ impl SparseCtmc {
                 )));
             }
         }
-        // Counting sort by row.
-        let mut counts = vec![0usize; n + 1];
-        for &(from, _, _) in triplets {
-            counts[from + 1] += 1;
-        }
-        for i in 0..n {
-            counts[i + 1] += counts[i];
-        }
-        let row_ptr = counts.clone();
-        let mut col_idx = vec![0usize; triplets.len()];
-        let mut rates = vec![0.0; triplets.len()];
-        let mut cursor = row_ptr.clone();
-        for &(from, to, rate) in triplets {
-            let slot = cursor[from];
-            col_idx[slot] = to;
-            rates[slot] = rate;
-            cursor[from] += 1;
-        }
+        let csc = CscMatrix::from_triplets(n, n, triplets)
+            .map_err(|e| CtmcError::InvalidGenerator(e.to_string()))?;
         let mut exit = vec![0.0; n];
         for &(from, _, rate) in triplets {
             exit[from] += rate;
         }
-        Ok(SparseCtmc {
-            n,
-            row_ptr,
-            col_idx,
-            rates,
-            exit,
-        })
+        Ok(SparseCtmc { csc, exit })
     }
 
     /// Number of states.
     #[must_use]
     pub fn n_states(&self) -> usize {
-        self.n
+        self.exit.len()
     }
 
-    /// Number of stored transitions.
+    /// Number of stored transitions (after accumulating duplicates).
     #[must_use]
     pub fn n_transitions(&self) -> usize {
-        self.rates.len()
+        self.csc.nnz()
     }
 
     /// Exit rate of a state.
@@ -127,40 +111,22 @@ impl SparseCtmc {
 
     /// Exit rates of every state (row sums of the off-diagonal rates).
     #[must_use]
-    pub(crate) fn exit_rates(&self) -> &[f64] {
+    pub fn exit_rates(&self) -> &[f64] {
         &self.exit
     }
 
-    /// The transitions in CSC order: `(col_ptr, row_idx, rates)` such that
-    /// the incoming transitions of state `j` are `(row_idx[k], rates[k])`
-    /// for `k ∈ col_ptr[j]..col_ptr[j+1]`, sorted by ascending source row.
-    /// This is the layout the column-gather step kernel of
-    /// [`crate::propagator::SparsePropagator`] reads.
-    pub(crate) fn to_csc(&self) -> (Vec<usize>, Vec<usize>, Vec<f64>) {
-        let nnz = self.rates.len();
-        let mut counts = vec![0usize; self.n + 1];
-        for &j in &self.col_idx {
-            counts[j + 1] += 1;
-        }
-        for j in 0..self.n {
-            counts[j + 1] += counts[j];
-        }
-        let col_ptr = counts.clone();
-        let mut row_idx = vec![0usize; nnz];
-        let mut rates = vec![0.0; nnz];
-        let mut cursor = col_ptr.clone();
-        // Walking the CSR rows in ascending order fills each column's
-        // entries in ascending source row, the order the gather sums in.
-        for i in 0..self.n {
-            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                let j = self.col_idx[k];
-                let slot = cursor[j];
-                row_idx[slot] = i;
-                rates[slot] = self.rates[k];
-                cursor[j] += 1;
-            }
-        }
-        (col_ptr, row_idx, rates)
+    /// The off-diagonal rates in CSC order: column `j` holds the incoming
+    /// transitions of state `j`, sorted by ascending source row — the
+    /// order the gather kernels sum in.
+    #[must_use]
+    pub fn rates_csc(&self) -> &CscMatrix {
+        &self.csc
+    }
+
+    /// Bytes held by the sparse representation (pattern + rates + exit).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.csc.memory_bytes() + self.exit.len() * std::mem::size_of::<f64>()
     }
 
     /// Transient distribution `π(t) = π(0)·e^{Qt}` by uniformization with
@@ -177,17 +143,7 @@ impl SparseCtmc {
         t: f64,
         eps: f64,
     ) -> Result<Vec<f64>, CtmcError> {
-        if pi0.len() != self.n {
-            return Err(CtmcError::InvalidDistribution(format!(
-                "distribution has length {}, expected {}",
-                pi0.len(),
-                self.n
-            )));
-        }
-        mfcsl_math::simplex::check_distribution(pi0, mfcsl_math::simplex::DEFAULT_SUM_TOL)
-            .map_err(|e| CtmcError::InvalidDistribution(e.to_string()))?;
-        let prop = crate::propagator::SparsePropagator::new(self);
-        crate::propagator::propagate_distribution(&prop, pi0, t, eps)
+        self.transient_distribution_on(None, pi0, t, eps)
     }
 
     /// [`SparseCtmc::transient_distribution`] with each uniformized step
@@ -205,11 +161,11 @@ impl SparseCtmc {
         t: f64,
         eps: f64,
     ) -> Result<Vec<f64>, CtmcError> {
-        if pi0.len() != self.n {
+        if pi0.len() != self.n_states() {
             return Err(CtmcError::InvalidDistribution(format!(
                 "distribution has length {}, expected {}",
                 pi0.len(),
-                self.n
+                self.n_states()
             )));
         }
         mfcsl_math::simplex::check_distribution(pi0, mfcsl_math::simplex::DEFAULT_SUM_TOL)
@@ -240,6 +196,7 @@ mod tests {
     fn duplicate_triplets_accumulate() {
         let c = SparseCtmc::from_triplets(2, &[(0, 1, 1.0), (0, 1, 2.0)]).unwrap();
         assert_eq!(c.exit_rate(0), 3.0);
+        assert_eq!(c.n_transitions(), 1);
         let pi = c.transient_distribution(&[1.0, 0.0], 100.0, 1e-12).unwrap();
         assert!(pi[1] > 1.0 - 1e-9);
     }
@@ -261,6 +218,15 @@ mod tests {
         let c = SparseCtmc::from_triplets(2, &[(0, 1, 0.0)]).unwrap();
         let pi = c.transient_distribution(&[0.3, 0.7], 5.0, 1e-12).unwrap();
         assert_eq!(pi, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn csc_layout_lists_incoming_transitions() {
+        let c = SparseCtmc::from_triplets(3, &[(0, 2, 1.0), (1, 2, 0.5), (2, 0, 2.0)]).unwrap();
+        let (rows, rates) = c.rates_csc().col(2);
+        assert_eq!(rows, &[0, 1]);
+        assert_eq!(rates, &[1.0, 0.5]);
+        assert!(c.memory_bytes() < 1024);
     }
 
     proptest! {

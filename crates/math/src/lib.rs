@@ -48,6 +48,7 @@ pub mod complex;
 pub mod eigen;
 pub mod error;
 pub mod expm;
+pub mod gmres;
 pub mod interp;
 pub mod intervals;
 pub mod lu;
@@ -55,9 +56,11 @@ pub mod matrix;
 pub mod quad;
 pub mod roots;
 pub mod simplex;
+pub mod sparse;
 pub mod vec_ops;
 
 pub use complex::Complex;
 pub use error::MathError;
 pub use intervals::{Endpoint, Interval, IntervalSet};
 pub use matrix::Matrix;
+pub use sparse::CscMatrix;

@@ -44,12 +44,23 @@ impl LuDecomposition {
     /// [`MathError::Singular`] if a pivot is smaller than
     /// `1e-13 · max|A|` (with an absolute floor of `f64::MIN_POSITIVE`).
     pub fn new(a: &Matrix) -> Result<Self, MathError> {
+        Self::from_matrix(a.clone())
+    }
+
+    /// Factors `a` as `P A = L U`, consuming `a` and factoring in place —
+    /// no scratch copy, which matters when the system matrix is large and
+    /// was already built specifically for this solve.
+    ///
+    /// # Errors
+    ///
+    /// As [`LuDecomposition::new`].
+    pub fn from_matrix(a: Matrix) -> Result<Self, MathError> {
         a.check_square()?;
         let n = a.rows();
-        let mut lu = a.clone();
+        let mut lu = a;
         let mut perm: Vec<usize> = (0..n).collect();
         let mut perm_sign = 1.0;
-        let scale = a.norm_max().max(f64::MIN_POSITIVE);
+        let scale = lu.norm_max().max(f64::MIN_POSITIVE);
         let tol = scale * Self::SINGULARITY_RTOL;
 
         for k in 0..n {

@@ -119,6 +119,43 @@ fn supermarket_mf_matches_programmatic_model() {
 }
 
 #[test]
+fn queueing_mf_matches_programmatic_model() {
+    let file = load("queueing.mf");
+    let parsed = file.instantiate().expect("queueing.mf instantiates");
+    let programmatic = mfcsl_models::queueing::model(mfcsl_models::queueing::default_params()).unwrap();
+    assert_same_model(
+        &parsed,
+        &programmatic,
+        &[
+            vec![0.4, 0.2, 0.1, 0.08, 0.07, 0.06, 0.05, 0.03, 0.01],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+            {
+                let mut uniform = vec![1.0 / 9.0; 9];
+                uniform[8] = 1.0 - 8.0 / 9.0;
+                uniform
+            },
+        ],
+    );
+}
+
+#[test]
+fn queueing_mf_matches_with_retry_override() {
+    let file = load("queueing.mf");
+    let overrides: BTreeMap<String, f64> = [("retry".to_string(), 2.0)].into();
+    let parsed = file.instantiate_with(&overrides).expect("override instantiates");
+    let programmatic = mfcsl_models::queueing::model(mfcsl_models::queueing::Params {
+        retry: 2.0,
+        ..mfcsl_models::queueing::default_params()
+    })
+    .unwrap();
+    assert_same_model(
+        &parsed,
+        &programmatic,
+        &[vec![0.4, 0.2, 0.1, 0.08, 0.07, 0.06, 0.05, 0.03, 0.01]],
+    );
+}
+
+#[test]
 fn supermarket_mf_matches_with_lambda_override() {
     let file = load("supermarket.mf");
     let overrides: BTreeMap<String, f64> = [("lambda".to_string(), 0.9)].into();

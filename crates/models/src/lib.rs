@@ -16,12 +16,17 @@
 //!   exercising the checkers on larger local state spaces;
 //! * [`supermarket`] — the power-of-`d`-choices load-balancing model, the
 //!   classic mean-field system with provably distinct fixed-point structure
-//!   (exercises larger local state spaces).
+//!   (exercises larger local state spaces);
+//! * [`queueing`] — a bounded local queue with retry pressure whose
+//!   capacity knob scales `K` from tens to thousands over a fixed
+//!   birth–death topology: the large-`K` workload of the sparse checking
+//!   lane.
 
 #![warn(missing_docs)]
 
 pub mod botnet;
 pub mod gossip;
+pub mod queueing;
 pub mod seiqr;
 pub mod sir;
 pub mod sis;

@@ -1,0 +1,278 @@
+//! A bounded local queue with retry pressure — the large-`K` workhorse of
+//! the sparse checking lane.
+//!
+//! `N` identical single-server queues each hold at most `cap` jobs; the
+//! local state of a queue is its length, so `K = cap + 1` and `K` scales
+//! from tens to thousands by turning one knob. Fresh jobs arrive at each
+//! queue at rate `λ`; a job that lands on a *full* queue is not lost but
+//! re-dispatched to a uniformly random queue, so the effective per-queue
+//! arrival rate is inflated by the fraction of full queues:
+//!
+//! ```text
+//! λ_eff(m) = λ · (1 + retry · m_full)
+//! ```
+//!
+//! with `m_full` clamped to `[0, 1]`. This couples every queue to the
+//! population through a single occupancy component — a genuinely
+//! mean-field interaction (the generator depends on `m`), yet sparse: the
+//! transition topology is the `2·cap`-edge birth–death chain regardless of
+//! `K`, which is exactly the regime the sparse solvers (CSC
+//! uniformization, GMRES steady state, vector-path until) are built for.
+//! Service completes at constant rate `μ` from every nonempty queue.
+//!
+//! At the mean-field fixed point the chain is a constant-rate birth–death
+//! process, so the stationary occupancy is geometric with the
+//! self-consistent ratio `ρ_eff = λ_eff(m̃)/μ` — an analytic handle the
+//! tests pin the solvers against.
+
+use mfcsl_core::{CoreError, LocalModel, Occupancy};
+use serde::{Deserialize, Serialize};
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// Fresh-job arrival rate `λ` per queue.
+    pub lambda: f64,
+    /// Service rate `μ`.
+    pub mu: f64,
+    /// Retry pressure: blocked jobs multiply arrivals by
+    /// `1 + retry · m_full`. Zero decouples the queues entirely.
+    pub retry: f64,
+    /// Maximum queue length (local state space is `0..=cap`, `K = cap + 1`).
+    pub cap: usize,
+}
+
+/// The canonical parameter set mirrored by `modelfiles/queueing.mf`
+/// (`λ = 0.8`, `μ = 1.0`, `retry = 0.5`, `cap = 8`).
+#[must_use]
+pub fn default_params() -> Params {
+    Params {
+        lambda: 0.8,
+        mu: 1.0,
+        retry: 0.5,
+        cap: 8,
+    }
+}
+
+/// Builds the bounded-queue local model. State `i` is named `q{i}` and
+/// labeled `len_i`, plus `empty` (`i = 0`), `busy` (`i ≥ 1`), `full`
+/// (`i = cap`), `light` (`4i ≤ cap`) and `congested` (`4i ≥ 3·cap`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidModel`] for non-finite/negative rates or
+/// `cap = 0`.
+///
+/// # Example
+///
+/// ```
+/// use mfcsl_models::queueing;
+///
+/// let model = queueing::model(queueing::Params {
+///     lambda: 0.8,
+///     mu: 1.0,
+///     retry: 0.5,
+///     cap: 8,
+/// })?;
+/// assert_eq!(model.n_states(), 9);
+/// // The topology stays a birth–death chain at any capacity.
+/// let (from, to) = model.sparsity();
+/// assert_eq!(from.len(), 16);
+/// assert_eq!(to.len(), 16);
+/// # Ok::<(), mfcsl_core::CoreError>(())
+/// ```
+pub fn model(params: Params) -> Result<LocalModel, CoreError> {
+    if !params.lambda.is_finite() || params.lambda < 0.0 {
+        return Err(CoreError::InvalidModel(format!(
+            "lambda must be finite and non-negative, got {}",
+            params.lambda
+        )));
+    }
+    if !params.mu.is_finite() || params.mu < 0.0 {
+        return Err(CoreError::InvalidModel(format!(
+            "mu must be finite and non-negative, got {}",
+            params.mu
+        )));
+    }
+    if !params.retry.is_finite() || params.retry < 0.0 {
+        return Err(CoreError::InvalidModel(format!(
+            "retry must be finite and non-negative, got {}",
+            params.retry
+        )));
+    }
+    if params.cap == 0 {
+        return Err(CoreError::InvalidModel(
+            "cap must be at least 1 (otherwise the model has a single state)".into(),
+        ));
+    }
+    let cap = params.cap;
+    let k = cap + 1;
+    let mut builder = LocalModel::builder();
+    for i in 0..k {
+        let mut labels = vec![format!("len_{i}")];
+        if i == 0 {
+            labels.push("empty".into());
+        } else {
+            labels.push("busy".into());
+        }
+        if i == cap {
+            labels.push("full".into());
+        }
+        if 4 * i <= cap {
+            labels.push("light".into());
+        }
+        if 4 * i >= 3 * cap {
+            labels.push("congested".into());
+        }
+        builder = builder.state(format!("q{i}"), labels);
+    }
+    let lambda = params.lambda;
+    let retry = params.retry;
+    for i in 0..cap {
+        // Arrival i -> i+1 at rate λ(1 + retry·m_full). The clamp spelled
+        // as max-then-min matches the `.mf` twin's `min(max(·, 0), 1)`
+        // bitwise.
+        builder = builder.transition(
+            format!("q{i}"),
+            format!("q{}", i + 1),
+            #[allow(clippy::manual_clamp)]
+            move |m: &Occupancy| {
+                let full = m[cap].max(0.0).min(1.0);
+                lambda * (1.0 + retry * full)
+            },
+        )?;
+    }
+    for i in 1..k {
+        builder = builder.constant_transition(format!("q{i}"), format!("q{}", i - 1), params.mu)?;
+    }
+    builder.build()
+}
+
+/// Solves the fixed-point self-consistency equation for the fraction of
+/// full queues `m̃_full` by bisection: with `ρ(x) = λ(1 + retry·x)/μ`, the
+/// truncated-geometric stationary law gives
+/// `full(x) = ρ(x)^cap · (1 − ρ(x)) / (1 − ρ(x)^{cap+1})`, and `m̃_full`
+/// is the unique fixed point of `full` on `[0, 1]`.
+///
+/// Returns `None` for degenerate parameters (`μ = 0`).
+#[must_use]
+pub fn analytic_full_fraction(params: &Params) -> Option<f64> {
+    if params.mu <= 0.0 || params.cap == 0 {
+        return None;
+    }
+    let full_given = |x: f64| -> f64 {
+        let rho = params.lambda * (1.0 + params.retry * x) / params.mu;
+        let c = params.cap as i32;
+        if (rho - 1.0).abs() < 1e-12 {
+            return 1.0 / (params.cap as f64 + 1.0);
+        }
+        rho.powi(c) * (1.0 - rho) / (1.0 - rho.powi(c + 1))
+    };
+    // g(x) = full(x) − x is positive at 0 (when λ > 0) and negative at 1
+    // for stable parameters; bisect.
+    let g = |x: f64| full_given(x) - x;
+    let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+    if g(lo) < 0.0 {
+        return Some(0.0);
+    }
+    if g(hi) > 0.0 {
+        return Some(1.0);
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if g(mid) > 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfcsl_core::meanfield;
+    use mfcsl_ode::OdeOptions;
+
+    #[test]
+    fn validation() {
+        let ok = default_params();
+        assert!(model(ok).is_ok());
+        assert!(model(Params { cap: 0, ..ok }).is_err());
+        assert!(model(Params { lambda: -1.0, ..ok }).is_err());
+        assert!(model(Params { mu: f64::NAN, ..ok }).is_err());
+        assert!(model(Params {
+            retry: f64::INFINITY,
+            ..ok
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn labels() {
+        let m = model(default_params()).unwrap();
+        assert!(m.labeling().has(0, "empty"));
+        assert!(m.labeling().has(0, "light"));
+        assert!(m.labeling().has(2, "light"));
+        assert!(!m.labeling().has(3, "light"));
+        assert!(m.labeling().has(6, "congested"));
+        assert!(!m.labeling().has(5, "congested"));
+        assert!(m.labeling().has(8, "full"));
+        assert_eq!(m.labeling().states_with("busy").len(), 8);
+    }
+
+    #[test]
+    fn topology_is_birth_death_at_any_capacity() {
+        for cap in [4usize, 64, 512] {
+            let m = model(Params {
+                cap,
+                ..default_params()
+            })
+            .unwrap();
+            assert_eq!(m.n_states(), cap + 1);
+            let (from, to) = m.sparsity();
+            assert_eq!(from.len(), 2 * cap, "cap={cap}");
+            for (&f, &t) in from.iter().zip(to) {
+                assert_eq!(f.abs_diff(t), 1, "non-adjacent edge {f}->{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_point_is_self_consistent_geometric() {
+        let params = default_params();
+        let model = model(params).unwrap();
+        let k = params.cap + 1;
+        let m0 = Occupancy::unit(k, 0).unwrap();
+        let sol = meanfield::solve(&model, &m0, 600.0, &OdeOptions::default()).unwrap();
+        let m = sol.occupancy_at(600.0);
+        // Successive ratios settle to the self-consistent ρ_eff.
+        let rho = params.lambda * (1.0 + params.retry * m[params.cap]) / params.mu;
+        for i in 0..params.cap {
+            let ratio = m[i + 1] / m[i];
+            assert!(
+                (ratio - rho).abs() < 1e-6,
+                "geometric ratio at {i}: {ratio} vs {rho}"
+            );
+        }
+        // And the full fraction matches the bisection solution.
+        let full = analytic_full_fraction(&params).unwrap();
+        assert!(
+            (m[params.cap] - full).abs() < 1e-6,
+            "full fraction {} vs analytic {full}",
+            m[params.cap]
+        );
+    }
+
+    #[test]
+    fn retry_pressure_increases_congestion() {
+        let base = analytic_full_fraction(&Params {
+            retry: 0.0,
+            ..default_params()
+        })
+        .unwrap();
+        let pressured = analytic_full_fraction(&default_params()).unwrap();
+        assert!(pressured > base, "{pressured} vs {base}");
+    }
+}

@@ -23,8 +23,9 @@
 #      failure must be a structured error with a machine-readable code,
 #      the poisoned session must be quarantined, healthy verdicts must
 #      stay correct, and no worker may die;
-#   8. a panic-audit lint of the daemon library (clippy::unwrap_used /
-#      clippy::expect_used denied outside tests);
+#   8. a panic-audit lint of the daemon library and of the mfcsl-math
+#      sparse-lane modules (clippy::unwrap_used / clippy::expect_used
+#      denied outside tests);
 #   9. a smoke run of the serving load benchmark with schema validation
 #      of BENCH_serve.json.
 #
@@ -92,15 +93,23 @@ assert solver["bench"] == "solver", solver
 assert solver["smoke"] is True, solver
 assert solver["allocation_counters"] is True, solver
 kernels = [k["name"] for k in solver["kernels"]]
-assert kernels == [
+dense_kernels = [
     "meanfield_fresh",
     "meanfield_workspace",
     "transition_matrix",
     "window_full",
     "window_fastpath",
-], kernels
+]
+sparse_kernels = [
+    "sparse_steady_k64",
+    "sparse_until_k64",
+    "sparse_steady_k256",
+    "sparse_until_k256",
+]
+assert kernels == dense_kernels + sparse_kernels, kernels
 by_name = {k["name"]: k for k in solver["kernels"]}
-for k in solver["kernels"]:
+for name in dense_kernels:
+    k = by_name[name]
     assert k["wall_seconds"] > 0, k
     assert k["rhs_evals"] > 0, k
     assert k["accepted_steps"] > 0, k
@@ -110,7 +119,22 @@ assert by_name["meanfield_workspace"]["rhs_evals"] == by_name["meanfield_fresh"]
 assert by_name["meanfield_workspace"]["allocations"] <= by_name["meanfield_fresh"]["allocations"]
 # The steady-regime hand-off must save Runge-Kutta work on the same problem.
 assert by_name["window_fastpath"]["rhs_evals"] < by_name["window_full"]["rhs_evals"]
-print("bench_solver smoke report is well-formed; fast path saves RHS evaluations")
+# The sparse lane must run in O(nnz) memory: peak heap growth below one
+# dense K x K matrix (8 K^2 bytes). At K = 64 the GMRES restart basis
+# (60 vectors) legitimately dominates 8 K^2, so the bound is asserted
+# from K = 256 up; full-size runs extend the same check to K = 1024.
+for name in sparse_kernels:
+    k = by_name[name]
+    assert k["wall_seconds"] > 0, k
+    assert k["allocations"] > 0, k
+    assert k["peak_bytes"] > 0, k
+    big_k = int(name.rsplit("_k", 1)[1])
+    if big_k >= 256:
+        dense_matrix = 8 * big_k * big_k
+        assert k["peak_bytes"] < dense_matrix, (
+            name, k["peak_bytes"], dense_matrix)
+print("bench_solver smoke report is well-formed; fast path saves RHS evaluations; "
+      "sparse kernels stay below one dense matrix of heap growth")
 EOF
 
 echo "== bench_check --baseline regression gate =="
@@ -310,11 +334,13 @@ echo "chaos storm survived: 0 worker deaths, $quarantined session(s) quarantined
 wait "$chaos_pid"
 chaos_pid=""
 
-echo "== panic audit (mfcsl-serve) =="
-# The daemon library carries #![warn(clippy::unwrap_used, expect_used)]
-# outside tests; denying warnings here turns any new panic path into a
-# verification failure.
+echo "== panic audit (mfcsl-serve, mfcsl-math sparse lane) =="
+# The daemon library — and the sparse-lane modules of mfcsl-math that its
+# long-lived sessions now solve through — carry
+# #![warn(clippy::unwrap_used, expect_used)] outside tests; denying
+# warnings here turns any new panic path into a verification failure.
 cargo clippy -p mfcsl-serve --lib --release -- -D warnings
+cargo clippy -p mfcsl-math --lib --release -- -D warnings
 
 echo "== bench_serve smoke =="
 serve_bench_out="$tmpdir/bench_serve_smoke.json"
