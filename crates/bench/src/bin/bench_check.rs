@@ -31,16 +31,28 @@
 //! It writes a separate `BENCH_solver.json` so the schema of
 //! `BENCH_check.json` stays stable for downstream comparisons.
 //!
+//! The solver workload also times the **batched SoA sweep** kernels
+//! (`batch_sweep_perlane`, `batch_sweep_shared`): the same occupancy grid
+//! propagated by one Dopri5 drive over a K × B structure-of-arrays state.
+//! Their `rhs_evals` is the drive's `batch_rhs_calls` — the number of
+//! batched kernel invocations — and the JSON additionally records
+//! `batch_width`, `detached`, `restarts`, and the per-lane
+//! accepted/rejected/rhs-eval tallies.
+//!
 //! Both reports are stamped with the git revision and the machine's
 //! available parallelism. `--baseline <path>` compares the serial
 //! (1-thread) wall-clock of each workload against a previous
-//! `BENCH_check.json` and exits non-zero on a >25 % slowdown; the
-//! comparison is refused (not failed) when the baseline was taken on a
-//! host with a different core count or in a different smoke mode, because
-//! such timings are not commensurable.
+//! `BENCH_check.json` and exits non-zero on a >25 % slowdown;
+//! `--solver-baseline <path>` does the same for the solver kernels against
+//! a previous `BENCH_solver.json`, gating on wall-clock AND RHS-evaluation
+//! counts (evals are deterministic, so they get the tolerance but no noise
+//! floor). Either comparison is refused (not failed) when the baseline was
+//! taken on a host with a different core count or in a different smoke
+//! mode, because such timings are not commensurable.
 //!
 //! Usage: `cargo run --release -p mfcsl-bench --bin bench_check --
-//! [--smoke] [--out <path>] [--solver-out <path>] [--baseline <path>]`.
+//! [--smoke] [--out <path>] [--solver-out <path>] [--baseline <path>]
+//! [--solver-baseline <path>]`.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -55,7 +67,7 @@ use mfcsl_ctmc::inhomogeneous::{
 };
 use mfcsl_math::{alloc_counter, Matrix};
 use mfcsl_models::virus;
-use mfcsl_ode::{OdeOptions, SolverWorkspace};
+use mfcsl_ode::{BatchMode, OdeOptions, SolverWorkspace};
 use mfcsl_pool::ThreadPool;
 use mfcsl_sim::{lumped, ssa};
 
@@ -91,6 +103,18 @@ struct KernelReport {
     accepted_steps: usize,
     allocations: u64,
     peak_bytes: u64,
+    /// Present for the `batch_sweep_*` kernels: drive counters and the
+    /// per-lane controller tallies of the batched solve.
+    batch: Option<BatchDetail>,
+}
+
+/// Drive-level counters of one batched kernel.
+struct BatchDetail {
+    width: usize,
+    detached: usize,
+    restarts: usize,
+    /// `(lane, accepted, rejected, rhs_evals)` per lane, in input order.
+    lanes: Vec<(usize, usize, usize, usize)>,
 }
 
 fn main() {
@@ -102,6 +126,7 @@ fn main() {
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_check.json".to_string());
     let solver_out_path = flag("--solver-out").unwrap_or_else(|| "BENCH_solver.json".to_string());
     let baseline_path = flag("--baseline");
+    let solver_baseline_path = flag("--solver-baseline");
 
     let reports = vec![fig3_workload(smoke), table2_workload(smoke), scalability_workload(smoke)];
 
@@ -130,8 +155,15 @@ fn main() {
         );
     }
 
+    let mut code = 0;
     if let Some(path) = baseline_path {
-        std::process::exit(regression_gate(&path, &reports, smoke));
+        code |= regression_gate(&path, &reports, smoke);
+    }
+    if let Some(path) = solver_baseline_path {
+        code |= solver_regression_gate(&path, &kernels, smoke);
+    }
+    if code != 0 {
+        std::process::exit(code);
     }
 }
 
@@ -342,7 +374,25 @@ fn timed_kernel(
         accepted_steps,
         allocations: d.allocations,
         peak_bytes: d.peak_bytes,
+        batch: None,
     }
+}
+
+/// [`timed_kernel`] for the batched kernels: `f` additionally returns the
+/// drive counters and per-lane tallies recorded in the report.
+fn timed_batch_kernel(
+    name: impl Into<String>,
+    description: String,
+    f: impl FnOnce() -> ((usize, usize), BatchDetail),
+) -> KernelReport {
+    let mut detail = None;
+    let mut report = timed_kernel(name, description, || {
+        let (counters, d) = f();
+        detail = Some(d);
+        counters
+    });
+    report.batch = detail;
+    report
 }
 
 /// The serial per-kernel workload behind `BENCH_solver.json`: the hot
@@ -397,6 +447,59 @@ fn solver_workload(smoke: bool) -> Vec<KernelReport> {
             })
         },
     ));
+
+    // The same sweep as one structure-of-arrays batch: all occupancies ride
+    // one Dopri5 drive. `rhs_evals` here is `batch_rhs_calls` — the number
+    // of K×B kernel invocations that propagated the whole sweep, the
+    // batched analogue of the scalar counter and the number the verify
+    // budget compares against a single scalar solve.
+    for (mode, mode_name, mode_desc) in [
+        (
+            BatchMode::PerLane,
+            "batch_sweep_perlane",
+            "per-lane controllers — every lane bitwise identical to its scalar solve",
+        ),
+        (
+            BatchMode::Shared,
+            "batch_sweep_shared",
+            "one shared controller (error norm = max over lanes) — one accept/reject \
+             decision propagates the whole sweep",
+        ),
+    ] {
+        kernels.push(timed_batch_kernel(
+            mode_name,
+            format!(
+                "the same {grid}-occupancy sweep as one batched SoA drive, {mode_desc}; \
+                 rhs_evals counts batched K x B kernel invocations"
+            ),
+            || {
+                let sweep =
+                    meanfield::solve_batch(&model, &m0s, theta, &opts, mode).expect("solves");
+                let lanes: Vec<(usize, usize, usize, usize)> = sweep
+                    .lanes
+                    .iter()
+                    .enumerate()
+                    .map(|(lane, r)| {
+                        let s = r
+                            .as_ref()
+                            .map(|(t, _)| t.trajectory().stats())
+                            .unwrap_or_default();
+                        (lane, s.accepted, s.rejected, s.rhs_evals)
+                    })
+                    .collect();
+                let accepted = lanes.iter().map(|&(_, a, _, _)| a).sum();
+                (
+                    (sweep.stats.batch_rhs_calls, accepted),
+                    BatchDetail {
+                        width: sweep.stats.width,
+                        detached: sweep.stats.detached,
+                        restarts: sweep.stats.restarts,
+                        lanes,
+                    },
+                )
+            },
+        ));
+    }
 
     let sol = meanfield::solve(&model, &m0s[0], theta, &opts).expect("solves");
     let gen = sol.generator();
@@ -548,7 +651,24 @@ fn render_solver_json(kernels: &[KernelReport], smoke: bool) -> String {
         let _ = writeln!(out, "      \"rhs_evals\": {},", k.rhs_evals);
         let _ = writeln!(out, "      \"accepted_steps\": {},", k.accepted_steps);
         let _ = writeln!(out, "      \"allocations\": {},", k.allocations);
-        let _ = writeln!(out, "      \"peak_bytes\": {}", k.peak_bytes);
+        if let Some(b) = &k.batch {
+            let _ = writeln!(out, "      \"peak_bytes\": {},", k.peak_bytes);
+            let _ = writeln!(out, "      \"batch_width\": {},", b.width);
+            let _ = writeln!(out, "      \"detached\": {},", b.detached);
+            let _ = writeln!(out, "      \"restarts\": {},", b.restarts);
+            let _ = writeln!(out, "      \"lanes\": [");
+            for (li, (lane, accepted, rejected, rhs_evals)) in b.lanes.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "        {{\"lane\": {lane}, \"accepted\": {accepted}, \
+                     \"rejected\": {rejected}, \"rhs_evals\": {rhs_evals}}}{}",
+                    if li + 1 < b.lanes.len() { "," } else { "" }
+                );
+            }
+            let _ = writeln!(out, "      ]");
+        } else {
+            let _ = writeln!(out, "      \"peak_bytes\": {}", k.peak_bytes);
+        }
         let _ = writeln!(out, "    }}{}", if i + 1 < kernels.len() { "," } else { "" });
     }
     let _ = writeln!(out, "  ]");
@@ -614,6 +734,125 @@ fn parse_baseline(text: &str) -> Option<Baseline> {
         git_revision,
         serial_walls,
     })
+}
+
+/// What the solver-kernel gate needs from a previous `BENCH_solver.json`:
+/// `(name, wall_seconds, rhs_evals)` per kernel, plus the commensurability
+/// fields.
+struct SolverBaseline {
+    smoke: bool,
+    threads_available: usize,
+    git_revision: String,
+    kernels: Vec<(String, f64, usize)>,
+}
+
+/// Line-oriented scan of a report produced by [`render_solver_json`]. The
+/// per-lane objects of the batched kernels render as compact one-line
+/// `{"lane": …}` entries, so the kernel-level `"rhs_evals"` scan below never
+/// matches them.
+fn parse_solver_baseline(text: &str) -> Option<SolverBaseline> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let rest = line.trim().strip_prefix(key)?;
+        Some(rest.trim_end_matches(','))
+    }
+    let mut bench = None;
+    let mut smoke = None;
+    let mut threads_available = None;
+    let mut git_revision = String::from("unknown");
+    let mut kernels = Vec::new();
+    let mut name: Option<String> = None;
+    let mut wall: Option<f64> = None;
+    for line in text.lines() {
+        if let Some(v) = field(line, "\"bench\": ") {
+            bench = Some(v.trim_matches('"').to_string());
+        } else if let Some(v) = field(line, "\"smoke\": ") {
+            smoke = v.parse::<bool>().ok();
+        } else if let Some(v) = field(line, "\"threads_available\": ") {
+            threads_available = v.parse::<usize>().ok();
+        } else if let Some(v) = field(line, "\"git_revision\": ") {
+            git_revision = v.trim_matches('"').to_string();
+        } else if let Some(v) = field(line, "\"name\": ") {
+            name = Some(v.trim_matches('"').to_string());
+        } else if let Some(v) = field(line, "\"wall_seconds\": ") {
+            wall = v.parse::<f64>().ok();
+        } else if let Some(v) = field(line, "\"rhs_evals\": ") {
+            if let (Some(n), Some(w), Ok(evals)) = (name.take(), wall.take(), v.parse::<usize>()) {
+                kernels.push((n, w, evals));
+            }
+        }
+    }
+    if bench.as_deref() != Some("solver") {
+        return None;
+    }
+    Some(SolverBaseline {
+        smoke: smoke?,
+        threads_available: threads_available?,
+        git_revision,
+        kernels,
+    })
+}
+
+/// Compares this run's solver kernels against a previous
+/// `BENCH_solver.json`, gating on wall-clock AND RHS-evaluation counts.
+/// Wall-clock uses the same tolerance and noise floor as the workload gate;
+/// RHS evals are deterministic counters, so they get the tolerance but no
+/// noise floor. Returns the process exit code: 0 on pass or refused
+/// comparison, 1 on a regression or an unreadable baseline.
+fn solver_regression_gate(path: &str, kernels: &[KernelReport], smoke: bool) -> i32 {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("solver gate: cannot read {path}");
+        return 1;
+    };
+    let Some(base) = parse_solver_baseline(&text) else {
+        eprintln!("solver gate: {path} is not a bench_check solver report");
+        return 1;
+    };
+    let threads_available = mfcsl_pool::default_parallelism();
+    if base.threads_available != threads_available || base.smoke != smoke {
+        println!(
+            "solver gate: refusing to compare against {path} (rev {}): baseline has \
+             threads_available={} smoke={}, this run has threads_available={} smoke={} — \
+             wall-clock from differing hosts or modes is not commensurable",
+            base.git_revision, base.threads_available, base.smoke, threads_available, smoke
+        );
+        return 0;
+    }
+    let mut failed = false;
+    for k in kernels {
+        let Some((_, base_wall, base_evals)) =
+            base.kernels.iter().find(|(name, _, _)| *name == k.name)
+        else {
+            println!("solver gate: {:<22} not in baseline, skipped", k.name);
+            continue;
+        };
+        let wall_ratio = k.wall_seconds / base_wall;
+        let wall_verdict = if k.wall_seconds < GATE_NOISE_FLOOR && *base_wall < GATE_NOISE_FLOOR {
+            "ok (below noise floor)"
+        } else if wall_ratio > GATE_TOLERANCE {
+            failed = true;
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "solver gate: {:<22} wall {:.4}s vs {base_wall:.4}s (rev {}) = {wall_ratio:.2}x  {wall_verdict}",
+            k.name, k.wall_seconds, base.git_revision
+        );
+        if *base_evals > 0 {
+            let eval_ratio = k.rhs_evals as f64 / *base_evals as f64;
+            let eval_verdict = if eval_ratio > GATE_TOLERANCE {
+                failed = true;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "solver gate: {:<22} rhs_evals {} vs {base_evals} = {eval_ratio:.2}x  {eval_verdict}",
+                k.name, k.rhs_evals
+            );
+        }
+    }
+    i32::from(failed)
 }
 
 /// Compares this run's serial wall-clock against a previous report.

@@ -12,7 +12,7 @@ use mfcsl_core::mfcsl::{parse_formula, CheckSession, EngineStats, MfFormula, Sol
 use mfcsl_core::{meanfield, LocalModel, Occupancy};
 use mfcsl_csl::Tolerances;
 use mfcsl_math::alloc_counter;
-use mfcsl_ode::OdeOptions;
+use mfcsl_ode::{BatchMode, OdeOptions};
 use mfcsl_pool::{PoolStats, ThreadPool};
 
 /// Error type of the CLI layer: a human-readable message.
@@ -145,12 +145,18 @@ pub fn check(
 }
 
 /// `mfcsl csat <model> --m0 … [--m0 …]… --theta T [--threads N] [--stats]
-/// "<formula>"…`.
+/// [--batch-shared] "<formula>"…`.
 ///
 /// Like [`check`], all formulas share one [`CheckSession`]. With several
-/// `--m0` flags, each formula is swept over all initial occupancies —
-/// the sweep fans out over the pool, one task per occupancy, with
-/// bitwise-identical interval sets at any thread count.
+/// `--m0` flags, each formula is swept over all initial occupancies: the
+/// missing trajectories are first solved by **one** batched Dopri5 drive
+/// ([`CheckSession::prewarm`]), then the per-occupancy checks fan out
+/// over the pool, one task per occupancy, with bitwise-identical interval
+/// sets at any thread count. `--batch-shared` switches the prewarm from
+/// per-lane step-size controllers (bitwise identical to scalar solving)
+/// to one shared controller (fewer RHS evaluations, within-tolerance).
+/// `--stats` lists each solve with its accepted/rejected step counts and,
+/// for batched solves, the lane it rode.
 ///
 /// # Errors
 ///
@@ -162,11 +168,19 @@ pub fn csat(
     formulas: &[String],
     show_stats: bool,
     threads: Option<usize>,
+    batch_shared: bool,
 ) -> Result<String, CliError> {
     let alloc_base = alloc_counter::begin();
     let psis = parse_formulas(formulas)?;
     let pool = pool(threads);
-    let session = session(model, false).with_pool(Arc::clone(&pool));
+    let mode = if batch_shared {
+        BatchMode::Shared
+    } else {
+        BatchMode::PerLane
+    };
+    let session = session(model, false)
+        .with_pool(Arc::clone(&pool))
+        .with_batch_mode(mode);
     let mut out = String::new();
     for psi in &psis {
         for (m0, set) in m0s.iter().zip(session.csat_sweep(psi, m0s, theta)?) {
@@ -281,10 +295,22 @@ fn format_stats(
         c.curve_hits, c.curve_misses, c.cached_curves
     )
     .expect("write to string");
-    for s in &stats.solves {
+    if stats.batch_prewarmed > 0 {
         writeln!(
             out,
-            "  {} [{:.3}, {:.3}]: {} steps, {} rhs evals, {:.3} ms",
+            "  batch prewarm: {} lanes solved by one batched drive",
+            stats.batch_prewarmed
+        )
+        .expect("write to string");
+    }
+    for s in &stats.solves {
+        let lane = match s.batch_lane {
+            Some(l) => format!(", batch lane {l}"),
+            None => String::new(),
+        };
+        writeln!(
+            out,
+            "  {} [{:.3}, {:.3}]: {} steps ({} rejected), {} rhs evals, {:.3} ms{lane}",
             match s.kind {
                 SolveKind::Fresh => "solve ",
                 SolveKind::Extension => "extend",
@@ -293,6 +319,7 @@ fn format_stats(
             s.t_from,
             s.t_to,
             s.ode_steps,
+            s.rejected_steps,
             s.rhs_evals,
             s.wall.as_secs_f64() * 1e3
         )
@@ -590,10 +617,10 @@ rate i -> s : gamma
         let (model, _) = sis();
         let m0 = parse_occupancy("0.9,0.1").unwrap();
         let m0s = std::slice::from_ref(&m0);
-        let text = csat(&model, m0s, 10.0, &one("E{<0.3}[ infected ]"), false, None).unwrap();
+        let text = csat(&model, m0s, 10.0, &one("E{<0.3}[ infected ]"), false, None, false).unwrap();
         assert!(text.contains("cSat"));
         assert!(text.contains("measure"));
-        let text = csat(&model, m0s, 10.0, &one("E{<0.3}[ infected ]"), true, None).unwrap();
+        let text = csat(&model, m0s, 10.0, &one("E{<0.3}[ infected ]"), true, None, false).unwrap();
         assert!(text.contains("engine statistics:"), "{text}");
     }
 
@@ -606,10 +633,48 @@ rate i -> s : gamma
             parse_occupancy("0.2,0.8").unwrap(),
         ];
         let psi = one("E{<0.3}[ infected ]");
-        let serial = csat(&model, &m0s, 10.0, &psi, false, Some(1)).unwrap();
+        let serial = csat(&model, &m0s, 10.0, &psi, false, Some(1), false).unwrap();
         assert_eq!(serial.matches("cSat").count(), 3, "{serial}");
-        let parallel = csat(&model, &m0s, 10.0, &psi, false, Some(8)).unwrap();
+        let parallel = csat(&model, &m0s, 10.0, &psi, false, Some(8), false).unwrap();
         assert_eq!(serial, parallel);
+        // The shared-controller prewarm still answers every lane.
+        let shared = csat(&model, &m0s, 10.0, &psi, false, Some(1), true).unwrap();
+        assert_eq!(shared.matches("cSat").count(), 3, "{shared}");
+    }
+
+    #[test]
+    fn csat_sweep_stats_show_batched_lanes() {
+        let (model, _) = sis();
+        let m0s = vec![
+            parse_occupancy("0.9,0.1").unwrap(),
+            parse_occupancy("0.5,0.5").unwrap(),
+            parse_occupancy("0.2,0.8").unwrap(),
+        ];
+        let psi = one("E{<0.3}[ infected ]");
+        let text = csat(&model, &m0s, 10.0, &psi, true, Some(1), false).unwrap();
+        assert!(
+            text.contains("batch prewarm: 3 lanes solved by one batched drive"),
+            "{text}"
+        );
+        // Per-solve lines carry the lane each trajectory rode and the
+        // accept/reject split of its controller.
+        for lane in 0..3 {
+            assert!(text.contains(&format!(", batch lane {lane}")), "{text}");
+        }
+        assert!(text.contains("rejected)"), "{text}");
+        // A single-occupancy csat takes the scalar path: no batch lines.
+        let solo = csat(
+            &model,
+            std::slice::from_ref(&m0s[0]),
+            10.0,
+            &psi,
+            true,
+            Some(1),
+            false,
+        )
+        .unwrap();
+        assert!(!solo.contains("batch prewarm"), "{solo}");
+        assert!(!solo.contains("batch lane"), "{solo}");
     }
 
     #[test]

@@ -13,10 +13,11 @@ use std::cell::RefCell;
 use mfcsl_csl::{CslError, LocalTvModel};
 use mfcsl_ctmc::inhomogeneous::TimeVaryingGenerator;
 use mfcsl_math::Matrix;
+use mfcsl_ode::batch::{solve_batch_recovering, BatchMode, BatchStats, BatchWorkspace};
 use mfcsl_ode::dopri::SolverWorkspace;
 use mfcsl_ode::fault::{FaultPlan, FaultySystem};
 use mfcsl_ode::problem::OdeSystem;
-use mfcsl_ode::recover::solve_recovering;
+use mfcsl_ode::recover::{solve_recovering, Recovery};
 use mfcsl_ode::{OdeOptions, Trajectory};
 
 use crate::{CoreError, LocalModel, Occupancy};
@@ -429,6 +430,172 @@ impl OdeSystem for MeanFieldSystem<'_> {
     fn project(&self, _t: f64, y: &mut [f64]) {
         let _ = mfcsl_math::simplex::renormalize(y);
     }
+
+    /// Real K×B kernel for the batched solving lane: one pass evaluates
+    /// `m̄·Q(m̄)` for every active column without the gather/scatter round
+    /// trip through the scalar path's slice API, reusing the same scratch
+    /// occupancy and generator matrix across columns. Per column the
+    /// arithmetic (projection, generator evaluation, accumulation order) is
+    /// exactly [`MeanFieldSystem::rhs`], so per-lane batched trajectories
+    /// are bitwise identical to serial ones.
+    fn rhs_batch(&self, _ts: &[f64], active: &[bool], y: &[f64], dy: &mut [f64], width: usize) {
+        let n = self.dim();
+        let mut s = self.scratch.borrow_mut();
+        let mut m = std::mem::replace(&mut s.occ, Occupancy::new_unchecked(Vec::new())).into_vec();
+        for b in 0..width {
+            if !active[b] {
+                continue;
+            }
+            for (i, mi) in m.iter_mut().enumerate() {
+                *mi = y[i * width + b];
+            }
+            if mfcsl_math::simplex::renormalize(&mut m).is_err() {
+                for i in 0..n {
+                    dy[i * width + b] = f64::NAN;
+                }
+                continue;
+            }
+            let occ = Occupancy::new_unchecked(std::mem::take(&mut m));
+            self.model.write_generator_at(&occ, &mut s.q);
+            m = occ.into_vec();
+            let qs = s.q.as_slice();
+            for i in 0..n {
+                dy[i * width + b] = 0.0;
+            }
+            for (i, &xi) in m.iter().enumerate() {
+                if xi == 0.0 {
+                    continue;
+                }
+                let row = &qs[i * n..(i + 1) * n];
+                for (j, &q_ij) in row.iter().enumerate() {
+                    dy[j * width + b] += xi * q_ij;
+                }
+            }
+        }
+        s.occ = Occupancy::new_unchecked(m);
+    }
+
+    /// Batched simplex projection: renormalizes every active column in
+    /// place through the same scratch buffer, replicating
+    /// [`MeanFieldSystem::project`] per column bitwise.
+    fn project_batch(&self, _ts: &[f64], active: &[bool], y: &mut [f64], width: usize) {
+        let mut s = self.scratch.borrow_mut();
+        let mut m = std::mem::replace(&mut s.occ, Occupancy::new_unchecked(Vec::new())).into_vec();
+        for b in 0..width {
+            if !active[b] {
+                continue;
+            }
+            for (i, mi) in m.iter_mut().enumerate() {
+                *mi = y[i * width + b];
+            }
+            let _ = mfcsl_math::simplex::renormalize(&mut m);
+            for (i, &mi) in m.iter().enumerate() {
+                y[i * width + b] = mi;
+            }
+        }
+        s.occ = Occupancy::new_unchecked(m);
+    }
+}
+
+/// Per-lane results and drive counters of a batched mean-field sweep.
+#[derive(Debug)]
+pub struct BatchSweep<'a> {
+    /// One entry per initial occupancy, in input order. A lane that
+    /// detached from the batch and exhausted the scalar recovery ladder
+    /// carries the ladder's error; every other lane reports its trajectory
+    /// and the recovery rung that produced it ([`Recovery::None`] when the
+    /// batched drive itself succeeded).
+    pub lanes: Vec<Result<(OccupancyTrajectory<'a>, Recovery), CoreError>>,
+    /// Drive counters of the underlying batched solve:
+    /// `stats.batch_rhs_calls` is the number of K×B kernel invocations that
+    /// propagated the whole sweep.
+    pub stats: BatchStats,
+}
+
+/// Integrates the mean-field ODE from every occupancy of `m0s` to `t_end`
+/// as one structure-of-arrays batch ([`mfcsl_ode::batch`]).
+///
+/// In [`BatchMode::PerLane`] every lane is bitwise identical to the
+/// corresponding serial [`solve`]; in [`BatchMode::Shared`] the whole sweep
+/// rides one step-size controller, costing roughly a single solve's worth
+/// of drive. Lanes that fail numerically detach and are re-solved through
+/// the scalar recovery ladder without perturbing their siblings.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for a dimension-mismatched lane
+/// or an invalid horizon (whole-call, mirroring [`solve`]'s validation);
+/// per-lane numerical failures surface inside [`BatchSweep::lanes`].
+pub fn solve_batch<'a>(
+    model: &'a LocalModel,
+    m0s: &[Occupancy],
+    t_end: f64,
+    options: &OdeOptions,
+    mode: BatchMode,
+) -> Result<BatchSweep<'a>, CoreError> {
+    solve_batch_with(
+        model,
+        m0s,
+        t_end,
+        options,
+        mode,
+        &mut BatchWorkspace::new(),
+        &mut SolverWorkspace::new(),
+    )
+}
+
+/// Workspace-reusing variant of [`solve_batch`] for repeated sweeps.
+///
+/// # Errors
+///
+/// Same contract as [`solve_batch`].
+pub fn solve_batch_with<'a>(
+    model: &'a LocalModel,
+    m0s: &[Occupancy],
+    t_end: f64,
+    options: &OdeOptions,
+    mode: BatchMode,
+    workspace: &mut BatchWorkspace,
+    scalar_workspace: &mut SolverWorkspace,
+) -> Result<BatchSweep<'a>, CoreError> {
+    let n = model.n_states();
+    for (b, m0) in m0s.iter().enumerate() {
+        if m0.len() != n {
+            return Err(CoreError::InvalidArgument(format!(
+                "initial occupancy {b} has {} entries, model has {n} states",
+                m0.len()
+            )));
+        }
+    }
+    if !(t_end >= 0.0) || !t_end.is_finite() {
+        return Err(CoreError::InvalidArgument(format!(
+            "horizon must be finite and non-negative, got {t_end}"
+        )));
+    }
+    let sys = MeanFieldSystem::new(model);
+    let y0s: Vec<&[f64]> = m0s.iter().map(Occupancy::as_slice).collect();
+    let solution = solve_batch_recovering(
+        &sys,
+        0.0,
+        t_end,
+        &y0s,
+        options,
+        mode,
+        workspace,
+        scalar_workspace,
+    )?;
+    let lanes = solution
+        .lanes
+        .into_iter()
+        .map(|lane| match lane {
+            Ok((trajectory, recovery)) => Ok((OccupancyTrajectory { model, trajectory }, recovery)),
+            Err(e) => Err(CoreError::from(e)),
+        })
+        .collect();
+    Ok(BatchSweep {
+        lanes,
+        stats: solution.stats,
+    })
 }
 
 #[cfg(test)]
@@ -638,5 +805,92 @@ mod tests {
         let sol = solve(&model, &m0, 0.0, &OdeOptions::default()).unwrap();
         assert_eq!(sol.t_end(), 0.0);
         assert!((sol.occupancy_at(0.0)[0] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_per_lane_matches_serial_bitwise() {
+        let model = virus([0.9, 0.1, 0.01, 0.3, 0.3]);
+        let m0s: Vec<Occupancy> = [[0.85, 0.1, 0.05], [0.2, 0.5, 0.3], [1.0, 0.0, 0.0]]
+            .iter()
+            .map(|m| Occupancy::new(m.to_vec()).unwrap())
+            .collect();
+        let options = OdeOptions::default();
+        let sweep = solve_batch(&model, &m0s, 20.0, &options, BatchMode::PerLane).unwrap();
+        assert_eq!(sweep.stats.detached, 0);
+        for (lane, m0) in sweep.lanes.iter().zip(&m0s) {
+            let (batched, recovery) = lane.as_ref().unwrap();
+            assert_eq!(*recovery, Recovery::None);
+            let serial = solve(&model, m0, 20.0, &options).unwrap();
+            assert_eq!(batched.trajectory(), serial.trajectory());
+        }
+        // The real K×B kernel ran: 12-ish calls per accepted step for the
+        // whole sweep, far below three serial solves' worth of evals.
+        let serial_evals = solve(&model, &m0s[0], 20.0, &options)
+            .unwrap()
+            .trajectory()
+            .stats()
+            .rhs_evals;
+        assert!(sweep.stats.batch_rhs_calls < 3 * serial_evals);
+    }
+
+    #[test]
+    fn batch_shared_stays_close_and_cheap() {
+        let model = virus([0.9, 0.1, 0.01, 0.3, 0.3]);
+        let m0s: Vec<Occupancy> = [[0.85, 0.1, 0.05], [0.2, 0.5, 0.3], [0.6, 0.3, 0.1]]
+            .iter()
+            .map(|m| Occupancy::new(m.to_vec()).unwrap())
+            .collect();
+        let options = OdeOptions::default();
+        let sweep = solve_batch(&model, &m0s, 15.0, &options, BatchMode::Shared).unwrap();
+        let mut max_single = 0;
+        for (lane, m0) in sweep.lanes.iter().zip(&m0s) {
+            let (batched, _) = lane.as_ref().unwrap();
+            let serial = solve(&model, m0, 15.0, &options).unwrap();
+            max_single = max_single.max(serial.trajectory().stats().rhs_evals);
+            for k in 0..=30 {
+                let t = 15.0 * f64::from(k) / 30.0;
+                let a = batched.occupancy_at(t);
+                let b = serial.occupancy_at(t);
+                for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                    assert!((x - y).abs() < 1e-7, "t = {t}: {x} vs {y}");
+                }
+            }
+        }
+        // One shared drive for the whole sweep: the cost target is at most
+        // 3× a single solve's evaluations, independent of the lane count
+        // (the max-over-lanes error norm makes the controller step like the
+        // most cautious lane, not like all of them in sequence).
+        assert!(
+            sweep.stats.batch_rhs_calls <= 3 * max_single,
+            "{} batched calls vs {max_single} for one serial solve",
+            sweep.stats.batch_rhs_calls
+        );
+    }
+
+    #[test]
+    fn batch_validates_arguments() {
+        let model = sis(2.0, 1.0);
+        let good = Occupancy::new(vec![0.9, 0.1]).unwrap();
+        let bad = Occupancy::new(vec![1.0]).unwrap();
+        let options = OdeOptions::default();
+        assert!(solve_batch(
+            &model,
+            &[good.clone(), bad],
+            1.0,
+            &options,
+            BatchMode::PerLane
+        )
+        .is_err());
+        assert!(solve_batch(
+            &model,
+            std::slice::from_ref(&good),
+            -1.0,
+            &options,
+            BatchMode::PerLane
+        )
+        .is_err());
+        assert!(
+            solve_batch(&model, &[good], f64::NAN, &options, BatchMode::Shared).is_err()
+        );
     }
 }

@@ -51,10 +51,11 @@ use mfcsl_csl::checker::{InhomogeneousChecker, ProbCurve};
 use mfcsl_csl::model::StationaryRegime;
 use mfcsl_csl::{CacheStats, PathFormula, SatCache, Tolerances};
 use mfcsl_math::{alloc_counter, IntervalSet};
+use mfcsl_ode::BatchMode;
 use mfcsl_pool::shard::ShardedMap;
 use mfcsl_pool::ThreadPool;
 
-use crate::meanfield::OccupancyTrajectory;
+use crate::meanfield::{self, OccupancyTrajectory};
 use crate::mfcsl::check::{Checker, Refinement, Verdict};
 use crate::mfcsl::syntax::MfFormula;
 use crate::{CoreError, LocalModel, Occupancy};
@@ -85,6 +86,8 @@ pub struct SolveRecord {
     pub t_to: f64,
     /// Accepted integrator steps in this integration.
     pub ode_steps: usize,
+    /// Rejected step attempts in this integration.
+    pub rejected_steps: usize,
     /// Right-hand-side evaluations in this integration.
     pub rhs_evals: usize,
     /// Recovery-ladder rescues in this integration (see
@@ -94,6 +97,10 @@ pub struct SolveRecord {
     pub stiff_fallbacks: usize,
     /// Wall-clock time of the integration.
     pub wall: Duration,
+    /// `Some(lane)` when this solve rode the batched drive
+    /// ([`CheckSession::prewarm`]) as the given lane; `None` for scalar
+    /// integrations.
+    pub batch_lane: Option<usize>,
 }
 
 /// Heap footprint of one checking kernel, bracketed with
@@ -143,6 +150,9 @@ pub struct EngineStats {
     pub refined_verdicts: u64,
     /// Total tightening rounds run across all refined verdicts.
     pub refine_rounds: u64,
+    /// Trajectory cache entries populated by batched sweep prewarms
+    /// ([`CheckSession::prewarm`]) instead of per-occupancy scalar solves.
+    pub batch_prewarmed: u64,
     /// CSL-layer cache counters, aggregated over all trajectory entries.
     pub cache: CacheStats,
     /// Every ODE integration performed, in order of completion.
@@ -173,6 +183,7 @@ impl EngineStats {
         self.stiff_fallbacks += other.stiff_fallbacks;
         self.refined_verdicts += other.refined_verdicts;
         self.refine_rounds += other.refine_rounds;
+        self.batch_prewarmed += other.batch_prewarmed;
         self.cache.set_hits += other.cache.set_hits;
         self.cache.set_misses += other.cache.set_misses;
         self.cache.curve_hits += other.cache.curve_hits;
@@ -229,6 +240,9 @@ struct Entry<'a> {
 pub struct CheckSession<'a> {
     checker: Checker<'a>,
     pool: Option<Arc<ThreadPool>>,
+    /// Controller mode of the batched sweep prewarm
+    /// ([`CheckSession::prewarm`]).
+    batch_mode: BatchMode,
     entries: ShardedMap<Vec<u64>, Arc<Entry<'a>>>,
     /// Per-key creation gates: the first thread to need an entry solves
     /// while holding its gate, so concurrent callers with the same `m̄(0)`
@@ -247,6 +261,7 @@ pub struct CheckSession<'a> {
     stiff_fallbacks: AtomicU64,
     refined_verdicts: AtomicU64,
     refine_rounds: AtomicU64,
+    batch_prewarmed: AtomicU64,
     solves: Mutex<Vec<SolveRecord>>,
     kernel_allocs: Mutex<Vec<KernelAllocRecord>>,
 }
@@ -270,6 +285,7 @@ impl<'a> CheckSession<'a> {
         CheckSession {
             checker,
             pool: None,
+            batch_mode: BatchMode::PerLane,
             entries: ShardedMap::new(),
             entry_gates: ShardedMap::new(),
             regimes: ShardedMap::new(),
@@ -283,6 +299,7 @@ impl<'a> CheckSession<'a> {
             stiff_fallbacks: AtomicU64::new(0),
             refined_verdicts: AtomicU64::new(0),
             refine_rounds: AtomicU64::new(0),
+            batch_prewarmed: AtomicU64::new(0),
             solves: Mutex::new(Vec::new()),
             kernel_allocs: Mutex::new(Vec::new()),
         }
@@ -302,6 +319,27 @@ impl<'a> CheckSession<'a> {
     #[must_use]
     pub fn pool(&self) -> Option<&ThreadPool> {
         self.pool.as_deref()
+    }
+
+    /// Selects the step-size controller of the batched sweep prewarm
+    /// ([`CheckSession::prewarm`]).
+    ///
+    /// The default, [`BatchMode::PerLane`], keeps every cached trajectory
+    /// bitwise identical to the scalar per-occupancy solve.
+    /// [`BatchMode::Shared`] drives the whole batch on one controller —
+    /// fewer total RHS evaluations for clustered initial occupancies, but
+    /// trajectories may differ from the scalar path within the solver
+    /// tolerances, so verdict-critical sessions should keep the default.
+    #[must_use]
+    pub fn with_batch_mode(mut self, mode: BatchMode) -> Self {
+        self.batch_mode = mode;
+        self
+    }
+
+    /// The batched-prewarm controller mode.
+    #[must_use]
+    pub fn batch_mode(&self) -> BatchMode {
+        self.batch_mode
     }
 
     /// The underlying (uncached) checker.
@@ -503,6 +541,14 @@ impl<'a> CheckSession<'a> {
         m0s: &[Occupancy],
         theta: f64,
     ) -> Result<Vec<IntervalSet>, CoreError> {
+        if m0s.len() > 1 {
+            // Best-effort: solve all missing trajectories with one batched
+            // drive before the per-occupancy pass. Problems (bad occupancy,
+            // invalid horizon, a diverging lane) are deliberately not
+            // surfaced here — the scalar path below reports them in input
+            // order, preserving the error contract.
+            let _ = self.prewarm(m0s, theta + psi.time_horizon());
+        }
         match &self.pool {
             Some(pool) if pool.threads() > 1 && m0s.len() > 1 => pool
                 .map_indexed(m0s.len(), |i| self.csat(psi, &m0s[i], theta))
@@ -510,6 +556,106 @@ impl<'a> CheckSession<'a> {
                 .collect(),
             _ => m0s.iter().map(|m0| self.csat(psi, m0, theta)).collect(),
         }
+    }
+
+    /// Pre-populates the trajectory cache for a sweep: every occupancy in
+    /// `m0s` without a cached entry is solved over `[0, horizon]` by **one**
+    /// batched Dopri5 drive ([`meanfield::solve_batch`]) instead of one
+    /// scalar integration each, sharing the per-step `m̄·Q(m̄)` kernel
+    /// dispatch across all lanes. Returns the number of entries created.
+    ///
+    /// In the default [`BatchMode::PerLane`] mode the cached trajectories
+    /// are bitwise identical to what the scalar path would have produced —
+    /// including solver statistics — so warmed sweeps return bitwise the
+    /// same answers as cold ones. A lane the batch cannot finish (even
+    /// through the scalar recovery ladder it detaches to) is simply left
+    /// uncached; the per-occupancy pass re-solves it and surfaces the error
+    /// in input order.
+    ///
+    /// The call is a no-op (returns `Ok(0)`) when fewer than two lanes are
+    /// missing, when the horizon is invalid (the scalar path owns that
+    /// error), or when the checker carries a fault-injection plan — the
+    /// fault stream is defined over *scalar* RHS calls, so chaos runs must
+    /// keep the scalar path to stay deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation-bracket bookkeeping failures only; solver
+    /// problems never error here (see above).
+    pub fn prewarm(&self, m0s: &[Occupancy], horizon: f64) -> Result<usize, CoreError> {
+        if self.checker.fault_plan().is_some() || !(horizon >= 0.0) || !horizon.is_finite() {
+            return Ok(0);
+        }
+        let n = self.model().n_states();
+        let mut missing: Vec<Occupancy> = Vec::new();
+        let mut keys: Vec<Vec<u64>> = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for m0 in m0s {
+            if m0.len() != n {
+                continue; // the scalar path reports this in input order
+            }
+            let key = occupancy_key(m0);
+            if self.entries.get(&key).is_some() || !seen.insert(key.clone()) {
+                continue;
+            }
+            keys.push(key);
+            missing.push(m0.clone());
+        }
+        if missing.len() < 2 {
+            return Ok(0);
+        }
+        self.alloc_bracket(
+            || format!("prewarm x{}", missing.len()),
+            || {
+                let start = Instant::now();
+                let Ok(sweep) = meanfield::solve_batch(
+                    self.model(),
+                    &missing,
+                    horizon,
+                    &self.checker.tolerances().ode,
+                    self.batch_mode,
+                ) else {
+                    return Ok(0); // scalar path owns error reporting
+                };
+                // One drive produced every lane; attribute wall time evenly.
+                let per_lane_wall = start.elapsed() / sweep.lanes.len().max(1) as u32;
+                let mut warmed = 0;
+                for (lane, (key, result)) in keys.into_iter().zip(sweep.lanes).enumerate() {
+                    let Ok((trajectory, _recovery)) = result else {
+                        continue; // re-solved (and re-failed) in input order
+                    };
+                    let gate = self
+                        .entry_gates
+                        .get_or_insert_with(key.clone(), || Arc::new(Mutex::new(())));
+                    let _guard = gate.lock().unwrap();
+                    if self.entries.get(&key).is_some() {
+                        continue; // raced with a scalar solve; keep theirs
+                    }
+                    let stats = trajectory.trajectory().stats();
+                    self.record_solve(SolveRecord {
+                        kind: SolveKind::Fresh,
+                        t_from: 0.0,
+                        t_to: trajectory.t_end(),
+                        ode_steps: stats.accepted,
+                        rejected_steps: stats.rejected,
+                        rhs_evals: stats.rhs_evals,
+                        recoveries: stats.recoveries,
+                        stiff_fallbacks: stats.stiff_fallbacks,
+                        wall: per_lane_wall,
+                        batch_lane: Some(lane),
+                    });
+                    self.trajectory_solves.fetch_add(1, Ordering::Relaxed);
+                    self.batch_prewarmed.fetch_add(1, Ordering::Relaxed);
+                    let entry = Arc::new(Entry {
+                        trajectory: RwLock::new(trajectory),
+                        cache: SatCache::new(),
+                    });
+                    self.entries.insert(key, Arc::clone(&entry));
+                    warmed += 1;
+                }
+                Ok(warmed)
+            },
+        )
     }
 
     /// The per-state path-probability curve `t ↦ Prob(s, φ, m̄, t)` over
@@ -594,6 +740,7 @@ impl<'a> CheckSession<'a> {
             stiff_fallbacks: self.stiff_fallbacks.load(Ordering::Relaxed),
             refined_verdicts: self.refined_verdicts.load(Ordering::Relaxed),
             refine_rounds: self.refine_rounds.load(Ordering::Relaxed),
+            batch_prewarmed: self.batch_prewarmed.load(Ordering::Relaxed),
             cache,
             solves: self.solves.lock().unwrap().clone(),
             kernel_allocs: self.kernel_allocs.lock().unwrap().clone(),
@@ -661,10 +808,12 @@ impl<'a> CheckSession<'a> {
             t_from: 0.0,
             t_to: trajectory.t_end(),
             ode_steps: stats.accepted,
+            rejected_steps: stats.rejected,
             rhs_evals: stats.rhs_evals,
             recoveries: stats.recoveries,
             stiff_fallbacks: stats.stiff_fallbacks,
             wall: start.elapsed(),
+            batch_lane: None,
         });
         if round == 0 {
             self.trajectory_solves.fetch_add(1, Ordering::Relaxed);
@@ -712,10 +861,12 @@ impl<'a> CheckSession<'a> {
             t_from,
             t_to: extended.t_end(),
             ode_steps: after.accepted - before.accepted,
+            rejected_steps: after.rejected - before.rejected,
             rhs_evals: after.rhs_evals - before.rhs_evals,
             recoveries: after.recoveries - before.recoveries,
             stiff_fallbacks: after.stiff_fallbacks - before.stiff_fallbacks,
             wall: start.elapsed(),
+            batch_lane: None,
         });
         self.trajectory_extensions.fetch_add(1, Ordering::Relaxed);
         *trajectory = extended;
@@ -1002,6 +1153,125 @@ mod tests {
         session.clear();
         session.check(&psi, &m0()).unwrap();
         assert_eq!(session.stats().trajectory_solves, 3);
+    }
+
+    #[test]
+    fn prewarmed_sweep_matches_per_occupancy_csat_bitwise() {
+        let model = sis();
+        let psi = parse_formula("E{<0.3}[ infected ]").unwrap();
+        let m0s: Vec<Occupancy> = (1..6)
+            .map(|i| Occupancy::new(vec![1.0 - 0.1 * f64::from(i), 0.1 * f64::from(i)]).unwrap())
+            .collect();
+        // One occupancy at a time, scalar solves only.
+        let scalar = CheckSession::new(&model);
+        let expected: Vec<_> = m0s
+            .iter()
+            .map(|m0| scalar.csat(&psi, m0, 10.0).unwrap())
+            .collect();
+        assert_eq!(scalar.stats().batch_prewarmed, 0);
+        // The sweep entry point prewarms all five lanes with one batched
+        // drive, then answers from the warmed cache — bitwise identically.
+        let swept = CheckSession::new(&model);
+        let got = swept.csat_sweep(&psi, &m0s, 10.0).unwrap();
+        for (a, b) in expected.iter().zip(&got) {
+            assert_eq!(a.intervals().len(), b.intervals().len());
+            for (ia, ib) in a.intervals().iter().zip(b.intervals()) {
+                assert_eq!(ia.lo().value.to_bits(), ib.lo().value.to_bits());
+                assert_eq!(ia.hi().value.to_bits(), ib.hi().value.to_bits());
+            }
+        }
+        let stats = swept.stats();
+        assert_eq!(stats.batch_prewarmed, m0s.len() as u64);
+        assert_eq!(stats.trajectory_solves, m0s.len() as u64);
+        // Every fresh solve rode the batch, with its lane recorded, and
+        // per-lane solver statistics mirror the scalar path exactly.
+        let batched: Vec<_> = stats
+            .solves
+            .iter()
+            .filter(|s| s.kind == SolveKind::Fresh)
+            .collect();
+        assert_eq!(batched.len(), m0s.len());
+        for (lane, record) in batched.iter().enumerate() {
+            assert_eq!(record.batch_lane, Some(lane));
+            let scalar_record = &scalar.stats().solves[lane];
+            assert_eq!(record.ode_steps, scalar_record.ode_steps);
+            assert_eq!(record.rejected_steps, scalar_record.rejected_steps);
+            assert_eq!(record.rhs_evals, scalar_record.rhs_evals);
+        }
+    }
+
+    #[test]
+    fn prewarm_skips_cached_duplicate_and_malformed_lanes() {
+        let model = sis();
+        let session = CheckSession::new(&model);
+        let psi = parse_formula("E{<0.3}[ infected ]").unwrap();
+        // Seed the cache with one scalar entry.
+        session.csat(&psi, &m0(), 10.0).unwrap();
+        let other = Occupancy::new(vec![0.5, 0.5]).unwrap();
+        let third = Occupancy::new(vec![0.7, 0.3]).unwrap();
+        let wrong_len = Occupancy::new(vec![0.2, 0.3, 0.5]).unwrap();
+        let lanes = vec![
+            m0(),              // cached — skipped
+            other.clone(),     // missing
+            other,             // duplicate — deduped
+            wrong_len,         // wrong dimension — left to the scalar path
+            third,             // missing
+        ];
+        assert_eq!(session.prewarm(&lanes, 10.0).unwrap(), 2);
+        assert_eq!(session.stats().batch_prewarmed, 2);
+        // Everything present now: nothing left to warm.
+        assert_eq!(session.prewarm(&lanes, 10.0).unwrap(), 0);
+        // Fewer than two missing lanes: not worth a batched drive.
+        let fresh = CheckSession::new(&model);
+        assert_eq!(fresh.prewarm(std::slice::from_ref(&m0()), 10.0).unwrap(), 0);
+        // Invalid horizons are the scalar path's error to report.
+        assert_eq!(fresh.prewarm(&lanes, -1.0).unwrap(), 0);
+        assert_eq!(fresh.prewarm(&lanes, f64::NAN).unwrap(), 0);
+    }
+
+    #[test]
+    fn prewarm_declines_under_fault_injection() {
+        use mfcsl_ode::{FaultMode, FaultPlan};
+        let model = sis();
+        let checker =
+            Checker::new(&model).with_fault_plan(FaultPlan::new(FaultMode::Reject, 5000, 42));
+        let session = CheckSession::from_checker(checker);
+        let m0s = vec![m0(), Occupancy::new(vec![0.5, 0.5]).unwrap()];
+        // The fault stream is defined over scalar RHS calls; prewarm
+        // refuses so chaos semantics stay exactly as without it.
+        assert_eq!(session.prewarm(&m0s, 10.0).unwrap(), 0);
+        let psi = parse_formula("E{<0.9}[ infected ]").unwrap();
+        session.csat_sweep(&psi, &m0s, 5.0).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.batch_prewarmed, 0);
+        assert_eq!(stats.trajectory_solves, 2);
+        assert!(stats.solves.iter().all(|s| s.batch_lane.is_none()));
+    }
+
+    #[test]
+    fn shared_mode_prewarm_still_answers_the_sweep() {
+        let model = sis();
+        let psi = parse_formula("E{<0.3}[ infected ]").unwrap();
+        let m0s: Vec<Occupancy> = (1..5)
+            .map(|i| Occupancy::new(vec![1.0 - 0.1 * f64::from(i), 0.1 * f64::from(i)]).unwrap())
+            .collect();
+        let shared = CheckSession::new(&model).with_batch_mode(BatchMode::Shared);
+        assert_eq!(shared.batch_mode(), BatchMode::Shared);
+        let got = shared.csat_sweep(&psi, &m0s, 10.0).unwrap();
+        assert_eq!(got.len(), m0s.len());
+        let stats = shared.stats();
+        assert_eq!(stats.batch_prewarmed, m0s.len() as u64);
+        // The shared controller is within-tolerance, not bitwise: compare
+        // interval endpoints against the scalar path loosely.
+        let scalar = CheckSession::new(&model);
+        for (m0, b) in m0s.iter().zip(&got) {
+            let a = scalar.csat(&psi, m0, 10.0).unwrap();
+            assert_eq!(a.intervals().len(), b.intervals().len());
+            for (ia, ib) in a.intervals().iter().zip(b.intervals()) {
+                assert!((ia.lo().value - ib.lo().value).abs() < 1e-5);
+                assert!((ia.hi().value - ib.hi().value).abs() < 1e-5);
+            }
+        }
     }
 
     #[test]

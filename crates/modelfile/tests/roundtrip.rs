@@ -156,6 +156,49 @@ fn queueing_mf_matches_with_retry_override() {
 }
 
 #[test]
+fn gossip_mf_batched_drift_is_bitwise_identical_to_programmatic_serial() {
+    // A model-file-compiled drift rides the same K×B batched kernel as a
+    // programmatic one: solving a sweep of initial occupancies as one
+    // per-lane batch of the parsed model must reproduce, bit for bit, the
+    // serial solves of the programmatic model.
+    use mfcsl_core::meanfield;
+    use mfcsl_ode::{BatchMode, OdeOptions, Recovery};
+
+    let parsed = load("gossip.mf").instantiate().expect("gossip.mf instantiates");
+    let programmatic = mfcsl_models::gossip::model(mfcsl_models::gossip::default_params()).unwrap();
+    let m0s: Vec<Occupancy> = [
+        vec![0.95, 0.04, 0.01],
+        vec![0.6, 0.3, 0.1],
+        vec![1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0],
+    ]
+    .into_iter()
+    .map(|m| Occupancy::new(m).expect("valid sample occupancy"))
+    .collect();
+    let opts = OdeOptions::default();
+    let theta = 2.0;
+
+    let sweep = meanfield::solve_batch(&parsed, &m0s, theta, &opts, BatchMode::PerLane)
+        .expect("batched sweep of the parsed model solves");
+    assert_eq!(sweep.stats.width, m0s.len());
+    assert_eq!(sweep.stats.detached, 0);
+    for (lane, (m0, result)) in m0s.iter().zip(&sweep.lanes).enumerate() {
+        let (batched, recovery) = result.as_ref().expect("lane solves");
+        assert_eq!(*recovery, Recovery::None);
+        let serial = meanfield::solve(&programmatic, m0, theta, &opts).expect("serial solves");
+        let (cb, cs) = (batched.trajectory().curve(), serial.trajectory().curve());
+        assert_eq!(cs.knots(), cb.knots(), "lane {lane}: knot times differ");
+        for k in 0..cs.knots().len() {
+            for (a, b) in cs.value_at(k).iter().zip(cb.value_at(k)) {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "lane {lane} knot {k}: parsed-batched {b:e} vs programmatic-serial {a:e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn supermarket_mf_matches_with_lambda_override() {
     let file = load("supermarket.mf");
     let overrides: BTreeMap<String, f64> = [("lambda".to_string(), 0.9)].into();

@@ -7,6 +7,10 @@ use mfcsl_core::mfcsl::{parse_formula, CheckSession, Checker, MfFormula};
 use mfcsl_core::{CoreError, LocalModel, Occupancy};
 use mfcsl_csl::Tolerances;
 use mfcsl_models::virus;
+use mfcsl_ode::{
+    solve_batch_recovering, BatchMode, BatchWorkspace, OdeOptions, OdeSystem, Recovery,
+    SolverWorkspace, Trajectory,
+};
 use proptest::prelude::*;
 
 fn setting(index: usize) -> LocalModel {
@@ -144,5 +148,172 @@ proptest! {
         let stats = session.stats();
         prop_assert_eq!(stats.recoveries, 0);
         prop_assert_eq!(stats.stiff_fallbacks, 0);
+    }
+}
+
+/// The mean-field drift of a Table II setting with a poisoned *batched*
+/// kernel: the scalar `rhs` is clean, but `rhs_batch` writes NaN into one
+/// lane's column once that lane's time passes `after`. This models a fault
+/// that only the batched drive sees — exactly the situation where a lane
+/// must detach and fall back to the scalar recovery ladder without
+/// perturbing its siblings. `after = +inf` never fires, giving the clean
+/// reference drive over the identical arithmetic.
+///
+/// The poisoned lane is identified by its initial occupancy, not a column
+/// index: a shared-mode restart repacks the surviving lanes, so the column
+/// that used to be the poisoned lane's neighbour would inherit its index.
+/// At every drive launch (all active lanes evaluated at `t0 = 0`) the
+/// wrapper rescans for the column whose state matches `sig` bitwise and
+/// poisons only that one — after a restart excludes the lane, no survivor
+/// matches and the fault is gone for good.
+struct PoisonedLane<'a> {
+    model: &'a LocalModel,
+    sig: Vec<f64>,
+    after: f64,
+    column: std::cell::Cell<Option<usize>>,
+}
+
+impl OdeSystem for PoisonedLane<'_> {
+    fn dim(&self) -> usize {
+        self.model.n_states()
+    }
+
+    fn rhs(&self, _t: f64, y: &[f64], dy: &mut [f64]) {
+        let n = self.dim();
+        let mut m = y.to_vec();
+        // Hostile states signal the solver through a non-finite derivative,
+        // never a panic — same contract as the production mean-field drift.
+        if mfcsl_math::simplex::renormalize(&mut m).is_err() {
+            dy.fill(f64::NAN);
+            return;
+        }
+        match self.model.generator_at(&Occupancy::new_unchecked(m)) {
+            Ok(q) => {
+                for j in 0..n {
+                    dy[j] = (0..n).map(|i| y[i] * q[(i, j)]).sum();
+                }
+            }
+            Err(_) => dy.fill(f64::NAN),
+        }
+    }
+
+    fn project(&self, _t: f64, y: &mut [f64]) {
+        let _ = mfcsl_math::simplex::renormalize(y);
+    }
+
+    fn rhs_batch(&self, ts: &[f64], active: &[bool], y: &[f64], dy: &mut [f64], width: usize) {
+        let n = self.dim();
+        // A drive launch (fresh batch or shared-mode restart) evaluates
+        // every active lane at t0 = 0 with its initial state: rescan for
+        // the poisoned lane's column there.
+        if (0..width).all(|b| !active[b] || ts[b] == 0.0) {
+            self.column.set((0..width).find(|&b| {
+                active[b] && (0..n).all(|i| y[i * width + b].to_bits() == self.sig[i].to_bits())
+            }));
+        }
+        let mut col = vec![0.0; n];
+        let mut dcol = vec![0.0; n];
+        for b in 0..width {
+            if !active[b] {
+                continue;
+            }
+            for i in 0..n {
+                col[i] = y[i * width + b];
+            }
+            self.rhs(ts[b], &col, &mut dcol);
+            if Some(b) == self.column.get() && ts[b] >= self.after {
+                dcol[0] = f64::NAN;
+            }
+            for i in 0..n {
+                dy[i * width + b] = dcol[i];
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Batch × recovery-ladder interaction: a NaN-injected lane detaches
+    /// from the per-lane batched drive and recovers through the scalar
+    /// ladder (whose clean scalar path reproduces the healthy solve), while
+    /// its siblings' curves stay bitwise unchanged. In shared mode the
+    /// drive restarts without the poisoned lane and still answers every
+    /// lane.
+    #[test]
+    fn prop_poisoned_lane_detaches_and_recovers_without_perturbing_siblings(
+        which in 0usize..4,
+        infected in (0.05f64..0.6, 0.05f64..0.6, 0.05f64..0.6),
+        horizon in 1.0f64..3.0,
+    ) {
+        let model = setting(which);
+        let m0s = [m0(infected.0), m0(infected.1), m0(infected.2)];
+        let y0s: Vec<&[f64]> = m0s.iter().map(Occupancy::as_slice).collect();
+        let opts = OdeOptions::default();
+        let sig = m0s[1].as_slice().to_vec();
+        let clean_sys = PoisonedLane {
+            model: &model,
+            sig: sig.clone(),
+            after: f64::INFINITY,
+            column: Default::default(),
+        };
+        let bad_sys = PoisonedLane {
+            model: &model,
+            sig,
+            after: 0.3 * horizon,
+            column: Default::default(),
+        };
+
+        let solve = |sys: &PoisonedLane<'_>, mode| {
+            let mut ws = BatchWorkspace::new();
+            let mut scalar_ws = SolverWorkspace::new();
+            solve_batch_recovering(sys, 0.0, horizon, &y0s, &opts, mode, &mut ws, &mut scalar_ws)
+        };
+        let clean = solve(&clean_sys, BatchMode::PerLane).expect("clean batch solves");
+        prop_assert_eq!(clean.stats.detached, 0);
+
+        let bad = solve(&bad_sys, BatchMode::PerLane).expect("poisoned batch solves");
+        prop_assert_eq!(bad.stats.detached, 1, "exactly the poisoned lane detaches");
+        prop_assert_eq!(bad.stats.restarts, 0, "per-lane mode never restarts the drive");
+
+        let bits = |t: &Trajectory| -> Vec<u64> {
+            let c = t.curve();
+            (0..c.knots().len())
+                .flat_map(|k| {
+                    c.knots()[k..=k].iter().map(|x| x.to_bits())
+                        .chain(c.value_at(k).iter().map(|x| x.to_bits()))
+                        .chain(c.derivative_at(k).iter().map(|x| x.to_bits()))
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        for (lane, (c, b)) in clean.lanes.iter().zip(&bad.lanes).enumerate() {
+            let (clean_traj, clean_rec) = c.as_ref().expect("clean lane solves");
+            prop_assert_eq!(*clean_rec, Recovery::None);
+            let (bad_traj, _) = b.as_ref().expect("every lane still answers");
+            // The poisoned lane's ladder re-ran the clean scalar path, and
+            // per-lane siblings never saw the fault: all three curves must
+            // be bitwise identical to the clean batch's.
+            prop_assert_eq!(
+                bits(clean_traj),
+                bits(bad_traj),
+                "lane {} curve changed under a sibling's fault", lane
+            );
+        }
+
+        // Shared mode: the drive restarts from t0 without the poisoned
+        // lane (its siblings re-ride one controller), and the poisoned
+        // lane itself still answers through the scalar ladder.
+        let shared = solve(&bad_sys, BatchMode::Shared).expect("shared batch solves");
+        prop_assert_eq!(shared.stats.detached, 1);
+        prop_assert!(shared.stats.restarts >= 1, "shared mode restarts without the lane");
+        for (lane, result) in shared.lanes.iter().enumerate() {
+            let (traj, _) = result.as_ref().expect("every lane still answers");
+            let end = traj.eval(horizon);
+            prop_assert!(
+                end.iter().all(|x| x.is_finite()),
+                "lane {} must end finite in shared mode", lane
+            );
+        }
     }
 }

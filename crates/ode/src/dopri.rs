@@ -103,43 +103,44 @@ impl SolverWorkspace {
     }
 }
 
-// Butcher tableau of the Dormand–Prince 5(4) pair.
-const A21: f64 = 1.0 / 5.0;
-const A31: f64 = 3.0 / 40.0;
-const A32: f64 = 9.0 / 40.0;
-const A41: f64 = 44.0 / 45.0;
-const A42: f64 = -56.0 / 15.0;
-const A43: f64 = 32.0 / 9.0;
-const A51: f64 = 19372.0 / 6561.0;
-const A52: f64 = -25360.0 / 2187.0;
-const A53: f64 = 64448.0 / 6561.0;
-const A54: f64 = -212.0 / 729.0;
-const A61: f64 = 9017.0 / 3168.0;
-const A62: f64 = -355.0 / 33.0;
-const A63: f64 = 46732.0 / 5247.0;
-const A64: f64 = 49.0 / 176.0;
-const A65: f64 = -5103.0 / 18656.0;
-const B1: f64 = 35.0 / 384.0;
-const B3: f64 = 500.0 / 1113.0;
-const B4: f64 = 125.0 / 192.0;
-const B5: f64 = -2187.0 / 6784.0;
-const B6: f64 = 11.0 / 84.0;
+// Butcher tableau of the Dormand–Prince 5(4) pair. `pub(crate)` so the
+// batched lane (crate::batch) steps with the exact same coefficients.
+pub(crate) const A21: f64 = 1.0 / 5.0;
+pub(crate) const A31: f64 = 3.0 / 40.0;
+pub(crate) const A32: f64 = 9.0 / 40.0;
+pub(crate) const A41: f64 = 44.0 / 45.0;
+pub(crate) const A42: f64 = -56.0 / 15.0;
+pub(crate) const A43: f64 = 32.0 / 9.0;
+pub(crate) const A51: f64 = 19372.0 / 6561.0;
+pub(crate) const A52: f64 = -25360.0 / 2187.0;
+pub(crate) const A53: f64 = 64448.0 / 6561.0;
+pub(crate) const A54: f64 = -212.0 / 729.0;
+pub(crate) const A61: f64 = 9017.0 / 3168.0;
+pub(crate) const A62: f64 = -355.0 / 33.0;
+pub(crate) const A63: f64 = 46732.0 / 5247.0;
+pub(crate) const A64: f64 = 49.0 / 176.0;
+pub(crate) const A65: f64 = -5103.0 / 18656.0;
+pub(crate) const B1: f64 = 35.0 / 384.0;
+pub(crate) const B3: f64 = 500.0 / 1113.0;
+pub(crate) const B4: f64 = 125.0 / 192.0;
+pub(crate) const B5: f64 = -2187.0 / 6784.0;
+pub(crate) const B6: f64 = 11.0 / 84.0;
 // Error coefficients: b (order 5) minus b* (order 4).
-const E1: f64 = 71.0 / 57_600.0;
-const E3: f64 = -71.0 / 16_695.0;
-const E4: f64 = 71.0 / 1_920.0;
-const E5: f64 = -17_253.0 / 339_200.0;
-const E6: f64 = 22.0 / 525.0;
-const E7: f64 = -1.0 / 40.0;
+pub(crate) const E1: f64 = 71.0 / 57_600.0;
+pub(crate) const E3: f64 = -71.0 / 16_695.0;
+pub(crate) const E4: f64 = 71.0 / 1_920.0;
+pub(crate) const E5: f64 = -17_253.0 / 339_200.0;
+pub(crate) const E6: f64 = 22.0 / 525.0;
+pub(crate) const E7: f64 = -1.0 / 40.0;
 
-const C2: f64 = 1.0 / 5.0;
-const C3: f64 = 3.0 / 10.0;
-const C4: f64 = 4.0 / 5.0;
-const C5: f64 = 8.0 / 9.0;
+pub(crate) const C2: f64 = 1.0 / 5.0;
+pub(crate) const C3: f64 = 3.0 / 10.0;
+pub(crate) const C4: f64 = 4.0 / 5.0;
+pub(crate) const C5: f64 = 8.0 / 9.0;
 
-const SAFETY: f64 = 0.9;
-const FAC_MIN: f64 = 0.2;
-const FAC_MAX: f64 = 5.0;
+pub(crate) const SAFETY: f64 = 0.9;
+pub(crate) const FAC_MIN: f64 = 0.2;
+pub(crate) const FAC_MAX: f64 = 5.0;
 
 impl Dopri5 {
     /// Creates a solver with the given options.

@@ -53,6 +53,7 @@
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod dopri;
 pub mod error;
 pub mod events;
@@ -64,6 +65,7 @@ pub mod recover;
 pub mod solution;
 pub mod stiff;
 
+pub use batch::{solve_batch_recovering, BatchMode, BatchOutcome, BatchSolution, BatchStats, BatchWorkspace};
 pub use dopri::SolverWorkspace;
 pub use error::OdeError;
 pub use fault::{FaultMode, FaultPlan, FaultySystem};

@@ -31,6 +31,66 @@ pub trait OdeSystem {
     /// point (e.g. renormalizing an occupancy vector onto the probability
     /// simplex). The default is a no-op.
     fn project(&self, _t: f64, _y: &mut [f64]) {}
+
+    /// Writes `f(ts[b], y[:, b])` into column `b` of `dy` for every lane
+    /// with `active[b]`, where `y`/`dy` are component-major,
+    /// lane-minor structure-of-arrays buffers of shape `dim × width`
+    /// (component `i` of lane `b` lives at `i * width + b`).
+    ///
+    /// This is the kernel of the batched solving lane
+    /// ([`crate::batch`]): one invocation advances every lane of a
+    /// [`crate::batch::BatchWorkspace`]. The contract is **column
+    /// independence** — column `b` of `dy` may depend only on column `b` of
+    /// `y` (and `ts[b]`), and inactive columns must be left untouched — so
+    /// per-lane results match the scalar [`OdeSystem::rhs`] bitwise.
+    ///
+    /// The default implementation gathers each active column into a scratch
+    /// vector, calls the scalar [`OdeSystem::rhs`], and scatters the result
+    /// back: correct for every system (bitwise identical per column), at
+    /// the cost of two small allocations per call. Hot systems override it
+    /// with a real K×B kernel.
+    ///
+    /// Implementations may assume `ts.len() == active.len() == width` and
+    /// `y.len() == dy.len() == self.dim() * width`.
+    fn rhs_batch(&self, ts: &[f64], active: &[bool], y: &[f64], dy: &mut [f64], width: usize) {
+        let n = self.dim();
+        let mut col = vec![0.0; n];
+        let mut dcol = vec![0.0; n];
+        for b in 0..width {
+            if !active[b] {
+                continue;
+            }
+            for i in 0..n {
+                col[i] = y[i * width + b];
+            }
+            self.rhs(ts[b], &col, &mut dcol);
+            for i in 0..n {
+                dy[i * width + b] = dcol[i];
+            }
+        }
+    }
+
+    /// Batched counterpart of [`OdeSystem::project`]: applies the post-step
+    /// projection to every column of `y` with `active[b]` set, in the same
+    /// structure-of-arrays layout as [`OdeSystem::rhs_batch`]. Same column
+    /// independence contract; the default gathers, projects with the scalar
+    /// hook, and scatters.
+    fn project_batch(&self, ts: &[f64], active: &[bool], y: &mut [f64], width: usize) {
+        let n = self.dim();
+        let mut col = vec![0.0; n];
+        for b in 0..width {
+            if !active[b] {
+                continue;
+            }
+            for i in 0..n {
+                col[i] = y[i * width + b];
+            }
+            self.project(ts[b], &mut col);
+            for i in 0..n {
+                y[i * width + b] = col[i];
+            }
+        }
+    }
 }
 
 /// Adapter turning a closure into an [`OdeSystem`].

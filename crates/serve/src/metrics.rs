@@ -36,6 +36,8 @@ pub struct ServerMetrics {
     pub warm_hits: AtomicU64,
     /// Check requests that had to build a cold session.
     pub cold_starts: AtomicU64,
+    /// `POST /v1/prewarm` requests answered `200`.
+    pub prewarms: AtomicU64,
     /// Latency histogram counts, one per entry of [`LATENCY_BUCKETS_US`]
     /// plus a final overflow bucket.
     buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
@@ -97,6 +99,7 @@ impl ServerMetrics {
         line(&mut out, "mfcsld_sessions_quarantined_total", sessions_quarantined.to_string());
         line(&mut out, "mfcsld_session_warm_hits_total", g(&self.warm_hits).to_string());
         line(&mut out, "mfcsld_session_cold_starts_total", g(&self.cold_starts).to_string());
+        line(&mut out, "mfcsld_prewarm_requests_total", g(&self.prewarms).to_string());
         line(&mut out, "mfcsld_queue_depth", queue_depth.to_string());
         line(&mut out, "mfcsld_queue_capacity", queue_capacity.to_string());
         let mut cumulative = 0;
@@ -127,6 +130,7 @@ impl ServerMetrics {
         line(&mut out, "mfcsld_engine_stiff_fallbacks_total", engine.stiff_fallbacks.to_string());
         line(&mut out, "mfcsld_engine_refined_verdicts_total", engine.refined_verdicts.to_string());
         line(&mut out, "mfcsld_engine_refine_rounds_total", engine.refine_rounds.to_string());
+        line(&mut out, "mfcsld_engine_prewarm_lanes_total", engine.batch_prewarmed.to_string());
         line(&mut out, "mfcsld_engine_sat_set_hits_total", engine.cache.set_hits.to_string());
         line(&mut out, "mfcsld_engine_sat_set_misses_total", engine.cache.set_misses.to_string());
         line(&mut out, "mfcsld_engine_curve_hits_total", engine.cache.curve_hits.to_string());
@@ -160,6 +164,8 @@ mod tests {
         assert!(text.contains("mfcsld_requests_engine_errors_total 0"), "{text}");
         assert!(text.contains("mfcsld_engine_recoveries_total 0"), "{text}");
         assert!(text.contains("mfcsld_engine_refined_verdicts_total 0"), "{text}");
+        assert!(text.contains("mfcsld_prewarm_requests_total 0"), "{text}");
+        assert!(text.contains("mfcsld_engine_prewarm_lanes_total 0"), "{text}");
         assert!(text.contains("mfcsld_request_latency_us_bucket{le=\"100\"} 2"), "{text}");
         assert!(text.contains("mfcsld_request_latency_us_bucket{le=\"3160\"} 3"), "{text}");
         assert!(text.contains("mfcsld_request_latency_us_bucket{le=\"+Inf\"} 4"), "{text}");

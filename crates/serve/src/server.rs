@@ -344,6 +344,7 @@ fn handle_connection(shared: &Arc<Shared>, pending: Pending) {
             shared.queue_signal.notify_all();
         }
         ("POST", "/v1/check") => handle_check(shared, &mut stream, &request, enqueued_at),
+        ("POST", "/v1/prewarm") => handle_prewarm(shared, &mut stream, &request),
         _ => {
             shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
             respond_error(
@@ -548,6 +549,144 @@ fn handle_check(
     .render();
     shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
     shared.metrics.observe_latency(enqueued_at.elapsed());
+    let _ = write_response(stream, 200, "application/json", &[], response.as_bytes());
+}
+
+/// `POST /v1/prewarm`: solve a sweep of initial occupancies for one model
+/// with one batched Dopri5 drive, so subsequent `/v1/check` requests find
+/// their trajectories warm. Body:
+/// `{"model": "...", "m0s": [[...], ...], "horizon": T,
+///   "fast"?: bool, "params"?: {...}}`. Answers
+/// `{"model", "warmed": n, "lanes": len(m0s), "warm": bool, "micros"}`.
+/// The batch runs with per-lane controllers, so a prewarmed session's
+/// verdicts stay bitwise identical to a cold one's.
+fn handle_prewarm(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
+    let client_error =
+        |shared: &Shared, stream: &mut TcpStream, status: u16, code: &str, message: &str| {
+            shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+            respond_error(stream, status, code, message);
+        };
+    let body = match std::str::from_utf8(&request.body)
+        .map_err(|e| e.to_string())
+        .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
+    {
+        Ok(v) => v,
+        Err(e) => {
+            return client_error(shared, stream, 400, "bad_request", &format!("bad JSON body: {e}"))
+        }
+    };
+    let Some(model_name) = body.get("model").and_then(Json::as_str) else {
+        return client_error(shared, stream, 400, "bad_request", "missing string field `model`");
+    };
+    if shared.registry.get(model_name).is_none() {
+        return client_error(
+            shared,
+            stream,
+            404,
+            "unknown_model",
+            &format!("unknown model `{model_name}`"),
+        );
+    }
+    let Some(lanes) = body.get("m0s").and_then(Json::as_arr) else {
+        return client_error(shared, stream, 400, "bad_request", "missing array field `m0s`");
+    };
+    let mut m0s = Vec::with_capacity(lanes.len());
+    for (i, lane) in lanes.iter().enumerate() {
+        let fractions: Option<Vec<f64>> = lane
+            .as_arr()
+            .map(|vs| vs.iter().map(Json::as_f64).collect())
+            .unwrap_or(None);
+        let m0 = fractions
+            .ok_or_else(|| "must be an array of numbers".to_string())
+            .and_then(|f| Occupancy::new(f).map_err(|e| e.to_string()));
+        match m0 {
+            Ok(m) => m0s.push(m),
+            Err(e) => {
+                return client_error(
+                    shared,
+                    stream,
+                    400,
+                    "bad_request",
+                    &format!("bad `m0s[{i}]`: {e}"),
+                )
+            }
+        }
+    }
+    let horizon = match body.get("horizon").and_then(Json::as_f64) {
+        Some(t) if t.is_finite() && t > 0.0 => t,
+        _ => {
+            return client_error(
+                shared,
+                stream,
+                400,
+                "bad_request",
+                "`horizon` must be a finite positive time",
+            )
+        }
+    };
+    let fast = body.get("fast").and_then(Json::as_bool).unwrap_or(false);
+    let overrides = match body.get("params") {
+        None => std::collections::BTreeMap::new(),
+        Some(v) => match v.as_num_map() {
+            Some(m) => m,
+            None => {
+                return client_error(
+                    shared,
+                    stream,
+                    400,
+                    "bad_request",
+                    "`params` must map names to numbers",
+                )
+            }
+        },
+    };
+
+    // Prewarm never runs on a faulted session: the fault stream is defined
+    // over scalar solves, and the engine itself declines batching there.
+    let key = SessionKey::new(model_name, &overrides, fast, None);
+    let (session, warm) = match shared.store.get_or_create(&shared.registry, &key) {
+        Ok(pair) => pair,
+        Err(e) => {
+            let (status, code) = if e.to_string().contains("unknown model") {
+                (404, "unknown_model")
+            } else {
+                (400, "bad_request")
+            };
+            return client_error(shared, stream, status, code, &e.to_string());
+        }
+    };
+    if warm {
+        shared.metrics.warm_hits.fetch_add(1, Ordering::Relaxed);
+    } else {
+        shared.metrics.cold_starts.fetch_add(1, Ordering::Relaxed);
+    }
+    let started = Instant::now();
+    let warmed = match session.prewarm(&m0s, horizon) {
+        Ok(n) => {
+            shared.store.record_success(&key);
+            n
+        }
+        Err(e) => {
+            let (status, code) = classify_engine_error(&e);
+            if status >= 500 {
+                shared.metrics.engine_errors.fetch_add(1, Ordering::Relaxed);
+                shared.store.record_failure(&key);
+            } else {
+                shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            return respond_error(stream, status, code, &e.to_string());
+        }
+    };
+    let micros = started.elapsed().as_secs_f64() * 1e6;
+    shared.metrics.prewarms.fetch_add(1, Ordering::Relaxed);
+    let response = Json::Obj(vec![
+        ("model".into(), Json::from(model_name)),
+        ("warmed".into(), Json::Num(warmed as f64)),
+        ("lanes".into(), Json::Num(m0s.len() as f64)),
+        ("warm".into(), Json::Bool(warm)),
+        ("micros".into(), Json::Num(micros)),
+    ])
+    .render();
     let _ = write_response(stream, 200, "application/json", &[], response.as_bytes());
 }
 

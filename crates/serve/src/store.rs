@@ -149,6 +149,22 @@ impl WarmSession {
         self.session.check_all(psis, m0)
     }
 
+    /// Solves the trajectories for a sweep of initial occupancies with one
+    /// batched Dopri5 drive, so later checks find their trajectory warm.
+    /// Delegates to [`CheckSession::prewarm`]; the per-lane batch controller
+    /// keeps every cached trajectory bitwise identical to scalar solving,
+    /// so prewarmed daemon verdicts stay bitwise identical to offline ones.
+    /// Returns the number of trajectory entries created (owned data only —
+    /// nothing borrows the erased-lifetime session).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures; individual diverging lanes are skipped,
+    /// not errors.
+    pub fn prewarm(&self, m0s: &[Occupancy], horizon: f64) -> Result<usize, CoreError> {
+        self.session.prewarm(m0s, horizon)
+    }
+
     /// Snapshot of the session's engine counters.
     #[must_use]
     pub fn stats(&self) -> EngineStats {

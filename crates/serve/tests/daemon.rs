@@ -390,6 +390,91 @@ fn marginal_verdicts_carry_a_refinement_record_on_the_wire() {
 }
 
 #[test]
+fn prewarm_endpoint_batches_the_sweep_and_keeps_verdicts_bitwise() {
+    use std::net::TcpStream;
+
+    let (addr, handle) = start_daemon(ServerConfig::default());
+    let sweep: [[f64; 3]; 3] = [VIRUS_M0, [0.7, 0.2, 0.1], [0.6, 0.3, 0.1]];
+
+    // One prewarm request: three lanes, one batched Dopri5 drive.
+    let body = format!(
+        r#"{{"model":"virus","m0s":[{}],"horizon":5.0}}"#,
+        sweep
+            .iter()
+            .map(|m| format!("[{},{},{}]", m[0], m[1], m[2]))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let resp =
+        mfcsl_serve::http::roundtrip(&mut stream, "POST", "/v1/prewarm", body.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let reply = mfcsl_serve::Json::parse(&resp.text()).unwrap();
+    assert_eq!(reply.get("warmed").and_then(mfcsl_serve::Json::as_f64), Some(3.0));
+    assert_eq!(reply.get("lanes").and_then(mfcsl_serve::Json::as_f64), Some(3.0));
+    assert_eq!(reply.get("warm").and_then(mfcsl_serve::Json::as_bool), Some(false));
+
+    // Offline reference: a cold scalar session. The daemon prewarms with
+    // per-lane controllers, so its verdicts must match bitwise — same
+    // holds/marginal for every formula at every occupancy.
+    let file = mfcsl_modelfile::ModelFile::load(&modelfile_dir().join("virus.mf")).unwrap();
+    let model = file.instantiate().unwrap();
+    let offline = CheckSession::new(&model);
+    let psis: Vec<_> = virus_formulas()
+        .iter()
+        .map(|f| parse_formula(f).unwrap())
+        .collect();
+    for m0 in &sweep {
+        let reference = offline
+            .check_all(&psis, &Occupancy::new(m0.to_vec()).unwrap())
+            .unwrap();
+        let outcome = client::post_check(&addr, &CheckRequest::new("virus", m0, &virus_formulas()))
+            .unwrap();
+        assert!(outcome.warm, "prewarm must have built the session");
+        for (wire, scalar) in outcome.verdicts.iter().zip(&reference) {
+            assert_eq!(wire.holds, scalar.holds(), "{} at {m0:?}", wire.formula);
+            assert_eq!(wire.marginal, scalar.is_marginal(), "{} at {m0:?}", wire.formula);
+        }
+    }
+
+    let metrics = client::get_text(&addr, "/metrics").unwrap();
+    assert!(metrics.contains("mfcsld_prewarm_requests_total 1"), "{metrics}");
+    assert!(metrics.contains("mfcsld_engine_prewarm_lanes_total 3"), "{metrics}");
+    // All three trajectories came from the one batched drive; the checks
+    // afterwards reused them instead of solving scalar.
+    assert!(metrics.contains("mfcsld_engine_trajectory_solves_total 3"), "{metrics}");
+    assert!(metrics.contains("mfcsld_session_cold_starts_total 1"), "{metrics}");
+    assert!(metrics.contains("mfcsld_session_warm_hits_total 3"), "{metrics}");
+
+    // Re-prewarming the same sweep is a cheap no-op: everything is cached.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let resp =
+        mfcsl_serve::http::roundtrip(&mut stream, "POST", "/v1/prewarm", body.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let reply = mfcsl_serve::Json::parse(&resp.text()).unwrap();
+    assert_eq!(reply.get("warmed").and_then(mfcsl_serve::Json::as_f64), Some(0.0));
+
+    // Malformed prewarms are clean client errors, never dead workers.
+    for (bad, status) in [
+        (r#"{"model":"ghost","m0s":[[0.8,0.15,0.05]],"horizon":5.0}"#, 404),
+        (r#"{"model":"virus","m0s":[[0.5,0.6,0.2]],"horizon":5.0}"#, 400),
+        (r#"{"model":"virus","m0s":[[0.8,0.15,0.05]],"horizon":-1.0}"#, 400),
+        (r#"{"model":"virus","m0s":"everywhere","horizon":5.0}"#, 400),
+        (r#"{"model":"virus","horizon":5.0}"#, 400),
+    ] {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let resp =
+            mfcsl_serve::http::roundtrip(&mut stream, "POST", "/v1/prewarm", bad.as_bytes())
+                .unwrap();
+        assert_eq!(resp.status, status, "{bad} → {}", resp.text());
+    }
+    assert_eq!(client::get_text(&addr, "/healthz").unwrap(), "ok\n");
+
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
 fn concurrent_clients_get_identical_verdicts() {
     let (addr, handle) = start_daemon(ServerConfig {
         workers: 4,

@@ -7,12 +7,20 @@
 #   3. the whole test suite (unit + property + integration);
 #   4. a smoke run of the parallel-checking benchmark, validating that it
 #      produces well-formed JSON (both the checking and the solver-kernel
-#      reports) and that every parallel run was bitwise equal to serial;
-#   5. a second smoke run through the --baseline regression gate against
-#      the first, exercising the baseline parser and the gate verdict
-#      (smoke walls sit below the gate's noise floor, so this checks the
-#      machinery deterministically; real slowdown detection happens on
-#      full-size runs compared across commits);
+#      reports), that every parallel run was bitwise equal to serial, and
+#      that the batched SoA sweep kernels (batch_sweep_perlane /
+#      batch_sweep_shared) are present, carry per-lane accept/reject/eval
+#      tallies, and hold the RHS-eval budget (a B-occupancy sweep costs at
+#      most 3x one scalar solve's evaluations); the same batch checks run
+#      against the committed BENCH_solver.json so the published artifact
+#      cannot drift from the acceptance bar;
+#   5. a second smoke run through the --baseline AND --solver-baseline
+#      regression gates against the first, exercising both baseline
+#      parsers and gate verdicts (smoke walls sit below the gate's noise
+#      floor, so this checks the machinery deterministically; real
+#      slowdown detection happens on full-size runs compared across
+#      commits — the solver gate additionally compares rhs_evals, which
+#      are deterministic and must match exactly on identical trees);
 #   6. an mfcsld daemon smoke test: an ephemeral-port daemon answers 20
 #      concurrent formula requests bitwise identically to the offline
 #      CLI, reports warm-cache hits in /metrics on the second batch,
@@ -66,7 +74,7 @@ gate_solver_out="$tmpdir/bench_solver_gate.json"
 cargo run --release -p mfcsl-bench --bin bench_check -- --smoke \
     --out "$smoke_out" --solver-out "$solver_out" >/dev/null
 
-python3 - "$smoke_out" "$solver_out" <<'EOF'
+python3 - "$smoke_out" "$solver_out" BENCH_solver.json <<'EOF'
 import json, sys
 
 with open(sys.argv[1]) as f:
@@ -96,6 +104,8 @@ kernels = [k["name"] for k in solver["kernels"]]
 dense_kernels = [
     "meanfield_fresh",
     "meanfield_workspace",
+    "batch_sweep_perlane",
+    "batch_sweep_shared",
     "transition_matrix",
     "window_full",
     "window_fastpath",
@@ -119,6 +129,55 @@ assert by_name["meanfield_workspace"]["rhs_evals"] == by_name["meanfield_fresh"]
 assert by_name["meanfield_workspace"]["allocations"] <= by_name["meanfield_fresh"]["allocations"]
 # The steady-regime hand-off must save Runge-Kutta work on the same problem.
 assert by_name["window_fastpath"]["rhs_evals"] < by_name["window_full"]["rhs_evals"]
+
+
+def check_batch_kernels(by_name):
+    """Schema + RHS-eval-budget checks for the batched SoA sweep kernels.
+
+    A batch kernel's rhs_evals counts K x B drive invocations: one batched
+    call advances every lane, so a B-occupancy sweep must cost at most 3x
+    one scalar solve's evaluations (budget = 3 * fresh_total / B, with
+    fresh solving the same B occupancies serially).
+    """
+    fresh = by_name["meanfield_fresh"]
+    for name in ("batch_sweep_perlane", "batch_sweep_shared"):
+        k = by_name[name]
+        width = k["batch_width"]
+        assert width >= 2, (name, k)
+        assert k["detached"] == 0, (name, k)
+        assert k["restarts"] == 0, (name, k)
+        lanes = k["lanes"]
+        assert len(lanes) == width, (name, lanes)
+        for b, lane in enumerate(lanes):
+            assert lane["lane"] == b, (name, lane)
+            assert lane["accepted"] > 0, (name, lane)
+            assert lane["rejected"] >= 0, (name, lane)
+            assert lane["rhs_evals"] > 0, (name, lane)
+        budget = 3 * fresh["rhs_evals"] / width
+        assert k["rhs_evals"] <= budget, (
+            name, k["rhs_evals"], budget)
+    # Per-lane controllers replay each scalar accept/reject stream exactly,
+    # so the lane tallies must sum to the serial sweep's totals.
+    perlane = by_name["batch_sweep_perlane"]
+    assert sum(l["rhs_evals"] for l in perlane["lanes"]) == fresh["rhs_evals"], perlane
+    assert sum(l["accepted"] for l in perlane["lanes"]) == fresh["accepted_steps"], perlane
+
+
+check_batch_kernels(by_name)
+print("batch_sweep kernels present; lane schema valid; "
+      "sweep rhs_evals within 3x one solve's budget")
+
+# The committed artifact must hold the same bar: batch kernels present,
+# per-lane schema intact, RHS-eval budget kept. (Wall-clock is not
+# asserted — it is host-dependent; the deterministic counters are not.)
+with open(sys.argv[3]) as f:
+    committed = json.load(f)
+assert committed["bench"] == "solver", committed
+committed_names = [k["name"] for k in committed["kernels"]]
+assert "batch_sweep_perlane" in committed_names, committed_names
+assert "batch_sweep_shared" in committed_names, committed_names
+check_batch_kernels({k["name"]: k for k in committed["kernels"]})
+print("committed BENCH_solver.json carries batch_sweep kernels within budget")
 # The sparse lane must run in O(nnz) memory: peak heap growth below one
 # dense K x K matrix (8 K^2 bytes). At K = 64 the GMRES restart basis
 # (60 vectors) legitimately dominates 8 K^2, so the bound is asserted
@@ -137,10 +196,22 @@ print("bench_solver smoke report is well-formed; fast path saves RHS evaluations
       "sparse kernels stay below one dense matrix of heap growth")
 EOF
 
-echo "== bench_check --baseline regression gate =="
+echo "== bench_check --baseline / --solver-baseline regression gates =="
 cargo run --release -p mfcsl-bench --bin bench_check -- --smoke \
-    --out "$gate_out" --solver-out "$gate_solver_out" --baseline "$smoke_out" \
-    | grep "baseline gate"
+    --out "$gate_out" --solver-out "$gate_solver_out" \
+    --baseline "$smoke_out" --solver-baseline "$solver_out" \
+    > "$tmpdir/gate.txt"
+grep "baseline gate" "$tmpdir/gate.txt"
+grep "solver gate" "$tmpdir/gate.txt"
+# The solver kernels are deterministic between identical trees: every
+# compared kernel must pass, and the batch kernels must be among them.
+if grep "solver gate" "$tmpdir/gate.txt" | grep -q "FAIL"; then
+    echo "solver gate regressed between identical smoke runs"; exit 1
+fi
+grep "solver gate" "$tmpdir/gate.txt" | grep -q "batch_sweep_perlane" || {
+    echo "solver gate never compared batch_sweep_perlane"; exit 1; }
+grep "solver gate" "$tmpdir/gate.txt" | grep -q "batch_sweep_shared" || {
+    echo "solver gate never compared batch_sweep_shared"; exit 1; }
 
 echo "== mfcsld daemon smoke =="
 mfcsl=./target/release/mfcsl
