@@ -1,32 +1,63 @@
 //! Load benchmark of the `mfcsld` serving layer: writes
 //! `BENCH_serve.json` at the repo root.
 //!
-//! Two workloads against an in-process daemon on an ephemeral port:
+//! Four workloads, plus a snapshot-restart probe:
 //!
 //! * **cold** — sequential requests that each carry a distinct parameter
 //!   override, so every one misses the session store and pays the full
 //!   session build (model instantiation + mean-field solve). This is the
-//!   worst-case per-request latency.
+//!   worst-case per-request latency. Sized so the p99 rank is resolvable
+//!   (see `tail_resolved`).
 //! * **warm** — a closed-loop fleet of concurrent clients hammering one
-//!   `(model, params, tolerances)` session key. After the first request
-//!   the session is warm: every verdict is served from the shared
-//!   memoized `CheckSession`, and the report asserts all responses are
-//!   bitwise identical to the first.
+//!   `(model, params, tolerances)` session key over one connection per
+//!   request (the historical baseline shape, kept for comparability with
+//!   committed reports from the blocking core).
+//! * **warm_keepalive** — ≥1000 simulated keep-alive clients (a few OS
+//!   threads each round-robining hundreds of [`Client`]s, so every client
+//!   holds its own live connection) with a mixed key population: ~90% of
+//!   requests hit the shared hot key, the rest spread over tenant keys
+//!   that start cold and warm up mid-run. The report records how many
+//!   server-side connections the run opened; keep-alive demands
+//!   connections ≪ requests.
+//! * **sharded** — two in-process shard daemons behind the consistent-hash
+//!   router on the epoll reactor; clients alternate between two keys that
+//!   the hash pins to different shards. Latencies are reported per shard
+//!   and in aggregate.
 //!
-//! Each workload records throughput and the p50/p95/p99 of the
-//! client-observed request latency. The report is stamped with the git
-//! revision and the machine's available parallelism (PR-3 conventions;
-//! like the other reports, wall-clock from different hosts is not
-//! commensurable).
+//! **snapshot_restart** — a daemon with `--state-dir` serves a key warm,
+//! drains (persisting the session), restarts on the same directory, and
+//! the probe times the very first request of the second life: it must be
+//! warm, bitwise identical, and within 5x the first life's warm p50.
+//!
+//! Every workload asserts bitwise identity of responses against its
+//! reference. The report is stamped with the git revision and the
+//! machine's available parallelism; `--serve-baseline <path>` gates this
+//! run against a previous report (throughput >= 0.75x, p99 <= 1.25x) and
+//! refuses cross-core-count comparisons outright.
 //!
 //! Usage: `cargo run --release -p mfcsl-bench --bin bench_serve --
-//! [--smoke] [--out <path>] [--models <dir>]`.
+//! [--smoke] [--out <path>] [--models <dir>] [--serve-baseline <path>]`.
 
 use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
-use std::time::Instant;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use mfcsl_serve::{client, CheckRequest, ModelRegistry, Server, ServerConfig};
+use mfcsl_serve::metrics::ServerMetrics;
+use mfcsl_serve::router::route_for;
+use mfcsl_serve::{
+    client, reactor, CheckRequest, Client, Json, ModelRegistry, ReactorOptions, RequestHandler,
+    Router, RouterConfig, Server, ServerConfig, SessionKey, ShardSpec,
+};
+
+struct ShardStats {
+    shard: usize,
+    /// Sorted client-observed latencies in microseconds.
+    latencies_us: Vec<u64>,
+}
 
 struct ServeWorkload {
     name: &'static str,
@@ -37,24 +68,46 @@ struct ServeWorkload {
     /// Sorted client-observed latencies in microseconds.
     latencies_us: Vec<u64>,
     bitwise_equal: bool,
+    /// Server-side connections the workload opened (keep-alive workloads
+    /// only): must stay far below `requests`.
+    connections: Option<u64>,
+    /// Per-shard latency splits (sharded workload only).
+    shards: Vec<ShardStats>,
 }
 
 impl ServeWorkload {
     fn throughput_rps(&self) -> f64 {
         self.requests as f64 / self.wall_seconds
     }
-
-    /// Nearest-rank percentile of the sorted latency list.
-    fn percentile_us(&self, q: f64) -> u64 {
-        if self.latencies_us.is_empty() {
-            return 0;
-        }
-        let rank = (q * self.latencies_us.len() as f64).ceil() as usize;
-        self.latencies_us[rank.clamp(1, self.latencies_us.len()) - 1]
-    }
 }
 
-fn main() {
+/// Nearest-rank percentile of a sorted latency list.
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Whether the tail quantile `q` is resolvable at this sample count: the
+/// nearest-rank p99 of 12 samples is just the max (and equals p95), which
+/// is how a report ends up with degenerate `p95 == p99` columns. The
+/// report carries this flag so consumers (and the regression gate) know
+/// when the tail is real.
+fn tail_resolved(samples: usize, q: f64) -> bool {
+    samples as f64 * (1.0 - q) >= 1.0
+}
+
+struct SnapshotRestart {
+    warm_p50_us: u64,
+    first_request_us: u64,
+    within_5x_warm_p50: bool,
+    warm: bool,
+    bitwise_equal: bool,
+}
+
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let flag = |name: &str| {
@@ -62,14 +115,15 @@ fn main() {
     };
     let out_path = flag("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
     let models_dir = flag("--models").map(PathBuf::from).unwrap_or_else(default_models_dir);
+    let baseline_path = flag("--serve-baseline");
 
-    let registry = ModelRegistry::load(std::slice::from_ref(&models_dir)).expect("models load");
     let workers = mfcsl_pool::default_parallelism().max(2);
     let server = Server::bind(
-        registry,
+        load_registry(&models_dir),
         ServerConfig {
             workers,
-            queue_capacity: 256,
+            queue_capacity: 1024,
+            max_sessions: 512,
             ..ServerConfig::default()
         },
     )
@@ -77,33 +131,75 @@ fn main() {
     let addr = server.local_addr().to_string();
     let daemon = std::thread::spawn(move || server.run());
 
-    let (cold_n, fleet, per_client) = if smoke { (3, 4, 5) } else { (12, 8, 25) };
-    let workloads = vec![
+    // (cold, warm fleet x per-client, keep-alive threads x clients x
+    // rounds over `tenants` cold-start keys, shard fleet x per-client,
+    // snapshot warm probes)
+    let (cold_n, fleet, per_client, ka, tenants, shard_per_client, probes) = if smoke {
+        (8, 4, 5, (4, 32, 2), 16, 5, 5)
+    } else {
+        (120, 8, 25, (8, 128, 4), 64, 40, 20)
+    };
+    let (ka_threads, ka_clients, ka_rounds) = ka;
+
+    let mut workloads = vec![
         cold_workload(&addr, cold_n),
         warm_workload(&addr, fleet, per_client),
+        keepalive_workload(&addr, ka_threads, ka_clients, ka_rounds, tenants),
     ];
-
     client::shutdown(&addr).expect("daemon drains");
     daemon.join().expect("daemon thread").expect("daemon exits cleanly");
 
-    let json = render_json(&workloads, workers, smoke);
-    std::fs::write(&out_path, json).expect("write benchmark report");
+    workloads.push(sharded_workload(&models_dir, fleet, shard_per_client));
+    let restart = snapshot_restart_probe(&models_dir, probes);
+
+    let json = render_json(&workloads, &restart, workers, smoke);
+    std::fs::write(&out_path, &json).expect("write benchmark report");
     println!("report written to {out_path}");
     for w in &workloads {
         println!(
-            "{:<6} requests={:<4} concurrency={}  wall={:.4}s  rps={:.1}  \
-             p50={}us p95={}us p99={}us  bitwise_equal={}",
+            "{:<15} requests={:<5} concurrency={:<5} wall={:.4}s  rps={:.1}  \
+             p50={}us p95={}us p99={}us{}  bitwise_equal={}",
             w.name,
             w.requests,
             w.concurrency,
             w.wall_seconds,
             w.throughput_rps(),
-            w.percentile_us(0.50),
-            w.percentile_us(0.95),
-            w.percentile_us(0.99),
+            percentile_us(&w.latencies_us, 0.50),
+            percentile_us(&w.latencies_us, 0.95),
+            percentile_us(&w.latencies_us, 0.99),
+            w.connections
+                .map(|c| format!("  connections={c}"))
+                .unwrap_or_default(),
             w.bitwise_equal
         );
+        for s in &w.shards {
+            println!(
+                "  shard {}: requests={} p50={}us p95={}us p99={}us",
+                s.shard,
+                s.latencies_us.len(),
+                percentile_us(&s.latencies_us, 0.50),
+                percentile_us(&s.latencies_us, 0.95),
+                percentile_us(&s.latencies_us, 0.99),
+            );
+        }
     }
+    println!(
+        "snapshot_restart warm_p50={}us first_request={}us within_5x={} warm={} bitwise_equal={}",
+        restart.warm_p50_us,
+        restart.first_request_us,
+        restart.within_5x_warm_p50,
+        restart.warm,
+        restart.bitwise_equal
+    );
+
+    if let Some(path) = baseline_path {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read serve baseline {path}: {e}"));
+        if !serve_gate(&json, &baseline) {
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// `modelfiles/` under the working directory if it exists (running from
@@ -115,6 +211,10 @@ fn default_models_dir() -> PathBuf {
     } else {
         PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../modelfiles")
     }
+}
+
+fn load_registry(models_dir: &PathBuf) -> ModelRegistry {
+    ModelRegistry::load(std::slice::from_ref(models_dir)).expect("models load")
 }
 
 /// The request batch every workload checks: the paper's virus model under
@@ -130,6 +230,14 @@ fn virus_request() -> CheckRequest {
             "ES{>0.1}[ infected ]".to_string(),
         ],
     )
+}
+
+/// A tenant key: the hot-key batch under a per-tenant `k2` override, so
+/// each tenant owns its own warm session.
+fn tenant_request(tenant: usize) -> CheckRequest {
+    let mut req = virus_request();
+    req.params.insert("k2".to_string(), 0.3 + tenant as f64 * 0.005);
+    req
 }
 
 /// Sequential requests, each with a unique `k2` override: a forced session
@@ -159,10 +267,13 @@ fn cold_workload(addr: &str, n: usize) -> ServeWorkload {
         wall_seconds,
         latencies_us,
         bitwise_equal: true,
+        connections: None,
+        shards: Vec::new(),
     }
 }
 
-/// A closed-loop fleet on one session key; all responses must be bitwise
+/// A closed-loop fleet on one session key, one connection per request (the
+/// committed blocking-core baseline shape); all responses must be bitwise
 /// identical to the warm-up reference.
 fn warm_workload(addr: &str, fleet: usize, per_client: usize) -> ServeWorkload {
     let reference = client::post_check(addr, &virus_request()).expect("warm-up request");
@@ -197,25 +308,316 @@ fn warm_workload(addr: &str, fleet: usize, per_client: usize) -> ServeWorkload {
         name: "warm",
         description: format!(
             "{fleet} concurrent closed-loop clients x {per_client} checks of the same \
-             3-formula virus batch on one session key, all served from the shared warm session"
+             3-formula virus batch on one session key, one connection per request \
+             (blocking-core baseline shape)"
         ),
         requests: fleet * per_client,
         concurrency: fleet,
         wall_seconds,
         latencies_us,
         bitwise_equal,
+        connections: None,
+        shards: Vec::new(),
+    }
+}
+
+fn connections_total(addr: &str) -> u64 {
+    let metrics = client::get_text(addr, "/metrics").expect("metrics fetch");
+    metrics
+        .lines()
+        .find_map(|line| {
+            let mut parts = line.split_whitespace();
+            (parts.next() == Some("mfcsld_connections_total"))
+                .then(|| parts.next())?
+                .and_then(|v| v.parse().ok())
+        })
+        .expect("connections counter present")
+}
+
+/// `threads x clients` keep-alive [`Client`]s (each holding its own live
+/// connection) round-robined by a few OS threads; ~90% of requests hit
+/// the shared hot key, the rest a per-client tenant key from a pool of
+/// `tenants` (cold on first touch, warm after). All hot-key responses
+/// must be bitwise identical to the reference, and the run must open far
+/// fewer server-side connections than it sends requests.
+fn keepalive_workload(
+    addr: &str,
+    threads: usize,
+    clients_per_thread: usize,
+    rounds: usize,
+    tenants: usize,
+) -> ServeWorkload {
+    let reference = client::post_check(addr, &virus_request()).expect("warm-up request");
+    let before = connections_total(addr);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let addr = addr.to_string();
+            let reference = reference.verdicts.clone();
+            std::thread::spawn(move || {
+                let mut clients: Vec<Client> =
+                    (0..clients_per_thread).map(|_| Client::new(&addr)).collect();
+                let mut lats = Vec::with_capacity(clients_per_thread * rounds);
+                let mut identical = true;
+                let mut still_connected = true;
+                for round in 0..rounds {
+                    for (i, keep) in clients.iter_mut().enumerate() {
+                        let global = t * clients_per_thread + i;
+                        // Deterministic 1-in-10 mix of tenant keys.
+                        let hot = !(global + round).is_multiple_of(10);
+                        let req = if hot {
+                            virus_request()
+                        } else {
+                            tenant_request(global % tenants)
+                        };
+                        let t0 = Instant::now();
+                        let outcome = keep.check(&req).expect("keep-alive request");
+                        lats.push(t0.elapsed().as_micros() as u64);
+                        if hot {
+                            identical &= outcome.warm && outcome.verdicts == reference;
+                        } else {
+                            identical &= !outcome.verdicts.is_empty();
+                        }
+                    }
+                }
+                still_connected &= clients.iter().all(Client::is_connected);
+                (lats, identical, still_connected)
+            })
+        })
+        .collect();
+    let mut latencies_us = Vec::with_capacity(threads * clients_per_thread * rounds);
+    let mut bitwise_equal = true;
+    for h in handles {
+        let (lats, identical, still_connected) = h.join().expect("keep-alive thread");
+        latencies_us.extend(lats);
+        bitwise_equal &= identical;
+        assert!(still_connected, "a keep-alive client lost its connection mid-run");
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let connections = connections_total(addr) - before;
+    let requests = threads * clients_per_thread * rounds;
+    assert!(
+        connections < requests as u64,
+        "keep-alive must reuse connections: {connections} connections for {requests} requests"
+    );
+    latencies_us.sort_unstable();
+    ServeWorkload {
+        name: "warm_keepalive",
+        description: format!(
+            "{} keep-alive clients ({threads} threads x {clients_per_thread} connections) x \
+             {rounds} rounds; ~90% of requests on the shared hot key, the rest on {tenants} \
+             tenant keys that start cold and warm up mid-run",
+            threads * clients_per_thread
+        ),
+        requests,
+        concurrency: threads * clients_per_thread,
+        wall_seconds,
+        latencies_us,
+        bitwise_equal,
+        connections: Some(connections),
+        shards: Vec::new(),
+    }
+}
+
+/// Two in-process shard daemons behind the consistent-hash router on the
+/// epoll reactor; keep-alive clients alternate between one key per shard.
+fn sharded_workload(models_dir: &PathBuf, fleet: usize, per_client: usize) -> ServeWorkload {
+    // Shard daemons on ephemeral ports.
+    let mut shard_addrs: Vec<SocketAddr> = Vec::new();
+    let mut shard_handles = Vec::new();
+    for _ in 0..2 {
+        let server = Server::bind(
+            load_registry(models_dir),
+            ServerConfig {
+                workers: 2,
+                queue_capacity: 1024,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("shard binds");
+        shard_addrs.push(server.local_addr());
+        shard_handles.push(std::thread::spawn(move || server.run()));
+    }
+    // The router on its own reactor.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("router binds");
+    let router_addr = listener.local_addr().expect("router addr").to_string();
+    let router: Arc<dyn RequestHandler> = Arc::new(Router::new(&RouterConfig {
+        shards: shard_addrs.iter().map(|&addr| ShardSpec { addr }).collect(),
+    }));
+    let options = ReactorOptions {
+        event_loops: 1,
+        workers: 4,
+        queue_capacity: 1024,
+        max_body: 1 << 20,
+        idle_timeout: Duration::from_secs(10),
+        metrics: Arc::new(ServerMetrics::new()),
+        shutdown: Arc::new(AtomicBool::new(false)),
+        queue_depth: Arc::new(AtomicUsize::new(0)),
+    };
+    let router_handle = std::thread::spawn(move || reactor::run(listener, router, options));
+
+    // One key per shard: scan k2 overrides until the consistent hash has
+    // covered both shards (deterministic, so stable across runs).
+    let request_for = |k2: f64| {
+        let mut req = virus_request();
+        req.params.insert("k2".to_string(), k2);
+        req
+    };
+    let key_for = |k2: f64| {
+        let mut params = std::collections::BTreeMap::new();
+        params.insert("k2".to_string(), k2);
+        SessionKey::new("virus", &params, false, None)
+    };
+    let mut per_shard_k2 = [None, None];
+    for i in 1..64 {
+        let v = 0.7 + f64::from(i) * 0.01;
+        let slot = route_for(&key_for(v), 2);
+        if per_shard_k2[slot].is_none() {
+            per_shard_k2[slot] = Some(v);
+        }
+        if per_shard_k2.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    let k2s = [per_shard_k2[0].expect("shard 0 key"), per_shard_k2[1].expect("shard 1 key")];
+    let references: Vec<_> = k2s
+        .iter()
+        .map(|&k2| client::post_check(&router_addr, &request_for(k2)).expect("shard warm-up"))
+        .collect();
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..fleet)
+        .map(|c| {
+            let addr = router_addr.clone();
+            let refs: Vec<_> = references.iter().map(|r| r.verdicts.clone()).collect();
+            std::thread::spawn(move || {
+                let mut keep = Client::new(&addr);
+                let mut lats: Vec<(usize, u64)> = Vec::with_capacity(per_client);
+                let mut identical = true;
+                for i in 0..per_client {
+                    let shard = (c + i) % 2;
+                    let t0 = Instant::now();
+                    let outcome = keep.check(&request_for(k2s[shard])).expect("sharded request");
+                    lats.push((shard, t0.elapsed().as_micros() as u64));
+                    identical &= outcome.warm && outcome.verdicts == refs[shard];
+                }
+                (lats, identical)
+            })
+        })
+        .collect();
+    let mut by_shard = [Vec::new(), Vec::new()];
+    let mut bitwise_equal = true;
+    for h in handles {
+        let (lats, identical) = h.join().expect("sharded client thread");
+        for (shard, us) in lats {
+            by_shard[shard].push(us);
+        }
+        bitwise_equal &= identical;
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    // Drain: the router fans the shutdown out to both shards.
+    client::shutdown(&router_addr).expect("router drains");
+    router_handle
+        .join()
+        .expect("router thread")
+        .expect("router exits cleanly");
+    for h in shard_handles {
+        h.join().expect("shard thread").expect("shard exits cleanly");
+    }
+
+    let mut latencies_us: Vec<u64> = by_shard.iter().flatten().copied().collect();
+    latencies_us.sort_unstable();
+    let shards = by_shard
+        .into_iter()
+        .enumerate()
+        .map(|(shard, mut lats)| {
+            lats.sort_unstable();
+            ShardStats { shard, latencies_us: lats }
+        })
+        .collect();
+    ServeWorkload {
+        name: "sharded",
+        description: format!(
+            "{fleet} keep-alive clients x {per_client} checks through the consistent-hash \
+             router over 2 in-process shards, alternating between one pinned key per shard"
+        ),
+        requests: fleet * per_client,
+        concurrency: fleet,
+        wall_seconds,
+        latencies_us,
+        bitwise_equal,
+        connections: None,
+        shards,
+    }
+}
+
+/// Warm-drain-restart on a `--state-dir`: the second life's first request
+/// must hit the restored session (no re-solve) within 5x the first life's
+/// warm p50.
+fn snapshot_restart_probe(models_dir: &PathBuf, probes: usize) -> SnapshotRestart {
+    let dir = std::env::temp_dir().join(format!("mfcsld-bench-snap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServerConfig {
+        state_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    let server = Server::bind(load_registry(models_dir), config()).expect("daemon binds");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run());
+    let reference = client::post_check(&addr, &virus_request()).expect("cold request");
+    let mut warm_lats: Vec<u64> = (0..probes)
+        .map(|_| {
+            let t0 = Instant::now();
+            let outcome = client::post_check(&addr, &virus_request()).expect("warm probe");
+            assert!(outcome.warm);
+            t0.elapsed().as_micros() as u64
+        })
+        .collect();
+    warm_lats.sort_unstable();
+    let warm_p50_us = percentile_us(&warm_lats, 0.50);
+    client::shutdown(&addr).expect("daemon drains");
+    daemon.join().expect("daemon thread").expect("daemon exits cleanly");
+
+    let server = Server::bind(load_registry(models_dir), config()).expect("daemon rebinds");
+    let addr = server.local_addr().to_string();
+    let daemon = std::thread::spawn(move || server.run());
+    // Untimed transport warm-up: the probe measures what the snapshot
+    // saves (the session build + mean-field solve), not first-connection
+    // process jitter.
+    let _ = client::get_text(&addr, "/healthz").expect("healthz");
+    let t0 = Instant::now();
+    let first = client::post_check(&addr, &virus_request()).expect("restored request");
+    let first_request_us = t0.elapsed().as_micros() as u64;
+    client::shutdown(&addr).expect("daemon drains");
+    daemon.join().expect("daemon thread").expect("daemon exits cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    SnapshotRestart {
+        warm_p50_us,
+        first_request_us,
+        within_5x_warm_p50: first_request_us <= 5 * warm_p50_us.max(1),
+        warm: first.warm,
+        bitwise_equal: first.verdicts == reference.verdicts,
     }
 }
 
 /// Hand-rolled JSON (the workspace's serde is an offline stub without a
 /// serializer).
-fn render_json(workloads: &[ServeWorkload], workers: usize, smoke: bool) -> String {
+fn render_json(
+    workloads: &[ServeWorkload],
+    restart: &SnapshotRestart,
+    workers: usize,
+    smoke: bool,
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"bench\": \"serve\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(out, "  \"git_revision\": \"{}\",", git_revision());
     let _ = writeln!(out, "  \"threads_available\": {},", mfcsl_pool::default_parallelism());
     let _ = writeln!(out, "  \"workers\": {workers},");
+    let _ = writeln!(out, "  \"serving_core\": \"epoll\",");
     let _ = writeln!(out, "  \"workloads\": [");
     for (i, w) in workloads.iter().enumerate() {
         let _ = writeln!(out, "    {{");
@@ -225,15 +627,105 @@ fn render_json(workloads: &[ServeWorkload], workers: usize, smoke: bool) -> Stri
         let _ = writeln!(out, "      \"concurrency\": {},", w.concurrency);
         let _ = writeln!(out, "      \"wall_seconds\": {:.6},", w.wall_seconds);
         let _ = writeln!(out, "      \"throughput_rps\": {:.4},", w.throughput_rps());
-        let _ = writeln!(out, "      \"p50_us\": {},", w.percentile_us(0.50));
-        let _ = writeln!(out, "      \"p95_us\": {},", w.percentile_us(0.95));
-        let _ = writeln!(out, "      \"p99_us\": {},", w.percentile_us(0.99));
+        let _ = writeln!(out, "      \"samples\": {},", w.latencies_us.len());
+        let _ = writeln!(out, "      \"p50_us\": {},", percentile_us(&w.latencies_us, 0.50));
+        let _ = writeln!(out, "      \"p95_us\": {},", percentile_us(&w.latencies_us, 0.95));
+        let _ = writeln!(out, "      \"p99_us\": {},", percentile_us(&w.latencies_us, 0.99));
+        let _ = writeln!(
+            out,
+            "      \"tail_resolved\": {},",
+            tail_resolved(w.latencies_us.len(), 0.99)
+        );
+        if let Some(connections) = w.connections {
+            let _ = writeln!(out, "      \"connections\": {connections},");
+        }
+        if !w.shards.is_empty() {
+            let _ = writeln!(out, "      \"shards\": [");
+            for (j, s) in w.shards.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "        {{\"shard\": {}, \"requests\": {}, \"p50_us\": {}, \
+                     \"p95_us\": {}, \"p99_us\": {}}}{}",
+                    s.shard,
+                    s.latencies_us.len(),
+                    percentile_us(&s.latencies_us, 0.50),
+                    percentile_us(&s.latencies_us, 0.95),
+                    percentile_us(&s.latencies_us, 0.99),
+                    if j + 1 < w.shards.len() { "," } else { "" }
+                );
+            }
+            let _ = writeln!(out, "      ],");
+        }
         let _ = writeln!(out, "      \"bitwise_equal\": {}", w.bitwise_equal);
         let _ = writeln!(out, "    }}{}", if i + 1 < workloads.len() { "," } else { "" });
     }
-    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"snapshot_restart\": {{");
+    let _ = writeln!(out, "    \"warm_p50_us\": {},", restart.warm_p50_us);
+    let _ = writeln!(out, "    \"first_request_us\": {},", restart.first_request_us);
+    let _ = writeln!(out, "    \"within_5x_warm_p50\": {},", restart.within_5x_warm_p50);
+    let _ = writeln!(out, "    \"warm\": {},", restart.warm);
+    let _ = writeln!(out, "    \"bitwise_equal\": {}", restart.bitwise_equal);
+    let _ = writeln!(out, "  }}");
     out.push_str("}\n");
     out
+}
+
+/// Gates this run against a previous `BENCH_serve.json`: per workload,
+/// throughput must hold >= 0.75x the baseline and (when both tails are
+/// resolved) p99 must stay <= 1.25x. Comparisons across machines with
+/// different core counts are refused outright — their wall-clock numbers
+/// are not commensurable.
+fn serve_gate(current_json: &str, baseline_json: &str) -> bool {
+    let current = Json::parse(current_json).expect("current report parses");
+    let baseline = Json::parse(baseline_json).expect("baseline report parses");
+    let threads = |v: &Json| v.get("threads_available").and_then(Json::as_f64);
+    let (now, then) = (threads(&current), threads(&baseline));
+    if now != then {
+        println!(
+            "serve gate: REFUSED — baseline ran with threads_available={}, this host has {}; \
+             cross-core-count comparisons are not commensurable",
+            then.unwrap_or(0.0),
+            now.unwrap_or(0.0)
+        );
+        return false;
+    }
+    let workload_map = |v: &Json| -> Vec<(String, f64, f64, bool)> {
+        v.get("workloads")
+            .and_then(Json::as_arr)
+            .map(|ws| {
+                ws.iter()
+                    .filter_map(|w| {
+                        Some((
+                            w.get("name")?.as_str()?.to_string(),
+                            w.get("throughput_rps")?.as_f64()?,
+                            w.get("p99_us")?.as_f64()?,
+                            w.get("tail_resolved").and_then(Json::as_bool).unwrap_or(true),
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let current_ws = workload_map(&current);
+    let mut ok = true;
+    for (name, base_rps, base_p99, base_tail) in workload_map(&baseline) {
+        let Some((_, rps, p99, tail)) = current_ws.iter().find(|(n, ..)| *n == name) else {
+            println!("serve gate {name}: SKIP (workload absent from this run)");
+            continue;
+        };
+        let rps_ratio = rps / base_rps;
+        let p99_ratio = p99 / base_p99;
+        let compare_tail = base_tail && *tail;
+        let pass = rps_ratio >= 0.75 && (!compare_tail || p99_ratio <= 1.25);
+        println!(
+            "serve gate {name}: {} (rps {rps_ratio:.2}x, p99 {p99_ratio:.2}x{})",
+            if pass { "PASS" } else { "FAIL" },
+            if compare_tail { "" } else { ", tail unresolved — p99 not gated" }
+        );
+        ok &= pass;
+    }
+    ok
 }
 
 /// Short git revision of the working tree, or `"unknown"` outside a

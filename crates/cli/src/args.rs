@@ -164,6 +164,15 @@ pub struct ServeFlags {
     pub allow_sleep: bool,
     /// `--allow-faults` (honor the chaos `fault` request field).
     pub allow_faults: bool,
+    /// `--blocking`: serve on the original thread-per-connection core
+    /// instead of the epoll event loop.
+    pub blocking: bool,
+    /// `--loops` (default 2): event-loop threads (event-loop core only).
+    pub event_loops: usize,
+    /// `--state-dir`: persist warm session state here across restarts.
+    pub state_dir: Option<PathBuf>,
+    /// `--shards N`: fork N worker daemons and serve as their router.
+    pub shards: usize,
 }
 
 /// Parses `mfcsl serve` flags: positional model paths plus daemon knobs.
@@ -181,6 +190,10 @@ pub fn parse_serve(rest: &[String]) -> Result<ServeFlags, CliError> {
         max_sessions: 64,
         allow_sleep: false,
         allow_faults: false,
+        blocking: false,
+        event_loops: 2,
+        state_dir: None,
+        shards: 0,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -213,6 +226,22 @@ pub fn parse_serve(rest: &[String]) -> Result<ServeFlags, CliError> {
             "--allow-faults" => {
                 flags.allow_faults = true;
                 i += 1;
+            }
+            "--blocking" => {
+                flags.blocking = true;
+                i += 1;
+            }
+            "--loops" => {
+                flags.event_loops = parse_count("--loops", &flag_value(rest, i, "--loops")?)?;
+                i += 2;
+            }
+            "--state-dir" => {
+                flags.state_dir = Some(PathBuf::from(flag_value(rest, i, "--state-dir")?));
+                i += 2;
+            }
+            "--shards" => {
+                flags.shards = parse_count("--shards", &flag_value(rest, i, "--shards")?)?;
+                i += 2;
             }
             other if other.starts_with("--") => {
                 return Err(CliError(format!("unknown flag `{other}`")));

@@ -418,8 +418,9 @@ pub fn fixed_points(model: &LocalModel) -> Result<String, CliError> {
 }
 
 /// `mfcsl serve <models>… [--addr A] [--workers N] [--queue N]
-/// [--threads N] [--max-sessions N] [--allow-sleep]` — runs the `mfcsld`
-/// daemon.
+/// [--threads N] [--max-sessions N] [--loops N] [--blocking]
+/// [--state-dir D] [--shards N] [--allow-sleep]` — runs the `mfcsld`
+/// daemon (or, with `--shards`, a shard router over forked daemons).
 ///
 /// Prints a `mfcsld listening on <addr> …` line (flushed before the accept
 /// loop starts, so scripts can parse the ephemeral port), then blocks until
@@ -430,9 +431,17 @@ pub fn fixed_points(model: &LocalModel) -> Result<String, CliError> {
 /// Registry and bind failures become [`CliError`].
 pub fn serve(flags: crate::args::ServeFlags) -> Result<String, CliError> {
     use std::io::Write as _;
+    if flags.shards > 0 {
+        return serve_router(&flags);
+    }
     let registry =
         mfcsl_serve::ModelRegistry::load(&flags.paths).map_err(|e| CliError(e.to_string()))?;
     let n_models = registry.len();
+    let core = if flags.blocking {
+        mfcsl_serve::ServingCore::Blocking
+    } else {
+        mfcsl_serve::ServingCore::EventLoop
+    };
     let config = mfcsl_serve::ServerConfig {
         addr: flags.addr,
         workers: flags.workers,
@@ -441,13 +450,20 @@ pub fn serve(flags: crate::args::ServeFlags) -> Result<String, CliError> {
         max_sessions: flags.max_sessions,
         allow_sleep: flags.allow_sleep,
         allow_faults: flags.allow_faults,
+        core,
+        event_loops: flags.event_loops,
+        state_dir: flags.state_dir.clone(),
     };
     let workers = config.workers;
     let queue = config.queue_capacity;
+    let core_desc = match core {
+        mfcsl_serve::ServingCore::EventLoop => format!("epoll x{}", flags.event_loops),
+        mfcsl_serve::ServingCore::Blocking => "blocking".to_string(),
+    };
     let server = mfcsl_serve::Server::bind(registry, config)
         .map_err(|e| CliError(format!("cannot bind: {e}")))?;
     println!(
-        "mfcsld listening on {} ({n_models} models, {workers} workers, queue {queue})",
+        "mfcsld listening on {} ({n_models} models, {workers} workers, queue {queue}, {core_desc} core)",
         server.local_addr()
     );
     std::io::stdout().flush().expect("flush stdout");
@@ -455,6 +471,160 @@ pub fn serve(flags: crate::args::ServeFlags) -> Result<String, CliError> {
         .run()
         .map_err(|e| CliError(format!("daemon failed: {e}")))?;
     Ok("mfcsld stopped\n".into())
+}
+
+/// `--shards N` mode: fork `N` worker daemons on ephemeral ports, then
+/// serve as their consistent-hash router on the requested address. Each
+/// shard gets its own `--state-dir` subdirectory (`shard-<i>`), so warm
+/// snapshots stay with the shard that owns the key.
+fn serve_router(flags: &crate::args::ServeFlags) -> Result<String, CliError> {
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::process::{Child, Command, Stdio};
+
+    // Validate the registry up front so a typo'd model path fails in one
+    // process with one message, not N times from N children.
+    let registry =
+        mfcsl_serve::ModelRegistry::load(&flags.paths).map_err(|e| CliError(e.to_string()))?;
+    let n_models = registry.len();
+    drop(registry);
+
+    let exe = std::env::current_exe()
+        .map_err(|e| CliError(format!("cannot locate own executable: {e}")))?;
+    let mut children: Vec<(Child, BufReader<std::process::ChildStdout>)> = Vec::new();
+    let mut shards = Vec::new();
+    let kill_all = |children: &mut Vec<(Child, BufReader<std::process::ChildStdout>)>| {
+        for (child, _) in children.iter_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    };
+    for i in 0..flags.shards {
+        let mut cmd = Command::new(&exe);
+        cmd.arg("serve");
+        for path in &flags.paths {
+            cmd.arg(path);
+        }
+        cmd.arg("--addr").arg("127.0.0.1:0");
+        cmd.arg("--workers").arg(flags.workers.to_string());
+        cmd.arg("--queue").arg(flags.queue.to_string());
+        cmd.arg("--max-sessions").arg(flags.max_sessions.to_string());
+        cmd.arg("--loops").arg(flags.event_loops.to_string());
+        if flags.threads > 0 {
+            cmd.arg("--threads").arg(flags.threads.to_string());
+        }
+        if flags.allow_sleep {
+            cmd.arg("--allow-sleep");
+        }
+        if flags.allow_faults {
+            cmd.arg("--allow-faults");
+        }
+        if flags.blocking {
+            cmd.arg("--blocking");
+        }
+        if let Some(dir) = &flags.state_dir {
+            cmd.arg("--state-dir").arg(dir.join(format!("shard-{i}")));
+        }
+        cmd.stdout(Stdio::piped()).stderr(Stdio::inherit());
+        let mut child = cmd
+            .spawn()
+            .map_err(|e| CliError(format!("cannot spawn shard {i}: {e}")))?;
+        let Some(stdout) = child.stdout.take() else {
+            kill_all(&mut children);
+            let _ = child.kill();
+            return Err(CliError(format!("shard {i} has no stdout pipe")));
+        };
+        let mut reader = BufReader::new(stdout);
+        // The child announces `mfcsld listening on <addr> …` before its
+        // accept loop starts; parse the ephemeral port from that line.
+        let mut addr = None;
+        for _ in 0..64 {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    if let Some(rest) = line.strip_prefix("mfcsld listening on ") {
+                        addr = rest
+                            .split_whitespace()
+                            .next()
+                            .and_then(|a| a.parse::<std::net::SocketAddr>().ok());
+                        break;
+                    }
+                }
+            }
+        }
+        let Some(addr) = addr else {
+            kill_all(&mut children);
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(CliError(format!("shard {i} failed to announce its address")));
+        };
+        shards.push(mfcsl_serve::ShardSpec { addr });
+        children.push((child, reader));
+    }
+
+    let listener = match std::net::TcpListener::bind(&flags.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            kill_all(&mut children);
+            return Err(CliError(format!("cannot bind router: {e}")));
+        }
+    };
+    let local_addr = listener
+        .local_addr()
+        .map_err(|e| CliError(format!("cannot resolve router address: {e}")))?;
+    let shard_list = shards
+        .iter()
+        .map(|s| s.addr.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let pid_list = children
+        .iter()
+        .map(|(c, _)| c.id().to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "mfcsld router listening on {local_addr} ({} shards: {shard_list}; pids {pid_list}; {n_models} models)",
+        shards.len()
+    );
+    std::io::stdout().flush().expect("flush stdout");
+
+    let router = std::sync::Arc::new(mfcsl_serve::Router::new(&mfcsl_serve::RouterConfig {
+        shards,
+    }));
+    let options = mfcsl_serve::ReactorOptions {
+        event_loops: flags.event_loops,
+        workers: flags.workers,
+        queue_capacity: flags.queue,
+        max_body: 1 << 20,
+        idle_timeout: std::time::Duration::from_secs(10),
+        metrics: std::sync::Arc::new(mfcsl_serve::metrics::ServerMetrics::new()),
+        shutdown: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
+        queue_depth: std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+    };
+    let run_result = mfcsl_serve::reactor::run(listener, router, options);
+
+    // The router's /shutdown already fanned the drain out to every shard;
+    // give each child a grace window, then force-kill stragglers so the
+    // router process can never hang on a wedged shard.
+    for (child, _) in &mut children {
+        let mut exited = false;
+        for _ in 0..100 {
+            match child.try_wait() {
+                Ok(Some(_)) => {
+                    exited = true;
+                    break;
+                }
+                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(100)),
+                Err(_) => break,
+            }
+        }
+        if !exited {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+    run_result.map_err(|e| CliError(format!("router failed: {e}")))?;
+    Ok("mfcsld router stopped\n".into())
 }
 
 /// `mfcsl client <addr> check <model> --m0 … [--fast] [--timeout-ms T]

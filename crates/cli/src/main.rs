@@ -33,7 +33,7 @@ USAGE:
   mfcsl csat <model.mf> --m0 <fractions> [--m0 <fractions>]... --theta <T> [--threads <N>] [--stats] [--batch-shared] \"<formula>\"...
   mfcsl trajectory <model.mf> --m0 <fractions> --t-end <T> [--points <N>]
   mfcsl fixed-points <model.mf>
-  mfcsl serve <model.mf | dir>... [--addr <host:port>] [--workers <N>] [--queue <N>] [--threads <N>] [--max-sessions <N>]
+  mfcsl serve <model.mf | dir>... [--addr <host:port>] [--workers <N>] [--queue <N>] [--threads <N>] [--max-sessions <N>] [--loops <N>] [--blocking] [--state-dir <dir>] [--shards <N>]
   mfcsl client <host:port> check <model> --m0 <fractions> [--fast] [--timeout-ms <T>] [--param k=v]... \"<formula>\"...
   mfcsl client <host:port> health|metrics|models|shutdown
 
@@ -59,6 +59,12 @@ USAGE:
   serve runs the mfcsld batch-checking daemon over the given models; it
   keeps sessions warm per (model, params, tolerances) and answers with
   verdicts bitwise identical to offline check. client talks to it.
+  By default the daemon serves on an epoll event loop (--loops threads)
+  with HTTP keep-alive; --blocking restores the thread-per-connection
+  core. --state-dir persists warm session state across restarts. With
+  --shards N the process forks N worker daemons and serves as their
+  router, placing each (model, params, tolerances) key on a fixed shard
+  by consistent hash.
 ";
 
 fn main() -> ExitCode {

@@ -37,6 +37,36 @@ pub struct OccupancyTrajectory<'a> {
 }
 
 impl<'a> OccupancyTrajectory<'a> {
+    /// Re-attaches a bare [`Trajectory`] to its model — the snapshot-restore
+    /// path. The trajectory must have the model's dimension and start at
+    /// `t = 0`; its knot data is taken verbatim, so a trajectory serialized
+    /// with exact bit patterns round-trips bitwise and every verdict derived
+    /// from it matches the pre-snapshot session exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] on a dimension mismatch or a nonzero
+    /// start time.
+    pub fn from_parts(
+        model: &'a LocalModel,
+        trajectory: Trajectory,
+    ) -> Result<OccupancyTrajectory<'a>, CoreError> {
+        if trajectory.dim() != model.n_states() {
+            return Err(CoreError::InvalidArgument(format!(
+                "trajectory has dimension {}, model has {} states",
+                trajectory.dim(),
+                model.n_states()
+            )));
+        }
+        if trajectory.t_start() != 0.0 {
+            return Err(CoreError::InvalidArgument(format!(
+                "trajectory starts at t = {}, expected 0",
+                trajectory.t_start()
+            )));
+        }
+        Ok(OccupancyTrajectory { model, trajectory })
+    }
+
     /// The local model this trajectory belongs to.
     #[must_use]
     pub fn model(&self) -> &'a LocalModel {

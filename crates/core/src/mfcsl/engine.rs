@@ -49,9 +49,9 @@ use std::time::{Duration, Instant};
 
 use mfcsl_csl::checker::{InhomogeneousChecker, ProbCurve};
 use mfcsl_csl::model::StationaryRegime;
-use mfcsl_csl::{CacheStats, PathFormula, SatCache, Tolerances};
+use mfcsl_csl::{CacheStats, PathFormula, SatCache, SatCacheExport, Tolerances};
 use mfcsl_math::{alloc_counter, IntervalSet};
-use mfcsl_ode::BatchMode;
+use mfcsl_ode::{BatchMode, Trajectory};
 use mfcsl_pool::shard::ShardedMap;
 use mfcsl_pool::ThreadPool;
 
@@ -136,6 +136,9 @@ pub struct EngineStats {
     pub trajectory_extensions: u64,
     /// Queries served by an already-long-enough trajectory.
     pub trajectory_reuses: u64,
+    /// Trajectory entries restored from a persisted snapshot
+    /// ([`CheckSession::restore_trajectory`]) instead of being solved.
+    pub trajectory_restores: u64,
     /// Stationary regimes computed (one settle + Newton polish each).
     pub regime_solves: u64,
     /// `ES` queries served by a cached stationary regime.
@@ -177,6 +180,7 @@ impl EngineStats {
         self.trajectory_solves += other.trajectory_solves;
         self.trajectory_extensions += other.trajectory_extensions;
         self.trajectory_reuses += other.trajectory_reuses;
+        self.trajectory_restores += other.trajectory_restores;
         self.regime_solves += other.regime_solves;
         self.regime_reuses += other.regime_reuses;
         self.recoveries += other.recoveries;
@@ -204,6 +208,36 @@ struct Entry<'a> {
     /// observe the same prefix values.
     trajectory: RwLock<OccupancyTrajectory<'a>>,
     cache: SatCache,
+}
+
+/// One base entry's full exported warm state, as produced by
+/// [`CheckSession::export_entries`]: everything a snapshot needs so a
+/// restarted session answers its first request without re-solving the
+/// trajectory, the stationary fixed point, or any memoized CSL artifact.
+#[derive(Debug, Clone)]
+pub struct SessionEntryExport {
+    /// The entry's initial occupancy.
+    pub m0: Occupancy,
+    /// The solved mean-field trajectory.
+    pub trajectory: Trajectory,
+    /// The stationary regime reached from `m0`, when one was computed
+    /// (`ES` queries). The frozen chain is not exported — it rebuilds
+    /// bitwise from the model at the stationary occupancy.
+    pub regime: Option<RegimeExport>,
+    /// The entry's sat-cache (interned formulas plus memoized sets and
+    /// curves).
+    pub cache: SatCacheExport,
+}
+
+/// The persistable part of a stationary regime; see
+/// [`SessionEntryExport::regime`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegimeExport {
+    /// The stationary occupancy `m̃`.
+    pub distribution: Vec<f64>,
+    /// Time from which the trajectory has numerically settled onto `m̃`,
+    /// when known.
+    pub settle_time: Option<f64>,
 }
 
 /// A memoizing checking session over one model: the `AnalysisEngine` of
@@ -255,6 +289,7 @@ pub struct CheckSession<'a> {
     trajectory_solves: AtomicU64,
     trajectory_extensions: AtomicU64,
     trajectory_reuses: AtomicU64,
+    trajectory_restores: AtomicU64,
     regime_solves: AtomicU64,
     regime_reuses: AtomicU64,
     recoveries: AtomicU64,
@@ -293,6 +328,7 @@ impl<'a> CheckSession<'a> {
             trajectory_solves: AtomicU64::new(0),
             trajectory_extensions: AtomicU64::new(0),
             trajectory_reuses: AtomicU64::new(0),
+            trajectory_restores: AtomicU64::new(0),
             regime_solves: AtomicU64::new(0),
             regime_reuses: AtomicU64::new(0),
             recoveries: AtomicU64::new(0),
@@ -734,6 +770,7 @@ impl<'a> CheckSession<'a> {
             trajectory_solves: self.trajectory_solves.load(Ordering::Relaxed),
             trajectory_extensions: self.trajectory_extensions.load(Ordering::Relaxed),
             trajectory_reuses: self.trajectory_reuses.load(Ordering::Relaxed),
+            trajectory_restores: self.trajectory_restores.load(Ordering::Relaxed),
             regime_solves: self.regime_solves.load(Ordering::Relaxed),
             regime_reuses: self.regime_reuses.load(Ordering::Relaxed),
             recoveries: self.recoveries.load(Ordering::Relaxed),
@@ -754,6 +791,248 @@ impl<'a> CheckSession<'a> {
         self.entries.clear();
         self.entry_gates.clear();
         self.regimes.clear();
+    }
+
+    /// Owned copies of every *base* trajectory entry (round-0 solves keyed
+    /// by the occupancy bit pattern alone), as `(m̄(0), trajectory)` pairs.
+    /// This is the session's warm state worth persisting: sat-caches and
+    /// stationary regimes recompute deterministically from a bitwise-equal
+    /// trajectory, so snapshotting the trajectories alone preserves bitwise
+    /// verdicts across a restart. Refinement entries are skipped — they are
+    /// cheap derivatives of a marginal query, not warm state.
+    #[must_use]
+    pub fn export_trajectories(&self) -> Vec<(Occupancy, Trajectory)> {
+        let n = self.model().n_states();
+        let mut out = Vec::new();
+        self.entries.for_each(|key, entry| {
+            if key.len() != n {
+                return; // refinement entry (round appended to the key)
+            }
+            let values: Vec<f64> = key.iter().map(|&bits| f64::from_bits(bits)).collect();
+            let Ok(m0) = Occupancy::new(values) else {
+                return; // cannot happen for keys built from valid occupancies
+            };
+            let trajectory = match entry.trajectory.read() {
+                Ok(t) => t.trajectory().clone(),
+                Err(_) => return,
+            };
+            out.push((m0, trajectory));
+        });
+        // `for_each` walks shards in map order; sort for a deterministic
+        // snapshot layout.
+        out.sort_by(|a, b| {
+            a.0.as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .cmp(b.0.as_slice().iter().map(|x| x.to_bits()))
+        });
+        out
+    }
+
+    /// Owned copies of every base entry's *full* warm state — trajectory,
+    /// stationary regime (when computed), and sat-cache — for snapshot
+    /// persistence. Extends [`CheckSession::export_trajectories`]: the
+    /// trajectory alone preserves bitwise verdicts, but the regime's
+    /// fixed-point solve and the cache's satisfaction sets and probability
+    /// curves are the expensive recomputation a restored first request
+    /// would otherwise pay. Entries are sorted by occupancy bit pattern
+    /// for a deterministic snapshot layout.
+    #[must_use]
+    pub fn export_entries(&self) -> Vec<SessionEntryExport> {
+        let n = self.model().n_states();
+        let mut out = Vec::new();
+        self.entries.for_each(|key, entry| {
+            if key.len() != n {
+                return; // refinement entry (round appended to the key)
+            }
+            let values: Vec<f64> = key.iter().map(|&bits| f64::from_bits(bits)).collect();
+            let Ok(m0) = Occupancy::new(values) else {
+                return; // cannot happen for keys built from valid occupancies
+            };
+            let trajectory = match entry.trajectory.read() {
+                Ok(t) => t.trajectory().clone(),
+                Err(_) => return,
+            };
+            let regime = self.regimes.get(key).map(|r| RegimeExport {
+                distribution: r.distribution.clone(),
+                settle_time: r.settle_time,
+            });
+            out.push(SessionEntryExport {
+                m0,
+                trajectory,
+                regime,
+                cache: entry.cache.export(),
+            });
+        });
+        out.sort_by(|a, b| {
+            a.m0.as_slice()
+                .iter()
+                .map(|x| x.to_bits())
+                .cmp(b.m0.as_slice().iter().map(|x| x.to_bits()))
+        });
+        out
+    }
+
+    /// Installs a previously exported entry — trajectory plus sat-cache —
+    /// as the base entry for `m0`. The trajectory passes the same
+    /// integrity checks as [`CheckSession::restore_trajectory`]; the cache
+    /// is rebuilt through [`SatCache::from_export`], whose interned ids
+    /// line up with what re-interning the same formulas produces, so the
+    /// first request after a restart hits the memoized sets and curves.
+    /// Returns `false` when an entry for `m0` already exists (live wins).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] on trajectory integrity failures or
+    /// a structurally incoherent cache export.
+    pub fn restore_entry(
+        &self,
+        m0: &Occupancy,
+        trajectory: Trajectory,
+        cache: &SatCacheExport,
+    ) -> Result<bool, CoreError> {
+        let n = self.model().n_states();
+        if m0.len() != n {
+            return Err(CoreError::InvalidArgument(format!(
+                "restored occupancy has {} states, model has {n}",
+                m0.len()
+            )));
+        }
+        let cache = SatCache::from_export(cache)
+            .map_err(|e| CoreError::InvalidArgument(format!("restored cache rejected: {e}")))?;
+        let restored = OccupancyTrajectory::from_parts(self.model(), trajectory)?;
+        let first = restored.trajectory().curve().value_at(0);
+        let matches = first.len() == n
+            && first
+                .iter()
+                .zip(m0.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !matches {
+            return Err(CoreError::InvalidArgument(
+                "restored trajectory's first knot does not match its occupancy key".into(),
+            ));
+        }
+        let key = occupancy_key(m0);
+        let gate = self
+            .entry_gates
+            .get_or_insert_with(key.clone(), || Arc::new(Mutex::new(())));
+        let _guard = gate.lock().unwrap();
+        if self.entries.get(&key).is_some() {
+            return Ok(false);
+        }
+        self.entries.insert(
+            key,
+            Arc::new(Entry {
+                trajectory: RwLock::new(restored),
+                cache,
+            }),
+        );
+        self.trajectory_restores.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Installs a previously exported stationary regime for `m0`. The
+    /// frozen chain is rebuilt from the model at the persisted stationary
+    /// occupancy — [`LocalModel::frozen_at`] is a pure evaluation, so the
+    /// rebuilt chain is bitwise identical to the one computed live and
+    /// every later `ES` verdict matches. Returns `false` when a regime for
+    /// `m0` is already cached (live wins).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] when the distribution is not a valid
+    /// occupancy for this model or the settle time is not finite.
+    pub fn restore_regime(
+        &self,
+        m0: &Occupancy,
+        distribution: &[f64],
+        settle_time: Option<f64>,
+    ) -> Result<bool, CoreError> {
+        let stationary = Occupancy::new(distribution.to_vec())?;
+        if stationary.len() != self.model().n_states() {
+            return Err(CoreError::InvalidArgument(format!(
+                "restored regime has {} states, model has {}",
+                stationary.len(),
+                self.model().n_states()
+            )));
+        }
+        if settle_time.is_some_and(|t| !t.is_finite() || t < 0.0) {
+            return Err(CoreError::InvalidArgument(format!(
+                "restored regime settle time must be finite and non-negative, got {settle_time:?}"
+            )));
+        }
+        let frozen = self.model().frozen_at(&stationary)?;
+        let key = occupancy_key(m0);
+        let _gate = self.regime_gate.lock().unwrap();
+        if self.regimes.get(&key).is_some() {
+            return Ok(false);
+        }
+        self.regimes.insert(
+            key,
+            StationaryRegime {
+                distribution: stationary.into_vec(),
+                frozen,
+                settle_time,
+            },
+        );
+        Ok(true)
+    }
+
+    /// Installs a previously exported trajectory as the base entry for
+    /// `m0`, with a fresh sat-cache (the CSL layer repopulates it
+    /// deterministically). Returns `false` when an entry for `m0` already
+    /// exists — the live entry wins, a restore never clobbers solved state.
+    ///
+    /// The trajectory must belong to this session's model (dimension
+    /// check), start at `t = 0`, and its first knot must reproduce `m0`'s
+    /// exact bit pattern; anything else is rejected, which is what makes a
+    /// snapshot restore safe to trust with the bitwise-verdict guarantee.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidArgument`] on dimension, origin, or first-knot
+    /// mismatches.
+    pub fn restore_trajectory(
+        &self,
+        m0: &Occupancy,
+        trajectory: Trajectory,
+    ) -> Result<bool, CoreError> {
+        let n = self.model().n_states();
+        if m0.len() != n {
+            return Err(CoreError::InvalidArgument(format!(
+                "restored occupancy has {} states, model has {n}",
+                m0.len()
+            )));
+        }
+        let restored = OccupancyTrajectory::from_parts(self.model(), trajectory)?;
+        let first = restored.trajectory().curve().value_at(0);
+        let matches = first.len() == n
+            && first
+                .iter()
+                .zip(m0.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !matches {
+            return Err(CoreError::InvalidArgument(
+                "restored trajectory's first knot does not match its occupancy key".into(),
+            ));
+        }
+        let key = occupancy_key(m0);
+        let gate = self
+            .entry_gates
+            .get_or_insert_with(key.clone(), || Arc::new(Mutex::new(())));
+        let _guard = gate.lock().unwrap();
+        if self.entries.get(&key).is_some() {
+            return Ok(false);
+        }
+        self.entries.insert(
+            key,
+            Arc::new(Entry {
+                trajectory: RwLock::new(restored),
+                cache: SatCache::new(),
+            }),
+        );
+        self.trajectory_restores.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
     }
 
     /// Makes sure the trajectory for `m0` covers `[0, horizon]`, solving
@@ -1288,5 +1567,45 @@ mod tests {
             assert_eq!(a.hi().value.to_bits(), b.hi().value.to_bits());
         }
         assert!(session.csat(&psi, &m0(), -1.0).is_err());
+    }
+
+    #[test]
+    fn restored_entries_answer_without_solving_bitwise_identically() {
+        let model = sis();
+        let warm = CheckSession::new(&model);
+        let psis = [
+            parse_formula("E{<0.4}[ infected ]").unwrap(),
+            parse_formula("EP{<0.5}[ healthy U[0,1] infected ]").unwrap(),
+            parse_formula("ES{>0.45}[ infected ]").unwrap(),
+        ];
+        let expected: Vec<Verdict> = psis
+            .iter()
+            .map(|psi| warm.check(psi, &m0()).unwrap())
+            .collect();
+        let exported = warm.export_entries();
+        assert_eq!(exported.len(), 1);
+        let entry = &exported[0];
+        assert!(entry.regime.is_some(), "the ES query computed a regime");
+        assert!(!entry.cache.state_keys.is_empty());
+        assert!(!entry.cache.sets.is_empty());
+        assert!(!entry.cache.curves.is_empty());
+
+        let restored = CheckSession::new(&model);
+        assert!(restored
+            .restore_entry(&entry.m0, entry.trajectory.clone(), &entry.cache)
+            .unwrap());
+        let regime = entry.regime.as_ref().unwrap();
+        assert!(restored
+            .restore_regime(&entry.m0, &regime.distribution, regime.settle_time)
+            .unwrap());
+
+        for (psi, want) in psis.iter().zip(&expected) {
+            assert_eq!(restored.check(psi, &m0()).unwrap(), *want);
+        }
+        let stats = restored.stats();
+        assert_eq!(stats.trajectory_solves, 0, "trajectory came from the snapshot");
+        assert_eq!(stats.regime_solves, 0, "regime came from the snapshot");
+        assert_eq!(stats.trajectory_restores, 1);
+        assert!(stats.cache.set_hits > 0 || stats.cache.curve_hits > 0);
     }
 }

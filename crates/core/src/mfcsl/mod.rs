@@ -29,6 +29,9 @@ pub mod parser;
 pub mod syntax;
 
 pub use check::{Checker, ECurve, EpCurve, Refinement, Verdict};
-pub use engine::{CheckSession, EngineStats, KernelAllocRecord, SolveKind, SolveRecord};
+pub use engine::{
+    CheckSession, EngineStats, KernelAllocRecord, RegimeExport, SessionEntryExport, SolveKind,
+    SolveRecord,
+};
 pub use parser::parse_formula;
 pub use syntax::MfFormula;

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use mfcsl_ctmc::inhomogeneous::TimeVaryingGenerator;
 use mfcsl_math::roots::brent;
+use mfcsl_ode::Trajectory;
 
 use crate::cache::SatCache;
 use crate::model::LocalTvModel;
@@ -42,6 +43,55 @@ enum CurveImpl {
     Sampled { ts: Vec<f64>, values: Vec<Vec<f64>> },
     /// A θ = 0 point evaluation from the sparse vector lane: the curve
     /// degenerates to a single per-state vector at time 0.
+    Point(Vec<f64>),
+}
+
+/// The serializable structural content of a [`ProbCurve`], used by warm-
+/// state snapshots. Every numeric field round-trips bitwise, and
+/// [`ProbCurve::from_export`] rebuilds a curve whose `probs_at` is bitwise
+/// identical to the exported one's.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CurveExport {
+    /// A single-until curve (Eq. 6/7 window-propagated matrices).
+    Until {
+        /// Number of states.
+        n: usize,
+        /// Lower time bound `t₁` of the until interval.
+        t1: f64,
+        /// Satisfaction vector of the invariant operand.
+        sat1: Vec<bool>,
+        /// Satisfaction vector of the goal operand.
+        sat2: Vec<bool>,
+        /// Phase-A matrix trajectory (`None` when `t₁ = 0`).
+        phase_a: Option<Trajectory>,
+        /// Phase-B matrix trajectory.
+        phase_b: Trajectory,
+    },
+    /// A nested-until curve (appendix time-varying-set algorithm).
+    Nested {
+        /// Number of states.
+        n: usize,
+        /// Reachability window length `T`.
+        big_t: f64,
+        /// Segment start times.
+        segment_starts: Vec<f64>,
+        /// Per-segment `Υ` trajectories (`(n+1)²`-dimensional).
+        segments: Vec<Trajectory>,
+        /// The goal indicator set.
+        gamma2: PiecewiseStateSet,
+        /// Evaluation range start.
+        t_lo: f64,
+        /// Evaluation range end.
+        t_hi: f64,
+    },
+    /// A grid-sampled curve (interval next).
+    Sampled {
+        /// Sample times.
+        ts: Vec<f64>,
+        /// Per-state sample values (`values[s]` parallels `ts`).
+        values: Vec<Vec<f64>>,
+    },
+    /// A θ = 0 point evaluation.
     Point(Vec<f64>),
 }
 
@@ -85,6 +135,119 @@ impl ProbCurve {
     pub fn prob_state_at(&self, s: usize, t: f64) -> f64 {
         assert!(s < self.n, "state index {s} out of range");
         self.probs_at(t)[s]
+    }
+
+    /// Decomposes the curve into its serializable structural content, for
+    /// warm-state snapshots.
+    #[must_use]
+    pub fn export(&self) -> CurveExport {
+        match &self.imp {
+            CurveImpl::Until(ev) => {
+                let (n, t1, sat1, sat2, phase_a, phase_b) = ev.export_parts();
+                CurveExport::Until {
+                    n,
+                    t1,
+                    sat1,
+                    sat2,
+                    phase_a,
+                    phase_b,
+                }
+            }
+            CurveImpl::Nested(ev) => {
+                let (n, big_t, segment_starts, segments, gamma2, t_lo, t_hi) = ev.export_parts();
+                CurveExport::Nested {
+                    n,
+                    big_t,
+                    segment_starts,
+                    segments,
+                    gamma2,
+                    t_lo,
+                    t_hi,
+                }
+            }
+            CurveImpl::Sampled { ts, values } => CurveExport::Sampled {
+                ts: ts.clone(),
+                values: values.clone(),
+            },
+            CurveImpl::Point(p) => CurveExport::Point(p.clone()),
+        }
+    }
+
+    /// Rebuilds a curve from exported content for evaluation window
+    /// `[0, θ]`, validating structural coherence (a corrupt snapshot must
+    /// fail here, not panic in `probs_at`). The rebuilt curve evaluates
+    /// bitwise identically to the exported one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CslError::InvalidArgument`] on any shape or bounds
+    /// mismatch.
+    pub fn from_export(theta: f64, export: CurveExport) -> Result<ProbCurve, CslError> {
+        if !(theta >= 0.0) || !theta.is_finite() {
+            return Err(CslError::InvalidArgument(format!(
+                "curve horizon must be finite and non-negative, got {theta}"
+            )));
+        }
+        let (n, imp) = match export {
+            CurveExport::Until {
+                n,
+                t1,
+                sat1,
+                sat2,
+                phase_a,
+                phase_b,
+            } => (
+                n,
+                CurveImpl::Until(UntilEvaluator::from_parts(
+                    n, t1, sat1, sat2, phase_a, phase_b,
+                )?),
+            ),
+            CurveExport::Nested {
+                n,
+                big_t,
+                segment_starts,
+                segments,
+                gamma2,
+                t_lo,
+                t_hi,
+            } => (
+                n,
+                CurveImpl::Nested(ReachEvaluator::from_parts(
+                    n,
+                    big_t,
+                    segment_starts,
+                    segments,
+                    gamma2,
+                    t_lo,
+                    t_hi,
+                )?),
+            ),
+            CurveExport::Sampled { ts, values } => {
+                let n = values.len();
+                if n == 0
+                    || ts.len() < 2
+                    || values.iter().any(|v| v.len() != ts.len())
+                    || ts.iter().any(|t| !t.is_finite())
+                    || ts.windows(2).any(|w| w[0] >= w[1])
+                {
+                    return Err(CslError::InvalidArgument(
+                        "sampled curve needs >= 2 strictly increasing finite sample \
+                         times and matching per-state value rows"
+                            .into(),
+                    ));
+                }
+                (n, CurveImpl::Sampled { ts, values })
+            }
+            CurveExport::Point(p) => {
+                if p.is_empty() {
+                    return Err(CslError::InvalidArgument(
+                        "point curve needs at least one state".into(),
+                    ));
+                }
+                (p.len(), CurveImpl::Point(p))
+            }
+        };
+        Ok(ProbCurve { n, theta, imp })
     }
 }
 

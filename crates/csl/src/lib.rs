@@ -51,7 +51,8 @@ pub mod syntax;
 pub mod tolerances;
 pub mod until;
 
-pub use cache::{CacheStats, SatCache};
+pub use cache::{CacheStats, PathKeyExport, SatCache, SatCacheExport, StateKeyExport};
+pub use checker::CurveExport;
 pub use error::CslError;
 pub use model::LocalTvModel;
 pub use parser::{parse_path_formula, parse_state_formula};

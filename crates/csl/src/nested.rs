@@ -83,8 +83,8 @@ impl PiecewiseStateSet {
                 sets.len()
             )));
         }
-        if boundaries.windows(2).any(|w| w[0] >= w[1])
-            || boundaries.iter().any(|&b| b <= t_lo || b >= t_hi)
+        if boundaries.windows(2).any(|w| !(w[0] < w[1]))
+            || boundaries.iter().any(|&b| !(b > t_lo) || !(b < t_hi))
         {
             return Err(CslError::InvalidArgument(
                 "boundaries must be strictly increasing and interior to the domain".into(),
@@ -135,6 +135,16 @@ impl PiecewiseStateSet {
     #[must_use]
     pub fn boundaries(&self) -> &[f64] {
         &self.boundaries
+    }
+
+    /// The per-segment membership vectors (`boundaries().len() + 1` of
+    /// them, in time order). Together with [`PiecewiseStateSet::t_lo`],
+    /// [`PiecewiseStateSet::t_hi`] and [`PiecewiseStateSet::boundaries`]
+    /// this is the full constructor input, so a set can be serialized and
+    /// rebuilt bitwise through [`PiecewiseStateSet::new`].
+    #[must_use]
+    pub fn segment_sets(&self) -> &[Vec<bool>] {
+        &self.sets
     }
 
     /// Index of the segment containing `t` (right-continuous; clamped to
@@ -539,6 +549,78 @@ impl ReachEvaluator {
     #[must_use]
     pub fn horizon(&self) -> f64 {
         self.big_t
+    }
+
+    /// Decomposes the evaluator into its constructor data, for snapshot
+    /// serialization: `(n, T, segment_starts, segments, gamma2, t_lo,
+    /// t_hi)`.
+    #[must_use]
+    pub(crate) fn export_parts(
+        &self,
+    ) -> (usize, f64, Vec<f64>, Vec<Trajectory>, PiecewiseStateSet, f64, f64) {
+        (
+            self.n,
+            self.big_t,
+            self.segment_starts.clone(),
+            self.segments.clone(),
+            self.gamma2.clone(),
+            self.t_lo,
+            self.t_hi,
+        )
+    }
+
+    /// Rebuilds an evaluator from exported parts, validating the structural
+    /// coherence a corrupt snapshot could violate.
+    pub(crate) fn from_parts(
+        n: usize,
+        big_t: f64,
+        segment_starts: Vec<f64>,
+        segments: Vec<Trajectory>,
+        gamma2: PiecewiseStateSet,
+        t_lo: f64,
+        t_hi: f64,
+    ) -> Result<ReachEvaluator, CslError> {
+        if n == 0 || gamma2.n_states() != n {
+            return Err(CslError::InvalidArgument(format!(
+                "reach evaluator parts disagree: n = {n}, goal set has {} states",
+                gamma2.n_states()
+            )));
+        }
+        if segments.is_empty() || segments.len() != segment_starts.len() {
+            return Err(CslError::InvalidArgument(format!(
+                "reach evaluator needs one trajectory per segment start \
+                 ({} starts, {} trajectories)",
+                segment_starts.len(),
+                segments.len()
+            )));
+        }
+        let flat = (n + 1) * (n + 1);
+        if segments.iter().any(|s| s.dim() != flat) {
+            return Err(CslError::InvalidArgument(format!(
+                "reach segment trajectories must have dimension {flat}"
+            )));
+        }
+        if !(big_t >= 0.0) || !big_t.is_finite() || !(t_hi >= t_lo) || !t_lo.is_finite() {
+            return Err(CslError::InvalidArgument(format!(
+                "invalid reach evaluator window T = {big_t}, range [{t_lo}, {t_hi}]"
+            )));
+        }
+        if segment_starts.iter().any(|s| !s.is_finite())
+            || segment_starts.windows(2).any(|w| w[0] >= w[1])
+        {
+            return Err(CslError::InvalidArgument(
+                "reach segment starts must be finite and strictly increasing".into(),
+            ));
+        }
+        Ok(ReachEvaluator {
+            n,
+            big_t,
+            segment_starts,
+            segments,
+            gamma2,
+            t_lo,
+            t_hi,
+        })
     }
 }
 

@@ -293,6 +293,61 @@ impl UntilEvaluator {
     pub fn n_states(&self) -> usize {
         self.n
     }
+
+    /// Decomposes the evaluator into its constructor data, for snapshot
+    /// serialization: `(n, t₁, sat1, sat2, phase_a, phase_b)`.
+    #[must_use]
+    pub(crate) fn export_parts(
+        &self,
+    ) -> (usize, f64, Vec<bool>, Vec<bool>, Option<Trajectory>, Trajectory) {
+        (
+            self.n,
+            self.t1,
+            self.sat1.clone(),
+            self.sat2.clone(),
+            self.phase_a.clone(),
+            self.phase_b.clone(),
+        )
+    }
+
+    /// Rebuilds an evaluator from exported parts, validating the structural
+    /// coherence a corrupt snapshot could violate.
+    pub(crate) fn from_parts(
+        n: usize,
+        t1: f64,
+        sat1: Vec<bool>,
+        sat2: Vec<bool>,
+        phase_a: Option<Trajectory>,
+        phase_b: Trajectory,
+    ) -> Result<UntilEvaluator, CslError> {
+        if n == 0 || sat1.len() != n || sat2.len() != n {
+            return Err(CslError::InvalidArgument(format!(
+                "until evaluator parts disagree: n = {n}, satisfaction \
+                 vectors have lengths {}/{}",
+                sat1.len(),
+                sat2.len()
+            )));
+        }
+        if !(t1 >= 0.0) || !t1.is_finite() {
+            return Err(CslError::InvalidArgument(format!(
+                "until evaluator lower bound must be finite and non-negative, got {t1}"
+            )));
+        }
+        let flat = n * n;
+        if phase_b.dim() != flat || phase_a.as_ref().is_some_and(|a| a.dim() != flat) {
+            return Err(CslError::InvalidArgument(format!(
+                "until phase trajectories must have dimension {flat}"
+            )));
+        }
+        Ok(UntilEvaluator {
+            n,
+            t1,
+            sat1,
+            sat2,
+            phase_a,
+            phase_b,
+        })
+    }
 }
 
 /// Builds the time-dependent until evaluator over the window `[0, θ]`.

@@ -73,6 +73,23 @@ impl Trajectory {
         })
     }
 
+    /// Decomposes the trajectory into the flat knot-major arenas accepted
+    /// by [`Trajectory::from_flat`], as `(dim, ts, ys, ds, stats)`. The
+    /// round trip is bitwise exact, which is what lets snapshot formats
+    /// persist a trajectory without touching its numerics.
+    #[must_use]
+    pub fn to_flat(&self) -> (usize, Vec<f64>, Vec<f64>, Vec<f64>, SolveStats) {
+        let dim = self.curve.dim();
+        let ts = self.curve.knots().to_vec();
+        let mut ys = Vec::with_capacity(ts.len() * dim);
+        let mut ds = Vec::with_capacity(ts.len() * dim);
+        for k in 0..ts.len() {
+            ys.extend_from_slice(self.curve.value_at(k));
+            ds.extend_from_slice(self.curve.derivative_at(k));
+        }
+        (dim, ts, ys, ds, self.stats)
+    }
+
     /// State dimension.
     #[must_use]
     pub fn dim(&self) -> usize {

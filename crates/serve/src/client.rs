@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use mfcsl_core::FaultPlan;
 
-use crate::http::roundtrip;
+use crate::http::{roundtrip, roundtrip_with, Response};
 use crate::json::Json;
 
 /// A check request as posted to `POST /v1/check`.
@@ -169,6 +169,7 @@ fn connect(addr: &str) -> Result<TcpStream, ClientError> {
         .ok_or_else(|| ClientError::Io(format!("`{addr}` resolves to no address")))?;
     let stream = TcpStream::connect_timeout(&resolved, CONNECT_TIMEOUT)
         .map_err(|e| ClientError::Io(format!("cannot connect to {addr}: {e}")))?;
+    let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
     Ok(stream)
@@ -189,6 +190,12 @@ pub fn post_check(addr: &str, request: &CheckRequest) -> Result<CheckOutcome, Cl
         request.render().as_bytes(),
     )
     .map_err(|e| ClientError::Io(e.to_string()))?;
+    decode_check_response(&response)
+}
+
+/// Decodes a `/v1/check` response (shared by the one-shot [`post_check`]
+/// and the keep-alive [`Client`], so both report identical errors).
+fn decode_check_response(response: &Response) -> Result<CheckOutcome, ClientError> {
     if response.status != 200 {
         let parsed = Json::parse(&response.text()).ok();
         let field = |name: &str| {
@@ -232,6 +239,89 @@ pub fn post_check(addr: &str, request: &CheckRequest) -> Result<CheckOutcome, Cl
         warm: body.get("warm").and_then(Json::as_bool).unwrap_or(false),
         micros: body.get("micros").and_then(Json::as_f64).unwrap_or(0.0),
     })
+}
+
+/// A keep-alive wire client: holds one connection open across calls, so a
+/// loop of requests pays the TCP handshake once instead of per request.
+/// Any transport failure on the cached connection (the daemon's idle sweep
+/// may have closed it between calls) transparently reconnects once; if the
+/// fresh connection also fails, the error surfaces.
+#[derive(Debug)]
+pub struct Client {
+    addr: String,
+    stream: Option<TcpStream>,
+}
+
+impl Client {
+    /// A client for one daemon address. No connection is made until the
+    /// first request.
+    #[must_use]
+    pub fn new(addr: &str) -> Client {
+        Client {
+            addr: addr.to_string(),
+            stream: None,
+        }
+    }
+
+    /// Whether a keep-alive connection is currently cached.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// One keep-alive request with reconnect-once fallback.
+    fn request(&mut self, method: &str, path: &str, body: &[u8]) -> Result<Response, ClientError> {
+        if let Some(mut stream) = self.stream.take() {
+            if let Ok(response) = roundtrip_with(&mut stream, method, path, body, false) {
+                self.retain(stream, &response);
+                return Ok(response);
+            }
+            // Stale keep-alive connection; fall through to a fresh one.
+        }
+        let mut stream = connect(&self.addr)?;
+        let response = roundtrip_with(&mut stream, method, path, body, false)
+            .map_err(|e| ClientError::Io(e.to_string()))?;
+        self.retain(stream, &response);
+        Ok(response)
+    }
+
+    /// Caches the connection unless the server asked to close.
+    fn retain(&mut self, stream: TcpStream, response: &Response) {
+        let keep = response
+            .header("connection")
+            .is_none_or(|v| !v.eq_ignore_ascii_case("close"));
+        if keep {
+            self.stream = Some(stream);
+        }
+    }
+
+    /// Posts a check batch over the kept-alive connection.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`post_check`].
+    pub fn check(&mut self, request: &CheckRequest) -> Result<CheckOutcome, ClientError> {
+        let response = self.request("POST", "/v1/check", request.render().as_bytes())?;
+        decode_check_response(&response)
+    }
+
+    /// `GET`s a text endpoint over the kept-alive connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures and non-200 statuses become [`ClientError`].
+    pub fn get_text(&mut self, path: &str) -> Result<String, ClientError> {
+        let response = self.request("GET", path, b"")?;
+        if response.status != 200 {
+            return Err(ClientError::Status {
+                status: response.status,
+                message: response.text(),
+                code: None,
+                retry_after: None,
+            });
+        }
+        Ok(response.text())
+    }
 }
 
 /// `GET`s a text endpoint (`/healthz`, `/metrics`, `/v1/models`).

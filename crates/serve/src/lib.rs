@@ -16,12 +16,18 @@ pub mod client;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod reactor;
 pub mod registry;
+pub mod router;
 pub mod server;
+pub mod snapshot;
 pub mod store;
 
-pub use client::{CheckOutcome, CheckRequest, ClientError, WireVerdict};
+pub use client::{CheckOutcome, CheckRequest, Client, ClientError, WireVerdict};
 pub use json::{Json, JsonError};
+pub use reactor::{ReactorOptions, RequestHandler};
 pub use registry::ModelRegistry;
-pub use server::{Server, ServerConfig};
+pub use router::{Router, RouterConfig, ShardSpec};
+pub use server::{Server, ServerConfig, ServingCore};
+pub use snapshot::{SessionSnapshot, SnapshotEntry};
 pub use store::{SessionKey, SessionStore, WarmSession};

@@ -6,6 +6,19 @@ use std::time::Duration;
 use mfcsl_core::mfcsl::EngineStats;
 use mfcsl_pool::PoolStats;
 
+/// Snapshot-persistence counters, read out of the session store for one
+/// `/metrics` rendering.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SnapshotCounters {
+    /// Snapshots written (on eviction and on graceful drain).
+    pub saved: u64,
+    /// Snapshots restored into warm sessions at startup.
+    pub loaded: u64,
+    /// Snapshot files skipped: corrupt, truncated, wrong schema version,
+    /// or referencing a model the registry no longer has.
+    pub rejected: u64,
+}
+
 /// Upper edges of the request-latency histogram buckets, in microseconds
 /// (roughly half-decade spacing); the last bucket is unbounded.
 pub const LATENCY_BUCKETS_US: [u64; 10] = [
@@ -16,7 +29,12 @@ pub const LATENCY_BUCKETS_US: [u64; 10] = [
 /// telemetry, not synchronization.
 #[derive(Debug, Default)]
 pub struct ServerMetrics {
-    /// Connections admitted into the request queue.
+    /// TCP connections accepted, across both serving cores. With keep-alive
+    /// clients this grows much slower than the request counters — the gap
+    /// is the reuse the reactor buys.
+    pub connections: AtomicU64,
+    /// Requests admitted into the work queue (one per connection on the
+    /// blocking core, one per parsed request on the reactor).
     pub accepted: AtomicU64,
     /// Connections turned away with `429` because the queue was full.
     pub rejected: AtomicU64,
@@ -80,6 +98,7 @@ impl ServerMetrics {
         sessions_quarantined: u64,
         queue_depth: usize,
         queue_capacity: usize,
+        snapshots: &SnapshotCounters,
     ) -> String {
         use std::fmt::Write as _;
         let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
@@ -87,6 +106,7 @@ impl ServerMetrics {
         fn line(out: &mut String, name: &str, value: String) {
             let _ = writeln!(out, "{name} {value}");
         }
+        line(&mut out, "mfcsld_connections_total", g(&self.connections).to_string());
         line(&mut out, "mfcsld_requests_accepted_total", g(&self.accepted).to_string());
         line(&mut out, "mfcsld_requests_rejected_total", g(&self.rejected).to_string());
         line(&mut out, "mfcsld_requests_timed_out_total", g(&self.timed_out).to_string());
@@ -100,6 +120,9 @@ impl ServerMetrics {
         line(&mut out, "mfcsld_session_warm_hits_total", g(&self.warm_hits).to_string());
         line(&mut out, "mfcsld_session_cold_starts_total", g(&self.cold_starts).to_string());
         line(&mut out, "mfcsld_prewarm_requests_total", g(&self.prewarms).to_string());
+        line(&mut out, "mfcsld_snapshot_saved_total", snapshots.saved.to_string());
+        line(&mut out, "mfcsld_snapshot_loaded_total", snapshots.loaded.to_string());
+        line(&mut out, "mfcsld_snapshot_rejected_total", snapshots.rejected.to_string());
         line(&mut out, "mfcsld_queue_depth", queue_depth.to_string());
         line(&mut out, "mfcsld_queue_capacity", queue_capacity.to_string());
         let mut cumulative = 0;
@@ -124,6 +147,11 @@ impl ServerMetrics {
             engine.trajectory_extensions.to_string(),
         );
         line(&mut out, "mfcsld_engine_trajectory_reuses_total", engine.trajectory_reuses.to_string());
+        line(
+            &mut out,
+            "mfcsld_engine_trajectory_restores_total",
+            engine.trajectory_restores.to_string(),
+        );
         line(&mut out, "mfcsld_engine_regime_solves_total", engine.regime_solves.to_string());
         line(&mut out, "mfcsld_engine_regime_reuses_total", engine.regime_reuses.to_string());
         line(&mut out, "mfcsld_engine_recoveries_total", engine.recoveries.to_string());
@@ -158,8 +186,18 @@ mod tests {
         m.accepted.fetch_add(4, Ordering::Relaxed);
         m.completed.fetch_add(3, Ordering::Relaxed);
         let pool = mfcsl_pool::ThreadPool::new(1);
-        let text = m.render(&EngineStats::default(), &pool.stats(), 2, 5, 1, 1, 32);
+        let snapshots = SnapshotCounters {
+            saved: 2,
+            loaded: 1,
+            rejected: 3,
+        };
+        let text = m.render(&EngineStats::default(), &pool.stats(), 2, 5, 1, 1, 32, &snapshots);
         assert!(text.contains("mfcsld_requests_accepted_total 4"), "{text}");
+        assert!(text.contains("mfcsld_connections_total 0"), "{text}");
+        assert!(text.contains("mfcsld_snapshot_saved_total 2"), "{text}");
+        assert!(text.contains("mfcsld_snapshot_loaded_total 1"), "{text}");
+        assert!(text.contains("mfcsld_snapshot_rejected_total 3"), "{text}");
+        assert!(text.contains("mfcsld_engine_trajectory_restores_total 0"), "{text}");
         assert!(text.contains("mfcsld_sessions_quarantined_total 1"), "{text}");
         assert!(text.contains("mfcsld_requests_engine_errors_total 0"), "{text}");
         assert!(text.contains("mfcsld_engine_recoveries_total 0"), "{text}");

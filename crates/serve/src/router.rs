@@ -1,0 +1,416 @@
+//! The shard router: a front tier that speaks the daemon's wire protocol
+//! and fans requests out over several `mfcsld` worker processes.
+//!
+//! Routing is by consistent hash of the request's [`SessionKey`] — the same
+//! FNV-1a 64 over the same canonical key encoding the snapshot layer uses —
+//! so one warm session never splits across shards: every request for a
+//! `(model, params, tolerances)` key lands on the shard whose store holds
+//! that key's caches, and the mapping survives router restarts because the
+//! hash is deterministic across processes (unlike `std`'s seeded hasher).
+//!
+//! The router itself runs on the same epoll [`reactor`](crate::reactor)
+//! core as the daemon: it implements [`RequestHandler`], proxying request
+//! bodies over per-shard keep-alive connection pools. Shard backpressure
+//! (`429` + `Retry-After`) passes through untouched; a dead shard answers
+//! `503 shard_unavailable` with a `Retry-After` hint for its keys while the
+//! other shards keep serving theirs. `GET /metrics` aggregates every
+//! shard's counters by summing same-named lines, then appends router-level
+//! counters.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use mfcsl_core::{FaultMode, FaultPlan};
+
+use crate::http::{error_outcome, roundtrip_with, Outcome, Request, Response};
+use crate::json::Json;
+use crate::reactor::RequestHandler;
+use crate::snapshot::{fnv1a64, key_bytes};
+use crate::store::SessionKey;
+
+/// How long a fresh connection to a shard may take before the shard is
+/// declared unavailable for this request.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Socket read timeout on proxied requests; a wedged shard must not pin a
+/// router worker forever.
+const PROXY_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Most idle keep-alive connections retained per shard.
+const POOL_CAP: usize = 32;
+
+/// One worker shard as the router sees it.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// The shard daemon's address.
+    pub addr: SocketAddr,
+}
+
+/// Router configuration: the shard fleet.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Worker shards, in index order (the consistent hash is taken modulo
+    /// this list's length, so the order must match across restarts).
+    pub shards: Vec<ShardSpec>,
+}
+
+/// Which shard owns a session key: FNV-1a 64 of the canonical key bytes,
+/// modulo the shard count. Exposed so tests and benchmarks can predict
+/// placement client-side.
+#[must_use]
+pub fn route_for(key: &SessionKey, n_shards: usize) -> usize {
+    if n_shards == 0 {
+        return 0;
+    }
+    usize::try_from(fnv1a64(&key_bytes(key)) % n_shards as u64).unwrap_or(0)
+}
+
+/// Per-shard live state: address, keep-alive pool, counters.
+struct Shard {
+    addr: SocketAddr,
+    /// Idle keep-alive connections to this shard.
+    pool: Mutex<Vec<TcpStream>>,
+    routed: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Shard {
+    fn lock_pool(&self) -> std::sync::MutexGuard<'_, Vec<TcpStream>> {
+        self.pool.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn checkout(&self) -> Option<TcpStream> {
+        self.lock_pool().pop()
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.lock_pool();
+        if pool.len() < POOL_CAP {
+            pool.push(stream);
+        }
+    }
+
+    fn connect(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&self.addr, CONNECT_TIMEOUT)?;
+        stream.set_read_timeout(Some(PROXY_READ_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+}
+
+/// The shard-routing request handler. Runs on the epoll reactor exactly
+/// like the daemon's own dispatcher.
+pub struct Router {
+    shards: Vec<Shard>,
+    requests: AtomicU64,
+}
+
+impl Router {
+    /// Builds a router over a fixed shard fleet.
+    #[must_use]
+    pub fn new(config: &RouterConfig) -> Router {
+        Router {
+            shards: config
+                .shards
+                .iter()
+                .map(|spec| Shard {
+                    addr: spec.addr,
+                    pool: Mutex::new(Vec::new()),
+                    routed: AtomicU64::new(0),
+                    errors: AtomicU64::new(0),
+                })
+                .collect(),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Proxies one request to `shard`, reusing a pooled keep-alive
+    /// connection when one exists and reconnecting once on transport
+    /// failure (the pooled socket may have been closed by the shard's idle
+    /// sweep between requests).
+    fn proxy(&self, shard_id: usize, request: &Request) -> Outcome {
+        let shard = &self.shards[shard_id];
+        shard.routed.fetch_add(1, Ordering::Relaxed);
+        let pooled = shard.checkout();
+        let retry_fresh = pooled.is_some();
+        let response = match pooled {
+            Some(mut stream) => {
+                match roundtrip_with(&mut stream, &request.method, &request.path, &request.body, false)
+                {
+                    Ok(response) => Some((stream, response)),
+                    Err(_) => None,
+                }
+            }
+            None => None,
+        };
+        let (stream, response) = match response {
+            Some(pair) => pair,
+            None => {
+                // Fresh connection (first use, or the pooled one went stale).
+                let _ = retry_fresh; // stale pools and cold pools retry the same way
+                let attempt = shard.connect().map_err(|e| e.to_string()).and_then(|mut s| {
+                    roundtrip_with(&mut s, &request.method, &request.path, &request.body, false)
+                        .map(|r| (s, r))
+                        .map_err(|e| e.to_string())
+                });
+                match attempt {
+                    Ok(pair) => pair,
+                    Err(_) => {
+                        shard.errors.fetch_add(1, Ordering::Relaxed);
+                        let mut outcome = error_outcome(
+                            503,
+                            "shard_unavailable",
+                            &format!("shard {shard_id} ({}) is unavailable", shard.addr),
+                        );
+                        outcome.extra_headers.push(("Retry-After", "1".to_string()));
+                        return outcome;
+                    }
+                }
+            }
+        };
+        let keep = response
+            .header("connection")
+            .is_none_or(|v| !v.eq_ignore_ascii_case("close"));
+        if keep {
+            shard.checkin(stream);
+        }
+        outcome_of(&response)
+    }
+
+    /// Aggregated `/metrics`: sum same-named counter lines across every
+    /// reachable shard (first-seen order), then append router-level lines.
+    fn aggregate_metrics(&self) -> Outcome {
+        let mut names: Vec<String> = Vec::new();
+        let mut sums: BTreeMap<String, f64> = BTreeMap::new();
+        let mut unreachable = 0u64;
+        let probe = Request {
+            method: "GET".into(),
+            path: "/metrics".into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        for (i, _) in self.shards.iter().enumerate() {
+            let outcome = self.proxy(i, &probe);
+            if outcome.status != 200 {
+                unreachable += 1;
+                continue;
+            }
+            for line in String::from_utf8_lossy(&outcome.body).lines() {
+                let mut parts = line.split_whitespace();
+                let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
+                    continue;
+                };
+                let Ok(value) = value.parse::<f64>() else {
+                    continue;
+                };
+                if !sums.contains_key(name) {
+                    names.push(name.to_string());
+                }
+                *sums.entry(name.to_string()).or_insert(0.0) += value;
+            }
+        }
+        let mut body = String::new();
+        for name in &names {
+            let v = sums.get(name).copied().unwrap_or(0.0);
+            body.push_str(&format!("{name} {}\n", render_num(v)));
+        }
+        body.push_str(&format!("mfcsld_router_shards {}\n", self.shards.len()));
+        body.push_str(&format!("mfcsld_router_shards_unreachable {unreachable}\n"));
+        body.push_str(&format!(
+            "mfcsld_router_requests_total {}\n",
+            self.requests.load(Ordering::Relaxed)
+        ));
+        for (i, shard) in self.shards.iter().enumerate() {
+            body.push_str(&format!(
+                "mfcsld_router_shard{i}_routed_total {}\n",
+                shard.routed.load(Ordering::Relaxed)
+            ));
+            body.push_str(&format!(
+                "mfcsld_router_shard{i}_errors_total {}\n",
+                shard.errors.load(Ordering::Relaxed)
+            ));
+        }
+        Outcome::new(200, "text/plain", body.into_bytes())
+    }
+
+    /// `GET /v1/shards`: the fleet as JSON, with per-shard route counts.
+    fn shards_response(&self) -> Outcome {
+        let shards = Json::Arr(
+            self.shards
+                .iter()
+                .enumerate()
+                .map(|(i, shard)| {
+                    Json::Obj(vec![
+                        ("index".into(), Json::Num(i as f64)),
+                        ("addr".into(), Json::Str(shard.addr.to_string())),
+                        (
+                            "routed".into(),
+                            Json::Num(shard.routed.load(Ordering::Relaxed) as f64),
+                        ),
+                        (
+                            "errors".into(),
+                            Json::Num(shard.errors.load(Ordering::Relaxed) as f64),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let body = Json::Obj(vec![("shards".into(), shards)]).render();
+        Outcome::new(200, "application/json", body.into_bytes())
+    }
+
+    /// `POST /shutdown`: fan the drain out to every shard (best-effort),
+    /// then drain the router itself.
+    fn shutdown_all(&self) -> Outcome {
+        let mut stopped = 0u64;
+        for shard in &self.shards {
+            // Fresh close-mode connection: pooled keep-alive sockets would
+            // be poisoned by the shard draining mid-stream anyway.
+            let ok = shard.connect().ok().and_then(|mut s| {
+                crate::http::roundtrip(&mut s, "POST", "/shutdown", b"").ok()
+            });
+            if ok.is_some_and(|r| r.status == 200) {
+                stopped += 1;
+            }
+        }
+        let body = Json::Obj(vec![
+            ("draining".into(), Json::Bool(true)),
+            ("shards_stopped".into(), Json::Num(stopped as f64)),
+        ])
+        .render();
+        let mut outcome = Outcome::new(200, "application/json", body.into_bytes());
+        outcome.shutdown = true;
+        outcome.close = true;
+        outcome
+    }
+}
+
+impl RequestHandler for Router {
+    fn handle(&self, request: &Request, _enqueued_at: Instant) -> Outcome {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => Outcome::new(200, "text/plain", b"ok\n".to_vec()),
+            ("GET", "/metrics") => self.aggregate_metrics(),
+            ("GET", "/v1/shards") => self.shards_response(),
+            ("POST", "/shutdown") => self.shutdown_all(),
+            // The registry is identical across shards; any one can answer.
+            ("GET", "/v1/models") => self.proxy(0, request),
+            ("POST", "/v1/check" | "/v1/prewarm") => {
+                let key = session_key_of(&request.body, request.path == "/v1/prewarm");
+                self.proxy(route_for(&key, self.shards.len()), request)
+            }
+            _ => error_outcome(
+                404,
+                "not_found",
+                &format!("no route {} {}", request.method, request.path),
+            ),
+        }
+    }
+}
+
+/// Extracts the routing key from a request body, mirroring the daemon's own
+/// key construction (`/v1/prewarm` always keys with `fault: None`, exactly
+/// like `handle_prewarm` does). Unparseable bodies fall back to a default
+/// key — the shard it hashes to will answer with the daemon's own `400`,
+/// keeping error bodies identical to a single-daemon deployment.
+fn session_key_of(body: &[u8], is_prewarm: bool) -> SessionKey {
+    let parsed = std::str::from_utf8(body)
+        .ok()
+        .and_then(|text| Json::parse(text).ok());
+    let Some(parsed) = parsed else {
+        return SessionKey::new("", &BTreeMap::new(), false, None);
+    };
+    let model = parsed.get("model").and_then(Json::as_str).unwrap_or("");
+    let params = parsed
+        .get("params")
+        .and_then(Json::as_num_map)
+        .unwrap_or_default();
+    let fast = parsed.get("fast").and_then(Json::as_bool).unwrap_or(false);
+    let fault = if is_prewarm {
+        None
+    } else {
+        parsed.get("fault").and_then(|spec| {
+            let mode = spec.get("mode").and_then(Json::as_str).and_then(FaultMode::parse)?;
+            let uint = |name: &str, default: u64| {
+                spec.get(name)
+                    .and_then(Json::as_f64)
+                    .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+                    .map_or(default, |n| n as u64)
+            };
+            Some(FaultPlan::new(mode, uint("period", 1), uint("seed", 0)))
+        })
+    };
+    SessionKey::new(model, &params, fast, fault)
+}
+
+/// Converts a proxied shard response into an [`Outcome`], preserving the
+/// status, the body byte-for-byte, and the `Retry-After` backpressure hint.
+fn outcome_of(response: &Response) -> Outcome {
+    let content_type = match response.header("content-type") {
+        Some(v) if v.starts_with("text/plain") => "text/plain",
+        _ => "application/json",
+    };
+    let mut outcome = Outcome::new(response.status, content_type, response.body.clone());
+    if let Some(v) = response.header("retry-after") {
+        outcome.extra_headers.push(("Retry-After", v.to_string()));
+    }
+    outcome
+}
+
+/// Renders an aggregated metric value: integers print without a decimal
+/// point so summed counters look exactly like a single shard's counters.
+fn render_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let key = SessionKey::new("sis", &BTreeMap::new(), false, None);
+        let a = route_for(&key, 4);
+        let b = route_for(&key, 4);
+        assert_eq!(a, b, "same key must always land on the same shard");
+        assert!(a < 4);
+        // Different params land somewhere valid too (not necessarily
+        // elsewhere, but the map must be total).
+        for i in 0..32 {
+            let key = SessionKey::new(
+                "sis",
+                &[("beta".to_string(), f64::from(i))].into_iter().collect(),
+                false,
+                None,
+            );
+            assert!(route_for(&key, 3) < 3);
+        }
+        assert_eq!(route_for(&key, 0), 0, "zero shards must not divide by zero");
+    }
+
+    #[test]
+    fn session_key_extraction_matches_server_semantics() {
+        let body = br#"{"model":"sis","params":{"beta":2.5},"fast":true,"m0":[0.9,0.1],"formulas":["x"]}"#;
+        let key = session_key_of(body, false);
+        assert_eq!(key.model, "sis");
+        assert_eq!(key.params, vec![("beta".to_string(), 2.5f64.to_bits())]);
+        assert!(key.fast);
+        assert!(key.fault.is_none());
+
+        // Prewarm bodies ignore any fault field, like handle_prewarm.
+        let body = br#"{"model":"sis","fault":{"mode":"nan"}}"#;
+        assert!(session_key_of(body, true).fault.is_none());
+        assert!(session_key_of(body, false).fault.is_some());
+
+        // Garbage routes somewhere stable instead of crashing.
+        let key = session_key_of(b"\xff\xfe not json", false);
+        assert_eq!(key.model, "");
+    }
+}

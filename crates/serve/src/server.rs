@@ -1,20 +1,24 @@
-//! The `mfcsld` daemon: accept loop, bounded admission queue, worker
-//! threads, request handlers, and drain-and-shutdown.
+//! The `mfcsld` daemon: serving cores, request dispatch, and
+//! drain-and-shutdown.
 //!
-//! Serving mechanics in one paragraph: the accept loop is the admission
-//! controller — a connection either enters the bounded queue or is turned
-//! away immediately with `429` and a `Retry-After` hint, so backpressure is
-//! visible to clients the instant the daemon saturates instead of growing an
-//! unbounded backlog. Workers pop connections, parse one request, and answer
-//! it; check requests resolve a warm [`crate::store::WarmSession`] keyed by
-//! `(model, params, tolerances)` and fan their formula batch out through
-//! `CheckSession::check_all`, which keeps daemon verdicts bitwise identical
-//! to the offline CLI. `POST /shutdown` flips an atomic flag and self-
-//! connects to wake the accept loop; queued requests still drain before the
-//! workers exit.
+//! Serving mechanics in one paragraph: every route is a pure function from a
+//! parsed [`Request`] to an [`Outcome`] — `dispatch` below — so the same
+//! handler code runs identically on both serving cores. The default core is
+//! the epoll [`reactor`](crate::reactor): a small fixed pool of event-loop
+//! threads multiplexing thousands of keep-alive connections, handing parsed
+//! requests to worker threads. The original blocking core (one worker per
+//! in-flight connection, accept-time admission control) remains available
+//! via [`ServingCore::Blocking`]. Check requests resolve a warm
+//! [`crate::store::WarmSession`] keyed by `(model, params, tolerances)` and
+//! fan their formula batch out through `CheckSession::check_all`, which
+//! keeps daemon verdicts bitwise identical to the offline CLI — on either
+//! core. `POST /shutdown` flips a shared atomic flag; in-flight requests
+//! drain before the daemon exits, and with a `state_dir` configured the
+//! store persists every warm session on the way down.
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -23,17 +27,18 @@ use mfcsl_core::mfcsl::parse_formula;
 use mfcsl_core::{CoreError, FaultMode, FaultPlan, Occupancy};
 use mfcsl_pool::ThreadPool;
 
-use crate::http::{read_request, write_response, Request};
+use crate::http::{error_outcome, read_request, render_response, write_response, Outcome, Request};
 use crate::json::Json;
 use crate::metrics::ServerMetrics;
+use crate::reactor::{self, ReactorOptions, RequestHandler};
 use crate::registry::ModelRegistry;
 use crate::store::{SessionKey, SessionStore};
 
 /// Largest accepted request body, in bytes.
 const MAX_BODY: usize = 1 << 20;
 
-/// Per-connection socket read timeout: a stalled client cannot pin a
-/// worker forever.
+/// Per-connection socket read timeout (blocking core) and idle-connection
+/// timeout (event-loop core): a stalled client cannot pin resources forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Granularity of the debug-sleep loop (which re-checks the deadline
@@ -53,6 +58,19 @@ const MAX_SLEEP_MS: f64 = 60_000.0;
 /// overload cannot turn into unbounded thread churn.
 const MAX_REJECTS_IN_FLIGHT: usize = 32;
 
+/// Which serving core moves bytes for the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServingCore {
+    /// Edge-triggered epoll event loops multiplexing many keep-alive
+    /// connections onto a small fixed thread pool (the default).
+    #[default]
+    EventLoop,
+    /// One worker thread per in-flight connection, close-per-request
+    /// (the original core; kept for comparison benchmarks and as a
+    /// fallback on kernels without epoll).
+    Blocking,
+}
+
 /// Daemon configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -60,7 +78,7 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads popping the admission queue.
     pub workers: usize,
-    /// Admission-queue capacity; connections beyond it get `429`.
+    /// Admission-queue capacity; requests beyond it get `429`.
     pub queue_capacity: usize,
     /// Checking-pool lanes shared by all sessions (`0` → the machine's
     /// available parallelism).
@@ -73,6 +91,14 @@ pub struct ServerConfig {
     /// Honor the `fault` request field (chaos tests only). Off by default:
     /// without the flag, fault requests get `400 faults_disabled`.
     pub allow_faults: bool,
+    /// Which serving core moves bytes.
+    pub core: ServingCore,
+    /// Event-loop threads (event-loop core only; at least 1).
+    pub event_loops: usize,
+    /// Warm-state snapshot directory: sessions persist on eviction and on
+    /// graceful drain, and are restored at startup, so a restarted daemon
+    /// answers its first request warm.
+    pub state_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -85,27 +111,34 @@ impl Default for ServerConfig {
             max_sessions: 64,
             allow_sleep: false,
             allow_faults: false,
+            core: ServingCore::default(),
+            event_loops: 2,
+            state_dir: None,
         }
     }
 }
 
-/// One admitted connection waiting for a worker.
+/// One admitted connection waiting for a worker (blocking core).
 struct Pending {
     stream: TcpStream,
     enqueued_at: Instant,
 }
 
-/// State shared by the accept loop and the workers.
-struct Shared {
+/// State shared by the serving core and the request handlers.
+pub(crate) struct Shared {
     registry: ModelRegistry,
     store: SessionStore,
     pool: Arc<ThreadPool>,
-    metrics: ServerMetrics,
+    metrics: Arc<ServerMetrics>,
     config: ServerConfig,
+    /// Blocking core's admission queue (unused by the event-loop core,
+    /// whose bounded queue lives in the reactor).
     queue: Mutex<VecDeque<Pending>>,
     queue_signal: Condvar,
-    shutdown: AtomicBool,
-    /// Courtesy-rejection threads currently writing a `429`.
+    shutdown: Arc<AtomicBool>,
+    /// Event-loop core's live request-queue depth, exported for `/metrics`.
+    reactor_depth: Arc<AtomicUsize>,
+    /// Courtesy-rejection threads currently writing a `429` (blocking core).
     rejects_in_flight: AtomicUsize,
     local_addr: SocketAddr,
 }
@@ -118,7 +151,9 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and builds the shared state.
+    /// Binds the listener and builds the shared state. With a `state_dir`
+    /// configured, previously persisted sessions are restored here, before
+    /// the first request can arrive.
     ///
     /// # Errors
     ///
@@ -131,15 +166,22 @@ impl Server {
         } else {
             ThreadPool::new(config.threads)
         });
+        let store = SessionStore::new(
+            Arc::clone(&pool),
+            config.max_sessions,
+            config.state_dir.clone(),
+        );
+        store.load_state_dir(&registry);
         let shared = Arc::new(Shared {
             registry,
-            store: SessionStore::new(Arc::clone(&pool), config.max_sessions),
+            store,
             pool,
-            metrics: ServerMetrics::new(),
+            metrics: Arc::new(ServerMetrics::new()),
             config,
             queue: Mutex::new(VecDeque::new()),
             queue_signal: Condvar::new(),
-            shutdown: AtomicBool::new(false),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            reactor_depth: Arc::new(AtomicUsize::new(0)),
             rejects_in_flight: AtomicUsize::new(0),
             local_addr,
         });
@@ -152,13 +194,46 @@ impl Server {
         self.shared.local_addr
     }
 
-    /// Runs the daemon: spawns the workers, accepts until shutdown, then
-    /// drains and joins. Returns when the last in-flight request finished.
+    /// Runs the daemon on the configured serving core until a
+    /// `POST /shutdown` drains it, then persists warm state (when a
+    /// `state_dir` is configured). Returns when the last in-flight request
+    /// finished.
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop transport failures.
+    /// Propagates transport and event-loop setup failures.
     pub fn run(self) -> std::io::Result<()> {
+        match self.shared.config.core {
+            ServingCore::EventLoop => self.run_reactor(),
+            ServingCore::Blocking => self.run_blocking(),
+        }
+    }
+
+    /// Event-loop core: hand the listener to the reactor; `dispatch` runs
+    /// on its worker threads.
+    fn run_reactor(self) -> std::io::Result<()> {
+        let shared = Arc::clone(&self.shared);
+        let handler: Arc<dyn RequestHandler> = Arc::new(DaemonHandler {
+            shared: Arc::clone(&shared),
+        });
+        let options = ReactorOptions {
+            event_loops: shared.config.event_loops,
+            workers: shared.config.workers,
+            queue_capacity: shared.config.queue_capacity,
+            max_body: MAX_BODY,
+            idle_timeout: READ_TIMEOUT,
+            metrics: Arc::clone(&shared.metrics),
+            shutdown: Arc::clone(&shared.shutdown),
+            queue_depth: Arc::clone(&shared.reactor_depth),
+        };
+        reactor::run(self.listener, handler, options)?;
+        shared.store.save_all();
+        Ok(())
+    }
+
+    /// Blocking core: accept loop + admission queue + one worker thread per
+    /// in-flight connection.
+    fn run_blocking(self) -> std::io::Result<()> {
         let workers: Vec<_> = (0..self.shared.config.workers.max(1))
             .map(|i| {
                 let shared = Arc::clone(&self.shared);
@@ -182,6 +257,7 @@ impl Server {
                 drop(stream);
                 break;
             }
+            let _ = stream.set_nodelay(true);
             admit(&self.shared, stream);
         }
 
@@ -190,7 +266,19 @@ impl Server {
         for worker in workers {
             let _ = worker.join();
         }
+        self.shared.store.save_all();
         Ok(())
+    }
+}
+
+/// Adapts the daemon's dispatcher to the reactor's handler trait.
+struct DaemonHandler {
+    shared: Arc<Shared>,
+}
+
+impl RequestHandler for DaemonHandler {
+    fn handle(&self, request: &Request, enqueued_at: Instant) -> Outcome {
+        dispatch(&self.shared, request, enqueued_at)
     }
 }
 
@@ -202,8 +290,10 @@ fn lock_queue(shared: &Shared) -> MutexGuard<'_, VecDeque<Pending>> {
     shared.queue.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Accept-time admission control: queue the connection or `429` it.
+/// Accept-time admission control: queue the connection or `429` it
+/// (blocking core).
 fn admit(shared: &Arc<Shared>, stream: TcpStream) {
+    shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
     let mut queue = lock_queue(shared);
     if queue.len() >= shared.config.queue_capacity {
         drop(queue);
@@ -286,6 +376,7 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// Blocking core: parse one request, dispatch it, answer, close.
 fn handle_connection(shared: &Arc<Shared>, pending: Pending) {
     let Pending {
         mut stream,
@@ -300,27 +391,48 @@ fn handle_connection(shared: &Arc<Shared>, pending: Pending) {
             return;
         }
     };
+    let outcome = dispatch(shared, &request, enqueued_at);
+    if outcome.shutdown {
+        shared.shutdown.store(true, Ordering::SeqCst);
+    }
+    use std::io::Write as _;
+    let _ = stream.write_all(&render_response(&outcome, false));
+    if outcome.shutdown {
+        // Wake the accept loop so it observes the flag, and every worker
+        // waiting on the queue.
+        let _ = TcpStream::connect(shared.local_addr);
+        shared.queue_signal.notify_all();
+    }
+}
+
+/// The routing table: one parsed request in, one response out. Pure with
+/// respect to the transport, so both serving cores (and any test harness)
+/// produce byte-identical response bodies.
+fn dispatch(shared: &Arc<Shared>, request: &Request, enqueued_at: Instant) -> Outcome {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            let _ = write_response(&mut stream, 200, "text/plain", &[], b"ok\n");
-        }
+        ("GET", "/healthz") => Outcome::new(200, "text/plain", b"ok\n".to_vec()),
         ("GET", "/metrics") => {
-            let body = {
-                let (depth, cap) = {
+            let (depth, cap) = match shared.config.core {
+                ServingCore::EventLoop => (
+                    shared.reactor_depth.load(Ordering::Relaxed),
+                    shared.config.queue_capacity,
+                ),
+                ServingCore::Blocking => {
                     let queue = lock_queue(shared);
                     (queue.len(), shared.config.queue_capacity)
-                };
-                shared.metrics.render(
-                    &shared.store.merged_stats(),
-                    &shared.pool.stats(),
-                    shared.store.len(),
-                    shared.store.evicted(),
-                    shared.store.quarantined(),
-                    depth,
-                    cap,
-                )
+                }
             };
-            let _ = write_response(&mut stream, 200, "text/plain", &[], body.as_bytes());
+            let body = shared.metrics.render(
+                &shared.store.merged_stats(),
+                &shared.pool.stats(),
+                shared.store.len(),
+                shared.store.evicted(),
+                shared.store.quarantined(),
+                depth,
+                cap,
+                &shared.store.snapshot_counters(),
+            );
+            Outcome::new(200, "text/plain", body.into_bytes())
         }
         ("GET", "/v1/models") => {
             let names = Json::Arr(
@@ -332,71 +444,63 @@ fn handle_connection(shared: &Arc<Shared>, pending: Pending) {
                     .collect(),
             );
             let body = Json::Obj(vec![("models".into(), names)]).render();
-            let _ = write_response(&mut stream, 200, "application/json", &[], body.as_bytes());
+            Outcome::new(200, "application/json", body.into_bytes())
         }
         ("POST", "/shutdown") => {
-            shared.shutdown.store(true, Ordering::SeqCst);
             let body = Json::Obj(vec![("draining".into(), Json::Bool(true))]).render();
-            let _ = write_response(&mut stream, 200, "application/json", &[], body.as_bytes());
-            // Wake the accept loop so it observes the flag, and every
-            // worker waiting on the queue.
-            let _ = TcpStream::connect(shared.local_addr);
-            shared.queue_signal.notify_all();
+            let mut outcome = Outcome::new(200, "application/json", body.into_bytes());
+            outcome.shutdown = true;
+            outcome.close = true;
+            outcome
         }
-        ("POST", "/v1/check") => handle_check(shared, &mut stream, &request, enqueued_at),
-        ("POST", "/v1/prewarm") => handle_prewarm(shared, &mut stream, &request),
+        ("POST", "/v1/check") => handle_check(shared, request, enqueued_at),
+        ("POST", "/v1/prewarm") => handle_prewarm(shared, request),
         _ => {
             shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(
-                &mut stream,
+            error_outcome(
                 404,
                 "not_found",
                 &format!("no route {} {}", request.method, request.path),
-            );
+            )
         }
     }
 }
 
+/// Bumps the client-error counter and builds the error response.
+fn client_error(shared: &Shared, status: u16, code: &str, message: &str) -> Outcome {
+    shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+    error_outcome(status, code, message)
+}
+
 /// `POST /v1/check`: one formula batch against one model/occupancy.
-fn handle_check(
-    shared: &Arc<Shared>,
-    stream: &mut TcpStream,
-    request: &Request,
-    enqueued_at: Instant,
-) {
-    let client_error =
-        |shared: &Shared, stream: &mut TcpStream, status: u16, code: &str, message: &str| {
-            shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, status, code, message);
-        };
+fn handle_check(shared: &Arc<Shared>, request: &Request, enqueued_at: Instant) -> Outcome {
     let body = match std::str::from_utf8(&request.body)
         .map_err(|e| e.to_string())
         .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
     {
         Ok(v) => v,
         Err(e) => {
-            return client_error(shared, stream, 400, "bad_request", &format!("bad JSON body: {e}"))
+            return client_error(shared, 400, "bad_request", &format!("bad JSON body: {e}"))
         }
     };
 
     // -- decode ----------------------------------------------------------
     let Some(model_name) = body.get("model").and_then(Json::as_str) else {
-        return client_error(shared, stream, 400, "bad_request", "missing string field `model`");
+        return client_error(shared, 400, "bad_request", "missing string field `model`");
     };
     if shared.registry.get(model_name).is_none() {
         return client_error(
             shared,
-            stream,
             404,
             "unknown_model",
             &format!("unknown model `{model_name}`"),
         );
     }
     let Some(m0_values) = body.get("m0").and_then(Json::as_arr) else {
-        return client_error(shared, stream, 400, "bad_request", "missing array field `m0`");
+        return client_error(shared, 400, "bad_request", "missing array field `m0`");
     };
     let Some(formula_texts) = body.get("formulas").and_then(Json::as_arr) else {
-        return client_error(shared, stream, 400, "bad_request", "missing array field `formulas`");
+        return client_error(shared, 400, "bad_request", "missing array field `formulas`");
     };
     let fast = body.get("fast").and_then(Json::as_bool).unwrap_or(false);
     let overrides = match body.get("params") {
@@ -404,28 +508,22 @@ fn handle_check(
         Some(v) => match v.as_num_map() {
             Some(m) => m,
             None => {
-                return client_error(
-                    shared,
-                    stream,
-                    400,
-                    "bad_request",
-                    "`params` must map names to numbers",
-                )
+                return client_error(shared, 400, "bad_request", "`params` must map names to numbers")
             }
         },
     };
     let fault = match parse_fault(&body, shared.config.allow_faults) {
         Ok(f) => f,
-        Err((code, message)) => return client_error(shared, stream, 400, code, &message),
+        Err((code, message)) => return client_error(shared, 400, code, &message),
     };
     let timeout_ms = match millis_field(&body, "timeout_ms", MAX_TIMEOUT_MS) {
         Ok(v) => v,
-        Err(e) => return client_error(shared, stream, 400, "bad_request", &e),
+        Err(e) => return client_error(shared, 400, "bad_request", &e),
     };
     let deadline = timeout_ms.map(|ms| enqueued_at + Duration::from_secs_f64(ms / 1e3));
     let sleep_ms = match millis_field(&body, "sleep_ms", MAX_SLEEP_MS) {
         Ok(v) => v.unwrap_or(0.0),
-        Err(e) => return client_error(shared, stream, 400, "bad_request", &e),
+        Err(e) => return client_error(shared, 400, "bad_request", &e),
     };
 
     // -- debug sleep (load tests), slice-wise so deadlines still fire ----
@@ -433,13 +531,13 @@ fn handle_check(
         let until = Instant::now() + Duration::from_secs_f64(sleep_ms / 1e3);
         while Instant::now() < until {
             if past(deadline) {
-                return timeout(shared, stream, enqueued_at);
+                return timeout(shared, enqueued_at);
             }
             std::thread::sleep(SLEEP_SLICE.min(until - Instant::now()));
         }
     }
     if past(deadline) {
-        return timeout(shared, stream, enqueued_at);
+        return timeout(shared, enqueued_at);
     }
 
     // -- validate against the engine's own types -------------------------
@@ -449,23 +547,19 @@ fn handle_check(
         .and_then(|f| Occupancy::new(f).map_err(|e| e.to_string()))
     {
         Ok(m) => m,
-        Err(e) => {
-            return client_error(shared, stream, 400, "bad_request", &format!("bad `m0`: {e}"))
-        }
+        Err(e) => return client_error(shared, 400, "bad_request", &format!("bad `m0`: {e}")),
     };
     let texts: Option<Vec<&str>> = formula_texts.iter().map(Json::as_str).collect();
     let Some(texts) = texts else {
-        return client_error(shared, stream, 400, "bad_request", "`formulas` must contain strings");
+        return client_error(shared, 400, "bad_request", "`formulas` must contain strings");
     };
     if texts.is_empty() {
-        return client_error(shared, stream, 400, "bad_request", "`formulas` must not be empty");
+        return client_error(shared, 400, "bad_request", "`formulas` must not be empty");
     }
     let psis: Result<Vec<_>, _> = texts.iter().map(|t| parse_formula(t)).collect();
     let psis = match psis {
         Ok(p) => p,
-        Err(e) => {
-            return client_error(shared, stream, 400, "bad_request", &format!("bad formula: {e}"))
-        }
+        Err(e) => return client_error(shared, 400, "bad_request", &format!("bad formula: {e}")),
     };
 
     // -- resolve the warm session ----------------------------------------
@@ -478,7 +572,7 @@ fn handle_check(
             } else {
                 (400, "bad_request")
             };
-            return client_error(shared, stream, status, code, &e.to_string());
+            return client_error(shared, status, code, &e.to_string());
         }
     };
     if warm {
@@ -487,7 +581,7 @@ fn handle_check(
         shared.metrics.cold_starts.fetch_add(1, Ordering::Relaxed);
     }
     if past(deadline) {
-        return timeout(shared, stream, enqueued_at);
+        return timeout(shared, enqueued_at);
     }
 
     // -- check ------------------------------------------------------------
@@ -509,7 +603,7 @@ fn handle_check(
             } else {
                 shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
             }
-            return respond_error(stream, status, code, &e.to_string());
+            return error_outcome(status, code, &e.to_string());
         }
     };
     let micros = started.elapsed().as_secs_f64() * 1e6;
@@ -549,7 +643,7 @@ fn handle_check(
     .render();
     shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
     shared.metrics.observe_latency(enqueued_at.elapsed());
-    let _ = write_response(stream, 200, "application/json", &[], response.as_bytes());
+    Outcome::new(200, "application/json", response.into_bytes())
 }
 
 /// `POST /v1/prewarm`: solve a sweep of initial occupancies for one model
@@ -560,35 +654,29 @@ fn handle_check(
 /// `{"model", "warmed": n, "lanes": len(m0s), "warm": bool, "micros"}`.
 /// The batch runs with per-lane controllers, so a prewarmed session's
 /// verdicts stay bitwise identical to a cold one's.
-fn handle_prewarm(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Request) {
-    let client_error =
-        |shared: &Shared, stream: &mut TcpStream, status: u16, code: &str, message: &str| {
-            shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
-            respond_error(stream, status, code, message);
-        };
+fn handle_prewarm(shared: &Arc<Shared>, request: &Request) -> Outcome {
     let body = match std::str::from_utf8(&request.body)
         .map_err(|e| e.to_string())
         .and_then(|text| Json::parse(text).map_err(|e| e.to_string()))
     {
         Ok(v) => v,
         Err(e) => {
-            return client_error(shared, stream, 400, "bad_request", &format!("bad JSON body: {e}"))
+            return client_error(shared, 400, "bad_request", &format!("bad JSON body: {e}"))
         }
     };
     let Some(model_name) = body.get("model").and_then(Json::as_str) else {
-        return client_error(shared, stream, 400, "bad_request", "missing string field `model`");
+        return client_error(shared, 400, "bad_request", "missing string field `model`");
     };
     if shared.registry.get(model_name).is_none() {
         return client_error(
             shared,
-            stream,
             404,
             "unknown_model",
             &format!("unknown model `{model_name}`"),
         );
     }
     let Some(lanes) = body.get("m0s").and_then(Json::as_arr) else {
-        return client_error(shared, stream, 400, "bad_request", "missing array field `m0s`");
+        return client_error(shared, 400, "bad_request", "missing array field `m0s`");
     };
     let mut m0s = Vec::with_capacity(lanes.len());
     for (i, lane) in lanes.iter().enumerate() {
@@ -602,13 +690,7 @@ fn handle_prewarm(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Reques
         match m0 {
             Ok(m) => m0s.push(m),
             Err(e) => {
-                return client_error(
-                    shared,
-                    stream,
-                    400,
-                    "bad_request",
-                    &format!("bad `m0s[{i}]`: {e}"),
-                )
+                return client_error(shared, 400, "bad_request", &format!("bad `m0s[{i}]`: {e}"))
             }
         }
     }
@@ -617,7 +699,6 @@ fn handle_prewarm(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Reques
         _ => {
             return client_error(
                 shared,
-                stream,
                 400,
                 "bad_request",
                 "`horizon` must be a finite positive time",
@@ -630,13 +711,7 @@ fn handle_prewarm(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Reques
         Some(v) => match v.as_num_map() {
             Some(m) => m,
             None => {
-                return client_error(
-                    shared,
-                    stream,
-                    400,
-                    "bad_request",
-                    "`params` must map names to numbers",
-                )
+                return client_error(shared, 400, "bad_request", "`params` must map names to numbers")
             }
         },
     };
@@ -652,7 +727,7 @@ fn handle_prewarm(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Reques
             } else {
                 (400, "bad_request")
             };
-            return client_error(shared, stream, status, code, &e.to_string());
+            return client_error(shared, status, code, &e.to_string());
         }
     };
     if warm {
@@ -674,7 +749,7 @@ fn handle_prewarm(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Reques
             } else {
                 shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
             }
-            return respond_error(stream, status, code, &e.to_string());
+            return error_outcome(status, code, &e.to_string());
         }
     };
     let micros = started.elapsed().as_secs_f64() * 1e6;
@@ -687,7 +762,7 @@ fn handle_prewarm(shared: &Arc<Shared>, stream: &mut TcpStream, request: &Reques
         ("micros".into(), Json::Num(micros)),
     ])
     .render();
-    let _ = write_response(stream, 200, "application/json", &[], response.as_bytes());
+    Outcome::new(200, "application/json", response.into_bytes())
 }
 
 /// Decodes an optional millisecond field. Non-numbers, negatives, and
@@ -784,10 +859,10 @@ fn past(deadline: Option<Instant>) -> bool {
     deadline.is_some_and(|d| Instant::now() >= d)
 }
 
-fn timeout(shared: &Arc<Shared>, stream: &mut TcpStream, enqueued_at: Instant) {
+fn timeout(shared: &Arc<Shared>, enqueued_at: Instant) -> Outcome {
     shared.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
     shared.metrics.observe_latency(enqueued_at.elapsed());
-    respond_error(stream, 504, "deadline_exceeded", "deadline exceeded");
+    error_outcome(504, "deadline_exceeded", "deadline exceeded")
 }
 
 fn respond_error(stream: &mut TcpStream, status: u16, code: &str, message: &str) {

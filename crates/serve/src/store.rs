@@ -18,14 +18,20 @@
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
-use mfcsl_core::mfcsl::{CheckSession, Checker, EngineStats, MfFormula, Verdict};
+use mfcsl_core::mfcsl::{
+    CheckSession, Checker, EngineStats, MfFormula, SessionEntryExport, Verdict,
+};
 use mfcsl_core::{CoreError, FaultPlan, LocalModel, Occupancy};
-use mfcsl_csl::Tolerances;
+use mfcsl_csl::{SatCacheExport, Tolerances};
+use mfcsl_ode::{SolveStats, Trajectory};
 use mfcsl_pool::ThreadPool;
 
+use crate::metrics::SnapshotCounters;
 use crate::registry::ModelRegistry;
+use crate::snapshot::{file_name, RegimeSnapshot, SessionSnapshot, SnapshotEntry};
 
 /// Consecutive engine failures after which a session is quarantined:
 /// dropped from the store so the next request rebuilds it from scratch
@@ -170,6 +176,68 @@ impl WarmSession {
     pub fn stats(&self) -> EngineStats {
         self.session.stats()
     }
+
+    /// Owned copies of every base trajectory entry, for snapshot
+    /// persistence. Delegates to [`CheckSession::export_trajectories`]
+    /// (owned data only — nothing borrows the erased-lifetime session).
+    #[must_use]
+    pub fn export_trajectories(&self) -> Vec<(Occupancy, Trajectory)> {
+        self.session.export_trajectories()
+    }
+
+    /// Owned copies of every warm entry — trajectory, stationary regime,
+    /// sat-cache — for snapshot persistence. Delegates to
+    /// [`CheckSession::export_entries`] (owned data only).
+    #[must_use]
+    pub fn export_entries(&self) -> Vec<SessionEntryExport> {
+        self.session.export_entries()
+    }
+
+    /// Installs a snapshot-restored trajectory as the warm entry for `m0`.
+    /// Delegates to [`CheckSession::restore_trajectory`], which enforces
+    /// the dimension/origin/first-knot bitwise checks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's integrity-check failures.
+    pub fn restore_trajectory(
+        &self,
+        m0: &Occupancy,
+        trajectory: Trajectory,
+    ) -> Result<bool, CoreError> {
+        self.session.restore_trajectory(m0, trajectory)
+    }
+
+    /// Installs a snapshot-restored entry (trajectory plus sat-cache) as
+    /// the warm entry for `m0`. Delegates to [`CheckSession::restore_entry`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's integrity-check failures.
+    pub fn restore_entry(
+        &self,
+        m0: &Occupancy,
+        trajectory: Trajectory,
+        cache: &SatCacheExport,
+    ) -> Result<bool, CoreError> {
+        self.session.restore_entry(m0, trajectory, cache)
+    }
+
+    /// Installs a snapshot-restored stationary regime for `m0`, rebuilding
+    /// the frozen chain from the model. Delegates to
+    /// [`CheckSession::restore_regime`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the engine's validation failures.
+    pub fn restore_regime(
+        &self,
+        m0: &Occupancy,
+        distribution: &[f64],
+        settle_time: Option<f64>,
+    ) -> Result<bool, CoreError> {
+        self.session.restore_regime(m0, distribution, settle_time)
+    }
 }
 
 /// One retained session plus its recency stamp for LRU eviction.
@@ -195,6 +263,8 @@ struct StoreInner {
     /// Engine counters of evicted sessions, folded in at eviction time so
     /// `/metrics` totals stay monotonic across evictions.
     retired: EngineStats,
+    /// Warm-state persistence counters for `/metrics`.
+    snapshots: SnapshotCounters,
 }
 
 /// The daemon-wide session store. `get_or_create` is the only entry point;
@@ -207,17 +277,30 @@ pub struct SessionStore {
     inner: Mutex<StoreInner>,
     pool: Arc<ThreadPool>,
     max_sessions: usize,
+    /// Warm-state snapshot directory. When set, sessions are persisted on
+    /// eviction and on [`SessionStore::save_all`] (graceful drain), and
+    /// [`SessionStore::load_state_dir`] restores them at startup.
+    state_dir: Option<PathBuf>,
 }
 
 impl SessionStore {
     /// Creates an empty store whose sessions all share `pool`, retaining at
     /// most `max_sessions` warm sessions (a value of `0` is treated as 1).
+    /// With a `state_dir`, warm state persists across restarts (the
+    /// directory is created if missing; creation failure just disables
+    /// persistence — serving must not die over a read-only disk).
     #[must_use]
-    pub fn new(pool: Arc<ThreadPool>, max_sessions: usize) -> SessionStore {
+    pub fn new(
+        pool: Arc<ThreadPool>,
+        max_sessions: usize,
+        state_dir: Option<PathBuf>,
+    ) -> SessionStore {
+        let state_dir = state_dir.filter(|dir| std::fs::create_dir_all(dir).is_ok());
         SessionStore {
             inner: Mutex::new(StoreInner::default()),
             pool,
             max_sessions: max_sessions.max(1),
+            state_dir,
         }
     }
 
@@ -262,7 +345,7 @@ impl SessionStore {
             Arc::clone(&self.pool),
         ));
         if inner.sessions.len() >= self.max_sessions {
-            Self::evict_lru(&mut inner);
+            self.evict_lru(&mut inner);
         }
         inner.sessions.insert(
             key.clone(),
@@ -293,6 +376,11 @@ impl SessionStore {
             inner.retired.merge(&entry.session.stats());
             inner.quarantined += 1;
         }
+        // A quarantined session's caches are suspect; its snapshot must not
+        // resurrect them on the next start.
+        if let Some(dir) = &self.state_dir {
+            let _ = std::fs::remove_file(dir.join(file_name(key)));
+        }
         true
     }
 
@@ -306,8 +394,10 @@ impl SessionStore {
     }
 
     /// Drops the least recently used session, folding its engine counters
-    /// into the retired totals.
-    fn evict_lru(inner: &mut StoreInner) {
+    /// into the retired totals. With persistence enabled, the victim's warm
+    /// trajectories are snapshotted first (write-on-evict), so an evicted
+    /// key that comes back after a restart still starts warm.
+    fn evict_lru(&self, inner: &mut StoreInner) {
         let Some(victim) = inner
             .sessions
             .iter()
@@ -317,9 +407,200 @@ impl SessionStore {
             return;
         };
         if let Some(entry) = inner.sessions.remove(&victim) {
+            if self.write_snapshot(&victim, &entry.session) {
+                inner.snapshots.saved += 1;
+            }
             inner.retired.merge(&entry.session.stats());
             inner.evicted += 1;
         }
+    }
+
+    /// Persists every live session (graceful drain). Returns how many
+    /// snapshots were written.
+    pub fn save_all(&self) -> u64 {
+        let mut inner = self.lock();
+        let keys: Vec<SessionKey> = inner.sessions.keys().cloned().collect();
+        let mut saved = 0;
+        for key in keys {
+            let Some(entry) = inner.sessions.get(&key) else {
+                continue;
+            };
+            if self.write_snapshot(&key, &entry.session) {
+                saved += 1;
+            }
+        }
+        inner.snapshots.saved += saved;
+        saved
+    }
+
+    /// Restores previously persisted sessions, eagerly instantiating their
+    /// models so the first request after a restart is a genuine warm hit.
+    /// Corrupt, truncated, wrong-version, or stale (model no longer in the
+    /// registry, entries that fail the engine's bitwise integrity checks)
+    /// snapshots are skipped and counted, never trusted partially.
+    pub fn load_state_dir(&self, registry: &ModelRegistry) {
+        let Some(dir) = &self.state_dir else {
+            return;
+        };
+        let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+            Ok(iter) => iter
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|ext| ext == "snap"))
+                .collect(),
+            Err(_) => return,
+        };
+        paths.sort();
+        for path in paths {
+            let mut inner = self.lock();
+            if inner.sessions.len() >= self.max_sessions {
+                break; // respect the cap; remaining snapshots stay on disk
+            }
+            drop(inner);
+            let restored = self.restore_file(registry, &path);
+            inner = self.lock();
+            match restored {
+                Ok((key, session)) => {
+                    inner.clock += 1;
+                    let now = inner.clock;
+                    inner.snapshots.loaded += 1;
+                    inner.sessions.entry(key).or_insert(Entry {
+                        session,
+                        last_used: now,
+                        consecutive_failures: 0,
+                    });
+                }
+                Err(_) => inner.snapshots.rejected += 1,
+            }
+        }
+    }
+
+    /// Decodes one snapshot file into a warm session, enforcing every
+    /// integrity check along the way.
+    fn restore_file(
+        &self,
+        registry: &ModelRegistry,
+        path: &std::path::Path,
+    ) -> Result<(SessionKey, Arc<WarmSession>), String> {
+        let bytes = std::fs::read(path).map_err(|e| e.to_string())?;
+        let snapshot = SessionSnapshot::decode(&bytes).map_err(|e| e.to_string())?;
+        let key = snapshot.key();
+        let file = registry
+            .get(&key.model)
+            .ok_or_else(|| format!("model `{}` no longer registered", key.model))?;
+        let overrides: BTreeMap<String, f64> = key
+            .params
+            .iter()
+            .map(|(k, bits)| (k.clone(), f64::from_bits(*bits)))
+            .collect();
+        let model = file.instantiate_with(&overrides).map_err(|e| e.to_string())?;
+        let session = Arc::new(WarmSession::new(
+            model,
+            key.fast,
+            None,
+            Arc::clone(&self.pool),
+        ));
+        for entry in &snapshot.entries {
+            let m0 = Occupancy::new(
+                entry.m0_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+            )
+            .map_err(|e| e.to_string())?;
+            let dim = entry.m0_bits.len();
+            let stats = SolveStats {
+                accepted: usize::try_from(entry.stats[0]).unwrap_or(usize::MAX),
+                rejected: usize::try_from(entry.stats[1]).unwrap_or(usize::MAX),
+                rhs_evals: usize::try_from(entry.stats[2]).unwrap_or(usize::MAX),
+                recoveries: usize::try_from(entry.stats[3]).unwrap_or(usize::MAX),
+                stiff_fallbacks: usize::try_from(entry.stats[4]).unwrap_or(usize::MAX),
+            };
+            let trajectory = Trajectory::from_flat(
+                dim,
+                entry.ts_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+                entry.ys_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+                entry.ds_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+                stats,
+            )
+            .map_err(|e| e.to_string())?;
+            session
+                .restore_entry(&m0, trajectory, &entry.cache)
+                .map_err(|e| e.to_string())?;
+            if let Some(regime) = &entry.regime {
+                let distribution: Vec<f64> = regime
+                    .distribution_bits
+                    .iter()
+                    .map(|&b| f64::from_bits(b))
+                    .collect();
+                let settle_time = regime.settle_bits.map(f64::from_bits);
+                session
+                    .restore_regime(&m0, &distribution, settle_time)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        Ok((key, session))
+    }
+
+    /// Serializes and atomically writes one session's snapshot. Returns
+    /// whether a file was written. Faulted sessions are never persisted:
+    /// their caches are deliberately poisoned test state.
+    fn write_snapshot(&self, key: &SessionKey, session: &WarmSession) -> bool {
+        let Some(dir) = &self.state_dir else {
+            return false;
+        };
+        if key.fault.is_some() {
+            return false;
+        }
+        let entries: Vec<SnapshotEntry> = session
+            .export_entries()
+            .into_iter()
+            .map(|entry| {
+                let (_, ts, ys, ds, stats) = entry.trajectory.to_flat();
+                SnapshotEntry {
+                    m0_bits: entry.m0.as_slice().iter().map(|x| x.to_bits()).collect(),
+                    ts_bits: ts.iter().map(|x| x.to_bits()).collect(),
+                    ys_bits: ys.iter().map(|x| x.to_bits()).collect(),
+                    ds_bits: ds.iter().map(|x| x.to_bits()).collect(),
+                    stats: [
+                        stats.accepted as u64,
+                        stats.rejected as u64,
+                        stats.rhs_evals as u64,
+                        stats.recoveries as u64,
+                        stats.stiff_fallbacks as u64,
+                    ],
+                    regime: entry.regime.map(|r| RegimeSnapshot {
+                        distribution_bits: r
+                            .distribution
+                            .iter()
+                            .map(|x| x.to_bits())
+                            .collect(),
+                        settle_bits: r.settle_time.map(f64::to_bits),
+                    }),
+                    cache: entry.cache,
+                }
+            })
+            .collect();
+        let engine = session.stats();
+        let snapshot = SessionSnapshot {
+            model: key.model.clone(),
+            params: key.params.clone(),
+            fast: key.fast,
+            entries,
+            cached_sets: engine.cache.cached_sets as u64,
+            cached_curves: engine.cache.cached_curves as u64,
+        };
+        let final_path = dir.join(file_name(key));
+        let tmp_path = final_path.with_extension("snap.tmp");
+        // Write-then-rename: a crash mid-write leaves a `.tmp` orphan, never
+        // a torn `.snap` (and a torn file would fail its checksum anyway).
+        if std::fs::write(&tmp_path, snapshot.encode()).is_err() {
+            return false;
+        }
+        std::fs::rename(&tmp_path, &final_path).is_ok()
+    }
+
+    /// Current warm-state persistence counters.
+    #[must_use]
+    pub fn snapshot_counters(&self) -> SnapshotCounters {
+        self.lock().snapshots
     }
 
     /// Number of sessions currently warm.
@@ -432,7 +713,7 @@ mod tests {
         .unwrap();
         let reg = ModelRegistry::load(std::slice::from_ref(&dir)).unwrap();
         let pool = Arc::new(ThreadPool::new(1));
-        let store = SessionStore::new(pool, 2);
+        let store = SessionStore::new(pool, 2, None);
         let key = |beta: f64| {
             SessionKey::new(
                 "sis",
@@ -504,7 +785,7 @@ mod tests {
         .unwrap();
         let reg = ModelRegistry::load(std::slice::from_ref(&dir)).unwrap();
         let pool = Arc::new(ThreadPool::new(1));
-        let store = SessionStore::new(pool, 4);
+        let store = SessionStore::new(pool, 4, None);
         let key = SessionKey::new("sis", &BTreeMap::new(), false, None);
 
         let (_, warm) = store.get_or_create(&reg, &key).unwrap();

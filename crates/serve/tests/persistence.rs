@@ -1,0 +1,318 @@
+//! End-to-end tests for warm-state persistence (snapshot round-trips,
+//! corrupt-snapshot rejection), keep-alive connection reuse, and the shard
+//! router (consistent-hash affinity, dead-shard isolation) — all over real
+//! sockets on the epoll serving core.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mfcsl_serve::client::{self, CheckRequest, Client, ClientError};
+use mfcsl_serve::metrics::ServerMetrics;
+use mfcsl_serve::router::route_for;
+use mfcsl_serve::snapshot::fnv1a64;
+use mfcsl_serve::{
+    reactor, ModelRegistry, ReactorOptions, RequestHandler, Router, RouterConfig, Server,
+    ServerConfig, SessionKey, ShardSpec,
+};
+
+fn modelfile_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../modelfiles")
+}
+
+fn start_daemon(config: ServerConfig) -> (String, std::thread::JoinHandle<()>) {
+    let registry = ModelRegistry::load(&[modelfile_dir()]).unwrap();
+    let server = Server::bind(registry, config).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle)
+}
+
+fn start_router(shards: Vec<SocketAddr>) -> (String, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let router: Arc<dyn RequestHandler> = Arc::new(Router::new(&RouterConfig {
+        shards: shards.into_iter().map(|addr| ShardSpec { addr }).collect(),
+    }));
+    let options = ReactorOptions {
+        event_loops: 1,
+        workers: 2,
+        queue_capacity: 16,
+        max_body: 1 << 20,
+        idle_timeout: Duration::from_secs(10),
+        metrics: Arc::new(ServerMetrics::new()),
+        shutdown: Arc::new(AtomicBool::new(false)),
+        queue_depth: Arc::new(AtomicUsize::new(0)),
+    };
+    let handle = std::thread::spawn(move || reactor::run(listener, router, options).unwrap());
+    (addr, handle)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mfcsld-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn metric_value(metrics: &str, name: &str) -> Option<f64> {
+    metrics.lines().find_map(|line| {
+        let mut parts = line.split_whitespace();
+        (parts.next() == Some(name)).then(|| parts.next())?.and_then(|v| v.parse().ok())
+    })
+}
+
+const VIRUS_M0: [f64; 3] = [0.8, 0.15, 0.05];
+
+fn virus_formulas() -> Vec<String> {
+    [
+        "E{<0.3}[ infected ]",
+        "EP{>0}[ tt U[0,2] infected ]",
+        "ES{>0.1}[ infected ]",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect()
+}
+
+#[test]
+fn snapshot_round_trip_restores_warm_sessions_across_restarts() {
+    let dir = temp_dir("snap");
+    let config = || ServerConfig {
+        state_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    // First life: cold check, then graceful drain (write-on-drain).
+    let (addr, handle) = start_daemon(config());
+    let request = CheckRequest::new("virus", &VIRUS_M0, &virus_formulas());
+    let cold = client::post_check(&addr, &request).unwrap();
+    assert!(!cold.warm, "fresh state dir must not be warm");
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+
+    let snaps: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "snap"))
+        .collect();
+    assert_eq!(snaps.len(), 1, "drain must persist the one warm session");
+
+    // Second life, same state dir: the very first request must be warm and
+    // bitwise identical to the first life's verdicts.
+    let (addr, handle) = start_daemon(config());
+    let restored = client::post_check(&addr, &request).unwrap();
+    assert!(
+        restored.warm,
+        "first request after a restart with --state-dir must hit a warm session"
+    );
+    assert_eq!(restored.verdicts, cold.verdicts, "restored verdicts must be bitwise identical");
+    let metrics = client::get_text(&addr, "/metrics").unwrap();
+    assert_eq!(metric_value(&metrics, "mfcsld_snapshot_loaded_total"), Some(1.0), "{metrics}");
+    assert_eq!(metric_value(&metrics, "mfcsld_snapshot_rejected_total"), Some(0.0), "{metrics}");
+    // The v2 snapshot restores the trajectory, the stationary regime, and
+    // the sat-cache, so the restored first request (E + EP + ES formulas)
+    // pays no fresh solve of any kind.
+    assert_eq!(
+        metric_value(&metrics, "mfcsld_engine_trajectory_solves_total"),
+        Some(0.0),
+        "restored trajectory must prevent a fresh solve\n{metrics}"
+    );
+    assert_eq!(
+        metric_value(&metrics, "mfcsld_engine_regime_solves_total"),
+        Some(0.0),
+        "restored regime must prevent a fixed-point recompute\n{metrics}"
+    );
+    assert_eq!(
+        metric_value(&metrics, "mfcsld_engine_trajectory_restores_total"),
+        Some(1.0),
+        "{metrics}"
+    );
+    assert!(
+        metric_value(&metrics, "mfcsld_snapshot_saved_total").unwrap_or(0.0) >= 0.0,
+        "{metrics}"
+    );
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_snapshots_are_rejected_and_counted_not_trusted() {
+    let dir = temp_dir("snap-corrupt");
+    let config = || ServerConfig {
+        state_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+
+    // Produce one valid snapshot.
+    let (addr, handle) = start_daemon(config());
+    let request = CheckRequest::new("virus", &VIRUS_M0, &virus_formulas());
+    let cold = client::post_check(&addr, &request).unwrap();
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+    let valid_path = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "snap"))
+        .expect("one valid snapshot");
+    let valid = std::fs::read(&valid_path).unwrap();
+
+    // Corrupt: one bit flipped mid-payload (checksum must catch it).
+    let mut corrupt = valid.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x01;
+    std::fs::write(dir.join("sess-0000000000000001.snap"), &corrupt).unwrap();
+    // Truncated: torn mid-write.
+    std::fs::write(dir.join("sess-0000000000000002.snap"), &valid[..valid.len() / 3]).unwrap();
+    // Wrong schema version, with a recomputed (valid) checksum: the version
+    // gate must fire even when the bytes are internally consistent.
+    let mut wrong_version = valid.clone();
+    wrong_version[4..8].copy_from_slice(&99u32.to_le_bytes());
+    let body_len = wrong_version.len() - 8;
+    let checksum = fnv1a64(&wrong_version[..body_len]);
+    wrong_version[body_len..].copy_from_slice(&checksum.to_le_bytes());
+    std::fs::write(dir.join("sess-0000000000000003.snap"), &wrong_version).unwrap();
+
+    // Restart: the valid file loads, all three forgeries are rejected.
+    let (addr, handle) = start_daemon(config());
+    let metrics = client::get_text(&addr, "/metrics").unwrap();
+    assert_eq!(metric_value(&metrics, "mfcsld_snapshot_loaded_total"), Some(1.0), "{metrics}");
+    assert_eq!(metric_value(&metrics, "mfcsld_snapshot_rejected_total"), Some(3.0), "{metrics}");
+    // The daemon still serves, warm, with identical verdicts.
+    let restored = client::post_check(&addr, &request).unwrap();
+    assert!(restored.warm);
+    assert_eq!(restored.verdicts, cold.verdicts);
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn keepalive_client_reuses_one_connection_for_many_requests() {
+    let (addr, handle) = start_daemon(ServerConfig::default());
+    let mut keep = Client::new(&addr);
+    let request = CheckRequest::new("virus", &VIRUS_M0, &virus_formulas());
+    let first = keep.check(&request).unwrap();
+    for _ in 0..9 {
+        let warm = keep.check(&request).unwrap();
+        assert!(warm.warm);
+        assert_eq!(warm.verdicts, first.verdicts);
+    }
+    assert!(keep.is_connected(), "keep-alive connection must survive the loop");
+    let metrics = keep.get_text("/metrics").unwrap();
+    let connections = metric_value(&metrics, "mfcsld_connections_total").unwrap();
+    let completed = metric_value(&metrics, "mfcsld_requests_completed_total").unwrap();
+    assert_eq!(completed, 10.0, "{metrics}");
+    assert!(
+        connections < completed,
+        "keep-alive must make connections ({connections}) < requests ({completed})"
+    );
+    assert_eq!(connections, 1.0, "one client, one connection\n{metrics}");
+    client::shutdown(&addr).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn shard_router_pins_keys_and_isolates_dead_shards() {
+    let (shard0_addr, shard0_handle) = start_daemon(ServerConfig::default());
+    let (shard1_addr, shard1_handle) = start_daemon(ServerConfig::default());
+    let shard_addrs: Vec<SocketAddr> =
+        vec![shard0_addr.parse().unwrap(), shard1_addr.parse().unwrap()];
+
+    // Two routers over the same fleet: B plays the part of a restarted A,
+    // so affinity across router restarts is affinity across instances.
+    let (router_a, handle_a) = start_router(shard_addrs.clone());
+    let (router_b, handle_b) = start_router(shard_addrs.clone());
+
+    // Find parameter overrides landing on each shard. The hash is
+    // deterministic, so this scan is stable across runs and processes.
+    let key_for = |k2: Option<f64>| {
+        let mut params = BTreeMap::new();
+        if let Some(v) = k2 {
+            params.insert("k2".to_string(), v);
+        }
+        SessionKey::new("virus", &params, false, None)
+    };
+    let request_for = |k2: Option<f64>| {
+        let mut request = CheckRequest::new("virus", &VIRUS_M0, &virus_formulas());
+        if let Some(v) = k2 {
+            request.params.insert("k2".into(), v);
+        }
+        request
+    };
+    let mut on_shard = [None, None];
+    on_shard[route_for(&key_for(None), 2)] = Some(None);
+    for i in 1..64 {
+        let v = 0.25 + f64::from(i) * 0.01;
+        let slot = route_for(&key_for(Some(v)), 2);
+        if on_shard[slot].is_none() {
+            on_shard[slot] = Some(Some(v));
+        }
+        if on_shard.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    let k2_of = [on_shard[0].unwrap(), on_shard[1].unwrap()];
+
+    for (shard, k2) in k2_of.iter().enumerate() {
+        let request = request_for(*k2);
+        // Cold through router A, warm on repeat: the key keeps landing on
+        // the same shard.
+        let cold = client::post_check(&router_a, &request).unwrap();
+        assert!(!cold.warm, "shard {shard} first contact must be cold");
+        let warm = client::post_check(&router_a, &request).unwrap();
+        assert!(warm.warm, "shard {shard} second contact must be warm");
+        assert_eq!(warm.verdicts, cold.verdicts);
+        // Through router B (a \"restarted\" router): still warm — the
+        // consistent hash, not router-local state, owns placement.
+        let via_b = client::post_check(&router_b, &request).unwrap();
+        assert!(via_b.warm, "shard {shard} must stay warm across router instances");
+        assert_eq!(via_b.verdicts, cold.verdicts);
+        // Bitwise identical to asking the owning shard directly.
+        let direct = client::post_check(&shard_addrs[shard].to_string(), &request).unwrap();
+        assert_eq!(direct.verdicts, cold.verdicts);
+    }
+
+    // Fleet introspection and aggregated metrics.
+    let shards_json = client::get_text(&router_a, "/v1/shards").unwrap();
+    assert!(shards_json.contains(&shard_addrs[0].to_string()), "{shards_json}");
+    assert!(shards_json.contains(&shard_addrs[1].to_string()), "{shards_json}");
+    let metrics = client::get_text(&router_a, "/metrics").unwrap();
+    assert_eq!(metric_value(&metrics, "mfcsld_router_shards"), Some(2.0), "{metrics}");
+    assert!(
+        metric_value(&metrics, "mfcsld_requests_completed_total").unwrap() >= 6.0,
+        "aggregation must sum both shards\n{metrics}"
+    );
+
+    // Kill shard 0 out from under the router: its keys answer structured
+    // 503s, shard 1's keys keep serving warm.
+    client::shutdown(&shard_addrs[0].to_string()).unwrap();
+    shard0_handle.join().unwrap();
+    match client::post_check(&router_a, &request_for(k2_of[0])) {
+        Err(ClientError::Status {
+            status,
+            code,
+            retry_after,
+            ..
+        }) => {
+            assert_eq!(status, 503);
+            assert_eq!(code.as_deref(), Some("shard_unavailable"));
+            assert_eq!(retry_after, Some(1));
+        }
+        other => panic!("expected a 503 for the dead shard's key, got {other:?}"),
+    }
+    let survivor = client::post_check(&router_a, &request_for(k2_of[1])).unwrap();
+    assert!(survivor.warm, "the surviving shard must keep serving warm");
+
+    // Drain: router B's shutdown fans out to the surviving shard; router
+    // A's fan-out to dead shards is best-effort.
+    client::shutdown(&router_b).unwrap();
+    handle_b.join().unwrap();
+    shard1_handle.join().unwrap();
+    client::shutdown(&router_a).unwrap();
+    handle_a.join().unwrap();
+}

@@ -34,8 +34,14 @@
 #   8. a panic-audit lint of the daemon library and of the mfcsl-math
 #      sparse-lane modules (clippy::unwrap_used / clippy::expect_used
 #      denied outside tests);
-#   9. a smoke run of the serving load benchmark with schema validation
-#      of BENCH_serve.json.
+#   9. a smoke run of the serving load benchmark: schema validation of
+#      all four workloads (cold / warm / warm_keepalive / sharded) plus
+#      the snapshot-restart probe, an assertion that the committed
+#      BENCH_serve.json holds the restart-within-5x-warm-p50 bar, and a
+#      --serve-baseline regression-gate run against the first smoke;
+#  10. a shard-router smoke test: `mfcsl serve --shards 2` forks two
+#      shard daemons, serves verdicts bitwise equal to the offline CLI
+#      through the consistent-hash router, and drains both on shutdown.
 #
 # Usage: scripts/verify.sh
 
@@ -46,10 +52,12 @@ tmpdir="$(mktemp -d -t mfcsl_verify.XXXXXX)"
 serve_pid=""
 slow_pid=""
 chaos_pid=""
+router_pid=""
 cleanup() {
     [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
     [ -n "$slow_pid" ] && kill "$slow_pid" 2>/dev/null || true
     [ -n "$chaos_pid" ] && kill "$chaos_pid" 2>/dev/null || true
+    [ -n "$router_pid" ] && kill "$router_pid" 2>/dev/null || true
     rm -rf "$tmpdir"
 }
 trap cleanup EXIT
@@ -429,8 +437,9 @@ assert report["smoke"] is True, report
 assert report["git_revision"], report
 assert report["threads_available"] >= 1, report
 assert report["workers"] >= 1, report
+assert report["serving_core"] == "epoll", report
 names = [w["name"] for w in report["workloads"]]
-assert names == ["cold", "warm"], names
+assert names == ["cold", "warm", "warm_keepalive", "sharded"], names
 for w in report["workloads"]:
     assert w["requests"] > 0, w
     assert w["concurrency"] >= 1, w
@@ -438,9 +447,93 @@ for w in report["workloads"]:
     assert w["throughput_rps"] > 0, w
     assert 0 < w["p50_us"] <= w["p95_us"] <= w["p99_us"], w
     assert w["bitwise_equal"] is True, w
-cold, warm = report["workloads"]
-assert warm["concurrency"] > cold["concurrency"], (cold, warm)
-print("bench_serve smoke report is well-formed; all responses bitwise equal")
+by_name = {w["name"]: w for w in report["workloads"]}
+assert by_name["warm"]["concurrency"] > by_name["cold"]["concurrency"], by_name
+# The event loop multiplexes many keep-alive sockets over a handful of OS
+# threads: far more connections than worker threads, none dropped.
+ka = by_name["warm_keepalive"]
+assert ka["connections"] > report["workers"], ka
+assert ka["connections"] <= ka["requests"], ka
+# The sharded workload reports a per-shard latency split, and the
+# consistent hash actually spread the keys over both shards.
+shards = by_name["sharded"]["shards"]
+assert len(shards) == 2, shards
+for s in shards:
+    assert s["requests"] > 0, s
+    assert 0 < s["p50_us"] <= s["p99_us"], s
+# Restart-with-snapshot: restored first request is served warm (no fresh
+# solves) and bitwise identical. The 5x-warm-p50 latency bar is asserted
+# on the committed artifact below, not on a noisy smoke run.
+restart = report["snapshot_restart"]
+assert restart["warm"] is True, restart
+assert restart["bitwise_equal"] is True, restart
+assert restart["first_request_us"] > 0, restart
+print("bench_serve smoke report is well-formed; all responses bitwise equal; "
+      "restored first request served warm")
 EOF
+
+# The committed serving artifact must hold the acceptance bar durably:
+# restart-with-snapshot first-request latency within 5x warm p50.
+python3 - BENCH_serve.json <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+restart = report["snapshot_restart"]
+assert restart["warm"] is True, restart
+assert restart["bitwise_equal"] is True, restart
+assert restart["within_5x_warm_p50"] is True, restart
+names = [w["name"] for w in report["workloads"]]
+assert names == ["cold", "warm", "warm_keepalive", "sharded"], names
+print("committed BENCH_serve.json holds the snapshot-restart latency bar")
+EOF
+
+echo "== bench_serve --serve-baseline regression gate =="
+# Smoke runs are tiny (tens of requests), so a single scheduler hiccup can
+# breach the 0.75x rps bar; retry a few times before calling it a regression.
+serve_gate_out="$tmpdir/bench_serve_gate.json"
+serve_gate_ok=""
+for attempt in 1 2 3; do
+    if cargo run --release -p mfcsl-bench --bin bench_serve -- --smoke \
+        --out "$serve_gate_out" --serve-baseline "$serve_bench_out" \
+        > "$tmpdir/serve_gate.txt"; then
+        serve_gate_ok=1
+        break
+    fi
+    echo "serve gate attempt $attempt failed (smoke-scale noise); retrying"
+    grep "serve gate" "$tmpdir/serve_gate.txt" || true
+done
+grep "serve gate" "$tmpdir/serve_gate.txt"
+if [ -z "$serve_gate_ok" ]; then
+    echo "serve gate regressed between identical smoke runs"; exit 1
+fi
+if grep "serve gate" "$tmpdir/serve_gate.txt" | grep -q "REFUSED"; then
+    echo "serve gate refused a same-host comparison"; exit 1
+fi
+
+echo "== mfcsld shard-router smoke =="
+# The CLI fork path: a 2-shard router must announce itself, serve verdicts
+# bitwise equal to the offline CLI through the consistent-hash router, and
+# fan a drain out to every forked shard on shutdown.
+"$mfcsl" serve modelfiles --addr 127.0.0.1:0 --shards 2 --workers 2 \
+    > "$tmpdir/router.log" &
+router_pid=$!
+for _ in $(seq 150); do
+    grep -q "mfcsld router listening on" "$tmpdir/router.log" 2>/dev/null && break
+    sleep 0.1
+done
+router_addr="$(awk '/mfcsld router listening on/ {print $5; exit}' "$tmpdir/router.log")"
+[ -n "$router_addr" ] || { echo "router never announced its address"; cat "$tmpdir/router.log"; exit 1; }
+grep -q "(2 shards:" "$tmpdir/router.log" || { echo "router did not fork 2 shards"; exit 1; }
+"$mfcsl" client "$router_addr" check virus --m0 "$m0" "${formulas[@]}" \
+    > "$tmpdir/routed.txt"
+cmp -s "$tmpdir/offline.txt" "$tmpdir/routed.txt" || {
+    echo "routed output differs from offline check:"
+    diff "$tmpdir/offline.txt" "$tmpdir/routed.txt" || true
+    exit 1
+}
+"$mfcsl" client "$router_addr" shutdown | grep -q draining
+wait "$router_pid"
+router_pid=""
+echo "2-shard router served bitwise-equal verdicts and drained cleanly"
 
 echo "verify: OK"
