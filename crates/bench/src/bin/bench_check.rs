@@ -1,7 +1,7 @@
 //! Scalability benchmark of the parallel checking runtime: writes
 //! `BENCH_check.json` at the repo root.
 //!
-//! Three workloads, each timed at 1, 2, 4, and 8 pool threads with the
+//! Four workloads, each timed at 1, 2, 4, and 8 pool threads with the
 //! speedup relative to the 1-thread run:
 //!
 //! * **fig3** — the Figure 3 checking batch: several MF-CSL formulas on
@@ -13,6 +13,9 @@
 //! * **scalability** — the transient solution of the exact lumped
 //!   overall CTMC (`C(N+2, 2)` states) via column-blocked uniformization,
 //!   the large-matrix workload the pool was built for.
+//! * **sim** — the statistical lane: one SMC batch of SSA replications
+//!   fanned out over the replication runner's threads, whose seeding makes
+//!   every thread count bitwise identical to the serial run.
 //!
 //! Every parallel run is compared against the serial result and must be
 //! bitwise identical; the JSON records the outcome. Wall-clock speedup
@@ -128,7 +131,12 @@ fn main() {
     let baseline_path = flag("--baseline");
     let solver_baseline_path = flag("--solver-baseline");
 
-    let reports = vec![fig3_workload(smoke), table2_workload(smoke), scalability_workload(smoke)];
+    let reports = vec![
+        fig3_workload(smoke),
+        table2_workload(smoke),
+        scalability_workload(smoke),
+        sim_workload(smoke),
+    ];
 
     let json = render_json(&reports, smoke);
     std::fs::write(&out_path, json).expect("write benchmark report");
@@ -274,6 +282,56 @@ fn interval_bits(sets: &[mfcsl_math::IntervalSet]) -> Vec<u64> {
                 .flat_map(|i| [i.lo().value.to_bits(), i.hi().value.to_bits()])
         })
         .collect()
+}
+
+/// The statistical lane: one SMC batch of SSA replications fanned out over
+/// the replication runner's thread pool. Seeds are a pure function of
+/// `(base seed, replication index)`, so every thread count must reproduce
+/// the serial estimates bit for bit — the bitwise column checks it.
+fn sim_workload(smoke: bool) -> WorkloadReport {
+    let model =
+        virus::model(virus::setting_1(), virus::InfectionLaw::SmartVirus).expect("valid params");
+    let m0 = virus::example_occupancy().expect("paper occupancy");
+    let psi = parse_formula("EP{>0}[ tt U[0,2] infected ]").expect("parses");
+    let (population, replications) = if smoke { (100, 100) } else { (1000, 400) };
+
+    let estimate_bits = |v: &mfcsl_smc::SmcVerdict| -> Vec<u64> {
+        v.operators
+            .iter()
+            .flat_map(|op| {
+                [
+                    op.estimate.mean.to_bits(),
+                    op.estimate.lo.to_bits(),
+                    op.estimate.hi.to_bits(),
+                ]
+            })
+            .collect()
+    };
+    let run = |threads: usize| {
+        let mut options = mfcsl_smc::SmcOptions::new(population);
+        options.replications = replications;
+        options.seed = 42;
+        options.threads = threads;
+        let session = mfcsl_smc::SmcSession::new(&model, options).expect("valid options");
+        let start = Instant::now();
+        let verdict = session.check(&psi, &m0).expect("simulates");
+        (start.elapsed().as_secs_f64(), estimate_bits(&verdict))
+    };
+    let (_, serial_bits) = run(1);
+
+    let mut runs = Vec::new();
+    for threads in THREAD_COUNTS {
+        let (wall, bits) = run(threads);
+        runs.push((threads, wall, bits == serial_bits));
+    }
+    WorkloadReport {
+        name: "sim",
+        description: format!(
+            "SMC estimate of EP{{>0}}[ tt U[0,2] infected ] on the virus model (Setting 1) \
+             at N = {population}, {replications} SSA replications fanned out per thread"
+        ),
+        runs,
+    }
 }
 
 /// The exact lumped overall CTMC: `C(N+2, 2)` states solved by

@@ -32,6 +32,17 @@ pub struct CommonFlags {
     /// `--batch-shared`: drive csat sweep prewarms with one shared
     /// step-size controller instead of per-lane controllers.
     pub batch_shared: bool,
+    /// `--population` (simulate): the finite population size `N`.
+    pub population: Option<usize>,
+    /// `--reps` (simulate): replication count (default 200).
+    pub reps: Option<usize>,
+    /// `--seed` (simulate): base seed of the replication family.
+    pub seed: u64,
+    /// `--confidence` (simulate): two-sided CI level (default 0.95).
+    pub confidence: f64,
+    /// `--sequential <half-width>` (simulate): grow the batch until every
+    /// operator CI is at most this wide (Chow–Robbins stopping).
+    pub sequential: Option<f64>,
     /// Positional arguments (formulas).
     pub positional: Vec<String>,
 }
@@ -45,6 +56,7 @@ pub struct CommonFlags {
 pub fn parse_common(rest: &[String]) -> Result<CommonFlags, CliError> {
     let mut flags = CommonFlags {
         points: 101,
+        confidence: 0.95,
         ..CommonFlags::default()
     };
     let mut i = 0;
@@ -89,6 +101,47 @@ pub fn parse_common(rest: &[String]) -> Result<CommonFlags, CliError> {
             "--batch-shared" => {
                 flags.batch_shared = true;
                 i += 1;
+            }
+            "--population" => {
+                flags.population =
+                    Some(parse_count("--population", &flag_value(rest, i, "--population")?)?);
+                i += 2;
+            }
+            "--reps" => {
+                flags.reps = Some(parse_count("--reps", &flag_value(rest, i, "--reps")?)?);
+                i += 2;
+            }
+            "--seed" => {
+                flags.seed = flag_value(rest, i, "--seed")?
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --seed: {e}")))?;
+                i += 2;
+            }
+            "--confidence" => {
+                let text = flag_value(rest, i, "--confidence")?;
+                let level: f64 = text
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --confidence: {e}")))?;
+                if !(level > 0.0 && level < 1.0) {
+                    return Err(CliError(format!(
+                        "--confidence must lie strictly between 0 and 1 (got `{text}`)"
+                    )));
+                }
+                flags.confidence = level;
+                i += 2;
+            }
+            "--sequential" => {
+                let text = flag_value(rest, i, "--sequential")?;
+                let hw: f64 = text
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --sequential: {e}")))?;
+                if !(hw > 0.0 && hw < 1.0) {
+                    return Err(CliError(format!(
+                        "--sequential expects a target CI half-width in (0, 1) (got `{text}`)"
+                    )));
+                }
+                flags.sequential = Some(hw);
+                i += 2;
             }
             other if other.starts_with("--") => {
                 return Err(CliError(format!("unknown flag `{other}`")));
@@ -271,6 +324,15 @@ pub struct ClientCheckFlags {
     pub timeout_ms: Option<f64>,
     /// `--param name=value` overrides.
     pub params: BTreeMap<String, f64>,
+    /// `--simulate`: send `"mode": "simulate"` so the daemon answers with
+    /// finite-N statistical verdicts instead of mean-field ones.
+    pub simulate: bool,
+    /// `--population` (simulate mode): finite population size `N`.
+    pub population: Option<u64>,
+    /// `--reps` (simulate mode): replication count.
+    pub replications: Option<u64>,
+    /// `--seed` (simulate mode): base seed of the replication family.
+    pub seed: Option<u64>,
     /// Positional formulas.
     pub formulas: Vec<String>,
 }
@@ -318,6 +380,29 @@ pub fn parse_client_check(rest: &[String]) -> Result<ClientCheckFlags, CliError>
                     .parse()
                     .map_err(|e| CliError(format!("bad --param `{text}`: {e}")))?;
                 flags.params.insert(name.trim().to_string(), value);
+                i += 2;
+            }
+            "--simulate" => {
+                flags.simulate = true;
+                i += 1;
+            }
+            "--population" => {
+                flags.population = Some(
+                    parse_count("--population", &flag_value(rest, i, "--population")?)? as u64,
+                );
+                i += 2;
+            }
+            "--reps" => {
+                flags.replications =
+                    Some(parse_count("--reps", &flag_value(rest, i, "--reps")?)? as u64);
+                i += 2;
+            }
+            "--seed" => {
+                flags.seed = Some(
+                    flag_value(rest, i, "--seed")?
+                        .parse()
+                        .map_err(|e| CliError(format!("bad --seed: {e}")))?,
+                );
                 i += 2;
             }
             other if other.starts_with("--") => {
@@ -452,6 +537,47 @@ mod tests {
             parse_common(&argv(&["--t-end", "2.5"])).unwrap().t_end,
             Some(2.5)
         );
+    }
+
+    #[test]
+    fn simulate_flags_roundtrip() {
+        let flags = parse_common(&argv(&[
+            "--m0", "0.9,0.1", "--population", "1000", "--reps", "400", "--seed", "7",
+            "--confidence", "0.99", "--sequential", "0.02", "EP{<0.3}[ tt U[0,1] infected ]",
+        ]))
+        .unwrap();
+        assert_eq!(flags.population, Some(1000));
+        assert_eq!(flags.reps, Some(400));
+        assert_eq!(flags.seed, 7);
+        assert_eq!(flags.confidence, 0.99);
+        assert_eq!(flags.sequential, Some(0.02));
+        // Defaults.
+        let flags = parse_common(&argv(&["--m0", "1.0"])).unwrap();
+        assert_eq!(flags.confidence, 0.95);
+        assert_eq!(flags.seed, 0);
+        assert_eq!(flags.population, None);
+        // Domain checks.
+        assert!(parse_common(&argv(&["--population", "0"])).is_err());
+        assert!(parse_common(&argv(&["--confidence", "1.0"])).is_err());
+        assert!(parse_common(&argv(&["--confidence", "nan"])).is_err());
+        assert!(parse_common(&argv(&["--sequential", "0"])).is_err());
+        assert!(parse_common(&argv(&["--seed", "-1"])).is_err());
+    }
+
+    #[test]
+    fn client_simulate_flags() {
+        let flags = parse_client_check(&argv(&[
+            "--m0", "0.9,0.1", "--simulate", "--population", "500", "--reps", "300",
+            "--seed", "9", "E{<0.3}[ infected ]",
+        ]))
+        .unwrap();
+        assert!(flags.simulate);
+        assert_eq!(flags.population, Some(500));
+        assert_eq!(flags.replications, Some(300));
+        assert_eq!(flags.seed, Some(9));
+        let flags = parse_client_check(&argv(&["--m0", "1.0", "f"])).unwrap();
+        assert!(!flags.simulate);
+        assert_eq!(flags.population, None);
     }
 
     #[test]

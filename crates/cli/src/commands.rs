@@ -198,6 +198,104 @@ pub fn csat(
     Ok(out)
 }
 
+/// `mfcsl simulate <model> --m0 … --population N [--reps R] [--seed S]
+/// [--confidence L] [--sequential HW] [--threads N] "<formula>"…`.
+///
+/// Statistical model checking at finite `N`: the formulas are estimated
+/// by SSA replications through one [`mfcsl_smc::SmcSession`] (shared
+/// sampled-path batch) and printed through the same [`verdict_line`] as
+/// the mean-field `check`, followed by one estimate line per operator
+/// with its confidence interval. `--sequential <hw>` switches from
+/// fixed-sample to Chow–Robbins stopping with target half-width `hw`.
+///
+/// # Errors
+///
+/// Propagates parse/simulation failures as [`CliError`].
+pub fn simulate(
+    model: &LocalModel,
+    m0: &Occupancy,
+    formulas: &[String],
+    flags: &crate::args::CommonFlags,
+) -> Result<String, CliError> {
+    let population = flags
+        .population
+        .ok_or_else(|| CliError("--population is required for simulate".into()))?;
+    let psis = parse_formulas(formulas)?;
+    let mut options = mfcsl_smc::SmcOptions::new(population);
+    if let Some(reps) = flags.reps {
+        options.replications = reps;
+    }
+    options.seed = flags.seed;
+    options.z = z_for_confidence(flags.confidence)?;
+    options.threads = flags.threads.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    if let Some(target_half_width) = flags.sequential {
+        options.stopping = mfcsl_smc::Stopping::Sequential {
+            target_half_width,
+            step: options.replications,
+            max_replications: options.replications.saturating_mul(50),
+        };
+    }
+    let session = mfcsl_smc::SmcSession::new(model, options)?;
+    let verdicts = session.check_all(&psis, m0)?;
+    let mut out = String::new();
+    for (psi, v) in psis.iter().zip(&verdicts) {
+        out.push_str(&verdict_line(
+            &m0.to_string(),
+            &psi.to_string(),
+            v.holds,
+            v.marginal,
+            false,
+        ));
+        out.push('\n');
+        for op in &v.operators {
+            writeln!(
+                out,
+                "    {}: estimate {:.6} in [{:.6}, {:.6}]  ({} replications, N = {}, {:.0}% CI)",
+                op.operator,
+                op.estimate.mean,
+                op.estimate.lo,
+                op.estimate.hi,
+                op.estimate.n,
+                v.population,
+                flags.confidence * 100.0,
+            )
+            .expect("write to string");
+        }
+    }
+    if flags.stats {
+        let s = session.stats();
+        writeln!(
+            out,
+            "smc statistics: {} replications run, {} batch hits, {} batch misses",
+            s.replications_run, s.batch_hits, s.batch_misses
+        )
+        .expect("write to string");
+    }
+    Ok(out)
+}
+
+/// Two-sided z-scores for the supported `--confidence` levels.
+fn z_for_confidence(level: f64) -> Result<f64, CliError> {
+    const TABLE: &[(f64, f64)] = &[
+        (0.80, 1.2816),
+        (0.90, 1.6449),
+        (0.95, 1.96),
+        (0.98, 2.3263),
+        (0.99, 2.5758),
+        (0.999, 3.2905),
+    ];
+    for (l, z) in TABLE {
+        if (level - l).abs() < 1e-9 {
+            return Ok(*z);
+        }
+    }
+    Err(CliError(format!(
+        "--confidence {level} is not supported (use 0.8, 0.9, 0.95, 0.98, 0.99 or 0.999)"
+    )))
+}
+
 /// Renders one verdict line. The offline `check` command and the wire
 /// client both print through this helper, so daemon output is bitwise
 /// identical to offline output for the same verdicts.
@@ -651,6 +749,10 @@ pub fn client_check(
         timeout_ms: flags.timeout_ms,
         sleep_ms: None,
         fault: None,
+        mode: flags.simulate.then(|| "simulate".to_string()),
+        population: flags.population,
+        replications: flags.replications,
+        seed: flags.seed,
     };
     let outcome =
         mfcsl_serve::client::post_check(addr, &request).map_err(|e| CliError(e.to_string()))?;
@@ -688,6 +790,211 @@ pub fn client_control(addr: &str, action: &str) -> Result<String, CliError> {
             "unknown client action `{other}` (expected check, health, metrics, models or shutdown)"
         ))),
     }
+}
+
+/// `mfcsl vectors <spec.json> --out <dir>` — regenerates the golden
+/// conformance-vector suite.
+///
+/// The spec (`schema: "mfcsl-vectors-spec-v1"`) lists suites of
+/// `(model, formulas, m0, tolerance)` plus the simulation parameters; for
+/// each suite this emits `<out>/<name>.json` (`schema:
+/// "mfcsl-vectors-v1"`) containing the mean-field verdicts, an FNV-1a
+/// digest of the mean-field occupancy curve on a fixed grid, the
+/// finite-N statistical verdicts with their confidence intervals, and an
+/// FNV-1a digest over the estimate bits. verify.sh regenerates the suite
+/// and byte-compares it against the committed `vectors/` directory, so
+/// any refactor that changes a solver or sampler bit fails the gate.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unreadable specs, malformed suites, and
+/// engine failures.
+pub fn vectors(spec_path: &std::path::Path, out_dir: &std::path::Path) -> Result<String, CliError> {
+    use mfcsl_serve::snapshot::fnv1a64;
+    use mfcsl_serve::Json;
+
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| CliError(format!("cannot read spec {}: {e}", spec_path.display())))?;
+    let spec = Json::parse(&text).map_err(|e| CliError(format!("bad spec: {e}")))?;
+    if spec.get("schema").and_then(Json::as_str) != Some("mfcsl-vectors-spec-v1") {
+        return Err(CliError(
+            "spec schema must be \"mfcsl-vectors-spec-v1\"".into(),
+        ));
+    }
+    let base = spec_path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .unwrap_or_else(|| std::path::Path::new("."));
+    let suites = spec
+        .get("suites")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| CliError("spec needs a `suites` array".into()))?;
+    std::fs::create_dir_all(out_dir)
+        .map_err(|e| CliError(format!("cannot create {}: {e}", out_dir.display())))?;
+
+    let field_str = |suite: &Json, key: &str| -> Result<String, CliError> {
+        suite
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| CliError(format!("suite needs a string field `{key}`")))
+    };
+    let field_count = |suite: &Json, key: &str| -> Result<usize, CliError> {
+        let v = suite
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| CliError(format!("suite needs a numeric field `{key}`")))?;
+        if !(v.is_finite() && v >= 1.0 && v.fract() == 0.0 && v <= 9.0e15) {
+            return Err(CliError(format!("suite field `{key}` must be a positive integer")));
+        }
+        Ok(v as usize)
+    };
+
+    let mut report = String::new();
+    for suite in suites {
+        let name = field_str(suite, "name")?;
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            return Err(CliError(format!(
+                "suite name `{name}` must be non-empty [A-Za-z0-9_-]"
+            )));
+        }
+        let model_rel = field_str(suite, "model")?;
+        let tolerance = field_str(suite, "tolerance")?;
+        let fast = match tolerance.as_str() {
+            "default" => false,
+            "fast" => true,
+            other => {
+                return Err(CliError(format!(
+                    "suite tolerance must be `default` or `fast`, got `{other}`"
+                )))
+            }
+        };
+        let file = crate::model_file::ModelFile::load(&base.join(&model_rel))?;
+        let model = file.instantiate()?;
+        let m0_vals: Vec<f64> = suite
+            .get("m0")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| CliError("suite needs an `m0` array".into()))?
+            .iter()
+            .map(|v| v.as_f64().ok_or_else(|| CliError("m0 entries must be numbers".into())))
+            .collect::<Result<_, _>>()?;
+        let m0 = Occupancy::new(m0_vals.clone())?;
+        let population = field_count(suite, "population")?;
+        let replications = field_count(suite, "replications")?;
+        let seed = field_count(suite, "seed")? as u64;
+        let points = field_count(suite, "points")?.max(2);
+        let horizon = suite
+            .get("horizon")
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite() && *v > 0.0)
+            .ok_or_else(|| CliError("suite needs a positive `horizon`".into()))?;
+        let formula_texts: Vec<String> = suite
+            .get("formulas")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| CliError("suite needs a `formulas` array".into()))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| CliError("formulas must be strings".into()))
+            })
+            .collect::<Result<_, _>>()?;
+        let psis = parse_formulas(&formula_texts)?;
+
+        // Mean-field lane: verdicts plus a bit-exact digest of the
+        // occupancy curve on the fixed grid.
+        let mf_session = session(&model, fast);
+        let mf_verdicts = mf_session.check_all(&psis, &m0)?;
+        let traj = meanfield::solve(&model, &m0, horizon, &OdeOptions::default())?;
+        let mut curve_bytes = Vec::with_capacity(points * model.n_states() * 8);
+        for i in 0..points {
+            let t = horizon * i as f64 / (points - 1) as f64;
+            for v in traj.occupancy_at(t).as_slice() {
+                curve_bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        let curve_digest = fnv1a64(&curve_bytes);
+
+        // Statistical lane: finite-N verdicts with interval digests. Two
+        // threads exercises the sharding-invariance the digests pin.
+        let mut options = mfcsl_smc::SmcOptions::new(population);
+        options.replications = replications;
+        options.seed = seed;
+        options.threads = 2;
+        let smc = mfcsl_smc::SmcSession::new(&model, options)?;
+        let sim_verdicts = smc.check_all(&psis, &m0)?;
+
+        let mut entries = Vec::new();
+        for ((text, mf), sim) in formula_texts.iter().zip(&mf_verdicts).zip(&sim_verdicts) {
+            let mut est_bytes = Vec::with_capacity(sim.operators.len() * 24);
+            let mut estimates = Vec::new();
+            for op in &sim.operators {
+                for v in [op.estimate.mean, op.estimate.lo, op.estimate.hi] {
+                    est_bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+                }
+                estimates.push(Json::Obj(vec![
+                    ("operator".into(), Json::Str(op.operator.clone())),
+                    ("mean".into(), Json::Num(op.estimate.mean)),
+                    ("lo".into(), Json::Num(op.estimate.lo)),
+                    ("hi".into(), Json::Num(op.estimate.hi)),
+                    ("n".into(), Json::Num(op.estimate.n as f64)),
+                ]));
+            }
+            entries.push(Json::Obj(vec![
+                ("formula".into(), Json::Str(text.clone())),
+                (
+                    "meanfield".into(),
+                    Json::Obj(vec![
+                        ("holds".into(), Json::Bool(mf.holds())),
+                        ("marginal".into(), Json::Bool(mf.is_marginal())),
+                    ]),
+                ),
+                (
+                    "simulate".into(),
+                    Json::Obj(vec![
+                        ("holds".into(), Json::Bool(sim.holds)),
+                        ("marginal".into(), Json::Bool(sim.marginal)),
+                        ("replications".into(), Json::Num(sim.replications as f64)),
+                        ("estimates".into(), Json::Arr(estimates)),
+                        (
+                            "estimates_fnv1a".into(),
+                            Json::Str(format!("0x{:016x}", fnv1a64(&est_bytes))),
+                        ),
+                    ]),
+                ),
+            ]));
+        }
+
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::Str("mfcsl-vectors-v1".into())),
+            ("name".into(), Json::Str(name.clone())),
+            ("model".into(), Json::Str(model_rel.clone())),
+            ("tolerance".into(), Json::Str(tolerance.clone())),
+            (
+                "m0".into(),
+                Json::Arr(m0_vals.into_iter().map(Json::Num).collect()),
+            ),
+            ("population".into(), Json::Num(population as f64)),
+            ("seed".into(), Json::Num(seed as f64)),
+            ("horizon".into(), Json::Num(horizon)),
+            ("points".into(), Json::Num(points as f64)),
+            (
+                "curve_fnv1a".into(),
+                Json::Str(format!("0x{curve_digest:016x}")),
+            ),
+            ("entries".into(), Json::Arr(entries)),
+        ]);
+        let path = out_dir.join(format!("{name}.json"));
+        std::fs::write(&path, doc.render() + "\n")
+            .map_err(|e| CliError(format!("cannot write {}: {e}", path.display())))?;
+        writeln!(report, "wrote {} ({} entries)", path.display(), psis.len())
+            .expect("write to string");
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -864,6 +1171,81 @@ rate i -> s : gamma
         let text = fixed_points(&model).unwrap();
         assert!(text.contains("Stable"), "{text}");
         assert!(text.lines().count() >= 2, "{text}");
+    }
+
+    #[test]
+    fn simulate_prints_interval_lines_and_is_thread_invariant() {
+        let (model, _) = sis();
+        let m0 = parse_occupancy("0.9,0.1").unwrap();
+        let run = |threads: &str| {
+            let argv: Vec<String> = [
+                "--m0",
+                "0.9,0.1",
+                "--population",
+                "100",
+                "--reps",
+                "80",
+                "--seed",
+                "42",
+                "--threads",
+                threads,
+                "--stats",
+                "EP{>0.1}[ tt U[0,2] infected ]",
+            ]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+            let flags = crate::args::parse_common(&argv).unwrap();
+            simulate(&model, &m0, flags.formulas().unwrap(), &flags).unwrap()
+        };
+        let a = run("1");
+        assert!(a.contains("replications, N = 100, 95% CI"), "{a}");
+        assert!(a.contains("smc statistics: 80 replications run"), "{a}");
+        // Same seed, different thread count: bitwise-identical report.
+        assert_eq!(a, run("8"));
+
+        let flags = crate::args::parse_common(&["--m0".into(), "0.9,0.1".into()]).unwrap();
+        let err = simulate(&model, &m0, &one("E{<0.5}[ infected ]"), &flags).unwrap_err();
+        assert!(err.to_string().contains("--population"), "{err}");
+    }
+
+    #[test]
+    fn vectors_regenerate_byte_identically() {
+        let base = std::env::temp_dir().join(format!("mfcsl-vectors-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        std::fs::write(base.join("sis.mf"), SIS).unwrap();
+        let spec = r#"{
+  "schema": "mfcsl-vectors-spec-v1",
+  "suites": [
+    {
+      "name": "sis-smoke",
+      "model": "sis.mf",
+      "m0": [0.9, 0.1],
+      "tolerance": "default",
+      "population": 50,
+      "replications": 40,
+      "seed": 7,
+      "horizon": 2.0,
+      "points": 9,
+      "formulas": ["E{<0.5}[ infected ]", "EP{>0.1}[ tt U[0,2] infected ]"]
+    }
+  ]
+}"#;
+        std::fs::write(base.join("spec.json"), spec).unwrap();
+        let out_a = base.join("a");
+        let out_b = base.join("b");
+        let report = vectors(&base.join("spec.json"), &out_a).unwrap();
+        assert!(report.contains("sis-smoke.json"), "{report}");
+        vectors(&base.join("spec.json"), &out_b).unwrap();
+        let a = std::fs::read(out_a.join("sis-smoke.json")).unwrap();
+        let b = std::fs::read(out_b.join("sis-smoke.json")).unwrap();
+        assert_eq!(a, b, "vector regeneration must be byte-identical");
+        let text = String::from_utf8(a).unwrap();
+        assert!(text.contains("\"schema\":\"mfcsl-vectors-v1\""), "{text}");
+        assert!(text.contains("\"curve_fnv1a\":\"0x"), "{text}");
+        assert!(text.contains("\"estimates_fnv1a\":\"0x"), "{text}");
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

@@ -31,10 +31,12 @@ USAGE:
   mfcsl info <model.mf>
   mfcsl check <model.mf> --m0 <fractions> [--fast] [--threads <N>] [--stats] \"<formula>\"...
   mfcsl csat <model.mf> --m0 <fractions> [--m0 <fractions>]... --theta <T> [--threads <N>] [--stats] [--batch-shared] \"<formula>\"...
+  mfcsl simulate <model.mf> --m0 <fractions> --population <N> [--reps <R>] [--seed <S>] [--confidence <L>] [--sequential <HW>] [--threads <N>] [--stats] \"<formula>\"...
   mfcsl trajectory <model.mf> --m0 <fractions> --t-end <T> [--points <N>]
   mfcsl fixed-points <model.mf>
+  mfcsl vectors <spec.json> --out <dir>
   mfcsl serve <model.mf | dir>... [--addr <host:port>] [--workers <N>] [--queue <N>] [--threads <N>] [--max-sessions <N>] [--loops <N>] [--blocking] [--state-dir <dir>] [--shards <N>]
-  mfcsl client <host:port> check <model> --m0 <fractions> [--fast] [--timeout-ms <T>] [--param k=v]... \"<formula>\"...
+  mfcsl client <host:port> check <model> --m0 <fractions> [--fast] [--simulate] [--population <N>] [--reps <R>] [--seed <S>] [--timeout-ms <T>] [--param k=v]... \"<formula>\"...
   mfcsl client <host:port> health|metrics|models|shutdown
 
   <fractions> is comma-separated and must sum to 1, e.g. 0.8,0.15,0.05.
@@ -55,6 +57,15 @@ USAGE:
   counts, the command's allocation count, per-kernel heap peaks (the
   resident matrix bytes each check/csat kernel held), and the pool's
   per-thread task counts.
+
+  simulate is the statistical lane: instead of the mean-field limit it
+  estimates each formula at finite population <N> from SSA replications
+  (deterministic per --seed at any thread count) and prints the verdict
+  with one confidence-interval line per E/ES/EP operator. --sequential
+  <HW> switches from fixed-sample to Chow-Robbins stopping at target
+  half-width <HW>. vectors regenerates the golden conformance-vector
+  suite from a spec (see vectors/spec.json); verify.sh byte-compares the
+  output against the committed vectors/ directory.
 
   serve runs the mfcsld batch-checking daemon over the given models; it
   keeps sessions warm per (model, params, tolerances) and answers with
@@ -120,6 +131,23 @@ fn run(argv: Vec<String>) -> Result<String, CliError> {
                 commands::client_control(&addr, &action)
             };
         }
+        "vectors" => {
+            let mut rest = rest.into_iter();
+            let spec = rest
+                .next()
+                .ok_or_else(|| CliError("vectors needs a <spec.json>".into()))?;
+            let tail: Vec<String> = rest.collect();
+            let out_dir = match tail.as_slice() {
+                [flag, dir] if flag == "--out" => PathBuf::from(dir),
+                [] => return Err(CliError("vectors needs --out <dir>".into())),
+                other => {
+                    return Err(CliError(format!(
+                        "unexpected vectors arguments {other:?} (expected --out <dir>)"
+                    )))
+                }
+            };
+            return commands::vectors(&PathBuf::from(spec), &out_dir);
+        }
         _ => {}
     }
 
@@ -154,6 +182,9 @@ fn run(argv: Vec<String>) -> Result<String, CliError> {
                 flags.threads,
                 flags.batch_shared,
             )
+        }
+        "simulate" => {
+            commands::simulate(&model, &flags.single_m0()?, flags.formulas()?, &flags)
         }
         "trajectory" => {
             let t_end = flags

@@ -31,6 +31,15 @@ pub struct CheckRequest {
     /// Chaos: seeded fault-injection plan for this request's session (needs
     /// `--allow-faults` server-side; chaos tests only).
     pub fault: Option<FaultPlan>,
+    /// Checking mode: `"meanfield"` (the default when absent) or
+    /// `"simulate"` for finite-`N` statistical estimation.
+    pub mode: Option<String>,
+    /// Statistical lane: finite population size `N`.
+    pub population: Option<u64>,
+    /// Statistical lane: replication count.
+    pub replications: Option<u64>,
+    /// Statistical lane: base seed of the replication seed stream.
+    pub seed: Option<u64>,
 }
 
 impl CheckRequest {
@@ -46,6 +55,10 @@ impl CheckRequest {
             timeout_ms: None,
             sleep_ms: None,
             fault: None,
+            mode: None,
+            population: None,
+            replications: None,
+            seed: None,
         }
     }
 
@@ -78,6 +91,18 @@ impl CheckRequest {
         }
         if let Some(ms) = self.sleep_ms {
             fields.push(("sleep_ms".to_string(), Json::Num(ms)));
+        }
+        if let Some(mode) = &self.mode {
+            fields.push(("mode".to_string(), Json::Str(mode.clone())));
+        }
+        for (name, value) in [
+            ("population", self.population),
+            ("replications", self.replications),
+            ("seed", self.seed),
+        ] {
+            if let Some(v) = value {
+                fields.push((name.to_string(), Json::Num(v as f64)));
+            }
         }
         if let Some(plan) = self.fault {
             fields.push((

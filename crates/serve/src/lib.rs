@@ -30,4 +30,4 @@ pub use registry::ModelRegistry;
 pub use router::{Router, RouterConfig, ShardSpec};
 pub use server::{Server, ServerConfig, ServingCore};
 pub use snapshot::{SessionSnapshot, SnapshotEntry};
-pub use store::{SessionKey, SessionStore, WarmSession};
+pub use store::{SessionKey, SessionStore, SimKey, WarmSession};

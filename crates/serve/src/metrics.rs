@@ -56,6 +56,11 @@ pub struct ServerMetrics {
     pub cold_starts: AtomicU64,
     /// `POST /v1/prewarm` requests answered `200`.
     pub prewarms: AtomicU64,
+    /// `"mode": "simulate"` check requests answered `200`.
+    pub simulate_requests: AtomicU64,
+    /// SSA replications backing completed simulate answers (batch sizes
+    /// after sequential growth; memoized batches count once, at creation).
+    pub simulate_replications: AtomicU64,
     /// Latency histogram counts, one per entry of [`LATENCY_BUCKETS_US`]
     /// plus a final overflow bucket.
     buckets: [AtomicU64; LATENCY_BUCKETS_US.len() + 1],
@@ -120,6 +125,12 @@ impl ServerMetrics {
         line(&mut out, "mfcsld_session_warm_hits_total", g(&self.warm_hits).to_string());
         line(&mut out, "mfcsld_session_cold_starts_total", g(&self.cold_starts).to_string());
         line(&mut out, "mfcsld_prewarm_requests_total", g(&self.prewarms).to_string());
+        line(&mut out, "mfcsld_simulate_requests_total", g(&self.simulate_requests).to_string());
+        line(
+            &mut out,
+            "mfcsld_simulate_replications_total",
+            g(&self.simulate_replications).to_string(),
+        );
         line(&mut out, "mfcsld_snapshot_saved_total", snapshots.saved.to_string());
         line(&mut out, "mfcsld_snapshot_loaded_total", snapshots.loaded.to_string());
         line(&mut out, "mfcsld_snapshot_rejected_total", snapshots.rejected.to_string());
@@ -203,6 +214,8 @@ mod tests {
         assert!(text.contains("mfcsld_engine_recoveries_total 0"), "{text}");
         assert!(text.contains("mfcsld_engine_refined_verdicts_total 0"), "{text}");
         assert!(text.contains("mfcsld_prewarm_requests_total 0"), "{text}");
+        assert!(text.contains("mfcsld_simulate_requests_total 0"), "{text}");
+        assert!(text.contains("mfcsld_simulate_replications_total 0"), "{text}");
         assert!(text.contains("mfcsld_engine_prewarm_lanes_total 0"), "{text}");
         assert!(text.contains("mfcsld_request_latency_us_bucket{le=\"100\"} 2"), "{text}");
         assert!(text.contains("mfcsld_request_latency_us_bucket{le=\"3160\"} 3"), "{text}");

@@ -343,7 +343,25 @@ fn session_key_of(body: &[u8], is_prewarm: bool) -> SessionKey {
             Some(FaultPlan::new(mode, uint("period", 1), uint("seed", 0)))
         })
     };
-    SessionKey::new(model, &params, fast, fault)
+    let mut key = SessionKey::new(model, &params, fast, fault);
+    // Mirror the daemon's statistical-lane arm (same defaults as
+    // `handle_check`), so a simulate session's requests always land on the
+    // shard holding its sampled-path batches.
+    if !is_prewarm && parsed.get("mode").and_then(Json::as_str) == Some("simulate") {
+        let uint = |name: &str, default: u64| {
+            parsed
+                .get(name)
+                .and_then(Json::as_f64)
+                .filter(|n| n.is_finite() && *n >= 0.0 && n.fract() == 0.0)
+                .map_or(default, |n| n as u64)
+        };
+        key.sim = Some(crate::store::SimKey {
+            population: uint("population", 100),
+            replications: uint("replications", 200),
+            seed: uint("seed", 0),
+        });
+    }
+    key
 }
 
 /// Converts a proxied shard response into an [`Outcome`], preserving the

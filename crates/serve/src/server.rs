@@ -32,7 +32,7 @@ use crate::json::Json;
 use crate::metrics::ServerMetrics;
 use crate::reactor::{self, ReactorOptions, RequestHandler};
 use crate::registry::ModelRegistry;
-use crate::store::{SessionKey, SessionStore};
+use crate::store::{SessionKey, SessionStore, SimKey};
 
 /// Largest accepted request body, in bytes.
 const MAX_BODY: usize = 1 << 20;
@@ -472,6 +472,35 @@ fn client_error(shared: &Shared, status: u16, code: &str, message: &str) -> Outc
     error_outcome(status, code, message)
 }
 
+/// First top-level field of `body` that the route does not know, if any. A
+/// typo'd field name (`"poplation"`) must fail loudly with a structured
+/// `400` naming the field, never be silently ignored — silently dropping
+/// `"population"` would answer a statistical question with the mean-field
+/// engine.
+fn unknown_field<'a>(body: &'a Json, known: &[&str]) -> Option<&'a str> {
+    match body {
+        Json::Obj(fields) => fields
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .find(|name| !known.contains(name)),
+        _ => None,
+    }
+}
+
+/// Decodes an optional non-negative integer field (population sizes,
+/// replication counts, seeds).
+fn uint_field(body: &Json, name: &str) -> Result<Option<u64>, String> {
+    match body.get(name) {
+        None => Ok(None),
+        Some(v) => match v.as_f64() {
+            Some(n) if n.is_finite() && n >= 0.0 && n <= 2f64.powi(53) && n.fract() == 0.0 => {
+                Ok(Some(n as u64))
+            }
+            _ => Err(format!("`{name}` must be a non-negative integer")),
+        },
+    }
+}
+
 /// `POST /v1/check`: one formula batch against one model/occupancy.
 fn handle_check(shared: &Arc<Shared>, request: &Request, enqueued_at: Instant) -> Outcome {
     let body = match std::str::from_utf8(&request.body)
@@ -485,6 +514,28 @@ fn handle_check(shared: &Arc<Shared>, request: &Request, enqueued_at: Instant) -
     };
 
     // -- decode ----------------------------------------------------------
+    const KNOWN_FIELDS: &[&str] = &[
+        "model",
+        "m0",
+        "formulas",
+        "fast",
+        "params",
+        "fault",
+        "timeout_ms",
+        "sleep_ms",
+        "mode",
+        "population",
+        "replications",
+        "seed",
+    ];
+    if let Some(name) = unknown_field(&body, KNOWN_FIELDS) {
+        return client_error(
+            shared,
+            400,
+            "bad_request",
+            &format!("unknown request field `{name}`"),
+        );
+    }
     let Some(model_name) = body.get("model").and_then(Json::as_str) else {
         return client_error(shared, 400, "bad_request", "missing string field `model`");
     };
@@ -516,6 +567,44 @@ fn handle_check(shared: &Arc<Shared>, request: &Request, enqueued_at: Instant) -
         Ok(f) => f,
         Err((code, message)) => return client_error(shared, 400, code, &message),
     };
+    let simulate = match body.get("mode") {
+        None => false,
+        Some(v) => match v.as_str() {
+            Some("meanfield") => false,
+            Some("simulate") => true,
+            _ => {
+                return client_error(
+                    shared,
+                    400,
+                    "bad_request",
+                    "`mode` must be \"meanfield\" or \"simulate\"",
+                )
+            }
+        },
+    };
+    let mut sim_fields = [None; 3];
+    for (slot, name) in sim_fields.iter_mut().zip(["population", "replications", "seed"]) {
+        *slot = match uint_field(&body, name) {
+            Ok(v) => v,
+            Err(e) => return client_error(shared, 400, "bad_request", &e),
+        };
+        if !simulate && slot.is_some() {
+            return client_error(
+                shared,
+                400,
+                "bad_request",
+                &format!("`{name}` requires \"mode\": \"simulate\""),
+            );
+        }
+    }
+    if simulate && fault.is_some() {
+        return client_error(
+            shared,
+            400,
+            "bad_request",
+            "`fault` is not supported with \"mode\": \"simulate\"",
+        );
+    }
     let timeout_ms = match millis_field(&body, "timeout_ms", MAX_TIMEOUT_MS) {
         Ok(v) => v,
         Err(e) => return client_error(shared, 400, "bad_request", &e),
@@ -563,7 +652,14 @@ fn handle_check(shared: &Arc<Shared>, request: &Request, enqueued_at: Instant) -
     };
 
     // -- resolve the warm session ----------------------------------------
-    let key = SessionKey::new(model_name, &overrides, fast, fault);
+    let mut key = SessionKey::new(model_name, &overrides, fast, fault);
+    if simulate {
+        key.sim = Some(SimKey {
+            population: sim_fields[0].unwrap_or(100),
+            replications: sim_fields[1].unwrap_or(200),
+            seed: sim_fields[2].unwrap_or(0),
+        });
+    }
     let (session, warm) = match shared.store.get_or_create(&shared.registry, &key) {
         Ok(pair) => pair,
         Err(e) => {
@@ -586,6 +682,74 @@ fn handle_check(shared: &Arc<Shared>, request: &Request, enqueued_at: Instant) -
 
     // -- check ------------------------------------------------------------
     let started = Instant::now();
+    if let Some(sim) = key.sim {
+        let verdicts = match session.simulate_all(&psis, &m0) {
+            Ok(v) => {
+                shared.store.record_success(&key);
+                v
+            }
+            Err(e) => {
+                let (status, code) = classify_engine_error(&e);
+                if status >= 500 {
+                    shared.metrics.engine_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.store.record_failure(&key);
+                } else {
+                    shared.metrics.client_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                return error_outcome(status, code, &e.to_string());
+            }
+        };
+        let micros = started.elapsed().as_secs_f64() * 1e6;
+        let batch = verdicts
+            .iter()
+            .map(|v| v.replications as u64)
+            .max()
+            .unwrap_or(0);
+        let rendered: Vec<Json> = psis
+            .iter()
+            .zip(&verdicts)
+            .map(|(psi, v)| {
+                let estimates: Vec<Json> = v
+                    .operators
+                    .iter()
+                    .map(|op| {
+                        Json::Obj(vec![
+                            ("operator".into(), Json::Str(op.operator.clone())),
+                            ("mean".into(), Json::Num(op.estimate.mean)),
+                            ("lo".into(), Json::Num(op.estimate.lo)),
+                            ("hi".into(), Json::Num(op.estimate.hi)),
+                            ("n".into(), Json::Num(op.estimate.n as f64)),
+                        ])
+                    })
+                    .collect();
+                Json::Obj(vec![
+                    ("formula".into(), Json::Str(psi.to_string())),
+                    ("holds".into(), Json::Bool(v.holds)),
+                    ("marginal".into(), Json::Bool(v.marginal)),
+                    ("estimates".into(), Json::Arr(estimates)),
+                ])
+            })
+            .collect();
+        let response = Json::Obj(vec![
+            ("model".into(), Json::from(model_name)),
+            ("m0".into(), Json::Str(m0.to_string())),
+            ("mode".into(), Json::from("simulate")),
+            ("population".into(), Json::Num(sim.population as f64)),
+            ("replications".into(), Json::Num(batch as f64)),
+            ("verdicts".into(), Json::Arr(rendered)),
+            ("warm".into(), Json::Bool(warm)),
+            ("micros".into(), Json::Num(micros)),
+        ])
+        .render();
+        shared.metrics.simulate_requests.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .simulate_replications
+            .fetch_add(batch, Ordering::Relaxed);
+        shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.observe_latency(enqueued_at.elapsed());
+        return Outcome::new(200, "application/json", response.into_bytes());
+    }
     let verdicts = match session.check_all(&psis, &m0) {
         Ok(v) => {
             shared.store.record_success(&key);
@@ -664,6 +828,14 @@ fn handle_prewarm(shared: &Arc<Shared>, request: &Request) -> Outcome {
             return client_error(shared, 400, "bad_request", &format!("bad JSON body: {e}"))
         }
     };
+    if let Some(name) = unknown_field(&body, &["model", "m0s", "horizon", "fast", "params"]) {
+        return client_error(
+            shared,
+            400,
+            "bad_request",
+            &format!("unknown request field `{name}`"),
+        );
+    }
     let Some(model_name) = body.get("model").and_then(Json::as_str) else {
         return client_error(shared, 400, "bad_request", "missing string field `model`");
     };

@@ -143,6 +143,16 @@ pub fn key_bytes(key: &SessionKey) -> Vec<u8> {
             out.extend_from_slice(&plan.seed.to_le_bytes());
         }
     }
+    // The statistical-lane arm is appended only when present, so every
+    // pre-existing mean-field key hashes exactly as before — warm sessions
+    // keep their shard placement and snapshot file names across the
+    // upgrade (`key_hash_is_stable_across_processes` pins this).
+    if let Some(sim) = key.sim {
+        out.push(2);
+        out.extend_from_slice(&sim.population.to_le_bytes());
+        out.extend_from_slice(&sim.replications.to_le_bytes());
+        out.extend_from_slice(&sim.seed.to_le_bytes());
+    }
     out
 }
 
@@ -434,6 +444,9 @@ impl SessionSnapshot {
             params: self.params.clone(),
             fast: self.fast,
             fault: None,
+            // Simulate sessions are never snapshotted, so a decoded
+            // snapshot always restores to the mean-field arm.
+            sim: None,
         }
     }
 
@@ -1056,5 +1069,14 @@ mod tests {
         );
         assert_ne!(fnv1a64(&key_bytes(&key)), fnv1a64(&key_bytes(&tweaked)));
         assert_eq!(file_name(&key), format!("sess-{:016x}.snap", 0x166e_c6c5_4f88_094d_u64));
+        // The statistical-lane arm routes to its own hash, never aliasing
+        // the mean-field key.
+        let mut simulated = key.clone();
+        simulated.sim = Some(crate::store::SimKey {
+            population: 100,
+            replications: 200,
+            seed: 0,
+        });
+        assert_ne!(fnv1a64(&key_bytes(&key)), fnv1a64(&key_bytes(&simulated)));
     }
 }

@@ -28,6 +28,7 @@ use mfcsl_core::{CoreError, FaultPlan, LocalModel, Occupancy};
 use mfcsl_csl::{SatCacheExport, Tolerances};
 use mfcsl_ode::{SolveStats, Trajectory};
 use mfcsl_pool::ThreadPool;
+use mfcsl_smc::SmcSession;
 
 use crate::metrics::SnapshotCounters;
 use crate::registry::ModelRegistry;
@@ -37,6 +38,20 @@ use crate::snapshot::{file_name, RegimeSnapshot, SessionSnapshot, SnapshotEntry}
 /// dropped from the store so the next request rebuilds it from scratch
 /// with fresh caches.
 pub const QUARANTINE_THRESHOLD: u32 = 3;
+
+/// The statistical-lane arm of a [`SessionKey`]: a `"mode": "simulate"`
+/// request is keyed by its finite population and sampling parameters, so a
+/// simulated session can never alias — or borrow the caches of — the
+/// mean-field session for the same model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SimKey {
+    /// Finite population size `N`.
+    pub population: u64,
+    /// Requested replication count (the fixed-sample batch size).
+    pub replications: u64,
+    /// Base seed of the deterministic per-replication seed stream.
+    pub seed: u64,
+}
 
 /// Identity of a warm session: which model, at which parameter values,
 /// under which tolerance preset.
@@ -57,10 +72,13 @@ pub struct SessionKey {
     /// a faulted request can never poison — or borrow the caches of — a
     /// healthy session for the same model.
     pub fault: Option<FaultPlan>,
+    /// Statistical-lane parameters (`"mode": "simulate"` requests only).
+    /// `None` for mean-field sessions.
+    pub sim: Option<SimKey>,
 }
 
 impl SessionKey {
-    /// Builds the key for a request.
+    /// Builds the key for a mean-field request.
     #[must_use]
     pub fn new(
         model: &str,
@@ -76,6 +94,7 @@ impl SessionKey {
                 .collect(),
             fast,
             fault,
+            sim: None,
         }
     }
 }
@@ -96,8 +115,17 @@ impl SessionKey {
 /// * no method returns the session (or anything borrowing it with the
 ///   erased lifetime) — only owned results cross the boundary.
 pub struct WarmSession {
-    session: CheckSession<'static>,
+    backend: Backend,
     _model: Arc<LocalModel>,
+}
+
+/// Which checking engine a warm session drives: the mean-field limit
+/// (memoizing [`CheckSession`]) or the finite-`N` statistical lane
+/// (sampled-batch [`SmcSession`]). Both borrow the owned model under the
+/// same erased-lifetime invariants.
+enum Backend {
+    MeanField(Box<CheckSession<'static>>),
+    Simulate(Box<SmcSession<'static>>),
 }
 
 impl std::fmt::Debug for WarmSession {
@@ -133,8 +161,43 @@ impl WarmSession {
         }
         let session = CheckSession::from_checker(checker).with_pool(pool);
         WarmSession {
-            session,
+            backend: Backend::MeanField(Box::new(session)),
             _model: model,
+        }
+    }
+
+    /// Builds a warm statistical (SMC) session over an owned model: the
+    /// `"mode": "simulate"` counterpart of [`WarmSession::new`], keeping its
+    /// memoized sampled-path batches warm across requests under the same
+    /// erased-lifetime invariants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SmcSession::new`]'s option validation.
+    pub fn new_simulating(
+        model: LocalModel,
+        options: mfcsl_smc::SmcOptions,
+    ) -> Result<WarmSession, CoreError> {
+        let model = Arc::new(model);
+        // SAFETY: same invariants as `new` — the Arc's allocation outlives
+        // the session and is never moved out of or mutated.
+        let model_ref: &'static LocalModel = unsafe { &*Arc::as_ptr(&model) };
+        let session = SmcSession::new(model_ref, options)?;
+        Ok(WarmSession {
+            backend: Backend::Simulate(Box::new(session)),
+            _model: model,
+        })
+    }
+
+    /// The mean-field engine, or a structured error on a simulate session
+    /// (unreachable through the daemon: routing is by key, and a `sim` key
+    /// always dispatches to [`WarmSession::simulate_all`]).
+    fn meanfield(&self) -> Result<&CheckSession<'static>, CoreError> {
+        match &self.backend {
+            Backend::MeanField(session) => Ok(session),
+            Backend::Simulate(_) => Err(CoreError::InvalidArgument(
+                "this session is a statistical (simulate) session".into(),
+            )),
         }
     }
 
@@ -152,7 +215,37 @@ impl WarmSession {
         psis: &[MfFormula],
         m0: &Occupancy,
     ) -> Result<Vec<Verdict>, CoreError> {
-        self.session.check_all(psis, m0)
+        self.meanfield()?.check_all(psis, m0)
+    }
+
+    /// Estimates a batch of formulas at finite `N` on the statistical
+    /// backend, reusing the session's memoized sampled-path batches.
+    /// Delegates to [`SmcSession::check_all`], so daemon simulate verdicts
+    /// are bitwise identical to the offline `mfcsl simulate` command.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation failures, and rejects mean-field sessions.
+    pub fn simulate_all(
+        &self,
+        psis: &[MfFormula],
+        m0: &Occupancy,
+    ) -> Result<Vec<mfcsl_smc::SmcVerdict>, CoreError> {
+        match &self.backend {
+            Backend::Simulate(session) => session.check_all(psis, m0),
+            Backend::MeanField(_) => Err(CoreError::InvalidArgument(
+                "this session is a mean-field session".into(),
+            )),
+        }
+    }
+
+    /// The statistical backend's counters, when this is a simulate session.
+    #[must_use]
+    pub fn smc_stats(&self) -> Option<mfcsl_smc::SmcStats> {
+        match &self.backend {
+            Backend::Simulate(session) => Some(session.stats()),
+            Backend::MeanField(_) => None,
+        }
     }
 
     /// Solves the trajectories for a sweep of initial occupancies with one
@@ -168,13 +261,17 @@ impl WarmSession {
     /// Propagates engine failures; individual diverging lanes are skipped,
     /// not errors.
     pub fn prewarm(&self, m0s: &[Occupancy], horizon: f64) -> Result<usize, CoreError> {
-        self.session.prewarm(m0s, horizon)
+        self.meanfield()?.prewarm(m0s, horizon)
     }
 
-    /// Snapshot of the session's engine counters.
+    /// Snapshot of the session's engine counters (zero for simulate
+    /// sessions, whose counters live in [`WarmSession::smc_stats`]).
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        self.session.stats()
+        match &self.backend {
+            Backend::MeanField(session) => session.stats(),
+            Backend::Simulate(_) => EngineStats::default(),
+        }
     }
 
     /// Owned copies of every base trajectory entry, for snapshot
@@ -182,7 +279,10 @@ impl WarmSession {
     /// (owned data only — nothing borrows the erased-lifetime session).
     #[must_use]
     pub fn export_trajectories(&self) -> Vec<(Occupancy, Trajectory)> {
-        self.session.export_trajectories()
+        match &self.backend {
+            Backend::MeanField(session) => session.export_trajectories(),
+            Backend::Simulate(_) => Vec::new(),
+        }
     }
 
     /// Owned copies of every warm entry — trajectory, stationary regime,
@@ -190,7 +290,10 @@ impl WarmSession {
     /// [`CheckSession::export_entries`] (owned data only).
     #[must_use]
     pub fn export_entries(&self) -> Vec<SessionEntryExport> {
-        self.session.export_entries()
+        match &self.backend {
+            Backend::MeanField(session) => session.export_entries(),
+            Backend::Simulate(_) => Vec::new(),
+        }
     }
 
     /// Installs a snapshot-restored trajectory as the warm entry for `m0`.
@@ -205,7 +308,7 @@ impl WarmSession {
         m0: &Occupancy,
         trajectory: Trajectory,
     ) -> Result<bool, CoreError> {
-        self.session.restore_trajectory(m0, trajectory)
+        self.meanfield()?.restore_trajectory(m0, trajectory)
     }
 
     /// Installs a snapshot-restored entry (trajectory plus sat-cache) as
@@ -220,7 +323,7 @@ impl WarmSession {
         trajectory: Trajectory,
         cache: &SatCacheExport,
     ) -> Result<bool, CoreError> {
-        self.session.restore_entry(m0, trajectory, cache)
+        self.meanfield()?.restore_entry(m0, trajectory, cache)
     }
 
     /// Installs a snapshot-restored stationary regime for `m0`, rebuilding
@@ -236,7 +339,7 @@ impl WarmSession {
         distribution: &[f64],
         settle_time: Option<f64>,
     ) -> Result<bool, CoreError> {
-        self.session.restore_regime(m0, distribution, settle_time)
+        self.meanfield()?.restore_regime(m0, distribution, settle_time)
     }
 }
 
@@ -338,12 +441,27 @@ impl SessionStore {
             .map(|(k, bits)| (k.clone(), f64::from_bits(*bits)))
             .collect();
         let model = file.instantiate_with(&overrides)?;
-        let session = Arc::new(WarmSession::new(
-            model,
-            key.fast,
-            key.fault,
-            Arc::clone(&self.pool),
-        ));
+        let session = match key.sim {
+            None => Arc::new(WarmSession::new(
+                model,
+                key.fast,
+                key.fault,
+                Arc::clone(&self.pool),
+            )),
+            Some(sim) => {
+                let mut options = mfcsl_smc::SmcOptions::new(
+                    usize::try_from(sim.population).unwrap_or(usize::MAX),
+                );
+                options.replications =
+                    usize::try_from(sim.replications).unwrap_or(usize::MAX);
+                options.seed = sim.seed;
+                // Replications fan out over the pool's lane count; the
+                // per-index seed stream keeps verdicts identical at any
+                // thread count, so this is a throughput knob only.
+                options.threads = self.pool.stats().threads.max(1);
+                Arc::new(WarmSession::new_simulating(model, options)?)
+            }
+        };
         if inner.sessions.len() >= self.max_sessions {
             self.evict_lru(&mut inner);
         }
@@ -540,13 +658,15 @@ impl SessionStore {
     }
 
     /// Serializes and atomically writes one session's snapshot. Returns
-    /// whether a file was written. Faulted sessions are never persisted:
-    /// their caches are deliberately poisoned test state.
+    /// whether a file was written. Faulted sessions are never persisted
+    /// (their caches are deliberately poisoned test state); simulate
+    /// sessions aren't either — their sampled batches regenerate bitwise
+    /// from the seed stream, so there is nothing worth a disk format.
     fn write_snapshot(&self, key: &SessionKey, session: &WarmSession) -> bool {
         let Some(dir) = &self.state_dir else {
             return false;
         };
-        if key.fault.is_some() {
+        if key.fault.is_some() || key.sim.is_some() {
             return false;
         }
         let entries: Vec<SnapshotEntry> = session

@@ -77,6 +77,42 @@ pub fn proportion_ci(successes: usize, trials: usize, z: f64) -> Result<Estimate
     })
 }
 
+/// Wald (normal-approximation) interval for a binomial proportion — kept
+/// for comparison against [`proportion_ci`]. The Wald interval collapses
+/// to zero width at `p̂ ∈ {0, 1}` (common for near-sure until formulas),
+/// which is exactly why the Wilson score interval is the default.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidArgument`] for zero trials,
+/// `successes > trials`, or a non-positive `z`.
+pub fn proportion_ci_normal(successes: usize, trials: usize, z: f64) -> Result<Estimate, CoreError> {
+    if trials == 0 {
+        return Err(CoreError::InvalidArgument(
+            "proportion estimate needs at least one trial".into(),
+        ));
+    }
+    if successes > trials {
+        return Err(CoreError::InvalidArgument(format!(
+            "{successes} successes out of {trials} trials"
+        )));
+    }
+    if !(z > 0.0) || !z.is_finite() {
+        return Err(CoreError::InvalidArgument(format!(
+            "z-score must be positive and finite, got {z}"
+        )));
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let half = z * (p * (1.0 - p) / n).sqrt();
+    Ok(Estimate {
+        mean: p,
+        lo: (p - half).max(0.0),
+        hi: (p + half).min(1.0),
+        n: trials,
+    })
+}
+
 /// Normal-approximation interval for the mean of real-valued samples.
 ///
 /// # Errors
@@ -109,10 +145,31 @@ pub fn mean_ci(samples: &[f64], z: f64) -> Result<Estimate, CoreError> {
     })
 }
 
+/// Derives the seed for replication `index` from `base_seed` via one
+/// xorshift64 round over a golden-ratio-strided mix. Replication `i`
+/// always receives the same seed no matter how the work is sharded, which
+/// is what makes [`run_replications`] bitwise identical at any thread
+/// count — the same discipline the thread pool uses for solver kernels.
+///
+/// The mix is injective in `index` for a fixed base, and xorshift64 is a
+/// bijection, so seeds never collide across replications. xorshift64
+/// fixes 0, so a vanished mix is nudged onto an arbitrary odd constant.
+#[must_use]
+pub fn replication_seed(base_seed: u64, index: u64) -> u64 {
+    let mut x = base_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    if x == 0 {
+        x = 0x4D59_5DF4_D0F3_3173;
+    }
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
 /// Runs `n` independent replications of `f` across `threads` OS threads,
-/// feeding each replication a distinct seed derived from `base_seed`
-/// (SplitMix64 over the replication index, so results are independent of
-/// the thread count).
+/// feeding each replication the seed [`replication_seed`]`(base_seed, i)`
+/// — a pure function of the replication index, so results are independent
+/// of the thread count.
 ///
 /// # Panics
 ///
@@ -131,7 +188,7 @@ where
             scope.spawn(move || {
                 for (offset, slot) in slice.iter_mut().enumerate() {
                     let index = worker * chunk + offset;
-                    *slot = Some(f(splitmix64(base_seed.wrapping_add(index as u64))));
+                    *slot = Some(f(replication_seed(base_seed, index as u64)));
                 }
             });
         }
@@ -141,18 +198,10 @@ where
         .collect()
 }
 
-/// SplitMix64: turns sequential indices into well-spread seeds.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn wilson_interval_basics() {
@@ -187,6 +236,59 @@ mod tests {
         assert!(mean_ci(&[1.0], 1.96).is_err());
         assert!(mean_ci(&[1.0, f64::NAN], 1.96).is_err());
         assert!(mean_ci(&samples, -1.0).is_err());
+    }
+
+    #[test]
+    fn wald_interval_degenerates_at_extremes() {
+        // At p̂ ∈ {0, 1} the Wald interval collapses to zero width while
+        // Wilson keeps a nonzero margin — the reason Wilson is the default.
+        for (s, t) in [(0, 20), (20, 20)] {
+            let wald = proportion_ci_normal(s, t, 1.96).unwrap();
+            let wilson = proportion_ci(s, t, 1.96).unwrap();
+            assert_eq!(wald.half_width(), 0.0, "wald at {s}/{t}");
+            assert!(wilson.half_width() > 0.0, "wilson at {s}/{t}");
+        }
+        // Away from the extremes and at large n the two intervals agree.
+        let wald = proportion_ci_normal(500, 1000, 1.96).unwrap();
+        let wilson = proportion_ci(500, 1000, 1.96).unwrap();
+        assert!((wald.lo - wilson.lo).abs() < 2e-3);
+        assert!((wald.hi - wilson.hi).abs() < 2e-3);
+        assert_eq!(wald.mean, wilson.mean);
+        // Same validation as the Wilson path.
+        assert!(proportion_ci_normal(1, 0, 1.96).is_err());
+        assert!(proportion_ci_normal(5, 3, 1.96).is_err());
+        assert!(proportion_ci_normal(1, 2, 0.0).is_err());
+        assert!(proportion_ci_normal(1, 2, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn replication_seeds_are_distinct_and_nonzero() {
+        let seeds: Vec<u64> = (0..1000).map(|i| replication_seed(42, i)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 1000);
+        assert!(seeds.iter().all(|&s| s != 0));
+        // The zero fixed point of xorshift64 is guarded: base 0, index 0
+        // mixes to 0 and must still produce a usable seed.
+        assert_ne!(replication_seed(0, 0), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Sharding across 1, 2, or 8 threads never changes which seed a
+        /// replication receives, so results are bitwise identical.
+        #[test]
+        fn prop_runner_thread_count_invariant(n in 1usize..48, base in 0u64..u64::MAX) {
+            let one = run_replications(n, 1, base, |seed| seed);
+            let two = run_replications(n, 2, base, |seed| seed);
+            let eight = run_replications(n, 8, base, |seed| seed);
+            prop_assert_eq!(&one, &two);
+            prop_assert_eq!(&one, &eight);
+            for (i, s) in one.iter().enumerate() {
+                prop_assert_eq!(*s, replication_seed(base, i as u64));
+            }
+        }
     }
 
     #[test]

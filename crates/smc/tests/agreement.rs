@@ -1,0 +1,80 @@
+//! SMC-vs-exact agreement: the statistical estimates must cover the
+//! lumped exact CTMC at small `N` and converge to the mean-field curve as
+//! `N` grows (Armbruster's convergence argument).
+
+use mfcsl_core::mfcsl::MfFormula;
+use mfcsl_core::{meanfield, Occupancy};
+use mfcsl_csl::{Comparison, StateFormula};
+use mfcsl_models::virus;
+use mfcsl_ode::OdeOptions;
+use mfcsl_smc::{exact_expected_fraction, SmcOptions, SmcSession};
+
+const HORIZON: f64 = 1.0;
+
+fn infected() -> StateFormula {
+    StateFormula::Ap("infected".into())
+}
+
+/// The session's `ES` estimate of the infected fraction at time `t`
+/// (`steady_horizon` doubles as the read-out time).
+fn estimate_at_time(
+    model: &mfcsl_core::LocalModel,
+    m0: &Occupancy,
+    mut options: SmcOptions,
+    t: f64,
+) -> mfcsl_sim::estimator::Estimate {
+    options.steady_horizon = t;
+    let session = SmcSession::new(model, options).unwrap();
+    let psi = MfFormula::expect_steady(Comparison::Gt, 0.5, infected()).unwrap();
+    let v = session.check(&psi, m0).unwrap();
+    v.operators[0].estimate
+}
+
+#[test]
+fn smc_99pct_ci_covers_lumped_exact_at_n50_for_all_table2_settings() {
+    let m0 = virus::example_occupancy().unwrap();
+    for (name, params, law) in virus::table2_settings() {
+        let model = virus::model(params, law).unwrap();
+        let exact =
+            exact_expected_fraction(&model, 50, &m0, &infected(), HORIZON, 200_000).unwrap();
+        let mut o = SmcOptions::new(50);
+        o.replications = 400;
+        o.z = 2.5758; // 99% two-sided
+        o.seed = 2013;
+        o.threads = 4;
+        let est = estimate_at_time(&model, &m0, o, HORIZON);
+        assert!(
+            est.contains(exact),
+            "{name}: exact {exact} outside 99% CI {est:?}"
+        );
+    }
+}
+
+#[test]
+fn widening_population_approaches_the_meanfield_curve() {
+    // The growing-epidemic variant over a longer window has a visible
+    // O(1/N) finite-size gap, so the convergence ordering is not lost in
+    // Monte-Carlo noise.
+    let model = virus::model(virus::setting_1_swapped(), virus::InfectionLaw::SmartVirus).unwrap();
+    let m0 = virus::example_occupancy().unwrap();
+    let t = 5.0;
+    let traj = meanfield::solve(&model, &m0, t, &OdeOptions::default()).unwrap();
+    let sat = mfcsl_smc::sat_states(&model, &infected()).unwrap();
+    let mf = traj.occupancy_at(t).mass_of(&sat);
+
+    let mut errors = Vec::new();
+    for population in [100, 1_000, 10_000] {
+        let mut o = SmcOptions::new(population);
+        o.replications = 60;
+        o.seed = 7;
+        o.threads = 4;
+        let est = estimate_at_time(&model, &m0, o, t);
+        errors.push((est.mean - mf).abs());
+    }
+    assert!(
+        errors[0] > errors[1] && errors[1] > errors[2],
+        "|estimate - meanfield| must shrink with N: {errors:?} (meanfield {mf})"
+    );
+    // At N = 10^4 the finite-size gap is already small in absolute terms.
+    assert!(errors[2] < 5e-3, "{errors:?}");
+}

@@ -43,6 +43,17 @@
 #      shard daemons, serves verdicts bitwise equal to the offline CLI
 #      through the consistent-hash router, and drains both on shutdown.
 #
+# Two statistical-lane gates run before the benchmarks:
+#   * the committed conformance-vector suite (vectors/) is regenerated and
+#     byte-compared — mean-field curve digests and SMC estimate digests pin
+#     every solver and sampler bit;
+#   * a bounded fuzz smoke mutates the committed seed corpus (fuzz/corpus/)
+#     against the .mf parser and the daemon's JSON layer — structured
+#     errors always, panics never.
+# The daemon smoke additionally exercises `mfcsl simulate` and the wire
+# `"mode": "simulate"` end to end, asserting both lanes print identical
+# verdict lines and that replays are deterministic.
+#
 # Usage: scripts/verify.sh
 
 set -euo pipefail
@@ -74,6 +85,62 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q --workspace =="
 cargo test -q --workspace
 
+echo "== conformance vectors (regenerate + byte-compare) =="
+# The committed vectors/ suite pins every solver and sampler bit: a
+# refactor that changes a mean-field curve value or an SMC estimate by one
+# ULP regenerates differently and fails the byte comparison here.
+vec_out="$tmpdir/vectors"
+./target/release/mfcsl vectors vectors/spec.json --out "$vec_out" >/dev/null
+for f in "$vec_out"/*.json; do
+    name="$(basename "$f")"
+    cmp -s "vectors/$name" "$f" || {
+        echo "conformance vector $name drifted from the committed copy:"
+        diff "vectors/$name" "$f" || true
+        echo "(if the change is intentional, regenerate with:"
+        echo "   cargo run --release -p mfcsl-cli -- vectors vectors/spec.json --out vectors)"
+        exit 1
+    }
+done
+python3 - vectors "$vec_out" <<'EOF'
+import json, os, sys
+
+spec = json.load(open(os.path.join(sys.argv[1], "spec.json")))
+assert spec["schema"] == "mfcsl-vectors-spec-v1", spec["schema"]
+suite_names = [s["name"] for s in spec["suites"]]
+assert suite_names, "spec must define at least one suite"
+
+committed = sorted(
+    f for f in os.listdir(sys.argv[1]) if f.endswith(".json") and f != "spec.json")
+assert committed == sorted(n + ".json" for n in suite_names), (committed, suite_names)
+regenerated = sorted(f for f in os.listdir(sys.argv[2]) if f.endswith(".json"))
+assert regenerated == committed, (regenerated, committed)
+
+for name in committed:
+    doc = json.load(open(os.path.join(sys.argv[1], name)))
+    assert doc["schema"] == "mfcsl-vectors-v1", (name, doc["schema"])
+    assert doc["curve_fnv1a"].startswith("0x") and len(doc["curve_fnv1a"]) == 18, doc
+    assert doc["population"] >= 1 and doc["points"] >= 2 and doc["horizon"] > 0, doc
+    assert doc["entries"], (name, "entries must not be empty")
+    for e in doc["entries"]:
+        assert isinstance(e["meanfield"]["holds"], bool), e
+        sim = e["simulate"]
+        assert sim["replications"] >= 1, e
+        assert sim["estimates_fnv1a"].startswith("0x"), e
+        assert sim["estimates"], (name, e["formula"], "estimates must not be empty")
+        for est in sim["estimates"]:
+            assert est["lo"] <= est["mean"] <= est["hi"], (name, est)
+            assert est["n"] >= 1, (name, est)
+print(f"{len(committed)} conformance suites regenerate byte-identically; schema valid")
+EOF
+
+echo "== fuzz smoke (.mf parser + daemon JSON layer) =="
+# Bounded deterministic mutation runs over the committed seed corpus
+# (fuzz/corpus/): every mutant must produce a structured error or a valid
+# result, never a panic. MFCSL_FUZZ_ITERS bounds the budget so the smoke
+# stays fast; soak runs can raise it.
+MFCSL_FUZZ_ITERS=1024 cargo test -q --release -p mfcsl-modelfile --test fuzz_mf
+MFCSL_FUZZ_ITERS=512 cargo test -q --release -p mfcsl-serve --test fuzz_json
+
 echo "== bench_check smoke =="
 smoke_out="$tmpdir/bench_check_smoke.json"
 solver_out="$tmpdir/bench_solver_smoke.json"
@@ -93,7 +160,7 @@ assert report["smoke"] is True, report
 assert report["git_revision"], report
 assert report["threads_available"] >= 1, report
 names = [w["name"] for w in report["workloads"]]
-assert names == ["fig3", "table2", "scalability"], names
+assert names == ["fig3", "table2", "scalability", "sim"], names
 for w in report["workloads"]:
     threads = [r["threads"] for r in w["results"]]
     assert threads == [1, 2, 4, 8], (w["name"], threads)
@@ -274,6 +341,36 @@ grep -q "^mfcsld_session_cold_starts_total 1$" "$tmpdir/metrics.txt" || {
 grep -q "^mfcsld_session_warm_hits_total 22$" "$tmpdir/metrics.txt" || {
     echo "expected 22 warm hits:"; cat "$tmpdir/metrics.txt"; exit 1; }
 echo "second batch served warm (1 cold start, 22 warm hits)"
+
+# Statistical lane: the same daemon answers `"mode": "simulate"` requests
+# with finite-N interval verdicts, deterministically (two identical
+# requests, byte-identical output, counted in /metrics), and the offline
+# `mfcsl simulate` subcommand renders its verdict through the same
+# verdict_line as `mfcsl check`.
+"$mfcsl" simulate modelfiles/virus.mf --m0 "$m0" --population 100 \
+    --reps 60 --seed 11 "ES{>0.1}[ infected ]" > "$tmpdir/sim_offline.txt"
+grep -q "replications, N = 100, 95% CI" "$tmpdir/sim_offline.txt" || {
+    echo "mfcsl simulate printed no interval line:"; cat "$tmpdir/sim_offline.txt"; exit 1; }
+"$mfcsl" client "$addr" check virus --m0 "$m0" --simulate --population 100 \
+    --reps 60 --seed 11 "ES{>0.1}[ infected ]" > "$tmpdir/sim_served.1.txt"
+"$mfcsl" client "$addr" check virus --m0 "$m0" --simulate --population 100 \
+    --reps 60 --seed 11 "ES{>0.1}[ infected ]" > "$tmpdir/sim_served.2.txt"
+cmp -s "$tmpdir/sim_served.1.txt" "$tmpdir/sim_served.2.txt" || {
+    echo "simulate replay not deterministic:"
+    diff "$tmpdir/sim_served.1.txt" "$tmpdir/sim_served.2.txt" || true
+    exit 1
+}
+head -n 1 "$tmpdir/sim_offline.txt" | cmp -s - "$tmpdir/sim_served.1.txt" || {
+    echo "served simulate verdict differs from offline mfcsl simulate:"
+    diff <(head -n 1 "$tmpdir/sim_offline.txt") "$tmpdir/sim_served.1.txt" || true
+    exit 1
+}
+"$mfcsl" client "$addr" metrics > "$tmpdir/sim_metrics.txt"
+grep -q "^mfcsld_simulate_requests_total 2$" "$tmpdir/sim_metrics.txt" || {
+    echo "expected 2 simulate requests:"; cat "$tmpdir/sim_metrics.txt"; exit 1; }
+grep -q "^mfcsld_simulate_replications_total 120$" "$tmpdir/sim_metrics.txt" || {
+    echo "expected 120 simulate replications:"; cat "$tmpdir/sim_metrics.txt"; exit 1; }
+echo "simulate lane: offline and served verdicts agree; replay deterministic"
 
 # Drain-and-stop: the daemon must exit cleanly on its own.
 "$mfcsl" client "$addr" shutdown | grep -q draining
