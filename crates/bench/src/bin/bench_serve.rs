@@ -29,6 +29,15 @@
 //! the probe times the very first request of the second life: it must be
 //! warm, bitwise identical, and within 5x the first life's warm p50.
 //!
+//! **chaos** — a real `mfcsl serve --shards 2 --state-dir` process (the
+//! supervisor lives in the CLI, so this probe needs the actual binary);
+//! one shard is SIGKILLed under warm load and a closed loop hammers both
+//! keys until the supervisor revives it. Reported: the unavailability
+//! window, errors during it, the restart count, and whether the revived
+//! shard's first request was warm (restored from the eager write-behind
+//! snapshot — zero fresh solves) with bitwise-unchanged verdicts on the
+//! surviving shard throughout.
+//!
 //! Every workload asserts bitwise identity of responses against its
 //! reference. The report is stamped with the git revision and the
 //! machine's available parallelism; `--serve-baseline <path>` gates this
@@ -107,6 +116,28 @@ struct SnapshotRestart {
     bitwise_equal: bool,
 }
 
+struct ChaosProbe {
+    /// Closed-loop requests issued between the SIGKILL and the revived
+    /// shard's first success (both keys, alternating).
+    requests: usize,
+    /// Errors among them (all on the killed shard's key; the breaker turns
+    /// most into fast-fails).
+    errors: usize,
+    /// SIGKILL → first successful request on the killed shard's key.
+    unavailability_ms: u64,
+    /// `mfcsld_router_shard_restarts_total` after recovery.
+    restarts: u64,
+    /// The revived shard's first answer came from restored warm state.
+    revived_warm: bool,
+    /// Latency of that first post-restart request.
+    revived_first_request_us: u64,
+    /// Fresh mean-field solves on the revived shard after its first
+    /// request — must be 0 (everything restored from the eager snapshot).
+    revived_trajectory_solves: u64,
+    /// The surviving shard's verdicts stayed bitwise identical throughout.
+    survivor_bitwise_equal: bool,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -151,8 +182,9 @@ fn main() -> ExitCode {
 
     workloads.push(sharded_workload(&models_dir, fleet, shard_per_client));
     let restart = snapshot_restart_probe(&models_dir, probes);
+    let chaos = chaos_probe(&models_dir);
 
-    let json = render_json(&workloads, &restart, workers, smoke);
+    let json = render_json(&workloads, &restart, &chaos, workers, smoke);
     std::fs::write(&out_path, &json).expect("write benchmark report");
     println!("report written to {out_path}");
     for w in &workloads {
@@ -190,6 +222,18 @@ fn main() -> ExitCode {
         restart.within_5x_warm_p50,
         restart.warm,
         restart.bitwise_equal
+    );
+    println!(
+        "chaos requests={} errors={} unavailability={}ms restarts={} revived_warm={} \
+         revived_first_request={}us revived_trajectory_solves={} survivor_bitwise_equal={}",
+        chaos.requests,
+        chaos.errors,
+        chaos.unavailability_ms,
+        chaos.restarts,
+        chaos.revived_warm,
+        chaos.revived_first_request_us,
+        chaos.revived_trajectory_solves,
+        chaos.survivor_bitwise_equal
     );
 
     if let Some(path) = baseline_path {
@@ -443,6 +487,7 @@ fn sharded_workload(models_dir: &PathBuf, fleet: usize, per_client: usize) -> Se
     let router_addr = listener.local_addr().expect("router addr").to_string();
     let router: Arc<dyn RequestHandler> = Arc::new(Router::new(&RouterConfig {
         shards: shard_addrs.iter().map(|&addr| ShardSpec { addr }).collect(),
+        ..RouterConfig::default()
     }));
     let options = ReactorOptions {
         event_loops: 1,
@@ -603,11 +648,186 @@ fn snapshot_restart_probe(models_dir: &PathBuf, probes: usize) -> SnapshotRestar
     }
 }
 
+/// SIGKILL one shard of a real `mfcsl serve --shards 2` process under warm
+/// load and measure the supervisor's recovery. Needs the `mfcsl` binary
+/// (built by the same cargo profile, sibling of this executable) because
+/// the supervisor is CLI-layer machinery, not library code.
+fn chaos_probe(models_dir: &PathBuf) -> ChaosProbe {
+    let exe = std::env::current_exe().expect("own path");
+    let mfcsl = exe.with_file_name("mfcsl");
+    assert!(
+        mfcsl.is_file(),
+        "chaos probe needs the mfcsl binary at {} — build the workspace first \
+         (cargo build --release --workspace)",
+        mfcsl.display()
+    );
+    let dir = std::env::temp_dir().join(format!("mfcsld-bench-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut fleet = std::process::Command::new(&mfcsl)
+        .arg("serve")
+        .arg(models_dir)
+        .args(["--addr", "127.0.0.1:0", "--shards", "2", "--workers", "2"])
+        .arg("--state-dir")
+        .arg(&dir)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn shard fleet");
+    // Announce line: `mfcsld router listening on <addr> (2 shards: a, b;
+    // pids p0, p1; N models)`.
+    let announce = {
+        use std::io::BufRead as _;
+        let stdout = fleet.stdout.take().expect("fleet stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout).read_line(&mut line).expect("read announce");
+        line
+    };
+    let router_addr = announce
+        .strip_prefix("mfcsld router listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("bad announce line: {announce}"))
+        .to_string();
+    let pids: Vec<u32> = announce
+        .split("pids ")
+        .nth(1)
+        .and_then(|rest| rest.split(';').next())
+        .map(|list| list.split(',').filter_map(|p| p.trim().parse().ok()).collect())
+        .unwrap_or_default();
+    assert_eq!(pids.len(), 2, "announce must carry both shard pids: {announce}");
+
+    // One pinned key per shard (the hash is process-independent, so the
+    // client-side prediction matches the router's placement).
+    let request_for = |k2: f64| {
+        let mut req = virus_request();
+        req.params.insert("k2".to_string(), k2);
+        req
+    };
+    let mut per_shard_k2: [Option<f64>; 2] = [None, None];
+    for i in 0..256 {
+        let k2 = 0.7 + i as f64 * 0.01;
+        let mut params = std::collections::BTreeMap::new();
+        params.insert("k2".to_string(), k2);
+        let slot = route_for(&SessionKey::new("virus", &params, false, None), 2);
+        if per_shard_k2[slot].is_none() {
+            per_shard_k2[slot] = Some(k2);
+        }
+        if per_shard_k2.iter().all(Option::is_some) {
+            break;
+        }
+    }
+    let k2s = [per_shard_k2[0].expect("shard 0 key"), per_shard_k2[1].expect("shard 1 key")];
+    // Warm both shards; the write-behind snapshot is on disk once these
+    // return, which is exactly what the SIGKILL is about to test.
+    let references: Vec<_> = k2s
+        .iter()
+        .map(|&k2| client::post_check(&router_addr, &request_for(k2)).expect("warm-up"))
+        .collect();
+
+    let victim_pid = pids[0];
+    let killed_at = Instant::now();
+    let status = std::process::Command::new("kill")
+        .args(["-9", &victim_pid.to_string()])
+        .status()
+        .expect("send SIGKILL");
+    assert!(status.success(), "SIGKILL shard pid {victim_pid}");
+
+    // Closed loop over both keys until the killed shard's key serves again
+    // (bounded: the supervisor needs ~1 s of detect + backoff + respawn).
+    let mut requests = 0usize;
+    let mut errors = 0usize;
+    let mut survivor_bitwise_equal = true;
+    let mut revived: Option<(Duration, u64, bool)> = None;
+    while revived.is_none() {
+        assert!(
+            killed_at.elapsed() < Duration::from_secs(30),
+            "supervisor failed to revive the shard within 30 s \
+             ({requests} requests, {errors} errors)"
+        );
+        let t0 = Instant::now();
+        requests += 1;
+        match client::post_check(&router_addr, &request_for(k2s[0])) {
+            Ok(outcome) => {
+                revived = Some((
+                    killed_at.elapsed(),
+                    t0.elapsed().as_micros() as u64,
+                    outcome.warm && outcome.verdicts == references[0].verdicts,
+                ));
+            }
+            Err(_) => errors += 1,
+        }
+        requests += 1;
+        match client::post_check(&router_addr, &request_for(k2s[1])) {
+            Ok(outcome) => {
+                survivor_bitwise_equal &=
+                    outcome.warm && outcome.verdicts == references[1].verdicts;
+            }
+            Err(_) => survivor_bitwise_equal = false,
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let (unavailability, revived_first_request_us, revived_warm) =
+        revived.expect("loop exits revived");
+
+    // Restart counter from the aggregated metrics; the revived shard's own
+    // solve counter from a direct scrape (its address is in /v1/shards).
+    let metrics = client::get_text(&router_addr, "/metrics").expect("metrics");
+    let metric = |name: &str| -> f64 {
+        metrics
+            .lines()
+            .find_map(|line| {
+                let mut parts = line.split_whitespace();
+                (parts.next() == Some(name)).then(|| parts.next())?.and_then(|v| v.parse().ok())
+            })
+            .unwrap_or(0.0)
+    };
+    let restarts = metric("mfcsld_router_shard_restarts_total") as u64;
+    let shards_json = client::get_text(&router_addr, "/v1/shards").expect("shards");
+    let revived_addr = Json::parse(&shards_json)
+        .ok()
+        .and_then(|v| {
+            v.get("shards")?
+                .as_arr()?
+                .iter()
+                .find(|s| s.get("index").and_then(Json::as_f64) == Some(0.0))?
+                .get("addr")?
+                .as_str()
+                .map(str::to_string)
+        })
+        .expect("revived shard address");
+    let revived_metrics = client::get_text(&revived_addr, "/metrics").expect("revived metrics");
+    let revived_trajectory_solves = revived_metrics
+        .lines()
+        .find_map(|line| {
+            let mut parts = line.split_whitespace();
+            (parts.next() == Some("mfcsld_engine_trajectory_solves_total"))
+                .then(|| parts.next())?
+                .and_then(|v| v.parse::<f64>().ok())
+        })
+        .unwrap_or(f64::NAN) as u64;
+
+    client::shutdown(&router_addr).expect("fleet drains");
+    let _ = fleet.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ChaosProbe {
+        requests,
+        errors,
+        unavailability_ms: unavailability.as_millis() as u64,
+        restarts,
+        revived_warm,
+        revived_first_request_us,
+        revived_trajectory_solves,
+        survivor_bitwise_equal,
+    }
+}
+
 /// Hand-rolled JSON (the workspace's serde is an offline stub without a
 /// serializer).
 fn render_json(
     workloads: &[ServeWorkload],
     restart: &SnapshotRestart,
+    chaos: &ChaosProbe,
     workers: usize,
     smoke: bool,
 ) -> String {
@@ -666,6 +886,20 @@ fn render_json(
     let _ = writeln!(out, "    \"within_5x_warm_p50\": {},", restart.within_5x_warm_p50);
     let _ = writeln!(out, "    \"warm\": {},", restart.warm);
     let _ = writeln!(out, "    \"bitwise_equal\": {}", restart.bitwise_equal);
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"chaos\": {{");
+    let _ = writeln!(out, "    \"requests\": {},", chaos.requests);
+    let _ = writeln!(out, "    \"errors\": {},", chaos.errors);
+    let _ = writeln!(out, "    \"unavailability_ms\": {},", chaos.unavailability_ms);
+    let _ = writeln!(out, "    \"restarts\": {},", chaos.restarts);
+    let _ = writeln!(out, "    \"revived_warm\": {},", chaos.revived_warm);
+    let _ = writeln!(out, "    \"revived_first_request_us\": {},", chaos.revived_first_request_us);
+    let _ = writeln!(
+        out,
+        "    \"revived_trajectory_solves\": {},",
+        chaos.revived_trajectory_solves
+    );
+    let _ = writeln!(out, "    \"survivor_bitwise_equal\": {}", chaos.survivor_bitwise_equal);
     let _ = writeln!(out, "  }}");
     out.push_str("}\n");
     out

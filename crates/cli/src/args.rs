@@ -333,6 +333,10 @@ pub struct ClientCheckFlags {
     pub replications: Option<u64>,
     /// `--seed` (simulate mode): base seed of the replication family.
     pub seed: Option<u64>,
+    /// `--retry N`: bounded retries of 429/503 responses, honoring the
+    /// daemon's `Retry-After`. The default 0 keeps existing behavior (and
+    /// output) byte-identical: one attempt, errors surface immediately.
+    pub retry: usize,
     /// Positional formulas.
     pub formulas: Vec<String>,
 }
@@ -403,6 +407,12 @@ pub fn parse_client_check(rest: &[String]) -> Result<ClientCheckFlags, CliError>
                         .parse()
                         .map_err(|e| CliError(format!("bad --seed: {e}")))?,
                 );
+                i += 2;
+            }
+            "--retry" => {
+                flags.retry = flag_value(rest, i, "--retry")?
+                    .parse()
+                    .map_err(|e| CliError(format!("bad --retry: {e}")))?;
                 i += 2;
             }
             other if other.starts_with("--") => {

@@ -571,13 +571,227 @@ pub fn serve(flags: crate::args::ServeFlags) -> Result<String, CliError> {
     Ok("mfcsld stopped\n".into())
 }
 
+/// How often the supervisor sweeps the fleet (`try_wait` + liveness probe).
+const SUPERVISE_INTERVAL: std::time::Duration = std::time::Duration::from_millis(250);
+/// Budget for one supervisor `/healthz` probe (connect + write + read).
+const PROBE_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(500);
+/// Consecutive failed probes before a live-but-wedged shard is killed and
+/// restarted (a dead process restarts immediately; this is for hangs).
+const PROBE_FAILS_TO_RESTART: u32 = 3;
+/// Restart backoff: `BASE · 2^attempt` + deterministic jitter, capped.
+const BACKOFF_BASE_MS: u64 = 200;
+const BACKOFF_CAP_MS: u64 = 5_000;
+
+/// Deterministic restart jitter: an xorshift64 draw seeded from the shard
+/// index and attempt number, so N shards crashing together never thunder
+/// back in lockstep — and a given crash history always replays the same
+/// schedule (no wall-clock or RNG state in the supervisor).
+fn restart_jitter_ms(shard: usize, attempt: u32, span_ms: u64) -> u64 {
+    let mut x = (shard as u64 + 1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(attempt + 1).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x % (span_ms + 1)
+}
+
+/// Spawns worker shard `i` on an ephemeral port, parses its announce line,
+/// and hands its stdout to a background drain thread (a shard that logs —
+/// snapshot writes, stats — must never wedge on a full 64 KiB pipe because
+/// the router stopped reading after the announce).
+fn spawn_shard(
+    exe: &std::path::Path,
+    flags: &crate::args::ServeFlags,
+    i: usize,
+) -> Result<(std::process::Child, std::net::SocketAddr), CliError> {
+    use std::io::{BufRead as _, BufReader};
+    use std::process::{Command, Stdio};
+
+    let mut cmd = Command::new(exe);
+    cmd.arg("serve");
+    for path in &flags.paths {
+        cmd.arg(path);
+    }
+    cmd.arg("--addr").arg("127.0.0.1:0");
+    cmd.arg("--workers").arg(flags.workers.to_string());
+    cmd.arg("--queue").arg(flags.queue.to_string());
+    cmd.arg("--max-sessions").arg(flags.max_sessions.to_string());
+    cmd.arg("--loops").arg(flags.event_loops.to_string());
+    if flags.threads > 0 {
+        cmd.arg("--threads").arg(flags.threads.to_string());
+    }
+    if flags.allow_sleep {
+        cmd.arg("--allow-sleep");
+    }
+    if flags.allow_faults {
+        cmd.arg("--allow-faults");
+    }
+    if flags.blocking {
+        cmd.arg("--blocking");
+    }
+    if let Some(dir) = &flags.state_dir {
+        cmd.arg("--state-dir").arg(dir.join(format!("shard-{i}")));
+    }
+    cmd.stdout(Stdio::piped()).stderr(Stdio::inherit());
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| CliError(format!("cannot spawn shard {i}: {e}")))?;
+    let Some(stdout) = child.stdout.take() else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(CliError(format!("shard {i} has no stdout pipe")));
+    };
+    let mut reader = BufReader::new(stdout);
+    // The child announces `mfcsld listening on <addr> …` before its
+    // accept loop starts; parse the ephemeral port from that line.
+    let mut addr = None;
+    for _ in 0..64 {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {
+                if let Some(rest) = line.strip_prefix("mfcsld listening on ") {
+                    addr = rest
+                        .split_whitespace()
+                        .next()
+                        .and_then(|a| a.parse::<std::net::SocketAddr>().ok());
+                    break;
+                }
+            }
+        }
+    }
+    let Some(addr) = addr else {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(CliError(format!("shard {i} failed to announce its address")));
+    };
+    // Drain the rest of the child's stdout forever; the thread exits on
+    // the pipe's EOF when the child dies.
+    std::thread::spawn(move || {
+        let _ = std::io::copy(&mut reader, &mut std::io::sink());
+    });
+    Ok((child, addr))
+}
+
+/// The supervisor's monitor loop: sweep every [`SUPERVISE_INTERVAL`],
+/// detect dead (`try_wait`) or wedged (consecutive `/healthz` probe
+/// failures) shards, and restart them with exponential backoff. A restarted
+/// shard rebinds an ephemeral port, warm-restores from its own
+/// `shard-<i>` snapshot directory (same `--state-dir` subpath), and is
+/// swapped into the router via `replace_shard` — same slot, same keys.
+fn supervise_fleet(
+    exe: &std::path::Path,
+    flags: &crate::args::ServeFlags,
+    router: &mfcsl_serve::Router,
+    children: &std::sync::Mutex<Vec<std::process::Child>>,
+    shutdown: &std::sync::atomic::AtomicBool,
+) {
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    let n = flags.shards;
+    let mut probe_fails = vec![0u32; n];
+    // Restart attempt counter per shard: grows across a crash loop (the
+    // backoff exponent), resets only once a restarted shard answers a
+    // probe — a shard that dies instantly on every start backs off to the
+    // cap instead of being respawned hot.
+    let mut attempts = vec![0u32; n];
+    let sleep_checking_shutdown = |total: Duration| {
+        let mut left = total;
+        while left > Duration::ZERO && !shutdown.load(Ordering::SeqCst) {
+            let step = left.min(Duration::from_millis(50));
+            std::thread::sleep(step);
+            left -= step;
+        }
+    };
+    while !shutdown.load(Ordering::SeqCst) {
+        sleep_checking_shutdown(SUPERVISE_INTERVAL);
+        for i in 0..n {
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let exited = {
+                let mut kids = children
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                match kids.get_mut(i).map(std::process::Child::try_wait) {
+                    Some(Ok(Some(_))) => true,
+                    Some(Ok(None) | Err(_)) => false,
+                    None => continue,
+                }
+            };
+            let mut needs_restart = exited;
+            if !exited {
+                let healthy = router
+                    .shard_addr(i)
+                    .is_some_and(|addr| mfcsl_serve::probe_healthz(&addr, PROBE_TIMEOUT));
+                if healthy {
+                    probe_fails[i] = 0;
+                    attempts[i] = 0;
+                } else {
+                    probe_fails[i] += 1;
+                    router.note_probe_failure();
+                    if probe_fails[i] >= PROBE_FAILS_TO_RESTART {
+                        // Alive but wedged: kill it and fall through to
+                        // the restart path.
+                        let mut kids = children
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        if let Some(child) = kids.get_mut(i) {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                        needs_restart = true;
+                    }
+                }
+            }
+            if !needs_restart || shutdown.load(Ordering::SeqCst) {
+                continue;
+            }
+            probe_fails[i] = 0;
+            let exp = attempts[i].min(5);
+            let base = (BACKOFF_BASE_MS << exp).min(BACKOFF_CAP_MS);
+            let jitter = restart_jitter_ms(i, attempts[i], base / 2);
+            attempts[i] = attempts[i].saturating_add(1);
+            sleep_checking_shutdown(Duration::from_millis(
+                (base + jitter).min(BACKOFF_CAP_MS),
+            ));
+            if shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match spawn_shard(exe, flags, i) {
+                Ok((child, addr)) => {
+                    router.replace_shard(i, addr);
+                    let mut kids = children
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    if let Some(slot) = kids.get_mut(i) {
+                        *slot = child;
+                    }
+                    eprintln!(
+                        "mfcsld supervisor: restarted shard {i} on {addr} (attempt {})",
+                        attempts[i]
+                    );
+                }
+                Err(e) => {
+                    eprintln!("mfcsld supervisor: shard {i} restart failed: {e}");
+                }
+            }
+        }
+    }
+}
+
 /// `--shards N` mode: fork `N` worker daemons on ephemeral ports, then
 /// serve as their consistent-hash router on the requested address. Each
 /// shard gets its own `--state-dir` subdirectory (`shard-<i>`), so warm
-/// snapshots stay with the shard that owns the key.
+/// snapshots stay with the shard that owns the key. A supervisor thread
+/// restarts dead or wedged shards for the router's whole lifetime (see
+/// [`supervise_fleet`]).
 fn serve_router(flags: &crate::args::ServeFlags) -> Result<String, CliError> {
-    use std::io::{BufRead as _, BufReader, Write as _};
-    use std::process::{Child, Command, Stdio};
+    use std::io::Write as _;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, Mutex};
 
     // Validate the registry up front so a typo'd model path fails in one
     // process with one message, not N times from N children.
@@ -588,76 +802,25 @@ fn serve_router(flags: &crate::args::ServeFlags) -> Result<String, CliError> {
 
     let exe = std::env::current_exe()
         .map_err(|e| CliError(format!("cannot locate own executable: {e}")))?;
-    let mut children: Vec<(Child, BufReader<std::process::ChildStdout>)> = Vec::new();
+    let mut children: Vec<std::process::Child> = Vec::new();
     let mut shards = Vec::new();
-    let kill_all = |children: &mut Vec<(Child, BufReader<std::process::ChildStdout>)>| {
-        for (child, _) in children.iter_mut() {
+    let kill_all = |children: &mut Vec<std::process::Child>| {
+        for child in children.iter_mut() {
             let _ = child.kill();
             let _ = child.wait();
         }
     };
     for i in 0..flags.shards {
-        let mut cmd = Command::new(&exe);
-        cmd.arg("serve");
-        for path in &flags.paths {
-            cmd.arg(path);
-        }
-        cmd.arg("--addr").arg("127.0.0.1:0");
-        cmd.arg("--workers").arg(flags.workers.to_string());
-        cmd.arg("--queue").arg(flags.queue.to_string());
-        cmd.arg("--max-sessions").arg(flags.max_sessions.to_string());
-        cmd.arg("--loops").arg(flags.event_loops.to_string());
-        if flags.threads > 0 {
-            cmd.arg("--threads").arg(flags.threads.to_string());
-        }
-        if flags.allow_sleep {
-            cmd.arg("--allow-sleep");
-        }
-        if flags.allow_faults {
-            cmd.arg("--allow-faults");
-        }
-        if flags.blocking {
-            cmd.arg("--blocking");
-        }
-        if let Some(dir) = &flags.state_dir {
-            cmd.arg("--state-dir").arg(dir.join(format!("shard-{i}")));
-        }
-        cmd.stdout(Stdio::piped()).stderr(Stdio::inherit());
-        let mut child = cmd
-            .spawn()
-            .map_err(|e| CliError(format!("cannot spawn shard {i}: {e}")))?;
-        let Some(stdout) = child.stdout.take() else {
-            kill_all(&mut children);
-            let _ = child.kill();
-            return Err(CliError(format!("shard {i} has no stdout pipe")));
-        };
-        let mut reader = BufReader::new(stdout);
-        // The child announces `mfcsld listening on <addr> …` before its
-        // accept loop starts; parse the ephemeral port from that line.
-        let mut addr = None;
-        for _ in 0..64 {
-            let mut line = String::new();
-            match reader.read_line(&mut line) {
-                Ok(0) | Err(_) => break,
-                Ok(_) => {
-                    if let Some(rest) = line.strip_prefix("mfcsld listening on ") {
-                        addr = rest
-                            .split_whitespace()
-                            .next()
-                            .and_then(|a| a.parse::<std::net::SocketAddr>().ok());
-                        break;
-                    }
-                }
+        match spawn_shard(&exe, flags, i) {
+            Ok((child, addr)) => {
+                shards.push(mfcsl_serve::ShardSpec { addr });
+                children.push(child);
+            }
+            Err(e) => {
+                kill_all(&mut children);
+                return Err(e);
             }
         }
-        let Some(addr) = addr else {
-            kill_all(&mut children);
-            let _ = child.kill();
-            let _ = child.wait();
-            return Err(CliError(format!("shard {i} failed to announce its address")));
-        };
-        shards.push(mfcsl_serve::ShardSpec { addr });
-        children.push((child, reader));
     }
 
     let listener = match std::net::TcpListener::bind(&flags.addr) {
@@ -677,7 +840,7 @@ fn serve_router(flags: &crate::args::ServeFlags) -> Result<String, CliError> {
         .join(", ");
     let pid_list = children
         .iter()
-        .map(|(c, _)| c.id().to_string())
+        .map(|c| c.id().to_string())
         .collect::<Vec<_>>()
         .join(", ");
     println!(
@@ -686,25 +849,43 @@ fn serve_router(flags: &crate::args::ServeFlags) -> Result<String, CliError> {
     );
     std::io::stdout().flush().expect("flush stdout");
 
-    let router = std::sync::Arc::new(mfcsl_serve::Router::new(&mfcsl_serve::RouterConfig {
+    let router = Arc::new(mfcsl_serve::Router::new(&mfcsl_serve::RouterConfig {
         shards,
+        ..mfcsl_serve::RouterConfig::default()
     }));
+    let shutdown = Arc::new(AtomicBool::new(false));
     let options = mfcsl_serve::ReactorOptions {
         event_loops: flags.event_loops,
         workers: flags.workers,
         queue_capacity: flags.queue,
         max_body: 1 << 20,
         idle_timeout: std::time::Duration::from_secs(10),
-        metrics: std::sync::Arc::new(mfcsl_serve::metrics::ServerMetrics::new()),
-        shutdown: std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false)),
-        queue_depth: std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+        metrics: Arc::new(mfcsl_serve::metrics::ServerMetrics::new()),
+        shutdown: Arc::clone(&shutdown),
+        queue_depth: Arc::new(std::sync::atomic::AtomicUsize::new(0)),
     };
-    let run_result = mfcsl_serve::reactor::run(listener, router, options);
+    let children = Mutex::new(children);
+    // The supervisor borrows `flags` (respawns need the exact original
+    // configuration), so it lives in a scope rather than a detached thread.
+    let run_result = std::thread::scope(|scope| {
+        let supervisor = scope.spawn(|| {
+            supervise_fleet(&exe, flags, &router, &children, &shutdown);
+        });
+        let result = mfcsl_serve::reactor::run(listener, Arc::clone(&router) as _, options);
+        // The reactor sets the flag on a drain; set it again so the
+        // supervisor also exits when the reactor failed outright.
+        shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        let _ = supervisor.join();
+        result
+    });
 
     // The router's /shutdown already fanned the drain out to every shard;
     // give each child a grace window, then force-kill stragglers so the
     // router process can never hang on a wedged shard.
-    for (child, _) in &mut children {
+    let mut children = children
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for child in &mut children {
         let mut exited = false;
         for _ in 0..100 {
             match child.try_wait() {
@@ -754,8 +935,8 @@ pub fn client_check(
         replications: flags.replications,
         seed: flags.seed,
     };
-    let outcome =
-        mfcsl_serve::client::post_check(addr, &request).map_err(|e| CliError(e.to_string()))?;
+    let outcome = mfcsl_serve::client::post_check_with_retry(addr, &request, flags.retry)
+        .map_err(|e| CliError(e.to_string()))?;
     let mut out = String::new();
     for v in &outcome.verdicts {
         out.push_str(&verdict_line(

@@ -36,7 +36,7 @@ USAGE:
   mfcsl fixed-points <model.mf>
   mfcsl vectors <spec.json> --out <dir>
   mfcsl serve <model.mf | dir>... [--addr <host:port>] [--workers <N>] [--queue <N>] [--threads <N>] [--max-sessions <N>] [--loops <N>] [--blocking] [--state-dir <dir>] [--shards <N>]
-  mfcsl client <host:port> check <model> --m0 <fractions> [--fast] [--simulate] [--population <N>] [--reps <R>] [--seed <S>] [--timeout-ms <T>] [--param k=v]... \"<formula>\"...
+  mfcsl client <host:port> check <model> --m0 <fractions> [--fast] [--simulate] [--population <N>] [--reps <R>] [--seed <S>] [--timeout-ms <T>] [--retry <N>] [--param k=v]... \"<formula>\"...
   mfcsl client <host:port> health|metrics|models|shutdown
 
   <fractions> is comma-separated and must sum to 1, e.g. 0.8,0.15,0.05.

@@ -218,6 +218,46 @@ pub fn post_check(addr: &str, request: &CheckRequest) -> Result<CheckOutcome, Cl
     decode_check_response(&response)
 }
 
+/// Cap on one retry backoff sleep, whatever `Retry-After` asked for.
+const RETRY_SLEEP_CAP: Duration = Duration::from_secs(2);
+
+/// [`post_check`] with up to `retries` additional attempts on `429`
+/// (backpressure) and `503` (shard unavailable) answers — the two statuses
+/// that promise the same request may succeed shortly. The sleep between
+/// attempts honors the server's `Retry-After` when present, else backs off
+/// `100 ms · 2^attempt`, both capped at [`RETRY_SLEEP_CAP`]; the schedule
+/// is deterministic (no RNG, no wall-clock decisions) so scripted runs
+/// replay identically. Every other error — including transport errors,
+/// whose side effects on the server are unknown — surfaces immediately.
+///
+/// # Errors
+///
+/// The last attempt's error, in the same shapes as [`post_check`].
+pub fn post_check_with_retry(
+    addr: &str,
+    request: &CheckRequest,
+    retries: usize,
+) -> Result<CheckOutcome, ClientError> {
+    let mut attempt = 0usize;
+    loop {
+        match post_check(addr, request) {
+            Err(ClientError::Status {
+                status: 429 | 503,
+                retry_after,
+                ..
+            }) if attempt < retries => {
+                let backoff_ms = match retry_after {
+                    Some(secs) => secs.saturating_mul(1000),
+                    None => 100u64 << attempt.min(10),
+                };
+                std::thread::sleep(Duration::from_millis(backoff_ms).min(RETRY_SLEEP_CAP));
+                attempt += 1;
+            }
+            other => return other,
+        }
+    }
+}
+
 /// Decodes a `/v1/check` response (shared by the one-shot [`post_check`]
 /// and the keep-alive [`Client`], so both report identical errors).
 fn decode_check_response(response: &Response) -> Result<CheckOutcome, ClientError> {

@@ -110,9 +110,28 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
+impl HttpError {
+    /// Whether this error came from a socket read/write timeout
+    /// (`WouldBlock`/`TimedOut`) rather than a connect failure, reset, or
+    /// protocol violation. The router uses this to tell "the shard is slow
+    /// and my deadline ran out" (a `504`, breaker-neutral) apart from "the
+    /// shard is gone" (a `503` that counts toward the breaker).
+    #[must_use]
+    pub fn is_timeout(&self) -> bool {
+        self.0.starts_with("i/o timeout:")
+    }
+}
+
 impl From<std::io::Error> for HttpError {
     fn from(e: std::io::Error) -> Self {
-        HttpError(format!("i/o: {e}"))
+        // The marker prefix is what `is_timeout` keys on; the kind itself
+        // can't be carried without breaking the tuple-struct API.
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                HttpError(format!("i/o timeout: {e}"))
+            }
+            _ => HttpError(format!("i/o: {e}")),
+        }
     }
 }
 

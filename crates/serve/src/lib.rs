@@ -27,7 +27,7 @@ pub use client::{CheckOutcome, CheckRequest, Client, ClientError, WireVerdict};
 pub use json::{Json, JsonError};
 pub use reactor::{ReactorOptions, RequestHandler};
 pub use registry::ModelRegistry;
-pub use router::{Router, RouterConfig, ShardSpec};
+pub use router::{probe_healthz, route_for, Router, RouterConfig, ShardSpec};
 pub use server::{Server, ServerConfig, ServingCore};
 pub use snapshot::{SessionSnapshot, SnapshotEntry};
 pub use store::{SessionKey, SessionStore, SimKey, WarmSession};

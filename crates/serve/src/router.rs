@@ -11,16 +11,36 @@
 //! The router itself runs on the same epoll [`reactor`](crate::reactor)
 //! core as the daemon: it implements [`RequestHandler`], proxying request
 //! bodies over per-shard keep-alive connection pools. Shard backpressure
-//! (`429` + `Retry-After`) passes through untouched; a dead shard answers
-//! `503 shard_unavailable` with a `Retry-After` hint for its keys while the
-//! other shards keep serving theirs. `GET /metrics` aggregates every
-//! shard's counters by summing same-named lines, then appends router-level
-//! counters.
+//! (`429` + `Retry-After`) passes through untouched.
+//!
+//! Failure containment (three layers, all per shard):
+//!
+//! * **Hot-swappable slots.** Each shard lives behind an `RwLock`'d slot;
+//!   [`Router::replace_shard`] swaps a restarted shard's fresh address in
+//!   without disturbing the consistent hash (same index ⇒ same keys), so a
+//!   supervisor can revive a dead shard under live traffic.
+//! * **Circuit breaker.** [`BREAKER_THRESHOLD`] consecutive transport
+//!   failures open the breaker: requests fast-fail with a `503` and a
+//!   breaker-derived `Retry-After` instead of each paying the connect
+//!   timeout. After [`BREAKER_OPEN`] one half-open probe is let through;
+//!   success closes the breaker, failure re-opens it.
+//! * **Deadline propagation.** A check's `timeout_ms` (capped by
+//!   [`DEADLINE_CEILING`]) becomes the proxy read timeout, shrinking as
+//!   queue/connect time is spent; the remaining budget minus a margin is
+//!   forwarded to the shard, so the shard's structured `504` fires before
+//!   the router cuts the socket — a wedged shard can never pin a router
+//!   worker for the old flat 30 s.
+//!
+//! `GET /metrics` aggregates every shard's counters by summing same-named
+//! lines, then appends router-level counters (breaker states, restarts,
+//! probe failures, exhausted deadlines). Metrics scrapes probe shards on a
+//! side channel that bypasses the per-shard `routed`/`errors` counters, so
+//! scraping the fleet never skews the numbers operators read from it.
 
 use std::collections::BTreeMap;
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 use std::time::{Duration, Instant};
 
 use mfcsl_core::{FaultMode, FaultPlan};
@@ -35,9 +55,25 @@ use crate::store::SessionKey;
 /// declared unavailable for this request.
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
 
-/// Socket read timeout on proxied requests; a wedged shard must not pin a
-/// router worker forever.
-const PROXY_READ_TIMEOUT: Duration = Duration::from_secs(30);
+/// Router ceiling on a proxied request's time budget: the proxy read
+/// timeout when the request carries no `timeout_ms`, and the cap applied
+/// to one that does. A wedged shard must not pin a router worker forever.
+const DEADLINE_CEILING: Duration = Duration::from_secs(30);
+
+/// Budget margin shaved off the deadline forwarded to the shard, so the
+/// shard's own structured `504` fires before the router's read timeout
+/// cuts the connection.
+const SHARD_BUDGET_MARGIN_MS: f64 = 50.0;
+
+/// Consecutive transport failures that open a shard's circuit breaker.
+const BREAKER_THRESHOLD: u32 = 3;
+
+/// How long an open breaker fast-fails before letting one half-open probe
+/// through.
+const BREAKER_OPEN: Duration = Duration::from_secs(1);
+
+/// Read timeout on metrics-scrape probes (side channel, not proxied).
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Most idle keep-alive connections retained per shard.
 const POOL_CAP: usize = 32;
@@ -49,12 +85,30 @@ pub struct ShardSpec {
     pub addr: SocketAddr,
 }
 
-/// Router configuration: the shard fleet.
+/// Router configuration: the shard fleet plus failure-containment knobs.
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
     /// Worker shards, in index order (the consistent hash is taken modulo
     /// this list's length, so the order must match across restarts).
     pub shards: Vec<ShardSpec>,
+    /// Consecutive transport failures that open a shard's breaker.
+    pub breaker_threshold: u32,
+    /// Open window before a half-open probe is allowed through.
+    pub breaker_open: Duration,
+    /// Ceiling on a request's deadline budget (and the default proxy read
+    /// timeout for requests without one).
+    pub deadline_ceiling: Duration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            shards: Vec::new(),
+            breaker_threshold: BREAKER_THRESHOLD,
+            breaker_open: BREAKER_OPEN,
+            deadline_ceiling: DEADLINE_CEILING,
+        }
+    }
 }
 
 /// Which shard owns a session key: FNV-1a 64 of the canonical key bytes,
@@ -68,16 +122,136 @@ pub fn route_for(key: &SessionKey, n_shards: usize) -> usize {
     usize::try_from(fnv1a64(&key_bytes(key)) % n_shards as u64).unwrap_or(0)
 }
 
-/// Per-shard live state: address, keep-alive pool, counters.
+/// One cheap `/healthz` round-trip against a shard, with `timeout` bounding
+/// connect, write, and read. Used by the CLI supervisor's liveness probes
+/// (and by tests); never routes through the proxy counters.
+#[must_use]
+pub fn probe_healthz(addr: &SocketAddr, timeout: Duration) -> bool {
+    let probe = || -> Result<Response, crate::http::HttpError> {
+        let mut stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        crate::http::roundtrip(&mut stream, "GET", "/healthz", b"")
+    };
+    probe().is_ok_and(|r| r.status == 200)
+}
+
+/// Circuit-breaker states, rendered as-is in `/metrics`.
+const STATE_CLOSED: u8 = 0;
+const STATE_OPEN: u8 = 1;
+const STATE_HALF_OPEN: u8 = 2;
+
+/// Per-shard circuit breaker: closed → open after a run of consecutive
+/// transport failures, half-open (one probe) once the open window lapses.
+/// Time is carried as milliseconds on the router's monotonic clock so the
+/// state fits in lock-free atomics.
+#[derive(Debug)]
+struct Breaker {
+    state: AtomicU8,
+    failures: AtomicU32,
+    open_until_ms: AtomicU64,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            state: AtomicU8::new(STATE_CLOSED),
+            failures: AtomicU32::new(0),
+            open_until_ms: AtomicU64::new(0),
+        }
+    }
+
+    /// Admission check. `Ok(())` means the caller may attempt the shard;
+    /// `Err(retry_after_secs)` means fast-fail. At most one caller wins the
+    /// half-open probe slot per open window.
+    fn admit(&self, now_ms: u64) -> Result<(), u64> {
+        match self.state.load(Ordering::Acquire) {
+            STATE_OPEN => {
+                let until = self.open_until_ms.load(Ordering::Acquire);
+                if now_ms < until {
+                    return Err((until - now_ms).div_ceil(1000).max(1));
+                }
+                // Window lapsed: exactly one request becomes the probe.
+                if self
+                    .state
+                    .compare_exchange(
+                        STATE_OPEN,
+                        STATE_HALF_OPEN,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    Ok(())
+                } else {
+                    Err(1)
+                }
+            }
+            STATE_HALF_OPEN => Err(1), // a probe is already in flight
+            _ => Ok(()),
+        }
+    }
+
+    /// A successful round-trip closes the breaker and clears the streak.
+    fn record_success(&self) {
+        self.failures.store(0, Ordering::Release);
+        self.state.store(STATE_CLOSED, Ordering::Release);
+    }
+
+    /// One transport failure. A failed half-open probe re-opens
+    /// immediately; a closed breaker opens once the streak reaches
+    /// `threshold`. Returns whether the breaker is now open.
+    fn record_failure(&self, now_ms: u64, threshold: u32, open_ms: u64) -> bool {
+        let was = self.state.load(Ordering::Acquire);
+        let streak = self.failures.fetch_add(1, Ordering::AcqRel) + 1;
+        if was == STATE_HALF_OPEN || streak >= threshold {
+            self.open_until_ms
+                .store(now_ms + open_ms, Ordering::Release);
+            self.state.store(STATE_OPEN, Ordering::Release);
+            return true;
+        }
+        false
+    }
+
+    /// Releases a half-open probe slot without a verdict (the caller bailed
+    /// before attempting, e.g. its deadline was exhausted). The window has
+    /// already lapsed, so the next admission becomes the probe.
+    fn abort_probe(&self) {
+        let _ = self.state.compare_exchange(
+            STATE_HALF_OPEN,
+            STATE_OPEN,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+}
+
+/// Per-shard live state: address, keep-alive pool, counters, breaker.
+#[derive(Debug)]
 struct Shard {
     addr: SocketAddr,
     /// Idle keep-alive connections to this shard.
     pool: Mutex<Vec<TcpStream>>,
     routed: AtomicU64,
     errors: AtomicU64,
+    breaker: Breaker,
 }
 
 impl Shard {
+    fn new(addr: SocketAddr, routed: u64, errors: u64) -> Shard {
+        Shard {
+            addr,
+            pool: Mutex::new(Vec::new()),
+            routed: AtomicU64::new(routed),
+            errors: AtomicU64::new(errors),
+            breaker: Breaker::new(),
+        }
+    }
+
     fn lock_pool(&self) -> std::sync::MutexGuard<'_, Vec<TcpStream>> {
         self.pool.lock().unwrap_or_else(PoisonError::into_inner)
     }
@@ -93,72 +267,233 @@ impl Shard {
         }
     }
 
-    fn connect(&self) -> std::io::Result<TcpStream> {
-        let stream = TcpStream::connect_timeout(&self.addr, CONNECT_TIMEOUT)?;
-        stream.set_read_timeout(Some(PROXY_READ_TIMEOUT))?;
+    fn connect(&self, read_timeout: Duration) -> std::io::Result<TcpStream> {
+        let connect_timeout = CONNECT_TIMEOUT.min(read_timeout.max(Duration::from_millis(1)));
+        let stream = TcpStream::connect_timeout(&self.addr, connect_timeout)?;
+        stream.set_read_timeout(Some(read_timeout.max(Duration::from_millis(1))))?;
         stream.set_nodelay(true)?;
         Ok(stream)
     }
 }
 
+/// A check request's deadline context, derived once in `handle` and carried
+/// through the proxy attempts (the remaining budget shrinks as connect and
+/// queue time is spent).
+struct CheckDeadline<'a> {
+    deadline: Instant,
+    /// The parsed request body, when it parsed and its `timeout_ms` (if
+    /// any) was valid — the shard-side budget is spliced into a re-render
+    /// of this. Invalid bodies are forwarded untouched so the shard's own
+    /// `400` shapes stay byte-identical to a single-daemon deployment.
+    body: Option<&'a Json>,
+}
+
 /// The shard-routing request handler. Runs on the epoll reactor exactly
-/// like the daemon's own dispatcher.
+/// like the daemon's own dispatcher. Shard slots are hot-swappable (see
+/// [`Router::replace_shard`]); the slot count — and therefore the
+/// consistent-hash mapping — is fixed for the router's lifetime.
 pub struct Router {
-    shards: Vec<Shard>,
+    shards: Vec<RwLock<Arc<Shard>>>,
     requests: AtomicU64,
+    restarts: AtomicU64,
+    probe_failures: AtomicU64,
+    deadline_exhausted: AtomicU64,
+    breaker_threshold: u32,
+    breaker_open_ms: u64,
+    deadline_ceiling: Duration,
+    /// Epoch of the router's monotonic breaker clock.
+    started: Instant,
 }
 
 impl Router {
-    /// Builds a router over a fixed shard fleet.
+    /// Builds a router over a shard fleet.
     #[must_use]
     pub fn new(config: &RouterConfig) -> Router {
         Router {
             shards: config
                 .shards
                 .iter()
-                .map(|spec| Shard {
-                    addr: spec.addr,
-                    pool: Mutex::new(Vec::new()),
-                    routed: AtomicU64::new(0),
-                    errors: AtomicU64::new(0),
-                })
+                .map(|spec| RwLock::new(Arc::new(Shard::new(spec.addr, 0, 0))))
                 .collect(),
             requests: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            probe_failures: AtomicU64::new(0),
+            deadline_exhausted: AtomicU64::new(0),
+            breaker_threshold: config.breaker_threshold.max(1),
+            breaker_open_ms: config.breaker_open.as_millis().try_into().unwrap_or(1000),
+            deadline_ceiling: config.deadline_ceiling,
+            started: Instant::now(),
         }
     }
 
-    /// Proxies one request to `shard`, reusing a pooled keep-alive
-    /// connection when one exists and reconnecting once on transport
-    /// failure (the pooled socket may have been closed by the shard's idle
-    /// sweep between requests).
-    fn proxy(&self, shard_id: usize, request: &Request) -> Outcome {
-        let shard = &self.shards[shard_id];
+    /// The number of shard slots (fixed for the router's lifetime).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The current address of shard `index`, if the slot exists.
+    #[must_use]
+    pub fn shard_addr(&self, index: usize) -> Option<SocketAddr> {
+        self.slot(index).map(|shard| shard.addr)
+    }
+
+    /// Swaps a restarted shard into slot `index`: same index, same keys
+    /// (the consistent hash never sees the swap), fresh connection pool,
+    /// breaker reset to closed. The slot's cumulative `routed`/`errors`
+    /// counters carry over so `/metrics` stays monotonic. Returns `false`
+    /// when `index` is out of range.
+    pub fn replace_shard(&self, index: usize, addr: SocketAddr) -> bool {
+        let Some(slot) = self.shards.get(index) else {
+            return false;
+        };
+        let mut slot = slot.write().unwrap_or_else(PoisonError::into_inner);
+        let routed = slot.routed.load(Ordering::Relaxed);
+        let errors = slot.errors.load(Ordering::Relaxed);
+        *slot = Arc::new(Shard::new(addr, routed, errors));
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Records one failed supervisor liveness probe (shown in `/metrics`).
+    pub fn note_probe_failure(&self) {
+        self.probe_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn slot(&self, index: usize) -> Option<Arc<Shard>> {
+        self.shards.get(index).map(|slot| {
+            Arc::clone(&slot.read().unwrap_or_else(PoisonError::into_inner))
+        })
+    }
+
+    /// Milliseconds on the router's monotonic breaker clock.
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis().try_into().unwrap_or(u64::MAX)
+    }
+
+    fn deadline_exhausted_outcome(&self) -> Outcome {
+        self.deadline_exhausted.fetch_add(1, Ordering::Relaxed);
+        error_outcome(504, "deadline_exceeded", "deadline exceeded")
+    }
+
+    fn breaker_open_outcome(shard_id: usize, addr: SocketAddr, retry_secs: u64) -> Outcome {
+        let mut outcome = error_outcome(
+            503,
+            "shard_unavailable",
+            &format!("shard {shard_id} ({addr}) is unavailable (breaker open)"),
+        );
+        outcome
+            .extra_headers
+            .push(("Retry-After", retry_secs.max(1).to_string()));
+        outcome
+    }
+
+    /// Proxies one request to `shard_id`, reusing a pooled keep-alive
+    /// connection when one exists and reconnecting on transport failure
+    /// (the pooled socket may have been closed by the shard's idle sweep
+    /// between requests; a stale pooled socket never counts against the
+    /// breaker). Proxied requests are idempotent — checks are pure
+    /// functions of their body — so one bounded retry on a second fresh
+    /// connection is taken before giving up.
+    fn proxy(
+        &self,
+        shard_id: usize,
+        request: &Request,
+        check: Option<&CheckDeadline<'_>>,
+    ) -> Outcome {
+        let Some(shard) = self.slot(shard_id) else {
+            return error_outcome(503, "shard_unavailable", "router has no shards");
+        };
         shard.routed.fetch_add(1, Ordering::Relaxed);
-        let pooled = shard.checkout();
-        let retry_fresh = pooled.is_some();
-        let response = match pooled {
-            Some(mut stream) => {
-                match roundtrip_with(&mut stream, &request.method, &request.path, &request.body, false)
-                {
-                    Ok(response) => Some((stream, response)),
-                    Err(_) => None,
+
+        let remaining = |check: Option<&CheckDeadline<'_>>| -> Option<Duration> {
+            match check {
+                None => Some(self.deadline_ceiling),
+                Some(c) => {
+                    let left = c.deadline.saturating_duration_since(Instant::now());
+                    (left > Duration::ZERO).then_some(left)
                 }
             }
-            None => None,
         };
-        let (stream, response) = match response {
-            Some(pair) => pair,
-            None => {
-                // Fresh connection (first use, or the pooled one went stale).
-                let _ = retry_fresh; // stale pools and cold pools retry the same way
-                let attempt = shard.connect().map_err(|e| e.to_string()).and_then(|mut s| {
-                    roundtrip_with(&mut s, &request.method, &request.path, &request.body, false)
-                        .map(|r| (s, r))
-                        .map_err(|e| e.to_string())
-                });
-                match attempt {
-                    Ok(pair) => pair,
-                    Err(_) => {
+        let Some(mut budget) = remaining(check) else {
+            return self.deadline_exhausted_outcome();
+        };
+
+        // Breaker admission: an open breaker fast-fails instead of paying
+        // the connect timeout per request.
+        if let Err(retry_secs) = shard.breaker.admit(self.now_ms()) {
+            shard.errors.fetch_add(1, Ordering::Relaxed);
+            return Self::breaker_open_outcome(shard_id, shard.addr, retry_secs);
+        }
+
+        // The body actually sent: for checks with a parseable body, the
+        // remaining budget (minus a margin) is spliced in as the shard's
+        // `timeout_ms`, so the shard's 504 fires before the router's read
+        // timeout does.
+        let forwarded = |budget: Duration| -> Vec<u8> {
+            match check.and_then(|c| c.body) {
+                Some(parsed) => with_shard_budget(parsed, budget),
+                None => request.body.clone(),
+            }
+        };
+
+        // Pooled attempt first. Stale pooled sockets are expected (idle
+        // sweeps); their failures don't count toward the breaker.
+        if let Some(mut stream) = shard.checkout() {
+            let _ = stream.set_read_timeout(Some(budget.max(Duration::from_millis(1))));
+            if let Ok(response) =
+                roundtrip_with(&mut stream, &request.method, &request.path, &forwarded(budget), false)
+            {
+                shard.breaker.record_success();
+                return self.finish(&shard, stream, &response);
+            }
+        }
+
+        // Fresh attempts: one, plus one bounded retry on a second fresh
+        // connection (requests through here are idempotent).
+        for attempt in 0..2u32 {
+            budget = match remaining(check) {
+                Some(left) => left,
+                None => {
+                    shard.breaker.abort_probe();
+                    return self.deadline_exhausted_outcome();
+                }
+            };
+            // `Err(true)` marks a read-phase timeout (the shard accepted
+            // but answered too slowly); everything else — connect errors
+            // including connect timeouts, resets, EOF — is `Err(false)`,
+            // a transport failure that counts toward the breaker.
+            let result = match shard.connect(budget) {
+                Err(_) => Err(false),
+                Ok(mut stream) => roundtrip_with(
+                    &mut stream,
+                    &request.method,
+                    &request.path,
+                    &forwarded(budget),
+                    false,
+                )
+                .map(|response| (stream, response))
+                .map_err(|e| e.is_timeout()),
+            };
+            match result {
+                Ok((stream, response)) => {
+                    shard.breaker.record_success();
+                    return self.finish(&shard, stream, &response);
+                }
+                Err(true) if check.is_some() => {
+                    // The request's own budget ran out mid-read; the shard
+                    // may be healthy, so the breaker stays untouched.
+                    shard.breaker.abort_probe();
+                    shard.errors.fetch_add(1, Ordering::Relaxed);
+                    return self.deadline_exhausted_outcome();
+                }
+                Err(_) => {
+                    let opened = shard.breaker.record_failure(
+                        self.now_ms(),
+                        self.breaker_threshold,
+                        self.breaker_open_ms,
+                    );
+                    if opened || attempt == 1 {
                         shard.errors.fetch_add(1, Ordering::Relaxed);
                         let mut outcome = error_outcome(
                             503,
@@ -170,14 +505,32 @@ impl Router {
                     }
                 }
             }
-        };
+        }
+        // Unreachable: the loop always returns on attempt == 1.
+        error_outcome(503, "shard_unavailable", "shard is unavailable")
+    }
+
+    /// Returns the proxied response, pooling the connection when the shard
+    /// kept it open.
+    fn finish(&self, shard: &Shard, stream: TcpStream, response: &Response) -> Outcome {
         let keep = response
             .header("connection")
             .is_none_or(|v| !v.eq_ignore_ascii_case("close"));
         if keep {
+            // Restore the pool-wide read timeout: the next checkout resets
+            // it to its own budget anyway, but a sane default costs nothing.
+            let _ = stream.set_read_timeout(Some(self.deadline_ceiling));
             shard.checkin(stream);
         }
-        outcome_of(&response)
+        outcome_of(response)
+    }
+
+    /// One metrics scrape of a shard over a fresh close-mode connection —
+    /// a side channel that bypasses `proxy()` so scraping the fleet never
+    /// inflates the per-shard `routed`/`errors` counters.
+    fn scrape(shard: &Shard) -> Option<Response> {
+        let mut stream = shard.connect(SCRAPE_TIMEOUT).ok()?;
+        crate::http::roundtrip(&mut stream, "GET", "/metrics", b"").ok()
     }
 
     /// Aggregated `/metrics`: sum same-named counter lines across every
@@ -186,19 +539,26 @@ impl Router {
         let mut names: Vec<String> = Vec::new();
         let mut sums: BTreeMap<String, f64> = BTreeMap::new();
         let mut unreachable = 0u64;
-        let probe = Request {
-            method: "GET".into(),
-            path: "/metrics".into(),
-            headers: Vec::new(),
-            body: Vec::new(),
-        };
-        for (i, _) in self.shards.iter().enumerate() {
-            let outcome = self.proxy(i, &probe);
-            if outcome.status != 200 {
+        let mut breaker_states: Vec<u8> = Vec::with_capacity(self.shards.len());
+        let mut per_shard: Vec<(u64, u64)> = Vec::with_capacity(self.shards.len());
+        for i in 0..self.shards.len() {
+            let Some(shard) = self.slot(i) else {
+                continue;
+            };
+            breaker_states.push(shard.breaker.state());
+            per_shard.push((
+                shard.routed.load(Ordering::Relaxed),
+                shard.errors.load(Ordering::Relaxed),
+            ));
+            let Some(response) = Self::scrape(&shard) else {
+                unreachable += 1;
+                continue;
+            };
+            if response.status != 200 {
                 unreachable += 1;
                 continue;
             }
-            for line in String::from_utf8_lossy(&outcome.body).lines() {
+            for line in String::from_utf8_lossy(&response.body).lines() {
                 let mut parts = line.split_whitespace();
                 let (Some(name), Some(value)) = (parts.next(), parts.next()) else {
                     continue;
@@ -223,25 +583,36 @@ impl Router {
             "mfcsld_router_requests_total {}\n",
             self.requests.load(Ordering::Relaxed)
         ));
-        for (i, shard) in self.shards.iter().enumerate() {
+        body.push_str(&format!(
+            "mfcsld_router_shard_restarts_total {}\n",
+            self.restarts.load(Ordering::Relaxed)
+        ));
+        body.push_str(&format!(
+            "mfcsld_router_probe_failures_total {}\n",
+            self.probe_failures.load(Ordering::Relaxed)
+        ));
+        body.push_str(&format!(
+            "mfcsld_router_deadline_exhausted_total {}\n",
+            self.deadline_exhausted.load(Ordering::Relaxed)
+        ));
+        for (i, state) in breaker_states.iter().enumerate() {
             body.push_str(&format!(
-                "mfcsld_router_shard{i}_routed_total {}\n",
-                shard.routed.load(Ordering::Relaxed)
+                "mfcsld_router_breaker_state{{shard=\"{i}\"}} {state}\n"
             ));
-            body.push_str(&format!(
-                "mfcsld_router_shard{i}_errors_total {}\n",
-                shard.errors.load(Ordering::Relaxed)
-            ));
+        }
+        for (i, (routed, errors)) in per_shard.iter().enumerate() {
+            body.push_str(&format!("mfcsld_router_shard{i}_routed_total {routed}\n"));
+            body.push_str(&format!("mfcsld_router_shard{i}_errors_total {errors}\n"));
         }
         Outcome::new(200, "text/plain", body.into_bytes())
     }
 
-    /// `GET /v1/shards`: the fleet as JSON, with per-shard route counts.
+    /// `GET /v1/shards`: the fleet as JSON, with per-shard route counts and
+    /// breaker states.
     fn shards_response(&self) -> Outcome {
         let shards = Json::Arr(
-            self.shards
-                .iter()
-                .enumerate()
+            (0..self.shards.len())
+                .filter_map(|i| self.slot(i).map(|shard| (i, shard)))
                 .map(|(i, shard)| {
                     Json::Obj(vec![
                         ("index".into(), Json::Num(i as f64)),
@@ -254,11 +625,22 @@ impl Router {
                             "errors".into(),
                             Json::Num(shard.errors.load(Ordering::Relaxed) as f64),
                         ),
+                        (
+                            "breaker".into(),
+                            Json::Num(f64::from(shard.breaker.state())),
+                        ),
                     ])
                 })
                 .collect(),
         );
-        let body = Json::Obj(vec![("shards".into(), shards)]).render();
+        let body = Json::Obj(vec![
+            ("shards".into(), shards),
+            (
+                "restarts".into(),
+                Json::Num(self.restarts.load(Ordering::Relaxed) as f64),
+            ),
+        ])
+        .render();
         Outcome::new(200, "application/json", body.into_bytes())
     }
 
@@ -266,10 +648,13 @@ impl Router {
     /// then drain the router itself.
     fn shutdown_all(&self) -> Outcome {
         let mut stopped = 0u64;
-        for shard in &self.shards {
+        for i in 0..self.shards.len() {
+            let Some(shard) = self.slot(i) else {
+                continue;
+            };
             // Fresh close-mode connection: pooled keep-alive sockets would
             // be poisoned by the shard draining mid-stream anyway.
-            let ok = shard.connect().ok().and_then(|mut s| {
+            let ok = shard.connect(self.deadline_ceiling).ok().and_then(|mut s| {
                 crate::http::roundtrip(&mut s, "POST", "/shutdown", b"").ok()
             });
             if ok.is_some_and(|r| r.status == 200) {
@@ -289,7 +674,7 @@ impl Router {
 }
 
 impl RequestHandler for Router {
-    fn handle(&self, request: &Request, _enqueued_at: Instant) -> Outcome {
+    fn handle(&self, request: &Request, enqueued_at: Instant) -> Outcome {
         self.requests.fetch_add(1, Ordering::Relaxed);
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => Outcome::new(200, "text/plain", b"ok\n".to_vec()),
@@ -297,10 +682,29 @@ impl RequestHandler for Router {
             ("GET", "/v1/shards") => self.shards_response(),
             ("POST", "/shutdown") => self.shutdown_all(),
             // The registry is identical across shards; any one can answer.
-            ("GET", "/v1/models") => self.proxy(0, request),
-            ("POST", "/v1/check" | "/v1/prewarm") => {
-                let key = session_key_of(&request.body, request.path == "/v1/prewarm");
-                self.proxy(route_for(&key, self.shards.len()), request)
+            ("GET", "/v1/models") => self.proxy(0, request, None),
+            ("POST", "/v1/check") => {
+                let parsed = std::str::from_utf8(&request.body)
+                    .ok()
+                    .and_then(|text| Json::parse(text).ok());
+                let key = session_key_of_parsed(parsed.as_ref(), false);
+                let shard_id = route_for(&key, self.shards.len());
+                // An invalid timeout_ms must reach the shard untouched so
+                // its 400 stays byte-identical to a single daemon's.
+                match request_budget(parsed.as_ref(), self.deadline_ceiling) {
+                    Err(()) => self.proxy(shard_id, request, None),
+                    Ok(budget) => {
+                        let check = CheckDeadline {
+                            deadline: enqueued_at + budget,
+                            body: parsed.as_ref(),
+                        };
+                        self.proxy(shard_id, request, Some(&check))
+                    }
+                }
+            }
+            ("POST", "/v1/prewarm") => {
+                let key = session_key_of(&request.body, true);
+                self.proxy(route_for(&key, self.shards.len()), request, None)
             }
             _ => error_outcome(
                 404,
@@ -309,6 +713,43 @@ impl RequestHandler for Router {
             ),
         }
     }
+}
+
+/// The request's deadline budget: its `timeout_ms` capped by the router
+/// ceiling, or the ceiling itself when absent. `Err(())` marks an invalid
+/// `timeout_ms` (negative, non-finite, non-numeric) — the body must be
+/// forwarded verbatim for the shard's own `400`.
+fn request_budget(parsed: Option<&Json>, ceiling: Duration) -> Result<Duration, ()> {
+    let Some(parsed) = parsed else {
+        return Ok(ceiling);
+    };
+    match parsed.get("timeout_ms") {
+        None => Ok(ceiling),
+        Some(v) => match v.as_f64() {
+            Some(ms) if ms.is_finite() && ms >= 0.0 => {
+                Ok(Duration::from_secs_f64(ms.min(ceiling.as_secs_f64() * 1e3) / 1e3))
+            }
+            _ => Err(()),
+        },
+    }
+}
+
+/// Re-renders a check body with the remaining budget (minus the shard
+/// margin) spliced in as `timeout_ms`, so the shard's deadline — measured
+/// from its own admission — fires before the router's read timeout. The
+/// JSON layer's shortest-roundtrip number rendering keeps every other
+/// field value-identical. Non-object bodies are forwarded verbatim.
+fn with_shard_budget(parsed: &Json, budget: Duration) -> Vec<u8> {
+    let Json::Obj(fields) = parsed else {
+        return parsed.render().into_bytes();
+    };
+    let shard_ms = (budget.as_secs_f64() * 1e3 - SHARD_BUDGET_MARGIN_MS).max(1.0);
+    let mut fields = fields.clone();
+    match fields.iter_mut().find(|(name, _)| name == "timeout_ms") {
+        Some((_, value)) => *value = Json::Num(shard_ms),
+        None => fields.push(("timeout_ms".to_string(), Json::Num(shard_ms))),
+    }
+    Json::Obj(fields).render().into_bytes()
 }
 
 /// Extracts the routing key from a request body, mirroring the daemon's own
@@ -320,6 +761,12 @@ fn session_key_of(body: &[u8], is_prewarm: bool) -> SessionKey {
     let parsed = std::str::from_utf8(body)
         .ok()
         .and_then(|text| Json::parse(text).ok());
+    session_key_of_parsed(parsed.as_ref(), is_prewarm)
+}
+
+/// [`session_key_of`] over an already-parsed body (the check path parses
+/// once for both routing and deadline extraction).
+fn session_key_of_parsed(parsed: Option<&Json>, is_prewarm: bool) -> SessionKey {
     let Some(parsed) = parsed else {
         return SessionKey::new("", &BTreeMap::new(), false, None);
     };
@@ -430,5 +877,113 @@ mod tests {
         // Garbage routes somewhere stable instead of crashing.
         let key = session_key_of(b"\xff\xfe not json", false);
         assert_eq!(key.model, "");
+    }
+
+    #[test]
+    fn breaker_state_machine_closed_open_half_open() {
+        let b = Breaker::new();
+        assert_eq!(b.state(), STATE_CLOSED);
+        assert!(b.admit(0).is_ok());
+        // Two failures stay closed at threshold 3; the third opens.
+        assert!(!b.record_failure(0, 3, 1000));
+        assert!(!b.record_failure(0, 3, 1000));
+        assert!(b.record_failure(0, 3, 1000));
+        assert_eq!(b.state(), STATE_OPEN);
+        // Open: fast-fail with a Retry-After derived from the window.
+        let retry = b.admit(0).unwrap_err();
+        assert_eq!(retry, 1, "1000 ms of window left rounds to 1 s");
+        // Window lapsed: exactly one admission wins the half-open probe.
+        assert!(b.admit(1000).is_ok());
+        assert_eq!(b.state(), STATE_HALF_OPEN);
+        assert!(b.admit(1000).is_err(), "second probe must fast-fail");
+        // A failed probe re-opens immediately, streak notwithstanding.
+        assert!(b.record_failure(1000, 3, 1000));
+        assert_eq!(b.state(), STATE_OPEN);
+        // A successful probe closes and clears the streak.
+        assert!(b.admit(2000).is_ok());
+        b.record_success();
+        assert_eq!(b.state(), STATE_CLOSED);
+        assert!(!b.record_failure(2000, 3, 1000), "streak must restart after success");
+        // An aborted probe releases the slot back to open.
+        let b = Breaker::new();
+        assert!(b.record_failure(0, 1, 100));
+        assert!(b.admit(100).is_ok());
+        b.abort_probe();
+        assert_eq!(b.state(), STATE_OPEN);
+        assert!(b.admit(100).is_ok(), "the next admission becomes the probe");
+    }
+
+    #[test]
+    fn replace_shard_keeps_index_mapping_and_carries_counters() {
+        let addr_a: SocketAddr = "127.0.0.1:19001".parse().unwrap();
+        let addr_b: SocketAddr = "127.0.0.1:19002".parse().unwrap();
+        let addr_c: SocketAddr = "127.0.0.1:19003".parse().unwrap();
+        let router = Router::new(&RouterConfig {
+            shards: vec![ShardSpec { addr: addr_a }, ShardSpec { addr: addr_b }],
+            ..RouterConfig::default()
+        });
+        // route_for depends only on (key, count): the swap must not move keys.
+        let key = SessionKey::new("virus", &BTreeMap::new(), false, None);
+        let before = route_for(&key, router.shard_count());
+        let shard0 = router.slot(0).unwrap();
+        shard0.routed.store(7, Ordering::Relaxed);
+        shard0.errors.store(2, Ordering::Relaxed);
+        shard0.breaker.record_failure(0, 1, 60_000);
+        assert!(router.replace_shard(0, addr_c));
+        assert_eq!(route_for(&key, router.shard_count()), before);
+        assert_eq!(router.shard_addr(0), Some(addr_c));
+        assert_eq!(router.shard_addr(1), Some(addr_b));
+        let swapped = router.slot(0).unwrap();
+        assert_eq!(swapped.routed.load(Ordering::Relaxed), 7, "counters stay monotonic");
+        assert_eq!(swapped.errors.load(Ordering::Relaxed), 2);
+        assert_eq!(swapped.breaker.state(), STATE_CLOSED, "breaker resets on swap");
+        assert!(!router.replace_shard(9, addr_c), "out-of-range swap is refused");
+    }
+
+    #[test]
+    fn shard_budget_splice_preserves_other_fields() {
+        let body = br#"{"model":"virus","m0":[0.8,0.15,0.05],"formulas":["E{<0.3}[ infected ]"],"params":{"k2":0.25},"timeout_ms":5000}"#;
+        let parsed = Json::parse(std::str::from_utf8(body).unwrap()).unwrap();
+        let spliced = with_shard_budget(&parsed, Duration::from_millis(400));
+        let re = Json::parse(std::str::from_utf8(&spliced).unwrap()).unwrap();
+        assert_eq!(re.get("timeout_ms").and_then(Json::as_f64), Some(350.0));
+        assert_eq!(re.get("model").and_then(Json::as_str), Some("virus"));
+        assert_eq!(
+            re.get("params").and_then(|p| p.get("k2")).and_then(Json::as_f64),
+            Some(0.25),
+            "untouched fields must survive the re-render value-identically"
+        );
+        // Absent timeout_ms gets one appended; tiny budgets clamp to 1 ms.
+        let parsed = Json::parse(r#"{"model":"virus"}"#).unwrap();
+        let spliced = with_shard_budget(&parsed, Duration::from_millis(10));
+        let re = Json::parse(std::str::from_utf8(&spliced).unwrap()).unwrap();
+        assert_eq!(re.get("timeout_ms").and_then(Json::as_f64), Some(1.0));
+    }
+
+    #[test]
+    fn request_budget_caps_and_rejects() {
+        let ceiling = Duration::from_secs(30);
+        let parse = |s: &str| Json::parse(s).ok();
+        assert_eq!(request_budget(None, ceiling), Ok(ceiling));
+        assert_eq!(
+            request_budget(parse(r#"{"model":"x"}"#).as_ref(), ceiling),
+            Ok(ceiling)
+        );
+        assert_eq!(
+            request_budget(parse(r#"{"timeout_ms":250}"#).as_ref(), ceiling),
+            Ok(Duration::from_millis(250))
+        );
+        assert_eq!(
+            request_budget(parse(r#"{"timeout_ms":9e9}"#).as_ref(), ceiling),
+            Ok(ceiling),
+            "budgets cap at the router ceiling"
+        );
+        for bad in [r#"{"timeout_ms":-5}"#, r#"{"timeout_ms":"soon"}"#] {
+            assert_eq!(
+                request_budget(parse(bad).as_ref(), ceiling),
+                Err(()),
+                "{bad} must be forwarded verbatim for the shard's 400"
+            );
+        }
     }
 }

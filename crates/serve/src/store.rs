@@ -32,7 +32,7 @@ use mfcsl_smc::SmcSession;
 
 use crate::metrics::SnapshotCounters;
 use crate::registry::ModelRegistry;
-use crate::snapshot::{file_name, RegimeSnapshot, SessionSnapshot, SnapshotEntry};
+use crate::snapshot::{file_name, fnv1a64, RegimeSnapshot, SessionSnapshot, SnapshotEntry};
 
 /// Consecutive engine failures after which a session is quarantined:
 /// dropped from the store so the next request rebuilds it from scratch
@@ -351,6 +351,40 @@ struct Entry {
     /// Consecutive engine failures observed on this session; any success
     /// resets it. Reaching [`QUARANTINE_THRESHOLD`] quarantines the session.
     consecutive_failures: u32,
+    /// Fingerprint of the session's warm state as of the last snapshot
+    /// write (0 = never written). Gates the write-behind in
+    /// [`SessionStore::record_success`]: cache-hit requests leave the
+    /// counters — and therefore the fingerprint — untouched, so only
+    /// requests that actually grew the warm state pay a serialization.
+    saved_fingerprint: u64,
+}
+
+/// Fingerprint of the warm state a snapshot would capture: the engine
+/// counters that move exactly when the persisted artifacts (trajectories,
+/// regimes, sat-cache) change. Checked cheaply on every success instead of
+/// diffing the artifacts themselves.
+fn warm_fingerprint(stats: &EngineStats) -> u64 {
+    let mut bytes = [0u8; 72];
+    for (slot, v) in [
+        stats.trajectory_solves,
+        stats.trajectory_extensions,
+        stats.trajectory_restores,
+        stats.regime_solves,
+        stats.batch_prewarmed,
+        stats.cache.set_misses,
+        stats.cache.curve_misses,
+        stats.cache.cached_sets as u64,
+        stats.cache.cached_curves as u64,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        bytes[slot * 8..slot * 8 + 8].copy_from_slice(&v.to_le_bytes());
+    }
+    // 0 is the "never written" sentinel; FNV of any input is nonzero in
+    // practice, but clamp anyway so a pathological collision can't disable
+    // persistence for a session.
+    fnv1a64(&bytes).max(1)
 }
 
 /// Everything guarded by the store's one mutex.
@@ -471,6 +505,7 @@ impl SessionStore {
                 session: Arc::clone(&session),
                 last_used: now,
                 consecutive_failures: 0,
+                saved_fingerprint: 0,
             },
         );
         Ok((session, false))
@@ -503,11 +538,37 @@ impl SessionStore {
     }
 
     /// Records a successful check on `key`'s session, resetting its
-    /// consecutive-failure count.
+    /// consecutive-failure count — and, with persistence enabled,
+    /// write-behind snapshotting the session when this request grew its
+    /// warm state. The write happens synchronously (before the response
+    /// reaches the client) but outside the store lock, so a SIGKILLed
+    /// shard restarts warm for every key it ever answered, at zero cost
+    /// for cache-hit traffic (the fingerprint gate skips those).
     pub fn record_success(&self, key: &SessionKey) {
-        let mut inner = self.lock();
-        if let Some(entry) = inner.sessions.get_mut(key) {
+        let session = {
+            let mut inner = self.lock();
+            let Some(entry) = inner.sessions.get_mut(key) else {
+                return;
+            };
             entry.consecutive_failures = 0;
+            // Same exclusions as write_snapshot; checked here so excluded
+            // sessions don't pay the fingerprint on every request.
+            if self.state_dir.is_none() || key.fault.is_some() || key.sim.is_some() {
+                return;
+            }
+            let fingerprint = warm_fingerprint(&entry.session.stats());
+            if fingerprint == entry.saved_fingerprint {
+                return;
+            }
+            // The marker advances even if the write below fails: retrying
+            // an unwritable disk on every request would turn a full disk
+            // into a per-request latency tax. The next state growth (or
+            // eviction, or drain) retries naturally.
+            entry.saved_fingerprint = fingerprint;
+            Arc::clone(&entry.session)
+        };
+        if self.write_snapshot(key, &session) {
+            self.lock().snapshots.saved += 1;
         }
     }
 
@@ -582,10 +643,15 @@ impl SessionStore {
                     inner.clock += 1;
                     let now = inner.clock;
                     inner.snapshots.loaded += 1;
+                    // The snapshot on disk captures exactly the state just
+                    // restored, so mark it saved — a cache-hit first
+                    // request after restart must not rewrite it.
+                    let saved_fingerprint = warm_fingerprint(&session.stats());
                     inner.sessions.entry(key).or_insert(Entry {
                         session,
                         last_used: now,
                         consecutive_failures: 0,
+                        saved_fingerprint,
                     });
                 }
                 Err(_) => inner.snapshots.rejected += 1,

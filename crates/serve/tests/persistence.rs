@@ -36,6 +36,7 @@ fn start_router(shards: Vec<SocketAddr>) -> (String, std::thread::JoinHandle<()>
     let addr = listener.local_addr().unwrap().to_string();
     let router: Arc<dyn RequestHandler> = Arc::new(Router::new(&RouterConfig {
         shards: shards.into_iter().map(|addr| ShardSpec { addr }).collect(),
+        ..RouterConfig::default()
     }));
     let options = ReactorOptions {
         event_loops: 1,

@@ -1,0 +1,418 @@
+//! Failure-containment tests for the shard router: circuit breaker
+//! open/half-open behavior, scrape-neutral metrics aggregation, deadline
+//! propagation (router-side cutoff vs shard-side 504), and crash recovery
+//! with eager warm-state snapshots — all over real sockets.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mfcsl_serve::client::{self, CheckRequest, ClientError};
+use mfcsl_serve::metrics::ServerMetrics;
+use mfcsl_serve::{
+    reactor, route_for, ModelRegistry, ReactorOptions, RequestHandler, Router, RouterConfig,
+    Server, ServerConfig, SessionKey, ShardSpec,
+};
+
+fn modelfile_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../modelfiles")
+}
+
+fn start_daemon(config: ServerConfig) -> (String, std::thread::JoinHandle<()>) {
+    let registry = ModelRegistry::load(&[modelfile_dir()]).unwrap();
+    let server = Server::bind(registry, config).unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle)
+}
+
+/// Starts a router and keeps an `Arc<Router>` handle so tests can drive
+/// `replace_shard` the way the CLI supervisor does.
+fn start_router(
+    shards: Vec<SocketAddr>,
+) -> (String, Arc<Router>, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let router = Arc::new(Router::new(&RouterConfig {
+        shards: shards.into_iter().map(|addr| ShardSpec { addr }).collect(),
+        ..RouterConfig::default()
+    }));
+    let handler: Arc<dyn RequestHandler> = Arc::clone(&router) as _;
+    let options = ReactorOptions {
+        event_loops: 1,
+        workers: 2,
+        queue_capacity: 16,
+        max_body: 1 << 20,
+        idle_timeout: Duration::from_secs(10),
+        metrics: Arc::new(ServerMetrics::new()),
+        shutdown: Arc::new(AtomicBool::new(false)),
+        queue_depth: Arc::new(AtomicUsize::new(0)),
+    };
+    let handle = std::thread::spawn(move || reactor::run(listener, handler, options).unwrap());
+    (addr, router, handle)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mfcsld-resil-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn metric_value(metrics: &str, name: &str) -> Option<f64> {
+    metrics.lines().find_map(|line| {
+        let mut parts = line.split_whitespace();
+        (parts.next() == Some(name)).then(|| parts.next())?.and_then(|v| v.parse().ok())
+    })
+}
+
+/// An address nothing listens on: bind an ephemeral port, then drop the
+/// listener. Connects to it are refused immediately.
+fn dead_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.local_addr().unwrap()
+}
+
+/// A wedged "shard": accepts connections and never answers, like a daemon
+/// stuck in a pathological solve. The holder thread leaks (it dies with
+/// the test process), which is exactly the pathology being simulated.
+fn wedged_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let mut held = Vec::new();
+        while let Ok((stream, _)) = listener.accept() {
+            held.push(stream);
+        }
+    });
+    addr
+}
+
+const VIRUS_M0: [f64; 3] = [0.8, 0.15, 0.05];
+
+fn virus_formulas() -> Vec<String> {
+    ["E{<0.3}[ infected ]", "EP{>0}[ tt U[0,2] infected ]"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect()
+}
+
+fn virus_request() -> CheckRequest {
+    CheckRequest::new("virus", &VIRUS_M0, &virus_formulas())
+}
+
+/// A `k2` override whose session key routes to `want` in a fleet of `n`.
+fn k2_routed_to(want: usize, n: usize) -> f64 {
+    for i in 0..256 {
+        let v = 0.25 + f64::from(i) * 0.01;
+        let mut params = BTreeMap::new();
+        params.insert("k2".to_string(), v);
+        if route_for(&SessionKey::new("virus", &params, false, None), n) == want {
+            return v;
+        }
+    }
+    panic!("no k2 override routes to shard {want} of {n}");
+}
+
+fn expect_status(result: Result<client::CheckOutcome, ClientError>) -> (u16, Option<String>, Option<u64>) {
+    match result {
+        Err(ClientError::Status {
+            status,
+            code,
+            retry_after,
+            ..
+        }) => (status, code, retry_after),
+        other => panic!("expected an error status, got {other:?}"),
+    }
+}
+
+#[test]
+fn breaker_opens_fast_fails_and_recovers_via_replace_shard() {
+    let (router_addr, router, handle) = start_router(vec![dead_addr()]);
+    let request = virus_request();
+
+    // Each failed request burns two fresh connection attempts, so the
+    // breaker (threshold 3) opens during the second request.
+    for _ in 0..2 {
+        let (status, code, retry_after) = expect_status(client::post_check(&router_addr, &request));
+        assert_eq!(status, 503);
+        assert_eq!(code.as_deref(), Some("shard_unavailable"));
+        assert!(retry_after.is_some());
+    }
+    let metrics = client::get_text(&router_addr, "/metrics").unwrap();
+    assert_eq!(
+        metric_value(&metrics, "mfcsld_router_breaker_state{shard=\"0\"}"),
+        Some(1.0),
+        "breaker must be open after the failure streak\n{metrics}"
+    );
+    assert_eq!(
+        metric_value(&metrics, "mfcsld_router_shards_unreachable"),
+        Some(1.0),
+        "{metrics}"
+    );
+
+    // Open breaker: fast-fail well under the 2 s connect timeout, with a
+    // breaker-derived Retry-After.
+    let before = Instant::now();
+    let (status, code, retry_after) = expect_status(client::post_check(&router_addr, &request));
+    let elapsed = before.elapsed();
+    assert_eq!(status, 503);
+    assert_eq!(code.as_deref(), Some("shard_unavailable"));
+    assert!(retry_after.unwrap_or(0) >= 1);
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "open breaker must fast-fail, took {elapsed:?}"
+    );
+
+    // After the open window a half-open probe goes through, fails against
+    // the still-dead shard, and re-opens the breaker.
+    std::thread::sleep(Duration::from_millis(1100));
+    let (status, _, _) = expect_status(client::post_check(&router_addr, &request));
+    assert_eq!(status, 503);
+    let metrics = client::get_text(&router_addr, "/metrics").unwrap();
+    assert_eq!(
+        metric_value(&metrics, "mfcsld_router_breaker_state{shard=\"0\"}"),
+        Some(1.0),
+        "failed half-open probe must re-open\n{metrics}"
+    );
+
+    // Supervisor-style recovery: swap a live daemon into the slot. The
+    // breaker resets to closed and the very next request serves.
+    let (shard_addr, shard_handle) = start_daemon(ServerConfig::default());
+    assert!(router.replace_shard(0, shard_addr.parse().unwrap()));
+    let outcome = client::post_check(&router_addr, &request).unwrap();
+    assert!(!outcome.warm, "fresh shard, cold session");
+    let metrics = client::get_text(&router_addr, "/metrics").unwrap();
+    assert_eq!(
+        metric_value(&metrics, "mfcsld_router_breaker_state{shard=\"0\"}"),
+        Some(0.0),
+        "swap must reset the breaker\n{metrics}"
+    );
+    assert_eq!(
+        metric_value(&metrics, "mfcsld_router_shard_restarts_total"),
+        Some(1.0),
+        "{metrics}"
+    );
+
+    client::shutdown(&router_addr).unwrap();
+    handle.join().unwrap();
+    shard_handle.join().unwrap();
+}
+
+#[test]
+fn metrics_scrapes_do_not_inflate_per_shard_counters() {
+    let (live_addr, live_handle) = start_daemon(ServerConfig::default());
+    let (router_addr, _router, handle) =
+        start_router(vec![live_addr.parse().unwrap(), dead_addr()]);
+
+    // Scrape the aggregated metrics repeatedly — including against the
+    // unreachable shard — then check the per-shard counters never moved.
+    let mut metrics = String::new();
+    for _ in 0..3 {
+        metrics = client::get_text(&router_addr, "/metrics").unwrap();
+    }
+    assert_eq!(metric_value(&metrics, "mfcsld_router_shard0_routed_total"), Some(0.0), "{metrics}");
+    assert_eq!(metric_value(&metrics, "mfcsld_router_shard1_routed_total"), Some(0.0), "{metrics}");
+    assert_eq!(metric_value(&metrics, "mfcsld_router_shard0_errors_total"), Some(0.0), "{metrics}");
+    assert_eq!(
+        metric_value(&metrics, "mfcsld_router_shard1_errors_total"),
+        Some(0.0),
+        "scraping a dead shard must not count as a routing error\n{metrics}"
+    );
+    assert_eq!(metric_value(&metrics, "mfcsld_router_shards_unreachable"), Some(1.0), "{metrics}");
+    assert_eq!(metric_value(&metrics, "mfcsld_router_probe_failures_total"), Some(0.0), "{metrics}");
+
+    // One real check on the live shard: exactly one routed increment.
+    let mut request = virus_request();
+    request.params.insert("k2".into(), k2_routed_to(0, 2));
+    client::post_check(&router_addr, &request).unwrap();
+    let metrics = client::get_text(&router_addr, "/metrics").unwrap();
+    assert_eq!(metric_value(&metrics, "mfcsld_router_shard0_routed_total"), Some(1.0), "{metrics}");
+    assert_eq!(metric_value(&metrics, "mfcsld_router_shard1_routed_total"), Some(0.0), "{metrics}");
+
+    client::shutdown(&router_addr).unwrap();
+    handle.join().unwrap();
+    live_handle.join().unwrap();
+}
+
+#[test]
+fn shard_side_504_wins_over_router_cutoff_for_slow_checks() {
+    // A live shard that can be told to sleep mid-check: the router forwards
+    // the remaining budget minus a margin, so the SHARD's structured 504
+    // fires first and the router's own cutoff never triggers.
+    let (shard_addr, shard_handle) = start_daemon(ServerConfig {
+        allow_sleep: true,
+        ..ServerConfig::default()
+    });
+    let (router_addr, _router, handle) = start_router(vec![shard_addr.parse().unwrap()]);
+
+    let mut request = virus_request();
+    request.sleep_ms = Some(5_000.0);
+    request.timeout_ms = Some(600.0);
+    let before = Instant::now();
+    let (status, code, _) = expect_status(client::post_check(&router_addr, &request));
+    let elapsed = before.elapsed();
+    assert_eq!(status, 504);
+    assert_eq!(code.as_deref(), Some("deadline_exceeded"));
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "a 600 ms budget must not take {elapsed:?}"
+    );
+    let metrics = client::get_text(&router_addr, "/metrics").unwrap();
+    assert_eq!(
+        metric_value(&metrics, "mfcsld_router_deadline_exhausted_total"),
+        Some(0.0),
+        "the shard's own 504 must win — the router never hit its cutoff\n{metrics}"
+    );
+    // The shard counted the timeout; its session survives for the next
+    // request (a slow request is not a shard failure).
+    assert!(metric_value(&metrics, "mfcsld_requests_timed_out_total").unwrap_or(0.0) >= 1.0, "{metrics}");
+    assert_eq!(
+        metric_value(&metrics, "mfcsld_router_breaker_state{shard=\"0\"}"),
+        Some(0.0),
+        "a deadline is not a transport failure\n{metrics}"
+    );
+
+    client::shutdown(&router_addr).unwrap();
+    handle.join().unwrap();
+    shard_handle.join().unwrap();
+}
+
+#[test]
+fn router_cutoff_bounds_wedged_shards_without_tripping_the_breaker() {
+    // A wedged shard accepts and never answers: no shard-side 504 can come
+    // back, so the router's own budget cutoff must fire — in roughly the
+    // request's timeout_ms, not the old flat 30 s.
+    let (router_addr, _router, handle) = start_router(vec![wedged_addr()]);
+    let mut request = virus_request();
+    request.timeout_ms = Some(300.0);
+    let before = Instant::now();
+    let (status, code, _) = expect_status(client::post_check(&router_addr, &request));
+    let elapsed = before.elapsed();
+    assert_eq!(status, 504);
+    assert_eq!(code.as_deref(), Some("deadline_exceeded"));
+    assert!(
+        elapsed >= Duration::from_millis(250) && elapsed < Duration::from_secs(3),
+        "router cutoff must fire near the 300 ms budget, took {elapsed:?}"
+    );
+    let metrics = client::get_text(&router_addr, "/metrics").unwrap();
+    assert!(
+        metric_value(&metrics, "mfcsld_router_deadline_exhausted_total").unwrap_or(0.0) >= 1.0,
+        "{metrics}"
+    );
+    assert_eq!(
+        metric_value(&metrics, "mfcsld_router_breaker_state{shard=\"0\"}"),
+        Some(0.0),
+        "a slow shard is not a dead shard; the breaker must stay closed\n{metrics}"
+    );
+    client::shutdown(&router_addr).unwrap();
+    handle.join().unwrap();
+}
+
+/// Copies every `.snap` file — a crash-consistent view of a shard's state
+/// directory at this instant, exactly what a SIGKILLed shard leaves behind.
+fn copy_snapshots(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap().filter_map(Result::ok) {
+        let path = entry.path();
+        if path.extension().is_some_and(|x| x == "snap") {
+            std::fs::copy(&path, to.join(path.file_name().unwrap())).unwrap();
+        }
+    }
+}
+
+#[test]
+fn crash_recovery_restores_warm_state_written_before_the_crash() {
+    let dir = temp_dir("chaos");
+    let s0_dir = dir.join("shard-0");
+    let s1_dir = dir.join("shard-1");
+    let (shard0_addr, _shard0_handle) = start_daemon(ServerConfig {
+        state_dir: Some(s0_dir.clone()),
+        ..ServerConfig::default()
+    });
+    let (shard1_addr, shard1_handle) = start_daemon(ServerConfig {
+        state_dir: Some(s1_dir.clone()),
+        ..ServerConfig::default()
+    });
+    let (router_addr, router, router_handle) = start_router(vec![
+        shard0_addr.parse().unwrap(),
+        shard1_addr.parse().unwrap(),
+    ]);
+
+    let request_for = |k2: f64| {
+        let mut request = virus_request();
+        request.params.insert("k2".into(), k2);
+        request
+    };
+    let k2 = [k2_routed_to(0, 2), k2_routed_to(1, 2)];
+
+    // Warm both shards. The write-behind in record_success means shard 0's
+    // snapshot is on disk as soon as its check returns — no drain needed.
+    let baseline0 = client::post_check(&router_addr, &request_for(k2[0])).unwrap();
+    let baseline1 = client::post_check(&router_addr, &request_for(k2[1])).unwrap();
+    let snaps = |dir: &Path| -> usize {
+        std::fs::read_dir(dir)
+            .map(|iter| {
+                iter.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "snap"))
+                    .count()
+            })
+            .unwrap_or(0)
+    };
+    assert_eq!(
+        snaps(&s0_dir),
+        1,
+        "warm state must be on disk before any drain — that is what survives SIGKILL"
+    );
+
+    // "SIGKILL" shard 0: capture its state dir as-is, no graceful drain
+    // ever happens for it (the daemon thread just stops being routed to).
+    let crashed_dir = dir.join("shard-0-crashed");
+    copy_snapshots(&s0_dir, &crashed_dir);
+
+    // Revive from the crash-consistent copy, swap into the same slot.
+    let (revived_addr, revived_handle) = start_daemon(ServerConfig {
+        state_dir: Some(crashed_dir.clone()),
+        ..ServerConfig::default()
+    });
+    assert!(router.replace_shard(0, revived_addr.parse().unwrap()));
+
+    // First post-restart request on the crashed shard's key: warm, bitwise
+    // identical, zero fresh solves on the revived shard.
+    let revived = client::post_check(&router_addr, &request_for(k2[0])).unwrap();
+    assert!(revived.warm, "revived shard must warm-restore from the eager snapshot");
+    assert_eq!(revived.verdicts, baseline0.verdicts, "verdicts must survive the crash bitwise");
+    let revived_metrics = client::get_text(&revived_addr, "/metrics").unwrap();
+    assert_eq!(
+        metric_value(&revived_metrics, "mfcsld_engine_trajectory_solves_total"),
+        Some(0.0),
+        "the revived shard's first request must pay no fresh solve\n{revived_metrics}"
+    );
+    assert_eq!(
+        metric_value(&revived_metrics, "mfcsld_snapshot_loaded_total"),
+        Some(1.0),
+        "{revived_metrics}"
+    );
+
+    // The surviving shard was never disturbed: still warm, still bitwise.
+    let survivor = client::post_check(&router_addr, &request_for(k2[1])).unwrap();
+    assert!(survivor.warm);
+    assert_eq!(survivor.verdicts, baseline1.verdicts);
+
+    let metrics = client::get_text(&router_addr, "/metrics").unwrap();
+    assert_eq!(
+        metric_value(&metrics, "mfcsld_router_shard_restarts_total"),
+        Some(1.0),
+        "{metrics}"
+    );
+
+    client::shutdown(&router_addr).unwrap();
+    router_handle.join().unwrap();
+    revived_handle.join().unwrap();
+    shard1_handle.join().unwrap();
+    // shard 0's original daemon thread is deliberately left running
+    // (sigkilled processes don't join); it dies with the test process.
+    let _ = std::fs::remove_dir_all(&dir);
+}

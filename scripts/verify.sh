@@ -36,12 +36,18 @@
 #      denied outside tests);
 #   9. a smoke run of the serving load benchmark: schema validation of
 #      all four workloads (cold / warm / warm_keepalive / sharded) plus
-#      the snapshot-restart probe, an assertion that the committed
-#      BENCH_serve.json holds the restart-within-5x-warm-p50 bar, and a
-#      --serve-baseline regression-gate run against the first smoke;
+#      the snapshot-restart and chaos probes, an assertion that the
+#      committed BENCH_serve.json holds the restart-within-5x-warm-p50
+#      and chaos-recovery bars, and a --serve-baseline regression-gate
+#      run against the first smoke;
 #  10. a shard-router smoke test: `mfcsl serve --shards 2` forks two
 #      shard daemons, serves verdicts bitwise equal to the offline CLI
-#      through the consistent-hash router, and drains both on shutdown.
+#      through the consistent-hash router, and drains both on shutdown;
+#  11. a chaos-router smoke test: a 2-shard fleet with --state-dir has one
+#      shard SIGKILLed under warm load; the supervisor must restart it,
+#      the revived shard must answer its first request warm from the
+#      eager write-behind snapshot (zero fresh trajectory solves), and
+#      the surviving shard's verdicts must stay bitwise unchanged.
 #
 # Two statistical-lane gates run before the benchmarks:
 #   * the committed conformance-vector suite (vectors/) is regenerated and
@@ -64,11 +70,13 @@ serve_pid=""
 slow_pid=""
 chaos_pid=""
 router_pid=""
+chaos_router_pid=""
 cleanup() {
     [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
     [ -n "$slow_pid" ] && kill "$slow_pid" 2>/dev/null || true
     [ -n "$chaos_pid" ] && kill "$chaos_pid" 2>/dev/null || true
     [ -n "$router_pid" ] && kill "$router_pid" 2>/dev/null || true
+    [ -n "$chaos_router_pid" ] && kill "$chaos_router_pid" 2>/dev/null || true
     rm -rf "$tmpdir"
 }
 trap cleanup EXIT
@@ -565,8 +573,18 @@ restart = report["snapshot_restart"]
 assert restart["warm"] is True, restart
 assert restart["bitwise_equal"] is True, restart
 assert restart["first_request_us"] > 0, restart
+# Chaos: the SIGKILLed shard must come back via the supervisor, answer warm
+# from the restored snapshot without one fresh solve, and leave the
+# surviving shard's verdicts bitwise unchanged throughout the outage.
+chaos = report["chaos"]
+assert chaos["requests"] > 0, chaos
+assert chaos["unavailability_ms"] > 0, chaos
+assert chaos["restarts"] >= 1, chaos
+assert chaos["revived_warm"] is True, chaos
+assert chaos["revived_trajectory_solves"] == 0, chaos
+assert chaos["survivor_bitwise_equal"] is True, chaos
 print("bench_serve smoke report is well-formed; all responses bitwise equal; "
-      "restored first request served warm")
+      "restored first request served warm; SIGKILLed shard revived warm")
 EOF
 
 # The committed serving artifact must hold the acceptance bar durably:
@@ -581,7 +599,13 @@ assert restart["bitwise_equal"] is True, restart
 assert restart["within_5x_warm_p50"] is True, restart
 names = [w["name"] for w in report["workloads"]]
 assert names == ["cold", "warm", "warm_keepalive", "sharded"], names
-print("committed BENCH_serve.json holds the snapshot-restart latency bar")
+chaos = report["chaos"]
+assert chaos["restarts"] >= 1, chaos
+assert chaos["revived_warm"] is True, chaos
+assert chaos["revived_trajectory_solves"] == 0, chaos
+assert chaos["survivor_bitwise_equal"] is True, chaos
+print("committed BENCH_serve.json holds the snapshot-restart latency bar "
+      "and the chaos recovery bar")
 EOF
 
 echo "== bench_serve --serve-baseline regression gate =="
@@ -632,5 +656,105 @@ cmp -s "$tmpdir/offline.txt" "$tmpdir/routed.txt" || {
 wait "$router_pid"
 router_pid=""
 echo "2-shard router served bitwise-equal verdicts and drained cleanly"
+
+echo "== mfcsld chaos-router smoke =="
+# Self-healing: SIGKILL one forked shard under warm load. The supervisor
+# must detect the death and restart the shard; the restart must
+# warm-restore from the eager write-behind snapshot (the revived shard's
+# first answer is warm with zero fresh trajectory solves), and the
+# surviving shard's verdicts must stay bitwise unchanged throughout.
+"$mfcsl" serve modelfiles --addr 127.0.0.1:0 --shards 2 --workers 2 \
+    --state-dir "$tmpdir/chaos-state" > "$tmpdir/chaos_router.log" &
+chaos_router_pid=$!
+for _ in $(seq 150); do
+    grep -q "mfcsld router listening on" "$tmpdir/chaos_router.log" 2>/dev/null && break
+    sleep 0.1
+done
+chaos_router_addr="$(awk '/mfcsld router listening on/ {print $5; exit}' "$tmpdir/chaos_router.log")"
+[ -n "$chaos_router_addr" ] || {
+    echo "chaos router never announced its address"; cat "$tmpdir/chaos_router.log"; exit 1; }
+read -r shard_pid0 shard_pid1 <<<"$(sed -n \
+    's/.*pids \([0-9][0-9]*\), \([0-9][0-9]*\);.*/\1 \2/p' "$tmpdir/chaos_router.log")"
+[ -n "$shard_pid0" ] && [ -n "$shard_pid1" ] || {
+    echo "announce line carried no shard pids"; cat "$tmpdir/chaos_router.log"; exit 1; }
+python3 - "$chaos_router_addr" "$shard_pid0" <<'EOF'
+import http.client, json, os, signal, sys, time
+
+addr, victim_pid = sys.argv[1], int(sys.argv[2])
+
+def req(method, path, body=None, at=None):
+    host, port = (at or addr).rsplit(":", 1)
+    conn = http.client.HTTPConnection(host, int(port), timeout=10)
+    conn.request(method, path, body=body,
+                 headers={"Content-Type": "application/json"} if body else {})
+    resp = conn.getresponse()
+    data = resp.read()
+    conn.close()
+    return resp.status, data
+
+# k2=0.70 pins to shard 0, k2=0.71 to shard 1 (fnv1a64 consistent hash;
+# deterministic, see crate::router::route_for).
+def check(k2):
+    body = json.dumps({
+        "model": "virus",
+        "m0": [0.8, 0.15, 0.05],
+        "formulas": ["EP{<0.3}[ not_infected U[0,1] infected ]"],
+        "fast": False,
+        "params": {"k2": k2},
+    })
+    status, data = req("POST", "/v1/check", body)
+    assert status == 200, (status, data)
+    return json.loads(data)
+
+def metric(text, name):
+    for line in text.splitlines():
+        parts = line.split()
+        if parts and parts[0] == name:
+            return float(parts[1])
+    return 0.0
+
+# Warm both shards; the repeat requests are warm and their verdicts are the
+# bitwise references. post-check success => the write-behind snapshot is
+# already on disk, so the SIGKILL below cannot lose the warm state.
+for k2 in (0.70, 0.71):
+    check(k2)
+ref0, ref1 = check(0.70), check(0.71)
+assert ref0["warm"] and ref1["warm"], (ref0.get("warm"), ref1.get("warm"))
+
+os.kill(victim_pid, signal.SIGKILL)
+deadline = time.time() + 30
+while True:
+    assert time.time() < deadline, "supervisor never restarted shard 0"
+    status, data = req("GET", "/metrics")
+    if status == 200 and metric(data.decode(), "mfcsld_router_shard_restarts_total") >= 1:
+        break
+    time.sleep(0.2)
+
+status, data = req("GET", "/v1/shards")
+assert status == 200, (status, data)
+revived = next(s for s in json.loads(data)["shards"] if s["index"] == 0)["addr"]
+status, data = req("GET", "/metrics", at=revived)
+text = data.decode()
+assert metric(text, "mfcsld_snapshot_loaded_total") >= 1, text
+assert metric(text, "mfcsld_engine_trajectory_solves_total") == 0, text
+
+post = check(0.70)
+assert post["warm"] is True, post
+assert post["verdicts"] == ref0["verdicts"], (post["verdicts"], ref0["verdicts"])
+surv = check(0.71)
+assert surv["warm"] is True, surv
+assert surv["verdicts"] == ref1["verdicts"], (surv["verdicts"], ref1["verdicts"])
+
+# The revived shard answered its first request from restored warm state:
+# still zero fresh solves after serving it.
+status, data = req("GET", "/metrics", at=revived)
+assert metric(data.decode(), "mfcsld_engine_trajectory_solves_total") == 0, data
+
+print("chaos-router smoke: SIGKILLed shard revived warm by the supervisor "
+      "(zero fresh solves); survivor verdicts bitwise unchanged")
+EOF
+"$mfcsl" client "$chaos_router_addr" shutdown | grep -q draining
+wait "$chaos_router_pid"
+chaos_router_pid=""
 
 echo "verify: OK"
